@@ -1,0 +1,221 @@
+// Ablation (§V.B): packet mode vs circuit switching.
+//
+// "Any network links utilized along the route are held open until the
+//  source channel emits a closing control token.  If the close token is
+//  never emitted, links are permanently held open, effectively creating a
+//  dedicated circuit between two endpoints."
+//
+// Two effects are measured on a 3-node chain (A - M - B):
+//   1. latency: a held-open circuit skips the 3-byte header on every
+//      message after the first, so per-message latency drops;
+//   2. the cost: while A-B hold their circuit, a rival packet stream from
+//      M to B is blocked outright (wormhole output held) — link
+//      reservation gives predictability to the owner and starvation to
+//      everyone else, which is why §V.D recommends reserving only
+//      chip-local links.
+#include <cstdio>
+#include <memory>
+
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "noc/network.h"
+
+namespace swallow {
+namespace {
+
+struct Chain {
+  Simulator sim;
+  EnergyLedger ledger;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Core> a, m, b;
+  Switch *sa = nullptr, *sm = nullptr, *sb = nullptr;
+
+  Chain() {
+    net = std::make_unique<Network>(sim, ledger, LinkGrade::kSwallowDefault);
+    auto make_router = [](NodeId self) {
+      auto r = std::make_shared<TableRouter>();
+      for (NodeId dest = 0; dest < 3; ++dest) {
+        if (dest != self) r->set_route(dest, dest > self ? kDirEast : kDirWest);
+      }
+      return r;
+    };
+    Core::Config c0, c1, c2;
+    c0.node_id = 0;
+    c1.node_id = 1;
+    c2.node_id = 2;
+    a = std::make_unique<Core>(sim, ledger, c0);
+    m = std::make_unique<Core>(sim, ledger, c1);
+    b = std::make_unique<Core>(sim, ledger, c2);
+    sa = &net->add_switch(0, make_router(0));
+    sm = &net->add_switch(1, make_router(1));
+    sb = &net->add_switch(2, make_router(2));
+    sa->attach_core(*a);
+    sm->attach_core(*m);
+    sb->attach_core(*b);
+    net->connect(*sa, kDirEast, *sm, kDirWest, LinkClass::kBoardHorizontal);
+    net->connect(*sm, kDirEast, *sb, kDirWest, LinkClass::kBoardHorizontal);
+  }
+};
+
+constexpr int kIters = 100;
+
+/// One-way word latency A->B over the chain, packet or circuit framing.
+double latency_ns(bool circuit) {
+  Chain c;
+  // In circuit mode no END is sent inside the loop; the route (both
+  // directions) stays open after the first exchange.
+  const char* a_close = circuit ? "" : "      outct r0, 1\n";
+  const char* b_close = circuit ? "" : "      outct r0, 1\n";
+  const char* a_chk = circuit ? "" : "      chkct r0, 1\n";
+  const char* b_chk = circuit ? "" : "      chkct r0, 1\n";
+  const std::string src_a = strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 2
+      ldch  r1, 2
+      setd  r0, r1
+      gettime r4
+      ldc   r2, %d
+  loop:
+      out   r0, r5
+%s      in    r6, r0
+%s      subi  r2, r2, 1
+      bt    r2, loop
+      gettime r5
+      sub   r6, r5, r4
+      ldc   r7, res
+      stw   r6, r7, 0
+      texit
+  res: .word 0
+  )", kIters, a_close, a_chk);
+  const std::string src_b = strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, %d
+  loop:
+      in    r3, r0
+%s      out   r0, r3
+%s      subi  r2, r2, 1
+      bt    r2, loop
+      texit
+  )", kIters, b_chk, b_close);
+  c.a->load(assemble(src_a));
+  c.b->load(assemble(src_b));
+  c.a->start();
+  c.b->start();
+  c.sim.run_until(milliseconds(50.0));
+  if (!c.a->finished()) return -1;
+  const std::uint32_t ticks = c.a->peek_word(assemble(src_a).symbol("res") * 4);
+  return static_cast<double>(ticks) * 10.0 / (2.0 * kIters);
+}
+
+/// Rival stream M->B while A->B either packets politely or holds a
+/// circuit.  Returns true if the rival's packet completed.
+bool rival_completes(bool circuit_held) {
+  Chain c;
+  // A sends 64 words to B chanend 0; in circuit mode it never emits a
+  // closing token, so its route across both links stays open even after
+  // it has finished sending (§V.B "permanently held open").
+  const char* closing = circuit_held ? "" : "      outct r0, 1\n";
+  c.a->load(assemble(strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 2
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 64
+  loop:
+      out   r0, r2
+%s      subi  r2, r2, 1
+      bt    r2, loop
+      texit
+  )", closing)));
+  // Rival: M waits 20 us (so A's stream/circuit is established), then
+  // sends 16 words to B chanend 1 as one packet.
+  c.m->load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 2
+      ldch  r1, 0x0102
+      setd  r0, r1
+      gettime r3
+      ldc   r4, 2000
+      add   r3, r3, r4
+      timewait r3
+      ldc   r2, 16
+  loop:
+      out   r0, r2
+      subi  r2, r2, 1
+      bt    r2, loop
+      outct r0, 1
+      texit
+  )"));
+  // B drains both endpoints with two threads, so only route holding — not
+  // backpressure — can stall the rival.  Both chanends are allocated by
+  // the main thread before the slave starts (deterministic indices).
+  const char* a_chk = circuit_held ? "" : "      chkct r0, 1\n";
+  c.b->load(assemble(strprintf(R"(
+      getr  r0, 2        # chanend 0: A's stream
+      getr  r1, 2        # chanend 1: the rival
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, rivaldrain
+      ldc   r6, 0xff00
+      tinitsp r5, r6
+      tsetr r5, r1, 1    # hand the rival chanend to the slave
+      msync r4
+      ldc   r2, 64
+  aloop:
+      in    r3, r0
+%s      subi  r2, r2, 1
+      bt    r2, aloop
+      tjoin r4
+      texit
+  rivaldrain:
+      ldc   r2, 16
+  rloop:
+      in    r3, r1
+      subi  r2, r2, 1
+      bt    r2, rloop
+      chkct r1, 1
+      texit
+  )", a_chk)));
+  c.a->start();
+  c.m->start();
+  c.b->start();
+  c.sim.run_until(milliseconds(20.0));
+  return c.m->finished();
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== §V.B ablation: packet mode vs held-open circuit ==\n\n");
+
+  const double packet_ns = latency_ns(false);
+  const double circuit_ns = latency_ns(true);
+
+  TextTable t("One-way word latency across two hops (A - M - B)");
+  t.header({"mode", "latency (ns)", "headers per message"});
+  t.row({"packet (END each message)", strprintf("%.0f", packet_ns), "1"});
+  t.row({"held circuit", strprintf("%.0f", circuit_ns), "0 after the first"});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("circuit saves %.0f ns/message (the 3-byte header + route "
+              "setup on both directions)\n\n", packet_ns - circuit_ns);
+
+  const bool rival_packet = rival_completes(false);
+  const bool rival_circuit = rival_completes(true);
+  std::printf("Rival packet stream (M->B) sharing the M-B link:\n");
+  std::printf("  with A in packet mode : %s\n",
+              rival_packet ? "completes" : "STARVED");
+  std::printf("  with A holding circuit: %s\n",
+              rival_circuit ? "completes" : "STARVED (link held open, "
+              "as §V.B warns)");
+
+  const bool ok = circuit_ns < packet_ns && rival_packet && !rival_circuit;
+  std::printf("\nshape: %s\n", ok ? "OK" : "VIOLATED");
+  return ok ? 0 : 1;
+}

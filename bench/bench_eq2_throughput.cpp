@@ -1,0 +1,86 @@
+// Reproduces Equation (2): per-thread and per-core instruction throughput
+// as a function of the number of active threads,
+//   IPSt = f / max(4, Nt),    IPSc = f * min(4, Nt) / 4.
+//
+// Nt = 1..8 spinning threads are run on the ISA interpreter and retire
+// rates are measured, including the per-thread split for the 8-thread
+// round-robin case.
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+namespace swallow {
+namespace {
+
+struct ThroughputPoint {
+  double ipsc_mips;
+  double ipst_min_mips;  // slowest thread (fairness check)
+  double ipst_max_mips;
+};
+
+ThroughputPoint measure(int threads, MegaHertz f) {
+  Simulator sim;
+  EnergyLedger ledger;
+  Core::Config cfg;
+  cfg.frequency_mhz = f;
+  Core core(sim, ledger, cfg);
+  core.load(assemble(bench::spin_program(threads)));
+  core.start();
+  const TimePs warmup = microseconds(5.0);
+  sim.run_until(warmup);
+  const std::uint64_t base = core.instructions_retired();
+  std::uint64_t base_thread[8];
+  for (int t = 0; t < 8; ++t) base_thread[t] = core.thread_instructions(t);
+  const TimePs window = microseconds(100.0);
+  sim.run_until(warmup + window);
+  const double secs = to_seconds(window);
+
+  ThroughputPoint p;
+  p.ipsc_mips =
+      static_cast<double>(core.instructions_retired() - base) / secs / 1e6;
+  p.ipst_min_mips = 1e12;
+  p.ipst_max_mips = 0;
+  for (int t = 0; t < threads; ++t) {
+    const double tips =
+        static_cast<double>(core.thread_instructions(t) - base_thread[t]) /
+        secs / 1e6;
+    p.ipst_min_mips = std::min(p.ipst_min_mips, tips);
+    p.ipst_max_mips = std::max(p.ipst_max_mips, tips);
+  }
+  return p;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== Eq. (2): throughput vs active thread count (500 MHz) ==\n\n");
+
+  const double f = 500.0;
+  TextTable t("Measured instruction throughput");
+  t.header({"Nt", "IPSc measured (MIPS)", "IPSc Eq.(2)", "IPSt min..max",
+            "IPSt Eq.(2)"});
+  double worst = 0;
+  for (int nt = 1; nt <= 8; ++nt) {
+    const ThroughputPoint p = measure(nt, f);
+    const double ipsc_model = f * std::min(nt, 4) / 4.0;
+    const double ipst_model = f / std::max(4, nt);
+    worst = std::max(worst, std::abs(p.ipsc_mips - ipsc_model) / ipsc_model);
+    worst = std::max(worst,
+                     std::abs(p.ipst_max_mips - ipst_model) / ipst_model);
+    t.row({strprintf("%d", nt), strprintf("%.1f", p.ipsc_mips),
+           strprintf("%.1f", ipsc_model),
+           strprintf("%.1f..%.1f", p.ipst_min_mips, p.ipst_max_mips),
+           strprintf("%.1f", ipst_model)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("Worst deviation from Eq. (2): %.2f %%\n", worst * 100.0);
+  std::printf("(500 MIPS potential per core, §IV.A; 125 MIPS single "
+              "thread, §V.D.)\n");
+  return worst < 0.03 ? 0 : 1;
+}

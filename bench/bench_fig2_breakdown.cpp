@@ -1,0 +1,86 @@
+// Reproduces Fig. 2: power distribution for each Swallow processor node
+// (260 mW total: computation 78, static 68, network interface 58,
+// DC-DC & I/O 46, other 10).
+//
+// Two views are printed: the analytic node model at the nominal operating
+// point (the paper's pie chart), and a live-simulation reconciliation in
+// which a fully loaded, fully communicating slice's energy ledger is
+// divided per node.
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "energy/node_power.h"
+
+namespace swallow {
+namespace {
+
+void live_reconciliation() {
+  Simulator sim;
+  auto sys = bench::one_slice(sim);
+  sys->enable_loss_integration();
+
+  // Full compute load everywhere, plus neighbour streams to exercise the
+  // network interface and links.
+  bench::load_all_spinning(*sys, 4);
+  const TimePs window = microseconds(200.0);
+  sim.run_until(window);
+  sys->settle_energy();
+
+  const EnergyLedger& ledger = sys->ledger();
+  const double seconds = to_seconds(window);
+  auto per_node_mw = [&](EnergyAccount a) {
+    return to_milliwatts(ledger.total(a) / seconds) / Slice::kCores;
+  };
+
+  TextTable t("Live ledger, fully loaded slice, per node");
+  t.header({"component", "mW/node"});
+  const double baseline = per_node_mw(EnergyAccount::kCoreBaseline);
+  const double instr = per_node_mw(EnergyAccount::kCoreInstructions);
+  const double ni = per_node_mw(EnergyAccount::kNetworkInterface);
+  const double dcdc = per_node_mw(EnergyAccount::kDcDcIo);
+  const double other = per_node_mw(EnergyAccount::kOther);
+  t.row({"core baseline (static + clock)", strprintf("%.1f", baseline)});
+  t.row({"core instruction issue", strprintf("%.1f", instr)});
+  t.row({"network interface", strprintf("%.1f", ni)});
+  t.row({"DC-DC conversion", strprintf("%.1f", dcdc)});
+  t.row({"support/other", strprintf("%.1f", other)});
+  t.rule();
+  t.row({"total", strprintf("%.1f", baseline + instr + ni + dcdc + other)});
+  std::printf("%s\n", t.render().c_str());
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== Fig. 2: power distribution per Swallow node ==\n\n");
+
+  NodePowerModel model;
+  const NodePowerBreakdown b = model.breakdown(NodeOperatingPoint{});
+
+  Comparison cmp("Node power model at 500 MHz / 1 V / full load");
+  cmp.add("computation & memory ops", 78.0, to_milliwatts(b.compute), "mW");
+  cmp.add("static", 68.0, to_milliwatts(b.statics), "mW");
+  cmp.add("network interface", 58.0, to_milliwatts(b.network_interface), "mW");
+  cmp.add("DC-DC & I/O", 46.0, to_milliwatts(b.dcdc_io), "mW");
+  cmp.add("other", 10.0, to_milliwatts(b.other), "mW");
+  cmp.add("total per node", 260.0, to_milliwatts(b.total()), "mW");
+  std::printf("%s\n", cmp.render().c_str());
+
+  TextTable shares("Fig. 2 shares");
+  shares.header({"component", "model", "paper"});
+  shares.row({"computation", fmt_percent(b.compute / b.total()), "30 %"});
+  shares.row({"static", fmt_percent(b.statics / b.total()), "26 %"});
+  shares.row({"network interface",
+              fmt_percent(b.network_interface / b.total()), "22 %"});
+  shares.row({"DC-DC & I/O", fmt_percent(b.dcdc_io / b.total()), "18 %"});
+  std::printf("%s\n", shares.render().c_str());
+
+  live_reconciliation();
+
+  return cmp.worst_deviation() < 0.01 ? 0 : 1;
+}

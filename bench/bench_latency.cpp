@@ -1,0 +1,193 @@
+// Reproduces the §V.C latency figures:
+//   * core-to-network injection: 3 cycles / 6 ns (model constant),
+//   * core-local word: 50 ns ~= 6 thread instructions,
+//   * in-package word: 40 thread instructions,
+//   * package-to-package word: 360 ns ~= 45 thread instructions,
+//   * package-to-package 8-bit token: 270 ns.
+//
+// Latencies are measured the way the authors must have measured them: a
+// program timestamps a ping-pong loop with the 100 MHz reference clock, so
+// the figures include OUT/IN instruction issue and thread wake-up time.
+// Links run at the §V.C architectural rates (500 / 125 Mbit/s).
+#include <cstdio>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+namespace swallow {
+namespace {
+
+constexpr int kIters = 200;
+
+/// Ping-pong word (or token) round trip between two cores; returns one-way
+/// nanoseconds including software overhead.
+double pingpong_ns(SwallowSystem& sys, Simulator& sim, Core& a, Core& b,
+                   bool token) {
+  const char* tx_op = token ? "outt" : "out";
+  const char* rx_op = token ? "int " : "in  ";
+  const std::string src_a = strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0x%x
+      ldch  r1, 2
+      setd  r0, r1
+      gettime r4
+      ldc   r2, %d
+  loop:
+      %s   r0, r5
+      outct r0, 1
+      %s   r6, r0
+      chkct r0, 1
+      subi  r2, r2, 1
+      bt    r2, loop
+      gettime r5
+      sub   r6, r5, r4
+      ldc   r7, res
+      stw   r6, r7, 0
+      texit
+  res: .word 0
+  )",
+                                      static_cast<unsigned>(b.node_id()),
+                                      kIters, tx_op, rx_op);
+  const std::string src_b = strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0x%x
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, %d
+  loop:
+      %s   r3, r0
+      chkct r0, 1
+      %s   r0, r3
+      outct r0, 1
+      subi  r2, r2, 1
+      bt    r2, loop
+      texit
+  )",
+                                      static_cast<unsigned>(a.node_id()),
+                                      kIters, rx_op, tx_op);
+  a.load(assemble(src_a));
+  b.load(assemble(src_b));
+  a.start();
+  b.start();
+  sim.run_until(sim.now() + milliseconds(20.0));
+  if (a.trapped() || b.trapped() || !a.finished()) {
+    std::fprintf(stderr, "pingpong failed: %s %s\n", a.trap().message.c_str(),
+                 b.trap().message.c_str());
+    return -1;
+  }
+  const std::uint32_t ticks =
+      a.peek_word(assemble(src_a).symbol("res") * 4);
+  (void)sys;
+  return static_cast<double>(ticks) * 10.0 / (2.0 * kIters);
+}
+
+/// Core-local: one thread sends a word out of chanend 0 and reads it back
+/// on chanend 1 of the same core; returns nanoseconds per transfer.
+double core_local_ns(Simulator& sim, Core& core) {
+  const std::string src = strprintf(R"(
+      getr  r0, 2            # chanend 0
+      getr  r1, 2            # chanend 1
+      ldc   r2, 0x%x
+      ldch  r2, 0x0102       # own chanend 1
+      setd  r0, r2
+      gettime r4
+      ldc   r2, %d
+  loop:
+      out   r0, r5
+      outct r0, 1
+      in    r6, r1
+      chkct r1, 1
+      subi  r2, r2, 1
+      bt    r2, loop
+      gettime r5
+      sub   r6, r5, r4
+      ldc   r7, res
+      stw   r6, r7, 0
+      texit
+  res: .word 0
+  )",
+                                    static_cast<unsigned>(core.node_id()),
+                                    kIters);
+  core.load(assemble(src));
+  core.start();
+  sim.run_until(sim.now() + milliseconds(20.0));
+  const std::uint32_t ticks = core.peek_word(assemble(src).symbol("res") * 4);
+  return static_cast<double>(ticks) * 10.0 / kIters;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== §V.C: network latencies (architectural link rates) ==\n\n");
+
+  auto fresh = [](Simulator& sim) {
+    SystemConfig cfg;
+    cfg.link_grade = LinkGrade::kArchitecturalMax;
+    return std::make_unique<SwallowSystem>(sim, cfg);
+  };
+
+  // Core-local.
+  double local_ns;
+  {
+    Simulator sim;
+    auto sys = fresh(sim);
+    local_ns = core_local_ns(sim, sys->core(0, 0, Layer::kVertical));
+  }
+  // In-package: the two nodes of chip (0,0).
+  double in_pkg_ns;
+  {
+    Simulator sim;
+    auto sys = fresh(sim);
+    in_pkg_ns = pingpong_ns(*sys, sim, sys->core(0, 0, Layer::kVertical),
+                            sys->core(0, 0, Layer::kHorizontal), false);
+  }
+  // Package-to-package: vertically adjacent chips, word and token.
+  double pkg_word_ns, pkg_token_ns;
+  {
+    Simulator sim;
+    auto sys = fresh(sim);
+    pkg_word_ns = pingpong_ns(*sys, sim, sys->core(0, 0, Layer::kVertical),
+                              sys->core(0, 1, Layer::kVertical), false);
+  }
+  {
+    Simulator sim;
+    auto sys = fresh(sim);
+    pkg_token_ns = pingpong_ns(*sys, sim, sys->core(0, 0, Layer::kVertical),
+                               sys->core(0, 1, Layer::kVertical), true);
+  }
+
+  // One thread retires an instruction every 8 ns at 500 MHz (Eq. 2).
+  const double instr_ns = 8.0;
+
+  TextTable t("Measured one-way latencies (incl. software overhead)");
+  t.header({"path", "measured", "in instructions", "paper"});
+  t.row({"core-to-network injection", "6 ns (model constant)", "-",
+         "6 ns (3 cycles)"});
+  t.row({"core-local word", strprintf("%.0f ns", local_ns),
+         strprintf("%.1f", local_ns / instr_ns), "50 ns / ~6 instructions"});
+  t.row({"in-package word", strprintf("%.0f ns", in_pkg_ns),
+         strprintf("%.1f", in_pkg_ns / instr_ns), "~40 instructions"});
+  t.row({"package-to-package word", strprintf("%.0f ns", pkg_word_ns),
+         strprintf("%.1f", pkg_word_ns / instr_ns),
+         "360 ns / ~45 instructions"});
+  t.row({"package-to-package 8-bit token", strprintf("%.0f ns", pkg_token_ns),
+         "-", "270 ns"});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("BlueGene/Q core-to-network comparison point (§V.A): 80 ns vs "
+              "Swallow's 6 ns.\n\n");
+
+  // Shape checks: ordering must hold and package-to-package figures must be
+  // within a factor ~1.6 of the paper's measurements.
+  const bool ordered = local_ns < in_pkg_ns && in_pkg_ns < pkg_word_ns &&
+                       pkg_token_ns < pkg_word_ns;
+  const bool close = pkg_token_ns > 270.0 * 0.6 && pkg_token_ns < 270.0 * 1.6 &&
+                     pkg_word_ns > 360.0 * 0.6 && pkg_word_ns < 360.0 * 1.7;
+  std::printf("shape: ordering %s, package latencies within band %s\n",
+              ordered ? "OK" : "VIOLATED", close ? "OK" : "VIOLATED");
+  return ordered && close ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Simulator micro-benchmarks (google-benchmark): host-side performance of
+// the event kernel, the ISA interpreter, the assembler and the NoC — useful
+// for sizing how large a Swallow machine can be simulated interactively.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "bench/bench_util.h"
+#include "board/system.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+void BM_EventQueueScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.after(i * 10, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void BM_IsaInterpreterMips(benchmark::State& state) {
+  const Image img = assemble(bench::spin_program(4));
+  for (auto _ : state) {
+    Simulator sim;
+    EnergyLedger ledger;
+    Core::Config cfg;
+    Core core(sim, ledger, cfg);
+    core.load(img);
+    core.start();
+    sim.run_until(microseconds(100.0));
+    benchmark::DoNotOptimize(core.instructions_retired());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(core.instructions_retired()));
+  }
+}
+BENCHMARK(BM_IsaInterpreterMips);
+
+void BM_Assembler(benchmark::State& state) {
+  const std::string src = bench::stream_sender(1, 0, 16, 16);
+  for (auto _ : state) {
+    const Image img = assemble(src);
+    benchmark::DoNotOptimize(img.words.data());
+  }
+}
+BENCHMARK(BM_Assembler);
+
+void BM_SliceConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    auto sys = bench::one_slice(sim);
+    benchmark::DoNotOptimize(sys->core_count());
+  }
+}
+BENCHMARK(BM_SliceConstruction);
+
+void BM_NocStreamTokensPerSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    SystemConfig cfg;
+    SwallowSystem sys(sim, cfg);
+    Core& a = sys.core(0, 0, Layer::kVertical);
+    Core& b = sys.core(0, 1, Layer::kVertical);
+    a.load(assemble(bench::stream_sender(
+        b.node_id(), 0, 8, 32)));
+    b.load(assemble(bench::stream_receiver(8, 32)));
+    a.start();
+    b.start();
+    sim.run();
+    benchmark::DoNotOptimize(sys.network().total_tokens_forwarded());
+    state.SetItemsProcessed(
+        state.items_processed() +
+        static_cast<std::int64_t>(sys.network().total_tokens_forwarded()));
+  }
+}
+BENCHMARK(BM_NocStreamTokensPerSecond);
+
+}  // namespace
+}  // namespace swallow
+
+BENCHMARK_MAIN();

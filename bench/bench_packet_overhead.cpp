@@ -1,0 +1,81 @@
+// Reproduces the §V.B claim that packet overhead (3-byte route header plus
+// END token) reduces throughput to "approximately 87 % of the link speed,
+// dependent upon the packet size", and the link-grade ablation (Table I
+// operating rates vs §V.C architectural rates).
+#include <cstdio>
+#include <memory>
+
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "noc/network.h"
+
+namespace swallow {
+namespace {
+
+/// Payload throughput streaming `packets` packets of `words` words over a
+/// single on-chip link, as a fraction of the line rate.
+double efficiency(int words, LinkGrade grade) {
+  Simulator sim;
+  EnergyLedger ledger;
+  Network net(sim, ledger, grade);
+  auto east = std::make_shared<TableRouter>();
+  east->set_default(kDirEast);
+  auto west = std::make_shared<TableRouter>();
+  west->set_default(kDirWest);
+  Core::Config ca;
+  ca.node_id = 0;
+  Core a(sim, ledger, ca);
+  Core::Config cb;
+  cb.node_id = 1;
+  Core b(sim, ledger, cb);
+  Switch& sa = net.add_switch(0, east);
+  Switch& sb = net.add_switch(1, west);
+  sa.attach_core(a);
+  sb.attach_core(b);
+  net.connect(sa, kDirEast, sb, kDirWest, LinkClass::kOnChip);
+
+  const int packets = 2048 / words + 8;  // keep run lengths similar
+  a.load(assemble(bench::stream_sender(1, 0, packets, words)));
+  b.load(assemble(bench::stream_receiver(packets, words)));
+  a.start();
+  b.start();
+  sim.run();
+  const double payload_bits = static_cast<double>(packets) * words * 32.0;
+  const double line_rate =
+      link_rate(LinkClass::kOnChip, grade) * 1e6;  // bit/s
+  return payload_bits / to_seconds(sim.now()) / line_rate;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== §V.B: packet overhead vs packet size ==\n\n");
+
+  TextTable t("Payload throughput as a fraction of link speed (on-chip link)");
+  t.header({"payload (bytes)", "tokens incl. header+END", "ideal",
+            "measured (Table I rates)", "measured (max rates)"});
+  double at_28 = 0;
+  for (int words : {1, 2, 4, 7, 8, 16, 32, 64}) {
+    const int payload = words * 4;
+    const int tokens = payload + 4;
+    const double ideal = static_cast<double>(payload) / tokens;
+    const double slow = efficiency(words, LinkGrade::kSwallowDefault);
+    const double fast = efficiency(words, LinkGrade::kArchitecturalMax);
+    if (words == 7) at_28 = slow;
+    t.row({strprintf("%d", payload), strprintf("%d", tokens),
+           strprintf("%.1f %%", ideal * 100.0),
+           strprintf("%.1f %%", slow * 100.0),
+           strprintf("%.1f %%", fast * 100.0)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Paper: \"overhead of packet data reduces throughput to "
+              "approximately 87%% of the link speed, but is dependent upon "
+              "the packet size\".\n");
+  std::printf("Measured at 28-byte packets: %.1f %%\n", at_28 * 100.0);
+  const bool ok = at_28 > 0.82 && at_28 < 0.92;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Reproduces the §III.A headline system numbers and the energy
+// proportionality claim (§III):
+//   * 193 mW max per core; 71–193 mW dependent on workload,
+//   * 3.1 W of cores per slice; ~4.5 W per slice with conversion losses,
+//   * 134 W for the 480-core / 30-slice machine,
+//   * up to 240 GIPS aggregate throughput,
+//   * power proportional to load (linear in active cores and frequency).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+namespace swallow {
+namespace {
+
+struct SliceNumbers {
+  double cores_w;
+  double slice_w;
+  double node_mw;
+};
+
+SliceNumbers loaded_slice() {
+  Simulator sim;
+  auto sys = bench::one_slice(sim);
+  bench::load_all_spinning(*sys, 4);
+  sim.run_until(microseconds(20.0));
+  SliceNumbers n;
+  n.cores_w = sys->total_cores_power();
+  n.slice_w = sys->total_input_power();
+  n.node_mw = to_milliwatts(n.slice_w) / Slice::kCores;
+  return n;
+}
+
+/// Slice core power with a fraction of cores loaded (proportionality).
+double partial_load_w(int loaded_cores) {
+  Simulator sim;
+  auto sys = bench::one_slice(sim);
+  const Image img = assemble(bench::spin_program(4));
+  for (int i = 0; i < loaded_cores; ++i) {
+    sys->core_by_index(i).load(img);
+    sys->core_by_index(i).start();
+  }
+  sim.run_until(microseconds(20.0));
+  return sys->total_cores_power();
+}
+
+struct MachineNumbers {
+  double input_w;
+  double gips;
+};
+
+MachineNumbers full_machine() {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 5;
+  cfg.slices_y = 6;  // 30 slices, 480 cores
+  SwallowSystem sys(sim, cfg);
+  bench::load_all_spinning(sys, 4);
+  const TimePs warmup = microseconds(2.0);
+  sim.run_until(warmup);
+  std::uint64_t base = 0;
+  for (int i = 0; i < sys.core_count(); ++i) {
+    base += sys.core_by_index(i).instructions_retired();
+  }
+  const TimePs window = microseconds(8.0);
+  sim.run_until(warmup + window);
+  std::uint64_t total = 0;
+  for (int i = 0; i < sys.core_count(); ++i) {
+    total += sys.core_by_index(i).instructions_retired();
+  }
+  MachineNumbers m;
+  m.input_w = sys.total_input_power();
+  m.gips = static_cast<double>(total - base) / to_seconds(window) / 1e9;
+  return m;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== §III: energy efficiency and proportionality ==\n\n");
+
+  // ---- One fully loaded slice.
+  const SliceNumbers s = loaded_slice();
+  Comparison slice_cmp("Loaded slice (16 cores, 4 threads each, 500 MHz)");
+  slice_cmp.add("cores power (W)", 3.1, s.cores_w, "W");
+  slice_cmp.add("slice input power (W)", 4.5, s.slice_w, "W");
+  slice_cmp.add("per-node power (mW)", 260.0, s.node_mw, "mW");
+  std::printf("%s\n", slice_cmp.render().c_str());
+
+  // ---- Workload dependence: 71–193 mW per core.
+  {
+    Simulator sim;
+    auto sys = bench::one_slice(sim, 71.0);
+    bench::load_all_spinning(*sys, 4);
+    sim.run_until(microseconds(40.0));
+    const double low_mw =
+        to_milliwatts(sys->total_cores_power()) / Slice::kCores;
+    std::printf("Workload/frequency envelope per core: %.0f mW at 71 MHz "
+                "loaded .. %.0f mW at 500 MHz loaded (paper: 71-193 mW; "
+                "65 mW at 71 MHz from Eq. (1)).\n\n",
+                low_mw, to_milliwatts(s.cores_w) / Slice::kCores);
+  }
+
+  // ---- Proportionality in active cores.
+  TextTable prop("Core power vs number of loaded cores (one slice)");
+  prop.header({"loaded cores", "cores power (W)"});
+  std::vector<double> xs, ys;
+  for (int n : {0, 4, 8, 12, 16}) {
+    const double w = partial_load_w(n);
+    xs.push_back(n);
+    ys.push_back(w);
+    prop.row({strprintf("%d", n), strprintf("%.3f", w)});
+  }
+  std::printf("%s\n", prop.render().c_str());
+  // Linearity: endpoints vs midpoint.
+  const double mid_expected = 0.5 * (ys.front() + ys.back());
+  const double lin_dev = std::abs(ys[2] - mid_expected) / mid_expected;
+  std::printf("linearity deviation at half load: %.2f %%\n\n", lin_dev * 100);
+
+  // ---- The full 480-core machine.
+  std::printf("Building and loading the 480-core, 30-slice machine...\n");
+  const MachineNumbers m = full_machine();
+  Comparison machine_cmp("480-core machine, fully loaded");
+  machine_cmp.add("total input power (W)", 134.0, m.input_w, "W");
+  machine_cmp.add("aggregate throughput (GIPS)", 240.0, m.gips, "GIPS");
+  std::printf("%s\n", machine_cmp.render().c_str());
+
+  const bool ok = std::abs(s.cores_w - 3.1) < 0.2 &&
+                  std::abs(m.gips - 240.0) < 12.0 &&
+                  m.input_w > 110.0 && m.input_w < 150.0 && lin_dev < 0.05;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// Reproduces Table I: per-bit energies of Swallow links.
+//
+// For each link class we build a two-node network of that class, stream a
+// known payload through it, and recover energy-per-bit and maximum link
+// power from the energy ledger and the transfer time — the same quantities
+// the paper derives from its shunt measurements.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "analysis/report.h"
+#include "arch/assembler.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "energy/link_energy.h"
+#include "noc/network.h"
+
+namespace swallow {
+namespace {
+
+struct LinkResult {
+  double rate_mbps;
+  double max_power_mw;
+  double energy_pj_per_bit;
+};
+
+LinkResult measure_link(LinkClass cls) {
+  Simulator sim;
+  EnergyLedger ledger;
+  Network net(sim, ledger, LinkGrade::kSwallowDefault);
+  auto east = std::make_shared<TableRouter>();
+  east->set_default(kDirEast);
+  auto west = std::make_shared<TableRouter>();
+  west->set_default(kDirWest);
+  Core::Config ca;
+  ca.node_id = 0;
+  Core a(sim, ledger, ca);
+  Core::Config cb;
+  cb.node_id = 1;
+  Core b(sim, ledger, cb);
+  Switch& sa = net.add_switch(0, east);
+  Switch& sb = net.add_switch(1, west);
+  sa.attach_core(a);
+  sb.attach_core(b);
+  net.connect(sa, kDirEast, sb, kDirWest, cls);
+
+  const int packets = 16, words = 16;
+  a.load(assemble(bench::stream_sender(1, 0, packets, words)));
+  b.load(assemble(bench::stream_receiver(packets, words)));
+  a.start();
+  b.start();
+  // Mark the start of transmission, then drain.
+  sim.run();
+
+  const std::uint64_t tokens = sa.link_tokens_sent(cls);
+  const double bits = static_cast<double>(tokens) * kBitsPerToken;
+  const Joules link_energy = ledger.total(link_account(cls));
+  LinkResult r;
+  r.energy_pj_per_bit = to_picojoules(link_energy) / bits;
+  r.rate_mbps = link_rate(cls, LinkGrade::kSwallowDefault);
+  // Maximum link power: the driver burns rate x energy/bit while the wire
+  // is busy.
+  r.max_power_mw = r.rate_mbps * 1e6 * r.energy_pj_per_bit * 1e-12 * 1e3;
+  return r;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== Table I: per-bit energies of Swallow links ==\n\n");
+
+  struct Row {
+    LinkClass cls;
+    const char* paper_rate;
+    double paper_power_mw;
+    double paper_pj_bit;
+  };
+  const Row rows[] = {
+      {LinkClass::kOnChip, "250 Mbit/s", 1.4, 5.6},
+      {LinkClass::kBoardVertical, "62.5 Mbit/s", 13.3, 212.8},
+      {LinkClass::kBoardHorizontal, "62.5 Mbit/s", 12.6, 201.6},
+      {LinkClass::kOffBoardCable, "62.5 Mbit/s", 680.0, 10880.0},
+  };
+
+  TextTable table("Measured from simulation (16 packets x 16 words each)");
+  table.header({"Link type", "Data rate", "Max link power", "Energy per bit",
+                "paper pJ/bit"});
+  double max_dev = 0;
+  for (const Row& row : rows) {
+    const LinkResult r = measure_link(row.cls);
+    table.row({std::string(to_string(row.cls)), row.paper_rate,
+               strprintf("%.1f mW", r.max_power_mw),
+               strprintf("%.1f pJ/bit", r.energy_pj_per_bit),
+               strprintf("%.1f", row.paper_pj_bit)});
+    max_dev = std::max(max_dev, std::abs(r.energy_pj_per_bit - row.paper_pj_bit) /
+                                    row.paper_pj_bit);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const double off_on_ratio = 10880.0 / 201.6;
+  std::printf("Off-board vs on-board energy ratio: %.1fx (paper: ~50x)\n",
+              off_on_ratio);
+  std::printf("Worst deviation from Table I: %.2f %%\n", max_dev * 100.0);
+  return max_dev < 0.01 ? 0 : 1;
+}

@@ -1,0 +1,32 @@
+// Reproduces Table II: comparison of candidate Swallow processors.
+//
+// The qualifying column ("only the XS1-L meets all requirements", §IV.A)
+// is evaluated from the feature predicates, not hard-coded.
+#include <cstdio>
+
+#include "analysis/registry.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+int main() {
+  using namespace swallow;
+  std::printf("== Table II: comparison of candidate Swallow processors ==\n\n");
+
+  TextTable table;
+  table.header({"Processor", "Cores x width", "Superscalar", "Cache",
+                "Memory configuration", "Multi-core interconnect",
+                "Time deterministic", "Meets all requirements"});
+  int qualifying = 0;
+  for (const auto& p : table2_candidates()) {
+    const bool ok = meets_requirements(p);
+    qualifying += ok;
+    table.row({p.name, strprintf("%dx%d-bit", p.cores, p.data_width_bits),
+               p.superscalar ? "Yes" : "No", cache_cell(p), p.memory_config,
+               interconnect_cell(p), deterministic_cell(p), ok ? "YES" : "no"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Processors meeting every requirement: %d (paper: 1, the XMOS "
+              "XS1-L)\n",
+              qualifying);
+  return qualifying == 1 ? 0 : 1;
+}

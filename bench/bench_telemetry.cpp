@@ -1,0 +1,90 @@
+// Telemetry capacity analysis (§II).
+//
+// The measurement subsystem samples up to 2 MS/s (1 MS/s across all five
+// channels simultaneously), but the Ethernet bridge carries at most
+// 80 Mbit/s (§V.E).  With 7-byte sample records, full-rate simultaneous
+// sampling produces 5 M x 7 B = 280 Mbit/s — so streamed telemetry must be
+// decimated, while on-slice consumption (GETPWR) sees every sample.  This
+// bench measures the achieved streamed record rate across requested
+// sampling rates and reports where the export path saturates.
+#include <cstdio>
+#include <vector>
+
+#include "board/system.h"
+#include "board/telemetry.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace swallow {
+namespace {
+
+struct StreamResult {
+  double requested_sps;
+  double converted_sps;  // per channel, by the ADC
+  double streamed_rps;   // records/s actually delivered to the host
+};
+
+StreamResult run(double sample_rate_sps, TimePs streamer_period) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+  Slice& slice = sys.slice(0, 0);
+  slice.sampler().start(PowerSampler::Mode::kSimultaneous, sample_rate_sps);
+
+  std::uint64_t received = 0;
+  sys.bridge(0).set_host_receiver([&](std::vector<std::uint8_t> p) {
+    received += TelemetryStreamer::decode(p).size();
+  });
+  TelemetryStreamer streamer(sim, slice, sys.bridge(0), streamer_period);
+  streamer.start();
+  const TimePs window = milliseconds(5.0);
+  sim.run_until(window);
+
+  StreamResult r;
+  r.requested_sps = sample_rate_sps;
+  r.converted_sps =
+      static_cast<double>(slice.sampler().samples(0)) / to_seconds(window);
+  r.streamed_rps = static_cast<double>(received) / to_seconds(window);
+  return r;
+}
+
+}  // namespace
+}  // namespace swallow
+
+int main() {
+  using namespace swallow;
+  std::printf("== §II telemetry: on-slice sampling vs Ethernet export ==\n\n");
+
+  TextTable t("Simultaneous 5-channel sampling, one streamer batch / 100 us");
+  t.header({"requested S/s/ch", "converted S/s/ch", "streamed records/s",
+            "export share of conversions"});
+  std::vector<StreamResult> results;
+  for (double rate : {10e3, 50e3, 200e3, 1000e3}) {
+    const StreamResult r = run(rate, microseconds(100.0));
+    results.push_back(r);
+    t.row({strprintf("%.0fk", r.requested_sps / 1e3),
+           strprintf("%.0fk", r.converted_sps / 1e3),
+           strprintf("%.0fk", r.streamed_rps / 1e3),
+           strprintf("%.1f %%",
+                     100.0 * r.streamed_rps / (5.0 * r.converted_sps))});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf(
+      "The streamer batches the latest sample per channel per period, so the\n"
+      "export rate caps at one record/channel/period (10k records/s here)\n"
+      "while the ADC keeps converting at full §II rate for on-slice readers\n"
+      "(GETPWR).  Full-rate export would need 280 Mbit/s against the\n"
+      "bridge's 80 Mbit/s (§V.E) — decimated telemetry is a necessity, not\n"
+      "a simplification.\n");
+
+  // Shape: conversion tracks the request; export saturates near the
+  // streamer period.
+  const bool ok =
+      results.back().converted_sps > 0.95e6 &&
+      results.back().streamed_rps < 1.1 * 5.0 * 10'000 &&
+      results.front().streamed_rps > 0.8 * 5.0 * 10'000;
+  std::printf("\nshape: %s\n", ok ? "OK" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures.  Each bench prints the paper's rows/series next to
+// the values measured from the simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "board/system.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace swallow::bench {
+
+/// Assembly for a program that brings `threads` (1..8) hardware threads to
+/// a spinning compute loop (the paper's "heavy load" state).
+inline std::string spin_program(int threads) {
+  std::string src;
+  if (threads > 1) {
+    src += "    getr  r4, 3\n";
+    for (int i = 1; i < threads; ++i) {
+      src += "    getst r5, r4\n    tinitpc r5, spin\n";
+    }
+    src += "    msync r4\n";
+  }
+  src += "spin:\n    add   r0, r0, r1\n    bu    spin\n";
+  return src;
+}
+
+/// Sender streaming `packets` packets of `words_per_packet` words to
+/// (node, chanend 0), END-framed.
+inline std::string stream_sender(NodeId dest_node, int chanend, int packets,
+                                 int words_per_packet) {
+  return strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0x%x
+      ldch  r1, 0x%02x02
+      setd  r0, r1
+      ldc   r3, %d
+  ploop:
+      ldc   r2, %d
+  wloop:
+      out   r0, r2
+      subi  r2, r2, 1
+      bt    r2, wloop
+      outct r0, 1
+      subi  r3, r3, 1
+      bt    r3, ploop
+      texit
+  )",
+                   static_cast<unsigned>(dest_node),
+                   static_cast<unsigned>(chanend), packets, words_per_packet);
+}
+
+/// Matching receiver.
+inline std::string stream_receiver(int packets, int words_per_packet) {
+  return strprintf(R"(
+      getr  r0, 2
+      ldc   r3, %d
+  ploop:
+      ldc   r2, %d
+  wloop:
+      in    r1, r0
+      subi  r2, r2, 1
+      bt    r2, wloop
+      chkct r0, 1
+      subi  r3, r3, 1
+      bt    r3, ploop
+      texit
+  )",
+                   packets, words_per_packet);
+}
+
+/// Load the spinning program on every core of a system.
+inline void load_all_spinning(SwallowSystem& sys, int threads = 4) {
+  const Image img = assemble(spin_program(threads));
+  for (int i = 0; i < sys.core_count(); ++i) {
+    sys.core_by_index(i).load(img);
+    sys.core_by_index(i).start();
+  }
+}
+
+/// One-slice system at a given core frequency.
+inline std::unique_ptr<SwallowSystem> one_slice(Simulator& sim,
+                                                MegaHertz freq = 500.0) {
+  SystemConfig cfg;
+  cfg.core_freq = freq;
+  return std::make_unique<SwallowSystem>(sim, cfg);
+}
+
+}  // namespace swallow::bench

@@ -1,0 +1,6 @@
+# Hello from a Swallow core: print a number and exit.
+    ldc    r0, 42
+    printi r0
+    ldc    r1, 10
+    printc r1
+    texit

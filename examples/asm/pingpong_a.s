@@ -1,0 +1,12 @@
+# Ping side: send a word to node 1 chanend 0, await the echo.
+    getr  r0, 2
+    ldc   r1, 1
+    ldch  r1, 2
+    setd  r0, r1
+    ldc   r2, 7777
+    out   r0, r2
+    outct r0, 1
+    in    r3, r0
+    chkct r0, 1
+    printi r3
+    texit

@@ -1,0 +1,10 @@
+# Pong side: echo one word back to node 0 chanend 0.
+    getr  r0, 2
+    ldc   r1, 0
+    ldch  r1, 2
+    setd  r0, r1
+    in    r2, r0
+    chkct r0, 1
+    out   r0, r2
+    outct r0, 1
+    texit

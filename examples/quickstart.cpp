@@ -1,0 +1,75 @@
+// Quickstart: build one Swallow slice, run a two-core message-passing
+// program written in Swallow assembly, and read the energy ledger — the
+// smallest end-to-end tour of the simulator's public API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "arch/assembler.h"
+#include "common/strings.h"
+#include "board/system.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace swallow;
+
+  // A slice is 16 XS1-L cores on 8 chips in the unwoven lattice (Fig. 7).
+  Simulator sim;
+  SystemConfig cfg;  // defaults: 1 slice, 500 MHz, Table I link rates
+  SwallowSystem sys(sim, cfg);
+
+  // Pick two cores on opposite corners of the slice.
+  Core& producer = sys.core(0, 0, Layer::kVertical);
+  Core& consumer = sys.core(3, 1, Layer::kHorizontal);
+
+  // The producer allocates a channel end, points it at the consumer's
+  // chanend 0 and sends a word followed by an END control token.
+  const std::string producer_src = strprintf(R"(
+      getr  r0, 2          # allocate a channel end
+      ldc   r1, 0x%x       # destination node id
+      ldch  r1, 2          # ...chanend 0, resource type 2
+      setd  r0, r1
+      ldc   r2, 0x1234
+      ldch  r2, 0x5678     # r2 = 0x12345678
+      out   r0, r2         # four data tokens
+      outct r0, 1          # END: closes the wormhole route
+      texit
+  )", static_cast<unsigned>(consumer.node_id()));
+
+  const char* consumer_src = R"(
+      getr  r0, 2
+      in    r1, r0         # blocks until the word arrives
+      chkct r0, 1          # consume the END
+      printi r1            # simulator console
+      texit
+  )";
+
+  producer.load(assemble(producer_src));
+  consumer.load(assemble(consumer_src));
+  producer.start();
+  consumer.start();
+
+  sim.run_until(milliseconds(1.0));
+  sys.settle_energy();
+
+  std::printf("consumer console: %s\n", consumer.console().c_str());
+  std::printf("finished: producer=%d consumer=%d after %.2f us\n",
+              producer.finished(), consumer.finished(),
+              to_microseconds(sim.now()));
+
+  const EnergyLedger& ledger = sys.ledger();
+  std::printf("\nEnergy ledger after 1 ms:\n");
+  for (int a = 0; a < static_cast<int>(EnergyAccount::kCount); ++a) {
+    const auto account = static_cast<EnergyAccount>(a);
+    const Joules j = ledger.total(account);
+    if (j > 0) {
+      std::printf("  %-22s %10.2f uJ\n",
+                  std::string(to_string(account)).c_str(), j * 1e6);
+    }
+  }
+  std::printf("  %-22s %10.2f uJ\n", "grand total",
+              ledger.grand_total() * 1e6);
+  std::printf("\nslice input power right now: %.2f W (16 idle cores)\n",
+              sys.total_input_power());
+  return producer.finished() && consumer.finished() ? 0 : 1;
+}

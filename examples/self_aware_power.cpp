@@ -1,0 +1,98 @@
+// The paper's §II novelty: "it is possible to create a program that can
+// measure its own power consumption and adapt to the results."
+//
+// A core runs four busy threads at 500 MHz.  A control loop on the same
+// core reads its own supply rail through the slice's shunt/ADC
+// instrumentation (GETPWR) every 50 us and scales its clock frequency
+// (SETFREQ) to keep the rail under a power budget.
+//
+//   $ ./self_aware_power
+#include <cstdio>
+
+#include "arch/assembler.h"
+#include "common/strings.h"
+#include "board/system.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace swallow;
+
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  sys.start_sampling();  // the §II ADC daughter-board, 1 MS/s x 5 channels
+
+  // Rail 0 carries four cores; three sit idle (~113 mW each) while this
+  // one runs hot.  Budget: 480 mW on the rail -> the governor must settle
+  // near 46 + 0.3 f + 3*113 = 480  =>  f ~= 317 MHz.
+  const int budget_mw = 480;
+
+  Core& core = sys.core(0, 0, Layer::kVertical);
+  const std::string src = strprintf(R"(
+      # three spinning worker threads (heavy load)
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      msync r4
+
+      ldc   r11, 500         # current frequency (MHz)
+      ldc   r10, 40          # governor iterations
+  main:
+      gettime r0
+      ldc   r1, 5000         # 50 us in 10 ns reference ticks
+      add   r0, r0, r1
+      timewait r0
+      getpwr r2, 0           # own rail, milliwatts
+      printi r2
+      ldc   r3, 44
+      printc r3              # ','
+      printi r11
+      ldc   r3, 10
+      printc r3              # newline
+      ldc   r3, %d           # budget
+      lss   r5, r3, r2       # budget < reading -> over budget
+      bf    r5, under
+      ldc   r6, 150          # floor
+      lss   r7, r6, r11
+      bf    r7, next
+      subi  r11, r11, 25
+      setfreq r11
+      bu    next
+  under:
+      subi  r6, r3, 30       # hysteresis band
+      lss   r7, r2, r6
+      bf    r7, next
+      ldc   r7, 500
+      lss   r8, r11, r7
+      bf    r8, next
+      addi  r11, r11, 25
+      setfreq r11
+  next:
+      subi  r10, r10, 1
+      bt    r10, main
+      texit
+  spin:
+      add   r0, r0, r1
+      bu    spin
+  )", budget_mw);
+
+  core.load(assemble(src));
+  core.start();
+  sim.run_until(milliseconds(3.0));
+
+  std::printf("governor trace (rail mW, frequency MHz) printed by the "
+              "program itself:\n%s\n", core.console().c_str());
+  std::printf("final core frequency: %.0f MHz\n", core.frequency());
+  std::printf("rail 0 power now: %.0f mW (budget %d mW)\n",
+              to_milliwatts(sys.slice(0, 0).supplies().rail(0).power()),
+              budget_mw);
+
+  const bool settled = core.frequency() > 250 && core.frequency() < 400;
+  std::printf("governor %s within the expected band (275-350 MHz)\n",
+              settled ? "settled" : "did NOT settle");
+  return settled ? 0 : 1;
+}

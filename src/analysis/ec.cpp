@@ -1,0 +1,56 @@
+#include "analysis/ec.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace swallow {
+
+std::vector<EcEntry> ec_ladder(const EcParams& p) {
+  std::vector<EcEntry> out;
+  // A thread issues f/max(4,Nt) MIPS; each 32-bit instruction can move 32
+  // bits.  With >= 4 threads, E saturates at f Minstr/s x 32 bit.
+  const double threads = static_cast<double>(std::max(p.active_threads, 1));
+  const double ips_core =
+      p.core_freq * 1e6 * std::min(threads, 4.0) / 4.0;
+  const double e_core_gbps = ips_core * 32.0 / 1e9;
+
+  // Core-local: the switch sustains the full rate (E = C).
+  out.push_back({"core-local", e_core_gbps, e_core_gbps});
+
+  // Chip-local: four internal links.
+  const double c_chip =
+      static_cast<double>(p.internal_links) * p.internal_link_mbps / 1e3;
+  out.push_back({"chip-local (4 links)", e_core_gbps, c_chip});
+
+  // External, uncontended: the package's four external links together are
+  // a quarter of the chip-local bandwidth (§V.D), giving E/C = 64.
+  const double c_ext_package =
+      static_cast<double>(p.external_links_per_package) *
+      p.external_link_mbps / 1e3;
+  out.push_back({"external (package, 4 links)", e_core_gbps, c_ext_package});
+
+  // External, contended: four threads' full demand over one 62.5 Mbit/s
+  // link -> 256.
+  const double c_one_link = p.external_link_mbps / 1e3;
+  out.push_back({"external contended (4 threads, 1 link)", e_core_gbps,
+                 c_one_link});
+
+  // Slice bisection: the eight cores of one half streaming across the four
+  // vertical links of the bisection -> 512.
+  const double e_half_slice =
+      e_core_gbps * static_cast<double>(p.cores_per_slice) / 2.0;
+  const double c_bisect =
+      static_cast<double>(p.bisection_links) * p.external_link_mbps / 1e3;
+  out.push_back({"slice bisection (8 senders)", e_half_slice, c_bisect});
+  return out;
+}
+
+double measured_ec(std::uint64_t instructions, std::uint64_t payload_bytes) {
+  require(payload_bytes > 0, "measured_ec: no communication");
+  const double e_bits = static_cast<double>(instructions) * 32.0;
+  const double c_bits = static_cast<double>(payload_bytes) * 8.0;
+  return e_bits / c_bits;
+}
+
+}  // namespace swallow

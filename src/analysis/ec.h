@@ -1,0 +1,47 @@
+// Computation-to-communication (E/C) ratio analysis, §V.D.
+//
+// E is the rate at which compute resources can produce/consume data
+// (instructions/s x 32-bit operands), C the communication bandwidth
+// actually available.  The paper derives the ladder
+//   core-local 1, chip-local 16, external 64, contended external 256,
+//   slice bisection 512
+// from the architectural rates; ec_ladder() reproduces it analytically and
+// MeasuredEc recovers E/C from live simulation counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+struct EcEntry {
+  std::string scope;
+  double e_gbps;  // compute data rate
+  double c_gbps;  // communication bandwidth
+  double ratio() const { return e_gbps / c_gbps; }
+};
+
+struct EcParams {
+  MegaHertz core_freq = kMaxCoreFrequencyMhz;   // 500 MHz
+  int active_threads = 4;
+  MegabitsPerSecond internal_link_mbps = 250.0;  // per on-chip link (§V.D)
+  MegabitsPerSecond external_link_mbps = 62.5;   // worst case per §V.D
+  int internal_links = 4;
+  int external_links_per_package = 4;
+  int cores_per_slice = kCoresPerSlice;
+  int bisection_links = 4;  // vertical links crossing a slice's bisection
+};
+
+/// The paper's E/C ladder for the given parameters (defaults reproduce
+/// §V.D exactly: 1, 16, 64, 256, 512).
+std::vector<EcEntry> ec_ladder(const EcParams& p = {});
+
+/// E/C from measured quantities: instructions executed (x 32 bits of data
+/// operated upon) versus payload bits moved, over the same wall-clock span.
+double measured_ec(std::uint64_t instructions, std::uint64_t payload_bytes);
+
+}  // namespace swallow

@@ -1,0 +1,68 @@
+#include "analysis/netstat.h"
+
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace swallow {
+
+NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger) {
+  NetworkStats stats;
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto cls = static_cast<LinkClass>(c);
+    LinkClassStats& s = stats.per_class[c];
+    s.cls = cls;
+    s.energy = ledger.total(link_account(cls));
+  }
+  for (std::size_t i = 0; i < net.switch_count(); ++i) {
+    Switch& sw = net.switch_at(i);
+    stats.tokens_forwarded += sw.tokens_forwarded();
+    stats.packets_routed += sw.packets_routed();
+    stats.packets_sunk += sw.packets_sunk();
+    for (std::size_t c = 0; c < 4; ++c) {
+      const auto cls = static_cast<LinkClass>(c);
+      LinkClassStats& s = stats.per_class[c];
+      s.links += sw.link_count(cls);
+      s.tokens += sw.link_tokens_sent(cls);
+      s.busy_time += sw.link_busy_time(cls);
+    }
+  }
+  return stats;
+}
+
+NetworkStats stats_delta(const NetworkStats& later,
+                         const NetworkStats& earlier) {
+  NetworkStats d = later;
+  d.tokens_forwarded -= earlier.tokens_forwarded;
+  d.packets_routed -= earlier.packets_routed;
+  d.packets_sunk -= earlier.packets_sunk;
+  for (std::size_t c = 0; c < 4; ++c) {
+    d.per_class[c].tokens -= earlier.per_class[c].tokens;
+    d.per_class[c].busy_time -= earlier.per_class[c].busy_time;
+    d.per_class[c].energy -= earlier.per_class[c].energy;
+    // Link counts are structural; keep the later value.
+  }
+  return d;
+}
+
+std::string render_network_stats(const NetworkStats& stats, TimePs window) {
+  TextTable t("Network statistics");
+  t.header({"link class", "links", "tokens", "Mbit", "utilisation",
+            "energy (uJ)"});
+  for (const LinkClassStats& s : stats.per_class) {
+    t.row({std::string(to_string(s.cls)), strprintf("%d", s.links),
+           strprintf("%llu", static_cast<unsigned long long>(s.tokens)),
+           strprintf("%.2f", s.payload_mbit()),
+           strprintf("%.1f %%", s.utilisation(window) * 100.0),
+           strprintf("%.2f", s.energy * 1e6)});
+  }
+  t.rule();
+  t.row({"forwarded tokens", strprintf("%llu", static_cast<unsigned long long>(
+                                                   stats.tokens_forwarded))});
+  t.row({"packets routed", strprintf("%llu", static_cast<unsigned long long>(
+                                                 stats.packets_routed))});
+  t.row({"packets sunk", strprintf("%llu", static_cast<unsigned long long>(
+                                               stats.packets_sunk))});
+  return t.render();
+}
+
+}  // namespace swallow

@@ -1,0 +1,54 @@
+// Network statistics: per-link-class traffic, utilisation and energy over
+// a measurement window, aggregated across a whole Network.  Used by the
+// E/C benches and available to applications for §V.D-style analysis.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "energy/ledger.h"
+#include "energy/link_energy.h"
+#include "noc/network.h"
+
+namespace swallow {
+
+struct LinkClassStats {
+  LinkClass cls = LinkClass::kOnChip;
+  int links = 0;                   // connected transmitters of this class
+  std::uint64_t tokens = 0;        // tokens sent
+  TimePs busy_time = 0;            // cumulative wire-busy time
+  Joules energy = 0;               // from the ledger account
+
+  double payload_mbit() const {
+    return static_cast<double>(tokens) * kBitsPerToken / 1e6;
+  }
+  /// Mean utilisation of this class's links over `window`.
+  double utilisation(TimePs window) const {
+    if (links == 0 || window == 0) return 0.0;
+    return static_cast<double>(busy_time) /
+           (static_cast<double>(window) * links);
+  }
+};
+
+struct NetworkStats {
+  std::array<LinkClassStats, 4> per_class{};
+  std::uint64_t tokens_forwarded = 0;
+  std::uint64_t packets_routed = 0;
+  std::uint64_t packets_sunk = 0;
+
+  const LinkClassStats& of(LinkClass cls) const {
+    return per_class[static_cast<std::size_t>(cls)];
+  }
+};
+
+/// Snapshot the network's counters (cumulative since construction).
+NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger);
+
+/// Difference of two snapshots (for windowed measurements).
+NetworkStats stats_delta(const NetworkStats& later, const NetworkStats& earlier);
+
+/// Render a utilisation/traffic table for a window of `window` picoseconds.
+std::string render_network_stats(const NetworkStats& stats, TimePs window);
+
+}  // namespace swallow

@@ -1,0 +1,80 @@
+#include "analysis/registry.h"
+
+namespace swallow {
+
+std::vector<CandidateProcessor> table2_candidates() {
+  using C = CandidateProcessor::Cache;
+  using I = CandidateProcessor::Interconnect;
+  return {
+      {"ARM Cortex M", 1, 32, false, C::kOptional, "<varies>", I::kNone, true,
+       false},  // deterministic only without the optional cache
+      {"ARM Cortex A, single core", 1, 32, true, C::kYes, "<varies>", I::kNone,
+       false, false},
+      {"ARM Cortex A, multi-core", 4, 32, true, C::kYes, "<varies>",
+       I::kCoherentMem, false, false},
+      {"Adapteva Epiphany", 64, 32, true, C::kNone, "Local + global SRAM",
+       I::kNocPlusExternal, false, false},
+      {"XMOS XS1-L", 1, 32, false, C::kNone, "Unified, single cycle SRAM",
+       I::kNocPlusExternal, true, true},
+      {"MSP430", 1, 16, false, C::kNone, "I-Flash + D-SRAM", I::kNone, true,
+       true},
+      {"AVR", 1, 8, false, C::kNone, "I-Flash + D-SRAM", I::kNone, false,
+       false},
+      {"Quark", 1, 32, false, C::kYes, "Unified DRAM", I::kEthernet, false,
+       false},
+  };
+}
+
+bool meets_requirements(const CandidateProcessor& p) {
+  // §IV.A: time-deterministic instruction execution including the memory
+  // hierarchy (rules out caches), plus an interconnect that scales into
+  // the hundreds of cores (a NoC with external expansion).
+  const bool deterministic = p.time_deterministic_always;
+  const bool no_cache = p.cache == CandidateProcessor::Cache::kNone;
+  const bool scalable =
+      p.interconnect == CandidateProcessor::Interconnect::kNocPlusExternal;
+  return deterministic && no_cache && scalable;
+}
+
+std::string cache_cell(const CandidateProcessor& p) {
+  switch (p.cache) {
+    case CandidateProcessor::Cache::kNone: return "No";
+    case CandidateProcessor::Cache::kOptional: return "Optional";
+    case CandidateProcessor::Cache::kYes: return "Yes";
+  }
+  return "?";
+}
+
+std::string interconnect_cell(const CandidateProcessor& p) {
+  switch (p.interconnect) {
+    case CandidateProcessor::Interconnect::kNone: return "No";
+    case CandidateProcessor::Interconnect::kCoherentMem: return "Coherent mem.";
+    case CandidateProcessor::Interconnect::kNocPlusExternal:
+      return "NoC + external";
+    case CandidateProcessor::Interconnect::kEthernet: return "Ethernet";
+  }
+  return "?";
+}
+
+std::string deterministic_cell(const CandidateProcessor& p) {
+  if (p.time_deterministic_always) return "Yes";
+  if (p.time_deterministic_base) return "W/o cache";
+  return "No";
+}
+
+std::vector<ManyCoreSystem> table3_systems() {
+  return {
+      {"Swallow", "XS1", 2, "16-480", 65, 193.0, "193", 500.0, "300"},
+      {"SpiNNaker", "ARM9", 17, "1,036,800", 130, 87.0, "87", 200.0, "435"},
+      {"Centip3De", "Cortex-M3", 64, "64", 130, 1851.0, "203-1851", 80.0,
+       "2540-2300"},
+      {"Tile64", "Tile", 64, "64-480", 130, 300.0, "300", 1000.0, "300"},
+      {"Epiphany-IV", "Epiphany", 64, "64", 28, 31.0, "31", 800.0, "38.8"},
+  };
+}
+
+double uw_per_mhz(const ManyCoreSystem& s) {
+  return s.power_per_core_mw * 1000.0 / s.frequency_mhz;
+}
+
+}  // namespace swallow

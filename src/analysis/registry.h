@@ -1,0 +1,65 @@
+// Related-work registries backing Table II (candidate processor
+// comparison) and Table III (many-core system comparison) of the paper.
+//
+// Table II is a requirements evaluation: the rows are candidate processors
+// with qualitative features, and the claim "only the XS1-L meets all
+// requirements" is *computed* from the feature predicates rather than
+// hard-coded.  Table III carries the published scale/technology/power
+// figures with µW/MHz derived from power and frequency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swallow {
+
+// ----------------------------------------------------------- Table II
+
+struct CandidateProcessor {
+  std::string name;
+  int cores;
+  int data_width_bits;
+  bool superscalar;
+  enum class Cache { kNone, kOptional, kYes } cache;
+  std::string memory_config;
+  enum class Interconnect { kNone, kCoherentMem, kNocPlusExternal, kEthernet }
+      interconnect;
+  bool time_deterministic_base;   // deterministic in its base configuration
+  bool time_deterministic_always; // deterministic in every configuration
+};
+
+/// The eight candidates of Table II, with the paper's entries.
+std::vector<CandidateProcessor> table2_candidates();
+
+/// The paper's platform requirements (§IV.A): time-deterministic execution
+/// (scheduling + memory, so no cache) and a scalable multi-core
+/// interconnect.
+bool meets_requirements(const CandidateProcessor& p);
+
+/// Human-readable cell values matching the paper's table.
+std::string cache_cell(const CandidateProcessor& p);
+std::string interconnect_cell(const CandidateProcessor& p);
+std::string deterministic_cell(const CandidateProcessor& p);
+
+// ----------------------------------------------------------- Table III
+
+struct ManyCoreSystem {
+  std::string name;
+  std::string isa;
+  int cores_per_chip;
+  std::string total_cores;  // ranges in the paper ("16-480")
+  int tech_node_nm;
+  double power_per_core_mw;       // representative (max of a range)
+  std::string power_per_core_txt; // as printed ("203-1851")
+  double frequency_mhz;
+  std::string uw_per_mhz_txt;     // as printed (ranges for Centip3De)
+};
+
+/// The five systems of Table III.
+std::vector<ManyCoreSystem> table3_systems();
+
+/// µW/MHz = power per core / frequency — the figure of merit the paper
+/// uses to place Swallow among its peers.
+double uw_per_mhz(const ManyCoreSystem& s);
+
+}  // namespace swallow

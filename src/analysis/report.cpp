@@ -1,0 +1,53 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace swallow {
+
+std::string fmt_double(double v, int decimals) {
+  return strprintf("%.*f", decimals, v);
+}
+
+std::string fmt_mw(double watts) {
+  return strprintf("%.1f mW", watts * 1e3);
+}
+
+std::string fmt_percent(double fraction) {
+  return strprintf("%.1f %%", fraction * 100.0);
+}
+
+std::string render_series(const std::string& title, const std::string& x_name,
+                          const std::string& y_name,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  TextTable t(title);
+  t.header({x_name, y_name});
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    t.row({fmt_double(xs[i]), fmt_double(ys[i], 2)});
+  }
+  return t.render();
+}
+
+void Comparison::add(const std::string& quantity, double paper,
+                     double measured, const std::string& unit) {
+  const double dev = paper != 0.0 ? std::abs(measured - paper) / std::abs(paper)
+                                  : std::abs(measured);
+  worst_ = std::max(worst_, dev);
+  auto with_unit = [&](double v) {
+    std::string s = fmt_double(v, 2);
+    if (!unit.empty()) s += " " + unit;
+    return s;
+  };
+  table_.row({quantity, with_unit(paper), with_unit(measured),
+              fmt_percent(dev)});
+}
+
+void Comparison::add_text(const std::string& quantity, const std::string& paper,
+                          const std::string& measured) {
+  table_.row({quantity, paper, measured, "-"});
+}
+
+}  // namespace swallow

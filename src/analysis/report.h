@@ -1,0 +1,47 @@
+// Reporting helpers shared by the benchmark harnesses: consistent series
+// printing, paper-vs-measured comparison rows, and number formatting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+
+namespace swallow {
+
+/// Format helpers used by the bench tables.
+std::string fmt_double(double v, int decimals = 1);
+std::string fmt_mw(double watts);
+std::string fmt_percent(double fraction);
+
+/// Print an x/y series as a two-column table (figure reproduction output).
+std::string render_series(const std::string& title, const std::string& x_name,
+                          const std::string& y_name,
+                          const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// A paper-vs-measured comparison row collector, rendered at the end of
+/// each bench and mirrored in EXPERIMENTS.md.
+class Comparison {
+ public:
+  explicit Comparison(std::string title) : table_(std::move(title)) {
+    table_.header({"quantity", "paper", "measured", "deviation"});
+  }
+
+  void add(const std::string& quantity, double paper, double measured,
+           const std::string& unit = "");
+
+  void add_text(const std::string& quantity, const std::string& paper,
+                const std::string& measured);
+
+  std::string render() const { return table_.render(); }
+
+  /// Largest relative deviation over all numeric rows.
+  double worst_deviation() const { return worst_; }
+
+ private:
+  TextTable table_;
+  double worst_ = 0.0;
+};
+
+}  // namespace swallow

@@ -1,0 +1,51 @@
+#include "api/governor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace swallow {
+
+DfsGovernor::DfsGovernor(Simulator& sim, Core& core, Config cfg)
+    : sim_(sim), core_(&core), cfg_(cfg) {
+  require(cfg_.period > 0, "DfsGovernor: period must be positive");
+  require(cfg_.utilisation_lo < cfg_.utilisation_hi,
+          "DfsGovernor: utilisation band inverted");
+}
+
+void DfsGovernor::start() {
+  require(!running_, "DfsGovernor: already running");
+  running_ = true;
+  last_retired_ = core_->instructions_retired();
+  sim_.after(cfg_.period, [this] { tick(); });
+}
+
+void DfsGovernor::tick() {
+  if (!running_) return;
+  const std::uint64_t retired = core_->instructions_retired();
+  const double cycles =
+      core_->frequency() * 1e6 * to_seconds(cfg_.period);
+  // Normalise by what the live thread count could retire (Eq. 2), so a
+  // single compute-bound thread reads as fully utilised and only genuine
+  // blocking (communication waits) reads as headroom.
+  const double capacity_frac =
+      std::min(4, std::max(1, core_->live_threads())) / 4.0;
+  const double utilisation =
+      static_cast<double>(retired - last_retired_) / (cycles * capacity_frac);
+  last_retired_ = retired;
+
+  MegaHertz f = core_->frequency();
+  if (utilisation > cfg_.utilisation_hi && f < cfg_.f_max) {
+    f = std::min(cfg_.f_max, f + cfg_.step);
+    core_->set_frequency(f);
+    ++adjustments_;
+  } else if (utilisation < cfg_.utilisation_lo && f > cfg_.f_min) {
+    f = std::max(cfg_.f_min, f - cfg_.step);
+    core_->set_frequency(f);
+    ++adjustments_;
+  }
+  trace_.push_back(Decision{sim_.now(), utilisation, f});
+  sim_.after(cfg_.period, [this] { tick(); });
+}
+
+}  // namespace swallow

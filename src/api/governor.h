@@ -1,0 +1,61 @@
+// Run-time frequency governor (§III.B: "The XS1-L used in Swallow supports
+// dynamic frequency scaling, based on run-time load factors").
+//
+// The governor samples a core's issue-slot utilisation (instructions
+// retired per core cycle) every `period` and steps the clock frequency so
+// utilisation tracks a target band: a saturated core is raised towards
+// 500 MHz, an underused core is lowered towards 71 MHz.  With the core's
+// auto_dvfs option the supply voltage follows, yielding the full Fig. 4
+// saving.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/core.h"
+#include "energy/params.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+class DfsGovernor {
+ public:
+  struct Config {
+    TimePs period = microseconds(20.0);
+    double utilisation_hi = 0.90;  // above: raise frequency
+    double utilisation_lo = 0.55;  // below: lower frequency
+    MegaHertz f_min = kMinCoreFrequencyMhz;
+    MegaHertz f_max = kMaxCoreFrequencyMhz;
+    MegaHertz step = 71.0;  // multiplicative-ish step in MHz
+  };
+
+  DfsGovernor(Simulator& sim, Core& core, Config cfg);
+
+  /// Begin governing (schedules the periodic controller).
+  void start();
+  void stop() { running_ = false; }
+
+  MegaHertz current_frequency() const { return core_->frequency(); }
+  std::uint64_t adjustments() const { return adjustments_; }
+
+  /// (time, frequency) decision trace for reporting.
+  struct Decision {
+    TimePs time;
+    double utilisation;
+    MegaHertz frequency;
+  };
+  const std::vector<Decision>& trace() const { return trace_; }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  Core* core_;
+  Config cfg_;
+  bool running_ = false;
+  std::uint64_t last_retired_ = 0;
+  std::uint64_t adjustments_ = 0;
+  std::vector<Decision> trace_;
+};
+
+}  // namespace swallow

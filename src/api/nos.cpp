@@ -1,0 +1,113 @@
+#include "api/nos.h"
+
+#include "arch/assembler.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+int NosNode::add_service(const std::string& name, const std::string& body) {
+  require(!started_, "NosNode: cannot add services after start");
+  services_.push_back(Service{name, body});
+  return static_cast<int>(services_.size()) - 1;
+}
+
+void NosNode::start() {
+  require(!started_, "NosNode: already started");
+  require(!services_.empty(), "NosNode: no services registered");
+  started_ = true;
+
+  std::string src = R"(
+  kernel:
+      getr  r4, 2          # chanend 0: the request port
+  kloop:
+      in    r5, r4         # reply chanend id (0 = fire-and-forget)
+      in    r6, r4         # service index
+      in    r0, r4         # argument
+      chkct r4, 1
+      not   r7, r6
+      bf    r7, kexit      # ~service == 0  <=>  shutdown
+      # bounds check the service index
+      ldc   r7, svccount
+      ldw   r7, r7, 0
+      lsu   r7, r6, r7
+      bf    r7, kloop      # unknown service: drop the request
+      # dispatch through the service table
+      ldc   r8, svctab
+      shli  r9, r6, 2
+      add   r8, r8, r9
+      ldw   r9, r8, 0      # handler byte address
+      shri  r9, r9, 2      # -> word index
+      ldc   lr, kret
+      shri  lr, lr, 2
+      bau   r9
+  kret:
+      bf    r5, kloop      # no reply requested
+      setd  r4, r5
+      out   r4, r0
+      outct r4, 1
+      bu    kloop
+  kexit:
+      texit
+)";
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    src += strprintf("svc_%zu:   # %s\n", i, services_[i].name.c_str());
+    src += services_[i].body;
+    if (src.back() != '\n') src += '\n';
+  }
+  src += "svctab:\n";
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    src += strprintf("    .word svc_%zu\n", i);
+  }
+  src += strprintf("svccount:\n    .word %zu\n", services_.size());
+
+  source_ = src;
+  core_->load(assemble(src));
+  core_->start();
+}
+
+std::vector<std::uint8_t> NosNode::encode_request(ResourceId reply_to,
+                                                  std::uint32_t service,
+                                                  std::uint32_t argument) {
+  std::vector<std::uint8_t> out;
+  for (std::uint32_t w : {reply_to, service, argument}) {
+    out.push_back(static_cast<std::uint8_t>(w));
+    out.push_back(static_cast<std::uint8_t>(w >> 8));
+    out.push_back(static_cast<std::uint8_t>(w >> 16));
+    out.push_back(static_cast<std::uint8_t>(w >> 24));
+  }
+  return out;
+}
+
+std::string NosNode::client_source(ResourceId server_request_chanend,
+                                   NodeId client_node, std::uint32_t service,
+                                   std::uint32_t argument) {
+  const ResourceId own =
+      make_resource_id(client_node, 0, ResourceType::kChanend);
+  return strprintf(R"(
+      getr  r0, 2          # chanend 0: our reply port
+      ldc   r1, 0x%x
+      ldch  r1, 0x%04x     # the server's request chanend
+      setd  r0, r1
+      ldc   r2, 0x%x
+      ldch  r2, 0x%04x     # our own chanend id (reply-to)
+      out   r0, r2
+      ldc   r2, %u
+      out   r0, r2         # service index
+      ldc   r2, 0x%x
+      ldch  r2, 0x%x       # argument
+      out   r0, r2
+      outct r0, 1
+      in    r3, r0         # result
+      chkct r0, 1
+      ldc   r4, result
+      stw   r3, r4, 0
+      texit
+  result: .word 0
+  )",
+                   server_request_chanend >> 16,
+                   server_request_chanend & 0xFFFF, own >> 16, own & 0xFFFF,
+                   service, argument >> 16, argument & 0xFFFF);
+}
+
+}  // namespace swallow

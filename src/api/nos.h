@@ -1,0 +1,73 @@
+// nOS-lite: a nano-sized distributed service runtime, modelled on the
+// companion system the paper cites ([3]: "nOS: a nano-sized distributed
+// operating system for resource optimisation on many-core systems").
+//
+// Each participating core runs a generated *service kernel* (in Swallow
+// assembly) that listens on its chanend 0 for request packets
+//   [reply chanend id][service index][argument]   (three words, END-framed)
+// dispatches to a registered handler, and sends the result word back to
+// the reply chanend — which may belong to another core or to an Ethernet
+// bridge, so the same kernel serves both core-to-core and host RPC.
+// Service index 0xFFFFFFFF shuts the kernel down.
+//
+// Handler contract: the argument arrives in r0 and the result is returned
+// in r0; handlers may clobber r1-r3 and r6-r11 but must preserve r4, r5
+// and sp, and must end with `ret`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/resource.h"
+
+namespace swallow {
+
+class NosNode {
+ public:
+  static constexpr std::uint32_t kShutdownService = 0xFFFFFFFF;
+
+  explicit NosNode(Core& core) : core_(&core) {}
+
+  /// Register a service; returns its index.  `body` is assembly ending in
+  /// `ret` (see the handler contract above).
+  int add_service(const std::string& name, const std::string& body);
+
+  /// Assemble the kernel + services, load and start the core.
+  void start();
+
+  /// The chanend requests are sent to.
+  ResourceId request_chanend() const {
+    return make_resource_id(core_->node_id(), 0, ResourceType::kChanend);
+  }
+
+  Core& core() { return *core_; }
+  int service_count() const { return static_cast<int>(services_.size()); }
+  const std::string& kernel_source() const { return source_; }
+
+  /// Wire form of one request packet.
+  static std::vector<std::uint8_t> encode_request(ResourceId reply_to,
+                                                  std::uint32_t service,
+                                                  std::uint32_t argument);
+
+  /// Assembly for a core-side client that calls `service` on `server`
+  /// with `argument`, stores the result word at label `result`, and
+  /// exits.  (Client cores allocate their chanend 0 for the reply.)
+  static std::string client_source(ResourceId server_request_chanend,
+                                   NodeId client_node, std::uint32_t service,
+                                   std::uint32_t argument);
+
+ private:
+  struct Service {
+    std::string name;
+    std::string body;
+  };
+
+  Core* core_;
+  std::vector<Service> services_;
+  std::string source_;
+  bool started_ = false;
+};
+
+}  // namespace swallow

@@ -1,0 +1,234 @@
+#include "api/patterns.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+Placement linear_placement(const SystemConfig& cfg, int index) {
+  require(index >= 0 && index < cfg.core_count(),
+          "linear_placement: index out of range");
+  const int chip = index / 2;
+  Placement p;
+  p.chip_x = chip % cfg.chip_cols();
+  p.chip_y = chip / cfg.chip_cols();
+  p.layer = index % 2 == 0 ? Layer::kVertical : Layer::kHorizontal;
+  return p;
+}
+
+std::vector<int> build_pipeline(AppBuilder& app, const PipelineConfig& cfg,
+                                const std::vector<Placement>& places) {
+  require(cfg.stages >= 2, "pipeline needs at least two stages");
+  require(static_cast<int>(places.size()) >= cfg.stages,
+          "pipeline: not enough placements");
+  std::vector<int> tasks;
+  for (int s = 0; s < cfg.stages; ++s) {
+    TaskSpec spec;
+    spec.iterations = cfg.items;
+    if (s == 0) {
+      spec.steps = {TaskStep::compute(cfg.work_per_item),
+                    TaskStep::send(-1, cfg.bytes_per_item)};
+    } else if (s == cfg.stages - 1) {
+      spec.steps = {TaskStep::recv(-1, cfg.bytes_per_item),
+                    TaskStep::compute(cfg.work_per_item)};
+    } else {
+      spec.steps = {TaskStep::recv(-1, cfg.bytes_per_item),
+                    TaskStep::compute(cfg.work_per_item),
+                    TaskStep::send(-1, cfg.bytes_per_item)};
+    }
+    tasks.push_back(app.add_task(spec, places[static_cast<std::size_t>(s)].chip_x,
+                                 places[static_cast<std::size_t>(s)].chip_y,
+                                 places[static_cast<std::size_t>(s)].layer));
+  }
+  // Wire stage i -> i+1 and patch the placeholder channel ids.
+  // Channels must be connected before start(); AppBuilder resolves steps by
+  // channel id, so rebuild the specs with real ids via a second pass is not
+  // possible — instead we rely on connect() returning ids in creation
+  // order and fix the steps in place.
+  for (int s = 0; s + 1 < cfg.stages; ++s) {
+    const int ch = app.connect(tasks[static_cast<std::size_t>(s)],
+                               tasks[static_cast<std::size_t>(s + 1)]);
+    app.patch_channel(tasks[static_cast<std::size_t>(s)], TaskStep::Op::kSend,
+                      ch);
+    app.patch_channel(tasks[static_cast<std::size_t>(s + 1)],
+                      TaskStep::Op::kRecv, ch);
+  }
+  return tasks;
+}
+
+std::vector<int> build_farm(AppBuilder& app, const FarmConfig& cfg,
+                            const std::vector<Placement>& places) {
+  require(cfg.workers >= 1, "farm needs at least one worker");
+  require(static_cast<int>(places.size()) >= cfg.workers + 1,
+          "farm: not enough placements");
+
+  // Master: per round, send one item to each worker then gather replies.
+  TaskSpec master_spec;
+  master_spec.iterations = cfg.rounds;
+  std::vector<int> tasks;
+  tasks.push_back(app.add_task(master_spec, places[0].chip_x, places[0].chip_y,
+                               places[0].layer));
+
+  for (int w = 0; w < cfg.workers; ++w) {
+    TaskSpec wspec;
+    wspec.iterations = cfg.rounds;
+    wspec.steps = {TaskStep::recv(-1, cfg.bytes_per_item),
+                   TaskStep::compute(cfg.work_per_item),
+                   TaskStep::send(-1, cfg.bytes_per_item)};
+    const Placement& p = places[static_cast<std::size_t>(w + 1)];
+    tasks.push_back(app.add_task(wspec, p.chip_x, p.chip_y, p.layer));
+  }
+
+  std::vector<TaskStep> master_steps;
+  for (int w = 0; w < cfg.workers; ++w) {
+    const int request = app.connect(tasks[0], tasks[static_cast<std::size_t>(w + 1)]);
+    app.patch_channel(tasks[static_cast<std::size_t>(w + 1)],
+                      TaskStep::Op::kRecv, request);
+    master_steps.push_back(TaskStep::send(request, cfg.bytes_per_item));
+  }
+  for (int w = 0; w < cfg.workers; ++w) {
+    const int reply = app.connect(tasks[static_cast<std::size_t>(w + 1)], tasks[0]);
+    app.patch_channel(tasks[static_cast<std::size_t>(w + 1)],
+                      TaskStep::Op::kSend, reply);
+    master_steps.push_back(TaskStep::recv(reply, cfg.bytes_per_item));
+  }
+  app.set_steps(tasks[0], master_steps);
+  return tasks;
+}
+
+std::vector<int> build_ring(AppBuilder& app, const RingConfig& cfg,
+                            const std::vector<Placement>& places) {
+  require(cfg.tasks >= 2, "ring needs at least two tasks");
+  require(static_cast<int>(places.size()) >= cfg.tasks,
+          "ring: not enough placements");
+  std::vector<int> tasks;
+  for (int i = 0; i < cfg.tasks; ++i) {
+    TaskSpec spec;
+    spec.iterations = cfg.rounds;
+    const Placement& p = places[static_cast<std::size_t>(i)];
+    tasks.push_back(app.add_task(spec, p.chip_x, p.chip_y, p.layer));
+  }
+  std::vector<std::vector<TaskStep>> steps(
+      static_cast<std::size_t>(cfg.tasks));
+  for (int i = 0; i < cfg.tasks; ++i) {
+    const int next = (i + 1) % cfg.tasks;
+    const int ch = app.connect(tasks[static_cast<std::size_t>(i)],
+                               tasks[static_cast<std::size_t>(next)]);
+    steps[static_cast<std::size_t>(i)].push_back(
+        TaskStep::send(ch, cfg.bytes_per_round));
+    steps[static_cast<std::size_t>(next)].push_back(
+        TaskStep::recv(ch, cfg.bytes_per_round));
+  }
+  for (int i = 0; i < cfg.tasks; ++i) {
+    steps[static_cast<std::size_t>(i)].push_back(
+        TaskStep::compute(cfg.work_per_round));
+    app.set_steps(tasks[static_cast<std::size_t>(i)],
+                  steps[static_cast<std::size_t>(i)]);
+  }
+  return tasks;
+}
+
+std::vector<int> build_tree_reduce(AppBuilder& app,
+                                   const TreeReduceConfig& cfg,
+                                   const std::vector<Placement>& places) {
+  require(cfg.leaves >= 2, "tree reduce needs at least two leaves");
+  require(cfg.fanout >= 2, "tree reduce needs fanout >= 2");
+  require(cfg.bytes_per_value <= 4,
+          "tree reduce: values above one word can deadlock under sibling "
+          "link contention (see TreeReduceConfig)");
+
+  // Build level sizes bottom-up.
+  std::vector<int> level_sizes{cfg.leaves};
+  while (level_sizes.back() > 1) {
+    level_sizes.push_back(
+        (level_sizes.back() + cfg.fanout - 1) / cfg.fanout);
+  }
+  int total = 0;
+  for (int s : level_sizes) total += s;
+  require(static_cast<int>(places.size()) >= total,
+          "tree reduce: not enough placements");
+
+  // Create all tasks level by level (leaves first).
+  std::vector<std::vector<int>> levels;
+  std::vector<int> all;
+  int place_idx = 0;
+  for (int s : level_sizes) {
+    std::vector<int> level;
+    for (int i = 0; i < s; ++i) {
+      TaskSpec spec;
+      const Placement& p = places[static_cast<std::size_t>(place_idx++)];
+      const int t = app.add_task(spec, p.chip_x, p.chip_y, p.layer);
+      level.push_back(t);
+      all.push_back(t);
+    }
+    levels.push_back(std::move(level));
+  }
+
+  // Leaves: compute then send up.
+  std::vector<std::vector<TaskStep>> steps(static_cast<std::size_t>(total));
+  auto pos_of = [&](int task) {
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (all[i] == task) return i;
+    }
+    return std::size_t{0};
+  };
+  for (int leaf : levels[0]) {
+    steps[pos_of(leaf)].push_back(TaskStep::compute(cfg.work_per_leaf));
+  }
+  // Wire each level into its parents: receives before the parent's own
+  // upward send (the deadlock-free discipline).
+  for (std::size_t lvl = 0; lvl + 1 < levels.size(); ++lvl) {
+    for (std::size_t i = 0; i < levels[lvl].size(); ++i) {
+      const int child = levels[lvl][i];
+      const int parent =
+          levels[lvl + 1][i / static_cast<std::size_t>(cfg.fanout)];
+      const int ch = app.connect(child, parent);
+      steps[pos_of(child)].push_back(
+          TaskStep::send(ch, cfg.bytes_per_value));
+      auto& parent_steps = steps[pos_of(parent)];
+      // Receives are prepended in child order; combine work after each.
+      parent_steps.push_back(TaskStep::recv(ch, cfg.bytes_per_value));
+      parent_steps.push_back(TaskStep::compute(cfg.combine_work));
+    }
+  }
+  // Reorder every inner node: all receives+combines already precede the
+  // send because sends are appended when the node acts as a child of the
+  // next level — which happens after this loop body reaches that level.
+  for (int t : all) {
+    app.set_steps(t, steps[pos_of(t)]);
+  }
+  return all;
+}
+
+std::vector<int> build_bisection_stress(AppBuilder& app,
+                                        const SystemConfig& cfg,
+                                        const BisectionConfig& bcfg) {
+  const int rows = cfg.chip_rows();
+  require(rows % 2 == 0, "bisection: need an even number of chip rows");
+  std::vector<int> senders;
+  for (int x = 0; x < cfg.chip_cols(); ++x) {
+    for (int y = 0; y < rows / 2; ++y) {
+      for (Layer layer : {Layer::kVertical, Layer::kHorizontal}) {
+        TaskSpec tx;
+        tx.iterations = bcfg.iterations;
+        TaskSpec rx;
+        rx.iterations = bcfg.iterations;
+        const int sender =
+            app.add_task(tx, x, y, layer);
+        const int receiver =
+            app.add_task(rx, x, y + rows / 2, layer);
+        const int ch = app.connect(sender, receiver);
+        std::vector<TaskStep> tx_steps;
+        if (bcfg.work_per_pair > 0) {
+          tx_steps.push_back(TaskStep::compute(bcfg.work_per_pair));
+        }
+        tx_steps.push_back(TaskStep::send(ch, bcfg.bytes_per_pair));
+        app.set_steps(sender, tx_steps);
+        app.set_steps(receiver, {TaskStep::recv(ch, bcfg.bytes_per_pair)});
+        senders.push_back(sender);
+      }
+    }
+  }
+  return senders;
+}
+
+}  // namespace swallow

@@ -1,0 +1,100 @@
+// Parallel application patterns built on AppBuilder: the structures the
+// paper's aims call out (§I) — pipelines, task farms (client/server),
+// neighbour rings, and the bisection stress pattern used by the §V.D
+// computation-to-communication analysis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "api/taskgen.h"
+#include "board/system.h"
+
+namespace swallow {
+
+/// Core placement in global chip coordinates.
+struct Placement {
+  int chip_x = 0;
+  int chip_y = 0;
+  Layer layer = Layer::kVertical;
+};
+
+/// Flat enumeration of all cores in a system: chip-major, vertical node
+/// first — the natural "next core" order used by the default placements.
+Placement linear_placement(const SystemConfig& cfg, int index);
+
+struct PipelineConfig {
+  int stages = 4;
+  int items = 16;                     // items flowing through the pipeline
+  std::uint64_t work_per_item = 3000; // instructions per stage per item
+  std::uint64_t bytes_per_item = 64;  // payload between stages
+};
+
+/// Build a linear pipeline; stage i runs at `places[i]`.  Returns the task
+/// ids, stage order.
+std::vector<int> build_pipeline(AppBuilder& app, const PipelineConfig& cfg,
+                                const std::vector<Placement>& places);
+
+struct FarmConfig {
+  int workers = 3;
+  int rounds = 8;                     // synchronous scatter/gather rounds
+  std::uint64_t work_per_item = 5000; // instructions per worker per round
+  std::uint64_t bytes_per_item = 64;  // request and reply payload
+};
+
+/// Build a client/server task farm: the master at `places[0]`, workers at
+/// `places[1..]`.  Each round the master scatters one item to every worker
+/// and gathers every reply.  Returns {master, workers...}.
+std::vector<int> build_farm(AppBuilder& app, const FarmConfig& cfg,
+                            const std::vector<Placement>& places);
+
+struct RingConfig {
+  int tasks = 8;
+  int rounds = 16;
+  std::uint64_t work_per_round = 2000;
+  std::uint64_t bytes_per_round = 32;
+};
+
+/// Build a unidirectional neighbour ring (each task sends to its successor
+/// and receives from its predecessor every round).
+std::vector<int> build_ring(AppBuilder& app, const RingConfig& cfg,
+                            const std::vector<Placement>& places);
+
+struct TreeReduceConfig {
+  int leaves = 8;
+  int fanout = 2;                    // children per inner node
+  std::uint64_t work_per_leaf = 4000;
+  /// Reduced values are single words.  A one-word message (4 data tokens
+  /// + END) is fully absorbed by the destination chanend's buffer, so a
+  /// not-yet-consumed value never holds network links — which makes the
+  /// pattern deadlock-free for ANY placement.  Larger messages can
+  /// deadlock through shared last-hop links when siblings contend (the
+  /// §V.D wormhole hazard).
+  std::uint64_t bytes_per_value = 4;
+  std::uint64_t combine_work = 1000; // per child combined at an inner node
+};
+
+/// Build a k-ary reduction tree (a "group of tasks", §I): every leaf
+/// computes a partial result and sends it up; inner nodes combine their
+/// children's values and forward; the root finishes the reduction.
+/// Placements are consumed leaves-first, then level by level up to the
+/// root.  Returns all task ids with the root last.
+std::vector<int> build_tree_reduce(AppBuilder& app,
+                                   const TreeReduceConfig& cfg,
+                                   const std::vector<Placement>& places);
+
+struct BisectionConfig {
+  std::uint64_t bytes_per_pair = 4096;  // payload each pair moves south
+  std::uint64_t work_per_pair = 0;      // optional compute between sends
+  int iterations = 1;
+};
+
+/// Pair every core in the top half of the machine with the core at the
+/// same (x, layer) in the bottom half and stream `bytes_per_pair` across
+/// the vertical bisection (the worst-case pattern of §V.D).  Returns the
+/// sender task ids.
+std::vector<int> build_bisection_stress(AppBuilder& app,
+                                        const SystemConfig& cfg,
+                                        const BisectionConfig& bcfg);
+
+}  // namespace swallow

@@ -1,0 +1,272 @@
+#include "api/taskgen.h"
+
+#include <map>
+
+#include "arch/assembler.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+int AppBuilder::add_task(TaskSpec spec, int chip_x, int chip_y, Layer layer) {
+  require(!started_, "AppBuilder: cannot add tasks after start");
+  require(spec.iterations >= 1 && spec.iterations <= 65535,
+          "AppBuilder: iterations out of range");
+  TaskInfo info;
+  info.spec = std::move(spec);
+  info.core = &sys_->core(chip_x, chip_y, layer);
+  info.node = info.core->node_id();
+  require(!info.core->trapped(), "AppBuilder: core unusable");
+  tasks_.push_back(std::move(info));
+  return static_cast<int>(tasks_.size()) - 1;
+}
+
+int AppBuilder::connect(int from_task, int to_task) {
+  require(!started_, "AppBuilder: cannot connect after start");
+  TaskInfo& from = tasks_.at(static_cast<std::size_t>(from_task));
+  TaskInfo& to = tasks_.at(static_cast<std::size_t>(to_task));
+  const int channel = static_cast<int>(channels_.size());
+  ChannelInfo ch;
+  ch.from_task = from_task;
+  ch.to_task = to_task;
+  ch.from_end = static_cast<int>(from.ends.size());  // position within task
+  ch.to_end = static_cast<int>(to.ends.size());
+  from.ends.push_back(ChannelEnd{channel, true, -1});
+  to.ends.push_back(ChannelEnd{channel, false, -1});
+  channels_.push_back(ch);
+  return channel;
+}
+
+void AppBuilder::set_steps(int task, std::vector<TaskStep> steps) {
+  require(!started_, "AppBuilder: cannot set steps after start");
+  tasks_.at(static_cast<std::size_t>(task)).spec.steps = std::move(steps);
+}
+
+void AppBuilder::patch_channel(int task, TaskStep::Op op, int channel) {
+  require(!started_, "AppBuilder: cannot patch after start");
+  for (TaskStep& step : tasks_.at(static_cast<std::size_t>(task)).spec.steps) {
+    if (step.op == op && step.channel == -1) {
+      step.channel = channel;
+      return;
+    }
+  }
+  throw Error("AppBuilder::patch_channel: no unpatched step of that kind");
+}
+
+std::string AppBuilder::generate_task_body(int task_id, int group_pos) const {
+  const TaskInfo& task = tasks_[static_cast<std::size_t>(task_id)];
+  std::string src;
+  // Per-thread table base registers (registers are per hardware thread).
+  src += "    ldc r8, chtab\n";
+  src += "    ldc r9, dsttab\n";
+  src += strprintf("    ldc r10, %d\nt%d_main:\n", task.spec.iterations,
+                   group_pos);
+
+  int label = 0;
+  auto find_end = [&](int channel, bool output) -> const ChannelEnd* {
+    for (const ChannelEnd& e : task.ends) {
+      if (e.channel == channel && e.is_output == output) return &e;
+    }
+    return nullptr;
+  };
+
+  for (const TaskStep& step : task.spec.steps) {
+    switch (step.op) {
+      case TaskStep::Op::kCompute: {
+        // 3 retired instructions per loop iteration (add/subi/bt).
+        std::uint64_t remaining = step.amount / 3;
+        while (remaining > 0) {
+          const std::uint64_t chunk = std::min<std::uint64_t>(remaining, 65535);
+          src += strprintf("    ldc r2, %llu\nt%d_w%d:\n",
+                           static_cast<unsigned long long>(chunk), group_pos,
+                           label);
+          src += "    add r6, r6, r7\n";
+          src += "    subi r2, r2, 1\n";
+          src += strprintf("    bt r2, t%d_w%d\n", group_pos, label);
+          ++label;
+          remaining -= chunk;
+        }
+        break;
+      }
+      case TaskStep::Op::kDelay: {
+        require(step.amount >= 1 && step.amount <= 65535,
+                "AppBuilder: delay out of range (1..65535 ticks)");
+        src += "    gettime r3\n";
+        src += strprintf("    ldc r2, %llu\n",
+                         static_cast<unsigned long long>(step.amount));
+        src += "    add r3, r3, r2\n";
+        src += "    timewait r3\n";
+        break;
+      }
+      case TaskStep::Op::kSend:
+      case TaskStep::Op::kRecv: {
+        const bool is_send = step.op == TaskStep::Op::kSend;
+        const ChannelEnd* end = find_end(step.channel, is_send);
+        require(end != nullptr,
+                "AppBuilder: step uses a channel not connected to this task "
+                "in that direction");
+        const std::uint64_t words = (step.amount + 3) / 4;
+        require(words >= 1 && words <= 65535, "AppBuilder: transfer size");
+        src += strprintf("    ldw r1, r8, %d\n", end->local_index);
+        src += strprintf("    ldc r2, %llu\nt%d_w%d:\n",
+                         static_cast<unsigned long long>(words), group_pos,
+                         label);
+        src += is_send ? "    out r1, r3\n" : "    in r3, r1\n";
+        src += "    subi r2, r2, 1\n";
+        src += strprintf("    bt r2, t%d_w%d\n", group_pos, label);
+        src += is_send ? "    outct r1, 1\n" : "    chkct r1, 1\n";
+        ++label;
+        break;
+      }
+    }
+  }
+  src += "    subi r10, r10, 1\n";
+  src += strprintf("    bt r10, t%d_main\n", group_pos);
+  src += "    ret\n";
+  return src;
+}
+
+std::string AppBuilder::generate_core_program(const std::vector<int>& group) const {
+  require(group.size() >= 1 && group.size() <= 8,
+          "AppBuilder: 1..8 tasks per core");
+  std::string src;
+
+  // ---- Allocate every chanend used by any co-located task, in the order
+  // of their (already assigned) local indices.
+  int total_ends = 0;
+  for (int t : group) {
+    total_ends += static_cast<int>(tasks_[static_cast<std::size_t>(t)].ends.size());
+  }
+  for (int i = 0; i < total_ends; ++i) src += "    getr r1, 2\n";
+
+  // ---- Program destinations for all output ends.
+  src += "    ldc r8, chtab\n";
+  src += "    ldc r9, dsttab\n";
+  for (int t : group) {
+    for (const ChannelEnd& end : tasks_[static_cast<std::size_t>(t)].ends) {
+      if (!end.is_output) continue;
+      src += strprintf("    ldw r1, r8, %d\n", end.local_index);
+      src += strprintf("    ldw r2, r9, %d\n", end.local_index);
+      src += "    setd r1, r2\n";
+    }
+  }
+
+  // ---- Fork one slave thread per additional task.
+  if (group.size() > 1) {
+    src += "    getr r4, 3\n";
+    for (std::size_t g = 1; g < group.size(); ++g) {
+      src += strprintf("    getst r5, r4\n    tinitpc r5, entry%zu\n", g);
+      // Stacks: 4 KiB apart below the main thread's.
+      src += strprintf("    ldc r6, %zu\n    tinitsp r5, r6\n",
+                       65536 - 4096 * g);
+    }
+    src += "    msync r4\n";
+  }
+  src += "    bl task0\n";
+  if (group.size() > 1) src += "    tjoin r4\n";
+  src += "    texit\n";
+
+  // ---- Slave entries and task bodies.
+  for (std::size_t g = 1; g < group.size(); ++g) {
+    src += strprintf("entry%zu:\n    bl task%zu\n    texit\n", g, g);
+  }
+  for (std::size_t g = 0; g < group.size(); ++g) {
+    src += strprintf("task%zu:\n", g);
+    src += generate_task_body(group[g], static_cast<int>(g));
+  }
+
+  // ---- Data tables: own chanend ids and destination chanend ids, indexed
+  // by core-local chanend index.
+  const NodeId node = tasks_[static_cast<std::size_t>(group[0])].node;
+  std::vector<ResourceId> own(static_cast<std::size_t>(total_ends), 0);
+  std::vector<ResourceId> dest(static_cast<std::size_t>(total_ends), 0);
+  for (int t : group) {
+    const TaskInfo& task = tasks_[static_cast<std::size_t>(t)];
+    for (const ChannelEnd& end : task.ends) {
+      const auto idx = static_cast<std::size_t>(end.local_index);
+      own[idx] = make_resource_id(node,
+                                  static_cast<std::uint8_t>(end.local_index),
+                                  ResourceType::kChanend);
+      if (end.is_output) {
+        const ChannelInfo& ch = channels_[static_cast<std::size_t>(end.channel)];
+        const TaskInfo& peer = tasks_[static_cast<std::size_t>(ch.to_task)];
+        const ChannelEnd& peer_end =
+            peer.ends[static_cast<std::size_t>(ch.to_end)];
+        dest[idx] = make_resource_id(
+            peer.node, static_cast<std::uint8_t>(peer_end.local_index),
+            ResourceType::kChanend);
+      }
+    }
+  }
+  src += "chtab:\n";
+  for (ResourceId id : own) src += strprintf("    .word 0x%08x\n", id);
+  if (own.empty()) src += "    .word 0\n";
+  src += "dsttab:\n";
+  for (ResourceId id : dest) src += strprintf("    .word 0x%08x\n", id);
+  if (dest.empty()) src += "    .word 0\n";
+  return src;
+}
+
+void AppBuilder::start() {
+  require(!started_, "AppBuilder: already started");
+  started_ = true;
+
+  // Group tasks by core and assign final core-local chanend indices in
+  // task order (deterministic, so peers know each other's indices).
+  std::map<Core*, std::vector<int>> groups;
+  for (std::size_t t = 0; t < tasks_.size(); ++t) {
+    groups[tasks_[t].core].push_back(static_cast<int>(t));
+  }
+  for (auto& [core, group] : groups) {
+    int next_index = 0;
+    for (int t : group) {
+      for (ChannelEnd& end : tasks_[static_cast<std::size_t>(t)].ends) {
+        end.local_index = next_index++;
+      }
+    }
+    require(next_index <= kChanendsPerCore,
+            "AppBuilder: more channels than chanends on one core");
+  }
+
+  for (auto& [core, group] : groups) {
+    const std::string source = generate_core_program(group);
+    for (int t : group) tasks_[static_cast<std::size_t>(t)].source = source;
+    core->load(assemble(source));
+    core->start();
+  }
+
+  for (TaskInfo& task : tasks_) {
+    for (const TaskStep& step : task.spec.steps) {
+      if (step.op == TaskStep::Op::kSend) {
+        task.bytes_sent += ((step.amount + 3) / 4) * 4 *
+                           static_cast<std::uint64_t>(task.spec.iterations);
+      }
+    }
+  }
+}
+
+bool AppBuilder::run_to_completion(TimePs timeout) {
+  require(started_, "AppBuilder: start() first");
+  Simulator& sim = sys_->sim();
+  const TimePs step = microseconds(1.0);
+  TimePs t = sim.now();
+  while (t < timeout) {
+    t += step;
+    sim.run_until(t);
+    bool all_done = true;
+    for (const TaskInfo& task : tasks_) {
+      if (task.core->trapped()) {
+        throw Error("AppBuilder: task trapped: " + task.core->trap().message +
+                    "\nprogram:\n" + task.source);
+      }
+      all_done &= task.core->finished();
+    }
+    if (all_done) {
+      completion_time_ = sim.now();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace swallow

@@ -1,0 +1,137 @@
+// Task-level programming layer (§I: "support a variety of parallel
+// application types ... groups of tasks, pipelines, client/server, message
+// passing and shared memory").
+//
+// A TaskSpec describes one task as a sequence of compute / send / receive
+// steps; AppBuilder places tasks on cores, wires logical channels between
+// them and *compiles each task to Swallow assembly*, so task-level
+// workloads run on the real ISA interpreter, network and energy models
+// rather than on a separate analytic model.
+//
+// Channel wiring is deterministic: each task allocates its channel ends in
+// declaration order, so peers know each other's chanend indices at code
+// generation time.  Channel-end ids are kept in a data table in SRAM and
+// loaded before each transfer, which allows an arbitrary number of
+// channels per task.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/core.h"
+#include "board/system.h"
+
+namespace swallow {
+
+struct TaskStep {
+  enum class Op {
+    kCompute,  // amount = instructions to execute
+    kSend,     // amount = bytes, channel = logical channel index
+    kRecv,     // amount = bytes, channel = logical channel index
+    kDelay,    // amount = 100 MHz reference ticks to sleep (rate limiting)
+  };
+  Op op;
+  std::uint64_t amount = 0;
+  int channel = -1;
+
+  static TaskStep compute(std::uint64_t instructions) {
+    return {Op::kCompute, instructions, -1};
+  }
+  static TaskStep send(int channel, std::uint64_t bytes) {
+    return {Op::kSend, bytes, channel};
+  }
+  static TaskStep recv(int channel, std::uint64_t bytes) {
+    return {Op::kRecv, bytes, channel};
+  }
+  /// Sleep for `microseconds` (a blocked thread burns no issue energy).
+  static TaskStep delay_us(std::uint64_t microseconds) {
+    return {Op::kDelay, microseconds * 100, -1};
+  }
+};
+
+struct TaskSpec {
+  std::vector<TaskStep> steps;
+  int iterations = 1;  // the whole step sequence repeats this many times
+};
+
+class AppBuilder {
+ public:
+  explicit AppBuilder(SwallowSystem& system) : sys_(&system) {}
+
+  /// Place a task on a core; returns the task id.  Several tasks may be
+  /// placed on the same core: each runs as its own hardware thread (up to
+  /// eight per core), sharing the core's chanends and issue slots per
+  /// Eq. (2).
+  int add_task(TaskSpec spec, int chip_x, int chip_y, Layer layer);
+
+  /// Connect a unidirectional logical channel; returns the channel id used
+  /// in TaskStep::send/recv.
+  int connect(int from_task, int to_task);
+
+  /// Replace a task's steps (patterns that wire channels after placing
+  /// tasks use this; only valid before start()).
+  void set_steps(int task, std::vector<TaskStep> steps);
+
+  /// Assign `channel` to the first step of `op` kind whose channel is
+  /// still the -1 placeholder.
+  void patch_channel(int task, TaskStep::Op op, int channel);
+
+  /// Generate, load and start every task's program.
+  void start();
+
+  /// Run until all tasks finish (or `timeout`); returns true on success.
+  bool run_to_completion(TimePs timeout);
+
+  /// Generated assembly for a task (inspection / debugging).
+  const std::string& program(int task) const {
+    return tasks_.at(static_cast<std::size_t>(task)).source;
+  }
+  Core& task_core(int task) {
+    return *tasks_.at(static_cast<std::size_t>(task)).core;
+  }
+  int task_count() const { return static_cast<int>(tasks_.size()); }
+
+  /// Completion time of the whole application (valid after
+  /// run_to_completion succeeded).
+  TimePs completion_time() const { return completion_time_; }
+
+  /// Total payload bytes each task sent (for EC accounting).
+  std::uint64_t bytes_sent(int task) const {
+    return tasks_.at(static_cast<std::size_t>(task)).bytes_sent;
+  }
+
+ private:
+  struct ChannelEnd {
+    int channel = -1;   // logical channel id
+    bool is_output = false;
+    int local_index = -1;  // chanend index on the owning core
+  };
+  struct TaskInfo {
+    TaskSpec spec;
+    Core* core = nullptr;
+    NodeId node = 0;
+    std::vector<ChannelEnd> ends;  // in allocation order
+    std::string source;
+    std::uint64_t bytes_sent = 0;
+  };
+  struct ChannelInfo {
+    int from_task = -1;
+    int to_task = -1;
+    int from_end = -1;  // chanend index on the sender core
+    int to_end = -1;    // chanend index on the receiver core
+  };
+
+  /// Combined program for all tasks placed on one core (`group` holds
+  /// task ids; task 0 of the group runs on thread 0, the rest as slaves).
+  std::string generate_core_program(const std::vector<int>& group) const;
+  std::string generate_task_body(int task_id, int group_pos) const;
+
+  SwallowSystem* sys_;
+  std::vector<TaskInfo> tasks_;
+  std::vector<ChannelInfo> channels_;
+  bool started_ = false;
+  TimePs completion_time_ = 0;
+};
+
+}  // namespace swallow

@@ -1,0 +1,288 @@
+#include "arch/assembler.h"
+
+#include <optional>
+
+#include "arch/isa.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::string_view text;  // label and comment stripped
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw Error(strprintf("asm line %d: %s", line, msg.c_str()));
+}
+
+std::string_view strip_comment(std::string_view s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' || s[i] == ';') return s.substr(0, i);
+    if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') return s.substr(0, i);
+  }
+  return s;
+}
+
+bool is_label_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+bool valid_label(std::string_view s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s.front()))) {
+    return false;
+  }
+  for (char c : s) {
+    if (!is_label_char(c)) return false;
+  }
+  return true;
+}
+
+/// Operand: either a register, a number, or a symbol reference.
+struct Operand {
+  enum class Kind { kRegister, kNumber, kSymbol } kind;
+  int reg = 0;
+  long long number = 0;
+  std::string symbol;
+};
+
+Operand parse_operand(std::string_view tok, int line) {
+  const auto reg = register_from_name(tok);
+  if (reg) return Operand{Operand::Kind::kRegister, *reg, 0, {}};
+  const char first = tok.empty() ? '\0' : tok.front();
+  if (first == '#' || first == '-' || first == '+' ||
+      std::isdigit(static_cast<unsigned char>(first))) {
+    try {
+      return Operand{Operand::Kind::kNumber, 0, parse_int(tok), {}};
+    } catch (const Error& e) {
+      fail(line, e.what());
+    }
+  }
+  if (valid_label(tok)) {
+    return Operand{Operand::Kind::kSymbol, 0, 0, std::string(tok)};
+  }
+  fail(line, "unrecognised operand '" + std::string(tok) + "'");
+}
+
+}  // namespace
+
+std::uint32_t Image::symbol(std::string_view name) const {
+  const auto it = symbols.find(name);
+  require(it != symbols.end(),
+          "Image: unknown symbol '" + std::string(name) + "'");
+  return it->second;
+}
+
+Image assemble(std::string_view source) {
+  // ---- Pass 1: split lines, strip labels, size everything, bind symbols.
+  struct Stmt {
+    int line;
+    std::string_view text;       // instruction or directive text
+    std::uint32_t address;       // word index
+  };
+  Image image;
+  std::vector<Stmt> stmts;
+  std::uint32_t pc = 0;
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    std::string_view raw =
+        source.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                         : eol - pos);
+    pos = eol == std::string_view::npos ? source.size() + 1 : eol + 1;
+    ++line_no;
+
+    std::string_view text = trim(strip_comment(raw));
+    // Peel off any leading labels ("foo: bar: op ...").
+    while (true) {
+      const std::size_t colon = text.find(':');
+      if (colon == std::string_view::npos) break;
+      const std::string_view candidate = trim(text.substr(0, colon));
+      if (!valid_label(candidate)) break;
+      if (image.symbols.count(std::string(candidate))) {
+        fail(line_no, "duplicate label '" + std::string(candidate) + "'");
+      }
+      image.symbols[std::string(candidate)] = pc;
+      text = trim(text.substr(colon + 1));
+    }
+    if (text.empty()) continue;
+
+    // Directives that affect layout are handled in pass 1 so labels bind
+    // to the right addresses.
+    if (starts_with(text, ".org")) {
+      const auto args = split(text.substr(4));
+      if (args.size() != 1) fail(line_no, ".org takes one operand");
+      const long long target = parse_int(args[0]);
+      if (target < static_cast<long long>(pc)) {
+        fail(line_no, ".org cannot move backwards");
+      }
+      pc = static_cast<std::uint32_t>(target);
+      continue;
+    }
+    if (starts_with(text, ".space")) {
+      const auto args = split(text.substr(6));
+      if (args.size() != 1) fail(line_no, ".space takes one operand");
+      stmts.push_back({line_no, text, pc});
+      pc += static_cast<std::uint32_t>(parse_int(args[0]));
+      continue;
+    }
+    if (starts_with(text, ".word")) {
+      stmts.push_back({line_no, text, pc});
+      pc += static_cast<std::uint32_t>(split(text.substr(5)).size());
+      continue;
+    }
+    if (text.front() == '.') {
+      fail(line_no, "unknown directive '" + std::string(split(text)[0]) + "'");
+    }
+    stmts.push_back({line_no, text, pc});
+    pc += 1;
+  }
+
+  image.words.assign(pc, 0);
+
+  // ---- Pass 2: encode.
+  auto symbol_value = [&](const std::string& name, int line) -> std::uint32_t {
+    const auto it = image.symbols.find(name);
+    if (it == image.symbols.end()) {
+      fail(line, "undefined symbol '" + name + "'");
+    }
+    return it->second;
+  };
+
+  for (const Stmt& st : stmts) {
+    if (starts_with(st.text, ".space")) continue;  // already zeroed
+    if (starts_with(st.text, ".word")) {
+      std::uint32_t addr = st.address;
+      for (std::string_view tok : split(st.text.substr(5))) {
+        const Operand op = parse_operand(tok, st.line);
+        std::uint32_t value;
+        if (op.kind == Operand::Kind::kNumber) {
+          value = static_cast<std::uint32_t>(op.number);
+        } else if (op.kind == Operand::Kind::kSymbol) {
+          value = symbol_value(op.symbol, st.line) * 4;  // byte address
+        } else {
+          fail(st.line, ".word operand cannot be a register");
+        }
+        image.words.at(addr++) = value;
+      }
+      continue;
+    }
+
+    const auto tokens = split(st.text);
+    const std::string mnemonic = to_lower(tokens[0]);
+    const auto op = opcode_from_mnemonic(mnemonic);
+    if (!op) fail(st.line, "unknown mnemonic '" + mnemonic + "'");
+    const OpcodeInfo& info = opcode_info(*op);
+
+    std::vector<Operand> operands;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      operands.push_back(parse_operand(tokens[i], st.line));
+    }
+
+    auto want = [&](std::size_t n) {
+      if (operands.size() != n) {
+        fail(st.line, strprintf("%s expects %zu operand(s), got %zu",
+                                mnemonic.c_str(), n, operands.size()));
+      }
+    };
+    auto as_reg = [&](std::size_t i) -> std::uint8_t {
+      if (operands[i].kind != Operand::Kind::kRegister) {
+        fail(st.line, strprintf("operand %zu of %s must be a register", i + 1,
+                                mnemonic.c_str()));
+      }
+      return static_cast<std::uint8_t>(operands[i].reg);
+    };
+    // Resolve an immediate operand.  `mode` selects the label convention.
+    enum class ImmMode { kPlain, kBranch, kByteAddress, kWordAddress };
+    auto as_imm = [&](std::size_t i, ImmMode mode) -> std::int32_t {
+      const Operand& o = operands[i];
+      long long value;
+      if (o.kind == Operand::Kind::kNumber) {
+        value = o.number;
+      } else if (o.kind == Operand::Kind::kSymbol) {
+        const std::uint32_t sym = symbol_value(o.symbol, st.line);
+        switch (mode) {
+          case ImmMode::kBranch:
+            value = static_cast<long long>(sym) -
+                    static_cast<long long>(st.address) - 1;
+            break;
+          case ImmMode::kByteAddress:
+            value = static_cast<long long>(sym) * 4;
+            break;
+          default:
+            value = sym;
+        }
+      } else {
+        fail(st.line, strprintf("operand %zu of %s must be an immediate",
+                                i + 1, mnemonic.c_str()));
+      }
+      if (value < -32768 || value > 65535) {
+        fail(st.line, strprintf("immediate %lld out of 16-bit range", value));
+      }
+      return static_cast<std::int32_t>(value);
+    };
+
+    const bool is_branch = *op == Opcode::kBt || *op == Opcode::kBf ||
+                           *op == Opcode::kBu || *op == Opcode::kBl;
+    const ImmMode imm_mode =
+        is_branch ? ImmMode::kBranch
+        : *op == Opcode::kTinitpc ? ImmMode::kWordAddress
+        : (*op == Opcode::kLdc || *op == Opcode::kLdch) ? ImmMode::kByteAddress
+                                                        : ImmMode::kPlain;
+
+    Instruction ins;
+    ins.op = *op;
+    switch (info.format) {
+      case Format::kR0:
+        want(0);
+        break;
+      case Format::kR1:
+        want(1);
+        ins.ra = as_reg(0);
+        break;
+      case Format::kR2:
+        want(2);
+        ins.ra = as_reg(0);
+        ins.rb = as_reg(1);
+        break;
+      case Format::kR3:
+        want(3);
+        ins.ra = as_reg(0);
+        ins.rb = as_reg(1);
+        ins.rc = as_reg(2);
+        break;
+      case Format::kR1I:
+        want(2);
+        ins.ra = as_reg(0);
+        ins.imm = as_imm(1, imm_mode);
+        break;
+      case Format::kR2I:
+        want(3);
+        ins.ra = as_reg(0);
+        ins.rb = as_reg(1);
+        ins.imm = as_imm(2, imm_mode);
+        break;
+      case Format::kI:
+        want(1);
+        ins.imm = as_imm(0, imm_mode);
+        break;
+    }
+    image.words.at(st.address) = encode(ins);
+  }
+  return image;
+}
+
+std::string disassemble_image(const Image& image) {
+  std::string out;
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    out += strprintf("%4zu: %s\n", i, disassemble(decode(image.words[i])).c_str());
+  }
+  return out;
+}
+
+}  // namespace swallow

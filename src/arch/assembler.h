@@ -1,0 +1,47 @@
+// Two-pass assembler for the Swallow core ISA.
+//
+// Syntax:
+//   # comment, // comment, ; comment
+//   label:
+//       ldc   r0, 42          # immediates: 42, 0x2a, 0b101010, #42
+//       add   r1, r1, r0
+//       bt    r1, label       # branch targets are labels or numbers
+//       .org  16              # word index
+//       .word 0xdeadbeef, 12  # literal data words
+//       .space 4              # reserve four zero words
+//
+// Label value conventions:
+//   * branch/BL operands: assembler emits the word-relative offset from the
+//     *next* instruction (pc := pc + 1 + imm on a taken branch);
+//   * TINITPC: absolute word index of the label;
+//   * LDC / .word: *byte* address of the label (word index * 4), so the
+//     result can be used directly as a load/store base register.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swallow {
+
+/// Assembled program: a word image loaded at SRAM address 0.
+struct Image {
+  std::vector<std::uint32_t> words;
+  std::map<std::string, std::uint32_t, std::less<>> symbols;  // word indices
+  std::uint32_t entry = 0;  // word index of the first instruction
+
+  std::uint32_t symbol(std::string_view name) const;
+  std::size_t size_bytes() const { return words.size() * 4; }
+};
+
+/// Assemble `source`; throws swallow::Error with a line-numbered message on
+/// any syntax or range problem.
+Image assemble(std::string_view source);
+
+/// Disassemble an image back to one instruction per line (for traces and
+/// round-trip tests).
+std::string disassemble_image(const Image& image);
+
+}  // namespace swallow

@@ -1,0 +1,126 @@
+#include "arch/chanend.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+void Chanend::release() {
+  allocated_ = false;
+  id_ = 0;
+  dest_ = 0;
+  route_open_ = false;
+  out_fifo_.clear();
+  in_fifo_.clear();
+  on_readable_ = nullptr;
+  on_writable_ = nullptr;
+}
+
+void Chanend::attach_out_port(TokenOutPort* port) {
+  out_port_ = port;
+  if (out_port_ != nullptr) {
+    out_port_->subscribe_space([this] { drain_out(); });
+  }
+}
+
+bool Chanend::try_emit(std::span<const Token> tokens) {
+  require(out_port_ != nullptr, "chanend has no switch attachment");
+  require(has_dest(), "chanend destination not set");
+  const std::size_t header = route_open_ ? 0 : kHeaderTokens;
+  const std::size_t need = header + tokens.size();
+  if (kOutFifoTokens - out_fifo_.size() < need) return false;
+  if (!route_open_) {
+    const HeaderDest dest = chanend_dest(dest_);
+    for (int i = 0; i < kHeaderTokens; ++i) {
+      out_fifo_.push_back(Token::data(header_byte(dest, i)));
+    }
+    route_open_ = true;
+  }
+  for (const Token& t : tokens) {
+    out_fifo_.push_back(t);
+    if (t.closes_route()) route_open_ = false;
+  }
+  drain_out();
+  return true;
+}
+
+void Chanend::drain_out() {
+  bool moved = false;
+  while (!out_fifo_.empty() && out_port_ != nullptr && out_port_->can_accept()) {
+    // Pop before pushing: push() may fire space notifications that re-enter
+    // this drain loop, and the head token must not be emitted twice.
+    const Token t = out_fifo_.front();
+    out_fifo_.pop_front();
+    out_port_->push(t);
+    moved = true;
+  }
+  if (moved && on_writable_) {
+    auto cb = std::move(on_writable_);
+    on_writable_ = nullptr;
+    cb();
+  }
+}
+
+void Chanend::receive(const Token& t) {
+  invariant(can_receive(), "chanend receive overflow");
+  in_fifo_.push_back(t);
+  fire_readable();
+}
+
+void Chanend::fire_readable() {
+  if (on_readable_) {
+    auto cb = std::move(on_readable_);
+    on_readable_ = nullptr;
+    cb();
+  }
+}
+
+void Chanend::notify_drained() {
+  for (const auto& cb : drain_subs_) cb();
+}
+
+Chanend::ReadResult Chanend::read_word(std::uint32_t& out) {
+  if (in_fifo_.size() < 4) {
+    // Control token ahead of a full word is a protocol error even before
+    // all four bytes arrive.
+    for (const Token& t : in_fifo_) {
+      if (t.is_control) return ReadResult::kProtocolError;
+    }
+    return ReadResult::kBlocked;
+  }
+  for (int i = 0; i < 4; ++i) {
+    if (in_fifo_[static_cast<std::size_t>(i)].is_control) {
+      return ReadResult::kProtocolError;
+    }
+  }
+  std::uint32_t word = 0;
+  for (int i = 0; i < 4; ++i) {
+    word |= static_cast<std::uint32_t>(in_fifo_.front().value)
+            << (8 * i);  // little-endian byte order
+    in_fifo_.pop_front();
+  }
+  out = word;
+  notify_drained();
+  return ReadResult::kOk;
+}
+
+Chanend::ReadResult Chanend::read_token(std::uint8_t& out) {
+  if (in_fifo_.empty()) return ReadResult::kBlocked;
+  if (in_fifo_.front().is_control) return ReadResult::kProtocolError;
+  out = in_fifo_.front().value;
+  in_fifo_.pop_front();
+  notify_drained();
+  return ReadResult::kOk;
+}
+
+Chanend::ReadResult Chanend::check_ct(std::uint8_t expected) {
+  if (in_fifo_.empty()) return ReadResult::kBlocked;
+  const Token& head = in_fifo_.front();
+  if (!head.is_control || head.value != expected) {
+    return ReadResult::kProtocolError;
+  }
+  in_fifo_.pop_front();
+  notify_drained();
+  return ReadResult::kOk;
+}
+
+}  // namespace swallow

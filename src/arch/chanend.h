@@ -1,0 +1,105 @@
+// Channel end: the architectural endpoint of Swallow's channel
+// communication (§IV.A "message passing between cores",
+// §V.B packet/circuit operation).
+//
+// Write side: tokens are staged in a small output FIFO and drained into the
+// switch's processor port.  The chanend emits the three-byte route header
+// automatically whenever it starts a packet on a closed route, and closes
+// the route when an END or PAUSE control token passes out.
+//
+// Read side: the switch delivers tokens into an input FIFO with
+// credit-based backpressure (can_receive / subscribe_drain); IN/INT/CHKCT
+// consume from it with XS1 blocking semantics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "arch/comm.h"
+#include "arch/resource.h"
+#include "noc/token.h"
+
+namespace swallow {
+
+class Chanend : public TokenReceiver {
+ public:
+  static constexpr std::size_t kOutFifoTokens = 8;
+  static constexpr std::size_t kInFifoTokens = 8;
+
+  // ----- Allocation -----
+  void allocate(ResourceId id) {
+    id_ = id;
+    allocated_ = true;
+  }
+  void release();
+  bool allocated() const { return allocated_; }
+  ResourceId id() const { return id_; }
+
+  // ----- Write side -----
+  void set_dest(ResourceId dest) { dest_ = dest; }
+  ResourceId dest() const { return dest_; }
+  bool has_dest() const { return dest_ != 0; }
+  bool route_open() const { return route_open_; }
+
+  /// Connect to the switch's processor port.  The port's space
+  /// notifications re-drive the output FIFO drain.
+  void attach_out_port(TokenOutPort* port);
+
+  /// Stage `tokens` for emission, prefixing a route header if the route is
+  /// closed.  All-or-nothing: returns false (and stages nothing) when the
+  /// output FIFO lacks space for the whole burst — the caller blocks and
+  /// retries on the writable notification.
+  bool try_emit(std::span<const Token> tokens);
+
+  /// Tokens currently staged and not yet accepted by the switch.
+  std::size_t out_pending() const { return out_fifo_.size(); }
+
+  // ----- Read side (TokenReceiver: called by the switch) -----
+  bool can_receive() const override { return in_fifo_.size() < kInFifoTokens; }
+  std::size_t free_space() const override {
+    return kInFifoTokens - in_fifo_.size();
+  }
+  void receive(const Token& t) override;
+  void subscribe_drain(std::function<void()> cb) override {
+    drain_subs_.push_back(std::move(cb));
+  }
+
+  // ----- Reader operations (called by the core) -----
+  enum class ReadResult { kOk, kBlocked, kProtocolError };
+
+  /// Consume four data tokens as a little-endian word.
+  ReadResult read_word(std::uint32_t& out);
+
+  /// Consume one data token.
+  ReadResult read_token(std::uint8_t& out);
+
+  /// Consume one control token of the expected value.
+  ReadResult check_ct(std::uint8_t expected);
+
+  std::size_t in_pending() const { return in_fifo_.size(); }
+
+  /// One-shot wake callbacks armed by a blocking core thread.
+  void arm_readable(std::function<void()> cb) { on_readable_ = std::move(cb); }
+  void arm_writable(std::function<void()> cb) { on_writable_ = std::move(cb); }
+
+ private:
+  void drain_out();
+  void notify_drained();
+  void fire_readable();
+
+  bool allocated_ = false;
+  ResourceId id_ = 0;
+  ResourceId dest_ = 0;
+  bool route_open_ = false;
+  TokenOutPort* out_port_ = nullptr;
+  std::deque<Token> out_fifo_;
+  std::deque<Token> in_fifo_;
+  std::vector<std::function<void()>> drain_subs_;
+  std::function<void()> on_readable_;
+  std::function<void()> on_writable_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,52 @@
+// Interfaces between a core's channel ends and the network switch.
+//
+// The arch library owns the chanend (architectural state, blocking
+// semantics); the noc library provides the switch-side implementation of
+// these interfaces when a core is attached to a network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "noc/token.h"
+
+namespace swallow {
+
+/// Switch-side acceptance point for tokens a chanend emits.
+/// Implementations model the processor-to-switch port: finite buffering,
+/// so pushes can be refused; the producer re-tries when notified.
+class TokenOutPort {
+ public:
+  virtual ~TokenOutPort() = default;
+
+  /// True if one more token can be accepted right now.
+  virtual bool can_accept() const = 0;
+
+  /// Push a token; only valid when can_accept().
+  virtual void push(const Token& t) = 0;
+
+  /// Register a callback fired whenever space may have become available.
+  virtual void subscribe_space(std::function<void()> cb) = 0;
+};
+
+/// Core-side delivery point the switch hands arriving tokens to.
+class TokenReceiver {
+ public:
+  virtual ~TokenReceiver() = default;
+
+  /// True if the receiver can buffer one more token.
+  virtual bool can_receive() const = 0;
+
+  /// Number of tokens the receiver can buffer right now (used by senders
+  /// to reserve space for in-flight deliveries).
+  virtual std::size_t free_space() const = 0;
+
+  /// Deliver a token; only valid when can_receive().
+  virtual void receive(const Token& t) = 0;
+
+  /// Register a callback fired whenever buffer space frees up.
+  virtual void subscribe_drain(std::function<void()> cb) = 0;
+};
+
+}  // namespace swallow

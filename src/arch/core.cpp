@@ -1,0 +1,1145 @@
+#include "arch/core.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+// Pipeline reissue gap (§IV.C) and the long-latency divide stall.
+constexpr std::int64_t kIssueGapCycles = 4;
+constexpr std::int64_t kDivStallCycles = 32;
+}  // namespace
+
+Core::Core(Simulator& sim, EnergyLedger& ledger, Config cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      clock_(cfg.frequency_mhz),
+      sram_(cfg.sram_bytes, 0),
+      baseline_trace_(ledger, EnergyAccount::kCoreBaseline),
+      instr_trace_(ledger, EnergyAccount::kCoreInstructions) {
+  require(cfg.sram_bytes % 4 == 0, "Core: SRAM size must be word aligned");
+  voltage_ = cfg_.auto_dvfs
+                 ? cfg_.power_model.min_voltage(cfg_.frequency_mhz)
+                 : cfg_.voltage;
+  // The core burns baseline power from construction (it is powered even
+  // before a program starts).
+  update_power_levels();
+}
+
+void Core::set_frequency(MegaHertz f_mhz) {
+  require(f_mhz >= 1 && f_mhz <= 1000, "Core::set_frequency: out of range");
+  clock_.set_frequency(sim_.now(), f_mhz);
+  if (cfg_.auto_dvfs) {
+    voltage_ = cfg_.power_model.min_voltage(f_mhz);
+  }
+  update_power_levels();
+  schedule_issue();
+}
+
+void Core::load(const Image& image) {
+  require(image.size_bytes() <= sram_.size(), "Core::load: image too large");
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    store_word(static_cast<std::uint32_t>(i * 4), image.words[i]);
+  }
+}
+
+void Core::poke(std::uint32_t byte_addr, std::span<const std::uint8_t> bytes) {
+  require(byte_addr + bytes.size() <= sram_.size(), "Core::poke: out of range");
+  std::copy(bytes.begin(), bytes.end(), sram_.begin() + byte_addr);
+}
+
+std::uint32_t Core::peek_word(std::uint32_t byte_addr) const {
+  require(byte_addr + 4 <= sram_.size() && byte_addr % 4 == 0,
+          "Core::peek_word: bad address");
+  return load_word(byte_addr);
+}
+
+void Core::start(std::uint32_t entry) {
+  require(!started_, "Core::start: already started");
+  started_ = true;
+  ThreadCtx& t0 = threads_[0];
+  t0.state = ThreadState::kReady;
+  t0.regs.fill(0);
+  t0.regs[kRegSp] = static_cast<std::uint32_t>(sram_.size());
+  t0.pc = entry;
+  t0.ready_at = sim_.now();
+  update_power_levels();
+  schedule_issue();
+}
+
+bool Core::finished() const {
+  if (!started_ || trapped()) return false;
+  for (const ThreadCtx& t : threads_) {
+    if (t.state == ThreadState::kReady || t.state == ThreadState::kBlocked ||
+        t.state == ThreadState::kAllocated) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Core::runnable_threads() const {
+  int n = 0;
+  for (const ThreadCtx& t : threads_) n += t.state == ThreadState::kReady;
+  return n;
+}
+
+int Core::live_threads() const {
+  int n = 0;
+  for (const ThreadCtx& t : threads_) {
+    n += t.state == ThreadState::kReady || t.state == ThreadState::kBlocked ||
+         t.state == ThreadState::kAllocated;
+  }
+  return n;
+}
+
+std::vector<std::pair<int, std::uint32_t>> Core::blocked_threads() const {
+  std::vector<std::pair<int, std::uint32_t>> out;
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state == ThreadState::kBlocked) out.emplace_back(tid, t.pc);
+  }
+  return out;
+}
+
+Chanend* Core::find_chanend(ResourceId id) {
+  if (resource_type(id) != ResourceType::kChanend ||
+      resource_node(id) != cfg_.node_id) {
+    return nullptr;
+  }
+  const int idx = resource_index(id);
+  if (idx >= kChanendsPerCore) return nullptr;
+  Chanend& ce = chanends_[static_cast<std::size_t>(idx)];
+  return ce.allocated() && ce.id() == id ? &ce : nullptr;
+}
+
+// ---------------------------------------------------------------- scheduler
+
+void Core::schedule_issue() {
+  if (trapped()) return;
+  TimePs earliest = kTimeNever;
+  for (const ThreadCtx& t : threads_) {
+    if (t.state == ThreadState::kReady) earliest = std::min(earliest, t.ready_at);
+  }
+  if (earliest == kTimeNever) return;  // nothing runnable; wakes re-arm us
+  earliest = std::max({earliest, core_free_at_, sim_.now()});
+  earliest = clock_.align_up(earliest);
+  if (issue_scheduled_) {
+    if (issue_scheduled_at_ <= earliest) return;  // already armed early enough
+    sim_.cancel(issue_event_);
+  }
+  issue_scheduled_ = true;
+  issue_scheduled_at_ = earliest;
+  issue_event_ = sim_.at(earliest, [this] {
+    issue_scheduled_ = false;
+    issue_scheduled_at_ = kTimeNever;
+    do_issue();
+  });
+}
+
+int Core::pick_thread(TimePs now) {
+  for (int i = 0; i < kMaxHardwareThreads; ++i) {
+    const int tid = (rr_next_ + i) % kMaxHardwareThreads;
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state == ThreadState::kReady && t.ready_at <= now) {
+      rr_next_ = (tid + 1) % kMaxHardwareThreads;
+      return tid;
+    }
+  }
+  return -1;
+}
+
+void Core::do_issue() {
+  if (trapped()) return;
+  const TimePs now = sim_.now();
+  const int tid = pick_thread(now);
+  if (tid < 0) {
+    schedule_issue();
+    return;
+  }
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+
+  // Fetch.  Compare word indices: pc * 4 could wrap for garbage pc values
+  // (e.g. a BAU through an uninitialised register).
+  if (t.pc >= sram_.size() / 4) {
+    halt_with_trap(TrapKind::kMemoryBounds, tid,
+                   strprintf("fetch beyond SRAM at pc=%u", t.pc));
+    return;
+  }
+  const std::uint32_t pc_bytes = t.pc * 4;
+  const Instruction ins = decode(load_word(pc_bytes));
+  if (ins.op == Opcode::kNop && ins.rc == 0xF) {
+    halt_with_trap(TrapKind::kBadOpcode, tid,
+                   strprintf("undefined opcode 0x%02x at pc=%u", ins.imm, t.pc));
+    return;
+  }
+
+  // Capture source operands before execution overwrites them (for the
+  // detailed data-dependent energy model).
+  std::uint32_t op_a = 0, op_b = 0;
+  if (cfg_.detailed_energy.enabled) {
+    const auto& R = t.regs;
+    switch (opcode_info(ins.op).format) {
+      case Format::kR3:
+        op_a = R[ins.rb];
+        op_b = R[ins.rc];
+        break;
+      case Format::kR2:
+      case Format::kR2I:
+        op_a = R[ins.rb];
+        op_b = static_cast<std::uint32_t>(ins.imm);
+        break;
+      case Format::kR1:
+      case Format::kR1I:
+        op_a = R[ins.ra];
+        op_b = static_cast<std::uint32_t>(ins.imm);
+        break;
+      default:
+        break;
+    }
+  }
+
+  const Exec result = execute(tid, ins);
+  if (trapped()) return;
+
+  if (result == Exec::kBlocked) {
+    // A blocked thread deschedules: the slot is not consumed and no issue
+    // energy is charged (pc stays on the instruction for re-execution).
+    block(tid);
+    schedule_issue();
+    return;
+  }
+
+  // Retire.
+  if (trace_sink_) {
+    // pc here is still the address of the retired instruction (kNext has
+    // not advanced it yet); branches have already redirected, so capture
+    // the fetch address instead.
+    trace_sink_(InstrTraceRecord{now, tid, pc_bytes / 4, ins});
+  }
+  if (result == Exec::kNext) t.pc += 1;
+  ++t.retired;
+  ++retired_total_;
+  const InstrClass cls = opcode_info(ins.op).instr_class;
+  ++retired_by_class_[static_cast<std::size_t>(cls)];
+  // Per-instruction energy: deviation of this instruction from the average
+  // mix (the average itself is carried by the continuous instr trace
+  // level).  The detailed model adds class-switching and operand-data
+  // dependence per [4].
+  const double w =
+      cfg_.detailed_energy.enabled
+          ? detailed_weight(cfg_.detailed_energy, cls, prev_class_, op_a, op_b)
+          : instr_weight(cls);
+  prev_class_ = cls;
+  if (w != 1.0) {
+    instr_trace_.add_pulse((w - 1.0) * cfg_.power_model.instruction_energy(
+                                           clock_.frequency(), voltage_));
+  }
+
+  const bool long_op = ins.op == Opcode::kDivu || ins.op == Opcode::kRemu;
+  t.ready_at = now + clock_.span(long_op ? kDivStallCycles : kIssueGapCycles);
+  core_free_at_ = now + clock_.span(1);
+  schedule_issue();
+}
+
+void Core::wake(int tid) {
+  if (trapped()) return;
+  ThreadCtx& t = threads_.at(static_cast<std::size_t>(tid));
+  if (t.state != ThreadState::kBlocked) return;
+  t.state = ThreadState::kReady;
+  update_power_levels();
+  schedule_issue();
+}
+
+void Core::block(int tid) {
+  threads_.at(static_cast<std::size_t>(tid)).state = ThreadState::kBlocked;
+  update_power_levels();
+}
+
+void Core::halt_with_trap(TrapKind kind, int tid, const std::string& msg) {
+  trap_ = Trap{kind, tid, threads_[static_cast<std::size_t>(tid)].pc, msg};
+  if (issue_scheduled_) {
+    sim_.cancel(issue_event_);
+    issue_scheduled_ = false;
+  }
+  update_power_levels();
+}
+
+void Core::update_power_levels() {
+  const TimePs now = sim_.now();
+  const MegaHertz f = clock_.frequency();
+  const Volts v = voltage_;
+  baseline_trace_.set_level(now, cfg_.power_model.baseline_power(f, v));
+  const double active = trapped() ? 0.0 : static_cast<double>(runnable_threads());
+  const double frac = std::min(active, 4.0) / 4.0;
+  const Watts gap = cfg_.power_model.active_power(f, v) -
+                    cfg_.power_model.baseline_power(f, v);
+  instr_trace_.set_level(now, frac * gap);
+}
+
+// ------------------------------------------------------------------ memory
+
+bool Core::mem_check(std::uint32_t addr, std::uint32_t size,
+                     std::uint32_t align, int tid) {
+  if (addr % align != 0) {
+    halt_with_trap(TrapKind::kMemoryAlignment, tid,
+                   strprintf("unaligned access at 0x%x", addr));
+    return false;
+  }
+  if (addr + size > sram_.size() || addr + size < addr) {
+    halt_with_trap(TrapKind::kMemoryBounds, tid,
+                   strprintf("access at 0x%x beyond %zu-byte SRAM", addr,
+                             sram_.size()));
+    return false;
+  }
+  return true;
+}
+
+std::uint32_t Core::load_word(std::uint32_t addr) const {
+  std::uint32_t v;
+  std::memcpy(&v, sram_.data() + addr, 4);
+  return v;
+}
+
+void Core::store_word(std::uint32_t addr, std::uint32_t value) {
+  std::memcpy(sram_.data() + addr, &value, 4);
+}
+
+// --------------------------------------------------------------- resources
+
+Chanend* Core::chanend_for_op(int tid, std::uint32_t res_id) {
+  Chanend* ce = find_chanend(res_id);
+  if (ce == nullptr) {
+    halt_with_trap(TrapKind::kBadResource, tid,
+                   strprintf("not a local allocated chanend: 0x%08x", res_id));
+  }
+  return ce;
+}
+
+std::uint32_t Core::ref_ticks() const {
+  // 100 MHz reference clock, independent of the core frequency.
+  const TimePs ref_period = period_ps(kReferenceClockMhz);
+  return static_cast<std::uint32_t>(sim_.now() / ref_period);
+}
+
+// --------------------------------------------------------------- execution
+
+Core::Exec Core::execute(int tid, const Instruction& ins) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  auto& R = t.regs;
+  const auto ra = ins.ra, rb = ins.rb, rc = ins.rc;
+  const std::int32_t imm = ins.imm;
+
+  auto shift_amount = [](std::uint32_t v) { return v; };
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      return Exec::kNext;
+
+    // ---- ALU ----
+    case Opcode::kAdd: R[ra] = R[rb] + R[rc]; return Exec::kNext;
+    case Opcode::kSub: R[ra] = R[rb] - R[rc]; return Exec::kNext;
+    case Opcode::kAnd: R[ra] = R[rb] & R[rc]; return Exec::kNext;
+    case Opcode::kOr: R[ra] = R[rb] | R[rc]; return Exec::kNext;
+    case Opcode::kXor: R[ra] = R[rb] ^ R[rc]; return Exec::kNext;
+    case Opcode::kEq: R[ra] = R[rb] == R[rc]; return Exec::kNext;
+    case Opcode::kLss:
+      R[ra] = static_cast<std::int32_t>(R[rb]) < static_cast<std::int32_t>(R[rc]);
+      return Exec::kNext;
+    case Opcode::kLsu: R[ra] = R[rb] < R[rc]; return Exec::kNext;
+    case Opcode::kNot: R[ra] = ~R[rb]; return Exec::kNext;
+    case Opcode::kNeg:
+      R[ra] = static_cast<std::uint32_t>(-static_cast<std::int32_t>(R[rb]));
+      return Exec::kNext;
+    case Opcode::kMkmsk:
+      R[ra] = R[rb] >= 32 ? 0xFFFFFFFFu : (1u << R[rb]) - 1u;
+      return Exec::kNext;
+    case Opcode::kMul: R[ra] = R[rb] * R[rc]; return Exec::kNext;
+    case Opcode::kMacc: R[ra] += R[rb] * R[rc]; return Exec::kNext;
+    case Opcode::kLmulh:
+      R[ra] = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(R[rb]) * R[rc]) >> 32);
+      return Exec::kNext;
+    case Opcode::kDivu:
+    case Opcode::kRemu:
+      if (R[rc] == 0) {
+        halt_with_trap(TrapKind::kBadOperand, tid, "divide by zero");
+        return Exec::kNext;
+      }
+      R[ra] = ins.op == Opcode::kDivu ? R[rb] / R[rc] : R[rb] % R[rc];
+      return Exec::kNext;
+    case Opcode::kShl:
+      R[ra] = shift_amount(R[rc]) >= 32 ? 0 : R[rb] << R[rc];
+      return Exec::kNext;
+    case Opcode::kShr:
+      R[ra] = shift_amount(R[rc]) >= 32 ? 0 : R[rb] >> R[rc];
+      return Exec::kNext;
+    case Opcode::kAshr: {
+      const std::uint32_t amt = std::min<std::uint32_t>(R[rc], 31);
+      R[ra] = static_cast<std::uint32_t>(static_cast<std::int32_t>(R[rb]) >> amt);
+      return Exec::kNext;
+    }
+
+    // ---- Immediates ----
+    case Opcode::kAddi:
+      R[ra] = R[rb] + static_cast<std::uint32_t>(imm);
+      return Exec::kNext;
+    case Opcode::kSubi:
+      R[ra] = R[rb] - static_cast<std::uint32_t>(imm);
+      return Exec::kNext;
+    case Opcode::kShli:
+      R[ra] = imm >= 32 ? 0 : R[rb] << (imm & 31);
+      return Exec::kNext;
+    case Opcode::kShri:
+      R[ra] = imm >= 32 ? 0 : R[rb] >> (imm & 31);
+      return Exec::kNext;
+    case Opcode::kEqi:
+      R[ra] = R[rb] == static_cast<std::uint32_t>(imm);
+      return Exec::kNext;
+    case Opcode::kAshri: {
+      const int amt = std::min(imm, 31);
+      R[ra] = static_cast<std::uint32_t>(static_cast<std::int32_t>(R[rb]) >> amt);
+      return Exec::kNext;
+    }
+    case Opcode::kLdc:
+      R[ra] = static_cast<std::uint32_t>(imm) & 0xFFFF;
+      return Exec::kNext;
+    case Opcode::kLdch:
+      R[ra] = (R[ra] << 16) | (static_cast<std::uint32_t>(imm) & 0xFFFF);
+      return Exec::kNext;
+
+    // ---- Memory / stack ----
+    case Opcode::kLdw:
+    case Opcode::kStw:
+    case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kLdwsp:
+    case Opcode::kStwsp:
+      return exec_memory(tid, ins);
+    case Opcode::kLdawsp:
+      R[ra] = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
+      return Exec::kNext;
+    case Opcode::kExtsp:
+      R[kRegSp] -= static_cast<std::uint32_t>(imm) * 4;
+      return Exec::kNext;
+
+    // ---- Control flow ----
+    case Opcode::kBt:
+    case Opcode::kBf: {
+      const bool taken = (ins.op == Opcode::kBt) == (R[ra] != 0);
+      if (!taken) return Exec::kNext;
+      t.pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(t.pc) + 1 + imm);
+      return Exec::kBranched;
+    }
+    case Opcode::kBu:
+      t.pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(t.pc) + 1 + imm);
+      return Exec::kBranched;
+    case Opcode::kBl:
+      R[kRegLr] = t.pc + 1;
+      t.pc = static_cast<std::uint32_t>(static_cast<std::int64_t>(t.pc) + 1 + imm);
+      return Exec::kBranched;
+    case Opcode::kBau:
+      t.pc = R[ra];
+      return Exec::kBranched;
+    case Opcode::kRet:
+      t.pc = R[kRegLr];
+      return Exec::kBranched;
+
+    // ---- Resources / threads ----
+    case Opcode::kGetr:
+    case Opcode::kFreer:
+    case Opcode::kGetst:
+    case Opcode::kTinitpc:
+    case Opcode::kTinitsp:
+    case Opcode::kTsetr:
+      return exec_thread_ops(tid, ins);
+
+    // ---- Communication & sync ----
+    case Opcode::kSetd:
+    case Opcode::kOut:
+    case Opcode::kOutt:
+    case Opcode::kOutct:
+    case Opcode::kIn:
+    case Opcode::kInt:
+    case Opcode::kChkct:
+    case Opcode::kSel2:
+    case Opcode::kMsync:
+    case Opcode::kSsync:
+    case Opcode::kTjoin:
+      return exec_comm(tid, ins);
+
+    case Opcode::kTexit: {
+      const bool is_slave = t.sync >= 0;
+      t.state = is_slave ? ThreadState::kExited : ThreadState::kUnused;
+      update_power_levels();
+      if (is_slave) on_slave_exited(tid);
+      return Exec::kExited;
+    }
+
+    // ---- Timers / system ----
+    case Opcode::kGettime:
+      R[ra] = ref_ticks();
+      return Exec::kNext;
+    case Opcode::kTimewait: {
+      const std::uint32_t target = R[ra];
+      const std::int32_t delta =
+          static_cast<std::int32_t>(target - ref_ticks());
+      if (delta <= 0) return Exec::kNext;
+      const TimePs ref_period = period_ps(kReferenceClockMhz);
+      const TimePs wake_at =
+          (sim_.now() / ref_period + delta) * ref_period;
+      sim_.at(wake_at, [this, tid] { wake(tid); });
+      return Exec::kBlocked;
+    }
+    case Opcode::kSetfreq: {
+      const std::uint32_t mhz = R[ra];
+      if (mhz < 1 || mhz > 1000) {
+        halt_with_trap(TrapKind::kBadOperand, tid,
+                       strprintf("SETFREQ %u MHz out of range", mhz));
+        return Exec::kNext;
+      }
+      set_frequency(static_cast<MegaHertz>(mhz));
+      return Exec::kNext;
+    }
+    case Opcode::kGetpwr:
+      R[ra] = power_read_hook_ ? power_read_hook_(imm) : 0;
+      return Exec::kNext;
+
+    // ---- Timed port I/O ----
+    case Opcode::kOutp:
+    case Opcode::kOutpt:
+    case Opcode::kInp: {
+      auto port_for_op = [&](std::uint32_t res_id) -> PortRes* {
+        if (resource_type(res_id) != ResourceType::kPort ||
+            resource_node(res_id) != cfg_.node_id ||
+            resource_index(res_id) >= kPortsPerCore ||
+            !ports_[resource_index(res_id)].allocated) {
+          halt_with_trap(TrapKind::kBadResource, tid,
+                         strprintf("not a local allocated port: 0x%08x",
+                                   res_id));
+          return nullptr;
+        }
+        return &ports_[resource_index(res_id)];
+      };
+      if (ins.op == Opcode::kInp) {
+        PortRes* port = port_for_op(R[rb]);
+        if (port == nullptr) return Exec::kNext;
+        R[ra] = port->input_level ? 1 : 0;
+        return Exec::kNext;
+      }
+      PortRes* port = port_for_op(R[ra]);
+      if (port == nullptr) return Exec::kNext;
+      if (ins.op == Opcode::kOutpt) {
+        // Timed output: block until the reference clock reaches R[rc],
+        // then drive — jitter-free bit timing (`p @ t <: v` in XC).
+        const std::int32_t delta =
+            static_cast<std::int32_t>(R[rc] - ref_ticks());
+        if (delta > 0) {
+          const TimePs ref_period = period_ps(kReferenceClockMhz);
+          const TimePs wake_at = (sim_.now() / ref_period + delta) * ref_period;
+          sim_.at(wake_at, [this, tid] { wake(tid); });
+          return Exec::kBlocked;
+        }
+      }
+      const int level = static_cast<int>(R[rb] & 1);
+      if (level != port->out_level || port->waveform.empty()) {
+        port->out_level = level;
+        port->waveform.push_back(PortEdge{sim_.now(), level});
+      }
+      return Exec::kNext;
+    }
+    case Opcode::kPrintc:
+      console_ += static_cast<char>(R[ra] & 0xFF);
+      return Exec::kNext;
+    case Opcode::kPrinti:
+      console_ += std::to_string(static_cast<std::int32_t>(R[ra]));
+      return Exec::kNext;
+
+    case Opcode::kOpcodeCount:
+      break;
+  }
+  halt_with_trap(TrapKind::kBadOpcode, tid, "unhandled opcode");
+  return Exec::kNext;
+}
+
+Core::Exec Core::exec_memory(int tid, const Instruction& ins) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  auto& R = t.regs;
+  const std::int32_t imm = ins.imm;
+  std::uint32_t addr;
+  switch (ins.op) {
+    case Opcode::kLdw:
+      addr = R[ins.rb] + static_cast<std::uint32_t>(imm) * 4;
+      if (!mem_check(addr, 4, 4, tid)) return Exec::kNext;
+      R[ins.ra] = load_word(addr);
+      return Exec::kNext;
+    case Opcode::kStw:
+      addr = R[ins.rb] + static_cast<std::uint32_t>(imm) * 4;
+      if (!mem_check(addr, 4, 4, tid)) return Exec::kNext;
+      store_word(addr, R[ins.ra]);
+      return Exec::kNext;
+    case Opcode::kLdb:
+      addr = R[ins.rb] + static_cast<std::uint32_t>(imm);
+      if (!mem_check(addr, 1, 1, tid)) return Exec::kNext;
+      R[ins.ra] = sram_[addr];
+      return Exec::kNext;
+    case Opcode::kStb:
+      addr = R[ins.rb] + static_cast<std::uint32_t>(imm);
+      if (!mem_check(addr, 1, 1, tid)) return Exec::kNext;
+      sram_[addr] = static_cast<std::uint8_t>(R[ins.ra] & 0xFF);
+      return Exec::kNext;
+    case Opcode::kLdwsp:
+      addr = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
+      if (!mem_check(addr, 4, 4, tid)) return Exec::kNext;
+      R[ins.ra] = load_word(addr);
+      return Exec::kNext;
+    case Opcode::kStwsp:
+      addr = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
+      if (!mem_check(addr, 4, 4, tid)) return Exec::kNext;
+      store_word(addr, R[ins.ra]);
+      return Exec::kNext;
+    default:
+      invariant(false, "exec_memory: not a memory opcode");
+  }
+  return Exec::kNext;
+}
+
+Core::Exec Core::exec_thread_ops(int tid, const Instruction& ins) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  auto& R = t.regs;
+
+  auto thread_for_op = [&](std::uint32_t res_id) -> int {
+    if (resource_type(res_id) != ResourceType::kThread ||
+        resource_node(res_id) != cfg_.node_id ||
+        resource_index(res_id) >= kMaxHardwareThreads) {
+      halt_with_trap(TrapKind::kBadResource, tid,
+                     strprintf("not a local thread id: 0x%08x", res_id));
+      return -1;
+    }
+    const int idx = resource_index(res_id);
+    if (threads_[static_cast<std::size_t>(idx)].state !=
+        ThreadState::kAllocated) {
+      halt_with_trap(TrapKind::kBadResource, tid,
+                     "TINIT*/TSETR on a thread that is not freshly allocated");
+      return -1;
+    }
+    return idx;
+  };
+
+  switch (ins.op) {
+    case Opcode::kGetr: {
+      const auto type = static_cast<ResourceType>(ins.imm);
+      std::uint32_t id = 0;
+      switch (type) {
+        case ResourceType::kChanend:
+          for (int i = 0; i < kChanendsPerCore; ++i) {
+            Chanend& ce = chanends_[static_cast<std::size_t>(i)];
+            if (!ce.allocated()) {
+              ce.allocate(make_resource_id(cfg_.node_id,
+                                           static_cast<std::uint8_t>(i),
+                                           ResourceType::kChanend));
+              id = ce.id();
+              break;
+            }
+          }
+          break;
+        case ResourceType::kTimer:
+          for (int i = 0; i < kTimersPerCore; ++i) {
+            TimerRes& tr = timers_[static_cast<std::size_t>(i)];
+            if (!tr.allocated) {
+              tr.allocated = true;
+              id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
+                                    ResourceType::kTimer);
+              break;
+            }
+          }
+          break;
+        case ResourceType::kSync:
+          for (int i = 0; i < kSyncsPerCore; ++i) {
+            SyncRes& s = syncs_[static_cast<std::size_t>(i)];
+            if (!s.allocated) {
+              s = SyncRes{};
+              s.allocated = true;
+              s.master = tid;
+              id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
+                                    ResourceType::kSync);
+              break;
+            }
+          }
+          break;
+        case ResourceType::kLock:
+          for (int i = 0; i < kLocksPerCore; ++i) {
+            LockRes& l = locks_[static_cast<std::size_t>(i)];
+            if (!l.allocated) {
+              l = LockRes{};
+              l.allocated = true;
+              id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
+                                    ResourceType::kLock);
+              break;
+            }
+          }
+          break;
+        case ResourceType::kPort:
+          for (int i = 0; i < kPortsPerCore; ++i) {
+            PortRes& p = ports_[static_cast<std::size_t>(i)];
+            if (!p.allocated) {
+              // The pin is physical: its externally driven input level
+              // survives reallocation; only the drive state resets.
+              p.allocated = true;
+              p.out_level = 0;
+              p.waveform.clear();
+              p.waveform.push_back(PortEdge{sim_.now(), 0});
+              id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
+                                    ResourceType::kPort);
+              break;
+            }
+          }
+          break;
+        default:
+          halt_with_trap(TrapKind::kBadResource, tid,
+                         strprintf("GETR: bad resource type %d", ins.imm));
+          return Exec::kNext;
+      }
+      R[ins.ra] = id;  // 0 signals exhaustion, like XS1's failure return
+      return Exec::kNext;
+    }
+
+    case Opcode::kFreer: {
+      const std::uint32_t id = R[ins.ra];
+      if (resource_node(id) != cfg_.node_id) {
+        halt_with_trap(TrapKind::kBadResource, tid, "FREER: not local");
+        return Exec::kNext;
+      }
+      const int idx = resource_index(id);
+      switch (resource_type(id)) {
+        case ResourceType::kChanend: {
+          Chanend* ce = find_chanend(id);
+          if (ce == nullptr) break;
+          ce->release();
+          return Exec::kNext;
+        }
+        case ResourceType::kTimer:
+          if (idx < kTimersPerCore &&
+              timers_[static_cast<std::size_t>(idx)].allocated) {
+            timers_[static_cast<std::size_t>(idx)].allocated = false;
+            return Exec::kNext;
+          }
+          break;
+        case ResourceType::kSync:
+          if (idx < kSyncsPerCore &&
+              syncs_[static_cast<std::size_t>(idx)].allocated) {
+            SyncRes& s = syncs_[static_cast<std::size_t>(idx)];
+            if (!s.slaves.empty()) {
+              halt_with_trap(TrapKind::kBadResource, tid,
+                             "FREER: sync still has slave threads");
+              return Exec::kNext;
+            }
+            s.allocated = false;
+            return Exec::kNext;
+          }
+          break;
+        case ResourceType::kLock:
+          if (idx < kLocksPerCore &&
+              locks_[static_cast<std::size_t>(idx)].allocated) {
+            locks_[static_cast<std::size_t>(idx)].allocated = false;
+            return Exec::kNext;
+          }
+          break;
+        case ResourceType::kPort:
+          if (idx < kPortsPerCore &&
+              ports_[static_cast<std::size_t>(idx)].allocated) {
+            ports_[static_cast<std::size_t>(idx)].allocated = false;
+            return Exec::kNext;
+          }
+          break;
+        default:
+          break;
+      }
+      halt_with_trap(TrapKind::kBadResource, tid,
+                     strprintf("FREER: bad resource 0x%08x", id));
+      return Exec::kNext;
+    }
+
+    case Opcode::kGetst: {
+      const std::uint32_t sync_id = R[ins.rb];
+      if (resource_type(sync_id) != ResourceType::kSync ||
+          resource_node(sync_id) != cfg_.node_id ||
+          resource_index(sync_id) >= kSyncsPerCore) {
+        halt_with_trap(TrapKind::kBadResource, tid, "GETST: not a local sync");
+        return Exec::kNext;
+      }
+      SyncRes& s = syncs_[resource_index(sync_id)];
+      if (!s.allocated || s.master != tid) {
+        halt_with_trap(TrapKind::kBadResource, tid,
+                       "GETST: sync not owned by this thread");
+        return Exec::kNext;
+      }
+      std::uint32_t id = 0;
+      for (int i = 0; i < kMaxHardwareThreads; ++i) {
+        ThreadCtx& nt = threads_[static_cast<std::size_t>(i)];
+        if (nt.state == ThreadState::kUnused) {
+          nt = ThreadCtx{};
+          nt.state = ThreadState::kAllocated;
+          nt.sync = static_cast<int>(resource_index(sync_id));
+          s.slaves.push_back(i);
+          id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
+                                ResourceType::kThread);
+          break;
+        }
+      }
+      R[ins.ra] = id;
+      return Exec::kNext;
+    }
+
+    case Opcode::kTinitpc: {
+      const int idx = thread_for_op(R[ins.ra]);
+      if (idx < 0) return Exec::kNext;
+      threads_[static_cast<std::size_t>(idx)].pc =
+          static_cast<std::uint32_t>(ins.imm);
+      return Exec::kNext;
+    }
+    case Opcode::kTinitsp: {
+      const int idx = thread_for_op(R[ins.ra]);
+      if (idx < 0) return Exec::kNext;
+      threads_[static_cast<std::size_t>(idx)].regs[kRegSp] = R[ins.rb];
+      return Exec::kNext;
+    }
+    case Opcode::kTsetr: {
+      const int idx = thread_for_op(R[ins.ra]);
+      if (idx < 0) return Exec::kNext;
+      if (ins.imm < 0 || ins.imm >= kNumRegisters) {
+        halt_with_trap(TrapKind::kBadOperand, tid, "TSETR: bad register index");
+        return Exec::kNext;
+      }
+      threads_[static_cast<std::size_t>(idx)]
+          .regs[static_cast<std::size_t>(ins.imm)] = R[ins.rb];
+      return Exec::kNext;
+    }
+    default:
+      invariant(false, "exec_thread_ops: unexpected opcode");
+  }
+  return Exec::kNext;
+}
+
+bool Core::barrier_ready(const SyncRes& s) const {
+  for (int tid : s.slaves) {
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    const bool arrived = t.state == ThreadState::kAllocated ||
+                         t.state == ThreadState::kExited || t.ssync_waiting;
+    if (!arrived) return false;
+  }
+  return true;
+}
+
+void Core::release_barrier(SyncRes& s) {
+  const TimePs now = sim_.now();
+  for (int tid : s.slaves) {
+    ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state == ThreadState::kAllocated) {
+      t.state = ThreadState::kReady;  // first MSYNC starts the slaves
+      t.ready_at = now;
+    } else if (t.ssync_waiting) {
+      t.ssync_waiting = false;
+      t.sync_release_pending = true;
+      wake(tid);
+    }
+  }
+  if (s.master_msync_waiting) {
+    s.master_msync_waiting = false;
+    ThreadCtx& m = threads_[static_cast<std::size_t>(s.master)];
+    m.sync_release_pending = true;
+    wake(s.master);
+  }
+  update_power_levels();
+  schedule_issue();
+}
+
+void Core::on_slave_exited(int tid) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  invariant(t.sync >= 0 && t.sync < kSyncsPerCore, "slave without sync");
+  SyncRes& s = syncs_[static_cast<std::size_t>(t.sync)];
+  if (s.master_join_waiting) {
+    bool all_exited = true;
+    for (int slave : s.slaves) {
+      all_exited &= threads_[static_cast<std::size_t>(slave)].state ==
+                    ThreadState::kExited;
+    }
+    if (all_exited) {
+      for (int slave : s.slaves) {
+        ThreadCtx& st = threads_[static_cast<std::size_t>(slave)];
+        st.state = ThreadState::kUnused;
+        st.sync = -1;
+      }
+      s.slaves.clear();
+      s.master_join_waiting = false;
+      wake(s.master);
+    }
+  } else if (s.master_msync_waiting && barrier_ready(s)) {
+    release_barrier(s);
+  }
+}
+
+Core::Exec Core::exec_comm(int tid, const Instruction& ins) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  auto& R = t.regs;
+
+  auto arm_read = [&](Chanend* ce) {
+    ce->arm_readable([this, tid] { wake(tid); });
+  };
+  auto arm_write = [&](Chanend* ce) {
+    ce->arm_writable([this, tid] { wake(tid); });
+  };
+
+  switch (ins.op) {
+    case Opcode::kSetd: {
+      Chanend* ce = chanend_for_op(tid, R[ins.ra]);
+      if (ce == nullptr) return Exec::kNext;
+      ce->set_dest(R[ins.rb]);
+      return Exec::kNext;
+    }
+
+    case Opcode::kOut: {
+      // OUT on a lock resource releases the lock.
+      if (resource_type(R[ins.ra]) == ResourceType::kLock) {
+        const int idx = resource_index(R[ins.ra]);
+        if (resource_node(R[ins.ra]) != cfg_.node_id || idx >= kLocksPerCore ||
+            !locks_[static_cast<std::size_t>(idx)].allocated) {
+          halt_with_trap(TrapKind::kBadResource, tid, "OUT: bad lock");
+          return Exec::kNext;
+        }
+        LockRes& l = locks_[static_cast<std::size_t>(idx)];
+        if (!l.waiters.empty()) {
+          const int next = l.waiters.front();
+          l.waiters.pop_front();
+          threads_[static_cast<std::size_t>(next)].sync_release_pending = true;
+          wake(next);
+        } else {
+          l.held = false;
+        }
+        return Exec::kNext;
+      }
+      Chanend* ce = chanend_for_op(tid, R[ins.ra]);
+      if (ce == nullptr) return Exec::kNext;
+      const std::uint32_t v = R[ins.rb];
+      const Token tokens[4] = {
+          Token::data(static_cast<std::uint8_t>(v)),
+          Token::data(static_cast<std::uint8_t>(v >> 8)),
+          Token::data(static_cast<std::uint8_t>(v >> 16)),
+          Token::data(static_cast<std::uint8_t>(v >> 24)),
+      };
+      if (!ce->try_emit(tokens)) {
+        arm_write(ce);
+        return Exec::kBlocked;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kOutt: {
+      Chanend* ce = chanend_for_op(tid, R[ins.ra]);
+      if (ce == nullptr) return Exec::kNext;
+      const Token tok[1] = {Token::data(static_cast<std::uint8_t>(R[ins.rb]))};
+      if (!ce->try_emit(tok)) {
+        arm_write(ce);
+        return Exec::kBlocked;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kOutct: {
+      Chanend* ce = chanend_for_op(tid, R[ins.ra]);
+      if (ce == nullptr) return Exec::kNext;
+      const Token tok[1] = {
+          Token::control(static_cast<ControlToken>(ins.imm & 0xFF))};
+      if (!ce->try_emit(tok)) {
+        arm_write(ce);
+        return Exec::kBlocked;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kIn: {
+      // IN on a lock resource acquires the lock.
+      if (resource_type(R[ins.rb]) == ResourceType::kLock) {
+        const int idx = resource_index(R[ins.rb]);
+        if (resource_node(R[ins.rb]) != cfg_.node_id || idx >= kLocksPerCore ||
+            !locks_[static_cast<std::size_t>(idx)].allocated) {
+          halt_with_trap(TrapKind::kBadResource, tid, "IN: bad lock");
+          return Exec::kNext;
+        }
+        LockRes& l = locks_[static_cast<std::size_t>(idx)];
+        if (t.sync_release_pending) {  // lock handed to us by the releaser
+          t.sync_release_pending = false;
+          R[ins.ra] = 0;
+          return Exec::kNext;
+        }
+        if (!l.held) {
+          l.held = true;
+          R[ins.ra] = 0;
+          return Exec::kNext;
+        }
+        l.waiters.push_back(tid);
+        return Exec::kBlocked;
+      }
+      Chanend* ce = chanend_for_op(tid, R[ins.rb]);
+      if (ce == nullptr) return Exec::kNext;
+      std::uint32_t word = 0;
+      switch (ce->read_word(word)) {
+        case Chanend::ReadResult::kOk:
+          R[ins.ra] = word;
+          return Exec::kNext;
+        case Chanend::ReadResult::kBlocked:
+          arm_read(ce);
+          return Exec::kBlocked;
+        case Chanend::ReadResult::kProtocolError:
+          halt_with_trap(TrapKind::kProtocol, tid,
+                         "IN: control token where data expected");
+          return Exec::kNext;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kInt: {
+      Chanend* ce = chanend_for_op(tid, R[ins.rb]);
+      if (ce == nullptr) return Exec::kNext;
+      std::uint8_t byte = 0;
+      switch (ce->read_token(byte)) {
+        case Chanend::ReadResult::kOk:
+          R[ins.ra] = byte;
+          return Exec::kNext;
+        case Chanend::ReadResult::kBlocked:
+          arm_read(ce);
+          return Exec::kBlocked;
+        case Chanend::ReadResult::kProtocolError:
+          halt_with_trap(TrapKind::kProtocol, tid,
+                         "INT: control token where data expected");
+          return Exec::kNext;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kChkct: {
+      Chanend* ce = chanend_for_op(tid, R[ins.ra]);
+      if (ce == nullptr) return Exec::kNext;
+      switch (ce->check_ct(static_cast<std::uint8_t>(ins.imm))) {
+        case Chanend::ReadResult::kOk:
+          return Exec::kNext;
+        case Chanend::ReadResult::kBlocked:
+          arm_read(ce);
+          return Exec::kBlocked;
+        case Chanend::ReadResult::kProtocolError:
+          halt_with_trap(TrapKind::kProtocol, tid,
+                         "CHKCT: unexpected token");
+          return Exec::kNext;
+      }
+      return Exec::kNext;
+    }
+
+    case Opcode::kSel2: {
+      Chanend* first = chanend_for_op(tid, R[ins.rb]);
+      if (first == nullptr) return Exec::kNext;
+      Chanend* second = chanend_for_op(tid, R[ins.rc]);
+      if (second == nullptr) return Exec::kNext;
+      if (first->in_pending() > 0) {
+        R[ins.ra] = R[ins.rb];
+        return Exec::kNext;
+      }
+      if (second->in_pending() > 0) {
+        R[ins.ra] = R[ins.rc];
+        return Exec::kNext;
+      }
+      // Arm both; a wake on an already-ready thread is a no-op, so the
+      // stale second arm is harmless.
+      arm_read(first);
+      arm_read(second);
+      return Exec::kBlocked;
+    }
+
+    case Opcode::kMsync: {
+      const std::uint32_t sync_id = R[ins.ra];
+      if (resource_type(sync_id) != ResourceType::kSync ||
+          resource_node(sync_id) != cfg_.node_id ||
+          resource_index(sync_id) >= kSyncsPerCore ||
+          !syncs_[resource_index(sync_id)].allocated ||
+          syncs_[resource_index(sync_id)].master != tid) {
+        halt_with_trap(TrapKind::kBadResource, tid, "MSYNC: not sync master");
+        return Exec::kNext;
+      }
+      SyncRes& s = syncs_[resource_index(sync_id)];
+      if (t.sync_release_pending) {
+        t.sync_release_pending = false;
+        return Exec::kNext;
+      }
+      if (barrier_ready(s)) {
+        release_barrier(s);
+        return Exec::kNext;
+      }
+      s.master_msync_waiting = true;
+      return Exec::kBlocked;
+    }
+
+    case Opcode::kSsync: {
+      if (t.sync < 0) {
+        halt_with_trap(TrapKind::kBadResource, tid,
+                       "SSYNC: thread is not a sync slave");
+        return Exec::kNext;
+      }
+      if (t.sync_release_pending) {
+        t.sync_release_pending = false;
+        return Exec::kNext;
+      }
+      SyncRes& s = syncs_[static_cast<std::size_t>(t.sync)];
+      t.ssync_waiting = true;
+      if (s.master_msync_waiting && barrier_ready(s)) {
+        release_barrier(s);
+        // We were the last arrival: the release cleared our waiting flag
+        // and set the pending flag — complete without blocking.
+        if (t.sync_release_pending) {
+          t.sync_release_pending = false;
+          return Exec::kNext;
+        }
+      }
+      return Exec::kBlocked;
+    }
+
+    case Opcode::kTjoin: {
+      const std::uint32_t sync_id = R[ins.ra];
+      if (resource_type(sync_id) != ResourceType::kSync ||
+          resource_node(sync_id) != cfg_.node_id ||
+          resource_index(sync_id) >= kSyncsPerCore ||
+          !syncs_[resource_index(sync_id)].allocated ||
+          syncs_[resource_index(sync_id)].master != tid) {
+        halt_with_trap(TrapKind::kBadResource, tid, "TJOIN: not sync master");
+        return Exec::kNext;
+      }
+      SyncRes& s = syncs_[resource_index(sync_id)];
+      bool all_exited = true;
+      for (int slave : s.slaves) {
+        all_exited &= threads_[static_cast<std::size_t>(slave)].state ==
+                      ThreadState::kExited;
+      }
+      if (all_exited) {
+        for (int slave : s.slaves) {
+          ThreadCtx& st = threads_[static_cast<std::size_t>(slave)];
+          st.state = ThreadState::kUnused;
+          st.sync = -1;
+        }
+        s.slaves.clear();
+        return Exec::kNext;
+      }
+      s.master_join_waiting = true;
+      return Exec::kBlocked;
+    }
+
+    default:
+      invariant(false, "exec_comm: unexpected opcode");
+  }
+  return Exec::kNext;
+}
+
+}  // namespace swallow

@@ -1,0 +1,276 @@
+// The Swallow processor core: an interpreter for the ISA of arch/isa.h with
+// the XS1-L execution model the paper's platform relies on (§IV):
+//
+//   * four-stage pipeline with overhead-free hardware thread switching —
+//     a thread issues at most once every four core cycles, the core issues
+//     at most one instruction per cycle, so throughput follows Eq. (2):
+//       IPSt = f / max(4, Nt),   IPSc = f * min(4, Nt) / 4;
+//   * 64 KiB of single-cycle unified SRAM (no cache: time-deterministic);
+//   * channel ends, timers, synchronisers and locks as architectural
+//     resources;
+//   * blocking channel I/O — a blocked thread is descheduled and burns no
+//     issue slots (and, in the energy model, no issue energy);
+//   * run-time frequency scaling (SETFREQ) and on-slice power readings
+//     (GETPWR) for the paper's energy-transparency experiments.
+//
+// Energy accounting: a continuous baseline PowerTrace carries the Fig. 3
+// idle line; a second trace carries issue-dynamic power proportional to the
+// runnable-thread fraction, with per-instruction pulses for the deviation
+// of each instruction class from the average mix.  A fully loaded core
+// therefore sits exactly on the Eq. (1) line.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/assembler.h"
+#include "arch/chanend.h"
+#include "arch/isa.h"
+#include "arch/resource.h"
+#include "arch/tracing.h"
+#include "arch/trap.h"
+#include "common/units.h"
+#include "energy/core_power.h"
+#include "energy/ledger.h"
+#include "energy/params.h"
+#include "sim/clock.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+class Core {
+ public:
+  struct Config {
+    NodeId node_id = 0;
+    MegaHertz frequency_mhz = kMaxCoreFrequencyMhz;
+    Volts voltage = 1.0;
+    /// Full DVFS (§III.B: "newer xCORE devices do support full DVFS"):
+    /// every frequency change also drops the supply to the minimum
+    /// reliable voltage for that frequency (Fig. 4's lower curve).
+    bool auto_dvfs = false;
+    CorePowerModel power_model{};
+    /// Optional Kerrison-style ([4]) refinement: issue energy depends on
+    /// inter-instruction class switching and operand Hamming weight.
+    DetailedEnergyConfig detailed_energy{};
+    std::size_t sram_bytes = kSramBytesPerCore;
+  };
+
+  Core(Simulator& sim, EnergyLedger& ledger, Config cfg);
+
+  // ----- Program control -----
+  /// Copy an image into SRAM starting at byte 0.
+  void load(const Image& image);
+
+  /// Write raw bytes into SRAM (used by the network boot loader).
+  void poke(std::uint32_t byte_addr, std::span<const std::uint8_t> bytes);
+
+  /// Start hardware thread 0 at `entry` (word index) with sp at top of RAM.
+  void start(std::uint32_t entry = 0);
+
+  /// True when a trap has halted the core.
+  bool trapped() const { return static_cast<bool>(trap_); }
+  const Trap& trap() const { return trap_; }
+
+  /// True when every thread has exited cleanly.
+  bool finished() const;
+
+  /// True when no thread can issue right now (finished, deadlocked or all
+  /// blocked waiting on external events).
+  bool idle() const { return runnable_threads() == 0; }
+
+  // ----- Identity / wiring -----
+  NodeId node_id() const { return cfg_.node_id; }
+  Chanend& chanend(int index) {
+    return chanends_.at(static_cast<std::size_t>(index));
+  }
+  /// Locate a local chanend by full resource id; nullptr if not allocated.
+  Chanend* find_chanend(ResourceId id);
+
+  /// Hook for GETPWR: returns milliwatts for a supply channel.
+  void set_power_read_hook(std::function<std::uint32_t(int)> hook) {
+    power_read_hook_ = std::move(hook);
+  }
+
+  /// Install an instruction trace sink called at every retire (xsim-style;
+  /// blocked attempts are not traced).  Pass nullptr to disable.
+  void set_trace_sink(InstrTraceSink sink) { trace_sink_ = std::move(sink); }
+
+  // ----- Introspection -----
+  const std::string& console() const { return console_; }
+  std::uint64_t instructions_retired() const { return retired_total_; }
+  std::uint64_t instructions_by_class(InstrClass c) const {
+    return retired_by_class_[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t thread_instructions(int tid) const {
+    return threads_.at(static_cast<std::size_t>(tid)).retired;
+  }
+  int runnable_threads() const;
+  int live_threads() const;  // runnable + blocked + allocated
+
+  /// (thread id, pc) of every blocked thread — deadlock diagnostics.
+  std::vector<std::pair<int, std::uint32_t>> blocked_threads() const;
+  MegaHertz frequency() const { return clock_.frequency(); }
+  Volts voltage() const { return voltage_; }
+  const Clock& clock() const { return clock_; }
+
+  /// Host-side frequency change (the SETFREQ instruction uses the same
+  /// path).  With auto_dvfs the supply voltage follows Vmin(f).
+  void set_frequency(MegaHertz f_mhz);
+
+  /// Read a 32-bit word from SRAM (test/inspection backdoor).
+  std::uint32_t peek_word(std::uint32_t byte_addr) const;
+
+  // ----- GPIO ports (timed 1-bit I/O) -----
+  /// Recorded output transitions of a port: (time, level) per change,
+  /// including the initial level at allocation.
+  struct PortEdge {
+    TimePs time;
+    int level;
+  };
+  const std::vector<PortEdge>& port_waveform(int index) const {
+    return ports_.at(static_cast<std::size_t>(index)).waveform;
+  }
+  /// Drive a port's input pin from the host/testbench.
+  void set_port_input(int index, bool level) {
+    ports_.at(static_cast<std::size_t>(index)).input_level = level;
+  }
+  int port_output_level(int index) const {
+    return ports_.at(static_cast<std::size_t>(index)).out_level;
+  }
+
+  // ----- Energy -----
+  /// Bring both power traces up to date (call before reading the ledger).
+  void settle_energy(TimePs now) {
+    baseline_trace_.settle(now);
+    instr_trace_.settle(now);
+  }
+  /// Traces to attach to a supply rail.
+  const PowerTrace* baseline_trace() const { return &baseline_trace_; }
+  const PowerTrace* instr_trace() const { return &instr_trace_; }
+  Watts current_power() const {
+    return baseline_trace_.level() + instr_trace_.level();
+  }
+  /// Energy this core alone has consumed (settle_energy first).
+  Joules energy_consumed() const {
+    return baseline_trace_.total() + instr_trace_.total();
+  }
+
+ private:
+  enum class ThreadState : std::uint8_t {
+    kUnused,     // free slot
+    kAllocated,  // created by GETST, not yet started by MSYNC
+    kReady,      // runnable
+    kBlocked,    // descheduled, waiting on a resource event
+    kExited,     // ran TEXIT; a slave awaits TJOIN reclamation
+  };
+
+  struct ThreadCtx {
+    ThreadState state = ThreadState::kUnused;
+    std::array<std::uint32_t, kNumRegisters> regs{};
+    std::uint32_t pc = 0;       // word index
+    TimePs ready_at = 0;        // pipeline constraint on next issue
+    int sync = -1;              // owning sync resource for slaves
+    bool ssync_waiting = false;
+    bool sync_release_pending = false;
+    std::uint64_t retired = 0;
+  };
+
+  struct SyncRes {
+    bool allocated = false;
+    int master = -1;
+    std::vector<int> slaves;
+    bool master_msync_waiting = false;
+    bool master_join_waiting = false;
+  };
+
+  struct LockRes {
+    bool allocated = false;
+    bool held = false;
+    std::deque<int> waiters;
+  };
+
+  struct TimerRes {
+    bool allocated = false;
+  };
+
+  struct PortRes {
+    bool allocated = false;
+    int out_level = 0;
+    bool input_level = false;
+    std::vector<PortEdge> waveform;
+  };
+
+  enum class Exec { kNext, kBranched, kBlocked, kExited };
+
+  // Scheduler.
+  void schedule_issue();
+  void do_issue();
+  int pick_thread(TimePs now);
+  void wake(int tid);
+  void block(int tid);
+  void halt_with_trap(TrapKind kind, int tid, const std::string& msg);
+
+  // Execution.
+  Exec execute(int tid, const Instruction& ins);
+  Exec exec_comm(int tid, const Instruction& ins);
+  Exec exec_thread_ops(int tid, const Instruction& ins);
+  Exec exec_memory(int tid, const Instruction& ins);
+
+  // Sync helpers.
+  bool barrier_ready(const SyncRes& s) const;
+  void release_barrier(SyncRes& s);
+  void on_slave_exited(int tid);
+
+  // Memory helpers (return false after setting a trap).
+  bool mem_check(std::uint32_t addr, std::uint32_t size, std::uint32_t align,
+                 int tid);
+  std::uint32_t load_word(std::uint32_t addr) const;
+  void store_word(std::uint32_t addr, std::uint32_t value);
+
+  // Resource helpers.
+  Chanend* chanend_for_op(int tid, std::uint32_t res_id);
+  std::uint32_t ref_ticks() const;
+
+  // Energy.
+  void update_power_levels();
+
+  Simulator& sim_;
+  Config cfg_;
+  Clock clock_;
+  Volts voltage_ = 1.0;
+  std::vector<std::uint8_t> sram_;
+  std::array<ThreadCtx, kMaxHardwareThreads> threads_{};
+  std::vector<Chanend> chanends_{kChanendsPerCore};
+  std::array<SyncRes, kSyncsPerCore> syncs_{};
+  std::array<LockRes, kLocksPerCore> locks_{};
+  std::array<TimerRes, kTimersPerCore> timers_{};
+  std::array<PortRes, kPortsPerCore> ports_{};
+  Trap trap_{};
+  bool started_ = false;
+
+  // Issue machinery.
+  TimePs core_free_at_ = 0;
+  int rr_next_ = 0;
+  bool issue_scheduled_ = false;
+  TimePs issue_scheduled_at_ = kTimeNever;
+  EventHandle issue_event_;
+
+  // Energy.
+  PowerTrace baseline_trace_;
+  PowerTrace instr_trace_;
+  InstrClass prev_class_ = InstrClass::kNop;  // for the detailed model
+
+  // Stats and I/O.
+  std::uint64_t retired_total_ = 0;
+  std::array<std::uint64_t, 10> retired_by_class_{};
+  std::string console_;
+  std::function<std::uint32_t(int)> power_read_hook_;
+  InstrTraceSink trace_sink_;
+};
+
+}  // namespace swallow

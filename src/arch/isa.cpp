@@ -1,0 +1,208 @@
+#include "arch/isa.h"
+
+#include <array>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+
+constexpr std::size_t kOpcodeCount =
+    static_cast<std::size_t>(Opcode::kOpcodeCount);
+
+constexpr std::array<OpcodeInfo, kOpcodeCount> kOpcodeTable = {{
+    {"nop", Format::kR0, InstrClass::kNop},
+    {"add", Format::kR3, InstrClass::kAlu},
+    {"sub", Format::kR3, InstrClass::kAlu},
+    {"and", Format::kR3, InstrClass::kAlu},
+    {"or", Format::kR3, InstrClass::kAlu},
+    {"xor", Format::kR3, InstrClass::kAlu},
+    {"eq", Format::kR3, InstrClass::kAlu},
+    {"lss", Format::kR3, InstrClass::kAlu},
+    {"lsu", Format::kR3, InstrClass::kAlu},
+    {"not", Format::kR2, InstrClass::kAlu},
+    {"neg", Format::kR2, InstrClass::kAlu},
+    {"mkmsk", Format::kR2, InstrClass::kAlu},
+    {"mul", Format::kR3, InstrClass::kMul},
+    {"divu", Format::kR3, InstrClass::kDiv},
+    {"remu", Format::kR3, InstrClass::kDiv},
+    {"shl", Format::kR3, InstrClass::kShift},
+    {"shr", Format::kR3, InstrClass::kShift},
+    {"ashr", Format::kR3, InstrClass::kShift},
+    {"addi", Format::kR2I, InstrClass::kAlu},
+    {"subi", Format::kR2I, InstrClass::kAlu},
+    {"shli", Format::kR2I, InstrClass::kShift},
+    {"shri", Format::kR2I, InstrClass::kShift},
+    {"eqi", Format::kR2I, InstrClass::kAlu},
+    {"ldc", Format::kR1I, InstrClass::kAlu},
+    {"ldch", Format::kR1I, InstrClass::kAlu},
+    {"ldw", Format::kR2I, InstrClass::kMemory},
+    {"stw", Format::kR2I, InstrClass::kMemory},
+    {"ldb", Format::kR2I, InstrClass::kMemory},
+    {"stb", Format::kR2I, InstrClass::kMemory},
+    {"ldwsp", Format::kR1I, InstrClass::kMemory},
+    {"stwsp", Format::kR1I, InstrClass::kMemory},
+    {"ldawsp", Format::kR1I, InstrClass::kAlu},
+    {"extsp", Format::kI, InstrClass::kAlu},
+    {"bt", Format::kR1I, InstrClass::kBranch},
+    {"bf", Format::kR1I, InstrClass::kBranch},
+    {"bu", Format::kI, InstrClass::kBranch},
+    {"bl", Format::kI, InstrClass::kBranch},
+    {"bau", Format::kR1, InstrClass::kBranch},
+    {"ret", Format::kR0, InstrClass::kBranch},
+    {"getr", Format::kR1I, InstrClass::kResource},
+    {"freer", Format::kR1, InstrClass::kResource},
+    {"setd", Format::kR2, InstrClass::kComm},
+    {"out", Format::kR2, InstrClass::kComm},
+    {"outt", Format::kR2, InstrClass::kComm},
+    {"outct", Format::kR1I, InstrClass::kComm},
+    {"in", Format::kR2, InstrClass::kComm},
+    {"int", Format::kR2, InstrClass::kComm},
+    {"chkct", Format::kR1I, InstrClass::kComm},
+    {"getst", Format::kR2, InstrClass::kResource},
+    {"tinitpc", Format::kR1I, InstrClass::kResource},
+    {"tinitsp", Format::kR2, InstrClass::kResource},
+    {"tsetr", Format::kR2I, InstrClass::kResource},
+    {"msync", Format::kR1, InstrClass::kComm},
+    {"ssync", Format::kR0, InstrClass::kComm},
+    {"tjoin", Format::kR1, InstrClass::kComm},
+    {"texit", Format::kR0, InstrClass::kSystem},
+    {"gettime", Format::kR1, InstrClass::kSystem},
+    {"timewait", Format::kR1, InstrClass::kSystem},
+    {"setfreq", Format::kR1, InstrClass::kSystem},
+    {"getpwr", Format::kR1I, InstrClass::kSystem},
+    {"printc", Format::kR1, InstrClass::kSystem},
+    {"printi", Format::kR1, InstrClass::kSystem},
+    {"macc", Format::kR3, InstrClass::kMul},
+    {"lmulh", Format::kR3, InstrClass::kMul},
+    {"ashri", Format::kR2I, InstrClass::kShift},
+    {"sel2", Format::kR3, InstrClass::kComm},
+    {"outp", Format::kR2, InstrClass::kComm},
+    {"outpt", Format::kR3, InstrClass::kComm},
+    {"inp", Format::kR2, InstrClass::kComm},
+}};
+
+const std::unordered_map<std::string_view, Opcode>& mnemonic_map() {
+  static const auto* map = [] {
+    auto* m = new std::unordered_map<std::string_view, Opcode>();
+    for (std::size_t i = 0; i < kOpcodeCount; ++i) {
+      (*m)[kOpcodeTable[i].mnemonic] = static_cast<Opcode>(i);
+    }
+    return m;
+  }();
+  return *map;
+}
+
+bool format_has_imm(Format f) {
+  return f == Format::kR1I || f == Format::kR2I || f == Format::kI;
+}
+
+}  // namespace
+
+const OpcodeInfo& opcode_info(Opcode op) {
+  const auto idx = static_cast<std::size_t>(op);
+  invariant(idx < kOpcodeCount, "opcode_info: bad opcode");
+  return kOpcodeTable[idx];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) {
+  const auto it = mnemonic_map().find(mnemonic);
+  if (it == mnemonic_map().end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint32_t encode(const Instruction& ins) {
+  const OpcodeInfo& info = opcode_info(ins.op);
+  require(ins.ra < kNumRegisters && ins.rb < kNumRegisters &&
+              ins.rc < kNumRegisters,
+          "encode: register index out of range");
+  std::uint32_t word = static_cast<std::uint32_t>(ins.op) << 24;
+  word |= static_cast<std::uint32_t>(ins.ra) << 20;
+  word |= static_cast<std::uint32_t>(ins.rb) << 16;
+  if (info.format == Format::kR3 || info.format == Format::kR2) {
+    word |= static_cast<std::uint32_t>(ins.rc) << 12;
+  } else if (format_has_imm(info.format)) {
+    require(ins.imm >= -32768 && ins.imm <= 65535,
+            "encode: immediate out of 16-bit range");
+    word |= static_cast<std::uint32_t>(ins.imm) & 0xFFFF;
+  }
+  return word;
+}
+
+Instruction decode(std::uint32_t word) {
+  const std::uint8_t opbyte = static_cast<std::uint8_t>(word >> 24);
+  Instruction ins;
+  if (opbyte >= kOpcodeCount) {
+    // Unknown opcode: decode to NOP carrying the raw byte; the core traps.
+    ins.op = Opcode::kNop;
+    ins.imm = opbyte;
+    ins.rc = 0xF;  // marker distinguishing from a genuine NOP
+    return ins;
+  }
+  ins.op = static_cast<Opcode>(opbyte);
+  const OpcodeInfo& info = opcode_info(ins.op);
+  ins.ra = static_cast<std::uint8_t>((word >> 20) & 0xF);
+  ins.rb = static_cast<std::uint8_t>((word >> 16) & 0xF);
+  if (info.format == Format::kR3 || info.format == Format::kR2) {
+    ins.rc = static_cast<std::uint8_t>((word >> 12) & 0xF);
+  } else if (format_has_imm(info.format)) {
+    // Sign-extend 16 bits; LDC and LDCH treat the field as unsigned.
+    const std::uint16_t raw = static_cast<std::uint16_t>(word & 0xFFFF);
+    if (ins.op == Opcode::kLdc || ins.op == Opcode::kLdch) {
+      ins.imm = raw;
+    } else {
+      ins.imm = static_cast<std::int16_t>(raw);
+    }
+  }
+  return ins;
+}
+
+std::string disassemble(const Instruction& ins) {
+  const OpcodeInfo& info = opcode_info(ins.op);
+  std::string out(info.mnemonic);
+  auto reg = [](int r) { return std::string(register_name(r)); };
+  switch (info.format) {
+    case Format::kR0:
+      break;
+    case Format::kR1:
+      out += " " + reg(ins.ra);
+      break;
+    case Format::kR2:
+      out += " " + reg(ins.ra) + ", " + reg(ins.rb);
+      break;
+    case Format::kR3:
+      out += " " + reg(ins.ra) + ", " + reg(ins.rb) + ", " + reg(ins.rc);
+      break;
+    case Format::kR1I:
+      out += " " + reg(ins.ra) + ", " + std::to_string(ins.imm);
+      break;
+    case Format::kR2I:
+      out += " " + reg(ins.ra) + ", " + reg(ins.rb) + ", " +
+             std::to_string(ins.imm);
+      break;
+    case Format::kI:
+      out += " " + std::to_string(ins.imm);
+      break;
+  }
+  return out;
+}
+
+std::string_view register_name(int index) {
+  static constexpr std::array<std::string_view, kNumRegisters> kNames = {
+      "r0", "r1", "r2", "r3", "r4",  "r5",  "r6",
+      "r7", "r8", "r9", "r10", "r11", "sp", "lr"};
+  invariant(index >= 0 && index < kNumRegisters, "register_name: bad index");
+  return kNames[static_cast<std::size_t>(index)];
+}
+
+std::optional<int> register_from_name(std::string_view name) {
+  for (int i = 0; i < kNumRegisters; ++i) {
+    if (register_name(i) == name) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace swallow

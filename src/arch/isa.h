@@ -1,0 +1,124 @@
+// The Swallow core instruction set: an XS1-inspired, 32-bit-encoded ISA
+// with the properties the paper's platform depends on (§IV.A):
+//   * fixed instruction completion time for most instructions,
+//   * ISA-level primitives for channel I/O and networking
+//     (OUT/IN/OUTT/INT/OUTCT/CHKCT/SETD),
+//   * hardware thread creation with no context-switch overhead
+//     (GETST/TINITPC/TSETR/MSYNC/SSYNC/TJOIN),
+//   * time as an architectural resource (GETTIME/TIMEWAIT), and
+//   * the energy-transparency hooks this reproduction adds explicitly:
+//     run-time frequency scaling (SETFREQ) and on-slice power readings
+//     (GETPWR), which the real platform reaches through memory-mapped
+//     peripherals.
+//
+// Encoding: one 32-bit word per instruction,
+//   [opcode:8][ra:4][rb:4][rc:4][unused:12]   for 3-register forms
+//   [opcode:8][ra:4][rb:4][imm:16]            for immediate forms.
+// The program counter and link register hold word indices.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "energy/instr_energy.h"
+
+namespace swallow {
+
+enum class Opcode : std::uint8_t {
+  kNop = 0,
+  // ALU register forms.
+  kAdd, kSub, kAnd, kOr, kXor, kEq, kLss, kLsu,
+  kNot, kNeg, kMkmsk,
+  kMul, kDivu, kRemu,
+  kShl, kShr, kAshr,
+  // Immediates.
+  kAddi, kSubi, kShli, kShri, kEqi,
+  kLdc, kLdch,
+  // Memory (byte addresses in registers; word-scaled immediates for LDW/STW).
+  kLdw, kStw, kLdb, kStb,
+  kLdwsp, kStwsp, kLdawsp, kExtsp,
+  // Control flow (word-relative immediates).
+  kBt, kBf, kBu, kBl, kBau, kRet,
+  // Resources.
+  kGetr, kFreer,
+  // Channel communication.
+  kSetd, kOut, kOutt, kOutct, kIn, kInt, kChkct,
+  // Threads and synchronisation.
+  kGetst, kTinitpc, kTinitsp, kTsetr, kMsync, kSsync, kTjoin, kTexit,
+  // Timers.
+  kGettime, kTimewait,
+  // System / energy transparency.
+  kSetfreq, kGetpwr, kPrintc, kPrinti,
+  // DSP extensions (XS1 long-arithmetic family).
+  kMacc,   // ra += rb * rc (multiply-accumulate, low 32 bits)
+  kLmulh,  // ra = high 32 bits of rb * rc (unsigned)
+  kAshri,  // ra = rb >> imm, arithmetic
+  // Event-driven input (simplified XS1 event unit): block until either
+  // chanend rb or rc has input; ra = the readable chanend's id.
+  kSel2,
+  // Timed 1-bit port I/O (the xCORE signature feature; GPIO on the slice
+  // edge, §IV.B).
+  kOutp,   // drive port ra to rb & 1 now
+  kOutpt,  // wait until reference time rc, then drive port ra to rb & 1
+  kInp,    // ra = current level of port rb's input
+  kOpcodeCount,
+};
+
+/// Operand shape of an opcode.
+enum class Format {
+  kR0,   // no operands
+  kR1,   // ra
+  kR2,   // ra, rb
+  kR3,   // ra, rb, rc
+  kR1I,  // ra, imm
+  kR2I,  // ra, rb, imm
+  kI,    // imm
+};
+
+/// Register file indices.  r0..r11 are general purpose; sp and lr are
+/// architecturally visible like XS1's.
+inline constexpr int kNumRegisters = 14;
+inline constexpr int kRegSp = 12;
+inline constexpr int kRegLr = 13;
+
+struct OpcodeInfo {
+  std::string_view mnemonic;
+  Format format;
+  InstrClass instr_class;
+};
+
+const OpcodeInfo& opcode_info(Opcode op);
+
+/// Look up an opcode by mnemonic (lower case).  Returns nullopt if unknown.
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic);
+
+/// A decoded instruction.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t ra = 0;
+  std::uint8_t rb = 0;
+  std::uint8_t rc = 0;
+  std::int32_t imm = 0;  // sign-extended 16-bit where applicable
+
+  bool operator==(const Instruction&) const = default;
+};
+
+/// Encode to the 32-bit instruction word.  Validates field ranges.
+std::uint32_t encode(const Instruction& ins);
+
+/// Decode a 32-bit word.  Unknown opcodes decode to NOP with `imm` holding
+/// the raw opcode byte — the core traps on executing them.
+Instruction decode(std::uint32_t word);
+
+/// Disassemble one instruction to assembler syntax.
+std::string disassemble(const Instruction& ins);
+
+/// Register name used by the assembler/disassembler (r0..r11, sp, lr).
+std::string_view register_name(int index);
+
+/// Parse a register name; nullopt if not a register.
+std::optional<int> register_from_name(std::string_view name);
+
+}  // namespace swallow

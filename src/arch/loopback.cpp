@@ -1,0 +1,87 @@
+#include "arch/loopback.h"
+
+#include <set>
+
+#include "arch/resource.h"
+#include "common/error.h"
+
+namespace swallow {
+
+/// One processor port: consumes header tokens, then forwards the packet
+/// body to the destination chanend while it can receive.
+class LoopbackFabric::Port : public TokenOutPort {
+ public:
+  Port(LoopbackFabric& fabric) : fabric_(fabric) {}
+
+  bool can_accept() const override {
+    // Accept while the downstream (if a route is open) has space, or we are
+    // still collecting the header.
+    if (header_.size() < kHeaderTokens) return true;
+    return dest_ != nullptr && dest_->can_receive();
+  }
+
+  void push(const Token& t) override {
+    if (header_.size() < static_cast<std::size_t>(kHeaderTokens)) {
+      require(!t.is_control, "loopback: control token inside header");
+      header_.push_back(t.value);
+      if (header_.size() == static_cast<std::size_t>(kHeaderTokens)) {
+        open_route();
+      }
+      return;
+    }
+    invariant(dest_ != nullptr && dest_->can_receive(),
+              "loopback: push without acceptance");
+    const bool closes = t.closes_route();
+    if (!t.is_pause()) dest_->receive(t);  // PAUSE is not delivered
+    if (closes) {
+      header_.clear();
+      dest_ = nullptr;
+    }
+    fire_space();
+  }
+
+  void subscribe_space(std::function<void()> cb) override {
+    space_subs_.push_back(std::move(cb));
+  }
+
+  void fire_space() {
+    for (const auto& cb : space_subs_) cb();
+  }
+
+ private:
+  void open_route() {
+    const HeaderDest hd = header_from_bytes(header_[0], header_[1], header_[2]);
+    const ResourceId dest_id = chanend_from_dest(hd);
+    for (Core* core : fabric_.cores_) {
+      if (core->node_id() == hd.node) {
+        dest_ = core->find_chanend(dest_id);
+        break;
+      }
+    }
+    require(dest_ != nullptr, "loopback: no such destination chanend");
+    // The destination may free buffer space later; propagate that to our
+    // producer (subscribe once per destination).
+    if (subscribed_.insert(dest_).second) {
+      dest_->subscribe_drain([this] { fire_space(); });
+    }
+  }
+
+  LoopbackFabric& fabric_;
+  std::vector<std::uint8_t> header_;
+  TokenReceiver* dest_ = nullptr;
+  std::set<TokenReceiver*> subscribed_;
+  std::vector<std::function<void()>> space_subs_;
+};
+
+LoopbackFabric::LoopbackFabric() = default;
+LoopbackFabric::~LoopbackFabric() = default;
+
+void LoopbackFabric::attach(Core& core) {
+  cores_.push_back(&core);
+  for (int i = 0; i < kChanendsPerCore; ++i) {
+    ports_.push_back(std::make_unique<Port>(*this));
+    core.chanend(i).attach_out_port(ports_.back().get());
+  }
+}
+
+}  // namespace swallow

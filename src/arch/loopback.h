@@ -1,0 +1,39 @@
+// A zero-latency software fabric connecting chanends directly, used for
+// unit-testing core channel semantics in isolation from the full NoC (which
+// lives in swallow_noc and adds real link timing, routing and contention).
+//
+// It parses route headers exactly like a switch and delivers tokens to the
+// addressed chanend of any registered core, respecting receiver
+// backpressure so blocking semantics are still exercised.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/comm.h"
+#include "arch/core.h"
+
+namespace swallow {
+
+class LoopbackFabric {
+ public:
+  LoopbackFabric();
+  ~LoopbackFabric();  // out of line: Port is an implementation detail
+
+  /// Attach every chanend of `core` to the fabric.
+  void attach(Core& core);
+
+ private:
+  class Port;
+
+  void deliver_ready();
+
+  std::vector<Core*> cores_;
+  std::vector<std::unique_ptr<Port>> ports_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,60 @@
+// XS1-style resources and resource identifiers.
+//
+// Resource ids follow the XS1 layout: [node:16][index:8][type:8].  Channel
+// ends embed the owning node id, so a chanend id doubles as the routable
+// network address carried in route headers.
+#pragma once
+
+#include <cstdint>
+
+#include "noc/token.h"
+
+namespace swallow {
+
+enum class ResourceType : std::uint8_t {
+  kTimer = 1,
+  kChanend = 2,
+  kSync = 3,
+  kThread = 4,
+  kLock = 5,
+  kPort = 6,  // 1-bit GPIO with timestamped output (timed I/O)
+};
+
+using ResourceId = std::uint32_t;
+using NodeId = std::uint16_t;
+
+constexpr ResourceId make_resource_id(NodeId node, std::uint8_t index,
+                                      ResourceType type) {
+  return (static_cast<ResourceId>(node) << 16) |
+         (static_cast<ResourceId>(index) << 8) |
+         static_cast<ResourceId>(type);
+}
+
+constexpr NodeId resource_node(ResourceId id) {
+  return static_cast<NodeId>(id >> 16);
+}
+constexpr std::uint8_t resource_index(ResourceId id) {
+  return static_cast<std::uint8_t>((id >> 8) & 0xFF);
+}
+constexpr ResourceType resource_type(ResourceId id) {
+  return static_cast<ResourceType>(id & 0xFF);
+}
+
+/// Network header destination for a chanend id.
+constexpr HeaderDest chanend_dest(ResourceId chanend_id) {
+  return HeaderDest{resource_node(chanend_id), resource_index(chanend_id)};
+}
+
+/// Chanend id reconstructed from a header.
+constexpr ResourceId chanend_from_dest(HeaderDest d) {
+  return make_resource_id(d.node, d.chanend, ResourceType::kChanend);
+}
+
+/// Hardware provisioning per core.
+inline constexpr int kChanendsPerCore = 32;
+inline constexpr int kTimersPerCore = 10;
+inline constexpr int kSyncsPerCore = 7;
+inline constexpr int kLocksPerCore = 4;
+inline constexpr int kPortsPerCore = 8;
+
+}  // namespace swallow

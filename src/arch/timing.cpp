@@ -1,0 +1,277 @@
+#include "arch/timing.h"
+
+#include <array>
+#include <optional>
+
+#include "arch/isa.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+
+using Value = std::optional<std::uint32_t>;
+
+struct State {
+  std::array<Value, kNumRegisters> regs{};
+  std::uint32_t pc = 0;
+};
+
+TimingResult give_up(const TimingResult& partial, std::uint32_t pc,
+                     const std::string& why) {
+  TimingResult r = partial;
+  r.exact = false;
+  r.reason = strprintf("at word %u: %s", pc, why.c_str());
+  return r;
+}
+
+}  // namespace
+
+TimingResult analyze_timing(const Image& image, std::uint32_t entry_word,
+                            std::uint64_t max_instructions) {
+  State s;
+  s.pc = entry_word;
+  // sp starts at the top of RAM, as Core::start sets it.
+  s.regs[kRegSp] = static_cast<std::uint32_t>(kSramBytesPerCore);
+
+  TimingResult result;
+  std::uint64_t pending_gap = 0;  // reissue gap of the previous instruction
+
+  auto known2 = [](Value a, Value b) { return a.has_value() && b.has_value(); };
+
+  while (result.instructions < max_instructions) {
+    if (s.pc >= image.words.size()) {
+      return give_up(result, s.pc, "execution left the image");
+    }
+    const Instruction ins = decode(image.words[s.pc]);
+    if (ins.op == Opcode::kNop && ins.rc == 0xF) {
+      return give_up(result, s.pc, "undefined opcode");
+    }
+
+    // The previous instruction's reissue gap only counts if another
+    // instruction follows — so add it now, before executing this one.
+    result.thread_cycles += pending_gap;
+    pending_gap = ins.op == Opcode::kDivu || ins.op == Opcode::kRemu ? 32 : 4;
+    ++result.instructions;
+
+    auto& R = s.regs;
+    const auto ra = ins.ra, rb = ins.rb, rc = ins.rc;
+    const std::uint32_t uimm = static_cast<std::uint32_t>(ins.imm);
+    std::uint32_t next_pc = s.pc + 1;
+
+    switch (ins.op) {
+      case Opcode::kNop:
+        break;
+      // ---- Constant-foldable ALU ----
+      case Opcode::kAdd:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] + *R[rc]) : Value();
+        break;
+      case Opcode::kSub:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] - *R[rc]) : Value();
+        break;
+      case Opcode::kAnd:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] & *R[rc]) : Value();
+        break;
+      case Opcode::kOr:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] | *R[rc]) : Value();
+        break;
+      case Opcode::kXor:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] ^ *R[rc]) : Value();
+        break;
+      case Opcode::kEq:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] == *R[rc]) : Value();
+        break;
+      case Opcode::kLss:
+        R[ra] = known2(R[rb], R[rc])
+                    ? Value(static_cast<std::int32_t>(*R[rb]) <
+                            static_cast<std::int32_t>(*R[rc]))
+                    : Value();
+        break;
+      case Opcode::kLsu:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] < *R[rc]) : Value();
+        break;
+      case Opcode::kNot:
+        R[ra] = R[rb] ? Value(~*R[rb]) : Value();
+        break;
+      case Opcode::kNeg:
+        R[ra] = R[rb] ? Value(static_cast<std::uint32_t>(
+                            -static_cast<std::int32_t>(*R[rb])))
+                      : Value();
+        break;
+      case Opcode::kMkmsk:
+        R[ra] = R[rb] ? Value(*R[rb] >= 32 ? 0xFFFFFFFFu : (1u << *R[rb]) - 1)
+                      : Value();
+        break;
+      case Opcode::kMul:
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] * *R[rc]) : Value();
+        break;
+      case Opcode::kMacc:
+        R[ra] = R[ra] && known2(R[rb], R[rc]) ? Value(*R[ra] + *R[rb] * *R[rc])
+                                              : Value();
+        break;
+      case Opcode::kLmulh:
+        R[ra] = known2(R[rb], R[rc])
+                    ? Value(static_cast<std::uint32_t>(
+                          (static_cast<std::uint64_t>(*R[rb]) * *R[rc]) >> 32))
+                    : Value();
+        break;
+      case Opcode::kDivu:
+        if (known2(R[rb], R[rc]) && *R[rc] == 0) {
+          return give_up(result, s.pc, "divide by zero");
+        }
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] / *R[rc]) : Value();
+        break;
+      case Opcode::kRemu:
+        if (known2(R[rb], R[rc]) && *R[rc] == 0) {
+          return give_up(result, s.pc, "divide by zero");
+        }
+        R[ra] = known2(R[rb], R[rc]) ? Value(*R[rb] % *R[rc]) : Value();
+        break;
+      case Opcode::kShl:
+        R[ra] = known2(R[rb], R[rc])
+                    ? Value(*R[rc] >= 32 ? 0 : *R[rb] << *R[rc])
+                    : Value();
+        break;
+      case Opcode::kShr:
+        R[ra] = known2(R[rb], R[rc])
+                    ? Value(*R[rc] >= 32 ? 0 : *R[rb] >> *R[rc])
+                    : Value();
+        break;
+      case Opcode::kAshr:
+        R[ra] = known2(R[rb], R[rc])
+                    ? Value(static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(*R[rb]) >>
+                          std::min<std::uint32_t>(*R[rc], 31)))
+                    : Value();
+        break;
+      // ---- Immediates ----
+      case Opcode::kAddi:
+        R[ra] = R[rb] ? Value(*R[rb] + uimm) : Value();
+        break;
+      case Opcode::kSubi:
+        R[ra] = R[rb] ? Value(*R[rb] - uimm) : Value();
+        break;
+      case Opcode::kShli:
+        R[ra] = R[rb] ? Value(ins.imm >= 32 ? 0 : *R[rb] << (ins.imm & 31))
+                      : Value();
+        break;
+      case Opcode::kShri:
+        R[ra] = R[rb] ? Value(ins.imm >= 32 ? 0 : *R[rb] >> (ins.imm & 31))
+                      : Value();
+        break;
+      case Opcode::kAshri:
+        R[ra] = R[rb] ? Value(static_cast<std::uint32_t>(
+                            static_cast<std::int32_t>(*R[rb]) >>
+                            std::min(ins.imm, 31)))
+                      : Value();
+        break;
+      case Opcode::kEqi:
+        R[ra] = R[rb] ? Value(*R[rb] == uimm) : Value();
+        break;
+      case Opcode::kLdc:
+        R[ra] = uimm & 0xFFFF;
+        break;
+      case Opcode::kLdch:
+        R[ra] = R[ra] ? Value((*R[ra] << 16) | (uimm & 0xFFFF)) : Value();
+        break;
+      // ---- Memory: addresses may be checked, values become unknown ----
+      case Opcode::kLdw:
+      case Opcode::kLdb:
+      case Opcode::kLdwsp:
+        R[ra] = Value();  // loads are not tracked (memory is not modelled)
+        break;
+      case Opcode::kStw:
+      case Opcode::kStb:
+      case Opcode::kStwsp:
+        break;  // stores do not affect register timing state
+      case Opcode::kLdawsp:
+        R[ra] = R[kRegSp] ? Value(*R[kRegSp] + uimm * 4) : Value();
+        break;
+      case Opcode::kExtsp:
+        R[kRegSp] = R[kRegSp] ? Value(*R[kRegSp] - uimm * 4) : Value();
+        break;
+      // ---- Control flow ----
+      case Opcode::kBt:
+      case Opcode::kBf: {
+        if (!R[ra]) {
+          return give_up(result, s.pc,
+                         "data-dependent branch (condition unknown)");
+        }
+        const bool taken = (ins.op == Opcode::kBt) == (*R[ra] != 0);
+        if (taken) {
+          next_pc = static_cast<std::uint32_t>(
+              static_cast<std::int64_t>(s.pc) + 1 + ins.imm);
+        }
+        break;
+      }
+      case Opcode::kBu:
+        next_pc = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(s.pc) + 1 + ins.imm);
+        break;
+      case Opcode::kBl:
+        R[kRegLr] = s.pc + 1;
+        next_pc = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(s.pc) + 1 + ins.imm);
+        break;
+      case Opcode::kBau:
+        if (!R[ra]) return give_up(result, s.pc, "indirect branch target unknown");
+        next_pc = *R[ra];
+        break;
+      case Opcode::kRet:
+        if (!R[kRegLr]) return give_up(result, s.pc, "return address unknown");
+        next_pc = *R[kRegLr];
+        break;
+      // ---- Terminal ----
+      case Opcode::kTexit:
+        result.exact = true;
+        return result;
+      // ---- Not statically timeable ----
+      case Opcode::kGetr:
+      case Opcode::kFreer:
+      case Opcode::kGetst:
+      case Opcode::kTinitpc:
+      case Opcode::kTinitsp:
+      case Opcode::kTsetr:
+      case Opcode::kMsync:
+      case Opcode::kSsync:
+      case Opcode::kTjoin:
+        return give_up(result, s.pc,
+                       "thread/resource operation: timing depends on other "
+                       "threads");
+      case Opcode::kSetd:
+      case Opcode::kOut:
+      case Opcode::kOutt:
+      case Opcode::kOutct:
+      case Opcode::kIn:
+      case Opcode::kInt:
+      case Opcode::kChkct:
+      case Opcode::kSel2:
+        return give_up(result, s.pc,
+                       "channel communication: timing depends on the peer");
+      case Opcode::kGettime:
+      case Opcode::kTimewait:
+        return give_up(result, s.pc, "timer operation");
+      case Opcode::kOutp:
+        break;  // immediate port drive: one issue slot
+      case Opcode::kInp:
+        R[ra] = Value();  // pin level unknown
+        break;
+      case Opcode::kOutpt:
+        return give_up(result, s.pc, "timed port output waits for the clock");
+      case Opcode::kSetfreq:
+        return give_up(result, s.pc, "frequency change mid-path");
+      case Opcode::kGetpwr:
+        R[ra] = Value();
+        break;
+      case Opcode::kPrintc:
+      case Opcode::kPrinti:
+        break;
+      case Opcode::kOpcodeCount:
+        return give_up(result, s.pc, "undefined opcode");
+    }
+    s.pc = next_pc;
+  }
+  return give_up(result, s.pc, "instruction limit reached (unbounded loop?)");
+}
+
+}  // namespace swallow

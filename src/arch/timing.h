@@ -1,0 +1,46 @@
+// Static timing analysis (in the spirit of XMOS's XTA tool).
+//
+// The premise of the whole platform (§IV.A) is time-deterministic
+// execution: instruction timing does not depend on caches or arbitration,
+// so the execution time of communication-free code with statically
+// resolvable control flow can be computed *exactly* — not estimated — from
+// the program text.  analyze_timing() performs constant-propagating
+// symbolic execution over an assembled image and returns the exact thread
+// cycle count, which equals the cycle count observed in simulation
+// (property-tested).  Code whose timing is not statically determined
+// (data-dependent branches, channel communication, timer waits) is
+// reported as such with the offending instruction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/assembler.h"
+#include "common/units.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+struct TimingResult {
+  /// True when the path's timing is statically exact.
+  bool exact = false;
+  /// Instructions executed from entry to TEXIT (or the analysis limit).
+  std::uint64_t instructions = 0;
+  /// Thread cycles from the first issue to the final retire (a lone
+  /// thread retires every 4 cycles; divides stall 32).
+  std::uint64_t thread_cycles = 0;
+  /// Why the analysis gave up, when !exact.
+  std::string reason;
+
+  /// Wall-clock duration at frequency f (single thread).
+  TimePs duration(MegaHertz f_mhz) const {
+    return static_cast<TimePs>(thread_cycles) * period_ps(f_mhz);
+  }
+};
+
+/// Analyse from `entry_word` until TEXIT.  `max_instructions` bounds
+/// loops that the analysis cannot prove terminate.
+TimingResult analyze_timing(const Image& image, std::uint32_t entry_word = 0,
+                            std::uint64_t max_instructions = 10'000'000);
+
+}  // namespace swallow

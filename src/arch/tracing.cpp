@@ -1,0 +1,13 @@
+#include "arch/tracing.h"
+
+#include "common/strings.h"
+
+namespace swallow {
+
+std::string format_trace_record(const InstrTraceRecord& rec) {
+  return strprintf("%10lld ps  t%d@%04x: %s",
+                   static_cast<long long>(rec.time), rec.thread, rec.pc,
+                   disassemble(rec.ins).c_str());
+}
+
+}  // namespace swallow

@@ -1,0 +1,50 @@
+// Instruction tracing: an optional per-core sink invoked at every retire,
+// in the spirit of xsim's trace output.  Tracing is pull-free — the sink
+// sees (time, thread, pc, instruction) and can format, filter or count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+#include <string>
+
+#include "arch/isa.h"
+#include "common/units.h"
+
+namespace swallow {
+
+struct InstrTraceRecord {
+  TimePs time = 0;
+  int thread = 0;
+  std::uint32_t pc = 0;  // word index of the retired instruction
+  Instruction ins;
+};
+
+using InstrTraceSink = std::function<void(const InstrTraceRecord&)>;
+
+/// xsim-style one-line rendering: "  123456 ps  t2@0017: add r1, r2, r3".
+std::string format_trace_record(const InstrTraceRecord& rec);
+
+/// Convenience sink collecting formatted lines (tests, debugging).
+class TraceBuffer {
+ public:
+  InstrTraceSink sink() {
+    return [this](const InstrTraceRecord& rec) {
+      ++count_;
+      if (lines_.size() < max_lines_) {
+        lines_.push_back(format_trace_record(rec));
+      }
+    };
+  }
+
+  std::uint64_t count() const { return count_; }
+  const std::vector<std::string>& lines() const { return lines_; }
+  void set_max_lines(std::size_t n) { max_lines_ = n; }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::size_t max_lines_ = 10000;
+  std::vector<std::string> lines_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,46 @@
+// Processor traps: unrecoverable program errors detected by the core.
+// The core latches the first trap and halts, preserving full context for
+// inspection — the simulator equivalent of the XS1 exception mechanism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace swallow {
+
+enum class TrapKind {
+  kNone,
+  kBadOpcode,
+  kMemoryBounds,
+  kMemoryAlignment,
+  kBadResource,     // use of an unallocated / wrong-type resource
+  kProtocol,        // channel protocol violation (e.g. CT where data expected)
+  kResourceExhausted,
+  kBadOperand,      // e.g. out-of-range SETFREQ
+};
+
+constexpr std::string_view to_string(TrapKind k) {
+  switch (k) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kBadOpcode: return "bad-opcode";
+    case TrapKind::kMemoryBounds: return "memory-bounds";
+    case TrapKind::kMemoryAlignment: return "memory-alignment";
+    case TrapKind::kBadResource: return "bad-resource";
+    case TrapKind::kProtocol: return "protocol";
+    case TrapKind::kResourceExhausted: return "resource-exhausted";
+    case TrapKind::kBadOperand: return "bad-operand";
+  }
+  return "?";
+}
+
+struct Trap {
+  TrapKind kind = TrapKind::kNone;
+  int thread = -1;
+  std::uint32_t pc = 0;  // word index of the faulting instruction
+  std::string message;
+
+  explicit operator bool() const { return kind != TrapKind::kNone; }
+};
+
+}  // namespace swallow

@@ -1,0 +1,82 @@
+#include "board/boot.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+void BootRom::receive(const Token& t) {
+  if (t.is_end()) {
+    apply();
+    buffer_.clear();
+    return;
+  }
+  if (!t.is_control) buffer_.push_back(t.value);
+  for (const auto& cb : subs_) cb();
+}
+
+void BootRom::apply() {
+  if (buffer_.size() < 8) return;  // malformed or empty command: ignored
+  auto word_at = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(buffer_[i]) |
+           (static_cast<std::uint32_t>(buffer_[i + 1]) << 8) |
+           (static_cast<std::uint32_t>(buffer_[i + 2]) << 16) |
+           (static_cast<std::uint32_t>(buffer_[i + 3]) << 24);
+  };
+  const std::uint32_t head = word_at(0);
+  if (head == 0xFFFFFFFFu) {
+    core_->start(word_at(4));
+    started_ = true;
+    return;
+  }
+  const std::uint32_t addr = head;
+  const std::uint32_t count = word_at(4);
+  if (buffer_.size() < 8 + count) return;  // truncated: ignored
+  core_->poke(addr, std::span<const std::uint8_t>(buffer_.data() + 8, count));
+  bytes_written_ += count;
+}
+
+namespace {
+void append_word(std::vector<std::uint8_t>& out, std::uint32_t w) {
+  out.push_back(static_cast<std::uint8_t>(w));
+  out.push_back(static_cast<std::uint8_t>(w >> 8));
+  out.push_back(static_cast<std::uint8_t>(w >> 16));
+  out.push_back(static_cast<std::uint8_t>(w >> 24));
+}
+}  // namespace
+
+std::vector<std::uint8_t> boot_write_command(
+    std::uint32_t byte_addr, const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> out;
+  append_word(out, byte_addr);
+  append_word(out, static_cast<std::uint32_t>(data.size()));
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+std::vector<std::uint8_t> boot_start_command(std::uint32_t entry_word) {
+  std::vector<std::uint8_t> out;
+  append_word(out, 0xFFFFFFFFu);
+  append_word(out, entry_word);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> boot_packets_for_image(
+    const Image& image, std::size_t chunk) {
+  require(chunk > 0 && chunk % 4 == 0, "boot chunk must be a word multiple");
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(image.size_bytes());
+  for (std::uint32_t w : image.words) append_word(bytes, w);
+
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t off = 0; off < bytes.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - off);
+    packets.push_back(boot_write_command(
+        static_cast<std::uint32_t>(off),
+        std::vector<std::uint8_t>(bytes.begin() + static_cast<long>(off),
+                                  bytes.begin() + static_cast<long>(off + n))));
+  }
+  packets.push_back(boot_start_command(image.entry));
+  return packets;
+}
+
+}  // namespace swallow

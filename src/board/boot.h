@@ -1,0 +1,60 @@
+// Network boot (§V.E: "it is possible to load programs into Swallow over
+// Ethernet").
+//
+// Each node carries a BootRom endpoint on reserved channel-end index 32.
+// On real hardware a resident first-stage loader performs this role; here
+// the ROM is a small native object, but the *bytes still travel through
+// the simulated network*, so boot traffic has true timing and energy cost.
+//
+// Wire protocol (words little-endian, one packet per command, END-framed):
+//   WRITE: [byte addr][byte count n][n payload bytes]
+//   START: [0xFFFFFFFF][entry word index]
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arch/comm.h"
+#include "arch/core.h"
+
+namespace swallow {
+
+class BootRom : public TokenReceiver {
+ public:
+  /// Reserved endpoint index on every node's switch.
+  static constexpr int kBootChanend = 32;
+
+  explicit BootRom(Core& core) : core_(&core) {}
+
+  // TokenReceiver: the ROM always has room; commands apply on END.
+  bool can_receive() const override { return true; }
+  std::size_t free_space() const override { return 1024; }
+  void receive(const Token& t) override;
+  void subscribe_drain(std::function<void()> cb) override {
+    subs_.push_back(std::move(cb));
+  }
+
+  std::uint64_t bytes_written() const { return bytes_written_; }
+  bool started() const { return started_; }
+
+ private:
+  void apply();
+
+  Core* core_;
+  std::vector<std::uint8_t> buffer_;
+  std::vector<std::function<void()>> subs_;
+  std::uint64_t bytes_written_ = 0;
+  bool started_ = false;
+};
+
+/// Client-side helpers: build the boot byte stream for an image.
+std::vector<std::uint8_t> boot_write_command(std::uint32_t byte_addr,
+                                             const std::vector<std::uint8_t>& data);
+std::vector<std::uint8_t> boot_start_command(std::uint32_t entry_word);
+
+/// Serialise a whole image into boot packets of `chunk` bytes.
+std::vector<std::vector<std::uint8_t>> boot_packets_for_image(
+    const Image& image, std::size_t chunk = 64);
+
+}  // namespace swallow

@@ -1,0 +1,70 @@
+#include "board/ethernet.h"
+
+#include "energy/params.h"
+#include "noc/routing.h"
+
+namespace swallow {
+
+EthernetBridge::EthernetBridge(Simulator& sim, EnergyLedger& ledger,
+                               Network& net, NodeId bridge_node)
+    : sim_(sim), ledger_(ledger), node_(bridge_node) {
+  auto router = std::make_shared<TableRouter>();
+  router->set_default(kDirNorth);  // everything not for us goes up the cable
+  switch_ = &net.add_switch(bridge_node, std::move(router));
+  out_port_ = switch_->attach_endpoint(0, this);
+  out_port_->subscribe_space([this] { pump(); });
+  token_interval_ = transfer_time_ps(kBitsPerToken, kEthernetBridgeMbps);
+}
+
+void EthernetBridge::host_send(ResourceId dest,
+                               const std::vector<std::uint8_t>& payload) {
+  const HeaderDest hd = chanend_dest(dest);
+  for (int i = 0; i < kHeaderTokens; ++i) {
+    tx_queue_.push_back(Token::data(header_byte(hd, i)));
+  }
+  for (std::uint8_t b : payload) tx_queue_.push_back(Token::data(b));
+  tx_queue_.push_back(Token::control(ControlToken::kEnd));
+  bytes_from_host_ += payload.size();
+  pump();
+}
+
+void EthernetBridge::pump() {
+  if (pump_scheduled_) return;
+  const TimePs now = sim_.now();
+  if (now < next_emit_) {
+    pump_scheduled_ = true;
+    sim_.at(next_emit_, [this] {
+      pump_scheduled_ = false;
+      pump();
+    });
+    return;
+  }
+  while (!tx_queue_.empty() && out_port_->can_accept()) {
+    out_port_->push(tx_queue_.front());
+    tx_queue_.pop_front();
+    ledger_.add(EnergyAccount::kEthernetBridge, 1e-9);  // ~1 nJ per token
+    next_emit_ = sim_.now() + token_interval_;
+    if (!tx_queue_.empty()) {
+      pump_scheduled_ = true;
+      sim_.at(next_emit_, [this] {
+        pump_scheduled_ = false;
+        pump();
+      });
+    }
+    return;  // one token per pacing interval
+  }
+  // Queue non-empty but port full: the space subscription re-drives us.
+}
+
+void EthernetBridge::receive(const Token& t) {
+  if (t.is_end()) {
+    bytes_to_host_ += rx_buffer_.size();
+    if (host_receiver_) host_receiver_(std::move(rx_buffer_));
+    rx_buffer_ = {};
+  } else if (!t.is_control) {
+    rx_buffer_.push_back(t.value);
+  }
+  for (const auto& cb : drain_subs_) cb();
+}
+
+}  // namespace swallow

@@ -1,0 +1,85 @@
+// Ethernet bridge module (§V.E).
+//
+// The bridge attaches to the Swallow network *as a node*: it owns a switch
+// with its own node id and a single endpoint, and is cabled to a South
+// edge port of a slice.  Through it the host can stream data in and out of
+// the machine and load programs (see board/boot.h).  Full-duplex transfers
+// are paced to the module's 80 Mbit/s capability.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/comm.h"
+#include "arch/resource.h"
+#include "energy/ledger.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+class EthernetBridge : public TokenReceiver {
+ public:
+  /// Creates the bridge's own switch inside `net` with `bridge_node` as its
+  /// node id and an all-traffic-north router (the bridge hangs below the
+  /// lattice).  Cable it to an edge switch with Network::connect using
+  /// direction kDirNorth on the bridge side.
+  EthernetBridge(Simulator& sim, EnergyLedger& ledger, Network& net,
+                 NodeId bridge_node);
+
+  Switch& bridge_switch() { return *switch_; }
+  NodeId node_id() const { return node_; }
+  /// The network address programs send host-bound data to.
+  ResourceId chanend_id() const {
+    return make_resource_id(node_, 0, ResourceType::kChanend);
+  }
+
+  // ----- Host side -----
+  /// Callback invoked with each END-delimited packet arriving from the
+  /// network.
+  void set_host_receiver(std::function<void(std::vector<std::uint8_t>)> cb) {
+    host_receiver_ = std::move(cb);
+  }
+
+  /// Queue a packet from the host into the network: a route header to
+  /// `dest`, the payload bytes, and a closing END.
+  void host_send(ResourceId dest, const std::vector<std::uint8_t>& payload);
+
+  /// Total payload bytes moved in each direction.
+  std::uint64_t bytes_to_host() const { return bytes_to_host_; }
+  std::uint64_t bytes_from_host() const { return bytes_from_host_; }
+  bool idle() const { return tx_queue_.empty(); }
+
+  // ----- TokenReceiver (network -> bridge) -----
+  bool can_receive() const override { return true; }
+  std::size_t free_space() const override { return 1024; }
+  void receive(const Token& t) override;
+  void subscribe_drain(std::function<void()> cb) override {
+    drain_subs_.push_back(std::move(cb));
+  }
+
+ private:
+  void pump();
+
+  Simulator& sim_;
+  EnergyLedger& ledger_;
+  NodeId node_;
+  Switch* switch_ = nullptr;
+  TokenOutPort* out_port_ = nullptr;
+
+  std::deque<Token> tx_queue_;
+  TimePs next_emit_ = 0;
+  bool pump_scheduled_ = false;
+  TimePs token_interval_;  // 80 Mbit/s pacing
+
+  std::vector<std::uint8_t> rx_buffer_;
+  std::function<void(std::vector<std::uint8_t>)> host_receiver_;
+  std::vector<std::function<void()>> drain_subs_;
+  std::uint64_t bytes_to_host_ = 0;
+  std::uint64_t bytes_from_host_ = 0;
+};
+
+}  // namespace swallow

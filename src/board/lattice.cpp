@@ -1,0 +1,53 @@
+#include "board/lattice.h"
+
+namespace swallow {
+
+int LatticeRouter::route(NodeId self, NodeId dest) const {
+  if (self == dest) return kDirUnroutable;
+  const int cx = node_chip_x(self), cy = node_chip_y(self);
+  const int dx = node_chip_x(dest), dy = node_chip_y(dest);
+  const Layer layer = node_layer(self);
+
+  if (dx == cx && dy == cy) {
+    // Same package, other node.
+    return kDirInternal;
+  }
+
+  if (dy == kBridgeRow) {
+    // South-edge bridge pseudo-chips: match the column first (only columns
+    // with a bridge have a south exit link), then drop south.
+    if (dx != cx) {
+      if (layer != Layer::kHorizontal) return kDirInternal;
+      return dx < cx ? kDirWest : kDirEast;
+    }
+    if (layer != Layer::kVertical) return kDirInternal;
+    return kDirSouth;
+  }
+
+  const bool need_v = dy != cy;
+  const bool need_h = dx != cx;
+  const bool v_first = priority_ == RoutePriority::kVerticalFirst;
+
+  // Which dimension do we correct next?
+  const bool go_vertical = v_first ? need_v : (need_v && !need_h);
+  if (go_vertical) {
+    if (layer != Layer::kVertical) return kDirInternal;
+    return dy < cy ? kDirNorth : kDirSouth;
+  }
+  // Horizontal correction.
+  if (layer != Layer::kHorizontal) return kDirInternal;
+  return dx < cx ? kDirWest : kDirEast;
+}
+
+std::shared_ptr<TableRouter> lattice_table_router(
+    NodeId self, const std::vector<NodeId>& all_nodes, RoutePriority priority) {
+  const LatticeRouter model(priority);
+  auto table = std::make_shared<TableRouter>();
+  for (NodeId dest : all_nodes) {
+    if (dest == self) continue;
+    table->set_route(dest, model.route(self, dest));
+  }
+  return table;
+}
+
+}  // namespace swallow

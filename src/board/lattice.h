@@ -1,0 +1,77 @@
+// The unwoven lattice (§V.A, Fig. 7): node addressing and 2.5-dimensional
+// dimension-order routing.
+//
+// Every XS1-L2 package holds two nodes.  One node's external links run
+// North/South (the *vertical layer*), the other's run East/West (the
+// *horizontal layer*); the two are joined by four on-chip links.  A 2D
+// route must therefore weave between layers: vertical-first dimension
+// order routing sends a packet to its column's vertical layer, travels to
+// the destination row, transitions to the horizontal layer, and travels to
+// the destination column — at most two mid-route layer transitions, plus
+// the in-package hop to the destination node itself.
+//
+// Node ids encode the chip coordinate and layer:
+//   [chip_y : 8][chip_x : 7][layer : 1]
+// so a 16-bit id covers lattices up to 128 x 256 chips (65k cores).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/resource.h"
+#include "noc/routing.h"
+
+namespace swallow {
+
+enum class Layer : int {
+  kVertical = 0,    // external links North/South
+  kHorizontal = 1,  // external links East/West
+};
+
+constexpr NodeId lattice_node_id(int chip_x, int chip_y, Layer layer) {
+  return static_cast<NodeId>((chip_y << 8) | (chip_x << 1) |
+                             static_cast<int>(layer));
+}
+
+constexpr int node_chip_x(NodeId id) { return (id >> 1) & 0x7F; }
+constexpr int node_chip_y(NodeId id) { return (id >> 8) & 0xFF; }
+constexpr Layer node_layer(NodeId id) {
+  return static_cast<Layer>(id & 1);
+}
+
+/// Reserved chip row for south-edge Ethernet bridge pseudo-chips.  Bridge
+/// destinations route column-first (only columns with a bridge have a south
+/// exit), then fall off the lattice's south edge.
+inline constexpr int kBridgeRow = 255;
+
+/// Routing priority: the paper's scheme resolves the vertical dimension
+/// first; horizontal-first is provided as the ablation variant.
+enum class RoutePriority { kVerticalFirst, kHorizontalFirst };
+
+/// Dimension-order router for the unwoven lattice.  Stateless with respect
+/// to the switch, so one instance can be shared by every switch in the
+/// system.  Destinations outside the lattice id space (e.g. Ethernet
+/// bridge pseudo-chips beyond the last row) route naturally: the bridge is
+/// addressed as a chip one row beyond the edge, so vertical-first routing
+/// carries packets to the edge and out of the south port.
+class LatticeRouter : public Router {
+ public:
+  explicit LatticeRouter(RoutePriority priority = RoutePriority::kVerticalFirst)
+      : priority_(priority) {}
+
+  int route(NodeId self, NodeId dest) const override;
+
+  RoutePriority priority() const { return priority_; }
+
+ private:
+  RoutePriority priority_;
+};
+
+/// Expand the lattice routing decision into an explicit per-switch table —
+/// the software-programmed form the real platform uses (§V.A).  Behaviour
+/// is identical to LatticeRouter for the listed destinations (tested).
+std::shared_ptr<TableRouter> lattice_table_router(
+    NodeId self, const std::vector<NodeId>& all_nodes,
+    RoutePriority priority = RoutePriority::kVerticalFirst);
+
+}  // namespace swallow

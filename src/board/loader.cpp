@@ -1,0 +1,43 @@
+#include "board/loader.h"
+
+#include "common/strings.h"
+
+namespace swallow {
+
+std::string resident_loader_source() {
+  return strprintf(R"(
+      .org %u
+  loader:
+      getr  r0, 2          # chanend 0: boot packets arrive here
+  next_packet:
+      in    r1, r0         # byte address, or 0xffffffff for START
+      in    r2, r0         # byte count (word multiple), or entry word
+      not   r3, r1
+      bf    r3, start      # ~addr == 0  <=>  addr == 0xffffffff
+      ldc   r4, 0          # write offset
+  copy:
+      bf    r2, packet_done
+      in    r5, r0
+      add   r6, r1, r4
+      stw   r5, r6, 0
+      addi  r4, r4, 4
+      subi  r2, r2, 4
+      bu    copy
+  packet_done:
+      chkct r0, 1
+      bu    next_packet
+  start:
+      chkct r0, 1
+      freer r0             # release the boot chanend for the application
+      bau   r2             # jump to the loaded image's entry
+  )",
+                   kResidentLoaderBase);
+}
+
+void install_resident_loader(Core& core) {
+  const Image loader = assemble(resident_loader_source());
+  core.load(loader);
+  core.start(loader.symbol("loader"));
+}
+
+}  // namespace swallow

@@ -1,0 +1,32 @@
+// A resident first-stage loader written in Swallow assembly.
+//
+// The BootRom endpoint (board/boot.h) models the ROM handler natively; the
+// resident loader is the fully authentic alternative: a small program that
+// runs *on the core itself*, receives boot packets on its chanend 0, writes
+// them to SRAM with ordinary store instructions and finally branches to the
+// loaded image's entry point.  Loading a program this way costs real
+// simulated instructions, network tokens and energy at every step.
+//
+// Wire protocol: identical to board/boot.h —
+//   WRITE: [byte addr][byte count, word multiple][payload words]  + END
+//   START: [0xFFFFFFFF][entry word index]                         + END
+#pragma once
+
+#include <string>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+
+namespace swallow {
+
+/// Word index the loader occupies (top of SRAM, clear of loaded images).
+inline constexpr std::uint32_t kResidentLoaderBase = 15 * 1024;
+
+/// Assembly of the resident loader.
+std::string resident_loader_source();
+
+/// Assemble the loader at its home address, load it into `core` and start
+/// the core at the loader's entry.  The loader listens on chanend 0.
+void install_resident_loader(Core& core);
+
+}  // namespace swallow

@@ -1,0 +1,123 @@
+#include "board/slice.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace swallow {
+
+namespace {
+// Switch/network-interface static power per node: the non-activity half of
+// Fig. 2's 58 mW network-interface share (the dynamic half accrues as
+// per-token energy inside the switch model).
+constexpr double kNiStaticMwPerNode = 29.0;
+// Board support logic (Fig. 2 "other" 10 mW x 16 nodes) plus the slice-level
+// remainder between 16 x 260 mW and the ~4.5 W/slice the paper quotes.
+constexpr double kSupportMw = 10.0 * Slice::kCores + 340.0;
+}  // namespace
+
+Slice::Slice(Simulator& sim, EnergyLedger& ledger, Network& net,
+             const RouterFactory& router_for, Config cfg)
+    : sim_(sim), cfg_(cfg) {
+  // ---- Build the sixteen nodes.
+  for (int chip = 0; chip < kChips; ++chip) {
+    const int gx = chip_x0() + chip % kChipCols;
+    const int gy = chip_y0() + chip / kChipCols;
+    for (Layer layer : {Layer::kVertical, Layer::kHorizontal}) {
+      NodeSlot& slot = node(chip, layer);
+      const NodeId id = lattice_node_id(gx, gy, layer);
+      Core::Config core_cfg;
+      core_cfg.node_id = id;
+      core_cfg.frequency_mhz = cfg_.core_freq;
+      core_cfg.power_model = cfg_.power_model;
+      core_cfg.auto_dvfs = cfg_.auto_dvfs;
+      slot.core = std::make_unique<Core>(sim, ledger, core_cfg);
+      slot.sw = &net.add_switch(id, router_for(id));
+      slot.sw->attach_core(*slot.core);
+      slot.rom = std::make_unique<BootRom>(*slot.core);
+      slot.sw->attach_endpoint(BootRom::kBootChanend, slot.rom.get());
+      slot.ni_static =
+          std::make_unique<PowerTrace>(ledger, EnergyAccount::kNetworkInterface);
+      slot.ni_static->set_level(sim.now(), milliwatts(kNiStaticMwPerNode));
+    }
+    // Four on-chip links join the chip's two nodes (§V.A, Fig. 6).
+    net.connect(*node(chip, Layer::kVertical).sw, kDirInternal,
+                *node(chip, Layer::kHorizontal).sw, kDirInternal,
+                LinkClass::kOnChip, 4);
+  }
+
+  // ---- On-board lattice links (Fig. 7).
+  for (int col = 0; col < kChipCols; ++col) {
+    net.connect(*node(col, Layer::kVertical).sw, kDirSouth,
+                *node(kChipCols + col, Layer::kVertical).sw, kDirNorth,
+                LinkClass::kBoardVertical);
+  }
+  for (int row = 0; row < kChipRows; ++row) {
+    for (int col = 0; col + 1 < kChipCols; ++col) {
+      net.connect(*node(row * kChipCols + col, Layer::kHorizontal).sw,
+                  kDirEast,
+                  *node(row * kChipCols + col + 1, Layer::kHorizontal).sw,
+                  kDirWest, LinkClass::kBoardHorizontal);
+    }
+  }
+
+  // ---- Power rails (§II): each 1 V rail feeds two chips = four cores.
+  for (int chip = 0; chip < kChips; ++chip) {
+    Rail& rail = supplies_.rail(chip / 2);
+    for (Layer layer : {Layer::kVertical, Layer::kHorizontal}) {
+      const NodeSlot& slot = node(chip, layer);
+      rail.attach(slot.core->baseline_trace());
+      rail.attach(slot.core->instr_trace());
+    }
+  }
+  Rail& io = supplies_.rail(SliceSupplies::kIoRail);
+  for (NodeSlot& slot : nodes_) io.attach(slot.ni_static.get());
+  support_ = std::make_unique<PowerTrace>(ledger, EnergyAccount::kOther);
+  support_->set_level(sim.now(), milliwatts(kSupportMw));
+  io.attach(support_.get());
+  io.attach([this] {
+    Watts p = 0;
+    for (const NodeSlot& slot : nodes_) {
+      p += slot.sw->instantaneous_link_power(sim_.now());
+    }
+    return p;
+  });
+
+  // ---- Measurement daughter-board.
+  std::vector<const Rail*> rails;
+  for (int i = 0; i < SliceSupplies::kRailCount; ++i) {
+    rails.push_back(&supplies_.rail(i));
+  }
+  sampler_ = std::make_unique<PowerSampler>(sim, std::move(rails),
+                                            AnalogFrontEnd{}, cfg_.sampler_seed);
+
+  // GETPWR: a core reads the latest converted sample of any of the five
+  // supply channels of its own slice, in milliwatts (§II: measurement data
+  // collected on the slice itself).
+  for (NodeSlot& slot : nodes_) {
+    PowerSampler* sampler = sampler_.get();
+    slot.core->set_power_read_hook([sampler](int channel) -> std::uint32_t {
+      if (channel < 0 || channel >= sampler->channels()) return 0;
+      const double mw = to_milliwatts(sampler->latest(channel).watts);
+      return static_cast<std::uint32_t>(std::lround(std::max(0.0, mw)));
+    });
+  }
+}
+
+Slice::~Slice() = default;
+
+void Slice::settle_energy(TimePs now) {
+  for (NodeSlot& slot : nodes_) {
+    slot.core->settle_energy(now);
+    slot.ni_static->settle(now);
+  }
+  support_->settle(now);
+}
+
+Watts Slice::cores_power() const {
+  Watts p = 0;
+  for (const NodeSlot& slot : nodes_) p += slot.core->current_power();
+  return p;
+}
+
+}  // namespace swallow

@@ -1,0 +1,129 @@
+// One Swallow slice (§IV.B, Fig. 5/7): sixteen processors on eight XS1-L2
+// chips in a 4-column x 2-row grid, wired as one tile of the unwoven
+// lattice, plus the five measurable power supplies of §II.
+//
+// Per chip: the vertical-layer node's external links run North/South, the
+// horizontal-layer node's run East/West, and four on-chip links join the
+// two.  On-board links connect chips within the slice; the twelve edge
+// positions (8 vertical + 4 horizontal) are exposed for inter-slice FFC
+// cables — the paper counts ten off-board network links because two South
+// positions double as Ethernet module connectors.
+//
+// Power: the four 1 V core rails each feed two chips (four cores) and
+// carry exactly the Eq. (1)/Fig. 3 core power, which is what the real
+// measurement points see; switch/NI static, link drivers and board support
+// sit on the 3.3 V I/O rail.  A PowerSampler models the shunt + amplifier
+// + ADC daughter-board and backs the cores' GETPWR instruction.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/core.h"
+#include "board/boot.h"
+#include "board/lattice.h"
+#include "energy/measure.h"
+#include "energy/supply.h"
+#include "noc/network.h"
+
+namespace swallow {
+
+class Slice {
+ public:
+  static constexpr int kChipCols = 4;
+  static constexpr int kChipRows = 2;
+  static constexpr int kChips = kChipCols * kChipRows;
+  static constexpr int kCores = kChips * 2;
+
+  struct Config {
+    int slice_x = 0;  // position in the system grid of slices
+    int slice_y = 0;
+    MegaHertz core_freq = kMaxCoreFrequencyMhz;
+    CorePowerModel power_model{};
+    bool auto_dvfs = false;
+    std::uint64_t sampler_seed = 1;
+  };
+
+  /// `router_for` supplies the routing strategy per node — a shared
+  /// computed router, or per-switch software tables (§V.A).
+  using RouterFactory = std::function<std::shared_ptr<Router>(NodeId)>;
+
+  Slice(Simulator& sim, EnergyLedger& ledger, Network& net,
+        const RouterFactory& router_for, Config cfg);
+  ~Slice();
+
+  Slice(const Slice&) = delete;
+  Slice& operator=(const Slice&) = delete;
+
+  // ----- Geometry -----
+  int chip_x0() const { return cfg_.slice_x * kChipCols; }
+  int chip_y0() const { return cfg_.slice_y * kChipRows; }
+
+  /// Core by local chip index (row-major, 0..7) and layer.
+  Core& core(int local_chip, Layer layer) {
+    return *node(local_chip, layer).core;
+  }
+  /// Core by flat local index 0..15 (chip*2 + layer).
+  Core& core_at(int idx) { return core(idx / 2, static_cast<Layer>(idx % 2)); }
+  Switch& switch_of(int local_chip, Layer layer) {
+    return *node(local_chip, layer).sw;
+  }
+  BootRom& boot_rom(int local_chip, Layer layer) {
+    return *node(local_chip, layer).rom;
+  }
+
+  // ----- Edge switches for inter-slice cabling -----
+  Switch& edge_top(int col) { return switch_of(col, Layer::kVertical); }
+  Switch& edge_bottom(int col) {
+    return switch_of(kChipCols + col, Layer::kVertical);
+  }
+  Switch& edge_left(int row) {
+    return switch_of(row * kChipCols, Layer::kHorizontal);
+  }
+  Switch& edge_right(int row) {
+    return switch_of(row * kChipCols + kChipCols - 1, Layer::kHorizontal);
+  }
+
+  // ----- Power & measurement -----
+  SliceSupplies& supplies() { return supplies_; }
+  const SliceSupplies& supplies() const { return supplies_; }
+  PowerSampler& sampler() { return *sampler_; }
+
+  /// Bring every power trace up to date before reading the ledger.
+  void settle_energy(TimePs now);
+
+  /// Instantaneous power of the sixteen cores (the 3.1 W/slice figure).
+  Watts cores_power() const;
+
+  /// Instantaneous slice input power including SMPS losses (§III.A's
+  /// ~4.5 W/slice).
+  Watts input_power() const { return supplies_.input_power(); }
+
+ private:
+  struct NodeSlot {
+    std::unique_ptr<Core> core;
+    Switch* sw = nullptr;
+    std::unique_ptr<BootRom> rom;
+    std::unique_ptr<PowerTrace> ni_static;  // switch static share, I/O rail
+  };
+
+  NodeSlot& node(int local_chip, Layer layer) {
+    return nodes_.at(static_cast<std::size_t>(local_chip * 2 +
+                                              static_cast<int>(layer)));
+  }
+  const NodeSlot& node(int local_chip, Layer layer) const {
+    return nodes_.at(static_cast<std::size_t>(local_chip * 2 +
+                                              static_cast<int>(layer)));
+  }
+
+  Simulator& sim_;
+  Config cfg_;
+  std::array<NodeSlot, kCores> nodes_;
+  SliceSupplies supplies_;
+  std::unique_ptr<PowerTrace> support_;  // board support logic, I/O rail
+  std::unique_ptr<PowerSampler> sampler_;
+};
+
+}  // namespace swallow

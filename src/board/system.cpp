@@ -1,0 +1,207 @@
+#include "board/system.h"
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
+    : sim_(sim), cfg_(cfg) {
+  require(cfg_.slices_x >= 1 && cfg_.slices_y >= 1,
+          "SwallowSystem: need at least one slice");
+  require(cfg_.slices_x * Slice::kChipCols <= 128 &&
+              cfg_.slices_y * Slice::kChipRows < kBridgeRow,
+          "SwallowSystem: grid exceeds the node id space");
+  require(cfg_.ethernet_bridges <= 2 * cfg_.slices_x,
+          "SwallowSystem: at most two bridges per slice column (§V.E)");
+
+  net_ = std::make_unique<Network>(sim_, ledger_, cfg_.link_grade);
+
+  // Routing strategy.
+  Slice::RouterFactory router_for;
+  if (cfg_.use_table_routers) {
+    // Enumerate every addressable node, then give each switch its own
+    // explicit software table.
+    std::vector<NodeId> all;
+    for (int y = 0; y < cfg_.chip_rows(); ++y) {
+      for (int x = 0; x < cfg_.chip_cols(); ++x) {
+        all.push_back(lattice_node_id(x, y, Layer::kVertical));
+        all.push_back(lattice_node_id(x, y, Layer::kHorizontal));
+      }
+    }
+    for (int b = 0; b < cfg_.ethernet_bridges; ++b) {
+      all.push_back(lattice_node_id(2 * b, kBridgeRow, Layer::kVertical));
+    }
+    const RoutePriority priority = cfg_.routing;
+    router_for = [all, priority](NodeId self) {
+      return lattice_table_router(self, all, priority);
+    };
+  } else {
+    auto shared = std::make_shared<LatticeRouter>(cfg_.routing);
+    router_for = [shared](NodeId) { return shared; };
+  }
+
+  // ---- Slices.
+  for (int sy = 0; sy < cfg_.slices_y; ++sy) {
+    for (int sx = 0; sx < cfg_.slices_x; ++sx) {
+      Slice::Config scfg;
+      scfg.slice_x = sx;
+      scfg.slice_y = sy;
+      scfg.core_freq = cfg_.core_freq;
+      scfg.power_model = cfg_.power_model;
+      scfg.auto_dvfs = cfg_.auto_dvfs;
+      scfg.sampler_seed =
+          cfg_.seed + static_cast<std::uint64_t>(sy) * 1000 +
+          static_cast<std::uint64_t>(sx);
+      slices_.push_back(std::make_unique<Slice>(sim_, ledger_, *net_,
+                                                router_for, scfg));
+    }
+  }
+
+  // ---- Inter-slice FFC cables (§IV.B).
+  auto S = [this](int sx, int sy) -> Slice& {
+    return *slices_[static_cast<std::size_t>(sy * cfg_.slices_x + sx)];
+  };
+  for (int sy = 0; sy < cfg_.slices_y; ++sy) {
+    for (int sx = 0; sx < cfg_.slices_x; ++sx) {
+      if (sy + 1 < cfg_.slices_y) {
+        for (int col = 0; col < Slice::kChipCols; ++col) {
+          net_->connect(S(sx, sy).edge_bottom(col), kDirSouth,
+                        S(sx, sy + 1).edge_top(col), kDirNorth,
+                        LinkClass::kOffBoardCable, 1, cfg_.cable_length_cm);
+        }
+      }
+      if (sx + 1 < cfg_.slices_x) {
+        for (int row = 0; row < Slice::kChipRows; ++row) {
+          net_->connect(S(sx, sy).edge_right(row), kDirEast,
+                        S(sx + 1, sy).edge_left(row), kDirWest,
+                        LinkClass::kOffBoardCable, 1, cfg_.cable_length_cm);
+        }
+      }
+    }
+  }
+
+  // ---- Ethernet bridges on the south edge.
+  for (int b = 0; b < cfg_.ethernet_bridges; ++b) {
+    const int chip_col = 2 * b;
+    const int sx = chip_col / Slice::kChipCols;
+    const int col = chip_col % Slice::kChipCols;
+    const NodeId bridge_node =
+        lattice_node_id(chip_col, kBridgeRow, Layer::kVertical);
+    auto bridge = std::make_unique<EthernetBridge>(sim_, ledger_, *net_,
+                                                   bridge_node);
+    net_->connect(S(sx, cfg_.slices_y - 1).edge_bottom(col), kDirSouth,
+                  bridge->bridge_switch(), kDirNorth,
+                  LinkClass::kOffBoardCable, 1, cfg_.cable_length_cm);
+    bridges_.push_back(std::move(bridge));
+  }
+}
+
+SwallowSystem::~SwallowSystem() = default;
+
+Slice& SwallowSystem::slice(int sx, int sy) {
+  require(sx >= 0 && sx < cfg_.slices_x && sy >= 0 && sy < cfg_.slices_y,
+          "SwallowSystem: slice index out of range");
+  return *slices_[static_cast<std::size_t>(sy * cfg_.slices_x + sx)];
+}
+
+Core& SwallowSystem::core(int chip_x, int chip_y, Layer layer) {
+  Slice& s = slice(chip_x / Slice::kChipCols, chip_y / Slice::kChipRows);
+  const int local =
+      (chip_y % Slice::kChipRows) * Slice::kChipCols + chip_x % Slice::kChipCols;
+  return s.core(local, layer);
+}
+
+Core& SwallowSystem::core_by_index(int i) {
+  require(i >= 0 && i < core_count(), "SwallowSystem: core index out of range");
+  Slice& s = *slices_[static_cast<std::size_t>(i / Slice::kCores)];
+  return s.core_at(i % Slice::kCores);
+}
+
+Switch& SwallowSystem::switch_at(int chip_x, int chip_y, Layer layer) {
+  Slice& s = slice(chip_x / Slice::kChipCols, chip_y / Slice::kChipRows);
+  const int local =
+      (chip_y % Slice::kChipRows) * Slice::kChipCols + chip_x % Slice::kChipCols;
+  return s.switch_of(local, layer);
+}
+
+void SwallowSystem::boot_image(int bridge_idx, NodeId node, const Image& image) {
+  EthernetBridge& br = bridge(bridge_idx);
+  const ResourceId boot_ce =
+      make_resource_id(node, BootRom::kBootChanend, ResourceType::kChanend);
+  for (const auto& packet : boot_packets_for_image(image)) {
+    br.host_send(boot_ce, packet);
+  }
+}
+
+void SwallowSystem::boot_image_via_resident_loader(int bridge_idx, NodeId node,
+                                                   const Image& image) {
+  EthernetBridge& br = bridge(bridge_idx);
+  const ResourceId loader_ce =
+      make_resource_id(node, 0, ResourceType::kChanend);
+  for (const auto& packet : boot_packets_for_image(image)) {
+    br.host_send(loader_ce, packet);
+  }
+}
+
+void SwallowSystem::settle_energy() {
+  for (auto& s : slices_) s->settle_energy(sim_.now());
+}
+
+Watts SwallowSystem::total_input_power() const {
+  Watts p = 0;
+  for (const auto& s : slices_) p += s->input_power();
+  return p;
+}
+
+Watts SwallowSystem::total_cores_power() const {
+  Watts p = 0;
+  for (const auto& s : slices_) p += s->cores_power();
+  return p;
+}
+
+void SwallowSystem::start_sampling(double rate_sps) {
+  for (auto& s : slices_) {
+    s->sampler().start(PowerSampler::Mode::kSimultaneous, rate_sps);
+  }
+}
+
+void SwallowSystem::enable_loss_integration(TimePs period) {
+  require(loss_period_ == 0, "loss integration already enabled");
+  require(period > 0, "loss integration period must be positive");
+  loss_period_ = period;
+  sim_.after(loss_period_, [this] { integrate_losses(); });
+}
+
+std::string SwallowSystem::diagnose() {
+  std::string out;
+  for (const auto& slice : slices_) {
+    for (int i = 0; i < Slice::kCores; ++i) {
+      Core& core = slice->core_at(i);
+      if (core.trapped()) {
+        out += strprintf("core %04x TRAPPED [%s] t%d pc %u: %s\n",
+                         core.node_id(),
+                         std::string(to_string(core.trap().kind)).c_str(),
+                         core.trap().thread, core.trap().pc,
+                         core.trap().message.c_str());
+      }
+      for (const auto& [tid, pc] : core.blocked_threads()) {
+        out += strprintf("core %04x: thread %d blocked at pc %u\n",
+                         core.node_id(), tid, pc);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < net_->switch_count(); ++i) {
+    out += net_->switch_at(i).open_routes_summary(sim_.now());
+  }
+  return out;
+}
+
+void SwallowSystem::integrate_losses() {
+  Watts loss = 0;
+  for (const auto& s : slices_) loss += s->supplies().conversion_loss();
+  ledger_.add(EnergyAccount::kDcDcIo, energy_over(loss, loss_period_));
+  sim_.after(loss_period_, [this] { integrate_losses(); });
+}
+
+}  // namespace swallow

@@ -1,0 +1,117 @@
+// Whole-machine assembly: a grid of slices joined by FFC ribbon cables
+// (§IV.B, Fig. 1), optional Ethernet bridges on south edge links (§V.E),
+// network boot, and system-wide power/energy accounting.
+//
+// The largest configuration the paper demonstrates is 30 slices / 480
+// cores; this builder goes up to the full 40-slice / 640-core manufactured
+// fleet and beyond.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "board/ethernet.h"
+#include "board/lattice.h"
+#include "board/slice.h"
+#include "energy/ledger.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+struct SystemConfig {
+  int slices_x = 1;
+  int slices_y = 1;
+  MegaHertz core_freq = kMaxCoreFrequencyMhz;
+  LinkGrade link_grade = LinkGrade::kSwallowDefault;
+  RoutePriority routing = RoutePriority::kVerticalFirst;
+  /// Use explicit per-switch software routing tables instead of the shared
+  /// computed router (identical decisions; exercises the §V.A mechanism).
+  bool use_table_routers = false;
+  double cable_length_cm = kFfcReferenceLengthCm;
+  /// Ethernet bridges below the south edge; bridge i hangs under global
+  /// chip column 2*i (up to two per slice column, per §V.E).
+  int ethernet_bridges = 0;
+  CorePowerModel power_model{};
+  /// Voltage follows Vmin(f) on every frequency change (§III.B DVFS).
+  bool auto_dvfs = false;
+  std::uint64_t seed = 1;
+
+  int chip_cols() const { return slices_x * Slice::kChipCols; }
+  int chip_rows() const { return slices_y * Slice::kChipRows; }
+  int core_count() const { return slices_x * slices_y * Slice::kCores; }
+};
+
+class SwallowSystem {
+ public:
+  SwallowSystem(Simulator& sim, SystemConfig cfg);
+  ~SwallowSystem();
+
+  SwallowSystem(const SwallowSystem&) = delete;
+  SwallowSystem& operator=(const SwallowSystem&) = delete;
+
+  Simulator& sim() { return sim_; }
+  EnergyLedger& ledger() { return ledger_; }
+  Network& network() { return *net_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  int core_count() const { return cfg_.core_count(); }
+  Slice& slice(int sx, int sy);
+  /// Core by global chip coordinate and layer.
+  Core& core(int chip_x, int chip_y, Layer layer);
+  /// Core by flat index (slice-major, then chip*2+layer).
+  Core& core_by_index(int i);
+  Switch& switch_at(int chip_x, int chip_y, Layer layer);
+  static NodeId node_id(int chip_x, int chip_y, Layer layer) {
+    return lattice_node_id(chip_x, chip_y, layer);
+  }
+
+  int bridge_count() const { return static_cast<int>(bridges_.size()); }
+  EthernetBridge& bridge(int i) { return *bridges_.at(static_cast<std::size_t>(i)); }
+
+  /// Load and start an image on a node *through the network* via a bridge
+  /// (write packets + start command; see board/boot.h).
+  void boot_image(int bridge_idx, NodeId node, const Image& image);
+
+  /// Same, but addressed to a resident in-ISA loader listening on the
+  /// node's chanend 0 (see board/loader.h) instead of the native BootRom.
+  void boot_image_via_resident_loader(int bridge_idx, NodeId node,
+                                      const Image& image);
+
+  // ----- Power / energy -----
+  /// Bring all power traces up to date (call before reading the ledger).
+  void settle_energy();
+
+  /// Instantaneous machine input power (all slices, including conversion
+  /// losses) — the paper's 134 W headline for 30 slices.
+  Watts total_input_power() const;
+
+  /// Instantaneous power of all cores only (3.1 W per loaded slice).
+  Watts total_cores_power() const;
+
+  /// Start the measurement ADCs of every slice (simultaneous mode).
+  void start_sampling(double rate_sps = kAdcSimultaneousSps);
+
+  /// Periodically integrate SMPS conversion losses into the ledger's
+  /// DC-DC account (the losses are otherwise only visible as instantaneous
+  /// power).  Call once, before running.
+  void enable_loss_integration(TimePs period = microseconds(10.0));
+
+  /// Deadlock / stall diagnostics: blocked threads (core, thread, pc),
+  /// open or parked routes at every switch, and trap reports.  Empty when
+  /// the machine is quiescent and healthy.
+  std::string diagnose();
+
+ private:
+  void integrate_losses();
+
+  Simulator& sim_;
+  SystemConfig cfg_;
+  EnergyLedger ledger_;
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<Slice>> slices_;  // row-major [sy][sx]
+  std::vector<std::unique_ptr<EthernetBridge>> bridges_;
+  TimePs loss_period_ = 0;
+};
+
+}  // namespace swallow

@@ -1,0 +1,88 @@
+#include "board/telemetry.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+TelemetryStreamer::TelemetryStreamer(Simulator& sim, Slice& slice,
+                                     EthernetBridge& bridge, TimePs period)
+    : sim_(sim),
+      slice_(slice),
+      bridge_chanend_(bridge.chanend_id()),
+      period_(period),
+      last_count_(SliceSupplies::kRailCount, 0) {
+  require(period_ > 0, "TelemetryStreamer: period must be positive");
+  // Attach next to the slice's south-west corner switch, the natural exit
+  // towards a south-edge bridge.
+  Switch& sw = slice_.edge_bottom(0);
+  port_ = sw.attach_endpoint(kTelemetryChanend, this);
+  port_->subscribe_space([this] { pump(); });
+}
+
+void TelemetryStreamer::start() {
+  require(!running_, "TelemetryStreamer: already running");
+  running_ = true;
+  sim_.after(period_, [this] { tick(); });
+}
+
+void TelemetryStreamer::tick() {
+  if (!running_) return;
+  // Collect one fresh record per channel that has converted since the
+  // previous tick.
+  std::vector<std::uint8_t> payload;
+  PowerSampler& sampler = slice_.sampler();
+  for (int ch = 0; ch < sampler.channels(); ++ch) {
+    const std::uint64_t n = sampler.samples(ch);
+    if (n == last_count_[static_cast<std::size_t>(ch)]) continue;
+    last_count_[static_cast<std::size_t>(ch)] = n;
+    const PowerSample& s = sampler.latest(ch);
+    const std::uint32_t ticks =
+        static_cast<std::uint32_t>(s.time / period_ps(kReferenceClockMhz));
+    payload.push_back(static_cast<std::uint8_t>(ch));
+    payload.push_back(static_cast<std::uint8_t>(ticks));
+    payload.push_back(static_cast<std::uint8_t>(ticks >> 8));
+    payload.push_back(static_cast<std::uint8_t>(ticks >> 16));
+    payload.push_back(static_cast<std::uint8_t>(ticks >> 24));
+    payload.push_back(static_cast<std::uint8_t>(s.code));
+    payload.push_back(static_cast<std::uint8_t>(s.code >> 8));
+    ++records_streamed_;
+  }
+  if (!payload.empty()) {
+    const HeaderDest dest = chanend_dest(bridge_chanend_);
+    for (int i = 0; i < kHeaderTokens; ++i) {
+      tx_queue_.push_back(Token::data(header_byte(dest, i)));
+    }
+    for (std::uint8_t b : payload) tx_queue_.push_back(Token::data(b));
+    tx_queue_.push_back(Token::control(ControlToken::kEnd));
+    pump();
+  }
+  sim_.after(period_, [this] { tick(); });
+}
+
+void TelemetryStreamer::pump() {
+  while (!tx_queue_.empty() && port_->can_accept()) {
+    port_->push(tx_queue_.front());
+    tx_queue_.pop_front();
+  }
+}
+
+std::vector<TelemetryStreamer::Record> TelemetryStreamer::decode(
+    const std::vector<std::uint8_t>& packet, const AnalogFrontEnd& fe) {
+  std::vector<Record> out;
+  for (std::size_t i = 0; i + 7 <= packet.size(); i += 7) {
+    Record r;
+    r.channel = packet[i];
+    r.ticks = static_cast<std::uint32_t>(packet[i + 1]) |
+              (static_cast<std::uint32_t>(packet[i + 2]) << 8) |
+              (static_cast<std::uint32_t>(packet[i + 3]) << 16) |
+              (static_cast<std::uint32_t>(packet[i + 4]) << 24);
+    r.code = static_cast<std::uint16_t>(
+        packet[i + 5] | (packet[i + 6] << 8));
+    const Volts rail_v = r.channel == SliceSupplies::kIoRail ? 3.3 : 1.0;
+    r.watts = fe.code_to_watts(r.code, rail_v);
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace swallow

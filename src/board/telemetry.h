@@ -1,0 +1,70 @@
+// Telemetry streaming (§II): "the results can be streamed out of the
+// system using an Ethernet interface".
+//
+// A TelemetryStreamer is the slice-side agent that batches fresh ADC
+// samples from the slice's PowerSampler and sends them *through the
+// network* to an Ethernet bridge — so telemetry traffic has real routing,
+// bandwidth and energy cost, visible in the ledger like any other traffic.
+// The host decodes the packets with TelemetryStreamer::decode.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "board/ethernet.h"
+#include "board/slice.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+class TelemetryStreamer : public TokenReceiver {
+ public:
+  /// Endpoint index the streamer occupies on its slice's south-west switch.
+  static constexpr int kTelemetryChanend = 33;
+
+  /// One decoded sample record (7 bytes on the wire:
+  /// [channel u8][reference ticks u32][ADC code u16]).
+  struct Record {
+    int channel = 0;
+    std::uint32_t ticks = 0;
+    std::uint16_t code = 0;
+    Watts watts = 0;  // reconstructed by decode()
+  };
+
+  TelemetryStreamer(Simulator& sim, Slice& slice, EthernetBridge& bridge,
+                    TimePs period = microseconds(100.0));
+
+  /// Begin periodic streaming (the slice's sampler must be running for
+  /// fresh samples to appear).
+  void start();
+  void stop() { running_ = false; }
+
+  std::uint64_t records_streamed() const { return records_streamed_; }
+
+  /// Host-side decode of one telemetry packet.
+  static std::vector<Record> decode(const std::vector<std::uint8_t>& packet,
+                                    const AnalogFrontEnd& fe = {});
+
+  // TokenReceiver (the streamer never receives; required for attachment).
+  bool can_receive() const override { return true; }
+  std::size_t free_space() const override { return 64; }
+  void receive(const Token&) override {}
+  void subscribe_drain(std::function<void()>) override {}
+
+ private:
+  void tick();
+  void pump();
+
+  Simulator& sim_;
+  Slice& slice_;
+  ResourceId bridge_chanend_;
+  TokenOutPort* port_ = nullptr;
+  TimePs period_;
+  bool running_ = false;
+  std::deque<Token> tx_queue_;
+  std::vector<std::uint64_t> last_count_;
+  std::uint64_t records_streamed_ = 0;
+};
+
+}  // namespace swallow

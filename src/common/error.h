@@ -1,0 +1,37 @@
+// Error handling for the Swallow simulator.
+//
+// Configuration and usage errors (bad topology, malformed assembly, invalid
+// resource use) throw `swallow::Error`; internal invariant violations throw
+// `swallow::InternalError`.  Both carry a plain message — the simulator is a
+// library, so callers decide how to surface failures.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace swallow {
+
+/// Error caused by invalid input to the library (bad program, bad config).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an internal invariant; indicates a simulator bug.
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throw Error unless `cond` holds.
+inline void require(bool cond, std::string_view msg) {
+  if (!cond) throw Error(std::string(msg));
+}
+
+/// Throw InternalError unless `cond` holds.
+inline void invariant(bool cond, std::string_view msg) {
+  if (!cond) throw InternalError(std::string(msg));
+}
+
+}  // namespace swallow

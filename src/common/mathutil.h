@@ -1,0 +1,31 @@
+// Small numeric helpers: linear interpolation/regression used by the power
+// models and the benchmark fit checks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+
+#include "common/error.h"
+
+namespace swallow {
+
+/// Linear interpolation of y over [x0,x1]; clamps outside the interval.
+constexpr double lerp_clamped(double x, double x0, double y0, double x1,
+                              double y1) {
+  if (x <= x0) return y0;
+  if (x >= x1) return y1;
+  return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+/// Result of an ordinary least squares line fit y = intercept + slope * x.
+struct LineFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Least-squares fit over paired samples.  Requires >= 2 points.
+LineFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace swallow

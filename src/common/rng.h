@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the simulator (ADC noise, synthetic traffic,
+// property-test inputs) draw from an explicitly seeded xoshiro256**
+// generator so every run is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace swallow {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = k_default_seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four state words.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Approximately standard-normal deviate (sum of 12 uniforms - 6).
+  /// Plenty for modelling measurement noise.
+  double next_gaussian() {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += next_double();
+    return acc - 6.0;
+  }
+
+  bool next_bool() { return (next_u64() & 1) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) {
+    return (v << k) | (v >> (64 - k));
+  }
+  // Arbitrary fixed default seed; any value works, determinism is the point.
+  static constexpr std::uint64_t k_default_seed = 0x5fa110f00dULL;
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace swallow

@@ -1,0 +1,31 @@
+// Small string utilities shared by the assembler, table renderer and CLIs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swallow {
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any of the characters in `seps`, dropping empty fields.
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view seps = " \t,");
+
+/// Split into at most two pieces at the first occurrence of `sep`.
+std::vector<std::string_view> split_first(std::string_view s, char sep);
+
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parse an integer accepting decimal, 0x-hex and a leading '-' or '#'.
+/// Throws swallow::Error on malformed input.
+long long parse_int(std::string_view s);
+
+/// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace swallow

@@ -1,0 +1,60 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace swallow {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::rule() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const Row& r : rows_) columns = std::max(columns, r.cells.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_) widen(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  if (columns > 1) total += 2 * (columns - 1);
+
+  std::ostringstream os;
+  if (!title_.empty()) {
+    os << title_ << '\n' << std::string(std::max(total, title_.size()), '=') << '\n';
+  }
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      os << cell;
+      if (i + 1 < columns) os << std::string(widths[i] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.is_rule) {
+      os << std::string(total, '-') << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace swallow

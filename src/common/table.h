@@ -1,0 +1,38 @@
+// Plain-text table renderer used by the benchmark harnesses to print the
+// paper's tables and figure series in a uniform format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace swallow {
+
+/// Column-aligned text table with optional title and header rule.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.  Column count is inferred from it.
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row; short rows are padded with empty cells.
+  void row(std::vector<std::string> cells);
+
+  /// Append a horizontal rule between row groups.
+  void rule();
+
+  /// Render with 2-space column gutters.
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  // Each row is either a cell list or the sentinel "rule" marker.
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_rule = false;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,82 @@
+// Physical-quantity helpers used across the Swallow simulator.
+//
+// The simulator keeps a single authoritative notion of time: an integer
+// number of picoseconds since simulation start (`TimePs`).  Integer time
+// keeps event ordering exactly deterministic, which mirrors the
+// time-deterministic execution guarantee of the XS1-L hardware the paper
+// builds on.  All other quantities (power, energy, voltage, data volume)
+// are doubles in SI units with thin named helpers for the magnitudes the
+// paper uses (mW, pJ/bit, Mbit/s, MHz).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace swallow {
+
+/// Simulation time in integer picoseconds.
+using TimePs = std::int64_t;
+
+/// Sentinel meaning "never" / "no deadline".
+inline constexpr TimePs kTimeNever = std::numeric_limits<TimePs>::max();
+
+inline constexpr TimePs kPicosPerNano = 1'000;
+inline constexpr TimePs kPicosPerMicro = 1'000'000;
+inline constexpr TimePs kPicosPerMilli = 1'000'000'000;
+inline constexpr TimePs kPicosPerSecond = 1'000'000'000'000;
+
+constexpr TimePs nanoseconds(double ns) {
+  return static_cast<TimePs>(ns * static_cast<double>(kPicosPerNano));
+}
+constexpr TimePs microseconds(double us) {
+  return static_cast<TimePs>(us * static_cast<double>(kPicosPerMicro));
+}
+constexpr TimePs milliseconds(double ms) {
+  return static_cast<TimePs>(ms * static_cast<double>(kPicosPerMilli));
+}
+constexpr double to_nanoseconds(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerNano);
+}
+constexpr double to_microseconds(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerMicro);
+}
+constexpr double to_seconds(TimePs t) {
+  return static_cast<double>(t) / static_cast<double>(kPicosPerSecond);
+}
+
+/// Frequency in megahertz (the unit the paper quotes throughout).
+using MegaHertz = double;
+
+/// Clock period of a frequency, rounded to integer picoseconds.
+/// 500 MHz -> 2000 ps.
+constexpr TimePs period_ps(MegaHertz f_mhz) {
+  return static_cast<TimePs>(1e6 / f_mhz + 0.5);
+}
+
+/// Power in watts and energy in joules; helpers for paper magnitudes.
+using Watts = double;
+using Joules = double;
+using Volts = double;
+
+constexpr Watts milliwatts(double mw) { return mw * 1e-3; }
+constexpr double to_milliwatts(Watts w) { return w * 1e3; }
+constexpr Joules picojoules(double pj) { return pj * 1e-12; }
+constexpr double to_picojoules(Joules j) { return j * 1e12; }
+constexpr Joules nanojoules(double nj) { return nj * 1e-9; }
+constexpr double to_nanojoules(Joules j) { return j * 1e9; }
+constexpr Joules microjoules(double uj) { return uj * 1e-6; }
+
+/// Energy accumulated by a constant power over an integer time span.
+constexpr Joules energy_over(Watts p, TimePs span) {
+  return p * to_seconds(span);
+}
+
+/// Data rates.  The paper quotes link speeds in Mbit/s.
+using MegabitsPerSecond = double;
+
+/// Time to serialise `bits` at `rate` Mbit/s, rounded to picoseconds.
+constexpr TimePs transfer_time_ps(std::int64_t bits, MegabitsPerSecond rate) {
+  return static_cast<TimePs>(static_cast<double>(bits) * 1e6 / rate + 0.5);
+}
+
+}  // namespace swallow

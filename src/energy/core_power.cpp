@@ -1,0 +1,47 @@
+#include "energy/core_power.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace swallow {
+
+Watts CorePowerModel::scale_line(double static_mw, double dyn_mw_per_mhz,
+                                 MegaHertz f, Volts v, Volts v_nom) {
+  const double vr = v / v_nom;
+  return milliwatts(static_mw * vr + dyn_mw_per_mhz * f * vr * vr);
+}
+
+Watts CorePowerModel::baseline_power(MegaHertz f, Volts v) const {
+  return scale_line(idle_.static_mw, idle_.dyn_mw_per_mhz, f, v,
+                    volts_.v_nominal);
+}
+
+Watts CorePowerModel::active_power(MegaHertz f, Volts v) const {
+  return scale_line(active_.static_mw, active_.dyn_mw_per_mhz, f, v,
+                    volts_.v_nominal);
+}
+
+Watts CorePowerModel::power(MegaHertz f, Volts v, double active_threads) const {
+  require(active_threads >= 0, "CorePowerModel: negative thread count");
+  const double frac = std::min(active_threads, 4.0) / 4.0;
+  const Watts idle = baseline_power(f, v);
+  return idle + frac * (active_power(f, v) - idle);
+}
+
+Joules CorePowerModel::instruction_energy(MegaHertz f, Volts v,
+                                          double weight) const {
+  // Full-rate issue is f MHz instructions per second; the issue-dynamic
+  // power is the gap between the two Fig. 3 lines at this frequency.
+  const Watts gap = active_power(f, v) - baseline_power(f, v);
+  const double issue_rate_hz = f * 1e6;
+  return weight * gap / issue_rate_hz;
+}
+
+Volts CorePowerModel::min_voltage(MegaHertz f) const {
+  return lerp_clamped(f, volts_.f_lo_mhz, volts_.v_lo, volts_.f_hi_mhz,
+                      volts_.v_hi);
+}
+
+}  // namespace swallow

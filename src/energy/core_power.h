@@ -1,0 +1,66 @@
+// Core power model reproducing Eq. (1), Fig. 3 and Fig. 4 of the paper.
+//
+// The model decomposes the measured core-rail power into
+//   * a continuous *baseline* equal to the all-threads-idle line of Fig. 3
+//     (static leakage plus clock-tree dynamic power), and
+//   * a per-issued-instruction *dynamic energy* calibrated so that a core
+//     issuing one instruction per cycle (>= 4 active threads) sits exactly
+//     on the Eq. (1) heavy-load line Pc = (46 + 0.30 f) mW.
+//
+// With Nt < 4 active threads the issue rate is Nt·f/4 (Eq. 2) and the model
+// lands on the proportional interpolation between the two Fig. 3 lines —
+// which is how the hardware behaves, since unused pipeline slots burn no
+// issue energy.
+//
+// Voltage scaling (Fig. 4) follows P = C·V²·f: dynamic terms scale with
+// (V/1V)², static leakage with (V/1V).
+#pragma once
+
+#include "common/units.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+class CorePowerModel {
+ public:
+  CorePowerModel() = default;
+  CorePowerModel(ActivePowerLine active, IdlePowerLine idle,
+                 VoltageCurvePoints volts)
+      : active_(active), idle_(idle), volts_(volts) {}
+
+  /// Baseline (all threads idle) power at frequency f and supply voltage V.
+  Watts baseline_power(MegaHertz f, Volts v) const;
+
+  /// Heavy-load (>= 4 active threads, average instruction mix) power.
+  /// At v = 1.0 this is Eq. (1) exactly.
+  Watts active_power(MegaHertz f, Volts v) const;
+
+  /// Power with `active_threads` runnable threads (interpolates Fig. 3).
+  Watts power(MegaHertz f, Volts v, double active_threads) const;
+
+  /// Dynamic energy charged per issued instruction so that full-rate issue
+  /// reproduces active_power().  `weight` is the instruction-class factor
+  /// (1.0 = average mix).
+  Joules instruction_energy(MegaHertz f, Volts v, double weight = 1.0) const;
+
+  /// Minimum reliable supply voltage at frequency f (§III.B measurement,
+  /// linear in between; clamped outside the measured range).
+  Volts min_voltage(MegaHertz f) const;
+
+  /// Nominal (1 V) supply.
+  Volts nominal_voltage() const { return volts_.v_nominal; }
+
+  const ActivePowerLine& active_line() const { return active_; }
+  const IdlePowerLine& idle_line() const { return idle_; }
+
+ private:
+  // Split a power line into static (V-linear) and dynamic (V²-scaled) parts.
+  static Watts scale_line(double static_mw, double dyn_mw_per_mhz, MegaHertz f,
+                          Volts v, Volts v_nom);
+
+  ActivePowerLine active_{};
+  IdlePowerLine idle_{};
+  VoltageCurvePoints volts_{};
+};
+
+}  // namespace swallow

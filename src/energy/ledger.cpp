@@ -1,0 +1,22 @@
+#include "energy/ledger.h"
+
+namespace swallow {
+
+std::string_view to_string(EnergyAccount a) {
+  switch (a) {
+    case EnergyAccount::kCoreBaseline: return "core-baseline";
+    case EnergyAccount::kCoreInstructions: return "core-instructions";
+    case EnergyAccount::kNetworkInterface: return "network-interface";
+    case EnergyAccount::kLinkOnChip: return "link-on-chip";
+    case EnergyAccount::kLinkBoardVertical: return "link-board-vertical";
+    case EnergyAccount::kLinkBoardHorizontal: return "link-board-horizontal";
+    case EnergyAccount::kLinkCable: return "link-cable";
+    case EnergyAccount::kDcDcIo: return "dcdc-io";
+    case EnergyAccount::kOther: return "other";
+    case EnergyAccount::kEthernetBridge: return "ethernet-bridge";
+    case EnergyAccount::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace swallow

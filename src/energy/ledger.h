@@ -1,0 +1,110 @@
+// Energy accounting: every joule the simulator spends is attributed to a
+// named account.  The ledger is the ground truth the measurement subsystem
+// (shunts + ADC) samples, and what the benches reconcile against — the
+// "energy transparency" property of the paper, made literal.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace swallow {
+
+/// Where energy goes.  Mirrors the Fig. 2 decomposition plus the Table I
+/// link classes.
+enum class EnergyAccount : std::size_t {
+  kCoreBaseline = 0,    // idle-line power: static + clock tree
+  kCoreInstructions,    // per-instruction dynamic energy
+  kNetworkInterface,    // switch + link-port logic
+  kLinkOnChip,
+  kLinkBoardVertical,
+  kLinkBoardHorizontal,
+  kLinkCable,
+  kDcDcIo,              // conversion losses and I/O rail
+  kOther,               // support logic, LEDs, oscillators
+  kEthernetBridge,
+  kCount,
+};
+
+std::string_view to_string(EnergyAccount a);
+
+/// Per-account joule totals.
+class EnergyLedger {
+ public:
+  void add(EnergyAccount account, Joules j) {
+    totals_[static_cast<std::size_t>(account)] += j;
+  }
+
+  Joules total(EnergyAccount account) const {
+    return totals_[static_cast<std::size_t>(account)];
+  }
+
+  Joules grand_total() const {
+    Joules sum = 0;
+    for (Joules j : totals_) sum += j;
+    return sum;
+  }
+
+  /// Sum of the four link accounts.
+  Joules link_total() const {
+    return total(EnergyAccount::kLinkOnChip) +
+           total(EnergyAccount::kLinkBoardVertical) +
+           total(EnergyAccount::kLinkBoardHorizontal) +
+           total(EnergyAccount::kLinkCable);
+  }
+
+  void reset() { totals_.fill(0.0); }
+
+ private:
+  std::array<Joules, static_cast<std::size_t>(EnergyAccount::kCount)> totals_{};
+};
+
+/// Piecewise-constant power source integrated into a ledger account.
+/// Components call set_level() whenever their power draw changes; the
+/// interval since the previous change is charged at the old level.
+class PowerTrace {
+ public:
+  PowerTrace(EnergyLedger& ledger, EnergyAccount account)
+      : ledger_(&ledger), account_(account) {}
+
+  /// Change the power level at time `now`, charging the elapsed interval.
+  void set_level(TimePs now, Watts watts) {
+    settle(now);
+    level_ = watts;
+  }
+
+  /// Charge energy up to `now` at the current level without changing it.
+  void settle(TimePs now) {
+    if (now > last_) {
+      const Joules j = energy_over(level_, now - last_);
+      ledger_->add(account_, j);
+      local_total_ += j;
+      last_ = now;
+    }
+  }
+
+  /// Charge a one-off energy amount at `now` (per-instruction / per-token
+  /// costs that are not modelled as a continuous level).
+  void add_pulse(Joules j) {
+    ledger_->add(account_, j);
+    local_total_ += j;
+  }
+
+  Watts level() const { return level_; }
+  TimePs last_update() const { return last_; }
+
+  /// Energy this trace alone has charged (per-component attribution on top
+  /// of the per-account ledger totals).
+  Joules total() const { return local_total_; }
+
+ private:
+  EnergyLedger* ledger_;
+  EnergyAccount account_;
+  Watts level_ = 0.0;
+  TimePs last_ = 0;
+  Joules local_total_ = 0.0;
+};
+
+}  // namespace swallow

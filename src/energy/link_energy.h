@@ -1,0 +1,81 @@
+// Per-link-class electrical parameters (Table I of the paper).
+#pragma once
+
+#include <string_view>
+
+#include "common/units.h"
+#include "energy/ledger.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+/// The four physical link classes of a Swallow system.
+enum class LinkClass {
+  kOnChip,           // between the two switches inside an XS1-L2 package
+  kBoardVertical,    // PCB trace, vertical-layer neighbours on a slice
+  kBoardHorizontal,  // PCB trace, horizontal-layer neighbours on a slice
+  kOffBoardCable,    // 30 cm FFC ribbon between slices
+};
+
+constexpr std::string_view to_string(LinkClass c) {
+  switch (c) {
+    case LinkClass::kOnChip: return "on-chip";
+    case LinkClass::kBoardVertical: return "on-board vertical";
+    case LinkClass::kBoardHorizontal: return "on-board horizontal";
+    case LinkClass::kOffBoardCable: return "off-board FFC";
+  }
+  return "?";
+}
+
+constexpr const LinkClassParams& link_params(LinkClass c) {
+  switch (c) {
+    case LinkClass::kOnChip: return kOnChipLink;
+    case LinkClass::kBoardVertical: return kBoardVerticalLink;
+    case LinkClass::kBoardHorizontal: return kBoardHorizontalLink;
+    case LinkClass::kOffBoardCable: return kOffBoardFfcLink;
+  }
+  return kOnChipLink;
+}
+
+/// Ledger account a link class charges to.
+constexpr EnergyAccount link_account(LinkClass c) {
+  switch (c) {
+    case LinkClass::kOnChip: return EnergyAccount::kLinkOnChip;
+    case LinkClass::kBoardVertical: return EnergyAccount::kLinkBoardVertical;
+    case LinkClass::kBoardHorizontal: return EnergyAccount::kLinkBoardHorizontal;
+    case LinkClass::kOffBoardCable: return EnergyAccount::kLinkCable;
+  }
+  return EnergyAccount::kLinkOnChip;
+}
+
+/// Energy for one transferred bit.  Off-board cable energy is dominated by
+/// cable capacitance (§II), so it scales linearly with length from the
+/// 30 cm Table I reference.
+constexpr Joules link_energy_per_bit(LinkClass c, double cable_length_cm =
+                                                      kFfcReferenceLengthCm) {
+  const LinkClassParams& p = link_params(c);
+  double pj = p.energy_pj_per_bit;
+  if (c == LinkClass::kOffBoardCable) {
+    pj *= cable_length_cm / kFfcReferenceLengthCm;
+  }
+  return picojoules(pj);
+}
+
+/// Architectural maximum data rate for a class (§V.C), as opposed to the
+/// derated Table I operating rate Swallow ships with.
+constexpr MegabitsPerSecond link_max_rate(LinkClass c) {
+  return c == LinkClass::kOnChip ? kOnChipLinkMaxMbps : kExternalLinkMaxMbps;
+}
+
+/// Operating rate grade for a whole system.
+enum class LinkGrade {
+  kSwallowDefault,  // Table I rates: 250 Mbit/s on-chip, 62.5 Mbit/s external
+  kArchitecturalMax  // §V.C rates: 500 Mbit/s on-chip, 125 Mbit/s external
+};
+
+constexpr MegabitsPerSecond link_rate(LinkClass c, LinkGrade g) {
+  if (g == LinkGrade::kArchitecturalMax) return link_max_rate(c);
+  return link_params(c).data_rate_mbps;
+}
+
+}  // namespace swallow

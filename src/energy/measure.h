@@ -1,0 +1,114 @@
+// The measurement daughter-board (§II): shunt resistors on each supply
+// output, differential amplifiers, and a multi-channel ADC sampling at up
+// to 2 MS/s (1 MS/s when all channels sample simultaneously).
+//
+// The novel property carried over from the paper: samples are available
+// *inside* the simulated system (PowerSampler::latest), so a running
+// program can observe its own power draw and adapt — see
+// examples/self_aware_power.cpp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "energy/params.h"
+#include "energy/supply.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+/// Shunt + differential amplifier + ADC front end for one supply channel.
+struct AnalogFrontEnd {
+  double shunt_ohms = 0.010;   // 10 mOhm sense resistor
+  double amp_gain = 50.0;      // differential amplifier
+  int adc_bits = 12;
+  Volts adc_vref = 3.3;
+  double noise_lsb_rms = 0.5;  // input-referred noise in LSBs
+
+  std::uint32_t max_code() const { return (1u << adc_bits) - 1; }
+
+  /// Quantise the rail's present draw into an ADC code.
+  std::uint32_t sample_code(const Rail& rail, Rng& rng) const;
+
+  /// Convert an ADC code back to watts for the given rail voltage.
+  Watts code_to_watts(std::uint32_t code, Volts rail_volts) const;
+};
+
+/// One timestamped converted sample.
+struct PowerSample {
+  TimePs time = 0;
+  Watts watts = 0;
+  std::uint32_t code = 0;
+};
+
+/// Periodic sampler over the five slice supplies (or any set of rails).
+/// Integrates energy per channel (trapezoidal) and keeps the latest sample
+/// available for in-system reads.
+class PowerSampler {
+ public:
+  enum class Mode {
+    kSingleChannel,  // up to 2 MS/s, one chosen channel
+    kSimultaneous,   // up to 1 MS/s, all channels each tick
+  };
+
+  PowerSampler(Simulator& sim, std::vector<const Rail*> rails,
+               AnalogFrontEnd fe = {}, std::uint64_t noise_seed = 1);
+
+  /// Begin sampling.  `rate_sps` must respect the mode's ADC limit.
+  /// In single-channel mode `channel` selects which rail is converted.
+  void start(Mode mode, double rate_sps, int channel = 0);
+  void stop();
+
+  bool running() const { return running_; }
+  int channels() const { return static_cast<int>(rails_.size()); }
+
+  /// Latest converted sample of a channel (zero-initialised before the
+  /// first conversion).
+  const PowerSample& latest(int channel) const {
+    return latest_.at(static_cast<std::size_t>(channel));
+  }
+
+  /// Trapezoidal energy integral of a channel since start().
+  Joules energy(int channel) const {
+    return energy_.at(static_cast<std::size_t>(channel));
+  }
+  Joules total_energy() const;
+
+  /// Number of conversions performed on a channel.
+  std::uint64_t samples(int channel) const {
+    return counts_.at(static_cast<std::size_t>(channel));
+  }
+
+  /// Optionally record every sample of every channel (off by default to
+  /// keep long runs cheap).
+  void record_trace(bool on) { record_ = on; }
+  const std::vector<PowerSample>& trace(int channel) const {
+    return traces_.at(static_cast<std::size_t>(channel));
+  }
+
+ private:
+  void tick();
+  void convert(int channel);
+
+  Simulator& sim_;
+  std::vector<const Rail*> rails_;
+  AnalogFrontEnd fe_;
+  Rng rng_;
+  Mode mode_ = Mode::kSimultaneous;
+  TimePs interval_ = 0;
+  int single_channel_ = 0;
+  bool running_ = false;
+  bool record_ = false;
+  EventHandle pending_;
+  std::vector<PowerSample> latest_;
+  std::vector<Joules> energy_;
+  std::vector<std::uint64_t> counts_;
+  std::vector<PowerSample> prev_;
+  std::vector<std::vector<PowerSample>> traces_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,59 @@
+// Whole-node power model reproducing the Fig. 2 decomposition.
+//
+// A *node* is one core plus its switch, its share of the DC-DC conversion
+// chain and board support logic — 260 mW at the nominal operating point
+// (500 MHz, 1 V, fully loaded).  The components scale with frequency,
+// voltage and utilisation so the model stays meaningful away from the
+// nominal point:
+//   * compute:            ∝ f · util · V²      (78 mW nominal)
+//   * static:             ∝ V                  (68 mW nominal)
+//   * network interface:  base + ∝ link util   (58 mW nominal)
+//   * DC-DC & I/O:        conversion overhead fraction of delivered power
+//                         plus constant I/O    (46 mW nominal)
+//   * other:              constant             (10 mW nominal)
+#pragma once
+
+#include "common/units.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+struct NodeOperatingPoint {
+  MegaHertz f_mhz = 500.0;
+  Volts v = 1.0;
+  double compute_util = 1.0;  // fraction of issue slots used, [0,1]
+  double link_util = 1.0;     // fraction of link bandwidth in use, [0,1]
+};
+
+struct NodePowerBreakdown {
+  Watts compute = 0;
+  Watts statics = 0;
+  Watts network_interface = 0;
+  Watts dcdc_io = 0;
+  Watts other = 0;
+  Watts total() const {
+    return compute + statics + network_interface + dcdc_io + other;
+  }
+};
+
+class NodePowerModel {
+ public:
+  NodePowerModel() = default;
+  explicit NodePowerModel(NodeBreakdownNominal nominal) : nominal_(nominal) {}
+
+  NodePowerBreakdown breakdown(const NodeOperatingPoint& op) const;
+
+  /// Per-slice constant not attributable to a node: Ethernet module socket,
+  /// oscillators, LEDs (§III.A's ≈4.5 W/slice vs 16 × 260 mW).
+  Watts slice_support_power() const { return milliwatts(slice_support_mw_); }
+
+  const NodeBreakdownNominal& nominal() const { return nominal_; }
+
+ private:
+  NodeBreakdownNominal nominal_{};
+  // 16 × 260 mW = 4.16 W; the paper says "approximately 4.5 W/slice".  The
+  // ~0.34 W remainder is board-level support.
+  double slice_support_mw_ = 340.0;
+};
+
+}  // namespace swallow

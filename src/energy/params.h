@@ -1,0 +1,96 @@
+// Calibration constants taken directly from the Swallow paper (DATE 2016).
+// Every number in this header is traceable to a specific table, figure or
+// equation; the benches re-derive the paper's results *from the simulator*
+// and check them against these.
+#pragma once
+
+#include "common/units.h"
+
+namespace swallow {
+
+/// Equation (1): active core power at 1 V, four threads under heavy load:
+///   Pc = (46 + 0.30 f) mW.
+struct ActivePowerLine {
+  double static_mw = 46.0;
+  double dyn_mw_per_mhz = 0.30;
+};
+
+/// Figure 3 idle line endpoints: 113 mW at 500 MHz and 50 mW at 71 MHz with
+/// all threads idle.  Expressed as the equivalent line fit.
+struct IdlePowerLine {
+  // slope = (113 - 50) / (500 - 71); intercept from the 71 MHz point.
+  double static_mw = 50.0 - (113.0 - 50.0) / (500.0 - 71.0) * 71.0;
+  double dyn_mw_per_mhz = (113.0 - 50.0) / (500.0 - 71.0);
+};
+
+/// Section III.B / Figure 4: experimentally determined minimum supply
+/// voltages, interpolated linearly in between.
+struct VoltageCurvePoints {
+  MegaHertz f_lo_mhz = 71.0;
+  Volts v_lo = 0.60;
+  MegaHertz f_hi_mhz = 500.0;
+  Volts v_hi = 0.95;
+  Volts v_nominal = 1.0;
+};
+
+/// Figure 2: power distribution for each Swallow node at the nominal
+/// operating point (500 MHz, 1 V, fully loaded), 260 mW total.
+struct NodeBreakdownNominal {
+  double compute_mw = 78.0;        // "Computation & memory ops"
+  double static_mw = 68.0;         // node static (core + switch + PLL)
+  double network_interface_mw = 58.0;
+  double dcdc_io_mw = 46.0;        // DC-DC conversion and I/O
+  double other_mw = 10.0;
+  double total_mw() const {
+    return compute_mw + static_mw + network_interface_mw + dcdc_io_mw + other_mw;
+  }
+};
+
+/// Table I: per-link-class data rate, maximum link power and energy/bit.
+/// Note energy_pj_per_bit == max_power / rate exactly in the paper.
+struct LinkClassParams {
+  MegabitsPerSecond data_rate_mbps;
+  double max_power_mw;
+  double energy_pj_per_bit;
+};
+
+inline constexpr LinkClassParams kOnChipLink{250.0, 1.4, 5.6};
+inline constexpr LinkClassParams kBoardVerticalLink{62.5, 13.3, 212.8};
+inline constexpr LinkClassParams kBoardHorizontalLink{62.5, 12.6, 201.6};
+inline constexpr LinkClassParams kOffBoardFfcLink{62.5, 680.0, 10880.0};
+
+/// Off-board FFC cable reference length for the Table I energy (30 cm).
+inline constexpr double kFfcReferenceLengthCm = 30.0;
+
+/// Architectural maximum link rates (§V.C): 500 Mbit/s on-chip and
+/// 125 Mbit/s external, versus the derated Table I operating rates.
+inline constexpr MegabitsPerSecond kOnChipLinkMaxMbps = 500.0;
+inline constexpr MegabitsPerSecond kExternalLinkMaxMbps = 125.0;
+
+/// §III.A headline system numbers.
+inline constexpr double kMaxCorePowerMw = 193.0;     // one core, 500 MHz, loaded
+inline constexpr double kSliceCoresPowerW = 3.1;     // 16 cores
+inline constexpr double kSlicePowerW = 4.5;          // incl. conversion losses
+inline constexpr int kCoresPerSlice = 16;
+inline constexpr int kChipsPerSlice = 8;
+inline constexpr int kLargestSystemCores = 480;
+inline constexpr int kLargestSystemSlices = 30;
+inline constexpr double kLargestSystemPowerW = 134.0;
+
+/// §II: measurement subsystem sampling rates.
+inline constexpr double kAdcSingleChannelSps = 2'000'000.0;
+inline constexpr double kAdcSimultaneousSps = 1'000'000.0;
+inline constexpr int kSupplyChannelsPerSlice = 5;  // 4x 1V rails + 1x 3.3V
+
+/// §V.E: Ethernet bridge full-duplex throughput cap.
+inline constexpr MegabitsPerSecond kEthernetBridgeMbps = 80.0;
+
+/// Core microarchitecture constants (§IV.A, §IV.C).
+inline constexpr int kPipelineStages = 4;
+inline constexpr int kMaxHardwareThreads = 8;
+inline constexpr int kSramBytesPerCore = 64 * 1024;
+inline constexpr MegaHertz kMaxCoreFrequencyMhz = 500.0;
+inline constexpr MegaHertz kMinCoreFrequencyMhz = 71.0;
+inline constexpr MegaHertz kReferenceClockMhz = 100.0;
+
+}  // namespace swallow

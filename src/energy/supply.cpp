@@ -1,0 +1,41 @@
+#include "energy/supply.h"
+
+#include "common/strings.h"
+
+namespace swallow {
+
+Watts Rail::power() const {
+  Watts sum = 0;
+  for (const PowerTrace* t : traces_) sum += t->level();
+  for (const auto& f : extra_) sum += f();
+  return sum;
+}
+
+SliceSupplies::SliceSupplies() {
+  rails_.reserve(kRailCount);
+  for (int i = 0; i < kCoreRails; ++i) {
+    rails_.emplace_back(strprintf("core-rail-%d", i), 1.0);
+  }
+  rails_.emplace_back("io-rail", 3.3);
+  smps_.assign(kRailCount, Smps{});
+}
+
+Watts SliceSupplies::input_power() const {
+  Watts total = 0;
+  for (int i = 0; i < kRailCount; ++i) {
+    total += smps_[static_cast<std::size_t>(i)].input_power(
+        rails_[static_cast<std::size_t>(i)].power());
+  }
+  return total;
+}
+
+Watts SliceSupplies::conversion_loss() const {
+  Watts total = 0;
+  for (int i = 0; i < kRailCount; ++i) {
+    total += smps_[static_cast<std::size_t>(i)].loss(
+        rails_[static_cast<std::size_t>(i)].power());
+  }
+  return total;
+}
+
+}  // namespace swallow

@@ -1,0 +1,83 @@
+// Power-delivery model: voltage rails aggregating component power traces,
+// and the switch-mode supplies that feed them (§II: five SMPS per slice —
+// four 1 V rails of four cores each, one 3.3 V I/O rail).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "energy/ledger.h"
+
+namespace swallow {
+
+/// A voltage rail summing the instantaneous draw of attached sources.
+/// Sources are non-owning: either PowerTrace levels kept current by their
+/// owners, or arbitrary callables.
+class Rail {
+ public:
+  Rail(std::string name, Volts volts) : name_(std::move(name)), volts_(volts) {}
+
+  void attach(const PowerTrace* trace) { traces_.push_back(trace); }
+  void attach(std::function<Watts()> source) {
+    extra_.push_back(std::move(source));
+  }
+
+  /// Instantaneous power drawn from this rail.
+  Watts power() const;
+
+  /// Instantaneous current (P / V).
+  double current_amps() const { return power() / volts_; }
+
+  const std::string& name() const { return name_; }
+  Volts voltage() const { return volts_; }
+
+ private:
+  std::string name_;
+  Volts volts_;
+  std::vector<const PowerTrace*> traces_;
+  std::vector<std::function<Watts()>> extra_;
+};
+
+/// Switch-mode power supply: input power = output/efficiency + quiescent.
+/// Efficiency calibrated so a fully loaded slice draws the paper's
+/// ~4.5 W (§III.A) from its 5 V input.
+struct Smps {
+  double efficiency = 0.93;
+  Watts quiescent = milliwatts(25.0);
+
+  Watts input_power(Watts output) const {
+    return output / efficiency + quiescent;
+  }
+  Watts loss(Watts output) const { return input_power(output) - output; }
+};
+
+/// The five measurable supplies of one Swallow slice, each fed from the
+/// main 5 V input through its own SMPS with shunt probe points.
+class SliceSupplies {
+ public:
+  SliceSupplies();
+
+  /// Rails 0..3 are the 1 V core rails (two chips = four cores each);
+  /// rail 4 is the 3.3 V I/O rail.
+  static constexpr int kCoreRails = 4;
+  static constexpr int kIoRail = 4;
+  static constexpr int kRailCount = 5;
+
+  Rail& rail(int i) { return rails_.at(static_cast<std::size_t>(i)); }
+  const Rail& rail(int i) const { return rails_.at(static_cast<std::size_t>(i)); }
+  const Smps& smps(int i) const { return smps_.at(static_cast<std::size_t>(i)); }
+
+  /// Total power drawn from the slice's 5 V input right now.
+  Watts input_power() const;
+
+  /// Conversion losses across all five supplies right now.
+  Watts conversion_loss() const;
+
+ private:
+  std::vector<Rail> rails_;
+  std::vector<Smps> smps_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,50 @@
+#include "noc/network.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+Switch& Network::add_switch(NodeId node, std::shared_ptr<Router> router,
+                            MegaHertz clock_mhz) {
+  require(find_switch(node) == nullptr, "Network: duplicate node id");
+  Switch::Config cfg;
+  cfg.node = node;
+  cfg.clock_mhz = clock_mhz;
+  switches_.push_back(
+      std::make_unique<Switch>(sim_, ledger_, cfg, std::move(router)));
+  return *switches_.back();
+}
+
+void Network::connect(Switch& a, int dir_ab, Switch& b, int dir_ba,
+                      LinkClass cls, int count, double cable_length_cm) {
+  require(count >= 1, "Network: link count must be >= 1");
+  const MegabitsPerSecond rate = link_rate(cls, grade_);
+  const TimePs wire = link_wire_latency(cls, cable_length_cm);
+  for (int i = 0; i < count; ++i) {
+    const int pa = a.add_link_port(dir_ab);
+    const int pb = b.add_link_port(dir_ba);
+    a.connect_link(pa, b, pb, cls, rate, wire, cable_length_cm);
+    b.connect_link(pb, a, pa, cls, rate, wire, cable_length_cm);
+  }
+}
+
+Switch* Network::find_switch(NodeId node) {
+  for (const auto& s : switches_) {
+    if (s->node_id() == node) return s.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t Network::total_tokens_forwarded() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) n += s->tokens_forwarded();
+  return n;
+}
+
+std::uint64_t Network::total_packets_sunk() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) n += s->packets_sunk();
+  return n;
+}
+
+}  // namespace swallow

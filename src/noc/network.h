@@ -1,0 +1,64 @@
+// Network container: owns switches and wires full-duplex links between
+// them with the Table I link classes and per-grade data rates.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "energy/ledger.h"
+#include "energy/link_energy.h"
+#include "noc/routing.h"
+#include "noc/switch.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+/// Propagation delay per link class (electrical length, not serialisation).
+constexpr TimePs link_wire_latency(LinkClass cls,
+                                   double cable_length_cm = kFfcReferenceLengthCm) {
+  switch (cls) {
+    case LinkClass::kOnChip: return 200;          // 0.2 ns in-package
+    case LinkClass::kBoardVertical: return 1000;  // 1 ns of PCB trace
+    case LinkClass::kBoardHorizontal: return 1000;
+    case LinkClass::kOffBoardCable:
+      // ~5 ns/m in FFC; scales with length.
+      return static_cast<TimePs>(50.0 * cable_length_cm + 0.5);
+  }
+  return 0;
+}
+
+class Network {
+ public:
+  Network(Simulator& sim, EnergyLedger& ledger,
+          LinkGrade grade = LinkGrade::kSwallowDefault)
+      : sim_(sim), ledger_(ledger), grade_(grade) {}
+
+  LinkGrade grade() const { return grade_; }
+
+  /// Create a switch for `node`.  The router may be shared between
+  /// switches or unique per switch.
+  Switch& add_switch(NodeId node, std::shared_ptr<Router> router,
+                     MegaHertz clock_mhz = 500.0);
+
+  /// Wire a full-duplex link: direction `dir_ab` as seen from a, `dir_ba`
+  /// as seen from b.  `count` parallel links join the same direction
+  /// groups (§V.B link aggregation).
+  void connect(Switch& a, int dir_ab, Switch& b, int dir_ba, LinkClass cls,
+               int count = 1, double cable_length_cm = kFfcReferenceLengthCm);
+
+  Switch* find_switch(NodeId node);
+  std::size_t switch_count() const { return switches_.size(); }
+  Switch& switch_at(std::size_t i) { return *switches_.at(i); }
+
+  /// Aggregate statistics over all switches.
+  std::uint64_t total_tokens_forwarded() const;
+  std::uint64_t total_packets_sunk() const;
+
+ private:
+  Simulator& sim_;
+  EnergyLedger& ledger_;
+  LinkGrade grade_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+};
+
+}  // namespace swallow

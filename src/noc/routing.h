@@ -1,0 +1,92 @@
+// Routing strategies for Swallow switches.
+//
+// Each switch asks its router for an abstract *direction* for a destination
+// node; the switch maps directions to groups of physical links (§V.B:
+// several links may serve the same direction, and a new communication uses
+// the next unused link of the group).
+//
+// Two mechanisms are provided:
+//   * TableRouter — fully software-defined destination→direction tables,
+//     the mechanism Swallow uses ("new routing algorithms can simply be
+//     programmed in software", §V.A).  The board library programs these to
+//     implement 2.5-dimensional dimension-order routing on the unwoven
+//     lattice.
+//   * BitCompareRouter — the XS1 hardware mechanism: the direction is
+//     chosen by the position of the highest bit in which the destination
+//     differs from the switch's own node id.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "arch/resource.h"
+
+namespace swallow {
+
+/// Conventional direction labels.  Values are arbitrary small ints; a
+/// switch supports directions 0..kMaxDirections-1.
+enum SwitchDir : int {
+  kDirNorth = 0,
+  kDirSouth = 1,
+  kDirEast = 2,
+  kDirWest = 3,
+  kDirInternal = 4,  // to the sibling node inside the package
+  kDirBridge = 5,    // towards an Ethernet bridge
+};
+inline constexpr int kMaxDirections = 8;
+
+/// Direction returned when a destination is unroutable; the switch sinks
+/// the packet and counts it.
+inline constexpr int kDirUnroutable = -1;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  /// Direction from `self` towards `dest` (never called with self == dest).
+  virtual int route(NodeId self, NodeId dest) const = 0;
+};
+
+/// Software destination table with optional default direction.
+class TableRouter : public Router {
+ public:
+  void set_route(NodeId dest, int direction) { table_[dest] = direction; }
+  void set_default(int direction) { default_dir_ = direction; }
+
+  int route(NodeId /*self*/, NodeId dest) const override {
+    const auto it = table_.find(dest);
+    if (it != table_.end()) return it->second;
+    return default_dir_;
+  }
+
+  std::size_t entries() const { return table_.size(); }
+
+ private:
+  std::unordered_map<NodeId, int> table_;
+  int default_dir_ = kDirUnroutable;
+};
+
+/// XS1-style routing: direction indexed by the highest differing bit of
+/// the 16-bit node ids.
+class BitCompareRouter : public Router {
+ public:
+  BitCompareRouter() { dirs_.fill(kDirUnroutable); }
+
+  void set_bit_direction(int bit, int direction) {
+    dirs_.at(static_cast<std::size_t>(bit)) = direction;
+  }
+
+  int route(NodeId self, NodeId dest) const override {
+    const std::uint16_t diff = static_cast<std::uint16_t>(self ^ dest);
+    if (diff == 0) return kDirUnroutable;
+    int bit = 15;
+    while (((diff >> bit) & 1u) == 0) --bit;
+    return dirs_[static_cast<std::size_t>(bit)];
+  }
+
+ private:
+  std::array<int, 16> dirs_{};
+};
+
+}  // namespace swallow

@@ -1,0 +1,418 @@
+#include "noc/switch.h"
+
+#include <algorithm>
+
+#include "arch/core.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+// Dynamic network-interface energy per forwarded token.  Calibrated so a
+// switch forwarding at on-chip line rate draws roughly the dynamic half of
+// Fig. 2's 58 mW network-interface share (see DESIGN.md).
+constexpr Joules kNiTokenEnergy = 150e-12;
+constexpr std::int64_t kInjectCycles = 3;  // §V.A: three cycles to the network
+constexpr std::int64_t kHopCycles = 2;     // per-hop routing decision
+constexpr std::int64_t kProcTokenCycles = 1;
+}  // namespace
+
+/// TokenOutPort a chanend (or endpoint) emits into: models the injection
+/// pipeline between core and switch.
+struct Switch::ProcPortImpl : TokenOutPort {
+  ProcPortImpl(Switch& s, int idx) : sw(&s), input_idx(idx) {}
+
+  bool can_accept() const override {
+    const Input& in = sw->inputs_[static_cast<std::size_t>(input_idx)];
+    return in.fifo.size() + static_cast<std::size_t>(in.in_flight) <
+           sw->cfg_.buffer_tokens;
+  }
+
+  void push(const Token& t) override {
+    Input& in = sw->inputs_[static_cast<std::size_t>(input_idx)];
+    invariant(can_accept(), "proc port push without acceptance");
+    ++in.in_flight;
+    sw->sim_.after(sw->inject_latency_, [s = sw, i = input_idx, t] {
+      Input& input = s->inputs_[static_cast<std::size_t>(i)];
+      --input.in_flight;
+      input.fifo.push_back(t);
+      s->schedule_process(i);
+      // The slot freed by the eventual forward is signalled separately;
+      // but in-flight moving into the fifo does not free space, so no
+      // space notification here.
+    });
+  }
+
+  void subscribe_space(std::function<void()> cb) override {
+    sw->inputs_[static_cast<std::size_t>(input_idx)].space_subs.push_back(
+        std::move(cb));
+  }
+
+  Switch* sw;
+  int input_idx;
+};
+
+Switch::Switch(Simulator& sim, EnergyLedger& ledger, Config cfg,
+               std::shared_ptr<Router> router)
+    : sim_(sim),
+      ledger_(ledger),
+      cfg_(cfg),
+      router_(std::move(router)),
+      dir_waiters_(kMaxDirections) {
+  require(cfg_.buffer_tokens >= static_cast<std::size_t>(kHeaderTokens) + 1,
+          "Switch: buffer must hold a header plus one token");
+  cycle_ps_ = period_ps(cfg_.clock_mhz);
+  inject_latency_ = kInjectCycles * cycle_ps_;
+  hop_latency_ = kHopCycles * cycle_ps_;
+  proc_token_time_ = kProcTokenCycles * cycle_ps_;
+  dir_groups_.resize(kMaxDirections);
+  proc_out_idx_.assign(256, -1);
+}
+
+Switch::~Switch() = default;
+
+void Switch::attach_core(Core& core) {
+  require(core_ == nullptr, "Switch: core already attached");
+  core_ = &core;
+  for (int i = 0; i < kChanendsPerCore; ++i) {
+    TokenOutPort* port = attach_endpoint(i, &core.chanend(i));
+    core.chanend(i).attach_out_port(port);
+  }
+}
+
+TokenOutPort* Switch::attach_endpoint(int index, TokenReceiver* receiver) {
+  require(index >= 0 && index < 256, "Switch: endpoint index out of range");
+  require(proc_out_idx_[static_cast<std::size_t>(index)] < 0,
+          "Switch: endpoint index already attached");
+  const int port = static_cast<int>(inputs_.size());
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  Input& in = inputs_.back();
+  in.kind = Input::Kind::kProc;
+  Output& out = outputs_.back();
+  out.kind = Output::Kind::kProc;
+  out.receiver = receiver;
+  proc_out_idx_[static_cast<std::size_t>(index)] = port;
+  receiver->subscribe_drain([this, port] {
+    const Output& o = outputs_[static_cast<std::size_t>(port)];
+    if (o.bound_input >= 0) schedule_process(o.bound_input);
+  });
+  proc_ports_.push_back(std::make_unique<ProcPortImpl>(*this, port));
+  return proc_ports_.back().get();
+}
+
+int Switch::add_link_port(int direction) {
+  require(direction >= 0 && direction < kMaxDirections,
+          "Switch: bad link direction");
+  const int port = static_cast<int>(inputs_.size());
+  inputs_.emplace_back();
+  outputs_.emplace_back();
+  inputs_.back().kind = Input::Kind::kLink;
+  Output& out = outputs_.back();
+  out.kind = Output::Kind::kLink;
+  out.direction = direction;
+  dir_groups_[static_cast<std::size_t>(direction)].push_back(port);
+  return port;
+}
+
+void Switch::connect_link(int my_port, Switch& peer, int peer_port,
+                          LinkClass cls, MegabitsPerSecond rate_mbps,
+                          TimePs wire_latency, double cable_length_cm) {
+  Output& out = outputs_.at(static_cast<std::size_t>(my_port));
+  require(out.kind == Output::Kind::kLink && out.peer == nullptr,
+          "Switch: port is not an unconnected link port");
+  out.peer = &peer;
+  out.peer_port = peer_port;
+  out.cls = cls;
+  out.rate = rate_mbps;
+  out.wire_latency = wire_latency;
+  out.cable_cm = cable_length_cm;
+  out.credits = static_cast<int>(peer.cfg_.buffer_tokens);
+
+  Input& peer_in = peer.inputs_.at(static_cast<std::size_t>(peer_port));
+  require(peer_in.kind == Input::Kind::kLink && peer_in.peer == nullptr,
+          "Switch: peer port is not an unconnected link port");
+  peer_in.peer = this;
+  peer_in.peer_output = my_port;
+  peer_in.credit_latency = wire_latency;
+}
+
+TimePs Switch::token_time(const Output& out) const {
+  return transfer_time_ps(kBitsPerToken, out.rate);
+}
+
+std::string Switch::open_routes_summary(TimePs now) const {
+  std::string out;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    const Input& in = inputs_[i];
+    if (in.output >= 0) {
+      const Output& o = outputs_[static_cast<std::size_t>(in.output)];
+      out += strprintf(
+          "  node %04x: input %zu -> output %d (%s) held %.0f ns, "
+          "%zu tokens queued\n",
+          cfg_.node, i, in.output,
+          o.kind == Output::Kind::kLink ? "link" : "endpoint",
+          to_nanoseconds(now - in.route_opened_at), in.fifo.size());
+    } else if (in.waiting_output) {
+      out += strprintf("  node %04x: input %zu parked waiting for a free "
+                       "output (%zu tokens queued)\n",
+                       cfg_.node, i, in.fifo.size());
+    }
+  }
+  return out;
+}
+
+int Switch::link_count(LinkClass cls) const {
+  int n = 0;
+  for (const Output& out : outputs_) {
+    n += out.kind == Output::Kind::kLink && out.peer != nullptr &&
+         out.cls == cls;
+  }
+  return n;
+}
+
+Watts Switch::instantaneous_link_power(TimePs now) const {
+  Watts p = 0;
+  for (const Output& out : outputs_) {
+    if (out.kind == Output::Kind::kLink && out.peer != nullptr &&
+        out.busy_until > now) {
+      p += link_energy_per_bit(out.cls, out.cable_cm) * out.rate * 1e6;
+    }
+  }
+  return p;
+}
+
+void Switch::deliver_link_token(int port, const Token& t) {
+  Input& in = inputs_.at(static_cast<std::size_t>(port));
+  invariant(in.fifo.size() < cfg_.buffer_tokens,
+            "link delivery overran credit window");
+  in.fifo.push_back(t);
+  schedule_process(port);
+}
+
+void Switch::on_credit(int output_idx) {
+  Output& out = outputs_.at(static_cast<std::size_t>(output_idx));
+  ++out.credits;
+  invariant(out.credits <= static_cast<int>(
+                               out.peer ? out.peer->cfg_.buffer_tokens : 0),
+            "credit overflow");
+  if (out.bound_input >= 0) schedule_process(out.bound_input);
+}
+
+void Switch::schedule_process(int input_idx, TimePs when) {
+  Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  if (in.process_scheduled) return;
+  in.process_scheduled = true;
+  const TimePs at = std::max(when, sim_.now());
+  sim_.at(at, [this, input_idx] { process_input(input_idx); });
+}
+
+void Switch::consume_from_fifo(Input& in) {
+  in.fifo.pop_front();
+  if (in.kind == Input::Kind::kLink) {
+    if (in.peer != nullptr) {
+      Switch* peer = in.peer;
+      const int po = in.peer_output;
+      sim_.after(in.credit_latency, [peer, po] { peer->on_credit(po); });
+    }
+  } else {
+    // A fifo slot freed: tell the producing chanend.
+    for (const auto& cb : in.space_subs) cb();
+  }
+}
+
+bool Switch::try_bind_direction(int input_idx, int direction) {
+  for (int oidx : dir_groups_[static_cast<std::size_t>(direction)]) {
+    Output& out = outputs_[static_cast<std::size_t>(oidx)];
+    if (out.peer != nullptr && out.bound_input < 0) {
+      out.bound_input = input_idx;
+      inputs_[static_cast<std::size_t>(input_idx)].output = oidx;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Switch::resolve_route(int input_idx) {
+  Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  const HeaderDest dest =
+      header_from_bytes(in.header[0], in.header[1], in.header[2]);
+
+  if (dest.node == cfg_.node) {
+    const int oidx = dest.chanend < proc_out_idx_.size()
+                         ? proc_out_idx_[dest.chanend]
+                         : -1;
+    if (oidx < 0) {
+      in.output = kSink;
+      ++packets_sunk_;
+      return true;
+    }
+    Output& out = outputs_[static_cast<std::size_t>(oidx)];
+    if (out.bound_input >= 0) {
+      out.waiters.push_back(input_idx);
+      in.waiting_output = true;
+      return false;
+    }
+    out.bound_input = input_idx;
+    in.output = oidx;
+    in.route_opened_at = sim_.now();
+    ++packets_routed_;
+    return true;  // header is consumed, not re-emitted, at the endpoint
+  }
+
+  const int dir = router_ ? router_->route(cfg_.node, dest.node)
+                          : kDirUnroutable;
+  if (dir < 0 || dir >= kMaxDirections ||
+      dir_groups_[static_cast<std::size_t>(dir)].empty()) {
+    in.output = kSink;
+    ++packets_sunk_;
+    return true;
+  }
+  if (!try_bind_direction(input_idx, dir)) {
+    dir_waiters_[static_cast<std::size_t>(dir)].push_back(input_idx);
+    in.waiting_output = true;
+    return false;
+  }
+  // Re-emit the header towards the next hop.
+  for (std::uint8_t b : in.header) in.pending_out.push_back(Token::data(b));
+  in.route_opened_at = sim_.now();
+  ++packets_routed_;
+  return true;
+}
+
+void Switch::unbind(int input_idx) {
+  Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  const int oidx = in.output;
+  route_hold_ns_.add(to_nanoseconds(sim_.now() - in.route_opened_at));
+  in.output = -1;
+  in.header.clear();
+  Output& out = outputs_[static_cast<std::size_t>(oidx)];
+  out.bound_input = -1;
+
+  // Hand the output to the next waiting packet, if any.
+  int next = -1;
+  if (out.kind == Output::Kind::kProc) {
+    if (!out.waiters.empty()) {
+      next = out.waiters.front();
+      out.waiters.pop_front();
+      out.bound_input = next;
+      Input& win = inputs_[static_cast<std::size_t>(next)];
+      win.output = oidx;
+      win.waiting_output = false;
+      win.route_opened_at = sim_.now();
+      ++packets_routed_;
+    }
+  } else {
+    auto& queue = dir_waiters_[static_cast<std::size_t>(out.direction)];
+    if (!queue.empty()) {
+      next = queue.front();
+      queue.pop_front();
+      out.bound_input = next;
+      Input& win = inputs_[static_cast<std::size_t>(next)];
+      win.output = oidx;
+      win.waiting_output = false;
+      win.route_opened_at = sim_.now();
+      for (std::uint8_t b : win.header) win.pending_out.push_back(Token::data(b));
+      ++packets_routed_;
+    }
+  }
+  if (next >= 0) schedule_process(next);
+}
+
+void Switch::send_token(int input_idx, Output& out, const Token& t) {
+  ++tokens_forwarded_;
+  ledger_.add(EnergyAccount::kNetworkInterface, kNiTokenEnergy);
+  const TimePs now = sim_.now();
+  if (out.kind == Output::Kind::kLink) {
+    --out.credits;
+    const TimePs ser = token_time(out);
+    out.busy_until = now + ser;
+    const TimePs arrival = now + hop_latency_ + ser + out.wire_latency;
+    ledger_.add(link_account(out.cls),
+                kBitsPerToken * link_energy_per_bit(out.cls, out.cable_cm));
+    ++link_tokens_sent_[static_cast<std::size_t>(out.cls)];
+    link_busy_time_[static_cast<std::size_t>(out.cls)] += ser;
+    Switch* peer = out.peer;
+    const int pport = out.peer_port;
+    sim_.at(arrival, [peer, pport, t] { peer->deliver_link_token(pport, t); });
+  } else {
+    out.busy_until = now + proc_token_time_;
+    ++out.deliveries_in_flight;
+    TokenReceiver* recv = out.receiver;
+    Output* outp = &out;
+    sim_.at(out.busy_until, [recv, outp, t] {
+      --outp->deliveries_in_flight;
+      // PAUSE closes routes inside the network but is not delivered to
+      // the endpoint (§V.B).
+      if (!t.is_pause()) recv->receive(t);
+    });
+  }
+  (void)input_idx;
+}
+
+void Switch::process_input(int input_idx) {
+  Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  in.process_scheduled = false;
+
+  while (true) {
+    if (in.output == -1) {
+      if (in.waiting_output) return;  // parked until an output frees
+      if (in.fifo.empty()) return;
+      const Token t = in.fifo.front();
+      if (t.is_control) {
+        // Stray control token with no open route: consume it (an END
+        // closing an already-closed route is legal after a PAUSE).
+        consume_from_fifo(in);
+        in.header.clear();
+        continue;
+      }
+      in.header.push_back(t.value);
+      consume_from_fifo(in);
+      if (in.header.size() == static_cast<std::size_t>(kHeaderTokens)) {
+        if (!resolve_route(input_idx)) return;
+      }
+      continue;
+    }
+
+    if (in.output == kSink) {
+      if (in.fifo.empty()) return;
+      const Token t = in.fifo.front();
+      consume_from_fifo(in);
+      if (t.closes_route()) {
+        in.output = -1;
+        in.header.clear();
+      }
+      continue;
+    }
+
+    Output& out = outputs_[static_cast<std::size_t>(in.output)];
+    const TimePs now = sim_.now();
+    if (out.busy_until > now) {
+      schedule_process(input_idx, out.busy_until);
+      return;
+    }
+    const bool from_pending = !in.pending_out.empty();
+    if (!from_pending && in.fifo.empty()) return;
+    const Token t = from_pending ? in.pending_out.front() : in.fifo.front();
+
+    if (out.kind == Output::Kind::kLink) {
+      if (out.credits <= 0) return;  // resumed by on_credit
+    } else {
+      if (out.receiver->free_space() <=
+          static_cast<std::size_t>(out.deliveries_in_flight)) {
+        return;  // resumed by the receiver's drain notification
+      }
+    }
+
+    send_token(input_idx, out, t);
+    if (from_pending) {
+      in.pending_out.pop_front();
+    } else {
+      consume_from_fifo(in);
+      if (t.closes_route()) unbind(input_idx);
+    }
+  }
+}
+
+}  // namespace swallow

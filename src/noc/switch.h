@@ -1,0 +1,200 @@
+// The per-node network switch (§IV.D, §V.B).
+//
+// One switch per core, as in the XS1-L.  Ports come in two kinds:
+//   * processor ports — one per channel end of the attached core; tokens
+//     enter after the 3-cycle injection latency the paper quotes (6 ns at
+//     500 MHz) and are delivered to destination chanends at one token per
+//     switch cycle (the 4 Gbit/s per-thread core-local rate of §V.D);
+//   * link ports — paired with a port on a peer switch via a physical link
+//     with a class (Table I), a data rate and a wire latency.
+//
+// Forwarding is wormhole with credit-based flow control: a route opens
+// when three header bytes arrive, holds its output link until an END or
+// PAUSE control token passes (§V.B — a circuit if the close token is never
+// sent), and tokens only move when the downstream buffer has credit, so
+// tokens are never dropped.  Several links may serve one direction; a new
+// packet takes the first free link of the group and otherwise queues.
+//
+// Energy: every token sent over a link charges the Table I per-bit energy
+// to that link class's ledger account, and every forwarded token charges a
+// small network-interface energy (the dynamic half of Fig. 2's 58 mW NI
+// share; the static half is a constant trace owned by the board layer).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/comm.h"
+#include "arch/resource.h"
+#include "energy/ledger.h"
+#include "energy/link_energy.h"
+#include "noc/routing.h"
+#include "noc/token.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace swallow {
+
+class Core;
+
+class Switch {
+ public:
+  struct Config {
+    NodeId node = 0;
+    MegaHertz clock_mhz = 500.0;     // switch clock, independent of core DFS
+    std::size_t buffer_tokens = 8;   // per-input FIFO / credit window
+  };
+
+  Switch(Simulator& sim, EnergyLedger& ledger, Config cfg,
+         std::shared_ptr<Router> router);
+  ~Switch();
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  NodeId node_id() const { return cfg_.node; }
+
+  /// Create processor ports for every chanend of `core` and wire the
+  /// chanend output sides to them.
+  void attach_core(Core& core);
+
+  /// Attach a bare token receiver as pseudo-chanend `index` (used by the
+  /// Ethernet bridge and the task-level API, which are network endpoints
+  /// without a full core).  Returns the TokenOutPort the endpoint emits to.
+  TokenOutPort* attach_endpoint(int index, TokenReceiver* receiver);
+
+  /// Create one direction-labelled link port; returns its port id.
+  /// Wire both sides with connect_link().
+  int add_link_port(int direction);
+
+  /// Connect link port `my_port` to `peer`'s `peer_port` (one direction of
+  /// the full-duplex link; call twice, swapped, for both directions).
+  void connect_link(int my_port, Switch& peer, int peer_port, LinkClass cls,
+                    MegabitsPerSecond rate_mbps, TimePs wire_latency,
+                    double cable_length_cm = kFfcReferenceLengthCm);
+
+  /// Reprogram the routing strategy at run time (§V.A).
+  void set_router(std::shared_ptr<Router> router) { router_ = std::move(router); }
+  Router* router() { return router_.get(); }
+
+  // ----- statistics -----
+  std::uint64_t tokens_forwarded() const { return tokens_forwarded_; }
+  std::uint64_t packets_routed() const { return packets_routed_; }
+  std::uint64_t packets_sunk() const { return packets_sunk_; }
+  /// Tokens sent over link ports, per link class.
+  std::uint64_t link_tokens_sent(LinkClass cls) const {
+    return link_tokens_sent_[static_cast<std::size_t>(cls)];
+  }
+
+  /// Power drawn right now by this switch's transmitting link drivers
+  /// (rate x energy/bit while a token is on the wire) — sampled by the
+  /// measurement subsystem's I/O rail.
+  Watts instantaneous_link_power(TimePs now) const;
+
+  /// Cumulative wire-busy time of this switch's transmitters, per class
+  /// (for utilisation reports: busy / (window * link_count)).
+  TimePs link_busy_time(LinkClass cls) const {
+    return link_busy_time_[static_cast<std::size_t>(cls)];
+  }
+  /// Number of connected outgoing links of a class.
+  int link_count(LinkClass cls) const;
+
+  /// Distribution of route hold times at this switch (nanoseconds from a
+  /// route opening to its END/PAUSE passing) — long holds flag circuit
+  /// behaviour or head-of-line blocking (§V.B).
+  const Sampler& route_hold_ns() const { return route_hold_ns_; }
+
+  /// Human-readable list of currently open routes and parked packets at
+  /// this switch (deadlock diagnostics); empty string when quiescent.
+  std::string open_routes_summary(TimePs now) const;
+
+  // ----- internal (peer-to-peer) entry points -----
+  void deliver_link_token(int port, const Token& t);
+  void on_credit(int output_idx);
+
+ private:
+  struct ProcPortImpl;
+
+  struct Input {
+    enum class Kind { kLink, kProc } kind = Kind::kLink;
+    std::deque<Token> fifo;
+    int in_flight = 0;  // tokens in the injection pipeline (proc ports)
+    // Route state.
+    std::vector<std::uint8_t> header;
+    std::deque<Token> pending_out;  // header bytes awaiting re-emission
+    int output = -1;                // bound output (kSink when unroutable)
+    TimePs route_opened_at = 0;
+    bool waiting_output = false;
+    bool process_scheduled = false;
+    // Link inputs: where to return credits.
+    Switch* peer = nullptr;
+    int peer_output = -1;
+    TimePs credit_latency = 0;
+    // Proc inputs: space notifications back to the producing chanend.
+    std::vector<std::function<void()>> space_subs;
+  };
+
+  struct Output {
+    enum class Kind { kLink, kProc } kind = Kind::kLink;
+    int direction = -1;
+    // Link outputs.
+    Switch* peer = nullptr;
+    int peer_port = -1;
+    LinkClass cls = LinkClass::kOnChip;
+    MegabitsPerSecond rate = 0;
+    TimePs wire_latency = 0;
+    double cable_cm = kFfcReferenceLengthCm;
+    int credits = 0;
+    // Proc outputs.
+    TokenReceiver* receiver = nullptr;
+    int deliveries_in_flight = 0;
+    std::deque<int> waiters;  // inputs queued for this endpoint
+    // Shared dynamics.
+    TimePs busy_until = 0;
+    int bound_input = -1;
+  };
+
+  static constexpr int kSink = -2;
+
+  void schedule_process(int input_idx, TimePs when = -1);
+  void process_input(int input_idx);
+  bool resolve_route(int input_idx);
+  bool try_bind_direction(int input_idx, int direction);
+  void unbind(int input_idx);
+  void send_token(int input_idx, Output& out, const Token& t);
+  void consume_from_fifo(Input& in);
+  TimePs token_time(const Output& out) const;
+
+  Simulator& sim_;
+  EnergyLedger& ledger_;
+  Config cfg_;
+  std::shared_ptr<Router> router_;
+  Core* core_ = nullptr;
+
+  std::vector<Input> inputs_;
+  std::vector<Output> outputs_;
+  std::vector<std::unique_ptr<ProcPortImpl>> proc_ports_;
+  std::vector<std::deque<int>> dir_waiters_;   // per-direction parked inputs
+  std::vector<std::vector<int>> dir_groups_;   // per-direction output ports
+  std::vector<int> proc_out_idx_;              // endpoint index -> output port
+
+  // Proc timing constants (switch cycles).
+  TimePs cycle_ps_;
+  TimePs inject_latency_;   // 3 cycles: core -> network hardware (§V.A)
+  TimePs hop_latency_;      // per-hop routing decision time
+  TimePs proc_token_time_;  // 1 cycle per token to a local chanend
+
+  std::uint64_t tokens_forwarded_ = 0;
+  std::uint64_t packets_routed_ = 0;
+  std::uint64_t packets_sunk_ = 0;
+  std::array<std::uint64_t, 4> link_tokens_sent_{};
+  std::array<TimePs, 4> link_busy_time_{};
+  Sampler route_hold_ns_;
+};
+
+}  // namespace swallow

@@ -1,0 +1,67 @@
+// Network tokens: the unit of transfer on every Swallow link (§V.C).
+//
+// Links carry eight-bit tokens composed of two-bit symbols.  Tokens are
+// either data or control; control tokens delimit packets and manage routes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace swallow {
+
+/// Control token values (subset of the XS1 set that Swallow software uses).
+enum class ControlToken : std::uint8_t {
+  kEnd = 0x01,    // closes the route and is delivered to the destination
+  kPause = 0x02,  // closes the route without being delivered
+  kAck = 0x03,
+  kNack = 0x04,
+};
+
+struct Token {
+  std::uint8_t value = 0;
+  bool is_control = false;
+
+  static Token data(std::uint8_t v) { return Token{v, false}; }
+  static Token control(ControlToken ct) {
+    return Token{static_cast<std::uint8_t>(ct), true};
+  }
+
+  bool is_end() const {
+    return is_control && value == static_cast<std::uint8_t>(ControlToken::kEnd);
+  }
+  bool is_pause() const {
+    return is_control && value == static_cast<std::uint8_t>(ControlToken::kPause);
+  }
+  /// Route-closing tokens (END travels to the endpoint, PAUSE does not).
+  bool closes_route() const { return is_end() || is_pause(); }
+
+  bool operator==(const Token&) const = default;
+};
+
+/// Bits on the wire per token: 8 data bits; the 4-transition 5-wire
+/// encoding is captured in the per-bit link energies of Table I.
+inline constexpr int kBitsPerToken = 8;
+
+/// A route-opening header is three bytes (§V.B) carrying the 24-bit
+/// destination: 16-bit node id then 8-bit channel-end index.
+inline constexpr int kHeaderTokens = 3;
+
+struct HeaderDest {
+  std::uint16_t node = 0;
+  std::uint8_t chanend = 0;
+};
+
+constexpr std::uint8_t header_byte(HeaderDest d, int i) {
+  switch (i) {
+    case 0: return static_cast<std::uint8_t>(d.node >> 8);
+    case 1: return static_cast<std::uint8_t>(d.node & 0xFF);
+    default: return d.chanend;
+  }
+}
+
+constexpr HeaderDest header_from_bytes(std::uint8_t b0, std::uint8_t b1,
+                                       std::uint8_t b2) {
+  return HeaderDest{static_cast<std::uint16_t>((b0 << 8) | b1), b2};
+}
+
+}  // namespace swallow

@@ -1,0 +1,61 @@
+// A clock domain: converts between cycles and picoseconds at a mutable
+// frequency.  Frequency changes (dynamic frequency scaling, §III.B of the
+// paper) preserve phase: cycle counting continues from the moment of the
+// change at the new period.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace swallow {
+
+class Clock {
+ public:
+  /// The XS1-L reference clock is 100 MHz regardless of core frequency; the
+  /// core clock defaults to the 500 MHz maximum.
+  explicit Clock(MegaHertz f_mhz = 500.0) { set_frequency(0, f_mhz); }
+
+  MegaHertz frequency() const { return freq_mhz_; }
+  TimePs period() const { return period_ps_; }
+
+  /// Change frequency at time `now` (phase-preserving).
+  void set_frequency(TimePs now, MegaHertz f_mhz) {
+    require(f_mhz > 0, "Clock: frequency must be positive");
+    epoch_cycle_ = cycles_at(now);
+    epoch_time_ = now;
+    freq_mhz_ = f_mhz;
+    period_ps_ = period_ps(f_mhz);
+  }
+
+  /// Whole cycles elapsed by absolute time `t` (t >= last frequency change).
+  std::int64_t cycles_at(TimePs t) const {
+    if (t < epoch_time_) return epoch_cycle_;
+    return epoch_cycle_ + (t - epoch_time_) / period_ps_;
+  }
+
+  /// Absolute time of cycle boundary `c`.
+  TimePs time_of_cycle(std::int64_t c) const {
+    require(c >= epoch_cycle_, "Clock: cycle before current epoch");
+    return epoch_time_ + (c - epoch_cycle_) * period_ps_;
+  }
+
+  /// Duration of `n` cycles at the current frequency.
+  TimePs span(std::int64_t n) const { return n * period_ps_; }
+
+  /// Earliest cycle boundary at or after time `t`.
+  TimePs align_up(TimePs t) const {
+    const std::int64_t c = cycles_at(t);
+    const TimePs at = time_of_cycle(c);
+    return at >= t ? at : time_of_cycle(c + 1);
+  }
+
+ private:
+  MegaHertz freq_mhz_ = 500.0;
+  TimePs period_ps_ = 2000;
+  std::int64_t epoch_cycle_ = 0;
+  TimePs epoch_time_ = 0;
+};
+
+}  // namespace swallow

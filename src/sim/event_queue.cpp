@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace swallow {
+
+EventHandle EventQueue::schedule(TimePs when, Callback cb) {
+  const std::uint64_t id = next_seq_++;
+  heap_.push(Entry{when, id, id, std::move(cb)});
+  ++live_count_;
+  return EventHandle(id);
+}
+
+void EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return;
+  // We cannot know here whether the event is still pending; drop_cancelled
+  // reconciles.  Track it and adjust the live count optimistically — pop()
+  // and next_time() skip stale ids.
+  cancelled_.push_back(h.id_);
+  if (live_count_ > 0) --live_count_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+TimePs EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  invariant(!heap_.empty(), "EventQueue::pop on empty queue");
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // const_cast is confined to this one extraction point.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.callback)};
+  heap_.pop();
+  --live_count_;
+  return fired;
+}
+
+}  // namespace swallow

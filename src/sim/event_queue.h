@@ -1,0 +1,78 @@
+// Deterministic discrete-event queue.
+//
+// Events are ordered by (time, insertion sequence) so simultaneous events
+// fire in the order they were scheduled — essential for the reproducible,
+// time-deterministic behaviour Swallow is built around.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace swallow {
+
+/// Handle used to cancel a pending event.  Default-constructed handles are
+/// inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Min-heap of timed callbacks with stable ordering and O(log n) cancel
+/// (lazy deletion).
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `when`.
+  EventHandle schedule(TimePs when, Callback cb);
+
+  /// Cancel a previously scheduled event.  Cancelling an already-fired or
+  /// already-cancelled event is a harmless no-op.
+  void cancel(EventHandle h);
+
+  bool empty() const { return live_count_ == 0; }
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event; kTimeNever when empty.
+  TimePs next_time() const;
+
+  /// Pop and return the earliest event.  Must not be called when empty.
+  struct Fired {
+    TimePs time;
+    Callback callback;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePs time;
+    std::uint64_t seq;  // tie-break: schedule order
+    std::uint64_t id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::vector<std::uint64_t> cancelled_;  // sorted lazily
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace swallow

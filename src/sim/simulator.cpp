@@ -1,0 +1,49 @@
+#include "sim/simulator.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+EventHandle Simulator::after(TimePs delay, EventQueue::Callback cb) {
+  require(delay >= 0, "Simulator::after: negative delay");
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventHandle Simulator::at(TimePs when, EventQueue::Callback cb) {
+  require(when >= now_, "Simulator::at: time in the past");
+  return queue_.schedule(when, std::move(cb));
+}
+
+std::uint64_t Simulator::run_until(TimePs deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto ev = queue_.pop();
+    invariant(ev.time >= now_, "event scheduled in the past");
+    now_ = ev.time;
+    ev.callback();
+    ++fired;
+    ++dispatched_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    auto ev = queue_.pop();
+    invariant(ev.time >= now_, "event scheduled in the past");
+    now_ = ev.time;
+    ev.callback();
+    ++fired;
+    ++dispatched_;
+  }
+  return fired;
+}
+
+void Simulator::advance_to(TimePs when) {
+  require(when >= now_, "advance_to: time in the past");
+  run_until(when);
+}
+
+}  // namespace swallow

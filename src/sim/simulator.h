@@ -1,0 +1,48 @@
+// The simulation context: a global picosecond timeline and event pump that
+// every model (cores, switches, links, meters) schedules against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace swallow {
+
+class Simulator {
+ public:
+  /// Current simulation time.
+  TimePs now() const { return now_; }
+
+  /// Schedule a callback `delay` picoseconds from now (delay >= 0).
+  EventHandle after(TimePs delay, EventQueue::Callback cb);
+
+  /// Schedule a callback at an absolute time >= now().
+  EventHandle at(TimePs when, EventQueue::Callback cb);
+
+  void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Run until the queue drains or `deadline` passes, whichever is first.
+  /// Events exactly at the deadline still fire.  Returns the number of
+  /// events dispatched.
+  std::uint64_t run_until(TimePs deadline);
+
+  /// Run until the event queue is empty.
+  std::uint64_t run();
+
+  /// Advance time to `deadline` even if no event is pending there (used by
+  /// power integration at a measurement boundary).
+  void advance_to(TimePs when);
+
+  bool idle() const { return queue_.empty(); }
+  TimePs next_event_time() const { return queue_.next_time(); }
+  std::uint64_t events_dispatched() const { return dispatched_; }
+
+ private:
+  TimePs now_ = 0;
+  std::uint64_t dispatched_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace swallow

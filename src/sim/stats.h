@@ -1,0 +1,82 @@
+// Lightweight statistics containers used by models and benches.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace swallow {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Streaming min/max/mean/variance (Welford) over double samples.
+class Sampler {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets)
+      : lo_(lo), hi_(hi), counts_(buckets + 2, 0) {}
+
+  void add(double x) {
+    std::size_t idx;
+    if (x < lo_) {
+      idx = 0;
+    } else if (x >= hi_) {
+      idx = counts_.size() - 1;
+    } else {
+      const double frac = (x - lo_) / (hi_ - lo_);
+      idx = 1 + static_cast<std::size_t>(frac * static_cast<double>(counts_.size() - 2));
+    }
+    ++counts_[idx];
+    ++total_;
+  }
+
+  std::uint64_t underflow() const { return counts_.front(); }
+  std::uint64_t overflow() const { return counts_.back(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i + 1); }
+  std::size_t buckets() const { return counts_.size() - 2; }
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace swallow

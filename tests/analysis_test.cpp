@@ -1,0 +1,190 @@
+// Tests for the analysis layer: the §V.D E/C ladder, the Table II
+// requirement evaluation, Table III figures of merit, and the reporting
+// helpers.
+#include <gtest/gtest.h>
+
+#include "analysis/ec.h"
+#include "analysis/registry.h"
+#include "analysis/report.h"
+#include "common/error.h"
+#include "analysis/netstat.h"
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+TEST(Ec, LadderReproducesPaperRatios) {
+  const auto ladder = ec_ladder();
+  ASSERT_EQ(ladder.size(), 5u);
+  EXPECT_NEAR(ladder[0].ratio(), 1.0, 1e-9);    // core-local
+  EXPECT_NEAR(ladder[1].ratio(), 16.0, 1e-9);   // chip-local
+  EXPECT_NEAR(ladder[2].ratio(), 64.0, 1e-9);   // external
+  EXPECT_NEAR(ladder[3].ratio(), 256.0, 1e-9);  // contended
+  EXPECT_NEAR(ladder[4].ratio(), 512.0, 1e-9);  // bisection
+}
+
+TEST(Ec, LadderEValuesMatchSectionVD) {
+  const auto ladder = ec_ladder();
+  // "With four or more active threads, E = 16 Gbit/s."
+  EXPECT_NEAR(ladder[0].e_gbps, 16.0, 1e-9);
+  // "If all available compute resource attempts to communicate over the
+  // bisection, then E = 128 Gbps."
+  EXPECT_NEAR(ladder[4].e_gbps, 128.0, 1e-9);
+  // "the vertical bisection bandwidth, then C = 250 Mbps."
+  EXPECT_NEAR(ladder[4].c_gbps, 0.25, 1e-9);
+}
+
+TEST(Ec, LadderScalesWithThreadCount) {
+  EcParams one_thread;
+  one_thread.active_threads = 1;
+  const auto ladder = ec_ladder(one_thread);
+  // One thread: E = 125 MIPS x 32 bit = 4 Gbit/s (§V.D).
+  EXPECT_NEAR(ladder[0].e_gbps, 4.0, 1e-9);
+}
+
+TEST(Ec, MeasuredEcFromCounters) {
+  // 1000 instructions (32 bits each) against 4000 payload bytes -> 1.0.
+  EXPECT_NEAR(measured_ec(1000, 4000), 1.0, 1e-12);
+  EXPECT_NEAR(measured_ec(16000, 4000), 16.0, 1e-12);
+  EXPECT_THROW(measured_ec(5, 0), Error);
+}
+
+TEST(Registry, OnlyXs1MeetsAllRequirements) {
+  int qualifying = 0;
+  std::string who;
+  for (const auto& p : table2_candidates()) {
+    if (meets_requirements(p)) {
+      ++qualifying;
+      who = p.name;
+    }
+  }
+  EXPECT_EQ(qualifying, 1);
+  EXPECT_EQ(who, "XMOS XS1-L");
+}
+
+TEST(Registry, TableTwoCellsMatchPaper) {
+  const auto rows = table2_candidates();
+  ASSERT_EQ(rows.size(), 8u);
+  // Spot checks against the printed table.
+  EXPECT_EQ(rows[0].name, "ARM Cortex M");
+  EXPECT_EQ(deterministic_cell(rows[0]), "W/o cache");
+  EXPECT_EQ(cache_cell(rows[0]), "Optional");
+  EXPECT_EQ(interconnect_cell(rows[3]), "NoC + external");
+  EXPECT_EQ(deterministic_cell(rows[4]), "Yes");
+  EXPECT_EQ(interconnect_cell(rows[7]), "Ethernet");
+}
+
+TEST(Registry, TableThreeMicrowattsPerMegahertz) {
+  const auto systems = table3_systems();
+  ASSERT_EQ(systems.size(), 5u);
+  // Swallow: 193 mW / 500 MHz = 386 uW/MHz... the paper rounds its own
+  // figure to 300 using the dynamic slope of Eq. (1); check the published
+  // µW/MHz column values through the dedicated accessor instead.
+  EXPECT_EQ(systems[0].name, "Swallow");
+  EXPECT_NEAR(uw_per_mhz(systems[1]), 435.0, 1.0);   // SpiNNaker
+  EXPECT_NEAR(uw_per_mhz(systems[4]), 38.75, 0.1);   // Epiphany-IV
+  // Swallow sits mid-range among the surveyed systems (§VI).
+  const double swallow = uw_per_mhz(systems[0]);
+  EXPECT_GT(swallow, uw_per_mhz(systems[4]));
+  EXPECT_LT(swallow, uw_per_mhz(systems[2]));
+}
+
+TEST(Report, ComparisonTracksWorstDeviation) {
+  Comparison cmp("test");
+  cmp.add("a", 100.0, 103.0);
+  cmp.add("b", 50.0, 49.0);
+  EXPECT_NEAR(cmp.worst_deviation(), 0.03, 1e-9);
+  const std::string out = cmp.render();
+  EXPECT_NE(out.find("paper"), std::string::npos);
+  EXPECT_NE(out.find("3.0 %"), std::string::npos);
+}
+
+TEST(Report, SeriesRendering) {
+  const std::string out =
+      render_series("Fig X", "f (MHz)", "P (mW)", {100, 200}, {76, 106});
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("100"), std::string::npos);
+  EXPECT_NE(out.find("106.00"), std::string::npos);
+}
+
+TEST(Report, Formatting) {
+  EXPECT_EQ(fmt_mw(0.193), "193.0 mW");
+  EXPECT_EQ(fmt_percent(0.125), "12.5 %");
+  EXPECT_EQ(fmt_double(3.14159, 3), "3.142");
+}
+
+TEST(Netstat, CollectsTrafficAndUtilisation) {
+  // Stream across one on-board link and verify the stats line up with the
+  // switch counters and the ledger.
+  Simulator sim;
+  EnergyLedger ledger;
+  Network net(sim, ledger);
+  auto east = std::make_shared<TableRouter>();
+  east->set_default(kDirEast);
+  auto west = std::make_shared<TableRouter>();
+  west->set_default(kDirWest);
+  Core::Config ca;
+  ca.node_id = 0;
+  Core a(sim, ledger, ca);
+  Core::Config cb;
+  cb.node_id = 1;
+  Core b(sim, ledger, cb);
+  Switch& sa = net.add_switch(0, east);
+  Switch& sb = net.add_switch(1, west);
+  sa.attach_core(a);
+  sb.attach_core(b);
+  net.connect(sa, kDirEast, sb, kDirWest, LinkClass::kBoardHorizontal);
+
+  const NetworkStats before = collect_network_stats(net, ledger);
+  a.load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 1
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 32
+  loop:
+      out   r0, r2
+      subi  r2, r2, 1
+      bt    r2, loop
+      outct r0, 1
+      texit
+  )"));
+  b.load(assemble(R"(
+      getr  r0, 2
+      ldc   r2, 32
+  loop:
+      in    r1, r0
+      subi  r2, r2, 1
+      bt    r2, loop
+      chkct r0, 1
+      texit
+  )"));
+  a.start();
+  b.start();
+  sim.run();
+  const TimePs window = sim.now();
+
+  const NetworkStats stats =
+      stats_delta(collect_network_stats(net, ledger), before);
+  const auto& h = stats.of(LinkClass::kBoardHorizontal);
+  // 3 header + 128 data + 1 END tokens.
+  EXPECT_EQ(h.tokens, 132u);
+  EXPECT_EQ(h.links, 2);  // both directions are transmitters
+  // The link was the bottleneck, so its one used direction was busy
+  // nearly the whole run: utilisation over 2 links ~= 50 %.
+  EXPECT_GT(h.utilisation(window), 0.40);
+  EXPECT_LT(h.utilisation(window), 0.55);
+  EXPECT_NEAR(h.energy, 132 * 8 * picojoules(201.6), 1e-12);
+  EXPECT_EQ(stats.packets_sunk, 0u);
+  EXPECT_GT(stats.tokens_forwarded, 0u);
+  // Rendering mentions the class and the token count.
+  const std::string out = render_network_stats(stats, window);
+  EXPECT_NE(out.find("on-board horizontal"), std::string::npos);
+  EXPECT_NE(out.find("132"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,316 @@
+// Tests for the task-level programming layer: code generation, channel
+// wiring, and the pipeline / farm / ring / bisection patterns end-to-end
+// on the full system model.
+#include <gtest/gtest.h>
+
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "board/system.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+class ApiTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+
+  std::unique_ptr<SwallowSystem> make_system(int sx = 1, int sy = 1) {
+    SystemConfig cfg;
+    cfg.slices_x = sx;
+    cfg.slices_y = sy;
+    return std::make_unique<SwallowSystem>(sim, cfg);
+  }
+};
+
+TEST_F(ApiTest, SingleComputeTaskFinishes) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec spec;
+  spec.steps = {TaskStep::compute(9000)};
+  app.add_task(spec, 0, 0, Layer::kVertical);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(5.0)));
+  // ~9000 instructions at one thread (125 MIPS) ~= 72 us, plus setup.
+  EXPECT_GT(app.task_core(0).instructions_retired(), 8500u);
+  EXPECT_GT(to_microseconds(app.completion_time()), 60.0);
+  EXPECT_LT(to_microseconds(app.completion_time()), 120.0);
+}
+
+TEST_F(ApiTest, ProducerConsumerMovesData) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec tx, rx;
+  const int producer = app.add_task(tx, 0, 0, Layer::kVertical);
+  const int consumer = app.add_task(rx, 3, 1, Layer::kHorizontal);
+  const int ch = app.connect(producer, consumer);
+  app.set_steps(producer, {TaskStep::send(ch, 256)});
+  app.set_steps(consumer, {TaskStep::recv(ch, 256)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(10.0)));
+  EXPECT_EQ(app.bytes_sent(producer), 256u);
+  // The payload crossed both board link classes of the lattice.
+  EXPECT_GT(sys->ledger().total(EnergyAccount::kLinkBoardVertical), 0.0);
+  EXPECT_GT(sys->ledger().total(EnergyAccount::kLinkBoardHorizontal), 0.0);
+}
+
+TEST_F(ApiTest, GeneratedProgramIsInspectable) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec tx, rx;
+  const int a = app.add_task(tx, 0, 0, Layer::kVertical);
+  const int b = app.add_task(rx, 1, 0, Layer::kVertical);
+  const int ch = app.connect(a, b);
+  app.set_steps(a, {TaskStep::compute(300), TaskStep::send(ch, 64)});
+  app.set_steps(b, {TaskStep::recv(ch, 64)});
+  app.start();
+  EXPECT_NE(app.program(a).find("out r1, r3"), std::string::npos);
+  EXPECT_NE(app.program(a).find("outct r1, 1"), std::string::npos);
+  EXPECT_NE(app.program(b).find("in r3, r1"), std::string::npos);
+  EXPECT_NE(app.program(b).find("chkct r1, 1"), std::string::npos);
+  ASSERT_TRUE(app.run_to_completion(milliseconds(10.0)));
+}
+
+TEST_F(ApiTest, MultiIterationRoundTrip) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec tx, rx;
+  tx.iterations = 10;
+  rx.iterations = 10;
+  const int a = app.add_task(tx, 0, 0, Layer::kVertical);
+  const int b = app.add_task(rx, 0, 0, Layer::kHorizontal);  // same chip
+  const int ch = app.connect(a, b);
+  app.set_steps(a, {TaskStep::compute(500), TaskStep::send(ch, 32)});
+  app.set_steps(b, {TaskStep::recv(ch, 32), TaskStep::compute(500)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(10.0)));
+  EXPECT_EQ(app.bytes_sent(a), 320u);
+}
+
+TEST_F(ApiTest, PipelinePatternCompletes) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 4;
+  pcfg.items = 8;
+  pcfg.work_per_item = 1500;
+  pcfg.bytes_per_item = 64;
+  std::vector<Placement> places;
+  for (int i = 0; i < pcfg.stages; ++i) {
+    places.push_back(linear_placement(sys->config(), i));
+  }
+  const auto tasks = build_pipeline(app, pcfg, places);
+  ASSERT_EQ(tasks.size(), 4u);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  // Interior stages moved items x bytes.
+  EXPECT_EQ(app.bytes_sent(tasks[1]), 8u * 64u);
+}
+
+TEST_F(ApiTest, FarmPatternCompletes) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  FarmConfig fcfg;
+  fcfg.workers = 3;
+  fcfg.rounds = 5;
+  fcfg.work_per_item = 2000;
+  fcfg.bytes_per_item = 32;
+  std::vector<Placement> places;
+  for (int i = 0; i <= fcfg.workers; ++i) {
+    places.push_back(linear_placement(sys->config(), i));
+  }
+  const auto tasks = build_farm(app, fcfg, places);
+  ASSERT_EQ(tasks.size(), 4u);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  // The master scattered to every worker every round.
+  EXPECT_EQ(app.bytes_sent(tasks[0]), 3u * 5u * 32u);
+}
+
+TEST_F(ApiTest, RingPatternCompletes) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  RingConfig rcfg;
+  rcfg.tasks = 6;
+  rcfg.rounds = 4;
+  rcfg.bytes_per_round = 32;
+  rcfg.work_per_round = 1000;
+  std::vector<Placement> places;
+  for (int i = 0; i < rcfg.tasks; ++i) {
+    places.push_back(linear_placement(sys->config(), i));
+  }
+  const auto tasks = build_ring(app, rcfg, places);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  for (int t : tasks) {
+    EXPECT_EQ(app.bytes_sent(t), 4u * 32u);
+  }
+}
+
+TEST_F(ApiTest, TreeReducePatternCompletes) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TreeReduceConfig tcfg;
+  tcfg.leaves = 8;
+  tcfg.fanout = 2;
+  std::vector<Placement> places;
+  for (int i = 0; i < 15; ++i) {
+    places.push_back(linear_placement(sys->config(), i));
+  }
+  const auto tasks = build_tree_reduce(app, tcfg, places);
+  ASSERT_EQ(tasks.size(), 15u);  // 8 + 4 + 2 + 1
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(100.0)));
+  // Every non-root task sent exactly one value up.
+  int senders = 0;
+  for (int t : tasks) senders += app.bytes_sent(t) == tcfg.bytes_per_value;
+  EXPECT_EQ(senders, 14);
+  EXPECT_EQ(app.bytes_sent(tasks.back()), 0u);  // the root only receives
+}
+
+TEST_F(ApiTest, TreeReduceBeatsFlatGatherOnCombineWork) {
+  // With expensive combining, a binary tree parallelises the reduction;
+  // a flat gather serialises all combines at the root.
+  const std::uint64_t combine = 20000;
+  auto run_tree = [&]() {
+    Simulator sim;
+    SystemConfig cfg;
+    SwallowSystem sys(sim, cfg);
+    AppBuilder app(sys);
+    TreeReduceConfig tcfg;
+    tcfg.leaves = 8;
+    tcfg.fanout = 2;
+    tcfg.combine_work = combine;
+    std::vector<Placement> places;
+    for (int i = 0; i < 15; ++i) {
+      places.push_back(linear_placement(sys.config(), i));
+    }
+    build_tree_reduce(app, tcfg, places);
+    app.start();
+    EXPECT_TRUE(app.run_to_completion(milliseconds(200.0)));
+    return app.completion_time();
+  };
+  auto run_flat = [&]() {
+    Simulator sim;
+    SystemConfig cfg;
+    SwallowSystem sys(sim, cfg);
+    AppBuilder app(sys);
+    // 8 leaves all sending straight to one root.
+    TaskSpec root_spec;
+    const int root = app.add_task(root_spec, 3, 1, Layer::kHorizontal);
+    std::vector<TaskStep> root_steps;
+    for (int i = 0; i < 8; ++i) {
+      TaskSpec leaf;
+      const Placement p = linear_placement(sys.config(), i);
+      const int t = app.add_task(leaf, p.chip_x, p.chip_y, p.layer);
+      const int ch = app.connect(t, root);
+      app.set_steps(t, {TaskStep::compute(4000), TaskStep::send(ch, 4)});
+      root_steps.push_back(TaskStep::recv(ch, 4));
+      root_steps.push_back(TaskStep::compute(combine));
+    }
+    app.set_steps(root, root_steps);
+    app.start();
+    EXPECT_TRUE(app.run_to_completion(milliseconds(200.0)));
+    return app.completion_time();
+  };
+  const TimePs tree = run_tree();
+  const TimePs flat = run_flat();
+  EXPECT_LT(static_cast<double>(tree), 0.8 * static_cast<double>(flat));
+}
+
+TEST_F(ApiTest, BisectionStressSaturatesVerticalLinks) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  BisectionConfig bcfg;
+  bcfg.bytes_per_pair = 1024;
+  const auto senders = build_bisection_stress(app, sys->config(), bcfg);
+  EXPECT_EQ(senders.size(), 8u);  // 4 columns x 1 row-pair x 2 layers
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  // All pair traffic crossed the slice's vertical links.
+  EXPECT_GT(sys->ledger().total(EnergyAccount::kLinkBoardVertical), 0.0);
+}
+
+TEST_F(ApiTest, CoLocatedTasksRunAsThreads) {
+  // Four tasks on one core exchange with four tasks on another core; the
+  // sender core runs them as four hardware threads sharing issue slots.
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  std::vector<int> senders, receivers;
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec tx, rx;
+    senders.push_back(app.add_task(tx, 0, 0, Layer::kVertical));
+    receivers.push_back(app.add_task(rx, 0, 1, Layer::kVertical));
+    const int ch = app.connect(senders.back(), receivers.back());
+    app.set_steps(senders.back(),
+                  {TaskStep::compute(1000), TaskStep::send(ch, 128)});
+    app.set_steps(receivers.back(), {TaskStep::recv(ch, 128)});
+  }
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  for (int s : senders) EXPECT_EQ(app.bytes_sent(s), 128u);
+  // All four sender tasks shared one core (same Core object).
+  EXPECT_EQ(&app.task_core(senders[0]), &app.task_core(senders[3]));
+}
+
+TEST_F(ApiTest, CoLocatedProducerConsumerOnOneCore) {
+  // Producer and consumer threads on the same core: core-local
+  // communication through the core's own switch (§V.D's cheapest scope).
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec tx, rx;
+  const int a = app.add_task(tx, 2, 0, Layer::kHorizontal);
+  const int b = app.add_task(rx, 2, 0, Layer::kHorizontal);
+  const int ch = app.connect(a, b);
+  app.set_steps(a, {TaskStep::send(ch, 1024)});
+  app.set_steps(b, {TaskStep::recv(ch, 1024)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(50.0)));
+  // No board links were touched: everything stayed inside the node.
+  EXPECT_EQ(sys->ledger().total(EnergyAccount::kLinkBoardVertical), 0.0);
+  EXPECT_EQ(sys->ledger().total(EnergyAccount::kLinkBoardHorizontal), 0.0);
+}
+
+TEST_F(ApiTest, DelayStepRateLimitsATask) {
+  // 20 iterations of (tiny work + 50 us sleep) ~ 1 ms total; the blocked
+  // thread burns idle power only.
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  TaskSpec spec;
+  spec.iterations = 20;
+  spec.steps = {TaskStep::compute(100), TaskStep::delay_us(50)};
+  const int t = app.add_task(spec, 0, 0, Layer::kVertical);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(10.0)));
+  const double ms = to_seconds(app.completion_time()) * 1e3;
+  EXPECT_GT(ms, 0.99);
+  EXPECT_LT(ms, 1.15);
+  // ~2600 instructions retired, not millions: the delays really blocked.
+  EXPECT_LT(app.task_core(t).instructions_retired(), 4000u);
+}
+
+TEST_F(ApiTest, TooManyTasksPerCoreRejected) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  for (int i = 0; i < 9; ++i) {
+    TaskSpec spec;
+    spec.steps = {TaskStep::compute(10)};
+    app.add_task(spec, 0, 0, Layer::kVertical);
+  }
+  EXPECT_THROW(app.start(), Error);
+}
+
+TEST_F(ApiTest, PatternsRejectBadConfigs) {
+  auto sys = make_system();
+  AppBuilder app(*sys);
+  PipelineConfig one_stage;
+  one_stage.stages = 1;
+  EXPECT_THROW(build_pipeline(app, one_stage, {Placement{}}), Error);
+  TaskSpec spec;
+  spec.iterations = 0;
+  EXPECT_THROW(app.add_task(spec, 0, 0, Layer::kVertical), Error);
+  EXPECT_THROW(app.patch_channel(99, TaskStep::Op::kSend, 0), std::exception);
+}
+
+}  // namespace
+}  // namespace swallow

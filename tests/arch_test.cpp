@@ -1,0 +1,1320 @@
+// Tests for the processor model: ISA encode/decode, assembler, execution
+// semantics, Eq. (2) thread scheduling, traps, resources, channels (over
+// the loopback fabric) and core-level energy accounting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "arch/isa.h"
+#include "arch/loopback.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "energy/ledger.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+// ---------------------------------------------------------------- ISA
+
+TEST(Isa, EncodeDecodeAllFormats) {
+  const Instruction cases[] = {
+      {Opcode::kNop, 0, 0, 0, 0},
+      {Opcode::kAdd, 1, 2, 3, 0},
+      {Opcode::kNot, 4, 5, 0, 0},
+      {Opcode::kAddi, 6, 7, 0, -42},
+      {Opcode::kLdc, 8, 0, 0, 65535},
+      {Opcode::kBu, 0, 0, 0, -100},
+      {Opcode::kGettime, 11, 0, 0, 0},
+  };
+  for (const Instruction& ins : cases) {
+    EXPECT_EQ(decode(encode(ins)), ins) << disassemble(ins);
+  }
+}
+
+TEST(Isa, RandomisedEncodeDecodeRoundTrip) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 5000; ++iter) {
+    Instruction ins;
+    ins.op = static_cast<Opcode>(
+        rng.next_below(static_cast<std::uint64_t>(Opcode::kOpcodeCount)));
+    const Format fmt = opcode_info(ins.op).format;
+    auto reg = [&] { return static_cast<std::uint8_t>(rng.next_below(14)); };
+    switch (fmt) {
+      case Format::kR0: break;
+      case Format::kR1: ins.ra = reg(); break;
+      case Format::kR2: ins.ra = reg(); ins.rb = reg(); break;
+      case Format::kR3: ins.ra = reg(); ins.rb = reg(); ins.rc = reg(); break;
+      case Format::kR1I: ins.ra = reg(); break;
+      case Format::kR2I: ins.ra = reg(); ins.rb = reg(); break;
+      case Format::kI: break;
+    }
+    if (fmt == Format::kR1I || fmt == Format::kR2I || fmt == Format::kI) {
+      if (ins.op == Opcode::kLdc || ins.op == Opcode::kLdch) {
+        ins.imm = static_cast<std::int32_t>(rng.next_below(65536));
+      } else {
+        ins.imm = static_cast<std::int32_t>(rng.next_below(65536)) - 32768;
+      }
+    }
+    EXPECT_EQ(decode(encode(ins)), ins) << disassemble(ins);
+  }
+}
+
+TEST(Isa, DisassembleReassembleRoundTrip) {
+  Rng rng(7);
+  for (int iter = 0; iter < 1000; ++iter) {
+    Instruction ins;
+    ins.op = static_cast<Opcode>(
+        rng.next_below(static_cast<std::uint64_t>(Opcode::kOpcodeCount)));
+    const Format fmt = opcode_info(ins.op).format;
+    auto reg = [&] { return static_cast<std::uint8_t>(rng.next_below(14)); };
+    switch (fmt) {
+      case Format::kR0: break;
+      case Format::kR1: ins.ra = reg(); break;
+      case Format::kR2: ins.ra = reg(); ins.rb = reg(); break;
+      case Format::kR3: ins.ra = reg(); ins.rb = reg(); ins.rc = reg(); break;
+      case Format::kR1I: ins.ra = reg(); ins.imm = 17; break;
+      case Format::kR2I: ins.ra = reg(); ins.rb = reg(); ins.imm = -5; break;
+      case Format::kI: ins.imm = 9; break;
+    }
+    const Image img = assemble(disassemble(ins));
+    ASSERT_EQ(img.words.size(), 1u);
+    EXPECT_EQ(img.words[0], encode(ins)) << disassemble(ins);
+  }
+}
+
+TEST(Isa, UnknownOpcodeDecodesToTrapMarker) {
+  const Instruction ins = decode(0xFF000000u);
+  EXPECT_EQ(ins.op, Opcode::kNop);
+  EXPECT_EQ(ins.rc, 0xF);
+  EXPECT_EQ(ins.imm, 0xFF);
+}
+
+TEST(Isa, RegisterNames) {
+  EXPECT_EQ(register_name(0), "r0");
+  EXPECT_EQ(register_name(12), "sp");
+  EXPECT_EQ(register_name(13), "lr");
+  EXPECT_EQ(register_from_name("r11"), 11);
+  EXPECT_EQ(register_from_name("sp"), 12);
+  EXPECT_FALSE(register_from_name("r14").has_value());
+  EXPECT_FALSE(register_from_name("bogus").has_value());
+}
+
+// ------------------------------------------------------------- assembler
+
+TEST(Assembler, LabelsAndBranchOffsets) {
+  const Image img = assemble(R"(
+      ldc   r0, 3
+  loop:
+      subi  r0, r0, 1
+      bt    r0, loop
+      texit
+  )");
+  ASSERT_EQ(img.words.size(), 4u);
+  const Instruction bt = decode(img.words[2]);
+  EXPECT_EQ(bt.op, Opcode::kBt);
+  EXPECT_EQ(bt.imm, -2);  // back to word 1 from pc 2: 2 + 1 + (-2) = 1
+  EXPECT_EQ(img.symbol("loop"), 1u);
+}
+
+TEST(Assembler, DirectivesOrgWordSpace) {
+  const Image img = assemble(R"(
+      nop
+      .org 4
+  data: .word 0xdeadbeef, 7
+      .space 2
+  tail: .word data
+  )");
+  ASSERT_EQ(img.words.size(), 9u);
+  EXPECT_EQ(img.words[4], 0xdeadbeefu);
+  EXPECT_EQ(img.words[5], 7u);
+  EXPECT_EQ(img.words[6], 0u);
+  EXPECT_EQ(img.words[8], 16u);  // byte address of `data`
+}
+
+TEST(Assembler, LdcOfLabelGivesByteAddress) {
+  const Image img = assemble(R"(
+      ldc r1, buf
+      texit
+  buf: .word 0
+  )");
+  const Instruction ldc = decode(img.words[0]);
+  EXPECT_EQ(ldc.imm, 8);  // word 2 -> byte 8
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble("frobnicate r0"), Error);
+  EXPECT_THROW(assemble("add r0, r1"), Error);          // missing operand
+  EXPECT_THROW(assemble("bt r0, nowhere"), Error);      // undefined symbol
+  EXPECT_THROW(assemble("ldc r0, 100000"), Error);      // imm range
+  EXPECT_THROW(assemble("x: nop\nx: nop"), Error);      // duplicate label
+  EXPECT_THROW(assemble(".org 4\n.org 2"), Error);      // backwards org
+  EXPECT_THROW(assemble(".bogus 1"), Error);            // unknown directive
+  EXPECT_THROW(assemble("add r0, r1, 5"), Error);       // imm where reg
+}
+
+TEST(Assembler, CommentsAndCase) {
+  const Image img = assemble(R"(
+      NOP            # hash comment
+      Add r0, r1, r2 // slash comment
+      nop            ; semicolon comment
+  )");
+  EXPECT_EQ(img.words.size(), 3u);
+  EXPECT_EQ(decode(img.words[1]).op, Opcode::kAdd);
+}
+
+// ------------------------------------------------------------- execution
+
+/// Harness: one core, optional loopback fabric, run until idle or timeout.
+class CoreTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  EnergyLedger ledger;
+
+  std::unique_ptr<Core> make_core(NodeId node = 0, MegaHertz f = 500.0) {
+    Core::Config cfg;
+    cfg.node_id = node;
+    cfg.frequency_mhz = f;
+    return std::make_unique<Core>(sim, ledger, cfg);
+  }
+
+  /// Assemble, load, start and run to completion (or 10 ms timeout).
+  void run(Core& core, const std::string& src,
+           TimePs timeout = milliseconds(10.0)) {
+    core.load(assemble(src));
+    core.start();
+    sim.run_until(timeout);
+  }
+};
+
+TEST_F(CoreTest, ArithmeticAndMemory) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc   r0, 21
+      add   r1, r0, r0       # 42
+      ldc   r2, 5
+      mul   r3, r1, r2       # 210
+      divu  r4, r3, r2       # 42
+      remu  r5, r3, r0       # 210 % 21 = 0
+      ldc   r6, result
+      stw   r1, r6, 0
+      stw   r4, r6, 1
+      stw   r5, r6, 2
+      texit
+  result: .space 3
+  )");
+  EXPECT_TRUE(core->finished());
+  const std::uint32_t base = assemble("nop").words.empty() ? 0 : 0;  // silence
+  (void)base;
+  const auto img = assemble(R"(
+      ldc   r0, 21
+      add   r1, r0, r0
+      ldc   r2, 5
+      mul   r3, r1, r2
+      divu  r4, r3, r2
+      remu  r5, r3, r0
+      ldc   r6, result
+      stw   r1, r6, 0
+      stw   r4, r6, 1
+      stw   r5, r6, 2
+      texit
+  result: .space 3
+  )");
+  const std::uint32_t result = img.symbol("result") * 4;
+  EXPECT_EQ(core->peek_word(result), 42u);
+  EXPECT_EQ(core->peek_word(result + 4), 42u);
+  EXPECT_EQ(core->peek_word(result + 8), 0u);
+}
+
+TEST_F(CoreTest, LogicShiftsAndComparisons) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, 0xf0
+      ldc   r1, 0x0f
+      or    r2, r0, r1       # 0xff
+      and   r3, r0, r1       # 0
+      xor   r4, r0, r1       # 0xff
+      not   r5, r3           # 0xffffffff
+      neg   r6, r5           # 1
+      ldc   r7, 8
+      mkmsk r8, r7           # 0xff
+      shli  r9, r6, 31       # 0x80000000
+      ashr  r10, r9, r7      # sign-propagating
+      ldc   r11, out
+      stw   r2, r11, 0
+      stw   r5, r11, 1
+      stw   r6, r11, 2
+      stw   r8, r11, 3
+      stw   r10, r11, 4
+      lss   r0, r9, r6       # INT_MIN < 1 -> 1
+      stw   r0, r11, 5
+      lsu   r0, r9, r6       # 0x80000000 <u 1 -> 0
+      stw   r0, r11, 6
+      texit
+  out: .space 7
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base + 0), 0xFFu);
+  EXPECT_EQ(core->peek_word(base + 4), 0xFFFFFFFFu);
+  EXPECT_EQ(core->peek_word(base + 8), 1u);
+  EXPECT_EQ(core->peek_word(base + 12), 0xFFu);
+  EXPECT_EQ(core->peek_word(base + 16), 0xFF800000u);
+  EXPECT_EQ(core->peek_word(base + 20), 1u);
+  EXPECT_EQ(core->peek_word(base + 24), 0u);
+}
+
+TEST_F(CoreTest, LoopAndBranches) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, 10       # n
+      ldc   r1, 0        # sum
+  loop:
+      add   r1, r1, r0
+      subi  r0, r0, 1
+      bt    r0, loop
+      ldc   r2, out
+      stw   r1, r2, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 55u);
+}
+
+TEST_F(CoreTest, CallAndReturn) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, 5
+      bl    double_it
+      bl    double_it
+      ldc   r2, out
+      stw   r0, r2, 0
+      texit
+  double_it:
+      add   r0, r0, r0
+      ret
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 20u);
+}
+
+TEST_F(CoreTest, StackOperations) {
+  auto core = make_core();
+  const std::string src = R"(
+      extsp 4
+      ldc   r0, 77
+      stwsp r0, 0
+      ldc   r1, 88
+      stwsp r1, 3
+      ldwsp r2, 0
+      ldwsp r3, 3
+      add   r4, r2, r3
+      ldawsp r5, 0
+      ldc   r6, out
+      stw   r4, r6, 0
+      stw   r5, r6, 1
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base), 165u);
+  EXPECT_EQ(core->peek_word(base + 4), 65536u - 16u);  // sp after extsp 4
+}
+
+TEST_F(CoreTest, ByteLoadsAndStores) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, buf
+      ldc   r1, 0xab
+      stb   r1, r0, 1
+      ldb   r2, r0, 1
+      ldw   r3, r0, 0
+      ldc   r4, out
+      stw   r2, r4, 0
+      stw   r3, r4, 1
+      texit
+  buf: .word 0
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base), 0xABu);
+  EXPECT_EQ(core->peek_word(base + 4), 0xAB00u);  // little-endian byte 1
+}
+
+TEST_F(CoreTest, ConstantsVia32Bit) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, 0x1234
+      ldch  r0, 0x5678   # r0 = 0x12345678
+      ldc   r1, out
+      stw   r0, r1, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 0x12345678u);
+}
+
+// --------------------------------------------------------------- traps
+
+TEST_F(CoreTest, TrapOnBadOpcode) {
+  auto core = make_core();
+  run(*core, ".word 0xff000000");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kBadOpcode);
+  EXPECT_FALSE(core->finished());
+}
+
+TEST_F(CoreTest, TrapOnUnalignedAccess) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc  r0, 2
+      ldw  r1, r0, 0
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kMemoryAlignment);
+}
+
+TEST_F(CoreTest, TrapOnOutOfBoundsAccess) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc  r0, 0xffff
+      ldch r0, 0xfffc    # way beyond 64 KiB
+      ldw  r1, r0, 0
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kMemoryBounds);
+}
+
+TEST_F(CoreTest, TrapOnDivideByZero) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc  r0, 1
+      ldc  r1, 0
+      divu r2, r0, r1
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kBadOperand);
+}
+
+TEST_F(CoreTest, TrapOnUnallocatedChanend) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc  r0, 2     # a chanend-typed id that was never allocated
+      ldc  r1, 7
+      out  r0, r1
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kBadResource);
+}
+
+TEST_F(CoreTest, TrapRecordsThreadAndPc) {
+  auto core = make_core();
+  run(*core, "nop\nnop\n.word 0xff000000");
+  ASSERT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().thread, 0);
+  EXPECT_EQ(core->trap().pc, 2u);
+}
+
+// ------------------------------------------------------------ resources
+
+TEST_F(CoreTest, ChanendExhaustionReturnsZero) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r2, 0        # successful allocations
+  loop:
+      getr  r1, 2
+      bf    r1, done
+      addi  r2, r2, 1
+      bu    loop
+  done:
+      ldc   r3, out
+      stw   r2, r3, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 32u);
+}
+
+TEST_F(CoreTest, FreerRecyclesChanend) {
+  auto core = make_core();
+  const std::string src = R"(
+      getr  r0, 2
+      freer r0
+      getr  r1, 2
+      eq    r2, r0, r1    # same id reallocated
+      ldc   r3, out
+      stw   r2, r3, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 1u);
+}
+
+TEST_F(CoreTest, GettimeAdvancesAtReferenceRate) {
+  auto core = make_core();
+  const std::string src = R"(
+      gettime r0
+      ldc     r1, 100
+      add     r1, r0, r1
+      timewait r1          # sleep 100 ticks = 1 us
+      gettime r2
+      sub     r3, r2, r0
+      ldc     r4, out
+      stw     r3, r4, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t delta = core->peek_word(assemble(src).symbol("out") * 4);
+  EXPECT_GE(delta, 100u);
+  EXPECT_LE(delta, 102u);
+}
+
+TEST_F(CoreTest, TimewaitInThePastDoesNotBlock) {
+  auto core = make_core();
+  run(*core, R"(
+      gettime r0
+      timewait r0      # already reached
+      texit
+  )");
+  EXPECT_TRUE(core->finished());
+}
+
+// ------------------------------------------------- threads & Eq. (2)
+
+TEST_F(CoreTest, ForkJoinComputesInParallel) {
+  auto core = make_core();
+  const std::string src = R"(
+      getr  r4, 3          # sync
+      getst r5, r4         # slave thread
+      bf    r5, fail
+      tinitpc r5, slave
+      ldc   r0, 0xfff0
+      ldch  r0, 0          # slave stack below ours
+      tinitsp r5, r0
+      ldc   r0, 1234
+      tsetr r5, r0, 0      # slave r0 = 1234
+      msync r4             # start slave
+      ldc   r6, out
+      ldc   r7, 1111
+      stw   r7, r6, 0      # master writes slot 0
+      tjoin r4
+      texit
+  fail:
+      texit
+  slave:
+      ldc   r6, out
+      stw   r0, r6, 1      # slave writes its argument to slot 1
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_FALSE(core->trapped()) << core->trap().message;
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base), 1111u);
+  EXPECT_EQ(core->peek_word(base + 4), 1234u);
+}
+
+TEST_F(CoreTest, MsyncBarrierSynchronises) {
+  auto core = make_core();
+  const std::string src = R"(
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, slave
+      ldc   r0, 0xfff0
+      tinitsp r5, r0
+      msync r4             # start slave
+      # phase 1: wait for slave to write flag, via barrier
+      msync r4             # barrier: waits for slave ssync
+      ldc   r6, out
+      ldw   r7, r6, 0      # must observe slave's write
+      stw   r7, r6, 1
+      tjoin r4
+      texit
+  slave:
+      ldc   r6, out
+      ldc   r7, 99
+      stw   r7, r6, 0
+      ssync                # arrive at barrier
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_FALSE(core->trapped()) << core->trap().message;
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base + 4), 99u);
+}
+
+TEST_F(CoreTest, LockProtectsSharedCounter) {
+  auto core = make_core();
+  const std::string src = R"(
+      getr  r4, 3          # sync
+      getr  r8, 5          # lock
+      getst r5, r4
+      tinitpc r5, worker
+      ldc   r0, 0xfff0
+      tinitsp r5, r0
+      tsetr r5, r8, 8      # pass lock id in slave r8
+      msync r4
+      bl    worker_body    # master does the same work
+      tjoin r4
+      texit
+  worker:
+      bl    worker_body
+      texit
+  worker_body:
+      ldc   r0, 200        # iterations
+  wloop:
+      in    r1, r8         # acquire
+      ldc   r2, counter
+      ldw   r3, r2, 0
+      addi  r3, r3, 1
+      stw   r3, r2, 0
+      out   r8, r1         # release
+      subi  r0, r0, 1
+      bt    r0, wloop
+      ret
+  counter: .word 0
+  )";
+  run(*core, src, milliseconds(50.0));
+  ASSERT_FALSE(core->trapped()) << core->trap().message;
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("counter") * 4), 400u);
+}
+
+TEST_F(CoreTest, SingleThreadIssueRateIsQuarterFrequency) {
+  // Eq. (2): one thread issues every four cycles -> f/4 instructions/s.
+  auto core = make_core(0, 500.0);
+  core->load(assemble("loop: addi r0, r0, 1\n bu loop"));
+  core->start();
+  sim.run_until(microseconds(100.0));
+  const double ips =
+      static_cast<double>(core->instructions_retired()) / 100e-6;
+  EXPECT_NEAR(ips, 500e6 / 4.0, 0.02 * 125e6);
+}
+
+TEST_F(CoreTest, FourThreadsSaturateIssueRate) {
+  // Eq. (2): with Nt = 4 the core retires one instruction per cycle.
+  auto core = make_core(0, 500.0);
+  const std::string src = R"(
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      msync r4
+  spin:
+      addi  r0, r0, 1
+      bu    spin
+  )";
+  core->load(assemble(src));
+  core->start();
+  sim.run_until(microseconds(100.0));
+  const double ips =
+      static_cast<double>(core->instructions_retired()) / 100e-6;
+  EXPECT_NEAR(ips, 500e6, 0.02 * 500e6);
+  EXPECT_EQ(core->runnable_threads(), 4);
+}
+
+TEST_F(CoreTest, EightThreadsShareIssueSlotsFairly) {
+  // Eq. (2): IPSt = f / max(4, Nt) = f/8 per thread with eight threads.
+  auto core = make_core(0, 500.0);
+  std::string src = R"(
+      getr  r4, 3
+)";
+  for (int i = 0; i < 7; ++i) {
+    src += "      getst r5, r4\n      tinitpc r5, spin\n";
+  }
+  src += R"(
+      msync r4
+  spin:
+      addi  r0, r0, 1
+      bu    spin
+  )";
+  core->load(assemble(src));
+  core->start();
+  sim.run_until(microseconds(100.0));
+  // Aggregate still saturates at f.
+  const double ips =
+      static_cast<double>(core->instructions_retired()) / 100e-6;
+  EXPECT_NEAR(ips, 500e6, 0.02 * 500e6);
+  // And each spinner gets ~f/8 (threads 1..7; thread 0 spins too).
+  for (int tid = 0; tid < 8; ++tid) {
+    const double tips =
+        static_cast<double>(core->thread_instructions(tid)) / 100e-6;
+    EXPECT_NEAR(tips, 500e6 / 8.0, 0.05 * 62.5e6) << "thread " << tid;
+  }
+}
+
+TEST_F(CoreTest, FrequencyScalingSlowsExecution) {
+  auto core = make_core(0, 500.0);
+  const std::string src = R"(
+      ldc  r0, 100
+      setfreq r0           # drop to 100 MHz
+  loop:
+      addi r1, r1, 1
+      bu   loop
+  )";
+  core->load(assemble(src));
+  core->start();
+  sim.run_until(microseconds(100.0));
+  EXPECT_DOUBLE_EQ(core->frequency(), 100.0);
+  const double ips =
+      static_cast<double>(core->instructions_retired()) / 100e-6;
+  EXPECT_NEAR(ips, 100e6 / 4.0, 0.03 * 25e6);
+}
+
+TEST_F(CoreTest, SetfreqOutOfRangeTraps) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc r0, 0
+      setfreq r0
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kBadOperand);
+}
+
+TEST_F(CoreTest, DivideHasLongLatency) {
+  // 100 divides back-to-back on one thread take ~32 cycles each vs ~4 for
+  // adds.
+  auto a = make_core(0, 500.0);
+  const char* div_src = R"(
+      ldc  r0, 100
+      ldc  r1, 7
+      ldc  r2, 3
+  loop:
+      divu r3, r1, r2
+      subi r0, r0, 1
+      bt   r0, loop
+      texit
+  )";
+  a->load(assemble(div_src));
+  a->start();
+  sim.run();
+  // Each iteration: divu (32-cycle reissue) dominates.
+  const double us = to_microseconds(sim.now());
+  EXPECT_GT(us, 100 * 32 * 0.002 * 0.8);  // at least ~80 % of the stall model
+}
+
+// ------------------------------------------------------------- channels
+
+TEST_F(CoreTest, WordOverLoopbackBetweenCores) {
+  auto a = make_core(0);
+  auto b = make_core(1);
+  LoopbackFabric fabric;
+  fabric.attach(*a);
+  fabric.attach(*b);
+
+  const std::string src_a = R"(
+      getr  r0, 2
+      ldc   r1, 1
+      ldch  r1, 2        # dest: node 1, chanend 0 -> 0x00010002
+      setd  r0, r1
+      ldc   r2, 0xbeef
+      ldch  r2, 0xcafe   # 0xbeefcafe
+      out   r0, r2
+      outct r0, 1        # END closes the route
+      texit
+  )";
+  const std::string src_b = R"(
+      getr  r0, 2
+      in    r1, r0
+      chkct r0, 1
+      ldc   r2, out
+      stw   r1, r2, 0
+      texit
+  out: .word 0
+  )";
+  a->load(assemble(src_a));
+  b->load(assemble(src_b));
+  a->start();
+  b->start();
+  sim.run_until(milliseconds(1.0));
+  ASSERT_FALSE(a->trapped()) << a->trap().message;
+  ASSERT_FALSE(b->trapped()) << b->trap().message;
+  EXPECT_TRUE(a->finished());
+  EXPECT_TRUE(b->finished());
+  EXPECT_EQ(b->peek_word(assemble(src_b).symbol("out") * 4), 0xBEEFCAFEu);
+}
+
+TEST_F(CoreTest, TokenStreamAndChkct) {
+  auto a = make_core(0);
+  auto b = make_core(1);
+  LoopbackFabric fabric;
+  fabric.attach(*a);
+  fabric.attach(*b);
+
+  a->load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 1
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 3        # three tokens: 3, 2, 1
+  tloop:
+      outt  r0, r2
+      subi  r2, r2, 1
+      bt    r2, tloop
+      outct r0, 1
+      texit
+  )"));
+  const std::string src_b = R"(
+      getr  r0, 2
+      int   r1, r0
+      int   r2, r0
+      int   r3, r0
+      chkct r0, 1
+      ldc   r4, out
+      stw   r1, r4, 0
+      stw   r2, r4, 1
+      stw   r3, r4, 2
+      texit
+  out: .space 3
+  )";
+  b->load(assemble(src_b));
+  a->start();
+  b->start();
+  sim.run_until(milliseconds(1.0));
+  ASSERT_TRUE(a->finished() && b->finished());
+  const std::uint32_t base = assemble(src_b).symbol("out") * 4;
+  EXPECT_EQ(b->peek_word(base), 3u);
+  EXPECT_EQ(b->peek_word(base + 4), 2u);
+  EXPECT_EQ(b->peek_word(base + 8), 1u);
+}
+
+TEST_F(CoreTest, ChkctOnDataTokenTraps) {
+  auto a = make_core(0);
+  auto b = make_core(1);
+  LoopbackFabric fabric;
+  fabric.attach(*a);
+  fabric.attach(*b);
+  a->load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 1
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 5
+      outt  r0, r2       # data where B expects END
+      texit
+  )"));
+  b->load(assemble(R"(
+      getr  r0, 2
+      chkct r0, 1
+      texit
+  )"));
+  a->start();
+  b->start();
+  sim.run_until(milliseconds(1.0));
+  EXPECT_TRUE(b->trapped());
+  EXPECT_EQ(b->trap().kind, TrapKind::kProtocol);
+}
+
+TEST_F(CoreTest, SelfLoopbackOnSameCore) {
+  // Core-local communication: both chanends on one core (§V.D "prefer
+  // core-local communication").
+  auto a = make_core(0);
+  LoopbackFabric fabric;
+  fabric.attach(*a);
+  const std::string src = R"(
+      getr  r0, 2          # chanend 0: id 0x0002
+      getr  r1, 2          # chanend 1: id 0x0102
+      setd  r0, r1         # 0 -> 1
+      ldc   r2, 777
+      out   r0, r2
+      outct r0, 1
+      in    r3, r1
+      chkct r1, 1
+      ldc   r4, out
+      stw   r3, r4, 0
+      texit
+  out: .word 0
+  )";
+  run(*a, src);
+  ASSERT_FALSE(a->trapped()) << a->trap().message;
+  ASSERT_TRUE(a->finished());
+  EXPECT_EQ(a->peek_word(assemble(src).symbol("out") * 4), 777u);
+}
+
+// ------------------------------------------------------- DSP extensions
+
+TEST_F(CoreTest, MultiplyAccumulate) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r0, 0          # accumulator
+      ldc   r1, 7
+      ldc   r2, 6
+      macc  r0, r1, r2     # 42
+      ldc   r1, 100
+      ldc   r2, 3
+      macc  r0, r1, r2     # 342
+      ldc   r3, out
+      stw   r0, r3, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 342u);
+}
+
+TEST_F(CoreTest, LongMultiplyHigh) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r1, 0x8000
+      ldch  r1, 0          # 0x80000000
+      ldc   r2, 4
+      lmulh r0, r1, r2     # high word of 0x200000000 = 2
+      mul   r3, r1, r2     # low word = 0
+      ldc   r4, out
+      stw   r0, r4, 0
+      stw   r3, r4, 1
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base), 2u);
+  EXPECT_EQ(core->peek_word(base + 4), 0u);
+}
+
+TEST_F(CoreTest, ArithmeticShiftRightImmediate) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r1, 0
+      subi  r1, r1, 256    # -256
+      ashri r0, r1, 4      # -16
+      ldc   r2, 256
+      ashri r3, r2, 4      # 16
+      ldc   r4, out
+      stw   r0, r4, 0
+      stw   r3, r4, 1
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(static_cast<std::int32_t>(core->peek_word(base)), -16);
+  EXPECT_EQ(core->peek_word(base + 4), 16u);
+}
+
+// --------------------------------------------------------- system & I/O
+
+TEST_F(CoreTest, ConsoleOutput) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc    r0, 42
+      printi r0
+      ldc    r1, 10
+      printc r1
+      texit
+  )");
+  EXPECT_EQ(core->console(), "42\n");
+}
+
+TEST_F(CoreTest, PowerReadHook) {
+  auto core = make_core();
+  core->set_power_read_hook([](int ch) { return 100 + ch; });
+  const std::string src = R"(
+      getpwr r0, 0
+      getpwr r1, 3
+      ldc    r2, out
+      stw    r0, r2, 0
+      stw    r1, r2, 1
+      texit
+  out: .space 2
+  )";
+  run(*core, src);
+  const std::uint32_t base = assemble(src).symbol("out") * 4;
+  EXPECT_EQ(core->peek_word(base), 100u);
+  EXPECT_EQ(core->peek_word(base + 4), 103u);
+}
+
+// ------------------------------------------------------- timed port I/O
+
+TEST_F(CoreTest, PortDriveAndSample) {
+  auto core = make_core();
+  core->set_port_input(1, true);
+  const std::string src = R"(
+      getr  r0, 6          # port 0 (output)
+      getr  r1, 6          # port 1 (we read its input pin)
+      ldc   r2, 1
+      outp  r0, r2
+      inp   r3, r1
+      ldc   r4, out
+      stw   r3, r4, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_FALSE(core->trapped()) << core->trap().message;
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 1u);
+  EXPECT_EQ(core->port_output_level(0), 1);
+  // Waveform: initial 0 at allocation, then the rise.
+  ASSERT_EQ(core->port_waveform(0).size(), 2u);
+  EXPECT_EQ(core->port_waveform(0)[1].level, 1);
+}
+
+TEST_F(CoreTest, TimedPortOutputLandsOnExactTicks) {
+  auto core = make_core();
+  run(*core, R"(
+      getr  r0, 6
+      gettime r9
+      addi  r9, r9, 100    # edge 1 at +100 ticks
+      ldc   r1, 1
+      outpt r0, r1, r9
+      addi  r9, r9, 250    # edge 2 exactly 250 ticks later
+      ldc   r1, 0
+      outpt r0, r1, r9
+      texit
+  )");
+  ASSERT_TRUE(core->finished());
+  const auto& wave = core->port_waveform(0);
+  ASSERT_EQ(wave.size(), 3u);  // allocation + two edges
+  // 250 reference ticks = 2.5 us between the edges, exactly.
+  EXPECT_EQ(wave[2].time - wave[1].time, 250 * 10'000);
+}
+
+TEST_F(CoreTest, PortOnUnallocatedResourceTraps) {
+  auto core = make_core();
+  run(*core, R"(
+      ldc  r0, 6           # a port-typed id that was never allocated
+      ldc  r1, 1
+      outp r0, r1
+      texit
+  )");
+  EXPECT_TRUE(core->trapped());
+  EXPECT_EQ(core->trap().kind, TrapKind::kBadResource);
+}
+
+TEST_F(CoreTest, PortsExhaustAndRecycle) {
+  auto core = make_core();
+  const std::string src = R"(
+      ldc   r2, 0
+  loop:
+      getr  r1, 6
+      bf    r1, done
+      addi  r2, r2, 1
+      bu    loop
+  done:
+      ldc   r3, out
+      stw   r2, r3, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 8u);
+}
+
+// ------------------------------------------------------- event select
+
+TEST_F(CoreTest, Sel2ReturnsWhicheverChanendIsReadable) {
+  // A merge: two senders on cores 1 and 2 fire at different times; the
+  // receiver on core 0 services whichever input is ready (SEL2).
+  auto rx = make_core(0);
+  auto tx1 = make_core(1);
+  auto tx2 = make_core(2);
+  LoopbackFabric fabric;
+  fabric.attach(*rx);
+  fabric.attach(*tx1);
+  fabric.attach(*tx2);
+
+  auto sender = [](int delay_ticks, int chanend_idx, int value) {
+    return strprintf(R"(
+        getr  r0, 2
+        ldc   r1, 0
+        ldch  r1, 0x%02x02
+        setd  r0, r1
+        gettime r2
+        ldc   r3, %d
+        add   r2, r2, r3
+        timewait r2
+        ldc   r4, %d
+        out   r0, r4
+        outct r0, 1
+        texit
+    )", chanend_idx, delay_ticks, value);
+  };
+  tx1->load(assemble(sender(500, 0, 111)));   // 5 us -> chanend 0
+  tx2->load(assemble(sender(200, 1, 222)));   // 2 us -> chanend 1 (first)
+  const std::string rx_src = R"(
+      getr  r0, 2          # chanend 0
+      getr  r1, 2          # chanend 1
+      sel2  r2, r0, r1     # blocks until one of them has data
+      in    r3, r2
+      chkct r2, 1
+      sel2  r4, r0, r1
+      in    r5, r4
+      chkct r4, 1
+      ldc   r6, out
+      stw   r3, r6, 0      # first arrival
+      stw   r5, r6, 1      # second arrival
+      texit
+  out: .space 2
+  )";
+  rx->load(assemble(rx_src));
+  rx->start();
+  tx1->start();
+  tx2->start();
+  sim.run_until(milliseconds(1.0));
+  ASSERT_FALSE(rx->trapped()) << rx->trap().message;
+  ASSERT_TRUE(rx->finished());
+  const std::uint32_t base = assemble(rx_src).symbol("out") * 4;
+  EXPECT_EQ(rx->peek_word(base), 222u);      // chanend 1 fired first
+  EXPECT_EQ(rx->peek_word(base + 4), 111u);  // then chanend 0
+}
+
+TEST_F(CoreTest, Sel2WithDataAlreadyPresentDoesNotBlock) {
+  auto core = make_core(0);
+  LoopbackFabric fabric;
+  fabric.attach(*core);
+  const std::string src = R"(
+      getr  r0, 2
+      getr  r1, 2
+      setd  r0, r1         # self-loop 0 -> 1
+      ldc   r2, 9
+      out   r0, r2
+      outct r0, 1
+      sel2  r3, r1, r0     # chanend 1 already has the word
+      in    r4, r3
+      chkct r3, 1
+      ldc   r5, out
+      stw   r4, r5, 0
+      texit
+  out: .word 0
+  )";
+  run(*core, src);
+  ASSERT_FALSE(core->trapped()) << core->trap().message;
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(core->peek_word(assemble(src).symbol("out") * 4), 9u);
+}
+
+// --------------------------------------------------------------- tracing
+
+TEST_F(CoreTest, TraceRecordsEveryRetire) {
+  auto core = make_core();
+  TraceBuffer buffer;
+  core->set_trace_sink(buffer.sink());
+  run(*core, R"(
+      ldc  r0, 3
+  loop:
+      subi r0, r0, 1
+      bt   r0, loop
+      texit
+  )");
+  ASSERT_TRUE(core->finished());
+  EXPECT_EQ(buffer.count(), core->instructions_retired());
+  // ldc + 3x(subi, bt) + texit = 8 retires.
+  EXPECT_EQ(buffer.count(), 8u);
+}
+
+TEST_F(CoreTest, TraceLinesContainDisassembly) {
+  auto core = make_core();
+  TraceBuffer buffer;
+  core->set_trace_sink(buffer.sink());
+  run(*core, "ldc r5, 77\ntexit");
+  ASSERT_GE(buffer.lines().size(), 1u);
+  EXPECT_NE(buffer.lines()[0].find("ldc r5, 77"), std::string::npos);
+  EXPECT_NE(buffer.lines()[0].find("t0@0000"), std::string::npos);
+  EXPECT_NE(buffer.lines()[1].find("texit"), std::string::npos);
+}
+
+TEST_F(CoreTest, TraceDoesNotRecordBlockedAttempts) {
+  // A thread blocked on IN re-executes when woken; only the successful
+  // retire is traced.
+  auto a = make_core(0);
+  LoopbackFabric fabric;
+  fabric.attach(*a);
+  TraceBuffer buffer;
+  a->set_trace_sink(buffer.sink());
+  run(*a, R"(
+      getr  r0, 2          # chanend 0
+      getr  r1, 2          # chanend 1
+      setd  r0, r1
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, sender
+      tsetr r5, r0, 0      # sender's r0 = chanend 0
+      msync r4
+      in    r3, r1         # blocks until the slave sends
+      chkct r1, 1
+      tjoin r4
+      texit
+  sender:
+      gettime r2
+      ldc   r3, 500        # 5 us delay so the IN definitely blocks
+      add   r2, r2, r3
+      timewait r2
+      ldc   r2, 5
+      out   r0, r2
+      outct r0, 1
+      texit
+  )");
+  ASSERT_FALSE(a->trapped()) << a->trap().message;
+  ASSERT_TRUE(a->finished());
+  EXPECT_EQ(buffer.count(), a->instructions_retired());
+  // Exactly one "in r3, r1" record despite the blocked first attempt.
+  int in_records = 0;
+  for (const std::string& line : buffer.lines()) {
+    in_records += line.find("in r3, r1") != std::string::npos;
+  }
+  EXPECT_EQ(in_records, 1);
+}
+
+// --------------------------------------------------------------- energy
+
+TEST_F(CoreTest, IdleCoreBurnsBaselinePower) {
+  auto core = make_core(0, 500.0);
+  // Not started: baseline only.
+  sim.run_until(microseconds(100.0));
+  core->settle_energy(sim.now());
+  const Joules expected = milliwatts(113.0) * 100e-6;
+  EXPECT_NEAR(ledger.total(EnergyAccount::kCoreBaseline), expected,
+              0.01 * expected);
+  EXPECT_NEAR(ledger.total(EnergyAccount::kCoreInstructions), 0.0, 1e-12);
+}
+
+TEST_F(CoreTest, FullyLoadedCoreSitsOnEquationOneLine) {
+  auto core = make_core(0, 500.0);
+  // Four spinning threads: the paper's heavy-load operating point.
+  const std::string src = R"(
+      getr  r4, 3
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      getst r5, r4
+      tinitpc r5, spin
+      msync r4
+  spin:
+      add   r0, r0, r1
+      bu    spin
+  )";
+  core->load(assemble(src));
+  core->start();
+  sim.run_until(microseconds(200.0));
+  core->settle_energy(sim.now());
+  const Joules total = ledger.total(EnergyAccount::kCoreBaseline) +
+                       ledger.total(EnergyAccount::kCoreInstructions);
+  const double avg_mw = to_milliwatts(total / 200e-6);
+  // Eq. (1): 46 + 0.30*500 = 196 mW.  The add/bu mix runs slightly below
+  // the average-mix line (branch weight < 1).
+  EXPECT_GT(avg_mw, 180.0);
+  EXPECT_LT(avg_mw, 200.0);
+}
+
+TEST_F(CoreTest, DetailedEnergyModelSeparatesDataPatterns) {
+  // The [4]-style refinement: the same loop over all-ones operands costs
+  // more energy than over all-zero operands.
+  auto run_with_data = [&](std::uint32_t pattern) {
+    Simulator local_sim;
+    EnergyLedger local_ledger;
+    Core::Config cfg;
+    cfg.detailed_energy.enabled = true;
+    Core core(local_sim, local_ledger, cfg);
+    core.load(assemble(strprintf(R"(
+        ldc  r1, 0x%x
+        ldch r1, 0x%x
+        or   r2, r1, r1
+    loop:
+        and  r3, r1, r2
+        xor  r4, r1, r2
+        bu   loop
+    )", pattern >> 16, pattern & 0xFFFF)));
+    core.start();
+    local_sim.run_until(microseconds(100.0));
+    core.settle_energy(local_sim.now());
+    return local_ledger.grand_total();
+  };
+  const Joules zeros = run_with_data(0x00000000);
+  const Joules ones = run_with_data(0xFFFFFFFF);
+  EXPECT_GT(ones, 1.02 * zeros);
+  // The effect stays second-order: within ~10 % of each other.
+  EXPECT_LT(ones, 1.10 * zeros);
+}
+
+TEST_F(CoreTest, DetailedEnergyModelChargesClassSwitching) {
+  // A monotone instruction stream is cheaper than an alternating one with
+  // the same class mix average... here: same instructions, different
+  // interleaving.
+  auto run_interleaved = [&](bool alternate) {
+    Simulator local_sim;
+    EnergyLedger local_ledger;
+    Core::Config cfg;
+    cfg.detailed_energy.enabled = true;
+    Core core(local_sim, local_ledger, cfg);
+    // Both variants execute 50 % alu and 50 % memory instructions.
+    const char* body = alternate ? R"(
+    loop:
+        add  r1, r2, r3
+        ldw  r4, r10, 0
+        add  r5, r2, r3
+        ldw  r6, r10, 0
+        bu   loop
+    )"
+                                 : R"(
+    loop:
+        add  r1, r2, r3
+        add  r5, r2, r3
+        ldw  r4, r10, 0
+        ldw  r6, r10, 0
+        bu   loop
+    )";
+    core.load(assemble(std::string("    ldc r10, 128\n") + body));
+    core.start();
+    local_sim.run_until(microseconds(100.0));
+    core.settle_energy(local_sim.now());
+    return local_ledger.grand_total();
+  };
+  const Joules grouped = run_interleaved(false);
+  const Joules alternating = run_interleaved(true);
+  EXPECT_GT(alternating, grouped);
+}
+
+TEST_F(CoreTest, LowerFrequencyUsesLessEnergyPerSecond) {
+  auto fast = make_core(0, 500.0);
+  EnergyLedger slow_ledger;
+  Core::Config cfg;
+  cfg.node_id = 1;
+  cfg.frequency_mhz = 100.0;
+  auto slow = std::make_unique<Core>(sim, slow_ledger, cfg);
+  const Image img = assemble("loop: addi r0, r0, 1\n bu loop");
+  fast->load(img);
+  slow->load(img);
+  fast->start();
+  slow->start();
+  sim.run_until(microseconds(100.0));
+  fast->settle_energy(sim.now());
+  slow->settle_energy(sim.now());
+  EXPECT_GT(ledger.grand_total(), slow_ledger.grand_total());
+}
+
+}  // namespace
+}  // namespace swallow

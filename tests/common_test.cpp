@@ -1,0 +1,173 @@
+// Unit tests for the common utility layer: units, strings, tables, math,
+// deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace swallow {
+namespace {
+
+TEST(Units, TimeConversionsRoundTrip) {
+  EXPECT_EQ(nanoseconds(1.0), 1000);
+  EXPECT_EQ(microseconds(1.0), 1'000'000);
+  EXPECT_EQ(milliseconds(2.5), 2'500'000'000);
+  EXPECT_DOUBLE_EQ(to_nanoseconds(nanoseconds(270.0)), 270.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kPicosPerSecond), 1.0);
+}
+
+TEST(Units, PeriodOfPaperFrequencies) {
+  EXPECT_EQ(period_ps(500.0), 2000);  // 500 MHz -> 2 ns
+  EXPECT_EQ(period_ps(100.0), 10000); // reference clock -> 10 ns
+  EXPECT_EQ(period_ps(71.0), 14085);  // lowest Fig. 3 point
+}
+
+TEST(Units, PowerEnergyHelpers) {
+  EXPECT_DOUBLE_EQ(to_milliwatts(milliwatts(193.0)), 193.0);
+  EXPECT_DOUBLE_EQ(to_picojoules(picojoules(5.6)), 5.6);
+  // 1 W for 1 us = 1 uJ.
+  EXPECT_NEAR(energy_over(1.0, microseconds(1.0)), 1e-6, 1e-18);
+}
+
+TEST(Units, TransferTimeMatchesLinkRates) {
+  // One 8-bit token at 250 Mbit/s = 32 ns.
+  EXPECT_EQ(transfer_time_ps(8, 250.0), nanoseconds(32.0));
+  // 32-bit word at 62.5 Mbit/s = 512 ns.
+  EXPECT_EQ(transfer_time_ps(32, 62.5), nanoseconds(512.0));
+}
+
+TEST(Error, RequireThrowsOnFailure) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "boom"), Error);
+  EXPECT_THROW(invariant(false, "bug"), InternalError);
+}
+
+TEST(Strings, TrimAndSplit) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  auto parts = split("add r0, r1, r2");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "add");
+  EXPECT_EQ(parts[3], "r2");
+}
+
+TEST(Strings, SplitFirst) {
+  auto parts = split_first("label: add r0", ':');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "label");
+  EXPECT_EQ(trim(parts[1]), "add r0");
+  EXPECT_EQ(split_first("nolabel", ':').size(), 1u);
+}
+
+TEST(Strings, ParseIntFormats) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("#123"), 123);
+  EXPECT_EQ(parse_int("0x1f"), 31);
+  EXPECT_EQ(parse_int("0b101"), 5);
+  EXPECT_EQ(parse_int("1_000"), 1000);
+  EXPECT_THROW(parse_int("zz"), Error);
+  EXPECT_THROW(parse_int(""), Error);
+  EXPECT_THROW(parse_int("9f"), Error);  // hex digit in decimal literal
+}
+
+TEST(Strings, Strprintf) {
+  EXPECT_EQ(strprintf("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strprintf("%.1f mW", 193.0), "193.0 mW");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t("Demo");
+  t.header({"Link type", "Energy"});
+  t.row({"On-chip", "5.6 pJ/bit"});
+  t.row({"Off-board", "10880 pJ/bit"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("On-chip"), std::string::npos);
+  EXPECT_NE(out.find("10880"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"1"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(Math, LerpClamped) {
+  // The paper's voltage curve: 0.6 V @ 71 MHz to 0.95 V @ 500 MHz.
+  EXPECT_DOUBLE_EQ(lerp_clamped(71, 71, 0.6, 500, 0.95), 0.6);
+  EXPECT_DOUBLE_EQ(lerp_clamped(500, 71, 0.6, 500, 0.95), 0.95);
+  EXPECT_DOUBLE_EQ(lerp_clamped(50, 71, 0.6, 500, 0.95), 0.6);   // clamped
+  EXPECT_DOUBLE_EQ(lerp_clamped(600, 71, 0.6, 500, 0.95), 0.95); // clamped
+  const double mid = lerp_clamped(285.5, 71, 0.6, 500, 0.95);
+  EXPECT_GT(mid, 0.6);
+  EXPECT_LT(mid, 0.95);
+}
+
+TEST(Math, FitLineRecoversEquationOne) {
+  // Sample Pc = 46 + 0.30 f at Fig. 3's frequency range and re-fit.
+  std::vector<double> f, p;
+  for (double x = 71; x <= 500; x += 13) {
+    f.push_back(x);
+    p.push_back(46.0 + 0.30 * x);
+  }
+  const LineFit fit = fit_line(f, p);
+  EXPECT_NEAR(fit.intercept, 46.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 0.30, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Math, FitLineRejectsDegenerateInput) {
+  std::vector<double> one{1.0};
+  EXPECT_THROW(fit_line(one, one), Error);
+  std::vector<double> same{2.0, 2.0}, ys{1.0, 3.0};
+  EXPECT_THROW(fit_line(same, ys), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng r(99);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,186 @@
+// Table-driven ISA conformance: one expectation per instruction semantics
+// (result registers checked after a tiny program), plus a table of trap
+// behaviours.  Complements the scenario tests in arch_test.cpp with
+// breadth: every ALU/shift/immediate/memory instruction is pinned to its
+// exact semantics, including edge cases (shift >= 32, signed boundaries,
+// wrap-around).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "arch/trap.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+struct SemanticsCase {
+  const char* name;
+  const char* body;        // program body; must leave the result in r0
+  std::uint32_t expected;  // value of r0 stored at `out`
+};
+
+class Semantics : public ::testing::TestWithParam<SemanticsCase> {};
+
+TEST_P(Semantics, ResultMatches) {
+  const SemanticsCase& c = GetParam();
+  Simulator sim;
+  EnergyLedger ledger;
+  Core::Config cfg;
+  Core core(sim, ledger, cfg);
+  const std::string src = std::string(c.body) +
+                          "\n    ldc r11, out\n    stw r0, r11, 0\n    texit\n"
+                          "out: .word 0\n";
+  core.load(assemble(src));
+  core.start();
+  sim.run_until(milliseconds(5.0));
+  ASSERT_FALSE(core.trapped()) << c.name << ": " << core.trap().message;
+  ASSERT_TRUE(core.finished()) << c.name;
+  EXPECT_EQ(core.peek_word(assemble(src).symbol("out") * 4), c.expected)
+      << c.name;
+}
+
+const SemanticsCase kSemantics[] = {
+    // ---- add/sub with wrap-around ----
+    {"add", "    ldc r1, 30\n    ldc r2, 12\n    add r0, r1, r2", 42},
+    {"add_wraps", "    ldc r1, 0xffff\n    ldch r1, 0xffff\n    ldc r2, 2\n"
+                  "    add r0, r1, r2", 1},
+    {"sub", "    ldc r1, 30\n    ldc r2, 12\n    sub r0, r1, r2", 18},
+    {"sub_underflows", "    ldc r1, 0\n    ldc r2, 1\n    sub r0, r1, r2",
+     0xFFFFFFFFu},
+    {"addi_negative", "    ldc r1, 10\n    addi r0, r1, -3", 7},
+    {"subi", "    ldc r1, 10\n    subi r0, r1, 4", 6},
+    // ---- logic ----
+    {"and", "    ldc r1, 0xff0f\n    ldc r2, 0x0ff0\n    and r0, r1, r2",
+     0x0F00},
+    {"or", "    ldc r1, 0xf000\n    ldc r2, 0x000f\n    or r0, r1, r2",
+     0xF00F},
+    {"xor", "    ldc r1, 0xffff\n    ldc r2, 0x0f0f\n    xor r0, r1, r2",
+     0xF0F0},
+    {"not", "    ldc r1, 0\n    not r0, r1", 0xFFFFFFFFu},
+    {"neg", "    ldc r1, 5\n    neg r0, r1", 0xFFFFFFFBu},
+    {"mkmsk_8", "    ldc r1, 8\n    mkmsk r0, r1", 0xFF},
+    {"mkmsk_32", "    ldc r1, 32\n    mkmsk r0, r1", 0xFFFFFFFFu},
+    {"mkmsk_0", "    ldc r1, 0\n    mkmsk r0, r1", 0},
+    // ---- comparisons ----
+    {"eq_true", "    ldc r1, 9\n    ldc r2, 9\n    eq r0, r1, r2", 1},
+    {"eq_false", "    ldc r1, 9\n    ldc r2, 8\n    eq r0, r1, r2", 0},
+    {"eqi_true", "    ldc r1, 7\n    eqi r0, r1, 7", 1},
+    {"lss_signed", "    ldc r1, 0\n    subi r1, r1, 1\n    ldc r2, 0\n"
+                   "    lss r0, r1, r2", 1},  // -1 < 0 signed
+    {"lsu_unsigned", "    ldc r1, 0\n    subi r1, r1, 1\n    ldc r2, 0\n"
+                     "    lsu r0, r1, r2", 0},  // 0xffffffff not < 0
+    // ---- multiply / divide ----
+    {"mul", "    ldc r1, 1000\n    ldc r2, 1000\n    mul r0, r1, r2",
+     1000000},
+    {"mul_wraps", "    ldc r1, 1\n    ldch r1, 0\n    or r2, r1, r1\n"
+                  "    mul r0, r1, r2", 0},  // 2^16 * 2^16 = 2^32 -> 0
+    {"macc", "    ldc r0, 5\n    ldc r1, 6\n    ldc r2, 7\n"
+             "    macc r0, r1, r2", 47},
+    {"lmulh", "    ldc r1, 1\n    ldch r1, 0\n    or r2, r1, r1\n"
+              "    lmulh r0, r1, r2", 1},  // high(2^16 * 2^16) = 1
+    {"divu", "    ldc r1, 100\n    ldc r2, 7\n    divu r0, r1, r2", 14},
+    {"remu", "    ldc r1, 100\n    ldc r2, 7\n    remu r0, r1, r2", 2},
+    // ---- shifts ----
+    {"shl", "    ldc r1, 1\n    ldc r2, 31\n    shl r0, r1, r2",
+     0x80000000u},
+    {"shl_ge32", "    ldc r1, 1\n    ldc r2, 32\n    shl r0, r1, r2", 0},
+    {"shr", "    ldc r1, 0x8000\n    ldch r1, 0\n    ldc r2, 31\n"
+            "    shr r0, r1, r2", 1},
+    {"ashr_sign", "    ldc r1, 0x8000\n    ldch r1, 0\n    ldc r2, 31\n"
+                  "    ashr r0, r1, r2", 0xFFFFFFFFu},
+    {"shli", "    ldc r1, 3\n    shli r0, r1, 4", 48},
+    {"shri", "    ldc r1, 48\n    shri r0, r1, 4", 3},
+    {"ashri", "    ldc r1, 0\n    subi r1, r1, 64\n    ashri r0, r1, 3",
+     0xFFFFFFF8u},
+    // ---- constants ----
+    {"ldc_max", "    ldc r0, 0xffff", 0xFFFF},
+    {"ldch_builds", "    ldc r0, 0xdead\n    ldch r0, 0xbeef", 0xDEADBEEFu},
+    // ---- memory round trips ----
+    {"stw_ldw", "    ldc r1, buf\n    ldc r2, 0x1234\n    stw r2, r1, 0\n"
+                "    ldw r0, r1, 0\n    bu done\nbuf: .word 0\ndone:",
+     0x1234},
+    {"stb_ldb", "    ldc r1, buf2\n    ldc r2, 0x1ff\n    stb r2, r1, 2\n"
+                "    ldb r0, r1, 2\n    bu done2\nbuf2: .word 0\ndone2:",
+     0xFF},  // byte store truncates
+    {"ldw_offset", "    ldc r1, tab\n    ldw r0, r1, 2\n    bu done3\n"
+                   "tab: .word 10, 20, 30\ndone3:", 30},
+    // ---- stack ----
+    {"stack_roundtrip", "    extsp 2\n    ldc r1, 77\n    stwsp r1, 1\n"
+                        "    ldwsp r0, 1", 77},
+    {"ldawsp", "    extsp 4\n    ldawsp r0, 3\n    ldawsp r2, 0\n"
+               "    sub r0, r0, r2", 12},  // sp + 3 words vs sp
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Isa, Semantics, ::testing::ValuesIn(kSemantics),
+    [](const ::testing::TestParamInfo<SemanticsCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// --------------------------------------------------------------- traps
+
+struct TrapCase {
+  const char* name;
+  const char* source;  // complete program
+  TrapKind expected;
+};
+
+class Traps : public ::testing::TestWithParam<TrapCase> {};
+
+TEST_P(Traps, HaltsWithExpectedKind) {
+  const TrapCase& c = GetParam();
+  Simulator sim;
+  EnergyLedger ledger;
+  Core::Config cfg;
+  Core core(sim, ledger, cfg);
+  core.load(assemble(c.source));
+  core.start();
+  sim.run_until(milliseconds(5.0));
+  ASSERT_TRUE(core.trapped()) << c.name;
+  EXPECT_EQ(core.trap().kind, c.expected)
+      << c.name << ": " << core.trap().message;
+}
+
+const TrapCase kTraps[] = {
+    {"bad_opcode", ".word 0xee000000", TrapKind::kBadOpcode},
+    {"fetch_off_end", "ldc r0, 1", TrapKind::kMemoryBounds},  // falls through
+    {"unaligned_word", "ldc r0, 6\n ldw r1, r0, 0",
+     TrapKind::kMemoryAlignment},
+    {"load_oob", "ldc r0, 0xffff\n ldch r0, 0xfffc\n ldw r1, r0, 0",
+     TrapKind::kMemoryBounds},
+    {"store_oob", "ldc r0, 0xffff\n ldch r0, 0xfffc\n stw r1, r0, 0",
+     TrapKind::kMemoryBounds},
+    {"div_zero", "ldc r0, 1\n ldc r1, 0\n divu r2, r0, r1",
+     TrapKind::kBadOperand},
+    {"rem_zero", "ldc r0, 1\n ldc r1, 0\n remu r2, r0, r1",
+     TrapKind::kBadOperand},
+    {"out_unallocated", "ldc r0, 2\n out r0, r1", TrapKind::kBadResource},
+    {"in_unallocated", "ldc r0, 2\n in r1, r0", TrapKind::kBadResource},
+    {"setd_unallocated", "ldc r0, 2\n setd r0, r1", TrapKind::kBadResource},
+    {"getr_bad_type", "getr r0, 9", TrapKind::kBadResource},
+    {"freer_garbage", "ldc r0, 0x7777\n freer r0", TrapKind::kBadResource},
+    {"getst_not_sync", "ldc r1, 2\n getst r0, r1", TrapKind::kBadResource},
+    {"msync_not_master", "getr r0, 3\n ldc r1, 0x103\n msync r1",
+     TrapKind::kBadResource},
+    {"ssync_not_slave", "ssync", TrapKind::kBadResource},
+    {"tsetr_bad_reg", "getr r0, 3\n getst r1, r0\n ldc r2, 0\n"
+                      " tsetr r1, r2, 15", TrapKind::kBadOperand},
+    {"tinit_running_thread", "getr r0, 3\n ldc r1, 0x0004\n tinitpc r1, 0",
+     TrapKind::kBadResource},  // thread 0 is running, not fresh
+    {"setfreq_zero", "ldc r0, 0\n setfreq r0", TrapKind::kBadOperand},
+    {"setfreq_too_high", "ldc r0, 2000\n setfreq r0", TrapKind::kBadOperand},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Core, Traps, ::testing::ValuesIn(kTraps),
+    [](const ::testing::TestParamInfo<TrapCase>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,188 @@
+// Tests for dynamic frequency/voltage scaling: the core's auto-DVFS mode
+// (§III.B "newer xCORE devices do support full DVFS") and the run-time
+// load-factor governor.
+#include <gtest/gtest.h>
+
+#include "api/governor.h"
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+const char* kSpin4 = R"(
+    getr  r4, 3
+    getst r5, r4
+    tinitpc r5, spin
+    getst r5, r4
+    tinitpc r5, spin
+    getst r5, r4
+    tinitpc r5, spin
+    msync r4
+spin:
+    add   r0, r0, r1
+    bu    spin
+)";
+
+class DvfsTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+
+  std::unique_ptr<Core> make_core(EnergyLedger& ledger, bool auto_dvfs,
+                                  MegaHertz f = 500.0) {
+    Core::Config cfg;
+    cfg.frequency_mhz = f;
+    cfg.auto_dvfs = auto_dvfs;
+    return std::make_unique<Core>(sim, ledger, cfg);
+  }
+};
+
+TEST_F(DvfsTest, AutoDvfsTracksMinimumVoltage) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, true, 500.0);
+  EXPECT_DOUBLE_EQ(core->voltage(), 0.95);
+  core->set_frequency(71.0);
+  EXPECT_DOUBLE_EQ(core->voltage(), 0.60);
+  core->set_frequency(285.5);
+  EXPECT_GT(core->voltage(), 0.60);
+  EXPECT_LT(core->voltage(), 0.95);
+}
+
+TEST_F(DvfsTest, FixedVoltageCoreStaysAtOneVolt) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, false, 500.0);
+  EXPECT_DOUBLE_EQ(core->voltage(), 1.0);
+  core->set_frequency(71.0);
+  EXPECT_DOUBLE_EQ(core->voltage(), 1.0);
+}
+
+TEST_F(DvfsTest, SetfreqInstructionAppliesDvfs) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, true, 500.0);
+  core->load(assemble(R"(
+      ldc r0, 71
+      setfreq r0
+      texit
+  )"));
+  core->start();
+  sim.run_until(microseconds(10.0));
+  EXPECT_TRUE(core->finished());
+  EXPECT_DOUBLE_EQ(core->frequency(), 71.0);
+  EXPECT_DOUBLE_EQ(core->voltage(), 0.60);
+}
+
+TEST_F(DvfsTest, DvfsSavingMatchesFigureFourRatio) {
+  // Two loaded cores at 71 MHz: one at 1 V, one with DVFS (0.6 V).
+  // Fig. 4: ~47 % saving at the bottom of the range.
+  EnergyLedger fixed_ledger, dvfs_ledger;
+  auto fixed = make_core(fixed_ledger, false, 71.0);
+  auto dvfs = make_core(dvfs_ledger, true, 71.0);
+  const Image img = assemble(kSpin4);
+  fixed->load(img);
+  dvfs->load(img);
+  fixed->start();
+  dvfs->start();
+  sim.run_until(microseconds(200.0));
+  fixed->settle_energy(sim.now());
+  dvfs->settle_energy(sim.now());
+  const double saving =
+      1.0 - dvfs_ledger.grand_total() / fixed_ledger.grand_total();
+  EXPECT_NEAR(saving, 0.476, 0.03);
+}
+
+TEST_F(DvfsTest, HostFrequencyChangeAltersExecutionRate) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, false, 500.0);
+  core->load(assemble("loop: addi r0, r0, 1\n bu loop"));
+  core->start();
+  sim.run_until(microseconds(50.0));
+  const std::uint64_t at_500 = core->instructions_retired();
+  core->set_frequency(100.0);
+  sim.run_until(microseconds(100.0));
+  const std::uint64_t at_100 = core->instructions_retired() - at_500;
+  // 100 MHz retires a fifth of what 500 MHz does per unit time.
+  EXPECT_NEAR(static_cast<double>(at_100) / static_cast<double>(at_500), 0.2,
+              0.02);
+}
+
+// ------------------------------------------------------------- governor
+
+/// Rate-limited task: ~500 instructions of work every 10 us.
+const char* kBursty = R"(
+    gettime r9
+loop:
+    ldc r2, 166
+w:
+    add r6, r6, r7
+    subi r2, r2, 1
+    bt r2, w
+    ldc r1, 1000
+    add r9, r9, r1
+    timewait r9
+    bu loop
+)";
+
+TEST_F(DvfsTest, GovernorLowersFrequencyForRateLimitedWork) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, false, 500.0);
+  core->load(assemble(kBursty));
+  core->start();
+  DfsGovernor governor(sim, *core, {});
+  governor.start();
+  sim.run_until(milliseconds(3.0));
+  // ~500 instructions per 10 us = 50 MIPS of demand; one thread delivers
+  // f/4, so the governor should settle well below 500 MHz but keep the
+  // deadline (>= ~200 MHz).
+  EXPECT_LT(core->frequency(), 420.0);
+  EXPECT_GE(core->frequency(), 142.0);
+  EXPECT_GT(governor.adjustments(), 0u);
+  EXPECT_FALSE(governor.trace().empty());
+}
+
+TEST_F(DvfsTest, GovernorKeepsSaturatedCoreFast) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, false, 500.0);
+  core->load(assemble(kSpin4));
+  core->start();
+  DfsGovernor governor(sim, *core, {});
+  governor.start();
+  sim.run_until(milliseconds(1.0));
+  EXPECT_DOUBLE_EQ(core->frequency(), 500.0);
+}
+
+TEST_F(DvfsTest, GovernorSavesEnergyOnRateLimitedWork) {
+  EnergyLedger governed_ledger, fixed_ledger;
+  auto governed = make_core(governed_ledger, true, 500.0);
+  auto fixed = make_core(fixed_ledger, false, 500.0);
+  const Image img = assemble(kBursty);
+  governed->load(img);
+  fixed->load(img);
+  governed->start();
+  fixed->start();
+  DfsGovernor governor(sim, *governed, {});
+  governor.start();
+  sim.run_until(milliseconds(5.0));
+  governed->settle_energy(sim.now());
+  fixed->settle_energy(sim.now());
+  // DFS + DVFS on a 40 %-utilised task should save a lot of energy.
+  EXPECT_LT(governed_ledger.grand_total(), 0.75 * fixed_ledger.grand_total());
+  // And the work kept up: both cores retired a similar instruction count.
+  const double retire_ratio =
+      static_cast<double>(governed->instructions_retired()) /
+      static_cast<double>(fixed->instructions_retired());
+  EXPECT_GT(retire_ratio, 0.95);
+}
+
+TEST_F(DvfsTest, GovernorRejectsBadConfig) {
+  EnergyLedger ledger;
+  auto core = make_core(ledger, false);
+  DfsGovernor::Config bad;
+  bad.utilisation_lo = 0.9;
+  bad.utilisation_hi = 0.5;
+  EXPECT_THROW(DfsGovernor(sim, *core, bad), Error);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,340 @@
+// Unit tests for the energy models: Eq. (1) core power, Fig. 3 idle line,
+// Fig. 4 DVFS, Fig. 2 node decomposition, Table I link energies, supply
+// rails and the shunt/amp/ADC measurement chain.
+#include <gtest/gtest.h>
+
+#include "energy/core_power.h"
+#include "energy/instr_energy.h"
+#include "energy/ledger.h"
+#include "energy/link_energy.h"
+#include "energy/measure.h"
+#include "energy/node_power.h"
+#include "energy/params.h"
+#include "energy/supply.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+constexpr double kMw = 1e-3;
+
+TEST(CorePower, EquationOneAtNominalVoltage) {
+  CorePowerModel m;
+  // Pc = (46 + 0.30 f) mW: the paper quotes 193 mW at 500 MHz (rounded
+  // from 196) and 65 mW at 71 MHz (rounded from 67.3).
+  EXPECT_NEAR(m.active_power(500, 1.0), (46.0 + 0.30 * 500) * kMw, 1e-12);
+  EXPECT_NEAR(m.active_power(71, 1.0), (46.0 + 0.30 * 71) * kMw, 1e-12);
+}
+
+TEST(CorePower, IdleLineMatchesFigureThreeEndpoints) {
+  CorePowerModel m;
+  EXPECT_NEAR(m.baseline_power(500, 1.0), 113.0 * kMw, 0.01 * kMw);
+  EXPECT_NEAR(m.baseline_power(71, 1.0), 50.0 * kMw, 0.01 * kMw);
+}
+
+TEST(CorePower, ThreadInterpolationIsLinear) {
+  CorePowerModel m;
+  const Watts idle = m.power(500, 1.0, 0);
+  const Watts full = m.power(500, 1.0, 4);
+  const Watts half = m.power(500, 1.0, 2);
+  EXPECT_DOUBLE_EQ(idle, m.baseline_power(500, 1.0));
+  EXPECT_DOUBLE_EQ(full, m.active_power(500, 1.0));
+  EXPECT_NEAR(half, 0.5 * (idle + full), 1e-12);
+  // Beyond four threads issue rate saturates (Eq. 2), so power saturates.
+  EXPECT_DOUBLE_EQ(m.power(500, 1.0, 8), full);
+}
+
+TEST(CorePower, InstructionEnergyReconstructsActiveLine) {
+  CorePowerModel m;
+  for (double f : {71.0, 200.0, 500.0}) {
+    const Joules per_instr = m.instruction_energy(f, 1.0);
+    const double issue_rate = f * 1e6;  // one instruction per cycle
+    EXPECT_NEAR(m.baseline_power(f, 1.0) + per_instr * issue_rate,
+                m.active_power(f, 1.0), 1e-12);
+  }
+}
+
+TEST(CorePower, InstructionEnergyMagnitudeIsSubNanojoule) {
+  // Sanity anchor for the paper's unit typo discussion: the issue-dynamic
+  // energy per instruction is tenths of nanojoules, not microjoules.
+  CorePowerModel m;
+  const double nj = to_nanojoules(m.instruction_energy(500, 1.0));
+  EXPECT_GT(nj, 0.05);
+  EXPECT_LT(nj, 1.0);
+}
+
+TEST(CorePower, MinVoltageCurveMatchesPaper) {
+  CorePowerModel m;
+  EXPECT_DOUBLE_EQ(m.min_voltage(71), 0.60);
+  EXPECT_DOUBLE_EQ(m.min_voltage(500), 0.95);
+  EXPECT_DOUBLE_EQ(m.min_voltage(20), 0.60);   // clamped below
+  EXPECT_DOUBLE_EQ(m.min_voltage(600), 0.95);  // clamped above
+  const double mid = m.min_voltage(285.5);
+  EXPECT_GT(mid, 0.6);
+  EXPECT_LT(mid, 0.95);
+}
+
+TEST(CorePower, DvfsSavesPowerEverywhere) {
+  CorePowerModel m;
+  for (double f = 71; f <= 500; f += 13) {
+    const Watts at_1v = m.active_power(f, 1.0);
+    const Watts scaled = m.active_power(f, m.min_voltage(f));
+    EXPECT_LT(scaled, at_1v) << "f=" << f;
+  }
+  // Relative saving is larger at low frequency (lower Vmin) — the shape of
+  // Fig. 4.
+  const double save_lo =
+      1.0 - m.active_power(71, m.min_voltage(71)) / m.active_power(71, 1.0);
+  const double save_hi =
+      1.0 - m.active_power(500, m.min_voltage(500)) / m.active_power(500, 1.0);
+  EXPECT_GT(save_lo, save_hi);
+}
+
+TEST(InstrEnergy, WeightsOrderedSensibly) {
+  EXPECT_LT(instr_weight(InstrClass::kNop), instr_weight(InstrClass::kAlu));
+  EXPECT_GT(instr_weight(InstrClass::kMul), instr_weight(InstrClass::kAlu));
+  EXPECT_GT(instr_weight(InstrClass::kMemory), instr_weight(InstrClass::kBranch));
+  EXPECT_EQ(to_string(InstrClass::kComm), "comm");
+}
+
+TEST(InstrEnergy, DetailedWeightDisabledEqualsClassWeight) {
+  DetailedEnergyConfig cfg;  // disabled by default
+  EXPECT_DOUBLE_EQ(
+      detailed_weight(cfg, InstrClass::kMul, InstrClass::kAlu, 0xFFFF, 0),
+      instr_weight(InstrClass::kMul));
+}
+
+TEST(InstrEnergy, DetailedWeightRespondsToOperandHamming) {
+  DetailedEnergyConfig cfg;
+  cfg.enabled = true;
+  const double zeros = detailed_weight(cfg, InstrClass::kAlu,
+                                       InstrClass::kAlu, 0, 0);
+  const double ones = detailed_weight(cfg, InstrClass::kAlu, InstrClass::kAlu,
+                                      0xFFFFFFFF, 0xFFFFFFFF);
+  EXPECT_LT(zeros, ones);
+  // Swing equals the configured data weight.
+  EXPECT_NEAR(ones - zeros, cfg.data_weight, 1e-12);
+  // Half-weight operands sit on the class weight (zero-mean data term,
+  // accounting only for the switch term).
+  const double half = detailed_weight(cfg, InstrClass::kAlu, InstrClass::kAlu,
+                                      0xFFFF0000, 0x0000FFFF);
+  EXPECT_NEAR(half, instr_weight(InstrClass::kAlu) -
+                        cfg.switch_weight * cfg.change_prob_baseline,
+              1e-12);
+}
+
+TEST(InstrEnergy, DetailedWeightChargesClassSwitching) {
+  DetailedEnergyConfig cfg;
+  cfg.enabled = true;
+  const double same = detailed_weight(cfg, InstrClass::kAlu, InstrClass::kAlu,
+                                      0xFFFF, 0xFFFF0000);
+  const double switched = detailed_weight(cfg, InstrClass::kAlu,
+                                          InstrClass::kMemory, 0xFFFF,
+                                          0xFFFF0000);
+  EXPECT_NEAR(switched - same, cfg.switch_weight, 1e-12);
+}
+
+TEST(InstrEnergy, Popcount) {
+  EXPECT_EQ(popcount32(0), 0);
+  EXPECT_EQ(popcount32(0xFFFFFFFF), 32);
+  EXPECT_EQ(popcount32(0x80000001), 2);
+}
+
+TEST(NodePower, NominalMatchesFigureTwo) {
+  NodePowerModel m;
+  const NodePowerBreakdown b = m.breakdown(NodeOperatingPoint{});
+  EXPECT_NEAR(to_milliwatts(b.compute), 78.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(b.statics), 68.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(b.network_interface), 58.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(b.dcdc_io), 46.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(b.other), 10.0, 1e-9);
+  EXPECT_NEAR(to_milliwatts(b.total()), 260.0, 1e-9);
+}
+
+TEST(NodePower, ScalesDownWithFrequencyAndLoad) {
+  NodePowerModel m;
+  NodeOperatingPoint slow{.f_mhz = 100, .v = 1.0, .compute_util = 0.5,
+                          .link_util = 0.1};
+  const NodePowerBreakdown b = m.breakdown(slow);
+  EXPECT_LT(b.total(), milliwatts(260.0));
+  EXPECT_GT(b.total(), milliwatts(60.0));  // static floor remains
+  EXPECT_THROW(m.breakdown(NodeOperatingPoint{.f_mhz = 500, .v = 1.0,
+                                              .compute_util = 1.5,
+                                              .link_util = 0}),
+               Error);
+}
+
+TEST(LinkEnergy, TableOneValuesExact) {
+  EXPECT_DOUBLE_EQ(to_picojoules(link_energy_per_bit(LinkClass::kOnChip)), 5.6);
+  EXPECT_DOUBLE_EQ(
+      to_picojoules(link_energy_per_bit(LinkClass::kBoardVertical)), 212.8);
+  EXPECT_DOUBLE_EQ(
+      to_picojoules(link_energy_per_bit(LinkClass::kBoardHorizontal)), 201.6);
+  EXPECT_DOUBLE_EQ(
+      to_picojoules(link_energy_per_bit(LinkClass::kOffBoardCable)), 10880.0);
+}
+
+TEST(LinkEnergy, OffBoardIsFiftyTimesOnBoard) {
+  // §II: "the energy cost per bit rises by a factor of 50" going off-board.
+  const double ratio =
+      to_picojoules(link_energy_per_bit(LinkClass::kOffBoardCable)) /
+      to_picojoules(link_energy_per_bit(LinkClass::kBoardHorizontal));
+  EXPECT_NEAR(ratio, 50.0, 5.0);
+}
+
+TEST(LinkEnergy, CableEnergyScalesWithLength) {
+  const Joules at_30 = link_energy_per_bit(LinkClass::kOffBoardCable, 30.0);
+  const Joules at_60 = link_energy_per_bit(LinkClass::kOffBoardCable, 60.0);
+  EXPECT_NEAR(at_60 / at_30, 2.0, 1e-12);
+}
+
+TEST(LinkEnergy, RateGrades) {
+  EXPECT_DOUBLE_EQ(link_rate(LinkClass::kOnChip, LinkGrade::kSwallowDefault), 250.0);
+  EXPECT_DOUBLE_EQ(link_rate(LinkClass::kOnChip, LinkGrade::kArchitecturalMax), 500.0);
+  EXPECT_DOUBLE_EQ(link_rate(LinkClass::kBoardVertical, LinkGrade::kSwallowDefault), 62.5);
+  EXPECT_DOUBLE_EQ(link_rate(LinkClass::kOffBoardCable, LinkGrade::kArchitecturalMax), 125.0);
+}
+
+TEST(Ledger, PowerTraceIntegratesPiecewiseLevels) {
+  EnergyLedger ledger;
+  PowerTrace t(ledger, EnergyAccount::kCoreBaseline);
+  t.set_level(0, 1.0);                       // 1 W from t=0
+  t.set_level(microseconds(1.0), 2.0);       // 2 W from 1 us
+  t.settle(microseconds(3.0));               // ...to 3 us
+  // 1 W * 1 us + 2 W * 2 us = 5 uJ.
+  EXPECT_NEAR(ledger.total(EnergyAccount::kCoreBaseline), 5e-6, 1e-15);
+  EXPECT_NEAR(ledger.grand_total(), 5e-6, 1e-15);
+}
+
+TEST(Ledger, TraceTracksItsOwnTotal) {
+  EnergyLedger ledger;
+  PowerTrace a(ledger, EnergyAccount::kCoreBaseline);
+  PowerTrace b(ledger, EnergyAccount::kCoreBaseline);  // same account
+  a.set_level(0, 1.0);
+  b.set_level(0, 2.0);
+  a.settle(microseconds(1.0));
+  b.settle(microseconds(1.0));
+  a.add_pulse(1e-6);
+  // Per-trace attribution splits what the shared account aggregates.
+  EXPECT_NEAR(a.total(), 2e-6, 1e-15);
+  EXPECT_NEAR(b.total(), 2e-6, 1e-15);
+  EXPECT_NEAR(ledger.total(EnergyAccount::kCoreBaseline), 4e-6, 1e-15);
+}
+
+TEST(Ledger, PulsesAndLinkTotals) {
+  EnergyLedger ledger;
+  PowerTrace t(ledger, EnergyAccount::kLinkOnChip);
+  t.add_pulse(picojoules(5.6) * 8);  // one token
+  ledger.add(EnergyAccount::kLinkCable, picojoules(10880) * 8);
+  EXPECT_NEAR(to_picojoules(ledger.link_total()), (5.6 + 10880) * 8, 1e-6);
+  ledger.reset();
+  EXPECT_EQ(ledger.grand_total(), 0.0);
+}
+
+TEST(Supply, RailSumsAttachedSources) {
+  EnergyLedger ledger;
+  PowerTrace a(ledger, EnergyAccount::kCoreBaseline);
+  PowerTrace b(ledger, EnergyAccount::kCoreInstructions);
+  a.set_level(0, milliwatts(113.0));
+  b.set_level(0, milliwatts(83.0));
+  Rail rail("core-rail-0", 1.0);
+  rail.attach(&a);
+  rail.attach(&b);
+  rail.attach([] { return milliwatts(4.0); });
+  EXPECT_NEAR(to_milliwatts(rail.power()), 200.0, 1e-9);
+  EXPECT_NEAR(rail.current_amps(), 0.200, 1e-9);
+}
+
+TEST(Supply, SmpsLossModel) {
+  Smps s;  // 93 % efficient + 25 mW quiescent
+  const Watts out = 1.0;
+  EXPECT_NEAR(s.input_power(out), 1.0 / 0.93 + 0.025, 1e-12);
+  EXPECT_NEAR(s.loss(out), s.input_power(out) - out, 1e-12);
+}
+
+TEST(Supply, SliceHasFiveRails) {
+  SliceSupplies s;
+  EXPECT_EQ(SliceSupplies::kRailCount, 5);
+  for (int i = 0; i < SliceSupplies::kCoreRails; ++i) {
+    EXPECT_DOUBLE_EQ(s.rail(i).voltage(), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(s.rail(SliceSupplies::kIoRail).voltage(), 3.3);
+  // Empty rails still cost quiescent power.
+  EXPECT_NEAR(s.input_power(), 5 * 0.025, 1e-12);
+}
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+  EnergyLedger ledger;
+  PowerTrace trace{ledger, EnergyAccount::kCoreBaseline};
+  Rail rail{"core-rail-0", 1.0};
+
+  void SetUp() override { rail.attach(&trace); }
+};
+
+TEST_F(MeasureTest, AdcRecoversConstantPower) {
+  trace.set_level(0, milliwatts(500.0));
+  AnalogFrontEnd fe;
+  fe.noise_lsb_rms = 0.0;  // noiseless for the accuracy check
+  Rng rng(1);
+  const std::uint32_t code = fe.sample_code(rail, rng);
+  const Watts recovered = fe.code_to_watts(code, rail.voltage());
+  // 12-bit over 3.3 V full scale with gain 50 and 10 mOhm shunt:
+  // 1 LSB = 1.61 mW on a 1 V rail.
+  EXPECT_NEAR(to_milliwatts(recovered), 500.0, 2.0);
+}
+
+TEST_F(MeasureTest, AdcClampsAtFullScale) {
+  trace.set_level(0, 50.0);  // far beyond full scale
+  AnalogFrontEnd fe;
+  Rng rng(1);
+  EXPECT_EQ(fe.sample_code(rail, rng), fe.max_code());
+}
+
+TEST_F(MeasureTest, SamplerIntegratesEnergy) {
+  trace.set_level(0, milliwatts(200.0));
+  PowerSampler sampler(sim, {&rail});
+  sampler.start(PowerSampler::Mode::kSimultaneous, 1'000'000.0);
+  sim.run_until(milliseconds(1.0));
+  // 200 mW for 1 ms = 200 uJ (within ADC quantisation + noise).
+  EXPECT_NEAR(sampler.energy(0), 200e-6, 4e-6);
+  EXPECT_GT(sampler.samples(0), 990u);
+  EXPECT_NEAR(to_milliwatts(sampler.latest(0).watts), 200.0, 5.0);
+}
+
+TEST_F(MeasureTest, SamplerRespectsAdcRateLimits) {
+  PowerSampler sampler(sim, {&rail});
+  EXPECT_THROW(sampler.start(PowerSampler::Mode::kSimultaneous, 1.5e6), Error);
+  EXPECT_THROW(sampler.start(PowerSampler::Mode::kSingleChannel, 2.5e6), Error);
+  EXPECT_NO_THROW(sampler.start(PowerSampler::Mode::kSingleChannel, 2.0e6));
+}
+
+TEST_F(MeasureTest, SamplerTracksLevelChanges) {
+  trace.set_level(0, milliwatts(100.0));
+  PowerSampler sampler(sim, {&rail});
+  sampler.record_trace(true);
+  sampler.start(PowerSampler::Mode::kSimultaneous, 1'000'000.0);
+  sim.run_until(microseconds(500.0));
+  trace.set_level(sim.now(), milliwatts(400.0));
+  sim.run_until(milliseconds(1.0));
+  sampler.stop();
+  // Energy ~ 100 mW * 0.5 ms + 400 mW * 0.5 ms = 250 uJ.
+  EXPECT_NEAR(sampler.energy(0), 250e-6, 8e-6);
+  EXPECT_FALSE(sampler.trace(0).empty());
+  // And the in-system latest sample reflects the new level.
+  EXPECT_NEAR(to_milliwatts(sampler.latest(0).watts), 400.0, 8.0);
+}
+
+TEST_F(MeasureTest, StopHaltsSampling) {
+  PowerSampler sampler(sim, {&rail});
+  sampler.start(PowerSampler::Mode::kSimultaneous, 1'000'000.0);
+  sim.run_until(microseconds(10.0));
+  const auto n = sampler.samples(0);
+  sampler.stop();
+  sim.run_until(microseconds(100.0));
+  EXPECT_EQ(sampler.samples(0), n);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,159 @@
+// Capstone integration: every subsystem at once on a 2x2-slice, 64-core
+// machine — network boot through the resident loader, nOS services, a DFS
+// governor, telemetry streaming, ADC sampling and a pipeline workload all
+// running simultaneously — plus pipeline scaling properties.
+#include <gtest/gtest.h>
+
+#include "api/governor.h"
+#include "api/nos.h"
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "arch/assembler.h"
+#include "board/loader.h"
+#include "board/system.h"
+#include "board/telemetry.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+TEST(Integration, EverythingAtOnce) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.ethernet_bridges = 2;
+  SwallowSystem sys(sim, cfg);
+  sys.enable_loss_integration();
+  sys.start_sampling(100'000.0);
+
+  // --- Telemetry from slice (0,0) out of bridge 0.
+  std::uint64_t telemetry_records = 0;
+  sys.bridge(0).set_host_receiver([&](std::vector<std::uint8_t> p) {
+    telemetry_records += TelemetryStreamer::decode(p).size();
+  });
+  TelemetryStreamer streamer(sim, sys.slice(0, 0), sys.bridge(0));
+  streamer.start();
+
+  // --- Network boot through the in-ISA resident loader on a far core.
+  Core& booted = sys.core(7, 3, Layer::kHorizontal);
+  install_resident_loader(booted);
+  sys.boot_image_via_resident_loader(0, booted.node_id(), assemble(R"(
+      ldc    r0, 64
+      printi r0
+      texit
+  )"));
+
+  // --- nOS service node answering a core-to-core client.
+  NosNode server(sys.core(4, 0, Layer::kVertical));
+  const int svc =
+      server.add_service("double", "    add r0, r0, r0\n    ret\n");
+  server.start();
+  Core& rpc_client = sys.core(4, 1, Layer::kVertical);
+  const std::string client_src = NosNode::client_source(
+      server.request_chanend(), rpc_client.node_id(),
+      static_cast<std::uint32_t>(svc), 111);
+  rpc_client.load(assemble(client_src));
+  rpc_client.start();
+
+  // --- Governed rate-limited worker.
+  Core& governed = sys.core(0, 2, Layer::kVertical);
+  governed.load(assemble(R"(
+      gettime r9
+  loop:
+      ldc r2, 166
+  w:
+      add r6, r6, r7
+      subi r2, r2, 1
+      bt r2, w
+      ldc r1, 1000
+      add r9, r9, r1
+      timewait r9
+      bu loop
+  )"));
+  governed.start();
+  DfsGovernor governor(sim, governed, {});
+  governor.start();
+
+  // --- A pipeline across the second slice column.
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 6;
+  pcfg.items = 10;
+  pcfg.work_per_item = 4000;
+  pcfg.bytes_per_item = 128;
+  std::vector<Placement> places;
+  for (int i = 0; i < pcfg.stages; ++i) {
+    places.push_back(Placement{4 + i % 4, 2 + i / 4, Layer::kHorizontal});
+  }
+  const auto tasks = build_pipeline(app, pcfg, places);
+  app.start();
+
+  // --- Run everything together.
+  sim.run_until(milliseconds(6.0));
+  sys.settle_energy();
+
+  // Booted program ran.
+  EXPECT_TRUE(booted.finished());
+  EXPECT_EQ(booted.console(), "64");
+  // RPC answered.
+  ASSERT_TRUE(rpc_client.finished());
+  EXPECT_EQ(rpc_client.peek_word(assemble(client_src).symbol("result") * 4),
+            222u);
+  // Governor clocked the rate-limited core down.
+  EXPECT_LT(governed.frequency(), 450.0);
+  // Telemetry flowed.
+  EXPECT_GT(telemetry_records, 50u);
+  // Pipeline drained.
+  for (int t : tasks) {
+    EXPECT_TRUE(app.task_core(t).finished());
+  }
+  // Nothing trapped anywhere, no packets lost, energy is sane.
+  for (int i = 0; i < sys.core_count(); ++i) {
+    EXPECT_FALSE(sys.core_by_index(i).trapped())
+        << sys.core_by_index(i).trap().message;
+  }
+  EXPECT_EQ(sys.network().total_packets_sunk(), 0u);
+  const double avg_w = sys.ledger().grand_total() / to_seconds(sim.now());
+  EXPECT_GT(avg_w, 8.0);   // 64 mostly-idle cores + support
+  EXPECT_LT(avg_w, 25.0);
+}
+
+// ------------------------------------------- pipeline scaling properties
+
+class PipelineScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineScaling, ThroughputBoundedByStageTimeNotTotalWork) {
+  const int stages = GetParam();
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = stages;
+  pcfg.items = 24;
+  pcfg.work_per_item = 6000;
+  pcfg.bytes_per_item = 32;
+  std::vector<Placement> places;
+  for (int i = 0; i < stages; ++i) {
+    places.push_back(linear_placement(sys.config(), i));
+  }
+  build_pipeline(app, pcfg, places);
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(500.0)));
+
+  // One stage's work per item at 125 MIPS.
+  const double stage_s = 6000.0 / 125e6;
+  const double total_s = to_seconds(app.completion_time());
+  // Lower bound: the pipeline can't beat one stage processing all items.
+  EXPECT_GT(total_s, pcfg.items * stage_s * 0.9);
+  // Upper bound: far better than serialising all stages' work
+  // (items x stages x stage time), showing real overlap.
+  EXPECT_LT(total_s, 0.55 * pcfg.items * stages * stage_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineScaling,
+                         ::testing::Values(3, 5, 8, 12, 16));
+
+}  // namespace
+}  // namespace swallow

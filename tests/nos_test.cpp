@@ -1,0 +1,142 @@
+// Tests for the nOS-lite distributed service runtime: host RPC through
+// the Ethernet bridge, core-to-core RPC, unknown-service handling and
+// kernel shutdown.
+#include <gtest/gtest.h>
+
+#include "api/nos.h"
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+const char* kDoubleService = R"(
+      add   r0, r0, r0
+      ret
+)";
+
+const char* kSumToNService = R"(
+      ldc   r1, 0
+  sum_loop:
+      add   r1, r1, r0
+      subi  r0, r0, 1
+      bt    r0, sum_loop
+      or    r0, r1, r1
+      ret
+)";
+
+std::uint32_t decode_word(const std::vector<std::uint8_t>& packet) {
+  EXPECT_EQ(packet.size(), 4u);
+  return static_cast<std::uint32_t>(packet[0]) | (packet[1] << 8) |
+         (packet[2] << 16) | (static_cast<std::uint32_t>(packet[3]) << 24);
+}
+
+class NosTest : public ::testing::Test {
+ protected:
+  Simulator sim;
+};
+
+TEST_F(NosTest, HostRpcThroughEthernetBridge) {
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+  NosNode server(sys.core(1, 0, Layer::kVertical));
+  const int svc_double = server.add_service("double", kDoubleService);
+  const int svc_sum = server.add_service("sum_to_n", kSumToNService);
+  server.start();
+
+  std::vector<std::uint32_t> replies;
+  sys.bridge(0).set_host_receiver([&](std::vector<std::uint8_t> p) {
+    replies.push_back(decode_word(p));
+  });
+
+  const ResourceId reply_to = sys.bridge(0).chanend_id();
+  sys.bridge(0).host_send(
+      server.request_chanend(),
+      NosNode::encode_request(reply_to, static_cast<std::uint32_t>(svc_double),
+                              21));
+  sys.bridge(0).host_send(
+      server.request_chanend(),
+      NosNode::encode_request(reply_to, static_cast<std::uint32_t>(svc_sum),
+                              10));
+  sim.run_until(milliseconds(5.0));
+  ASSERT_FALSE(server.core().trapped()) << server.core().trap().message;
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], 42u);
+  EXPECT_EQ(replies[1], 55u);
+}
+
+TEST_F(NosTest, CoreToCoreRpc) {
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  NosNode server(sys.core(3, 1, Layer::kHorizontal));
+  const int svc = server.add_service("double", kDoubleService);
+  server.start();
+
+  Core& client = sys.core(0, 0, Layer::kVertical);
+  const std::string client_src = NosNode::client_source(
+      server.request_chanend(), client.node_id(),
+      static_cast<std::uint32_t>(svc), 1234);
+  client.load(assemble(client_src));
+  client.start();
+  sim.run_until(milliseconds(5.0));
+  ASSERT_FALSE(client.trapped()) << client.trap().message;
+  ASSERT_TRUE(client.finished());
+  EXPECT_EQ(client.peek_word(assemble(client_src).symbol("result") * 4),
+            2468u);
+}
+
+TEST_F(NosTest, UnknownServiceIsDroppedKernelKeepsServing) {
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+  NosNode server(sys.core(0, 1, Layer::kVertical));
+  const int svc = server.add_service("double", kDoubleService);
+  server.start();
+
+  std::vector<std::uint32_t> replies;
+  sys.bridge(0).set_host_receiver([&](std::vector<std::uint8_t> p) {
+    replies.push_back(decode_word(p));
+  });
+  const ResourceId reply_to = sys.bridge(0).chanend_id();
+  // Bogus index first, then a valid call: the kernel must survive.
+  sys.bridge(0).host_send(server.request_chanend(),
+                          NosNode::encode_request(reply_to, 99, 5));
+  sys.bridge(0).host_send(
+      server.request_chanend(),
+      NosNode::encode_request(reply_to, static_cast<std::uint32_t>(svc), 8));
+  sim.run_until(milliseconds(5.0));
+  ASSERT_FALSE(server.core().trapped()) << server.core().trap().message;
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0], 16u);
+}
+
+TEST_F(NosTest, ShutdownServiceStopsTheKernel) {
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+  NosNode server(sys.core(2, 1, Layer::kVertical));
+  server.add_service("double", kDoubleService);
+  server.start();
+
+  sys.bridge(0).host_send(
+      server.request_chanend(),
+      NosNode::encode_request(0, NosNode::kShutdownService, 0));
+  sim.run_until(milliseconds(5.0));
+  EXPECT_TRUE(server.core().finished());
+}
+
+TEST_F(NosTest, RejectsEmptyOrLateConfiguration) {
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  NosNode server(sys.core(0, 0, Layer::kVertical));
+  EXPECT_THROW(server.start(), Error);
+  server.add_service("double", kDoubleService);
+  server.start();
+  EXPECT_THROW(server.add_service("late", kDoubleService), Error);
+  EXPECT_THROW(server.start(), Error);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,156 @@
+// Unit tests for the discrete-event kernel, clocks and stats.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "sim/clock.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace swallow {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(100, [&] { fired.push_back(1); });
+  q.schedule(50, [&] { fired.push_back(2); });
+  q.schedule(100, [&] { fired.push_back(3); });  // same time as #1, later seq
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int count = 0;
+  auto h = q.schedule(10, [&] { ++count; });
+  q.schedule(20, [&] { ++count; });
+  q.cancel(h);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, CancelInertHandleIsNoop) {
+  EventQueue q;
+  EventHandle h;
+  EXPECT_NO_THROW(q.cancel(h));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(5, [] {});
+  q.schedule(9, [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<TimePs> fired;
+  sim.after(100, [&] { fired.push_back(sim.now()); });
+  sim.after(300, [&] { fired.push_back(sim.now()); });
+  sim.run_until(200);
+  EXPECT_EQ(fired, (std::vector<TimePs>{100}));
+  EXPECT_EQ(sim.now(), 200);
+  sim.run_until(400);
+  EXPECT_EQ(fired.size(), 2u);
+  EXPECT_EQ(sim.now(), 400);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.after(100, [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(50, [] {}), Error);
+  EXPECT_THROW(sim.after(-1, [] {}), Error);
+}
+
+TEST(Simulator, DeadlineEventFires) {
+  Simulator sim;
+  bool fired = false;
+  sim.after(100, [&] { fired = true; });
+  sim.run_until(100);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Clock, CycleTimeConversions) {
+  Clock c(500.0);  // 2 ns period
+  EXPECT_EQ(c.period(), 2000);
+  EXPECT_EQ(c.cycles_at(10'000), 5);
+  EXPECT_EQ(c.time_of_cycle(5), 10'000);
+  EXPECT_EQ(c.span(45), 90'000);  // 45 instructions at 500 MHz = 90 ns
+}
+
+TEST(Clock, FrequencyChangePreservesPhase) {
+  Clock c(500.0);
+  // Run 100 cycles at 500 MHz, then drop to 100 MHz (paper's DFS).
+  const TimePs t1 = c.time_of_cycle(100);
+  c.set_frequency(t1, 100.0);
+  EXPECT_EQ(c.cycles_at(t1), 100);
+  // Next cycle boundary is one 10 ns period later.
+  EXPECT_EQ(c.time_of_cycle(101), t1 + 10'000);
+  EXPECT_EQ(c.cycles_at(t1 + 25'000), 102);
+}
+
+TEST(Clock, AlignUpFindsBoundary) {
+  Clock c(500.0);
+  EXPECT_EQ(c.align_up(0), 0);
+  EXPECT_EQ(c.align_up(1), 2000);
+  EXPECT_EQ(c.align_up(2000), 2000);
+  EXPECT_EQ(c.align_up(2001), 4000);
+}
+
+TEST(Clock, RejectsNonPositiveFrequency) {
+  Clock c;
+  EXPECT_THROW(c.set_frequency(0, 0.0), Error);
+  EXPECT_THROW(c.set_frequency(0, -5.0), Error);
+}
+
+TEST(Stats, CounterAccumulates) {
+  Counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, SamplerMoments) {
+  Sampler s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), 1.2909944, 1e-6);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-1.0);
+  h.add(0.5);
+  h.add(9.9);
+  h.add(10.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+}  // namespace
+}  // namespace swallow

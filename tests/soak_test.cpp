@@ -1,0 +1,317 @@
+// System-level soak and property tests: determinism (bit-for-bit repeat),
+// conservation under random traffic, XS1 bit-compare routing end-to-end,
+// run-time routing-table reprogramming, and the largest manufactured
+// configuration (40 slices / 640 cores).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "api/taskgen.h"
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "noc/network.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+/// Random all-to-some traffic on a 2x1-slice system; returns the
+/// completion time and checks full delivery.
+TimePs random_traffic_run(std::uint64_t seed, Joules* energy = nullptr) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  SwallowSystem sys(sim, cfg);
+  AppBuilder app(sys);
+  Rng rng(seed);
+
+  // 16 sender/receiver pairs over the 32 cores, random sizes.
+  const int pairs = 16;
+  std::vector<int> order(32);
+  for (int i = 0; i < 32; ++i) order[static_cast<std::size_t>(i)] = i;
+  // Deterministic shuffle.
+  for (int i = 31; i > 0; --i) {
+    const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order[static_cast<std::size_t>(i)], order[static_cast<std::size_t>(j)]);
+  }
+  auto place = [&](int core_index) {
+    const int chip = core_index / 2;
+    return std::make_tuple(chip % 8, chip / 8,
+                           core_index % 2 == 0 ? Layer::kVertical
+                                               : Layer::kHorizontal);
+  };
+  for (int p = 0; p < pairs; ++p) {
+    const auto [sx, sy, sl] = place(order[static_cast<std::size_t>(2 * p)]);
+    const auto [dx, dy, dl] = place(order[static_cast<std::size_t>(2 * p + 1)]);
+    const std::uint64_t bytes = 64 + rng.next_below(960);
+    TaskSpec tx, rx;
+    const int a = app.add_task(tx, sx, sy, sl);
+    const int b = app.add_task(rx, dx, dy, dl);
+    const int ch = app.connect(a, b);
+    app.set_steps(a, {TaskStep::send(ch, bytes)});
+    app.set_steps(b, {TaskStep::recv(ch, bytes)});
+  }
+  app.start();
+  EXPECT_TRUE(app.run_to_completion(milliseconds(500.0))) << "seed " << seed;
+  EXPECT_EQ(sys.network().total_packets_sunk(), 0u);
+  if (energy != nullptr) {
+    sys.settle_energy();
+    *energy = sys.ledger().grand_total();
+  }
+  return app.completion_time();
+}
+
+TEST(Soak, RandomTrafficDeliversForManySeeds) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    random_traffic_run(seed);
+  }
+}
+
+TEST(Soak, SimulationIsBitForBitDeterministic) {
+  // The platform's headline property: identical runs produce identical
+  // timing and identical energy.
+  Joules e1 = 0, e2 = 0;
+  const TimePs t1 = random_traffic_run(42, &e1);
+  const TimePs t2 = random_traffic_run(42, &e2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_DOUBLE_EQ(e1, e2);
+}
+
+TEST(Soak, DifferentSeedsGiveDifferentSchedules) {
+  const TimePs t1 = random_traffic_run(7);
+  const TimePs t2 = random_traffic_run(8);
+  EXPECT_NE(t1, t2);  // traffic patterns differ
+}
+
+// ---------------------------------------------------------------- routing
+
+TEST(Soak, BitCompareRouterDrivesAHypercube) {
+  // 4-node hypercube (2 dimensions) using the XS1 hardware routing
+  // mechanism: direction by highest differing node-id bit.
+  Simulator sim;
+  EnergyLedger ledger;
+  Network net(sim, ledger);
+
+  std::vector<std::unique_ptr<Core>> cores;
+  std::vector<Switch*> switches;
+  for (NodeId id = 0; id < 4; ++id) {
+    auto router = std::make_shared<BitCompareRouter>();
+    router->set_bit_direction(0, kDirEast);   // dimension 0
+    router->set_bit_direction(1, kDirNorth);  // dimension 1
+    Core::Config cfg;
+    cfg.node_id = id;
+    cores.push_back(std::make_unique<Core>(sim, ledger, cfg));
+    switches.push_back(&net.add_switch(id, router));
+    switches.back()->attach_core(*cores.back());
+  }
+  // Dimension-0 links (ids differing in bit 0) and dimension-1 links.
+  net.connect(*switches[0], kDirEast, *switches[1], kDirEast, LinkClass::kOnChip);
+  net.connect(*switches[2], kDirEast, *switches[3], kDirEast, LinkClass::kOnChip);
+  net.connect(*switches[0], kDirNorth, *switches[2], kDirNorth, LinkClass::kOnChip);
+  net.connect(*switches[1], kDirNorth, *switches[3], kDirNorth, LinkClass::kOnChip);
+
+  // Node 0 sends to node 3 (two dimension hops).
+  cores[0]->load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 3
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 99
+      out   r0, r2
+      outct r0, 1
+      texit
+  )"));
+  const std::string rx = R"(
+      getr  r0, 2
+      in    r1, r0
+      chkct r0, 1
+      ldc   r2, out
+      stw   r1, r2, 0
+      texit
+  out: .word 0
+  )";
+  cores[3]->load(assemble(rx));
+  cores[0]->start();
+  cores[3]->start();
+  sim.run_until(milliseconds(1.0));
+  ASSERT_TRUE(cores[3]->finished());
+  EXPECT_EQ(cores[3]->peek_word(assemble(rx).symbol("out") * 4), 99u);
+  // The route went through an intermediate switch (two hops).
+  EXPECT_GT(switches[1]->tokens_forwarded() + switches[2]->tokens_forwarded(),
+            0u);
+}
+
+TEST(Soak, RoutingTablesCanBeReprogrammedAtRunTime) {
+  // §V.A: "New routing algorithms can simply be programmed in software."
+  // Break the direct route and watch the next packet follow the detour.
+  Simulator sim;
+  EnergyLedger ledger;
+  Network net(sim, ledger);
+
+  // Triangle: 0 - 1 - 2 with a direct 0-2 link as well.
+  std::vector<std::unique_ptr<Core>> cores;
+  std::vector<Switch*> switches;
+  std::vector<std::shared_ptr<TableRouter>> routers;
+  for (NodeId id = 0; id < 3; ++id) {
+    routers.push_back(std::make_shared<TableRouter>());
+    Core::Config cfg;
+    cfg.node_id = id;
+    cores.push_back(std::make_unique<Core>(sim, ledger, cfg));
+    switches.push_back(&net.add_switch(id, routers.back()));
+    switches.back()->attach_core(*cores.back());
+  }
+  net.connect(*switches[0], kDirEast, *switches[1], kDirWest, LinkClass::kOnChip);
+  net.connect(*switches[1], kDirEast, *switches[2], kDirWest, LinkClass::kOnChip);
+  net.connect(*switches[0], kDirSouth, *switches[2], kDirNorth, LinkClass::kOnChip);
+  routers[0]->set_route(2, kDirSouth);  // direct link initially
+  routers[1]->set_route(2, kDirEast);
+  routers[1]->set_route(0, kDirWest);
+
+  // Sender: two packets 20 us apart.
+  cores[0]->load(assemble(R"(
+      getr  r0, 2
+      ldc   r1, 2
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 1
+      out   r0, r2
+      outct r0, 1
+      gettime r3
+      ldc   r4, 2000
+      add   r3, r3, r4
+      timewait r3
+      ldc   r2, 2
+      out   r0, r2
+      outct r0, 1
+      texit
+  )"));
+  cores[2]->load(assemble(R"(
+      getr  r0, 2
+      in    r1, r0
+      chkct r0, 1
+      in    r2, r0
+      chkct r0, 1
+      texit
+  )"));
+  cores[0]->start();
+  cores[2]->start();
+
+  // After the first packet, reroute 0->2 via node 1.
+  sim.run_until(microseconds(10.0));
+  const std::uint64_t direct_before = switches[1]->tokens_forwarded();
+  EXPECT_EQ(direct_before, 0u);  // first packet took the direct link
+  routers[0]->set_route(2, kDirEast);
+  sim.run_until(milliseconds(1.0));
+  ASSERT_TRUE(cores[2]->finished());
+  // Second packet detoured through switch 1 (8 tokens forwarded).
+  EXPECT_EQ(switches[1]->tokens_forwarded(), 8u);
+}
+
+TEST(Soak, DiagnoseReportsDeadlockedProgram) {
+  // A receiver waiting on the wrong chanend never completes; diagnose()
+  // must name the blocked thread and the route still open at a switch.
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  Core& tx = sys.core(0, 0, Layer::kVertical);
+  Core& rx = sys.core(1, 0, Layer::kVertical);
+  // Sender streams forever (never emits END) to rx chanend 0...
+  tx.load(assemble(strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0x%x
+      ldch  r1, 2
+      setd  r0, r1
+  loop:
+      out   r0, r2
+      bu    loop
+  )", static_cast<unsigned>(rx.node_id()))));
+  // ...but rx allocates two chanends and waits on chanend 1 forever.
+  rx.load(assemble(R"(
+      getr  r0, 2
+      getr  r1, 2
+      in    r2, r1
+      texit
+  )"));
+  tx.start();
+  rx.start();
+  sim.run_until(milliseconds(1.0));
+  EXPECT_FALSE(rx.finished());
+  const std::string report = sys.diagnose();
+  EXPECT_NE(report.find("blocked"), std::string::npos);
+  // The sender's held route shows up at some switch with queued tokens.
+  EXPECT_NE(report.find("held"), std::string::npos);
+}
+
+TEST(Soak, DiagnoseIsQuietForHealthyCompletion) {
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  Core& core = sys.core(0, 0, Layer::kVertical);
+  core.load(assemble("ldc r0, 1\n texit"));
+  core.start();
+  sim.run_until(microseconds(10.0));
+  EXPECT_EQ(sys.diagnose(), "");
+}
+
+TEST(Soak, FullManufacturedFleetBuilds) {
+  // Forty slices were manufactured (§IV.B): 8x5 grid = 640 cores.
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 8;
+  cfg.slices_y = 5;
+  SwallowSystem sys(sim, cfg);
+  EXPECT_EQ(sys.core_count(), 640);
+  // Corner-to-corner delivery across the whole fleet.
+  Core& tx = sys.core(0, 0, Layer::kVertical);
+  Core& rx = sys.core(31, 9, Layer::kHorizontal);
+  tx.load(assemble(strprintf(R"(
+      getr  r0, 2
+      ldc   r1, 0x%x
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 640
+      out   r0, r2
+      outct r0, 1
+      texit
+  )", static_cast<unsigned>(rx.node_id()))));
+  rx.load(assemble(R"(
+      getr  r0, 2
+      in    r1, r0
+      chkct r0, 1
+      printi r1
+      texit
+  )"));
+  tx.start();
+  rx.start();
+  sim.run_until(milliseconds(20.0));
+  ASSERT_TRUE(rx.finished());
+  EXPECT_EQ(rx.console(), "640");
+}
+
+TEST(Soak, TableRoutedSystemMatchesComputedRoutingTiming) {
+  // The same traffic over software tables and over the computed router
+  // must give identical timing (identical decisions).
+  auto run = [&](bool tables) {
+    Simulator sim;
+    SystemConfig cfg;
+    cfg.use_table_routers = tables;
+    SwallowSystem sys(sim, cfg);
+    AppBuilder app(sys);
+    TaskSpec tx, rx;
+    const int a = app.add_task(tx, 0, 0, Layer::kVertical);
+    const int b = app.add_task(rx, 3, 1, Layer::kHorizontal);
+    const int ch = app.connect(a, b);
+    app.set_steps(a, {TaskStep::send(ch, 512)});
+    app.set_steps(b, {TaskStep::recv(ch, 512)});
+    app.start();
+    EXPECT_TRUE(app.run_to_completion(milliseconds(100.0)));
+    return app.completion_time();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,167 @@
+// Tests for the static timing analyzer: exact cycle counts for statically
+// resolvable code, agreement with simulation (the time-determinism
+// property, §IV.A), and honest refusal for code whose timing the analysis
+// cannot determine.
+#include <gtest/gtest.h>
+
+#include "arch/assembler.h"
+#include "arch/core.h"
+#include "arch/timing.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+TEST(Timing, StraightLineCode) {
+  const Image img = assemble(R"(
+      ldc  r0, 1
+      add  r1, r0, r0
+      mul  r2, r1, r1
+      texit
+  )");
+  const TimingResult r = analyze_timing(img);
+  EXPECT_TRUE(r.exact) << r.reason;
+  EXPECT_EQ(r.instructions, 4u);
+  // 3 reissue gaps between 4 instructions.
+  EXPECT_EQ(r.thread_cycles, 12u);
+  // 12 cycles at 500 MHz = 24 ns.
+  EXPECT_EQ(r.duration(500.0), nanoseconds(24.0));
+}
+
+TEST(Timing, CountedLoop) {
+  const Image img = assemble(R"(
+      ldc  r0, 10
+  loop:
+      subi r0, r0, 1
+      bt   r0, loop
+      texit
+  )");
+  const TimingResult r = analyze_timing(img);
+  EXPECT_TRUE(r.exact) << r.reason;
+  // ldc + 10 x (subi, bt) + texit.
+  EXPECT_EQ(r.instructions, 22u);
+  EXPECT_EQ(r.thread_cycles, 21u * 4);
+}
+
+TEST(Timing, DivideStallsCounted) {
+  const Image img = assemble(R"(
+      ldc  r0, 8
+      ldc  r1, 2
+      divu r2, r0, r1
+      add  r3, r2, r2
+      texit
+  )");
+  const TimingResult r = analyze_timing(img);
+  ASSERT_TRUE(r.exact) << r.reason;
+  EXPECT_EQ(r.instructions, 5u);
+  // gaps: ldc(4) + ldc(4) + divu(32) + add(4) = 44.
+  EXPECT_EQ(r.thread_cycles, 44u);
+}
+
+TEST(Timing, CallAndReturn) {
+  const Image img = assemble(R"(
+      ldc  r0, 5
+      bl   work
+      bl   work
+      texit
+  work:
+      add  r0, r0, r0
+      ret
+  )");
+  const TimingResult r = analyze_timing(img);
+  ASSERT_TRUE(r.exact) << r.reason;
+  EXPECT_EQ(r.instructions, 8u);
+}
+
+TEST(Timing, RefusesDataDependentBranch) {
+  const Image img = assemble(R"(
+      ldc  r1, base
+      ldw  r0, r1, 0     # r0 now unknown
+      bt   r0, skip
+      nop
+  skip:
+      texit
+  base: .word 1
+  )");
+  const TimingResult r = analyze_timing(img);
+  EXPECT_FALSE(r.exact);
+  EXPECT_NE(r.reason.find("data-dependent"), std::string::npos);
+}
+
+TEST(Timing, RefusesCommunication) {
+  const Image img = assemble(R"(
+      getr r0, 2
+      in   r1, r0
+      texit
+  )");
+  const TimingResult r = analyze_timing(img);
+  EXPECT_FALSE(r.exact);
+}
+
+TEST(Timing, RefusesUnboundedLoop) {
+  const Image img = assemble("loop: bu loop");
+  const TimingResult r = analyze_timing(img, 0, 10'000);
+  EXPECT_FALSE(r.exact);
+  EXPECT_NE(r.reason.find("limit"), std::string::npos);
+}
+
+/// The headline property: for statically timeable programs the analysis
+/// matches simulation cycle-for-cycle.
+class TimingVsSimulation : public ::testing::Test {
+ protected:
+  /// Run on a real core at 500 MHz and return elapsed core cycles.
+  std::uint64_t run_and_measure(const Image& image) {
+    Simulator sim;
+    EnergyLedger ledger;
+    Core::Config cfg;
+    cfg.frequency_mhz = 500.0;
+    Core core(sim, ledger, cfg);
+    core.load(image);
+    core.start();
+    sim.run();  // drains exactly at the final retire
+    EXPECT_TRUE(core.finished());
+    return static_cast<std::uint64_t>(sim.now() / 2000);  // 2 ns cycles
+  }
+};
+
+TEST_F(TimingVsSimulation, CountedLoopsMatchExactly) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 25; ++iter) {
+    const int outer = 1 + static_cast<int>(rng.next_below(20));
+    const int inner = 1 + static_cast<int>(rng.next_below(30));
+    const int body = static_cast<int>(rng.next_below(4));
+    std::string src = strprintf("    ldc r0, %d\nouter:\n", outer);
+    src += strprintf("    ldc r1, %d\ninner:\n", inner);
+    for (int i = 0; i < body; ++i) src += "    add r2, r2, r1\n";
+    src += "    subi r1, r1, 1\n    bt r1, inner\n";
+    src += "    subi r0, r0, 1\n    bt r0, outer\n    texit\n";
+    const Image img = assemble(src);
+
+    const TimingResult predicted = analyze_timing(img);
+    ASSERT_TRUE(predicted.exact) << predicted.reason;
+    const std::uint64_t simulated = run_and_measure(img);
+    EXPECT_EQ(predicted.thread_cycles, simulated)
+        << "outer=" << outer << " inner=" << inner << " body=" << body;
+  }
+}
+
+TEST_F(TimingVsSimulation, DivideHeavyCodeMatches) {
+  const Image img = assemble(R"(
+      ldc  r0, 50
+      ldc  r1, 97
+      ldc  r2, 3
+  loop:
+      divu r3, r1, r2
+      subi r0, r0, 1
+      bt   r0, loop
+      texit
+  )");
+  const TimingResult predicted = analyze_timing(img);
+  ASSERT_TRUE(predicted.exact) << predicted.reason;
+  EXPECT_EQ(predicted.thread_cycles, run_and_measure(img));
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,95 @@
+// swallow_asm: assemble a Swallow assembly file and inspect the result.
+//
+//   swallow_asm program.s            # assemble, print summary + listing
+//   swallow_asm --hex program.s      # also dump the image words
+//   swallow_asm --symbols program.s  # dump the symbol table
+//   swallow_asm --timing program.s   # static timing analysis (XTA-style)
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arch/assembler.h"
+#include "arch/timing.h"
+#include "common/error.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw swallow::Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+  bool hex = false, symbols = false, timing = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--hex") {
+      hex = true;
+    } else if (arg == "--symbols") {
+      symbols = true;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: swallow_asm [--hex] [--symbols] [--timing] program.s\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: swallow_asm [--hex] [--symbols] program.s\n");
+    return 2;
+  }
+
+  try {
+    const Image image = assemble(read_file(path));
+    std::printf("%s: %zu words (%zu bytes), entry at word %u\n", path.c_str(),
+                image.words.size(), image.size_bytes(), image.entry);
+    if (symbols) {
+      std::printf("\nsymbols:\n");
+      for (const auto& [name, addr] : image.symbols) {
+        std::printf("  %-24s word %u (byte 0x%x)\n", name.c_str(), addr,
+                    addr * 4);
+      }
+    }
+    std::printf("\n%s", disassemble_image(image).c_str());
+    if (hex) {
+      std::printf("\nimage:\n");
+      for (std::size_t i = 0; i < image.words.size(); ++i) {
+        std::printf("  %04zx: %08x\n", i * 4, image.words[i]);
+      }
+    }
+    if (timing) {
+      const TimingResult r = analyze_timing(image, image.entry);
+      std::printf("\nstatic timing (single thread):\n");
+      if (r.exact) {
+        std::printf("  exact: %llu instructions, %llu thread cycles\n",
+                    static_cast<unsigned long long>(r.instructions),
+                    static_cast<unsigned long long>(r.thread_cycles));
+        std::printf("  at 500 MHz: %.1f ns;  at 71 MHz: %.1f ns\n",
+                    to_nanoseconds(r.duration(500.0)),
+                    to_nanoseconds(r.duration(71.0)));
+      } else {
+        std::printf("  not statically timeable: %s\n", r.reason.c_str());
+        std::printf("  (%llu instructions analysed before giving up)\n",
+                    static_cast<unsigned long long>(r.instructions));
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

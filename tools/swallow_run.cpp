@@ -1,0 +1,207 @@
+// swallow_run: run Swallow assembly programs on a simulated machine.
+//
+//   swallow_run [options] prog0.s [prog1.s ...]
+//
+// Programs are placed on consecutive cores (chip-major order, vertical
+// node first).  After the run, each core's console, finish state, timing
+// and — optionally — the energy ledger and network statistics are printed.
+//
+// Options:
+//   --freq MHZ     core frequency in MHz            (default 500)
+//   --dvfs         voltage follows Vmin(f)          (default off)
+//   --grade-max    architectural link rates 500/125 (default Table I rates)
+//   --slices WxH   grid of slices                   (default 1x1)
+//   --time MS      simulation limit in ms           (default 100)
+//   --trace        print an instruction trace of core 0 (first 100 lines)
+//   --energy       print the energy ledger and slice power
+//   --netstat      print per-link-class network statistics
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/netstat.h"
+#include "api/patterns.h"
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw swallow::Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void usage() {
+  std::printf(
+      "usage: swallow_run [--freq MHZ] [--dvfs] [--grade-max] [--slices WxH]\n"
+      "                   [--time MS] [--trace] [--energy] [--netstat]\n"
+      "                   prog0.s [prog1.s ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+
+  SystemConfig cfg;
+  double limit_ms = 100.0;
+  bool trace = false, energy = false, netstat = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--freq") {
+        cfg.core_freq = static_cast<MegaHertz>(parse_int(next()));
+      } else if (arg == "--dvfs") {
+        cfg.auto_dvfs = true;
+      } else if (arg == "--grade-max") {
+        cfg.link_grade = LinkGrade::kArchitecturalMax;
+      } else if (arg == "--slices") {
+        const std::string v = next();
+        const auto x = v.find('x');
+        require(x != std::string::npos, "--slices expects WxH");
+        cfg.slices_x = static_cast<int>(parse_int(v.substr(0, x)));
+        cfg.slices_y = static_cast<int>(parse_int(v.substr(x + 1)));
+      } else if (arg == "--time") {
+        limit_ms = static_cast<double>(parse_int(next()));
+      } else if (arg == "--trace") {
+        trace = true;
+      } else if (arg == "--energy") {
+        energy = true;
+      } else if (arg == "--netstat") {
+        netstat = true;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return 2;
+      } else {
+        paths.push_back(arg);
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    Simulator sim;
+    SwallowSystem sys(sim, cfg);
+    require(static_cast<int>(paths.size()) <= sys.core_count(),
+            "more programs than cores");
+
+    std::vector<Core*> cores;
+    TraceBuffer trace_buffer;
+    trace_buffer.set_max_lines(100);
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      const Placement p = linear_placement(cfg, static_cast<int>(i));
+      Core& core = sys.core(p.chip_x, p.chip_y, p.layer);
+      core.load(assemble(read_file(paths[i])));
+      if (i == 0 && trace) core.set_trace_sink(trace_buffer.sink());
+      cores.push_back(&core);
+    }
+    sys.start_sampling();
+    const NetworkStats before = collect_network_stats(sys.network(),
+                                                      sys.ledger());
+    for (Core* core : cores) core->start();
+
+    // Step until every program finishes or the limit passes.
+    const TimePs limit = milliseconds(limit_ms);
+    TimePs t = 0;
+    auto all_done = [&] {
+      for (Core* c : cores) {
+        if (!c->finished() && !c->trapped()) return false;
+      }
+      return true;
+    };
+    while (t < limit && !all_done()) {
+      t += microseconds(50.0);
+      sim.run_until(t);
+    }
+    sys.settle_energy();
+
+    bool failed = false;
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      Core& core = *cores[i];
+      std::printf("-- %s on node 0x%04x --\n", paths[i].c_str(),
+                  core.node_id());
+      if (core.trapped()) {
+        std::printf("  TRAP [%s] thread %d pc %u: %s\n",
+                    std::string(to_string(core.trap().kind)).c_str(),
+                    core.trap().thread, core.trap().pc,
+                    core.trap().message.c_str());
+        failed = true;
+      } else {
+        std::printf("  %s, %llu instructions\n",
+                    core.finished() ? "finished" : "STILL RUNNING",
+                    static_cast<unsigned long long>(
+                        core.instructions_retired()));
+        failed |= !core.finished();
+      }
+      if (!core.console().empty()) {
+        std::printf("  console: %s\n", core.console().c_str());
+      }
+    }
+    std::printf("\nsimulated time: %.3f ms\n", to_seconds(sim.now()) * 1e3);
+
+    if (failed) {
+      const std::string report = sys.diagnose();
+      if (!report.empty()) {
+        std::printf("\ndiagnostics:\n%s", report.c_str());
+      }
+    }
+
+    if (trace) {
+      std::printf("\ninstruction trace (core 0, first %zu of %llu):\n",
+                  trace_buffer.lines().size(),
+                  static_cast<unsigned long long>(trace_buffer.count()));
+      for (const std::string& line : trace_buffer.lines()) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    if (energy) {
+      std::printf("\nenergy ledger:\n");
+      for (int a = 0; a < static_cast<int>(EnergyAccount::kCount); ++a) {
+        const auto account = static_cast<EnergyAccount>(a);
+        const Joules j = sys.ledger().total(account);
+        if (j > 0) {
+          std::printf("  %-22s %12.3f uJ\n",
+                      std::string(to_string(account)).c_str(), j * 1e6);
+        }
+      }
+      std::printf("  %-22s %12.3f uJ\n", "total",
+                  sys.ledger().grand_total() * 1e6);
+      std::printf("machine input power now: %.3f W\n",
+                  sys.total_input_power());
+    }
+    if (netstat) {
+      const NetworkStats stats =
+          stats_delta(collect_network_stats(sys.network(), sys.ledger()),
+                      before);
+      std::printf("\n%s", render_network_stats(stats, sim.now()).c_str());
+    }
+    return failed ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
