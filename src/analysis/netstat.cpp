@@ -18,6 +18,7 @@ NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger) {
     stats.tokens_forwarded += sw.tokens_forwarded();
     stats.packets_routed += sw.packets_routed();
     stats.packets_sunk += sw.packets_sunk();
+    stats.faults += sw.fault_counters();
     for (std::size_t c = 0; c < 4; ++c) {
       const auto cls = static_cast<LinkClass>(c);
       LinkClassStats& s = stats.per_class[c];
@@ -41,7 +42,23 @@ NetworkStats stats_delta(const NetworkStats& later,
     d.per_class[c].energy -= earlier.per_class[c].energy;
     // Link counts are structural; keep the later value.
   }
+  d.faults = later.faults;
+  d.faults -= earlier.faults;
   return d;
+}
+
+std::string render_fault_summary(const FaultCounters& faults) {
+  if (faults.total() == 0) return "";
+  TextTable t("Fault / resilience summary");
+  t.header({"counter", "count"});
+  const auto values = faults.as_array();
+  for (int i = 0; i < FaultCounters::kFieldCount; ++i) {
+    if (values[static_cast<std::size_t>(i)] == 0) continue;
+    t.row({FaultCounters::field_name(i),
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 values[static_cast<std::size_t>(i)]))});
+  }
+  return t.render();
 }
 
 std::string render_network_stats(const NetworkStats& stats, TimePs window) {
@@ -62,7 +79,10 @@ std::string render_network_stats(const NetworkStats& stats, TimePs window) {
                                                  stats.packets_routed))});
   t.row({"packets sunk", strprintf("%llu", static_cast<unsigned long long>(
                                                stats.packets_sunk))});
-  return t.render();
+  std::string out = t.render();
+  const std::string faults = render_fault_summary(stats.faults);
+  if (!faults.empty()) out += "\n" + faults;
+  return out;
 }
 
 }  // namespace swallow

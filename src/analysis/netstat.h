@@ -36,6 +36,7 @@ struct NetworkStats {
   std::uint64_t tokens_forwarded = 0;
   std::uint64_t packets_routed = 0;
   std::uint64_t packets_sunk = 0;
+  FaultCounters faults;  // network-wide fault/resilience totals
 
   const LinkClassStats& of(LinkClass cls) const {
     return per_class[static_cast<std::size_t>(cls)];
@@ -49,6 +50,11 @@ NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger);
 NetworkStats stats_delta(const NetworkStats& later, const NetworkStats& earlier);
 
 /// Render a utilisation/traffic table for a window of `window` picoseconds.
+/// Appends the fault summary when any fault activity was recorded.
 std::string render_network_stats(const NetworkStats& stats, TimePs window);
+
+/// Render the fault/resilience counter table (corruptions, NAKs,
+/// retransmissions, dead links) — empty string when all counters are zero.
+std::string render_fault_summary(const FaultCounters& faults);
 
 }  // namespace swallow

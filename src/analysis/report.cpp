@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/strings.h"
+#include "fault/watchdog.h"
 
 namespace swallow {
 
@@ -48,6 +49,46 @@ void Comparison::add(const std::string& quantity, double paper,
 void Comparison::add_text(const std::string& quantity, const std::string& paper,
                           const std::string& measured) {
   table_.row({quantity, paper, measured, "-"});
+}
+
+std::string render_stall_report(const StallReport& report) {
+  TextTable t(strprintf("Stall detected at %.1f us (no progress for %.1f us, "
+                        "metric frozen at %llu)",
+                        to_microseconds(report.detected_at),
+                        to_microseconds(report.window),
+                        static_cast<unsigned long long>(report.progress)));
+  t.header({"where", "what", "detail"});
+  const SystemDiagnosis& d = report.diagnosis;
+  for (const SystemDiagnosis::TrapInfo& tr : d.traps) {
+    t.row({strprintf("core %04x t%d", tr.core, tr.thread),
+           strprintf("TRAP %s", std::string(to_string(tr.kind)).c_str()),
+           strprintf("pc %u: %s", tr.pc, tr.message.c_str())});
+  }
+  for (const SystemDiagnosis::StallInfo& s : d.blocked) {
+    t.row({strprintf("core %04x t%d", s.core, s.thread),
+           strprintf("blocked on %s%s", to_string(s.waiting_on),
+                     s.self_waking ? " (self-waking)" : ""),
+           strprintf("pc %u res 0x%08x", s.pc, s.resource)});
+  }
+  for (const Switch::OpenRoute& r : d.routes) {
+    if (r.parked) {
+      t.row({strprintf("node %04x in%d", r.node, r.input), "parked",
+             strprintf("%zu tokens queued", r.queued_tokens)});
+    } else {
+      t.row({strprintf("node %04x in%d", r.node, r.input),
+             strprintf("route -> out%d (%s)", r.output,
+                       r.to_link ? "link" : "endpoint"),
+             strprintf("held %.0f ns, %zu queued",
+                       to_nanoseconds(r.held_for), r.queued_tokens)});
+    }
+  }
+  if (d.faults.total() > 0) {
+    t.rule();
+    t.row({"network", "fault counters",
+           strprintf("total %llu",
+                     static_cast<unsigned long long>(d.faults.total()))});
+  }
+  return t.render();
 }
 
 }  // namespace swallow

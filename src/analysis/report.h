@@ -9,6 +9,8 @@
 
 namespace swallow {
 
+struct StallReport;  // fault/watchdog.h
+
 /// Format helpers used by the bench tables.
 std::string fmt_double(double v, int decimals = 1);
 std::string fmt_mw(double watts);
@@ -19,6 +21,11 @@ std::string render_series(const std::string& title, const std::string& x_name,
                           const std::string& y_name,
                           const std::vector<double>& xs,
                           const std::vector<double>& ys);
+
+/// Render a watchdog StallReport (fault/watchdog.h): when it was detected,
+/// every blocked thread with what it waits on, trapped cores, and held or
+/// parked wormhole routes.
+std::string render_stall_report(const StallReport& report);
 
 /// A paper-vs-measured comparison row collector, rendered at the end of
 /// each bench and mirrored in EXPERIMENTS.md.

@@ -132,7 +132,7 @@ std::vector<int> build_tree_reduce(AppBuilder& app,
                                    const std::vector<Placement>& places) {
   require(cfg.leaves >= 2, "tree reduce needs at least two leaves");
   require(cfg.fanout >= 2, "tree reduce needs fanout >= 2");
-  require(cfg.bytes_per_value <= 4,
+  require(cfg.bytes_per_value <= 4 || cfg.acknowledge_deadlock_hazard,
           "tree reduce: values above one word can deadlock under sibling "
           "link contention (see TreeReduceConfig)");
 

@@ -72,6 +72,10 @@ struct TreeReduceConfig {
   /// §V.D wormhole hazard).
   std::uint64_t bytes_per_value = 4;
   std::uint64_t combine_work = 1000; // per child combined at an inner node
+  /// Build multi-word configurations anyway.  Off by default because they
+  /// can deadlock (above); the fault layer's watchdog tests construct the
+  /// hazardous shape on purpose to prove the deadlock is *diagnosed*.
+  bool acknowledge_deadlock_hazard = false;
 };
 
 /// Build a k-ary reduction tree (a "group of tasks", §I): every leaf

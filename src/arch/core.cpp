@@ -107,6 +107,34 @@ std::vector<std::pair<int, std::uint32_t>> Core::blocked_threads() const {
   return out;
 }
 
+std::vector<Core::BlockedThread> Core::blocked_thread_info() const {
+  std::vector<BlockedThread> out;
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state != ThreadState::kBlocked) continue;
+    BlockedThread b;
+    b.tid = tid;
+    b.pc = t.pc;
+    b.kind = t.wait_kind;
+    b.resource = t.wait_resource;
+    b.self_waking = t.wait_kind == WaitKind::kTimer;
+    out.push_back(b);
+  }
+  return out;
+}
+
+const char* to_string(Core::WaitKind kind) {
+  switch (kind) {
+    case Core::WaitKind::kNone: return "none";
+    case Core::WaitKind::kChanOut: return "chan-out";
+    case Core::WaitKind::kChanIn: return "chan-in";
+    case Core::WaitKind::kLock: return "lock";
+    case Core::WaitKind::kSync: return "sync";
+    case Core::WaitKind::kTimer: return "timer";
+  }
+  return "?";
+}
+
 Chanend* Core::find_chanend(ResourceId id) {
   if (resource_type(id) != ResourceType::kChanend ||
       resource_node(id) != cfg_.node_id) {
@@ -121,7 +149,7 @@ Chanend* Core::find_chanend(ResourceId id) {
 // ---------------------------------------------------------------- scheduler
 
 void Core::schedule_issue() {
-  if (trapped()) return;
+  if (trapped() || frozen_) return;
   TimePs earliest = kTimeNever;
   for (const ThreadCtx& t : threads_) {
     if (t.state == ThreadState::kReady) earliest = std::min(earliest, t.ready_at);
@@ -210,6 +238,7 @@ void Core::do_issue() {
   if (result == Exec::kBlocked) {
     // A blocked thread deschedules: the slot is not consumed and no issue
     // energy is charged (pc stays on the instruction for re-execution).
+    classify_wait(tid, ins);
     block(tid);
     schedule_issue();
     return;
@@ -252,8 +281,70 @@ void Core::wake(int tid) {
   ThreadCtx& t = threads_.at(static_cast<std::size_t>(tid));
   if (t.state != ThreadState::kBlocked) return;
   t.state = ThreadState::kReady;
+  t.wait_kind = WaitKind::kNone;
+  t.wait_resource = 0;
   update_power_levels();
   schedule_issue();
+}
+
+void Core::classify_wait(int tid, const Instruction& ins) {
+  ThreadCtx& t = threads_.at(static_cast<std::size_t>(tid));
+  const auto& R = t.regs;
+  WaitKind kind = WaitKind::kNone;
+  std::uint32_t res = 0;
+  switch (ins.op) {
+    case Opcode::kOut:
+    case Opcode::kOutt:
+    case Opcode::kOutct:
+      kind = WaitKind::kChanOut;
+      res = R[ins.ra];
+      break;
+    case Opcode::kIn:
+      res = R[ins.rb];
+      kind = resource_type(res) == ResourceType::kLock ? WaitKind::kLock
+                                                       : WaitKind::kChanIn;
+      break;
+    case Opcode::kInt:
+    case Opcode::kSel2:
+      kind = WaitKind::kChanIn;
+      res = R[ins.rb];
+      break;
+    case Opcode::kChkct:
+      kind = WaitKind::kChanIn;
+      res = R[ins.ra];
+      break;
+    case Opcode::kMsync:
+    case Opcode::kTjoin:
+      kind = WaitKind::kSync;
+      res = R[ins.ra];
+      break;
+    case Opcode::kSsync:
+      kind = WaitKind::kSync;
+      res = t.sync >= 0 ? static_cast<std::uint32_t>(t.sync) : 0;
+      break;
+    case Opcode::kTimewait:
+    case Opcode::kOutpt:
+      kind = WaitKind::kTimer;
+      break;
+    default:
+      break;
+  }
+  t.wait_kind = kind;
+  t.wait_resource = res;
+}
+
+void Core::set_frozen(bool frozen) {
+  if (frozen == frozen_) return;
+  frozen_ = frozen;
+  if (frozen_) {
+    if (issue_scheduled_) {
+      sim_.cancel(issue_event_);
+      issue_scheduled_ = false;
+      issue_scheduled_at_ = kTimeNever;
+    }
+  } else {
+    schedule_issue();
+  }
 }
 
 void Core::block(int tid) {

@@ -112,8 +112,39 @@ class Core {
   int runnable_threads() const;
   int live_threads() const;  // runnable + blocked + allocated
 
+  /// What a blocked thread is waiting for (machine-readable stall
+  /// diagnostics; classified at the instruction that blocked).
+  enum class WaitKind : std::uint8_t {
+    kNone,     // not blocked / unclassified
+    kChanOut,  // channel output: no credit or route progress downstream
+    kChanIn,   // channel input: no token has arrived
+    kLock,     // hardware lock held by another thread
+    kSync,     // thread barrier (MSYNC/SSYNC/TJOIN)
+    kTimer,    // timed wait; self-waking, never a deadlock
+  };
+
+  /// One blocked hardware thread, with what it is waiting on.
+  struct BlockedThread {
+    int tid = -1;
+    std::uint32_t pc = 0;             // word index of the blocked instruction
+    WaitKind kind = WaitKind::kNone;
+    std::uint32_t resource = 0;       // resource id operand, when meaningful
+    bool self_waking = false;         // a timer will wake it; not a stall
+  };
+
   /// (thread id, pc) of every blocked thread — deadlock diagnostics.
   std::vector<std::pair<int, std::uint32_t>> blocked_threads() const;
+
+  /// Full wait classification of every blocked thread (the watchdog's
+  /// view; blocked_threads() is the legacy pair form).
+  std::vector<BlockedThread> blocked_thread_info() const;
+
+  /// Injected core lockup: a frozen core stops issuing instructions (wakes
+  /// still record, so unfreezing resumes exactly where it stopped).  The
+  /// baseline power trace keeps burning — a locked-up core still draws its
+  /// idle power, which is how the real machine's faults were spotted.
+  void set_frozen(bool frozen);
+  bool frozen() const { return frozen_; }
   MegaHertz frequency() const { return clock_.frequency(); }
   Volts voltage() const { return voltage_; }
   const Clock& clock() const { return clock_; }
@@ -178,6 +209,8 @@ class Core {
     bool ssync_waiting = false;
     bool sync_release_pending = false;
     std::uint64_t retired = 0;
+    WaitKind wait_kind = WaitKind::kNone;  // valid while state == kBlocked
+    std::uint32_t wait_resource = 0;
   };
 
   struct SyncRes {
@@ -213,6 +246,7 @@ class Core {
   int pick_thread(TimePs now);
   void wake(int tid);
   void block(int tid);
+  void classify_wait(int tid, const Instruction& ins);
   void halt_with_trap(TrapKind kind, int tid, const std::string& msg);
 
   // Execution.
@@ -252,6 +286,7 @@ class Core {
   std::array<PortRes, kPortsPerCore> ports_{};
   Trap trap_{};
   bool started_ = false;
+  bool frozen_ = false;  // injected core lockup (fault layer)
 
   // Issue machinery.
   TimePs core_free_at_ = 0;
@@ -272,5 +307,8 @@ class Core {
   std::function<std::uint32_t(int)> power_read_hook_;
   InstrTraceSink trace_sink_;
 };
+
+/// Short human name for a wait kind ("chan-out", "lock", ...).
+const char* to_string(Core::WaitKind kind);
 
 }  // namespace swallow

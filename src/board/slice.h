@@ -74,6 +74,17 @@ class Slice {
     return *node(local_chip, layer).rom;
   }
 
+  /// Sum of the fault/resilience counters of this slice's sixteen
+  /// switches (streamed by board/telemetry).
+  FaultCounters fault_counters() {
+    FaultCounters total;
+    for (int c = 0; c < kChips; ++c) {
+      total += switch_of(c, Layer::kVertical).fault_counters();
+      total += switch_of(c, Layer::kHorizontal).fault_counters();
+    }
+    return total;
+  }
+
   // ----- Edge switches for inter-slice cabling -----
   Switch& edge_top(int col) { return switch_of(col, Layer::kVertical); }
   Switch& edge_bottom(int col) {

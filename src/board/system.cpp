@@ -95,6 +95,8 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
                   LinkClass::kOffBoardCable, 1, cfg_.cable_length_cm);
     bridges_.push_back(std::move(bridge));
   }
+
+  if (cfg_.reliable_links) net_->set_links_reliable(true);
 }
 
 SwallowSystem::~SwallowSystem() = default;
@@ -116,6 +118,13 @@ Core& SwallowSystem::core_by_index(int i) {
   require(i >= 0 && i < core_count(), "SwallowSystem: core index out of range");
   Slice& s = *slices_[static_cast<std::size_t>(i / Slice::kCores)];
   return s.core_at(i % Slice::kCores);
+}
+
+Core* SwallowSystem::find_core(NodeId node) {
+  const int x = node_chip_x(node);
+  const int y = node_chip_y(node);
+  if (x >= cfg_.chip_cols() || y >= cfg_.chip_rows()) return nullptr;
+  return &core(x, y, node_layer(node));
 }
 
 Switch& SwallowSystem::switch_at(int chip_x, int chip_y, Layer layer) {
@@ -173,26 +182,65 @@ void SwallowSystem::enable_loss_integration(TimePs period) {
   sim_.after(loss_period_, [this] { integrate_losses(); });
 }
 
-std::string SwallowSystem::diagnose() {
-  std::string out;
+SystemDiagnosis SwallowSystem::diagnose_report() {
+  SystemDiagnosis d;
   for (const auto& slice : slices_) {
     for (int i = 0; i < Slice::kCores; ++i) {
       Core& core = slice->core_at(i);
       if (core.trapped()) {
-        out += strprintf("core %04x TRAPPED [%s] t%d pc %u: %s\n",
-                         core.node_id(),
-                         std::string(to_string(core.trap().kind)).c_str(),
-                         core.trap().thread, core.trap().pc,
-                         core.trap().message.c_str());
+        SystemDiagnosis::TrapInfo t;
+        t.core = core.node_id();
+        t.thread = core.trap().thread;
+        t.pc = core.trap().pc;
+        t.kind = core.trap().kind;
+        t.message = core.trap().message;
+        d.traps.push_back(std::move(t));
       }
-      for (const auto& [tid, pc] : core.blocked_threads()) {
-        out += strprintf("core %04x: thread %d blocked at pc %u\n",
-                         core.node_id(), tid, pc);
+      for (const Core::BlockedThread& b : core.blocked_thread_info()) {
+        SystemDiagnosis::StallInfo s;
+        s.core = core.node_id();
+        s.thread = b.tid;
+        s.pc = b.pc;
+        s.waiting_on = b.kind;
+        s.resource = b.resource;
+        s.self_waking = b.self_waking;
+        d.blocked.push_back(s);
       }
     }
   }
   for (std::size_t i = 0; i < net_->switch_count(); ++i) {
-    out += net_->switch_at(i).open_routes_summary(sim_.now());
+    const auto routes = net_->switch_at(i).open_routes(sim_.now());
+    d.routes.insert(d.routes.end(), routes.begin(), routes.end());
+  }
+  d.faults = net_->total_fault_counters();
+  return d;
+}
+
+std::string SwallowSystem::diagnose() {
+  const SystemDiagnosis d = diagnose_report();
+  std::string out;
+  for (const SystemDiagnosis::TrapInfo& t : d.traps) {
+    out += strprintf("core %04x TRAPPED [%s] t%d pc %u: %s\n", t.core,
+                     std::string(to_string(t.kind)).c_str(), t.thread, t.pc,
+                     t.message.c_str());
+  }
+  for (const SystemDiagnosis::StallInfo& s : d.blocked) {
+    out += strprintf("core %04x: thread %d blocked at pc %u on %s 0x%08x%s\n",
+                     s.core, s.thread, s.pc, to_string(s.waiting_on),
+                     s.resource, s.self_waking ? " (self-waking)" : "");
+  }
+  for (const Switch::OpenRoute& r : d.routes) {
+    if (r.parked) {
+      out += strprintf("  node %04x: input %d parked waiting for a free "
+                       "output (%zu tokens queued)\n",
+                       r.node, r.input, r.queued_tokens);
+    } else {
+      out += strprintf(
+          "  node %04x: input %d -> output %d (%s) held %.0f ns, "
+          "%zu tokens queued\n",
+          r.node, r.input, r.output, r.to_link ? "link" : "endpoint",
+          to_nanoseconds(r.held_for), r.queued_tokens);
+    }
   }
   return out;
 }

@@ -35,11 +35,52 @@ struct SystemConfig {
   CorePowerModel power_model{};
   /// Voltage follows Vmin(f) on every frequency change (§III.B DVFS).
   bool auto_dvfs = false;
+  /// Run every link with the CRC/retry framing protocol (src/fault/):
+  /// corrupted or dropped tokens are detected and retransmitted, at
+  /// kReliableFramingBits extra wire bits per token.
+  bool reliable_links = false;
   std::uint64_t seed = 1;
 
   int chip_cols() const { return slices_x * Slice::kChipCols; }
   int chip_rows() const { return slices_y * Slice::kChipRows; }
   int core_count() const { return slices_x * slices_y * Slice::kCores; }
+};
+
+/// Machine-readable health snapshot of the whole machine (the watchdog and
+/// tests consume this; SwallowSystem::diagnose() renders it for humans).
+struct SystemDiagnosis {
+  /// One blocked hardware thread somewhere in the machine.
+  struct StallInfo {
+    NodeId core = 0;
+    int thread = -1;
+    std::uint32_t pc = 0;                                // word index
+    Core::WaitKind waiting_on = Core::WaitKind::kNone;   // what it waits for
+    std::uint32_t resource = 0;      // resource id operand, when meaningful
+    bool self_waking = false;        // timer wait: will resume by itself
+  };
+  /// One trapped core.
+  struct TrapInfo {
+    NodeId core = 0;
+    int thread = -1;
+    std::uint32_t pc = 0;
+    TrapKind kind = TrapKind::kNone;
+    std::string message;
+  };
+
+  std::vector<TrapInfo> traps;
+  std::vector<StallInfo> blocked;
+  std::vector<Switch::OpenRoute> routes;  // open/parked wormhole routes
+  FaultCounters faults;                   // network-wide fault totals
+
+  /// True when nothing is trapped, genuinely blocked (timer waits are
+  /// fine) or holding a route — the machine is quiescent and healthy.
+  bool healthy() const {
+    if (!traps.empty() || !routes.empty()) return false;
+    for (const StallInfo& s : blocked) {
+      if (!s.self_waking) return false;
+    }
+    return true;
+  }
 };
 
 class SwallowSystem {
@@ -65,6 +106,8 @@ class SwallowSystem {
   static NodeId node_id(int chip_x, int chip_y, Layer layer) {
     return lattice_node_id(chip_x, chip_y, layer);
   }
+  /// Core by node id; nullptr when the id names no core (e.g. a bridge).
+  Core* find_core(NodeId node);
 
   int bridge_count() const { return static_cast<int>(bridges_.size()); }
   EthernetBridge& bridge(int i) { return *bridges_.at(static_cast<std::size_t>(i)); }
@@ -97,10 +140,14 @@ class SwallowSystem {
   /// power).  Call once, before running.
   void enable_loss_integration(TimePs period = microseconds(10.0));
 
-  /// Deadlock / stall diagnostics: blocked threads (core, thread, pc),
-  /// open or parked routes at every switch, and trap reports.  Empty when
-  /// the machine is quiescent and healthy.
+  /// Deadlock / stall diagnostics: blocked threads (core, thread, pc,
+  /// waiting-resource), open or parked routes at every switch, and trap
+  /// reports.  Empty when the machine is quiescent and healthy.
   std::string diagnose();
+
+  /// The structured form of diagnose() — what the fault layer's watchdog
+  /// samples.
+  SystemDiagnosis diagnose_report();
 
  private:
   void integrate_losses();

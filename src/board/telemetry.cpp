@@ -47,6 +47,26 @@ void TelemetryStreamer::tick() {
     payload.push_back(static_cast<std::uint8_t>(s.code >> 8));
     ++records_streamed_;
   }
+  if (stream_faults_) {
+    const auto faults = slice_.fault_counters().as_array();
+    const std::uint32_t ticks = static_cast<std::uint32_t>(
+        sim_.now() / period_ps(kReferenceClockMhz));
+    for (int i = 0; i < FaultCounters::kFieldCount; ++i) {
+      const std::uint64_t v = faults[static_cast<std::size_t>(i)];
+      if (v == last_faults_[static_cast<std::size_t>(i)]) continue;
+      last_faults_[static_cast<std::size_t>(i)] = v;
+      const std::uint16_t code =
+          v > 0xFFFF ? 0xFFFF : static_cast<std::uint16_t>(v);
+      payload.push_back(static_cast<std::uint8_t>(kFaultChannelBase + i));
+      payload.push_back(static_cast<std::uint8_t>(ticks));
+      payload.push_back(static_cast<std::uint8_t>(ticks >> 8));
+      payload.push_back(static_cast<std::uint8_t>(ticks >> 16));
+      payload.push_back(static_cast<std::uint8_t>(ticks >> 24));
+      payload.push_back(static_cast<std::uint8_t>(code));
+      payload.push_back(static_cast<std::uint8_t>(code >> 8));
+      ++records_streamed_;
+    }
+  }
   if (!payload.empty()) {
     const HeaderDest dest = chanend_dest(bridge_chanend_);
     for (int i = 0; i < kHeaderTokens; ++i) {
@@ -78,8 +98,12 @@ std::vector<TelemetryStreamer::Record> TelemetryStreamer::decode(
               (static_cast<std::uint32_t>(packet[i + 4]) << 24);
     r.code = static_cast<std::uint16_t>(
         packet[i + 5] | (packet[i + 6] << 8));
-    const Volts rail_v = r.channel == SliceSupplies::kIoRail ? 3.3 : 1.0;
-    r.watts = fe.code_to_watts(r.code, rail_v);
+    if (r.channel >= kFaultChannelBase) {
+      r.watts = 0;  // fault counter, not a power sample
+    } else {
+      const Volts rail_v = r.channel == SliceSupplies::kIoRail ? 3.3 : 1.0;
+      r.watts = fe.code_to_watts(r.code, rail_v);
+    }
     out.push_back(r);
   }
   return out;

@@ -8,6 +8,7 @@
 // The host decodes the packets with TelemetryStreamer::decode.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -23,13 +24,19 @@ class TelemetryStreamer : public TokenReceiver {
   /// Endpoint index the streamer occupies on its slice's south-west switch.
   static constexpr int kTelemetryChanend = 33;
 
+  /// Channel ids at or above this value carry slice fault counters
+  /// (channel - base indexes FaultCounters::field_name); below are ADC
+  /// power channels.
+  static constexpr int kFaultChannelBase = 0xE0;
+
   /// One decoded sample record (7 bytes on the wire:
-  /// [channel u8][reference ticks u32][ADC code u16]).
+  /// [channel u8][reference ticks u32][ADC code u16]).  For fault-counter
+  /// channels `code` is the counter value, saturated at 0xFFFF.
   struct Record {
     int channel = 0;
     std::uint32_t ticks = 0;
     std::uint16_t code = 0;
-    Watts watts = 0;  // reconstructed by decode()
+    Watts watts = 0;  // reconstructed by decode(); 0 for fault channels
   };
 
   TelemetryStreamer(Simulator& sim, Slice& slice, EthernetBridge& bridge,
@@ -39,6 +46,12 @@ class TelemetryStreamer : public TokenReceiver {
   /// fresh samples to appear).
   void start();
   void stop() { running_ = false; }
+
+  /// Also stream the slice's fault/resilience counters: each tick, any
+  /// counter that changed is sent as a record on channel
+  /// kFaultChannelBase + counter index — degraded links are visible at the
+  /// host, not just in the ledger.
+  void enable_fault_stream() { stream_faults_ = true; }
 
   std::uint64_t records_streamed() const { return records_streamed_; }
 
@@ -62,8 +75,10 @@ class TelemetryStreamer : public TokenReceiver {
   TokenOutPort* port_ = nullptr;
   TimePs period_;
   bool running_ = false;
+  bool stream_faults_ = false;
   std::deque<Token> tx_queue_;
   std::vector<std::uint64_t> last_count_;
+  std::array<std::uint64_t, FaultCounters::kFieldCount> last_faults_{};
   std::uint64_t records_streamed_ = 0;
 };
 

@@ -1,0 +1,122 @@
+#include "fault/fault.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+FaultInjector::FaultInjector(SwallowSystem& sys, FaultPlan plan)
+    : sys_(sys), plan_(std::move(plan)), rng_(plan_.seed) {}
+
+void FaultInjector::arm() {
+  require(!armed_, "FaultInjector: already armed");
+  armed_ = true;
+  rng_.reseed(plan_.seed);
+
+  bool needs_hook = false;
+  for (const FaultSpec& f : plan_.faults) {
+    needs_hook |= f.kind == FaultKind::kLinkCorruption;
+  }
+  if (needs_hook) {
+    sys_.network().set_link_fault_hook(
+        [this](NodeId node, int direction, Token& t) {
+          return on_token(node, direction, t);
+        });
+  }
+  Simulator& sim = sys_.sim();
+  for (const FaultSpec& f : plan_.faults) {
+    sim.at(f.at, [this, f] { activate(f); });
+  }
+}
+
+void FaultInjector::apply_to_links(
+    NodeId node, int direction,
+    const std::function<void(Switch&, int port)>& fn) {
+  Switch* sw = sys_.network().find_switch(node);
+  require(sw != nullptr, "FaultInjector: fault names an unknown switch");
+  for (const Switch::LinkPortInfo& info : sw->link_ports()) {
+    if (direction >= 0 && info.direction != direction) continue;
+    fn(*sw, info.port);
+  }
+}
+
+void FaultInjector::activate(const FaultSpec& f) {
+  Simulator& sim = sys_.sim();
+  switch (f.kind) {
+    case FaultKind::kLinkCorruption: {
+      ActiveCorruption c;
+      c.node = f.node;
+      c.direction = f.direction;
+      c.rate = f.rate;
+      c.until = f.duration > 0 ? f.at + f.duration : kTimeNever;
+      corruptions_.push_back(c);
+      break;
+    }
+    case FaultKind::kLinkOutage: {
+      Switch* sw = sys_.network().find_switch(f.node);
+      require(sw != nullptr, "FaultInjector: outage on an unknown switch");
+      const int lo = f.direction >= 0 ? f.direction : 0;
+      const int hi = f.direction >= 0 ? f.direction + 1 : kMaxDirections;
+      for (int d = lo; d < hi; ++d) sw->set_links_up(d, false);
+      if (f.duration > 0) {
+        sim.after(f.duration, [sw, lo, hi] {
+          for (int d = lo; d < hi; ++d) sw->set_links_up(d, true);
+        });
+      }
+      break;
+    }
+    case FaultKind::kLinkKill: {
+      // A cable failure takes out both directions of the full-duplex pair.
+      std::vector<std::pair<Switch*, int>> reverse;
+      apply_to_links(f.node, f.direction, [&](Switch& sw, int port) {
+        for (const Switch::LinkPortInfo& info : sw.link_ports()) {
+          if (info.port != port) continue;
+          Switch* peer = sys_.network().find_switch(info.peer);
+          if (peer != nullptr) reverse.emplace_back(peer, info.peer_port);
+        }
+        sw.kill_link(port);
+      });
+      for (auto& [peer, port] : reverse) peer->kill_link(port);
+      break;
+    }
+    case FaultKind::kSwitchStall: {
+      require(f.duration > 0, "FaultInjector: switch stall needs a duration");
+      Switch* sw = sys_.network().find_switch(f.node);
+      require(sw != nullptr, "FaultInjector: stall on an unknown switch");
+      sw->stall_inputs_until(f.at + f.duration);
+      break;
+    }
+    case FaultKind::kCoreFreeze: {
+      Core* core = sys_.find_core(f.node);
+      require(core != nullptr, "FaultInjector: freeze on an unknown core");
+      core->set_frozen(true);
+      if (f.duration > 0) {
+        sim.after(f.duration, [core] { core->set_frozen(false); });
+      }
+      break;
+    }
+  }
+}
+
+LinkFaultAction FaultInjector::on_token(NodeId node, int direction,
+                                        Token& t) {
+  const TimePs now = sys_.sim().now();
+  for (const ActiveCorruption& c : corruptions_) {
+    if (c.node != node) continue;
+    if (c.direction >= 0 && c.direction != direction) continue;
+    if (now > c.until) continue;
+    if (rng_.next_double() >= c.rate) return LinkFaultAction::kNone;
+    // Flip one of the nine wire bits: eight data bits or the
+    // control/data flag (a flipped flag is the nastiest corruption — it
+    // turns data into a route-closing control token or vice versa).
+    const int bit = static_cast<int>(rng_.next_below(9));
+    if (bit == 8) {
+      t.is_control = !t.is_control;
+    } else {
+      t.value ^= static_cast<std::uint8_t>(1u << bit);
+    }
+    return LinkFaultAction::kCorrupt;
+  }
+  return LinkFaultAction::kNone;
+}
+
+}  // namespace swallow

@@ -1,0 +1,108 @@
+// Deterministic fault injection (the failures the real machine suffered:
+// flaky FFC cables, stuck switches, locked-up cores).
+//
+// A FaultPlan is a seeded schedule of FaultSpecs.  Arming a FaultInjector
+// installs the per-token link fault hook on every switch and schedules each
+// spec's activation at its TimePs; all stochastic draws (which tokens a
+// flaky link corrupts, which bit flips) come from one xoshiro256** stream
+// seeded from the plan, so a given plan reproduces the same fault sequence
+// bit-for-bit on every run.  An empty plan leaves the simulation
+// bit-identical to a run without an injector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "board/system.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "noc/switch.h"
+
+namespace swallow {
+
+enum class FaultKind {
+  kLinkCorruption,  // per-token bit-flip probability on matching tx links
+  kLinkOutage,      // tokens lost on the wire for `duration` (then repaired)
+  kLinkKill,        // permanent: the link (both directions) is dead
+  kSwitchStall,     // switch input processing frozen for `duration`
+  kCoreFreeze,      // core stops issuing for `duration` (0 = forever)
+};
+
+/// One scheduled fault.  `node` selects the switch or core; `direction`
+/// selects the link group for link faults (-1 = every direction).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kLinkCorruption;
+  TimePs at = 0;         // activation time
+  TimePs duration = 0;   // 0 = permanent (corruption/outage/freeze)
+  NodeId node = 0;
+  int direction = -1;
+  double rate = 0.0;     // kLinkCorruption: per-token probability
+};
+
+/// A seeded, replayable schedule of faults.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultSpec> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  // Builder helpers (chainable).
+  FaultPlan& corrupt_link(NodeId node, int direction, double rate,
+                          TimePs at = 0, TimePs duration = 0) {
+    faults.push_back({FaultKind::kLinkCorruption, at, duration, node,
+                      direction, rate});
+    return *this;
+  }
+  FaultPlan& link_outage(NodeId node, int direction, TimePs at,
+                         TimePs duration) {
+    faults.push_back({FaultKind::kLinkOutage, at, duration, node, direction,
+                      0.0});
+    return *this;
+  }
+  FaultPlan& kill_link(NodeId node, int direction, TimePs at) {
+    faults.push_back({FaultKind::kLinkKill, at, 0, node, direction, 0.0});
+    return *this;
+  }
+  FaultPlan& stall_switch(NodeId node, TimePs at, TimePs duration) {
+    faults.push_back({FaultKind::kSwitchStall, at, duration, node, -1, 0.0});
+    return *this;
+  }
+  FaultPlan& freeze_core(NodeId node, TimePs at, TimePs duration = 0) {
+    faults.push_back({FaultKind::kCoreFreeze, at, duration, node, -1, 0.0});
+    return *this;
+  }
+};
+
+/// Applies a FaultPlan to a system.  Construct, then arm() once before
+/// running.  Outlives the run (the installed hook points into it).
+class FaultInjector {
+ public:
+  FaultInjector(SwallowSystem& sys, FaultPlan plan);
+
+  /// Install hooks and schedule every FaultSpec.  Call once.
+  void arm();
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct ActiveCorruption {
+    NodeId node = 0;
+    int direction = -1;
+    double rate = 0.0;
+    TimePs until = 0;  // inclusive expiry
+  };
+
+  LinkFaultAction on_token(NodeId node, int direction, Token& t);
+  void activate(const FaultSpec& f);
+  void apply_to_links(NodeId node, int direction,
+                      const std::function<void(Switch&, int port)>& fn);
+
+  SwallowSystem& sys_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<ActiveCorruption> corruptions_;
+  bool armed_ = false;
+};
+
+}  // namespace swallow

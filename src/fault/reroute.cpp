@@ -1,0 +1,145 @@
+#include "fault/reroute.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace swallow {
+
+ResilienceManager::ResilienceManager(SwallowSystem& sys)
+    : ResilienceManager(sys, Config()) {}
+
+ResilienceManager::ResilienceManager(SwallowSystem& sys, Config cfg)
+    : sys_(sys), cfg_(cfg) {}
+
+void ResilienceManager::arm() {
+  require(!armed_, "ResilienceManager: already armed");
+  require(sys_.config().use_table_routers,
+          "ResilienceManager: needs SystemConfig::use_table_routers (only "
+          "software tables can be reprogrammed around a dead link)");
+  armed_ = true;
+  sys_.network().set_link_dead_callback(
+      [this](Switch& sw, int port, int direction) {
+        on_link_dead(sw, port, direction);
+      });
+}
+
+void ResilienceManager::on_link_dead(Switch& sw, int port, int direction) {
+  if (!recompute_pending_) {  // coalesce simultaneous deaths into one pass
+    recompute_pending_ = true;
+    pending_node_ = sw.node_id();
+    pending_direction_ = direction;
+    sys_.sim().after(cfg_.reroute_latency, [this] {
+      recompute_pending_ = false;
+      RerouteEvent ev;
+      ev.at = sys_.sim().now();
+      ev.node = pending_node_;
+      ev.direction = pending_direction_;
+      ev.routes_changed = recompute_routes();
+      // Parked packets whose direction died can now re-resolve onto the
+      // new tables.
+      Network& net = sys_.network();
+      for (std::size_t i = 0; i < net.switch_count(); ++i) {
+        for (int d = 0; d < kMaxDirections; ++d) {
+          ev.rescued_inputs += net.switch_at(i).reresolve_parked(d);
+        }
+      }
+      sys_.ledger().add(EnergyAccount::kNetworkInterface,
+                        cfg_.reroute_energy);
+      events_.push_back(ev);
+    });
+  }
+  // A dead transmit side means the physical link is gone: mark the reverse
+  // direction dead too (kill_link on an already-dead port is a no-op, so
+  // the mutual notification terminates).
+  for (const Switch::LinkPortInfo& info : sw.link_ports()) {
+    if (info.port != port) continue;
+    Switch* peer = sys_.network().find_switch(info.peer);
+    if (peer != nullptr) peer->kill_link(info.peer_port);
+  }
+}
+
+int ResilienceManager::recompute_routes() {
+  Network& net = sys_.network();
+  const std::size_t n = net.switch_count();
+  std::vector<Switch*> sws(n);
+  std::unordered_map<NodeId, int> index;
+  for (std::size_t i = 0; i < n; ++i) {
+    sws[i] = &net.switch_at(i);
+    index[sws[i]->node_id()] = static_cast<int>(i);
+  }
+
+  // Live adjacency, deduplicated per (direction, peer) and sorted for
+  // deterministic tie-breaks.
+  struct Edge {
+    int dir;
+    int to;
+    bool operator<(const Edge& o) const {
+      return dir != o.dir ? dir < o.dir : to < o.to;
+    }
+    bool operator==(const Edge& o) const {
+      return dir == o.dir && to == o.to;
+    }
+  };
+  std::vector<std::vector<Edge>> fwd(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Switch::LinkPortInfo& info : sws[i]->link_ports()) {
+      if (info.dead) continue;
+      const auto it = index.find(info.peer);
+      if (it == index.end()) continue;
+      fwd[i].push_back(Edge{info.direction, it->second});
+    }
+    std::sort(fwd[i].begin(), fwd[i].end());
+    fwd[i].erase(std::unique(fwd[i].begin(), fwd[i].end()), fwd[i].end());
+  }
+  // Reverse adjacency: rev[v] lists (direction at u towards v, u).
+  std::vector<std::vector<Edge>> rev(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const Edge& e : fwd[u]) {
+      rev[static_cast<std::size_t>(e.to)].push_back(
+          Edge{e.dir, static_cast<int>(u)});
+    }
+  }
+  for (auto& edges : rev) std::sort(edges.begin(), edges.end());
+
+  int changed = 0;
+  std::vector<int> hop(n);
+  std::vector<int> dist(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    // BFS outwards from the destination over reversed edges; the edge that
+    // first reaches a node is its first hop on a shortest path (ties
+    // broken by BFS order, then by (direction, node) sort order).
+    std::fill(hop.begin(), hop.end(), kDirUnroutable);
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<int> q;
+    dist[t] = 0;
+    q.push_back(static_cast<int>(t));
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop_front();
+      for (const Edge& e : rev[static_cast<std::size_t>(v)]) {
+        const auto u = static_cast<std::size_t>(e.to);
+        if (dist[u] >= 0) continue;
+        dist[u] = dist[static_cast<std::size_t>(v)] + 1;
+        hop[u] = e.dir;
+        q.push_back(e.to);
+      }
+    }
+    const NodeId dest = sws[t]->node_id();
+    for (std::size_t u = 0; u < n; ++u) {
+      if (u == t) continue;
+      auto* table = dynamic_cast<TableRouter*>(sws[u]->router());
+      if (table == nullptr) continue;  // e.g. a bridge's built-in router
+      const int old_dir = table->route(sws[u]->node_id(), dest);
+      if (old_dir != hop[u]) {
+        table->set_route(dest, hop[u]);
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+}  // namespace swallow

@@ -1,0 +1,68 @@
+// Graceful degradation: route around dead links.
+//
+// When the reliable-link protocol (or the fault injector) declares a link
+// permanently dead, the ResilienceManager recomputes every switch's
+// software routing table (§V.A: "new routing algorithms can simply be
+// programmed in software") over the surviving topology — BFS shortest
+// paths with deterministic tie-breaks — reprograms the TableRouters, and
+// re-resolves any packets parked on the dead direction.  The recompute has
+// a modelled latency and control-plane energy cost, charged to the ledger
+// and surfaced as a RerouteEvent, so degradation is visible in both time
+// and energy.  Requires SystemConfig::use_table_routers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "board/system.h"
+#include "common/units.h"
+
+namespace swallow {
+
+/// One completed route-around of a dead link.
+struct RerouteEvent {
+  TimePs at = 0;          // when the new tables went live
+  NodeId node = 0;        // switch that lost the link
+  int direction = -1;     // direction of the dead link at `node`
+  int routes_changed = 0; // table entries rewritten across the machine
+  int rescued_inputs = 0; // parked packets that found a new path
+};
+
+class ResilienceManager {
+ public:
+  struct Config {
+    /// Time from link-death detection to the new tables being live
+    /// (software recompute + table writes over the control plane).
+    TimePs reroute_latency = microseconds(50.0);
+    /// Control-plane energy of one recompute (table traffic + core work).
+    Joules reroute_energy = 1e-6;
+  };
+
+  explicit ResilienceManager(SwallowSystem& sys);
+  ResilienceManager(SwallowSystem& sys, Config cfg);
+
+  /// Install the link-dead callback on every switch.  Call once.
+  void arm();
+
+  const std::vector<RerouteEvent>& events() const { return events_; }
+
+  /// Recompute every TableRouter over the live (non-dead) topology.
+  /// Returns the number of table entries changed.  Normally invoked via
+  /// the link-dead callback; exposed for tests.
+  int recompute_routes();
+
+ private:
+  void on_link_dead(Switch& sw, int port, int direction);
+
+  SwallowSystem& sys_;
+  Config cfg_;
+  std::vector<RerouteEvent> events_;
+  bool armed_ = false;
+  bool recompute_pending_ = false;
+  // The deaths coalesced into the pending recompute (first one wins the
+  // event attribution).
+  NodeId pending_node_ = 0;
+  int pending_direction_ = -1;
+};
+
+}  // namespace swallow

@@ -1,0 +1,61 @@
+#include "fault/watchdog.h"
+
+#include "common/error.h"
+
+namespace swallow {
+
+Watchdog::Watchdog(SwallowSystem& sys) : Watchdog(sys, Config()) {}
+
+Watchdog::Watchdog(SwallowSystem& sys, Config cfg) : sys_(sys), cfg_(cfg) {
+  require(cfg_.period > 0, "Watchdog: period must be positive");
+  require(cfg_.window_periods >= 1, "Watchdog: window must be >= 1 period");
+}
+
+void Watchdog::arm() {
+  require(!armed_, "Watchdog: already armed");
+  armed_ = true;
+  quiesced_ = false;
+  flat_samples_ = 0;
+  last_metric_ = progress_metric();
+  sys_.sim().after(cfg_.period, [this] { tick(); });
+}
+
+std::uint64_t Watchdog::progress_metric() {
+  std::uint64_t m = 0;
+  for (int i = 0; i < sys_.core_count(); ++i) {
+    m += sys_.core_by_index(i).instructions_retired();
+  }
+  m += sys_.network().total_tokens_forwarded();
+  m += sys_.network().total_fault_counters().total();
+  return m;
+}
+
+void Watchdog::tick() {
+  if (!armed_) return;
+  const std::uint64_t metric = progress_metric();
+  if (metric != last_metric_) {
+    last_metric_ = metric;
+    flat_samples_ = 0;
+  } else {
+    ++flat_samples_;
+    if (flat_samples_ >= cfg_.window_periods) {
+      SystemDiagnosis d = sys_.diagnose_report();
+      armed_ = false;  // either way, stop sampling so run_until terminates
+      if (d.healthy()) {
+        quiesced_ = true;
+      } else {
+        StallReport r;
+        r.detected_at = sys_.sim().now();
+        r.window = static_cast<TimePs>(flat_samples_) * cfg_.period;
+        r.progress = metric;
+        r.diagnosis = std::move(d);
+        reports_.push_back(std::move(r));
+        if (on_stall_) on_stall_(reports_.back());
+      }
+      return;
+    }
+  }
+  sys_.sim().after(cfg_.period, [this] { tick(); });
+}
+
+}  // namespace swallow

@@ -1,0 +1,89 @@
+// System watchdog / progress monitor.
+//
+// The real machine's deadlocks could only be diagnosed by power signature;
+// the simulator can do better.  The watchdog samples a global progress
+// metric every `period`:
+//
+//   progress = instructions retired (all cores)
+//            + tokens forwarded (all switches)
+//            + fault-counter total (all switches)
+//
+// Retries and NAKs count as progress on purpose: a link fighting through a
+// fault storm is *live*, not stalled, and must not trip the watchdog.  The
+// simulator's own event count is deliberately excluded — ADC sampling and
+// telemetry keep firing during a deadlock.
+//
+// When the metric is unchanged for `window_periods` consecutive samples the
+// watchdog inspects SwallowSystem::diagnose_report():
+//   * healthy (nothing blocked or routed) -> the machine has quiesced; the
+//     watchdog stops sampling and records nothing;
+//   * otherwise -> a StallReport naming the blocked cores/threads and held
+//     routes is recorded, the on_stall callback fires, and sampling stops
+//     so the surrounding run_until() terminates instead of hanging.
+//
+// The window must exceed the longest intentional pause in the workload
+// (timer sleeps suppress the issue metric but are reported self-waking).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "board/system.h"
+#include "common/units.h"
+
+namespace swallow {
+
+/// One detected global no-progress episode.
+struct StallReport {
+  TimePs detected_at = 0;   // when the watchdog declared the stall
+  TimePs window = 0;        // how long progress had been flat
+  std::uint64_t progress = 0;  // the metric value it froze at
+  SystemDiagnosis diagnosis;   // who is blocked, on what, and where
+};
+
+class Watchdog {
+ public:
+  struct Config {
+    TimePs period = microseconds(5.0);  // sampling period
+    int window_periods = 4;             // flat samples before declaring
+  };
+
+  explicit Watchdog(SwallowSystem& sys);
+  Watchdog(SwallowSystem& sys, Config cfg);
+
+  /// Start sampling.  Call once, before (or while) the workload runs.
+  void arm();
+
+  /// Stop sampling (idempotent; also happens on stall or quiesce).
+  void disarm() { armed_ = false; }
+
+  bool armed() const { return armed_; }
+  /// True once the machine went flat in a healthy state (work complete).
+  bool quiesced() const { return quiesced_; }
+  /// Stalls detected so far (at most one per arm(); empty = no stall).
+  const std::vector<StallReport>& reports() const { return reports_; }
+  bool stalled() const { return !reports_.empty(); }
+
+  /// Called synchronously when a stall is declared.
+  void set_on_stall(std::function<void(const StallReport&)> cb) {
+    on_stall_ = std::move(cb);
+  }
+
+  /// The watchdog's progress metric (exposed for tests).
+  std::uint64_t progress_metric();
+
+ private:
+  void tick();
+
+  SwallowSystem& sys_;
+  Config cfg_;
+  bool armed_ = false;
+  bool quiesced_ = false;
+  std::uint64_t last_metric_ = 0;
+  int flat_samples_ = 0;
+  std::vector<StallReport> reports_;
+  std::function<void(const StallReport&)> on_stall_;
+};
+
+}  // namespace swallow

@@ -35,6 +35,28 @@ Switch* Network::find_switch(NodeId node) {
   return nullptr;
 }
 
+void Network::set_links_reliable(bool reliable) {
+  for (const auto& s : switches_) {
+    for (const Switch::LinkPortInfo& info : s->link_ports()) {
+      s->set_link_reliable(info.port, reliable);
+    }
+  }
+}
+
+void Network::set_link_fault_hook(Switch::LinkFaultHook hook) {
+  for (const auto& s : switches_) s->set_link_fault_hook(hook);
+}
+
+void Network::set_link_dead_callback(Switch::LinkDeadCallback cb) {
+  for (const auto& s : switches_) s->set_link_dead_callback(cb);
+}
+
+FaultCounters Network::total_fault_counters() const {
+  FaultCounters total;
+  for (const auto& s : switches_) total += s->fault_counters();
+  return total;
+}
+
 std::uint64_t Network::total_tokens_forwarded() const {
   std::uint64_t n = 0;
   for (const auto& s : switches_) n += s->tokens_forwarded();

@@ -50,9 +50,23 @@ class Network {
   std::size_t switch_count() const { return switches_.size(); }
   Switch& switch_at(std::size_t i) { return *switches_.at(i); }
 
+  /// Enable (or disable) the reliable CRC/retry framing protocol on every
+  /// connected link in the network.  Must be called before traffic flows
+  /// (reliability cannot change mid-stream).
+  void set_links_reliable(bool reliable);
+
+  /// Install `hook` on every switch (see Switch::set_link_fault_hook).
+  void set_link_fault_hook(Switch::LinkFaultHook hook);
+
+  /// Install `cb` on every switch (see Switch::set_link_dead_callback).
+  void set_link_dead_callback(Switch::LinkDeadCallback cb);
+
   /// Aggregate statistics over all switches.
   std::uint64_t total_tokens_forwarded() const;
   std::uint64_t total_packets_sunk() const;
+
+  /// Sum of every switch's fault counters.
+  FaultCounters total_fault_counters() const;
 
  private:
   Simulator& sim_;

@@ -142,25 +142,105 @@ TimePs Switch::token_time(const Output& out) const {
   return transfer_time_ps(kBitsPerToken, out.rate);
 }
 
-std::string Switch::open_routes_summary(TimePs now) const {
-  std::string out;
+std::vector<Switch::OpenRoute> Switch::open_routes(TimePs now) const {
+  std::vector<OpenRoute> out;
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
     const Input& in = inputs_[i];
     if (in.output >= 0) {
       const Output& o = outputs_[static_cast<std::size_t>(in.output)];
-      out += strprintf(
-          "  node %04x: input %zu -> output %d (%s) held %.0f ns, "
-          "%zu tokens queued\n",
-          cfg_.node, i, in.output,
-          o.kind == Output::Kind::kLink ? "link" : "endpoint",
-          to_nanoseconds(now - in.route_opened_at), in.fifo.size());
+      OpenRoute r;
+      r.node = cfg_.node;
+      r.input = static_cast<int>(i);
+      r.output = in.output;
+      r.to_link = o.kind == Output::Kind::kLink;
+      r.held_for = now - in.route_opened_at;
+      r.queued_tokens = in.fifo.size();
+      out.push_back(r);
     } else if (in.waiting_output) {
-      out += strprintf("  node %04x: input %zu parked waiting for a free "
-                       "output (%zu tokens queued)\n",
-                       cfg_.node, i, in.fifo.size());
+      OpenRoute r;
+      r.node = cfg_.node;
+      r.input = static_cast<int>(i);
+      r.parked = true;
+      r.queued_tokens = in.fifo.size();
+      out.push_back(r);
     }
   }
   return out;
+}
+
+std::string Switch::open_routes_summary(TimePs now) const {
+  std::string out;
+  for (const OpenRoute& r : open_routes(now)) {
+    if (r.parked) {
+      out += strprintf("  node %04x: input %d parked waiting for a free "
+                       "output (%zu tokens queued)\n",
+                       cfg_.node, r.input, r.queued_tokens);
+    } else {
+      out += strprintf(
+          "  node %04x: input %d -> output %d (%s) held %.0f ns, "
+          "%zu tokens queued\n",
+          cfg_.node, r.input, r.output, r.to_link ? "link" : "endpoint",
+          to_nanoseconds(r.held_for), r.queued_tokens);
+    }
+  }
+  return out;
+}
+
+std::vector<Switch::LinkPortInfo> Switch::link_ports() const {
+  std::vector<LinkPortInfo> out;
+  for (std::size_t i = 0; i < outputs_.size(); ++i) {
+    const Output& o = outputs_[i];
+    if (o.kind != Output::Kind::kLink || o.peer == nullptr) continue;
+    LinkPortInfo info;
+    info.port = static_cast<int>(i);
+    info.direction = o.direction;
+    info.peer = o.peer->node_id();
+    info.peer_port = o.peer_port;
+    info.cls = o.cls;
+    info.up = o.link_up;
+    info.dead = o.dead;
+    info.reliable = o.reliable;
+    out.push_back(info);
+  }
+  return out;
+}
+
+void Switch::set_link_reliable(int port, bool reliable) {
+  Output& out = outputs_.at(static_cast<std::size_t>(port));
+  require(out.kind == Output::Kind::kLink && out.peer != nullptr,
+          "Switch: set_link_reliable on a non-link port");
+  require(out.tx_seq == 0, "Switch: cannot change reliability mid-stream");
+  out.reliable = reliable;
+  Input& peer_in =
+      out.peer->inputs_.at(static_cast<std::size_t>(out.peer_port));
+  peer_in.reliable = reliable;
+}
+
+void Switch::set_links_up(int direction, bool up) {
+  for (int oidx : dir_groups_.at(static_cast<std::size_t>(direction))) {
+    outputs_[static_cast<std::size_t>(oidx)].link_up = up;
+  }
+}
+
+void Switch::stall_inputs_until(TimePs when) {
+  stalled_until_ = std::max(stalled_until_, when);
+}
+
+int Switch::reresolve_parked(int direction) {
+  auto& queue = dir_waiters_.at(static_cast<std::size_t>(direction));
+  if (queue.empty()) return 0;
+  std::deque<int> parked;
+  parked.swap(queue);
+  int rescued = 0;
+  for (int input_idx : parked) {
+    Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+    in.waiting_output = false;
+    if (resolve_route(input_idx)) {
+      ++rescued;
+      schedule_process(input_idx);
+    }
+  }
+  return rescued;
 }
 
 int Switch::link_count(LinkClass cls) const {
@@ -183,12 +263,113 @@ Watts Switch::instantaneous_link_power(TimePs now) const {
   return p;
 }
 
-void Switch::deliver_link_token(int port, const Token& t) {
+void Switch::deliver_link_token(int port, const Token& t, std::uint64_t seq,
+                                bool corrupt) {
   Input& in = inputs_.at(static_cast<std::size_t>(port));
+  if (in.reliable) {
+    if (corrupt) {
+      // CRC catches the flip; discard and ask for everything from the
+      // first missing sequence number.
+      ++fault_counters_.crc_rejects;
+      request_retransmit(port);
+      return;
+    }
+    if (seq != in.rel_expect) {
+      // Gap: an earlier token was lost or rejected; everything after it
+      // is discarded until the go-back-N resend arrives.  seq below the
+      // expectation is a duplicate from an over-eager resend — re-ack it
+      // so a transmitter that missed the ack converges.
+      if (seq > in.rel_expect) {
+        request_retransmit(port);
+      } else {
+        send_link_ack(port);
+      }
+      return;
+    }
+    in.nak_outstanding = false;
+    ++in.rel_expect;
+    // Cumulative ack on acceptance into the fifo (not on consumption):
+    // backpressure from a busy consumer must not look like token loss to
+    // the transmitter's retry timer.  The ack rides the reverse wire of
+    // the full-duplex pair alongside credit returns; its wire cost is
+    // part of the kReliableFramingBits overhead.
+    send_link_ack(port);
+  }
   invariant(in.fifo.size() < cfg_.buffer_tokens,
             "link delivery overran credit window");
   in.fifo.push_back(t);
   schedule_process(port);
+}
+
+void Switch::request_retransmit(int port) {
+  Input& in = inputs_[static_cast<std::size_t>(port)];
+  if (in.nak_outstanding || in.peer == nullptr) return;
+  in.nak_outstanding = true;
+  ++fault_counters_.naks_sent;
+  // The NAK is a real control frame on the reverse wire of the full-duplex
+  // pair (our output of the same port index): charge its bits.
+  const Output& rev = outputs_[static_cast<std::size_t>(port)];
+  if (rev.kind == Output::Kind::kLink && rev.peer != nullptr) {
+    ledger_.add(link_account(rev.cls),
+                (kBitsPerToken + kReliableFramingBits) *
+                    link_energy_per_bit(rev.cls, rev.cable_cm));
+  }
+  Switch* peer = in.peer;
+  const int po = in.peer_output;
+  const std::uint64_t expect = in.rel_expect;
+  sim_.after(in.credit_latency,
+             [peer, po, expect] { peer->on_link_nak(po, expect); });
+}
+
+void Switch::send_link_ack(int port) {
+  Input& in = inputs_[static_cast<std::size_t>(port)];
+  if (in.peer == nullptr) return;
+  Switch* peer = in.peer;
+  const int po = in.peer_output;
+  const std::uint64_t cum = in.rel_expect;
+  sim_.after(in.credit_latency,
+             [peer, po, cum] { peer->on_link_ack(po, cum); });
+}
+
+void Switch::on_link_ack(int output_idx, std::uint64_t cum_seq) {
+  Output& out = outputs_.at(static_cast<std::size_t>(output_idx));
+  if (!out.reliable || out.dead) return;
+  bool progress = false;
+  while (out.rel_base < cum_seq && !out.replay.empty()) {
+    out.replay.pop_front();
+    ++out.rel_base;
+    progress = true;
+  }
+  if (!progress) return;
+  out.backoff_level = 0;  // forward progress resets the backoff
+  if (out.replay.empty()) {
+    ++out.timer_gen;  // nothing outstanding: disarm the retry timer
+    out.timer_armed = false;
+  } else {
+    arm_retry_timer(output_idx);
+  }
+}
+
+void Switch::on_link_nak(int output_idx, std::uint64_t expect_seq) {
+  Output& out = outputs_.at(static_cast<std::size_t>(output_idx));
+  ++fault_counters_.naks_received;
+  if (!out.reliable || out.dead) return;
+  const auto floor = static_cast<std::int64_t>(
+      std::max(expect_seq, out.rel_base));
+  if (out.resend_cursor >= 0) {
+    // Already resending; rewind if the receiver is missing older tokens.
+    out.resend_cursor = std::min(out.resend_cursor, floor);
+    return;
+  }
+  if (out.backoff_level > cfg_.max_retry_rounds) {
+    mark_link_dead(output_idx);
+    return;
+  }
+  const TimePs delay = backoff_delay(out);
+  ++out.backoff_level;
+  out.resend_cursor = floor;
+  const std::uint64_t gen = ++out.resend_gen;
+  sim_.after(delay, [this, output_idx, gen] { resend_step(output_idx, gen); });
 }
 
 void Switch::on_credit(int output_idx) {
@@ -225,7 +406,7 @@ void Switch::consume_from_fifo(Input& in) {
 bool Switch::try_bind_direction(int input_idx, int direction) {
   for (int oidx : dir_groups_[static_cast<std::size_t>(direction)]) {
     Output& out = outputs_[static_cast<std::size_t>(oidx)];
-    if (out.peer != nullptr && out.bound_input < 0) {
+    if (out.peer != nullptr && !out.dead && out.bound_input < 0) {
       out.bound_input = input_idx;
       inputs_[static_cast<std::size_t>(input_idx)].output = oidx;
       return true;
@@ -303,7 +484,7 @@ void Switch::unbind(int input_idx) {
       win.route_opened_at = sim_.now();
       ++packets_routed_;
     }
-  } else {
+  } else if (!out.dead) {
     auto& queue = dir_waiters_[static_cast<std::size_t>(out.direction)];
     if (!queue.empty()) {
       next = queue.front();
@@ -320,22 +501,144 @@ void Switch::unbind(int input_idx) {
   if (next >= 0) schedule_process(next);
 }
 
+int Switch::link_bits_per_token(const Output& out) const {
+  return kBitsPerToken + (out.reliable ? kReliableFramingBits : 0);
+}
+
+TimePs Switch::backoff_delay(const Output& out) const {
+  if (out.backoff_level == 0) return 0;
+  const int e = std::min(out.backoff_level, cfg_.max_backoff_doublings);
+  return cfg_.retry_timeout << e;  // bounded exponential backoff
+}
+
+void Switch::arm_retry_timer(int output_idx) {
+  Output& out = outputs_[static_cast<std::size_t>(output_idx)];
+  const std::uint64_t gen = ++out.timer_gen;
+  out.timer_armed = true;
+  sim_.after(cfg_.retry_timeout + backoff_delay(out),
+             [this, output_idx, gen] { on_retry_timeout(output_idx, gen); });
+}
+
+void Switch::on_retry_timeout(int output_idx, std::uint64_t gen) {
+  Output& out = outputs_[static_cast<std::size_t>(output_idx)];
+  if (gen != out.timer_gen) return;  // superseded or disarmed
+  out.timer_armed = false;
+  if (out.dead || !out.reliable || out.replay.empty()) return;
+  ++fault_counters_.retry_timeouts;
+  ++out.backoff_level;
+  if (out.backoff_level > cfg_.max_retry_rounds) {
+    mark_link_dead(output_idx);
+    return;
+  }
+  // No ack and no NAK within the window: go back to the oldest unacked
+  // token (covers total outages, where the receiver saw nothing at all).
+  out.resend_cursor = static_cast<std::int64_t>(out.rel_base);
+  const std::uint64_t rgen = ++out.resend_gen;
+  sim_.after(0, [this, output_idx, rgen] { resend_step(output_idx, rgen); });
+  arm_retry_timer(output_idx);
+}
+
+void Switch::resend_step(int output_idx, std::uint64_t gen) {
+  Output& out = outputs_[static_cast<std::size_t>(output_idx)];
+  if (gen != out.resend_gen) return;  // superseded by a newer resend round
+  if (out.dead || !out.reliable) {
+    out.resend_cursor = -1;
+    return;
+  }
+  if (out.resend_cursor < static_cast<std::int64_t>(out.rel_base)) {
+    out.resend_cursor = static_cast<std::int64_t>(out.rel_base);  // acked
+  }
+  if (out.resend_cursor >= static_cast<std::int64_t>(out.tx_seq)) {
+    // Caught up: resume normal transmission from the bound input.
+    out.resend_cursor = -1;
+    if (out.bound_input >= 0) schedule_process(out.bound_input);
+    return;
+  }
+  const TimePs now = sim_.now();
+  if (out.busy_until > now) {
+    sim_.at(out.busy_until,
+            [this, output_idx, gen] { resend_step(output_idx, gen); });
+    return;
+  }
+  const Token t = out.replay[static_cast<std::size_t>(
+      out.resend_cursor - static_cast<std::int64_t>(out.rel_base))];
+  const auto seq = static_cast<std::uint64_t>(out.resend_cursor);
+  ++out.resend_cursor;
+  ++fault_counters_.retransmissions;
+  transmit_on_link(out, t, seq);  // charges the wire like a first send
+  sim_.at(out.busy_until,
+          [this, output_idx, gen] { resend_step(output_idx, gen); });
+}
+
+void Switch::mark_link_dead(int output_idx) {
+  Output& out = outputs_[static_cast<std::size_t>(output_idx)];
+  if (out.dead) return;
+  out.dead = true;
+  ++fault_counters_.links_marked_dead;
+  out.resend_cursor = -1;
+  ++out.resend_gen;
+  ++out.timer_gen;
+  out.timer_armed = false;
+  out.replay.clear();
+  // Wake the bound input so it can drain the doomed remainder of its
+  // packet instead of wedging the switch.
+  if (out.bound_input >= 0) schedule_process(out.bound_input);
+  if (on_link_dead_) on_link_dead_(*this, output_idx, out.direction);
+}
+
+void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
+  const TimePs now = sim_.now();
+  const int bits = link_bits_per_token(out);
+  const TimePs ser = transfer_time_ps(bits, out.rate);
+  out.busy_until = now + ser;
+  const TimePs arrival = now + hop_latency_ + ser + out.wire_latency;
+  ledger_.add(link_account(out.cls),
+              bits * link_energy_per_bit(out.cls, out.cable_cm));
+  ++link_tokens_sent_[static_cast<std::size_t>(out.cls)];
+  link_busy_time_[static_cast<std::size_t>(out.cls)] += ser;
+  // Fault injection on the wire (applies to retransmissions too: a flaky
+  // cable does not care whether a token is a retry).
+  Token wire = t;
+  bool corrupt = false;
+  if (fault_hook_) {
+    switch (fault_hook_(cfg_.node, out.direction, wire)) {
+      case LinkFaultAction::kNone:
+        break;
+      case LinkFaultAction::kCorrupt:
+        corrupt = true;
+        ++fault_counters_.tokens_corrupted;
+        break;
+      case LinkFaultAction::kDrop:
+        ++fault_counters_.tokens_dropped;
+        return;  // lost on the wire; the driver still burned the energy
+    }
+  }
+  if (!out.link_up) {
+    ++fault_counters_.tokens_dropped;
+    return;
+  }
+  Switch* peer = out.peer;
+  const int pport = out.peer_port;
+  sim_.at(arrival, [peer, pport, wire, seq, corrupt] {
+    peer->deliver_link_token(pport, wire, seq, corrupt);
+  });
+}
+
 void Switch::send_token(int input_idx, Output& out, const Token& t) {
   ++tokens_forwarded_;
   ledger_.add(EnergyAccount::kNetworkInterface, kNiTokenEnergy);
   const TimePs now = sim_.now();
   if (out.kind == Output::Kind::kLink) {
     --out.credits;
-    const TimePs ser = token_time(out);
-    out.busy_until = now + ser;
-    const TimePs arrival = now + hop_latency_ + ser + out.wire_latency;
-    ledger_.add(link_account(out.cls),
-                kBitsPerToken * link_energy_per_bit(out.cls, out.cable_cm));
-    ++link_tokens_sent_[static_cast<std::size_t>(out.cls)];
-    link_busy_time_[static_cast<std::size_t>(out.cls)] += ser;
-    Switch* peer = out.peer;
-    const int pport = out.peer_port;
-    sim_.at(arrival, [peer, pport, t] { peer->deliver_link_token(pport, t); });
+    std::uint64_t seq = 0;
+    if (out.reliable) {
+      seq = out.tx_seq++;
+      out.replay.push_back(t);
+      if (!out.timer_armed) {
+        arm_retry_timer(static_cast<int>(&out - outputs_.data()));
+      }
+    }
+    transmit_on_link(out, t, seq);
   } else {
     out.busy_until = now + proc_token_time_;
     ++out.deliveries_in_flight;
@@ -354,6 +657,11 @@ void Switch::send_token(int input_idx, Output& out, const Token& t) {
 void Switch::process_input(int input_idx) {
   Input& in = inputs_[static_cast<std::size_t>(input_idx)];
   in.process_scheduled = false;
+  if (stalled_until_ > sim_.now()) {
+    // Injected switch-buffer stall: freeze the crossbar until it lifts.
+    schedule_process(input_idx, stalled_until_);
+    return;
+  }
 
   while (true) {
     if (in.output == -1) {
@@ -387,6 +695,21 @@ void Switch::process_input(int input_idx) {
     }
 
     Output& out = outputs_[static_cast<std::size_t>(in.output)];
+    if (out.kind == Output::Kind::kLink && out.dead) {
+      // Permanent link failure: consume and discard the rest of the packet
+      // so the input (and everything upstream of it) does not wedge.
+      const bool fp = !in.pending_out.empty();
+      if (!fp && in.fifo.empty()) return;
+      const Token d = fp ? in.pending_out.front() : in.fifo.front();
+      if (fp) {
+        in.pending_out.pop_front();
+      } else {
+        consume_from_fifo(in);
+      }
+      ++fault_counters_.tokens_discarded_dead;
+      if (!fp && d.closes_route()) unbind(input_idx);
+      continue;
+    }
     const TimePs now = sim_.now();
     if (out.busy_until > now) {
       schedule_process(input_idx, out.busy_until);
@@ -397,6 +720,9 @@ void Switch::process_input(int input_idx) {
     const Token t = from_pending ? in.pending_out.front() : in.fifo.front();
 
     if (out.kind == Output::Kind::kLink) {
+      // While a go-back-N resend is replaying, new tokens must wait so the
+      // wire carries sequence numbers in order.  resend_step reschedules us.
+      if (out.reliable && out.resend_cursor >= 0) return;
       if (out.credits <= 0) return;  // resumed by on_credit
     } else {
       if (out.receiver->free_space() <=

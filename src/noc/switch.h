@@ -19,6 +19,22 @@
 // to that link class's ledger account, and every forwarded token charges a
 // small network-interface energy (the dynamic half of Fig. 2's 58 mW NI
 // share; the static half is a constant trace owned by the board layer).
+//
+// Resilience (src/fault/): links can optionally run a *reliable* framing
+// protocol — every token carries a sequence number and CRC (modelled as
+// kReliableFramingBits extra wire bits per token), the receiver discards
+// corrupt or out-of-order tokens and NAKs the first missing sequence
+// number, and the sender go-back-N retransmits from a bounded replay
+// window with exponential backoff.  The receiver cumulatively acks each
+// token as it is *accepted into the input fifo* (not as it is consumed),
+// so downstream backpressure never masquerades as loss to the retry
+// timer; acks ride the reverse wire next to credit returns and their
+// cost is part of the framing overhead.  Credits still bound the replay
+// window (at most one credit window of tokens is unacked).  Acks, NAKs
+// and framing all charge the Table I per-bit energy: a degraded link is
+// *visibly* more expensive in the ledger.  A sender that exhausts its
+// retry budget declares the link dead and reports it through the
+// link-dead callback so the fault layer can route around it.
 #pragma once
 
 #include <array>
@@ -42,12 +58,63 @@ namespace swallow {
 
 class Core;
 
+/// Extra wire bits per token on a reliable link: sequence + CRC framing,
+/// amortised (the real 5-wire encoding has spare symbols for this).  The
+/// protocol overhead is charged per bit like payload — energy transparency
+/// includes the cost of protection.
+inline constexpr int kReliableFramingBits = 2;
+
+/// What the fault-injection hook did to a token about to cross a link.
+enum class LinkFaultAction {
+  kNone,     // token crosses intact
+  kCorrupt,  // hook flipped bits; a reliable receiver's CRC catches it
+  kDrop,     // token lost on the wire (outage)
+};
+
 class Switch {
  public:
   struct Config {
     NodeId node = 0;
     MegaHertz clock_mhz = 500.0;     // switch clock, independent of core DFS
     std::size_t buffer_tokens = 8;   // per-input FIFO / credit window
+    // Reliable-link retry policy (used only on links marked reliable).
+    TimePs retry_timeout = microseconds(2.0);  // base retransmit timeout
+    int max_retry_rounds = 8;        // no-progress rounds before link death
+    int max_backoff_doublings = 5;   // bound on the exponential backoff
+  };
+
+  /// Fault-injection hook, consulted once per token transmitted on a link
+  /// (including retransmissions).  May mutate the token on kCorrupt.
+  using LinkFaultHook =
+      std::function<LinkFaultAction(NodeId node, int direction, Token& t)>;
+
+  /// Called when the retry protocol declares an outgoing link dead.
+  using LinkDeadCallback =
+      std::function<void(Switch& sw, int output_port, int direction)>;
+
+  /// Machine-readable snapshot of one open or parked wormhole route
+  /// (deadlock diagnostics; see open_routes()).
+  struct OpenRoute {
+    NodeId node = 0;
+    int input = -1;
+    int output = -1;     // -1 when parked waiting for a free output
+    bool to_link = false;
+    bool parked = false;
+    TimePs held_for = 0;
+    std::size_t queued_tokens = 0;
+  };
+
+  /// Static description of one connected link port (topology
+  /// introspection for the fault layer's reroute computation).
+  struct LinkPortInfo {
+    int port = -1;
+    int direction = -1;
+    NodeId peer = 0;
+    int peer_port = -1;
+    LinkClass cls = LinkClass::kOnChip;
+    bool up = true;        // transient outage state
+    bool dead = false;     // permanently failed (retry budget exhausted)
+    bool reliable = false;
   };
 
   Switch(Simulator& sim, EnergyLedger& ledger, Config cfg,
@@ -82,6 +149,40 @@ class Switch {
   void set_router(std::shared_ptr<Router> router) { router_ = std::move(router); }
   Router* router() { return router_.get(); }
 
+  // ----- Resilience / fault injection -----
+  /// Enable the reliable framing protocol on outgoing link `port` and on
+  /// the paired receive side at the peer.  Call on both switches (as
+  /// Network::set_links_reliable does) to protect both directions.
+  void set_link_reliable(int port, bool reliable);
+
+  /// Transient outage control: while a direction's links are down, tokens
+  /// sent on them are lost on the wire (recovered only by reliable links).
+  void set_links_up(int direction, bool up);
+
+  /// Install the per-token fault hook (nullptr to clear).
+  void set_link_fault_hook(LinkFaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Install the link-death notification (nullptr to clear).
+  void set_link_dead_callback(LinkDeadCallback cb) { on_link_dead_ = std::move(cb); }
+
+  /// Freeze input processing until `when` (switch-buffer stall fault).
+  void stall_inputs_until(TimePs when);
+
+  /// Immediately declare outgoing link `port` dead (permanent fault
+  /// injection; the retry protocol reaches the same state organically when
+  /// its retry budget is exhausted).  Fires the link-dead callback.
+  void kill_link(int port) { mark_link_dead(port); }
+
+  /// Re-run route resolution for inputs parked on `direction` (the fault
+  /// layer calls this after reprogramming tables around a dead link).
+  /// Returns the number of inputs that found a new route.
+  int reresolve_parked(int direction);
+
+  /// Description of every connected link port.
+  std::vector<LinkPortInfo> link_ports() const;
+
+  const FaultCounters& fault_counters() const { return fault_counters_; }
+
   // ----- statistics -----
   std::uint64_t tokens_forwarded() const { return tokens_forwarded_; }
   std::uint64_t packets_routed() const { return packets_routed_; }
@@ -109,13 +210,24 @@ class Switch {
   /// behaviour or head-of-line blocking (§V.B).
   const Sampler& route_hold_ns() const { return route_hold_ns_; }
 
-  /// Human-readable list of currently open routes and parked packets at
-  /// this switch (deadlock diagnostics); empty string when quiescent.
+  /// Machine-readable list of currently open routes and parked packets at
+  /// this switch; empty when quiescent.
+  std::vector<OpenRoute> open_routes(TimePs now) const;
+
+  /// Human-readable rendering of open_routes(); empty string when
+  /// quiescent.
   std::string open_routes_summary(TimePs now) const;
 
   // ----- internal (peer-to-peer) entry points -----
-  void deliver_link_token(int port, const Token& t);
+  /// `seq`/`corrupt` carry the reliable-framing sideband; both are ignored
+  /// on unprotected links (a corrupt token is then delivered as-is —
+  /// silent data corruption, the failure mode CRC framing exists to stop).
+  void deliver_link_token(int port, const Token& t, std::uint64_t seq = 0,
+                          bool corrupt = false);
   void on_credit(int output_idx);
+  /// Cumulative ack: the peer accepted every sequence number < cum_seq.
+  void on_link_ack(int output_idx, std::uint64_t cum_seq);
+  void on_link_nak(int output_idx, std::uint64_t expect_seq);
 
  private:
   struct ProcPortImpl;
@@ -135,6 +247,10 @@ class Switch {
     Switch* peer = nullptr;
     int peer_output = -1;
     TimePs credit_latency = 0;
+    // Reliable-link receive side.
+    bool reliable = false;
+    std::uint64_t rel_expect = 0;   // next expected sequence number
+    bool nak_outstanding = false;   // suppress duplicate NAKs per gap
     // Proc inputs: space notifications back to the producing chanend.
     std::vector<std::function<void()>> space_subs;
   };
@@ -150,6 +266,19 @@ class Switch {
     TimePs wire_latency = 0;
     double cable_cm = kFfcReferenceLengthCm;
     int credits = 0;
+    // Reliable-link transmit side (go-back-N with a replay window bounded
+    // by the credit window; credits double as cumulative acks).
+    bool reliable = false;
+    bool link_up = true;            // transient outage (fault injection)
+    bool dead = false;              // permanent failure declared
+    std::uint64_t tx_seq = 0;       // sequence of the next new token
+    std::uint64_t rel_base = 0;     // oldest unacked sequence
+    std::deque<Token> replay;       // tokens [rel_base, tx_seq)
+    std::int64_t resend_cursor = -1;  // next seq to resend; -1 = idle
+    std::uint64_t resend_gen = 0;   // invalidates stale resend events
+    std::uint64_t timer_gen = 0;    // invalidates stale timeout events
+    bool timer_armed = false;
+    int backoff_level = 0;          // consecutive no-progress rounds
     // Proc outputs.
     TokenReceiver* receiver = nullptr;
     int deliveries_in_flight = 0;
@@ -169,6 +298,16 @@ class Switch {
   void send_token(int input_idx, Output& out, const Token& t);
   void consume_from_fifo(Input& in);
   TimePs token_time(const Output& out) const;
+  int link_bits_per_token(const Output& out) const;
+  // Reliable-link machinery.
+  void transmit_on_link(Output& out, const Token& t, std::uint64_t seq);
+  void request_retransmit(int port);
+  void send_link_ack(int port);
+  void resend_step(int output_idx, std::uint64_t gen);
+  void arm_retry_timer(int output_idx);
+  void on_retry_timeout(int output_idx, std::uint64_t gen);
+  TimePs backoff_delay(const Output& out) const;
+  void mark_link_dead(int output_idx);
 
   Simulator& sim_;
   EnergyLedger& ledger_;
@@ -195,6 +334,12 @@ class Switch {
   std::array<std::uint64_t, 4> link_tokens_sent_{};
   std::array<TimePs, 4> link_busy_time_{};
   Sampler route_hold_ns_;
+
+  // Fault / resilience state.
+  FaultCounters fault_counters_;
+  LinkFaultHook fault_hook_;
+  LinkDeadCallback on_link_dead_;
+  TimePs stalled_until_ = 0;
 };
 
 }  // namespace swallow

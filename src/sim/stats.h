@@ -2,6 +2,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -45,6 +46,70 @@ class Sampler {
   double m2_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Per-switch fault and resilience counters (see noc/switch.h and
+/// src/fault/).  Injected faults, CRC rejects and the retransmission
+/// machinery all count here so analysis/netstat can render a fault summary
+/// and board/telemetry can stream it — degraded links are *visible*, not
+/// silent, which is the energy-transparency story extended to faults.
+struct FaultCounters {
+  std::uint64_t tokens_corrupted = 0;   // corruptions injected on tx links
+  std::uint64_t tokens_dropped = 0;     // tokens lost to a link outage
+  std::uint64_t crc_rejects = 0;        // corrupt tokens detected at rx
+  std::uint64_t naks_sent = 0;          // go-back-N NAKs emitted by rx side
+  std::uint64_t naks_received = 0;      // NAKs received by tx side
+  std::uint64_t retransmissions = 0;    // tokens resent (NAK or timeout)
+  std::uint64_t retry_timeouts = 0;     // retransmit timer expiries
+  std::uint64_t links_marked_dead = 0;  // permanent failures declared
+  std::uint64_t tokens_discarded_dead = 0;  // tokens dropped at a dead link
+
+  FaultCounters& operator+=(const FaultCounters& o) {
+    tokens_corrupted += o.tokens_corrupted;
+    tokens_dropped += o.tokens_dropped;
+    crc_rejects += o.crc_rejects;
+    naks_sent += o.naks_sent;
+    naks_received += o.naks_received;
+    retransmissions += o.retransmissions;
+    retry_timeouts += o.retry_timeouts;
+    links_marked_dead += o.links_marked_dead;
+    tokens_discarded_dead += o.tokens_discarded_dead;
+    return *this;
+  }
+  FaultCounters& operator-=(const FaultCounters& o) {
+    tokens_corrupted -= o.tokens_corrupted;
+    tokens_dropped -= o.tokens_dropped;
+    crc_rejects -= o.crc_rejects;
+    naks_sent -= o.naks_sent;
+    naks_received -= o.naks_received;
+    retransmissions -= o.retransmissions;
+    retry_timeouts -= o.retry_timeouts;
+    links_marked_dead -= o.links_marked_dead;
+    tokens_discarded_dead -= o.tokens_discarded_dead;
+    return *this;
+  }
+  /// Sum of every counter — "any fault activity at all?" and the
+  /// watchdog's fault-progress signal (retries count as liveness).
+  std::uint64_t total() const {
+    return tokens_corrupted + tokens_dropped + crc_rejects + naks_sent +
+           naks_received + retransmissions + retry_timeouts +
+           links_marked_dead + tokens_discarded_dead;
+  }
+
+  /// Positional access for table rendering and telemetry streaming.
+  static constexpr int kFieldCount = 9;
+  std::array<std::uint64_t, kFieldCount> as_array() const {
+    return {tokens_corrupted, tokens_dropped,     crc_rejects,
+            naks_sent,        naks_received,      retransmissions,
+            retry_timeouts,   links_marked_dead,  tokens_discarded_dead};
+  }
+  static const char* field_name(int i) {
+    constexpr const char* kNames[kFieldCount] = {
+        "tokens corrupted", "tokens dropped",    "crc rejects",
+        "naks sent",        "naks received",     "retransmissions",
+        "retry timeouts",   "links marked dead", "tokens discarded (dead)"};
+    return i >= 0 && i < kFieldCount ? kNames[i] : "?";
+  }
 };
 
 /// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.

@@ -1,0 +1,525 @@
+// Fault-injection, resilient-link and watchdog tests (src/fault/):
+//  * an empty FaultPlan (and the injector machinery itself) leaves a run
+//    bit-identical to one without any fault layer;
+//  * CRC/retry framing delivers byte-exact payloads through a flaky
+//    off-board cable, charging the extra wire traffic to the ledger;
+//  * without retries the same corruption wedges the wormhole protocol and
+//    the watchdog reports *which* cores are blocked instead of hanging;
+//  * retry exhaustion on a long outage declares the link dead;
+//  * table-router systems reprogram routes around a killed link.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/netstat.h"
+#include "analysis/report.h"
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "board/telemetry.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "fault/fault.h"
+#include "fault/reroute.h"
+#include "fault/watchdog.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+/// The row-0 east FFC cable of a 2x1-slice machine leaves the horizontal
+/// switch of chip (3, 0) in direction East (board/system.cpp wiring).
+const NodeId kCableTxNode = lattice_node_id(3, 0, Layer::kHorizontal);
+
+/// A 6-stage pipeline laid east along chip row 0 (horizontal layer), so
+/// exactly one inter-stage hop (stage 2 -> 3) crosses the off-board cable.
+std::vector<Placement> row0_pipeline_places() {
+  std::vector<Placement> places;
+  for (int x = 1; x < 7; ++x) {
+    places.push_back({x, 0, Layer::kHorizontal});
+  }
+  return places;
+}
+
+struct RunResult {
+  bool completed = false;
+  TimePs time = 0;
+  Joules total = 0;
+  Joules cable = 0;
+  FaultCounters faults;
+  bool stalled = false;
+  bool quiesced = false;
+  std::vector<StallReport> stall_reports;
+};
+
+/// Run the cross-cable pipeline on a 2x1 system, optionally with a fault
+/// plan; a watchdog monitors the whole run.
+RunResult pipeline_run(bool reliable, const FaultPlan* plan) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.reliable_links = reliable;
+  SwallowSystem sys(sim, cfg);
+
+  FaultInjector injector(sys, plan != nullptr ? *plan : FaultPlan{});
+  injector.arm();
+  Watchdog wd(sys);
+  wd.arm();
+
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 6;
+  pcfg.items = 24;
+  pcfg.work_per_item = 500;
+  pcfg.bytes_per_item = 128;
+  build_pipeline(app, pcfg, row0_pipeline_places());
+  app.start();
+
+  RunResult r;
+  try {
+    r.completed = app.run_to_completion(milliseconds(20.0));
+  } catch (const Error&) {
+    r.completed = false;  // a trap is "not hanging" but not success either
+  }
+  r.time = sim.now();
+  sys.settle_energy();
+  r.total = sys.ledger().grand_total();
+  r.cable = sys.ledger().total(EnergyAccount::kLinkCable);
+  r.faults = sys.network().total_fault_counters();
+  // Give the watchdog a full flat window after the workload ends (whether
+  // it completed, trapped or wedged) so it can reach its verdict.
+  sim.run_until(sim.now() + microseconds(200.0));
+  EXPECT_FALSE(wd.stalled() && r.completed)
+      << "watchdog stalled on a run that completed";
+  r.stalled = wd.stalled();
+  r.quiesced = wd.quiesced();
+  r.stall_reports = wd.reports();
+  return r;
+}
+
+// ------------------------------------------------------------ bit identity
+
+TEST(FaultFree, InjectorWithEmptyPlanIsBitIdentical) {
+  // Arming the fault layer with nothing to inject must not perturb the
+  // simulation at all: identical completion time, identical energy.
+  auto run = [](bool with_fault_layer) {
+    Simulator sim;
+    SystemConfig cfg;
+    cfg.slices_x = 2;
+    SwallowSystem sys(sim, cfg);
+    FaultInjector injector(sys, FaultPlan{});
+    Watchdog wd(sys);
+    if (with_fault_layer) {
+      injector.arm();
+      wd.arm();
+    }
+    AppBuilder app(sys);
+    PipelineConfig pcfg;
+    pcfg.stages = 6;
+    pcfg.items = 16;
+    pcfg.bytes_per_item = 64;
+    build_pipeline(app, pcfg, row0_pipeline_places());
+    app.start();
+    EXPECT_TRUE(app.run_to_completion(milliseconds(20.0)));
+    sys.settle_energy();
+    return std::make_pair(app.completion_time(), sys.ledger().grand_total());
+  };
+  const auto [t_plain, e_plain] = run(false);
+  const auto [t_fault, e_fault] = run(true);
+  EXPECT_EQ(t_plain, t_fault);
+  EXPECT_DOUBLE_EQ(e_plain, e_fault);
+}
+
+TEST(FaultFree, ReliableFramingCostsEnergyButDeliversIdentically) {
+  // Turning the CRC/retry framing on with zero faults changes wire bits
+  // (and therefore energy and timing) but never behaviour.
+  const RunResult plain = pipeline_run(false, nullptr);
+  const RunResult framed = pipeline_run(true, nullptr);
+  ASSERT_TRUE(plain.completed);
+  ASSERT_TRUE(framed.completed);
+  EXPECT_TRUE(framed.quiesced);
+  // 10 bits per link token instead of 8: strictly more link energy.
+  EXPECT_GT(framed.cable, plain.cable);
+  EXPECT_EQ(plain.faults.total(), 0u);
+  EXPECT_EQ(framed.faults.total(), 0u);
+}
+
+// ------------------------------------------------- retries deliver payloads
+
+TEST(ResilientLink, CorruptedCableDeliversByteExactPayloads) {
+  // Sender at chip (3,0) streams 400 known words to chip (4,0) across the
+  // flaky row-0 FFC cable; the receiver checksums what it actually got.
+  // With CRC/retry framing the sum must be exact despite the corruption.
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.reliable_links = true;
+  SwallowSystem sys(sim, cfg);
+
+  FaultPlan plan;
+  plan.seed = 0x5EED;
+  plan.corrupt_link(kCableTxNode, kDirEast, 3e-3);
+  FaultInjector injector(sys, plan);
+  injector.arm();
+
+  Core& tx = sys.core(3, 0, Layer::kHorizontal);
+  Core& rx = sys.core(4, 0, Layer::kHorizontal);
+  const NodeId rx_node = SwallowSystem::node_id(4, 0, Layer::kHorizontal);
+  tx.load(assemble(strprintf(R"(
+      getr  r0, 2
+      ldc   r1, %u
+      ldch  r1, 2
+      setd  r0, r1
+      ldc   r2, 0
+      ldc   r3, 400
+  loop:
+      out   r0, r2
+      outct r0, 1
+      addi  r2, r2, 1
+      subi  r3, r3, 1
+      bt    r3, loop
+      texit
+  )", static_cast<unsigned>(rx_node))));
+  rx.load(assemble(R"(
+      getr  r0, 2
+      ldc   r2, 0
+      ldc   r3, 400
+  loop:
+      in    r1, r0
+      chkct r0, 1
+      add   r2, r2, r1
+      subi  r3, r3, 1
+      bt    r3, loop
+      printi r2
+      texit
+  )"));
+  tx.start();
+  rx.start();
+  sim.run_until(milliseconds(50.0));
+
+  ASSERT_FALSE(tx.trapped()) << tx.trap().message;
+  ASSERT_FALSE(rx.trapped()) << rx.trap().message;
+  ASSERT_TRUE(rx.finished());
+  EXPECT_EQ(rx.console(), "79800");  // sum 0..399
+
+  const FaultCounters f = sys.network().total_fault_counters();
+  EXPECT_GT(f.tokens_corrupted, 0u);
+  EXPECT_GT(f.crc_rejects, 0u);
+  EXPECT_GT(f.retransmissions, 0u);
+  EXPECT_EQ(f.links_marked_dead, 0u);
+  // Every corrupted token was re-sent, never re-delivered: delivery is
+  // exactly-once (the checksum above proves no loss *and* no duplication).
+  EXPECT_GE(f.retransmissions, f.crc_rejects);
+}
+
+// -------------------------------------------------- the acceptance scenario
+
+TEST(ResilientLink, AcceptanceFlakyCableRetriesVsNoRetries) {
+  FaultPlan plan;
+  plan.seed = 0xCAB1E;
+  plan.corrupt_link(kCableTxNode, kDirEast, 1e-3);
+
+  // Fault-free reliable run: the energy baseline.
+  const RunResult clean = pipeline_run(true, nullptr);
+  ASSERT_TRUE(clean.completed);
+
+  // Retries ON: the pipeline completes, the watchdog never fires, and the
+  // recovery traffic costs strictly more cable energy.
+  const RunResult faulty = pipeline_run(true, &plan);
+  ASSERT_TRUE(faulty.completed);
+  EXPECT_GT(faulty.faults.crc_rejects, 0u);
+  EXPECT_GT(faulty.faults.retransmissions, 0u);
+  EXPECT_GT(faulty.cable, clean.cable);
+
+  // Retries OFF: the same corruption wedges the wormhole protocol; the
+  // watchdog names the blocked cores instead of letting the run hang.
+  FaultPlan harsh = plan;
+  harsh.faults[0].rate = 5e-3;  // make the first protocol hit early
+  const RunResult broken = pipeline_run(false, &harsh);
+  EXPECT_FALSE(broken.completed);
+  ASSERT_TRUE(broken.stalled);
+  const StallReport& report = broken.stall_reports.front();
+  EXPECT_FALSE(report.diagnosis.healthy());
+  ASSERT_FALSE(report.diagnosis.blocked.empty());
+  // The rendered report names a blocked core and what it waits on.
+  const std::string text = render_stall_report(report);
+  EXPECT_NE(text.find("blocked"), std::string::npos) << text;
+  EXPECT_NE(text.find("core"), std::string::npos) << text;
+}
+
+// ----------------------------------------------------------------- watchdog
+
+TEST(WatchdogTest, QuiescesOnHealthyCompletion) {
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  Watchdog wd(sys);
+  wd.arm();
+
+  AppBuilder app(sys);
+  TaskSpec a, b;
+  const int ta = app.add_task(a, 0, 0, Layer::kVertical);
+  const int tb = app.add_task(b, 2, 1, Layer::kVertical);
+  const int ch = app.connect(ta, tb);
+  app.set_steps(ta, {TaskStep::compute(2000), TaskStep::send(ch, 256)});
+  app.set_steps(tb, {TaskStep::recv(ch, 256), TaskStep::compute(2000)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(10.0)));
+
+  // Let the watchdog observe a full flat window after the work ends.
+  sim.run_until(sim.now() + microseconds(60.0));
+  EXPECT_TRUE(wd.quiesced());
+  EXPECT_FALSE(wd.stalled());
+  EXPECT_FALSE(wd.armed());
+}
+
+TEST(WatchdogTest, FlagsTreeReduceWormholeDeadlock) {
+  // §V.D wormhole hazard: multi-word reduction messages from sibling
+  // leaves contend for the root's last-hop link.  The sibling that binds
+  // the link first stalls (the root is waiting for a *different* child
+  // first), and the child the root wants is parked behind it forever.
+  // The child the root reads first is placed farthest away so a nearer
+  // sibling always wins the bind race.
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  Watchdog::Config wcfg;
+  wcfg.period = microseconds(5.0);
+  wcfg.window_periods = 4;
+  Watchdog wd(sys, wcfg);
+  wd.arm();
+  int stall_callbacks = 0;
+  wd.set_on_stall([&](const StallReport&) { ++stall_callbacks; });
+
+  AppBuilder app(sys);
+  TreeReduceConfig tcfg;
+  tcfg.leaves = 4;
+  tcfg.fanout = 4;
+  tcfg.bytes_per_value = 64;  // > one word: can hold links mid-message
+  tcfg.work_per_leaf = 2000;
+  tcfg.acknowledge_deadlock_hazard = true;
+  const std::vector<Placement> places = {
+      {3, 1, Layer::kHorizontal},  // child 0: read first, farthest away
+      {1, 0, Layer::kVertical},    // nearer siblings win the shared link
+      {1, 1, Layer::kVertical},
+      {2, 0, Layer::kVertical},
+      {0, 0, Layer::kVertical},    // root
+  };
+  build_tree_reduce(app, tcfg, places);
+  app.start();
+
+  EXPECT_FALSE(app.run_to_completion(milliseconds(2.0)));
+  ASSERT_TRUE(wd.stalled());
+  EXPECT_EQ(stall_callbacks, 1);
+  const StallReport& report = wd.reports().front();
+  EXPECT_FALSE(report.diagnosis.blocked.empty());
+  EXPECT_FALSE(report.diagnosis.routes.empty());  // held wormhole routes
+  EXPECT_GT(report.progress, 0u);
+  // The root is among the blocked cores, waiting on a channel input.
+  const NodeId root = SwallowSystem::node_id(0, 0, Layer::kVertical);
+  bool root_blocked = false;
+  for (const auto& s : report.diagnosis.blocked) {
+    root_blocked |= (s.core == root && s.waiting_on == Core::WaitKind::kChanIn);
+  }
+  EXPECT_TRUE(root_blocked) << render_stall_report(report);
+}
+
+TEST(WatchdogTest, RetriesCountAsProgressDuringFaultStorm) {
+  // A link fighting through heavy corruption is live, not stalled: the
+  // fault-counter term of the progress metric must keep the watchdog calm
+  // even when corruption makes forward progress crawl.
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.corrupt_link(kCableTxNode, kDirEast, 2e-2);
+  const RunResult r = pipeline_run(true, &plan);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.faults.retransmissions, 0u);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_TRUE(r.quiesced);
+}
+
+// --------------------------------------------------- link death & rerouting
+
+TEST(Degradation, LongOutageExhaustsRetriesAndKillsTheLink) {
+  // A cable unplugged for longer than the full retry/backoff schedule:
+  // the transmitter declares the link dead and the watchdog reports the
+  // receiver that will now never get its data.
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.reliable_links = true;
+  SwallowSystem sys(sim, cfg);
+
+  FaultPlan plan;
+  plan.link_outage(kCableTxNode, kDirEast, microseconds(1.0),
+                   milliseconds(50.0));
+  FaultInjector injector(sys, plan);
+  injector.arm();
+  Watchdog wd(sys);
+  wd.arm();
+
+  AppBuilder app(sys);
+  TaskSpec a, b;
+  const int ta = app.add_task(a, 3, 0, Layer::kHorizontal);
+  const int tb = app.add_task(b, 4, 0, Layer::kHorizontal);
+  const int ch = app.connect(ta, tb);
+  app.set_steps(ta, {TaskStep::send(ch, 512)});
+  app.set_steps(tb, {TaskStep::recv(ch, 512)});
+  app.start();
+  EXPECT_FALSE(app.run_to_completion(milliseconds(5.0)));
+
+  const FaultCounters f = sys.network().total_fault_counters();
+  EXPECT_GT(f.tokens_dropped, 0u);
+  EXPECT_GE(f.retry_timeouts, 8u);  // the full Config::max_retry_rounds
+  EXPECT_GE(f.links_marked_dead, 1u);
+  ASSERT_TRUE(wd.stalled());
+  EXPECT_FALSE(wd.reports().front().diagnosis.blocked.empty());
+}
+
+TEST(Degradation, TableRoutersRerouteAroundKilledLink) {
+  // Kill the row-0 cable before traffic starts; the ResilienceManager
+  // reprograms every routing table over the surviving topology (the row-1
+  // cable) and the cross-slice transfer still completes.
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.use_table_routers = true;
+  SwallowSystem sys(sim, cfg);
+
+  ResilienceManager rm(sys);
+  rm.arm();
+  FaultPlan plan;
+  plan.kill_link(kCableTxNode, kDirEast, microseconds(1.0));
+  FaultInjector injector(sys, plan);
+  injector.arm();
+
+  AppBuilder app(sys);
+  TaskSpec a, b;
+  const int ta = app.add_task(a, 3, 0, Layer::kHorizontal);
+  const int tb = app.add_task(b, 4, 0, Layer::kHorizontal);
+  const int ch = app.connect(ta, tb);
+  // Wait out the kill (1 us) + reroute latency (50 us) before sending.
+  app.set_steps(ta, {TaskStep::delay_us(200), TaskStep::send(ch, 1024)});
+  app.set_steps(tb, {TaskStep::recv(ch, 1024)});
+  app.start();
+  EXPECT_TRUE(app.run_to_completion(milliseconds(20.0)));
+
+  ASSERT_EQ(rm.events().size(), 1u);
+  const RerouteEvent& ev = rm.events().front();
+  EXPECT_EQ(ev.node, kCableTxNode);
+  EXPECT_EQ(ev.direction, kDirEast);
+  EXPECT_GT(ev.routes_changed, 0);
+  // Both directions of the physical cable were declared dead.
+  EXPECT_EQ(sys.network().total_fault_counters().links_marked_dead, 2u);
+  // The reroute charged its control-plane energy.
+  sys.settle_energy();
+  EXPECT_GT(sys.ledger().total(EnergyAccount::kNetworkInterface), 0.0);
+  // A second recompute over the same topology changes nothing.
+  EXPECT_EQ(rm.recompute_routes(), 0);
+}
+
+// ------------------------------------------------------ counters & analysis
+
+TEST(FaultReporting, NetstatRendersFaultSummary) {
+  FaultCounters f;
+  EXPECT_EQ(render_fault_summary(f), "");  // all-zero: nothing to report
+  f.tokens_corrupted = 7;
+  f.crc_rejects = 7;
+  f.retransmissions = 9;
+  const std::string text = render_fault_summary(f);
+  EXPECT_NE(text.find("tokens corrupted"), std::string::npos) << text;
+  EXPECT_NE(text.find("retransmissions"), std::string::npos) << text;
+  EXPECT_NE(text.find("9"), std::string::npos) << text;
+  // Zero counters stay out of the table.
+  EXPECT_EQ(text.find("links marked dead"), std::string::npos) << text;
+}
+
+TEST(FaultReporting, NetworkStatsCollectFaultDeltas) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_link(kCableTxNode, kDirEast, 5e-3);
+  Watchdog* wd = nullptr;
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.reliable_links = true;
+  SwallowSystem sys(sim, cfg);
+  FaultInjector injector(sys, plan);
+  injector.arm();
+  (void)wd;
+
+  const NetworkStats before = collect_network_stats(sys.network(), sys.ledger());
+  EXPECT_EQ(before.faults.total(), 0u);
+
+  AppBuilder app(sys);
+  TaskSpec a, b;
+  const int ta = app.add_task(a, 3, 0, Layer::kHorizontal);
+  const int tb = app.add_task(b, 4, 0, Layer::kHorizontal);
+  const int ch = app.connect(ta, tb);
+  app.set_steps(ta, {TaskStep::send(ch, 2048)});
+  app.set_steps(tb, {TaskStep::recv(ch, 2048)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(20.0)));
+
+  const NetworkStats after = collect_network_stats(sys.network(), sys.ledger());
+  const NetworkStats delta = stats_delta(after, before);
+  EXPECT_GT(delta.faults.crc_rejects, 0u);
+  const std::string text = render_network_stats(after, sim.now());
+  EXPECT_NE(text.find("retransmissions"), std::string::npos) << text;
+}
+
+TEST(FaultReporting, TelemetryStreamsFaultCountersToHost) {
+  // Degraded links are visible at the host: the telemetry streamer sends
+  // changed fault counters on dedicated channels above kFaultChannelBase.
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  cfg.reliable_links = true;
+  SwallowSystem sys(sim, cfg);
+
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.corrupt_link(SwallowSystem::node_id(0, 0, Layer::kHorizontal),
+                    kDirEast, 2e-2);
+  FaultInjector injector(sys, plan);
+  injector.arm();
+
+  std::vector<TelemetryStreamer::Record> fault_records;
+  sys.bridge(0).set_host_receiver([&](std::vector<std::uint8_t> packet) {
+    for (const auto& r : TelemetryStreamer::decode(packet)) {
+      if (r.channel >= TelemetryStreamer::kFaultChannelBase) {
+        fault_records.push_back(r);
+      }
+    }
+  });
+  TelemetryStreamer streamer(sim, sys.slice(0, 0), sys.bridge(0),
+                             microseconds(50.0));
+  streamer.enable_fault_stream();
+  streamer.start();
+
+  AppBuilder app(sys);
+  TaskSpec a, b;
+  const int ta = app.add_task(a, 0, 0, Layer::kHorizontal);
+  const int tb = app.add_task(b, 3, 0, Layer::kHorizontal);
+  const int ch = app.connect(ta, tb);
+  app.set_steps(ta, {TaskStep::send(ch, 4096)});
+  app.set_steps(tb, {TaskStep::recv(ch, 4096)});
+  app.start();
+  ASSERT_TRUE(app.run_to_completion(milliseconds(20.0)));
+  sim.run_until(sim.now() + microseconds(500.0));
+  streamer.stop();
+
+  ASSERT_GT(sys.slice(0, 0).fault_counters().total(), 0u);
+  ASSERT_FALSE(fault_records.empty());
+  for (const auto& r : fault_records) {
+    EXPECT_LT(r.channel - TelemetryStreamer::kFaultChannelBase,
+              FaultCounters::kFieldCount);
+    EXPECT_EQ(r.watts, 0.0);  // fault channels carry counts, not power
+    EXPECT_GT(r.code, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace swallow

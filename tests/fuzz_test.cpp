@@ -7,6 +7,7 @@
 #include "api/taskgen.h"
 #include "board/system.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "sim/simulator.h"
 
 namespace swallow {
@@ -142,6 +143,85 @@ TEST(Fuzz, RandomChainWorkloadsAlwaysComplete) {
     app.start();
     EXPECT_TRUE(app.run_to_completion(milliseconds(300.0)))
         << "iter " << iter << "\n" << sys.diagnose();
+    EXPECT_EQ(sys.network().total_packets_sunk(), 0u) << "iter " << iter;
+  }
+}
+
+TEST(Fuzz, RandomFaultPlansNeverBreakReliableLinks) {
+  // Randomized FaultPlans (corruption storms, transient outages, switch
+  // stalls) over CRC/retry-protected links.  Whatever the storm does:
+  //  * the simulator never crashes or trips an invariant;
+  //  * no token is ever duplicated into a receiver — a duplicate would
+  //    shift the stream and trap the strict chkct discipline of the
+  //    generated task code, which run_to_completion turns into a throw;
+  //  * the energy ledger is monotonically non-decreasing throughout;
+  //  * every byte is still delivered (packets are never mis-routed).
+  Rng rng(0xFA117);
+  for (int iter = 0; iter < 20; ++iter) {
+    Simulator sim;
+    SystemConfig cfg;
+    cfg.slices_x = 2;
+    cfg.reliable_links = true;
+    SwallowSystem sys(sim, cfg);
+
+    FaultPlan plan;
+    plan.seed = rng.next_u64();
+    const int nfaults = 1 + static_cast<int>(rng.next_below(4));
+    for (int f = 0; f < nfaults; ++f) {
+      const NodeId node = lattice_node_id(
+          static_cast<int>(rng.next_below(8)),
+          static_cast<int>(rng.next_below(2)),
+          rng.next_below(2) == 0 ? Layer::kVertical : Layer::kHorizontal);
+      switch (rng.next_below(3)) {
+        case 0:
+          plan.corrupt_link(node, -1, 1e-4 + rng.next_double() * 5e-3);
+          break;
+        case 1:
+          plan.link_outage(node, -1,
+                           microseconds(1.0 + rng.next_double() * 100.0),
+                           microseconds(1.0 + rng.next_double() * 15.0));
+          break;
+        default:
+          plan.stall_switch(node,
+                            microseconds(1.0 + rng.next_double() * 100.0),
+                            microseconds(1.0 + rng.next_double() * 20.0));
+          break;
+      }
+    }
+    FaultInjector injector(sys, plan);
+    injector.arm();
+
+    AppBuilder app(sys);
+    for (int p = 0; p < 6; ++p) {
+      const auto place = [&] {
+        return std::make_tuple(static_cast<int>(rng.next_below(8)),
+                               static_cast<int>(rng.next_below(2)),
+                               rng.next_below(2) == 0 ? Layer::kVertical
+                                                      : Layer::kHorizontal);
+      };
+      auto [sx, sy, sl] = place();
+      auto [dx, dy, dl] = place();
+      if (sx == dx && sy == dy && sl == dl) dx = (dx + 1) % 8;
+      TaskSpec tx, rx;
+      const int a = app.add_task(tx, sx, sy, sl);
+      const int b = app.add_task(rx, dx, dy, dl);
+      const int ch = app.connect(a, b);
+      const std::uint64_t bytes = 32 + rng.next_below(480);
+      app.set_steps(a, {TaskStep::send(ch, bytes)});
+      app.set_steps(b, {TaskStep::recv(ch, bytes)});
+    }
+    app.start();
+
+    bool done = false;
+    Joules prev = 0;
+    for (int step = 0; step < 2000 && !done; ++step) {
+      done = app.run_to_completion(sim.now() + microseconds(50.0));
+      sys.settle_energy();
+      const Joules total = sys.ledger().grand_total();
+      EXPECT_GE(total, prev) << "iter " << iter << " step " << step;
+      prev = total;
+    }
+    EXPECT_TRUE(done) << "iter " << iter << "\n" << sys.diagnose();
     EXPECT_EQ(sys.network().total_packets_sunk(), 0u) << "iter " << iter;
   }
 }
