@@ -247,12 +247,11 @@ void AppBuilder::start() {
 
 bool AppBuilder::run_to_completion(TimePs timeout) {
   require(started_, "AppBuilder: start() first");
-  Simulator& sim = sys_->sim();
   const TimePs step = microseconds(1.0);
-  TimePs t = sim.now();
+  TimePs t = sys_->now();
   while (t < timeout) {
     t += step;
-    sim.run_until(t);
+    sys_->run_until(t);
     bool all_done = true;
     for (const TaskInfo& task : tasks_) {
       if (task.core->trapped()) {
@@ -262,7 +261,7 @@ bool AppBuilder::run_to_completion(TimePs timeout) {
       all_done &= task.core->finished();
     }
     if (all_done) {
-      completion_time_ = sim.now();
+      completion_time_ = sys_->now();
       return true;
     }
   }

@@ -159,7 +159,11 @@ void Core::schedule_issue() {
   earliest = clock_.align_up(earliest);
   if (issue_scheduled_) {
     if (issue_scheduled_at_ <= earliest) return;  // already armed early enough
-    sim_.cancel(issue_event_);
+    // Pull the pending event earlier in place; the callback is untouched.
+    if (sim_.rearm(issue_event_, earliest)) {
+      issue_scheduled_at_ = earliest;
+      return;
+    }
   }
   issue_scheduled_ = true;
   issue_scheduled_at_ = earliest;

@@ -10,7 +10,10 @@ EthernetBridge::EthernetBridge(Simulator& sim, EnergyLedger& ledger,
     : sim_(sim), ledger_(ledger), node_(bridge_node) {
   auto router = std::make_shared<TableRouter>();
   router->set_default(kDirNorth);  // everything not for us goes up the cable
-  switch_ = &net.add_switch(bridge_node, std::move(router));
+  // The bridge's switch lives in the bridge's own event domain and ledger
+  // (identical to the network defaults in sequential mode).
+  switch_ = &net.add_switch(bridge_node, std::move(router), 500.0, &sim_,
+                            &ledger_);
   out_port_ = switch_->attach_endpoint(0, this);
   out_port_->subscribe_space([this] { pump(); });
   token_interval_ = transfer_time_ps(kBitsPerToken, kEthernetBridgeMbps);

@@ -32,7 +32,9 @@ Slice::Slice(Simulator& sim, EnergyLedger& ledger, Network& net,
       core_cfg.power_model = cfg_.power_model;
       core_cfg.auto_dvfs = cfg_.auto_dvfs;
       slot.core = std::make_unique<Core>(sim, ledger, core_cfg);
-      slot.sw = &net.add_switch(id, router_for(id));
+      // Place the switch in this slice's event domain and ledger (identical
+      // to the network defaults in sequential mode).
+      slot.sw = &net.add_switch(id, router_for(id), 500.0, &sim, &ledger);
       slot.sw->attach_core(*slot.core);
       slot.rom = std::make_unique<BootRom>(*slot.core);
       slot.sw->attach_endpoint(BootRom::kBootChanend, slot.rom.get());

@@ -1,5 +1,7 @@
 #include "board/system.h"
 
+#include <unordered_map>
+
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -15,7 +17,27 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
   require(cfg_.ethernet_bridges <= 2 * cfg_.slices_x,
           "SwallowSystem: at most two bridges per slice column (§V.E)");
 
-  net_ = std::make_unique<Network>(sim_, ledger_, cfg_.link_grade);
+  const int slice_count = cfg_.slices_x * cfg_.slices_y;
+  require(cfg_.jobs >= 0, "SystemConfig::jobs must be >= 0");
+  require(cfg_.jobs <= slice_count,
+          strprintf("SystemConfig::jobs = %d exceeds the %d available "
+                    "slice(s): the parallel engine shards one event domain "
+                    "per slice, so extra workers would own nothing — use "
+                    "jobs <= %d or a larger grid",
+                    cfg_.jobs, slice_count, slice_count));
+  if (cfg_.jobs > 0) {
+    for (int i = 0; i < slice_count; ++i) {
+      domains_.push_back(std::make_unique<Domain>(i));
+    }
+  }
+  // Both engines partition energy identically (per slice, per bridge, plus
+  // the system ledger) so that merged totals are bit-identical; see
+  // ledger().
+  for (int i = 0; i < slice_count; ++i) {
+    slice_ledgers_.push_back(std::make_unique<EnergyLedger>());
+  }
+
+  net_ = std::make_unique<Network>(sim_, system_ledger_, cfg_.link_grade);
 
   // Routing strategy.
   Slice::RouterFactory router_for;
@@ -53,8 +75,9 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
       scfg.sampler_seed =
           cfg_.seed + static_cast<std::uint64_t>(sy) * 1000 +
           static_cast<std::uint64_t>(sx);
-      slices_.push_back(std::make_unique<Slice>(sim_, ledger_, *net_,
-                                                router_for, scfg));
+      const auto idx = slices_.size();
+      slices_.push_back(std::make_unique<Slice>(
+          slice_sim(idx), *slice_ledgers_[idx], *net_, router_for, scfg));
     }
   }
 
@@ -88,8 +111,15 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
     const int col = chip_col % Slice::kChipCols;
     const NodeId bridge_node =
         lattice_node_id(chip_col, kBridgeRow, Layer::kVertical);
-    auto bridge = std::make_unique<EthernetBridge>(sim_, ledger_, *net_,
-                                                   bridge_node);
+    // A bridge shares the event domain of the slice it cables to (so the
+    // cable is domain-internal) but keeps its own ledger partition.
+    Simulator& bridge_sim =
+        slice_sim(static_cast<std::size_t>((cfg_.slices_y - 1) *
+                                               cfg_.slices_x +
+                                           sx));
+    bridge_ledgers_.push_back(std::make_unique<EnergyLedger>());
+    auto bridge = std::make_unique<EthernetBridge>(
+        bridge_sim, *bridge_ledgers_.back(), *net_, bridge_node);
     net_->connect(S(sx, cfg_.slices_y - 1).edge_bottom(col), kDirSouth,
                   bridge->bridge_switch(), kDirNorth,
                   LinkClass::kOffBoardCable, 1, cfg_.cable_length_cm);
@@ -97,9 +127,93 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
   }
 
   if (cfg_.reliable_links) net_->set_links_reliable(true);
+
+  // ---- Parallel engine: one worker pool over the slice domains, with
+  // lookahead equal to the fastest possible domain crossing — the FFC
+  // cable's wire latency (credits return after exactly that; token
+  // deliveries additionally pay hop + serialization time).
+  if (cfg_.jobs > 0) {
+    const TimePs lookahead =
+        link_wire_latency(LinkClass::kOffBoardCable, cfg_.cable_length_cm);
+    require(lookahead >= 1,
+            "SwallowSystem: cable_length_cm too short to give the parallel "
+            "engine a lookahead window");
+    std::vector<Domain*> doms;
+    doms.reserve(domains_.size());
+    for (auto& d : domains_) doms.push_back(d.get());
+    engine_ = std::make_unique<ParallelEngine>(std::move(doms), cfg_.jobs,
+                                               lookahead);
+    // Route every link that joins two domains through a crossing mailbox.
+    std::unordered_map<const Simulator*, Domain*> dom_of;
+    for (auto& d : domains_) dom_of[&d->sim()] = d.get();
+    for (std::size_t i = 0; i < net_->switch_count(); ++i) {
+      Switch& sw = net_->switch_at(i);
+      for (const Switch::LinkPortInfo& info : sw.link_ports()) {
+        Switch* peer = net_->find_switch(info.peer);
+        if (peer == nullptr || &peer->sim() == &sw.sim()) continue;
+        sw.set_link_crossing(info.port,
+                             engine_->crossing(*dom_of.at(&sw.sim()),
+                                               *dom_of.at(&peer->sim())));
+      }
+    }
+  }
 }
 
 SwallowSystem::~SwallowSystem() = default;
+
+Simulator& SwallowSystem::slice_sim(std::size_t idx) {
+  return domains_.empty() ? sim_ : domains_[idx]->sim();
+}
+
+Simulator& SwallowSystem::sim_for_slice(int sx, int sy) {
+  require(sx >= 0 && sx < cfg_.slices_x && sy >= 0 && sy < cfg_.slices_y,
+          "SwallowSystem: slice index out of range");
+  return slice_sim(static_cast<std::size_t>(sy * cfg_.slices_x + sx));
+}
+
+Simulator& SwallowSystem::sim_for_node(NodeId node) {
+  if (domains_.empty()) return sim_;
+  const int x = node_chip_x(node);
+  if (node_chip_y(node) == kBridgeRow) {
+    // Bridges live in the domain of the slice they cable to.
+    return sim_for_slice(x / Slice::kChipCols, cfg_.slices_y - 1);
+  }
+  return sim_for_slice(x / Slice::kChipCols,
+                       node_chip_y(node) / Slice::kChipRows);
+}
+
+EnergyLedger& SwallowSystem::slice_ledger(int sx, int sy) {
+  require(sx >= 0 && sx < cfg_.slices_x && sy >= 0 && sy < cfg_.slices_y,
+          "SwallowSystem: slice index out of range");
+  return *slice_ledgers_[static_cast<std::size_t>(sy * cfg_.slices_x + sx)];
+}
+
+EnergyLedger& SwallowSystem::ledger() {
+  merged_.reset();
+  for (std::size_t a = 0; a < static_cast<std::size_t>(EnergyAccount::kCount);
+       ++a) {
+    const auto account = static_cast<EnergyAccount>(a);
+    for (const auto& l : slice_ledgers_) merged_.add(account, l->total(account));
+    for (const auto& l : bridge_ledgers_) {
+      merged_.add(account, l->total(account));
+    }
+    merged_.add(account, system_ledger_.total(account));
+  }
+  return merged_;
+}
+
+std::uint64_t SwallowSystem::run_until(TimePs deadline) {
+  if (engine_ == nullptr) return sim_.run_until(deadline);
+  std::uint64_t before = 0;
+  for (const auto& d : domains_) before += d->sim().events_dispatched();
+  engine_->run_until(deadline);
+  std::uint64_t after = 0;
+  for (const auto& d : domains_) after += d->sim().events_dispatched();
+  // Host-side events (anything scheduled on the caller's Simulator) fire
+  // between engine runs, at the deadline.
+  after += sim_.run_until(deadline);
+  return after - before;
+}
 
 Slice& SwallowSystem::slice(int sx, int sy) {
   require(sx >= 0 && sx < cfg_.slices_x && sy >= 0 && sy < cfg_.slices_y,
@@ -154,7 +268,9 @@ void SwallowSystem::boot_image_via_resident_loader(int bridge_idx, NodeId node,
 }
 
 void SwallowSystem::settle_energy() {
-  for (auto& s : slices_) s->settle_energy(sim_.now());
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    slices_[i]->settle_energy(slice_sim(i).now());
+  }
 }
 
 Watts SwallowSystem::total_input_power() const {
@@ -179,7 +295,11 @@ void SwallowSystem::enable_loss_integration(TimePs period) {
   require(loss_period_ == 0, "loss integration already enabled");
   require(period > 0, "loss integration period must be positive");
   loss_period_ = period;
-  sim_.after(loss_period_, [this] { integrate_losses(); });
+  // Each slice integrates its own losses into its own ledger, on its own
+  // event domain — identical totals under either engine.
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    slice_sim(i).after(loss_period_, [this, i] { integrate_slice_losses(i); });
+  }
 }
 
 SystemDiagnosis SwallowSystem::diagnose_report() {
@@ -209,7 +329,8 @@ SystemDiagnosis SwallowSystem::diagnose_report() {
     }
   }
   for (std::size_t i = 0; i < net_->switch_count(); ++i) {
-    const auto routes = net_->switch_at(i).open_routes(sim_.now());
+    Switch& sw = net_->switch_at(i);
+    const auto routes = sw.open_routes(sw.sim().now());
     d.routes.insert(d.routes.end(), routes.begin(), routes.end());
   }
   d.faults = net_->total_fault_counters();
@@ -245,11 +366,12 @@ std::string SwallowSystem::diagnose() {
   return out;
 }
 
-void SwallowSystem::integrate_losses() {
-  Watts loss = 0;
-  for (const auto& s : slices_) loss += s->supplies().conversion_loss();
-  ledger_.add(EnergyAccount::kDcDcIo, energy_over(loss, loss_period_));
-  sim_.after(loss_period_, [this] { integrate_losses(); });
+void SwallowSystem::integrate_slice_losses(std::size_t idx) {
+  const Watts loss = slices_[idx]->supplies().conversion_loss();
+  slice_ledgers_[idx]->add(EnergyAccount::kDcDcIo,
+                           energy_over(loss, loss_period_));
+  slice_sim(idx).after(loss_period_,
+                       [this, idx] { integrate_slice_losses(idx); });
 }
 
 }  // namespace swallow

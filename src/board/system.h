@@ -15,6 +15,8 @@
 #include "board/slice.h"
 #include "energy/ledger.h"
 #include "noc/network.h"
+#include "sim/domain.h"
+#include "sim/parallel_engine.h"
 #include "sim/simulator.h"
 
 namespace swallow {
@@ -40,6 +42,14 @@ struct SystemConfig {
   /// kReliableFramingBits extra wire bits per token.
   bool reliable_links = false;
   std::uint64_t seed = 1;
+  /// Worker threads for the parallel sharded engine.  0 (the default)
+  /// selects the sequential reference engine on the caller's Simulator;
+  /// 1..slice-count shards the system into one event domain per slice and
+  /// drives them with that many workers under quantum barrier
+  /// synchronization (results are bit-identical to sequential; drive the
+  /// run with SwallowSystem::run_until).  Values above the slice count are
+  /// rejected — a worker with no domain to own can never be scheduled.
+  int jobs = 0;
 
   int chip_cols() const { return slices_x * Slice::kChipCols; }
   int chip_rows() const { return slices_y * Slice::kChipRows; }
@@ -92,9 +102,47 @@ class SwallowSystem {
   SwallowSystem& operator=(const SwallowSystem&) = delete;
 
   Simulator& sim() { return sim_; }
-  EnergyLedger& ledger() { return ledger_; }
+
+  /// Whole-machine energy totals, merged on every call from the per-slice,
+  /// per-bridge and system ledgers in a fixed order (slices row-major,
+  /// then bridges, then the system ledger) — so totals are bit-identical
+  /// across engines and worker counts.  Snapshot semantics: re-call after
+  /// further simulation; writes belong in system_ledger() or a component
+  /// ledger.
+  EnergyLedger& ledger();
+
+  /// Ledger for machine-level costs owned by no slice (e.g. the resilience
+  /// manager's reroute energy).
+  EnergyLedger& system_ledger() { return system_ledger_; }
+  /// The ledger all of slice (sx, sy)'s components charge into.
+  EnergyLedger& slice_ledger(int sx, int sy);
+
   Network& network() { return *net_; }
   const SystemConfig& config() const { return cfg_; }
+
+  // ----- Engine -----
+  /// True when SystemConfig::jobs selected the parallel sharded engine.
+  bool parallel() const { return engine_ != nullptr; }
+  ParallelEngine* engine() { return engine_.get(); }
+
+  /// Advance the machine to `deadline` on whichever engine is configured;
+  /// returns the number of events dispatched.  With the parallel engine
+  /// this is the only way to advance time (the caller's Simulator carries
+  /// no machine events there; anything host code schedules on sim() fires
+  /// between calls, at the deadline).
+  std::uint64_t run_until(TimePs deadline);
+
+  /// Machine time: the caller's Simulator clock under the sequential
+  /// engine, the engine barrier clock under the parallel one.
+  TimePs now() const { return engine_ != nullptr ? engine_->now() : sim_.now(); }
+
+  /// The event domain slice (sx, sy) schedules in — pass this to
+  /// slice-side agents like TelemetryStreamer (equals sim() when
+  /// sequential).
+  Simulator& sim_for_slice(int sx, int sy);
+  /// The event domain owning `node` (a slice switch/core, or a bridge —
+  /// bridges share their attached slice's domain).
+  Simulator& sim_for_node(NodeId node);
 
   int core_count() const { return cfg_.core_count(); }
   Slice& slice(int sx, int sy);
@@ -150,14 +198,20 @@ class SwallowSystem {
   SystemDiagnosis diagnose_report();
 
  private:
-  void integrate_losses();
+  Simulator& slice_sim(std::size_t idx);
+  void integrate_slice_losses(std::size_t idx);
 
   Simulator& sim_;
   SystemConfig cfg_;
-  EnergyLedger ledger_;
+  EnergyLedger system_ledger_;
+  EnergyLedger merged_;  // ledger() scratch; rebuilt on every call
+  std::vector<std::unique_ptr<EnergyLedger>> slice_ledgers_;   // row-major
+  std::vector<std::unique_ptr<EnergyLedger>> bridge_ledgers_;
+  std::vector<std::unique_ptr<Domain>> domains_;  // parallel engine only
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Slice>> slices_;  // row-major [sy][sx]
   std::vector<std::unique_ptr<EthernetBridge>> bridges_;
+  std::unique_ptr<ParallelEngine> engine_;  // destroyed first: joins workers
   TimePs loss_period_ = 0;
 };
 

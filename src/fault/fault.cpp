@@ -5,26 +5,55 @@
 namespace swallow {
 
 FaultInjector::FaultInjector(SwallowSystem& sys, FaultPlan plan)
-    : sys_(sys), plan_(std::move(plan)), rng_(plan_.seed) {}
+    : sys_(sys), plan_(std::move(plan)) {}
 
 void FaultInjector::arm() {
   require(!armed_, "FaultInjector: already armed");
   armed_ = true;
-  rng_.reseed(plan_.seed);
 
-  bool needs_hook = false;
-  for (const FaultSpec& f : plan_.faults) {
-    needs_hook |= f.kind == FaultKind::kLinkCorruption;
+  // Corruption rules become immutable windows right now — no activation
+  // event, no shared state mutated mid-run.  Each rule gets its own rng
+  // stream, derived from the plan seed and the rule's position.
+  corruptions_.clear();
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
+    if (f.kind != FaultKind::kLinkCorruption) continue;
+    ActiveCorruption c;
+    c.node = f.node;
+    c.direction = f.direction;
+    c.rate = f.rate;
+    c.from = f.at;
+    c.until = f.duration > 0 ? f.at + f.duration : kTimeNever;
+    c.rng.reseed(plan_.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
+    corruptions_.push_back(c);
   }
-  if (needs_hook) {
+  if (!corruptions_.empty()) {
     sys_.network().set_link_fault_hook(
-        [this](NodeId node, int direction, Token& t) {
-          return on_token(node, direction, t);
+        [this](NodeId node, int direction, Token& t, TimePs now) {
+          return on_token(node, direction, t, now);
         });
   }
-  Simulator& sim = sys_.sim();
+  // Everything else activates at its scheduled time, on the event domain
+  // that owns the faulted node (= the caller's Simulator when sequential).
   for (const FaultSpec& f : plan_.faults) {
-    sim.at(f.at, [this, f] { activate(f); });
+    if (f.kind == FaultKind::kLinkCorruption) continue;
+    sys_.sim_for_node(f.node).at(f.at, [this, f] { activate(f); });
+    if (f.kind == FaultKind::kLinkKill) {
+      // A cable failure takes out both directions of the full-duplex pair.
+      // The reverse direction belongs to the peer switch — possibly a
+      // different domain — so each peer kills its own half at f.at.
+      // Topology is static, so the pairs can be enumerated at arm time.
+      apply_to_links(f.node, f.direction, [&](Switch& sw, int port) {
+        for (const Switch::LinkPortInfo& info : sw.link_ports()) {
+          if (info.port != port) continue;
+          Switch* peer = sys_.network().find_switch(info.peer);
+          if (peer == nullptr) continue;
+          const int peer_port = info.peer_port;
+          sys_.sim_for_node(info.peer).at(
+              f.at, [peer, peer_port] { peer->kill_link(peer_port); });
+        }
+      });
+    }
   }
 }
 
@@ -40,17 +69,9 @@ void FaultInjector::apply_to_links(
 }
 
 void FaultInjector::activate(const FaultSpec& f) {
-  Simulator& sim = sys_.sim();
   switch (f.kind) {
-    case FaultKind::kLinkCorruption: {
-      ActiveCorruption c;
-      c.node = f.node;
-      c.direction = f.direction;
-      c.rate = f.rate;
-      c.until = f.duration > 0 ? f.at + f.duration : kTimeNever;
-      corruptions_.push_back(c);
-      break;
-    }
+    case FaultKind::kLinkCorruption:
+      break;  // handled entirely by the prefilled windows
     case FaultKind::kLinkOutage: {
       Switch* sw = sys_.network().find_switch(f.node);
       require(sw != nullptr, "FaultInjector: outage on an unknown switch");
@@ -58,24 +79,16 @@ void FaultInjector::activate(const FaultSpec& f) {
       const int hi = f.direction >= 0 ? f.direction + 1 : kMaxDirections;
       for (int d = lo; d < hi; ++d) sw->set_links_up(d, false);
       if (f.duration > 0) {
-        sim.after(f.duration, [sw, lo, hi] {
+        sw->sim().after(f.duration, [sw, lo, hi] {
           for (int d = lo; d < hi; ++d) sw->set_links_up(d, true);
         });
       }
       break;
     }
     case FaultKind::kLinkKill: {
-      // A cable failure takes out both directions of the full-duplex pair.
-      std::vector<std::pair<Switch*, int>> reverse;
-      apply_to_links(f.node, f.direction, [&](Switch& sw, int port) {
-        for (const Switch::LinkPortInfo& info : sw.link_ports()) {
-          if (info.port != port) continue;
-          Switch* peer = sys_.network().find_switch(info.peer);
-          if (peer != nullptr) reverse.emplace_back(peer, info.peer_port);
-        }
-        sw.kill_link(port);
-      });
-      for (auto& [peer, port] : reverse) peer->kill_link(port);
+      // The reverse halves were scheduled on their peers' domains at arm().
+      apply_to_links(f.node, f.direction,
+                     [](Switch& sw, int port) { sw.kill_link(port); });
       break;
     }
     case FaultKind::kSwitchStall: {
@@ -90,25 +103,26 @@ void FaultInjector::activate(const FaultSpec& f) {
       require(core != nullptr, "FaultInjector: freeze on an unknown core");
       core->set_frozen(true);
       if (f.duration > 0) {
-        sim.after(f.duration, [core] { core->set_frozen(false); });
+        sys_.sim_for_node(f.node).after(f.duration,
+                                        [core] { core->set_frozen(false); });
       }
       break;
     }
   }
 }
 
-LinkFaultAction FaultInjector::on_token(NodeId node, int direction,
-                                        Token& t) {
-  const TimePs now = sys_.sim().now();
-  for (const ActiveCorruption& c : corruptions_) {
+LinkFaultAction FaultInjector::on_token(NodeId node, int direction, Token& t,
+                                        TimePs now) {
+  for (ActiveCorruption& c : corruptions_) {
     if (c.node != node) continue;
     if (c.direction >= 0 && c.direction != direction) continue;
-    if (now > c.until) continue;
-    if (rng_.next_double() >= c.rate) return LinkFaultAction::kNone;
+    if (now < c.from || now > c.until) continue;
+    // First matching rule decides, with a single draw from its own stream.
+    if (c.rng.next_double() >= c.rate) return LinkFaultAction::kNone;
     // Flip one of the nine wire bits: eight data bits or the
     // control/data flag (a flipped flag is the nastiest corruption — it
     // turns data into a route-closing control token or vice versa).
-    const int bit = static_cast<int>(rng_.next_below(9));
+    const int bit = static_cast<int>(c.rng.next_below(9));
     if (bit == 8) {
       t.is_control = !t.is_control;
     } else {

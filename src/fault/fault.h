@@ -3,11 +3,14 @@
 //
 // A FaultPlan is a seeded schedule of FaultSpecs.  Arming a FaultInjector
 // installs the per-token link fault hook on every switch and schedules each
-// spec's activation at its TimePs; all stochastic draws (which tokens a
-// flaky link corrupts, which bit flips) come from one xoshiro256** stream
-// seeded from the plan, so a given plan reproduces the same fault sequence
-// bit-for-bit on every run.  An empty plan leaves the simulation
-// bit-identical to a run without an injector.
+// spec's activation at its TimePs, on the event domain that owns the
+// faulted node; stochastic draws (which tokens a flaky link corrupts, which
+// bit flips) come from a per-rule xoshiro256** stream seeded from the plan
+// and the rule index, so a given plan reproduces the same fault sequence
+// bit-for-bit on every run — under either engine and any worker count (a
+// rule names one node, so its stream is only ever advanced from that
+// node's domain, in that domain's deterministic event order).  An empty
+// plan leaves the simulation bit-identical to a run without an injector.
 #pragma once
 
 #include <cstdint>
@@ -86,21 +89,24 @@ class FaultInjector {
   const FaultPlan& plan() const { return plan_; }
 
  private:
+  // Corruption windows are immutable after arm(); only each rule's private
+  // rng advances (and only from the owning node's domain).
   struct ActiveCorruption {
     NodeId node = 0;
     int direction = -1;
     double rate = 0.0;
+    TimePs from = 0;   // inclusive start
     TimePs until = 0;  // inclusive expiry
+    Rng rng;
   };
 
-  LinkFaultAction on_token(NodeId node, int direction, Token& t);
+  LinkFaultAction on_token(NodeId node, int direction, Token& t, TimePs now);
   void activate(const FaultSpec& f);
   void apply_to_links(NodeId node, int direction,
                       const std::function<void(Switch&, int port)>& fn);
 
   SwallowSystem& sys_;
   FaultPlan plan_;
-  Rng rng_;
   std::vector<ActiveCorruption> corruptions_;
   bool armed_ = false;
 };

@@ -16,6 +16,9 @@ ResilienceManager::ResilienceManager(SwallowSystem& sys, Config cfg)
 
 void ResilienceManager::arm() {
   require(!armed_, "ResilienceManager: already armed");
+  require(!sys_.parallel(),
+          "ResilienceManager: needs the sequential engine (rerouting "
+          "reprograms routing tables across every domain at once)");
   require(sys_.config().use_table_routers,
           "ResilienceManager: needs SystemConfig::use_table_routers (only "
           "software tables can be reprogrammed around a dead link)");
@@ -46,8 +49,8 @@ void ResilienceManager::on_link_dead(Switch& sw, int port, int direction) {
           ev.rescued_inputs += net.switch_at(i).reresolve_parked(d);
         }
       }
-      sys_.ledger().add(EnergyAccount::kNetworkInterface,
-                        cfg_.reroute_energy);
+      sys_.system_ledger().add(EnergyAccount::kNetworkInterface,
+                               cfg_.reroute_energy);
       events_.push_back(ev);
     });
   }

@@ -17,7 +17,23 @@ void Watchdog::arm() {
   quiesced_ = false;
   flat_samples_ = 0;
   last_metric_ = progress_metric();
-  sys_.sim().after(cfg_.period, [this] { tick(); });
+  if (sys_.parallel()) {
+    // Sample at quantum boundaries, catching up on every period boundary
+    // the quantum stepped over.  Boundary tasks cannot be removed, so the
+    // task stays registered across re-arms and no-ops while disarmed.
+    next_due_ = sys_.now() + cfg_.period;
+    if (!boundary_task_added_) {
+      boundary_task_added_ = true;
+      sys_.engine()->add_boundary_task([this](TimePs now) {
+        while (armed_ && now >= next_due_) {
+          tick(next_due_);
+          next_due_ += cfg_.period;
+        }
+      });
+    }
+  } else {
+    sys_.sim().after(cfg_.period, [this] { tick(sys_.sim().now()); });
+  }
 }
 
 std::uint64_t Watchdog::progress_metric() {
@@ -30,7 +46,7 @@ std::uint64_t Watchdog::progress_metric() {
   return m;
 }
 
-void Watchdog::tick() {
+void Watchdog::tick(TimePs now) {
   if (!armed_) return;
   const std::uint64_t metric = progress_metric();
   if (metric != last_metric_) {
@@ -45,7 +61,7 @@ void Watchdog::tick() {
         quiesced_ = true;
       } else {
         StallReport r;
-        r.detected_at = sys_.sim().now();
+        r.detected_at = now;
         r.window = static_cast<TimePs>(flat_samples_) * cfg_.period;
         r.progress = metric;
         r.diagnosis = std::move(d);
@@ -55,7 +71,9 @@ void Watchdog::tick() {
       return;
     }
   }
-  sys_.sim().after(cfg_.period, [this] { tick(); });
+  if (!sys_.parallel()) {
+    sys_.sim().after(cfg_.period, [this] { tick(sys_.sim().now()); });
+  }
 }
 
 }  // namespace swallow

@@ -53,6 +53,9 @@ class Watchdog {
   Watchdog(SwallowSystem& sys, Config cfg);
 
   /// Start sampling.  Call once, before (or while) the workload runs.
+  /// Under the parallel engine the watchdog samples at quantum boundaries
+  /// (the only points where cross-domain state is coherent), catching up on
+  /// every period boundary the quantum stepped over.
   void arm();
 
   /// Stop sampling (idempotent; also happens on stall or quiesce).
@@ -74,14 +77,16 @@ class Watchdog {
   std::uint64_t progress_metric();
 
  private:
-  void tick();
+  void tick(TimePs now);
 
   SwallowSystem& sys_;
   Config cfg_;
   bool armed_ = false;
   bool quiesced_ = false;
+  bool boundary_task_added_ = false;
   std::uint64_t last_metric_ = 0;
   int flat_samples_ = 0;
+  TimePs next_due_ = 0;  // parallel engine: next sample time
   std::vector<StallReport> reports_;
   std::function<void(const StallReport&)> on_stall_;
 };

@@ -5,13 +5,15 @@
 namespace swallow {
 
 Switch& Network::add_switch(NodeId node, std::shared_ptr<Router> router,
-                            MegaHertz clock_mhz) {
+                            MegaHertz clock_mhz, Simulator* sim,
+                            EnergyLedger* ledger) {
   require(find_switch(node) == nullptr, "Network: duplicate node id");
   Switch::Config cfg;
   cfg.node = node;
   cfg.clock_mhz = clock_mhz;
-  switches_.push_back(
-      std::make_unique<Switch>(sim_, ledger_, cfg, std::move(router)));
+  switches_.push_back(std::make_unique<Switch>(
+      sim != nullptr ? *sim : sim_, ledger != nullptr ? *ledger : ledger_,
+      cfg, std::move(router)));
   return *switches_.back();
 }
 

@@ -36,9 +36,12 @@ class Network {
   LinkGrade grade() const { return grade_; }
 
   /// Create a switch for `node`.  The router may be shared between
-  /// switches or unique per switch.
+  /// switches or unique per switch.  `sim`/`ledger` override the network's
+  /// defaults for this switch — the parallel engine uses this to place each
+  /// slice's switches in that slice's event domain and energy ledger.
   Switch& add_switch(NodeId node, std::shared_ptr<Router> router,
-                     MegaHertz clock_mhz = 500.0);
+                     MegaHertz clock_mhz = 500.0, Simulator* sim = nullptr,
+                     EnergyLedger* ledger = nullptr);
 
   /// Wire a full-duplex link: direction `dir_ab` as seen from a, `dir_ba`
   /// as seen from b.  `count` parallel links join the same direction

@@ -216,6 +216,14 @@ void Switch::set_link_reliable(int port, bool reliable) {
   peer_in.reliable = reliable;
 }
 
+void Switch::set_link_crossing(int port, DomainPost* to_peer) {
+  Output& out = outputs_.at(static_cast<std::size_t>(port));
+  require(out.kind == Output::Kind::kLink && out.peer != nullptr,
+          "Switch: set_link_crossing on a non-link port");
+  out.post_fwd = to_peer;
+  inputs_.at(static_cast<std::size_t>(port)).post_back = to_peer;
+}
+
 void Switch::set_links_up(int direction, bool up) {
   for (int oidx : dir_groups_.at(static_cast<std::size_t>(direction))) {
     outputs_[static_cast<std::size_t>(oidx)].link_up = up;
@@ -317,6 +325,12 @@ void Switch::request_retransmit(int port) {
   Switch* peer = in.peer;
   const int po = in.peer_output;
   const std::uint64_t expect = in.rel_expect;
+  if (in.post_back != nullptr) {
+    in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
+                       sim_.draw_tie(),
+                       [peer, po, expect] { peer->on_link_nak(po, expect); });
+    return;
+  }
   sim_.after(in.credit_latency,
              [peer, po, expect] { peer->on_link_nak(po, expect); });
 }
@@ -327,6 +341,12 @@ void Switch::send_link_ack(int port) {
   Switch* peer = in.peer;
   const int po = in.peer_output;
   const std::uint64_t cum = in.rel_expect;
+  if (in.post_back != nullptr) {
+    in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
+                       sim_.draw_tie(),
+                       [peer, po, cum] { peer->on_link_ack(po, cum); });
+    return;
+  }
   sim_.after(in.credit_latency,
              [peer, po, cum] { peer->on_link_ack(po, cum); });
 }
@@ -395,7 +415,13 @@ void Switch::consume_from_fifo(Input& in) {
     if (in.peer != nullptr) {
       Switch* peer = in.peer;
       const int po = in.peer_output;
-      sim_.after(in.credit_latency, [peer, po] { peer->on_credit(po); });
+      if (in.post_back != nullptr) {
+        in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
+                           sim_.draw_tie(),
+                           [peer, po] { peer->on_credit(po); });
+      } else {
+        sim_.after(in.credit_latency, [peer, po] { peer->on_credit(po); });
+      }
     }
   } else {
     // A fifo slot freed: tell the producing chanend.
@@ -601,7 +627,7 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   Token wire = t;
   bool corrupt = false;
   if (fault_hook_) {
-    switch (fault_hook_(cfg_.node, out.direction, wire)) {
+    switch (fault_hook_(cfg_.node, out.direction, wire, now)) {
       case LinkFaultAction::kNone:
         break;
       case LinkFaultAction::kCorrupt:
@@ -619,6 +645,13 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   }
   Switch* peer = out.peer;
   const int pport = out.peer_port;
+  if (out.post_fwd != nullptr) {
+    out.post_fwd->post(arrival, now, sim_.draw_tie(),
+                       [peer, pport, wire, seq, corrupt] {
+                         peer->deliver_link_token(pport, wire, seq, corrupt);
+                       });
+    return;
+  }
   sim_.at(arrival, [peer, pport, wire, seq, corrupt] {
     peer->deliver_link_token(pport, wire, seq, corrupt);
   });

@@ -51,6 +51,7 @@
 #include "energy/link_energy.h"
 #include "noc/routing.h"
 #include "noc/token.h"
+#include "sim/domain.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -85,8 +86,10 @@ class Switch {
 
   /// Fault-injection hook, consulted once per token transmitted on a link
   /// (including retransmissions).  May mutate the token on kCorrupt.
-  using LinkFaultHook =
-      std::function<LinkFaultAction(NodeId node, int direction, Token& t)>;
+  /// `now` is the transmitting switch's clock — the hook must not reach
+  /// for a global one, since switches may live in different event domains.
+  using LinkFaultHook = std::function<LinkFaultAction(
+      NodeId node, int direction, Token& t, TimePs now)>;
 
   /// Called when the retry protocol declares an outgoing link dead.
   using LinkDeadCallback =
@@ -148,6 +151,15 @@ class Switch {
   /// Reprogram the routing strategy at run time (§V.A).
   void set_router(std::shared_ptr<Router> router) { router_ = std::move(router); }
   Router* router() { return router_.get(); }
+
+  /// The event domain this switch schedules in.
+  Simulator& sim() { return sim_; }
+
+  /// Mark link port `port` as crossing into the peer's event domain:
+  /// token deliveries (forward) and credit/ack/NAK returns (reverse) are
+  /// handed to `to_peer` instead of being scheduled directly.  nullptr
+  /// restores the same-domain direct path.
+  void set_link_crossing(int port, DomainPost* to_peer);
 
   // ----- Resilience / fault injection -----
   /// Enable the reliable framing protocol on outgoing link `port` and on
@@ -247,6 +259,7 @@ class Switch {
     Switch* peer = nullptr;
     int peer_output = -1;
     TimePs credit_latency = 0;
+    DomainPost* post_back = nullptr;  // cross-domain credit/ack/NAK return
     // Reliable-link receive side.
     bool reliable = false;
     std::uint64_t rel_expect = 0;   // next expected sequence number
@@ -261,6 +274,7 @@ class Switch {
     // Link outputs.
     Switch* peer = nullptr;
     int peer_port = -1;
+    DomainPost* post_fwd = nullptr;  // cross-domain token delivery
     LinkClass cls = LinkClass::kOnChip;
     MegabitsPerSecond rate = 0;
     TimePs wire_latency = 0;

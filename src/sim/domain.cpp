@@ -1,0 +1,21 @@
+#include "sim/domain.h"
+
+namespace swallow {
+
+void CrossingMailbox::post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
+                           EventFn cb) {
+  buffer_.push_back(Pending{fire_at, stamp, tie, std::move(cb)});
+}
+
+std::size_t CrossingMailbox::drain() {
+  const std::size_t n = buffer_.size();
+  for (Pending& p : buffer_) {
+    // The lookahead contract guarantees fire_at is past the barrier time;
+    // inject() asserts it (strictly in the receiver's future).
+    dst_.inject(p.fire_at, p.stamp, p.tie, std::move(p.cb));
+  }
+  buffer_.clear();
+  return n;
+}
+
+}  // namespace swallow

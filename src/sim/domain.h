@@ -1,0 +1,79 @@
+// Event domains for the parallel sharded engine.
+//
+// A Domain is one independently-pumped Simulator: the parallel engine gives
+// every slice (and its attached bridge, if any) a domain of its own and
+// advances all domains in lockstep quanta bounded by the minimum
+// cross-domain link latency (the lookahead).  Events whose effects cross a
+// domain boundary are never scheduled directly into the foreign queue;
+// they are handed to a DomainPost, buffered, and injected at the next
+// quantum barrier carrying the sender's ordering key — which is what makes
+// a parallel run bit-identical to a sequential one (see event_queue.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+
+class Domain {
+ public:
+  explicit Domain(int id) : id_(id) {
+    sim_.set_lane(static_cast<std::uint16_t>(id));
+  }
+
+  Domain(const Domain&) = delete;
+  Domain& operator=(const Domain&) = delete;
+
+  int id() const { return id_; }
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+
+ private:
+  int id_;
+  Simulator sim_;
+};
+
+/// Posting interface a model uses to hand an event to another domain.
+/// `stamp`/`tie` are the sender's ordering key, drawn exactly where a
+/// same-domain schedule would have drawn them (Simulator::draw_tie), so the
+/// event sorts into the receiving queue as the sequential engine would have
+/// sorted it.
+class DomainPost {
+ public:
+  virtual ~DomainPost() = default;
+  virtual void post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
+                    EventFn cb) = 0;
+};
+
+/// A single-writer mailbox for one (source domain -> destination domain)
+/// direction.  post() is called only from the source domain's worker while
+/// a quantum runs; drain() is called only from the barrier's serial phase.
+/// The quantum barrier's release/acquire edges order the two, so no lock is
+/// needed.
+class CrossingMailbox final : public DomainPost {
+ public:
+  explicit CrossingMailbox(Simulator& dst) : dst_(dst) {}
+
+  void post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
+            EventFn cb) override;
+
+  /// Inject every buffered event into the destination queue.  Returns the
+  /// number delivered.
+  std::size_t drain();
+
+ private:
+  struct Pending {
+    TimePs fire_at;
+    TimePs stamp;
+    std::uint64_t tie;
+    EventFn cb;
+  };
+
+  Simulator& dst_;
+  std::vector<Pending> buffer_;
+};
+
+}  // namespace swallow

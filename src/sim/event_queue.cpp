@@ -6,44 +6,96 @@
 
 namespace swallow {
 
-EventHandle EventQueue::schedule(TimePs when, Callback cb) {
-  const std::uint64_t id = next_seq_++;
-  heap_.push(Entry{when, id, id, std::move(cb)});
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kNoFree) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    slots_[idx].next_free = kNoFree;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::free_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  ++s.gen;  // invalidate outstanding handles
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+EventHandle EventQueue::schedule(TimePs when, TimePs stamp, std::uint64_t tie,
+                                 Callback cb) {
+  const std::uint32_t idx = alloc_slot();
+  Slot& s = slots_[idx];
+  s.fn = std::move(cb);
+  ++s.arm_gen;  // monotone per slot; never reset, so recycled slots can't
+                // resurrect stale heap nodes
+  heap_.push_back(Node{when, stamp, tie, idx, s.arm_gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
   ++live_count_;
-  return EventHandle(id);
+  return EventHandle(idx, s.gen);
+}
+
+bool EventQueue::rearm(EventHandle h, TimePs when, TimePs stamp,
+                       std::uint64_t tie) {
+  if (!h.valid() || h.slot_ >= slots_.size()) return false;
+  Slot& s = slots_[h.slot_];
+  if (s.gen != h.gen_) return false;
+  ++s.arm_gen;  // the old heap node becomes a tombstone
+  heap_.push_back(Node{when, stamp, tie, h.slot_, s.arm_gen});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++tombstones_;
+  maybe_compact();
+  return true;
 }
 
 void EventQueue::cancel(EventHandle h) {
-  if (!h.valid()) return;
-  // We cannot know here whether the event is still pending; drop_cancelled
-  // reconciles.  Track it and adjust the live count optimistically — pop()
-  // and next_time() skip stale ids.
-  cancelled_.push_back(h.id_);
-  if (live_count_ > 0) --live_count_;
+  if (!h.valid() || h.slot_ >= slots_.size()) return;
+  Slot& s = slots_[h.slot_];
+  if (s.gen != h.gen_) return;  // already fired or cancelled
+  ++s.arm_gen;
+  free_slot(h.slot_);
+  --live_count_;
+  ++tombstones_;
+  maybe_compact();
 }
 
-void EventQueue::drop_cancelled() const {
+void EventQueue::drop_stale() const {
   while (!heap_.empty()) {
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
+    const Node& top = heap_.front();
+    if (slots_[top.slot].arm_gen == top.arm_gen) return;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+    --tombstones_;
   }
 }
 
+void EventQueue::maybe_compact() {
+  if (tombstones_ <= live_count_ || tombstones_ < kCompactMin) return;
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Node& n) {
+                               return slots_[n.slot].arm_gen != n.arm_gen;
+                             }),
+              heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  tombstones_ = 0;
+}
+
 TimePs EventQueue::next_time() const {
-  drop_cancelled();
-  return heap_.empty() ? kTimeNever : heap_.top().time;
+  drop_stale();
+  return heap_.empty() ? kTimeNever : heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_stale();
   invariant(!heap_.empty(), "EventQueue::pop on empty queue");
-  // priority_queue::top() returns const&; the callback must be moved out, so
-  // const_cast is confined to this one extraction point.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.callback)};
-  heap_.pop();
+  const Node top = heap_.front();
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+  Fired fired{top.time, std::move(slots_[top.slot].fn)};
+  free_slot(top.slot);
   --live_count_;
   return fired;
 }

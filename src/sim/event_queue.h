@@ -1,40 +1,70 @@
 // Deterministic discrete-event queue.
 //
-// Events are ordered by (time, insertion sequence) so simultaneous events
-// fire in the order they were scheduled — essential for the reproducible,
-// time-deterministic behaviour Swallow is built around.
+// Events are ordered by a three-part key (fire_time, stamp_time, tie):
+//   fire_time  — when the event fires;
+//   stamp_time — the scheduler's clock when the event was scheduled;
+//   tie        — (lane << 48) | sequence, a per-scheduler monotone counter.
+// With a single scheduler (one lane, one counter) this reduces exactly to
+// the classic (time, insertion-sequence) order — simultaneous events fire in
+// the order they were scheduled, the reproducible behaviour Swallow is built
+// around.  With several schedulers (the parallel engine's per-slice
+// domains), the stamped key lets cross-domain messages re-enter a foreign
+// queue carrying the sender's key, so the merged firing order matches what
+// one global queue would have produced.
+//
+// Storage is a slot array (stable callbacks, freelist-recycled) indexed by a
+// binary heap of 32-byte nodes.  cancel() and rearm() are O(1): they bump
+// the slot's arm generation, turning the heap node into a tombstone that
+// pop()/next_time() discard lazily; when tombstones outnumber live entries
+// the heap is compacted in place, so memory stays bounded under
+// cancel-heavy workloads (e.g. a core re-arming its issue event every
+// instruction).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_fn.h"
 
 namespace swallow {
 
-/// Handle used to cancel a pending event.  Default-constructed handles are
-/// inert.
+/// Handle used to cancel or re-arm a pending event.  Default-constructed
+/// handles are inert.
 class EventHandle {
  public:
   EventHandle() = default;
-  bool valid() const { return id_ != 0; }
+  bool valid() const { return gen_ != 0; }
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
-/// Min-heap of timed callbacks with stable ordering and O(log n) cancel
-/// (lazy deletion).
+/// Min-heap of timed callbacks with stable ordering, O(1) cancel/rearm and
+/// bounded tombstone growth.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
-  /// Schedule `cb` to fire at absolute time `when`.
-  EventHandle schedule(TimePs when, Callback cb);
+  /// Schedule `cb` to fire at absolute time `when` with an explicit ordering
+  /// key (see file comment).
+  EventHandle schedule(TimePs when, TimePs stamp, std::uint64_t tie,
+                       Callback cb);
+
+  /// Convenience form for single-scheduler use: stamp 0, insertion-order tie.
+  EventHandle schedule(TimePs when, Callback cb) {
+    return schedule(when, 0, fallback_tie_++, std::move(cb));
+  }
+
+  /// Move a pending event to a new fire time and ordering key without
+  /// touching its callback.  Returns false when the handle no longer refers
+  /// to a pending event (already fired or cancelled); the caller must then
+  /// schedule afresh.  The handle remains valid on success.
+  bool rearm(EventHandle h, TimePs when, TimePs stamp, std::uint64_t tie);
 
   /// Cancel a previously scheduled event.  Cancelling an already-fired or
   /// already-cancelled event is a harmless no-op.
@@ -42,6 +72,10 @@ class EventQueue {
 
   bool empty() const { return live_count_ == 0; }
   std::size_t size() const { return live_count_; }
+
+  /// Stale heap nodes awaiting lazy removal (cancelled or re-armed events).
+  /// Bounded: compaction runs once tombstones outnumber live entries.
+  std::size_t tombstones() const { return tombstones_; }
 
   /// Time of the earliest pending event; kTimeNever when empty.
   TimePs next_time() const;
@@ -54,25 +88,43 @@ class EventQueue {
   Fired pop();
 
  private:
-  struct Entry {
+  struct Node {
     TimePs time;
-    std::uint64_t seq;  // tie-break: schedule order
-    std::uint64_t id;
-    Callback callback;
+    TimePs stamp;
+    std::uint64_t tie;
+    std::uint32_t slot;
+    std::uint32_t arm_gen;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  // std::push_heap builds a max-heap; ordering by "fires later" yields the
+  // min-heap we want.
+  static bool later(const Node& a, const Node& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.stamp != b.stamp) return a.stamp > b.stamp;
+    return a.tie > b.tie;
+  }
+
+  static constexpr std::uint32_t kNoFree = 0xFFFFFFFFu;
+  // Below this many tombstones compaction isn't worth the pass.
+  static constexpr std::size_t kCompactMin = 32;
+
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 1;      // handle validity; bumped when slot is freed
+    std::uint32_t arm_gen = 0;  // current arming; heap nodes carry a copy
+    std::uint32_t next_free = kNoFree;
   };
 
-  void drop_cancelled() const;
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t idx);
+  void drop_stale() const;
+  void maybe_compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  mutable std::vector<std::uint64_t> cancelled_;  // sorted lazily
-  std::uint64_t next_seq_ = 1;
+  mutable std::vector<Node> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
+  std::uint64_t fallback_tie_ = 1;
   std::size_t live_count_ = 0;
+  mutable std::size_t tombstones_ = 0;
 };
 
 }  // namespace swallow

@@ -1,0 +1,144 @@
+#include "sim/parallel_engine.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace swallow {
+
+namespace {
+
+// Adaptive quanta can be as short as the lookahead (nanoseconds of
+// simulated time), so the barrier is hot: spin briefly before parking on
+// the futex.  The spin budget costs about one futex round-trip, so the
+// slow path only pays when a quantum is genuinely long — and while every
+// waiter spins, notify_all never has to issue a wake syscall at all.
+// Spinning is only a win when every worker has a hardware thread of its
+// own; on an oversubscribed host a spinning waiter burns the very
+// timeslice the thread it waits on needs, so the engine parks immediately.
+constexpr int kSpinRounds = 4096;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(std::vector<Domain*> domains, int workers,
+                               TimePs lookahead)
+    : domains_(std::move(domains)),
+      lookahead_(lookahead),
+      workers_(workers),
+      spin_rounds_(std::thread::hardware_concurrency() >=
+                           static_cast<unsigned>(workers)
+                       ? kSpinRounds
+                       : 0) {
+  require(!domains_.empty(), "ParallelEngine: no domains");
+  require(lookahead_ >= 1, "ParallelEngine: lookahead must be >= 1 ps");
+  require(workers_ >= 1 &&
+              workers_ <= static_cast<int>(domains_.size()),
+          "ParallelEngine: workers must be in [1, domain count]");
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int w = 1; w < workers_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+DomainPost* ParallelEngine::crossing(Domain& src, Domain& dst) {
+  auto& slot = mailboxes_[{src.id(), dst.id()}];
+  if (slot == nullptr) slot = std::make_unique<CrossingMailbox>(dst.sim());
+  return slot.get();
+}
+
+void ParallelEngine::add_boundary_task(std::function<void(TimePs)> task) {
+  boundary_tasks_.push_back(std::move(task));
+}
+
+TimePs ParallelEngine::next_target(TimePs deadline) const {
+  TimePs m = kTimeNever;
+  for (const Domain* d : domains_) {
+    m = std::min(m, d->sim().next_event_time());
+  }
+  if (m >= deadline) return deadline;  // idle (or past the deadline): one hop
+  // Saturating m + lookahead - 1: everything in [m, target] is safe because
+  // no cross-domain effect of an event at >= m lands before m + lookahead.
+  if (m > kTimeNever - lookahead_) return deadline;
+  return std::min(deadline, m + lookahead_ - 1);
+}
+
+void ParallelEngine::run_owned(int w, TimePs target) {
+  for (std::size_t i = static_cast<std::size_t>(w); i < domains_.size();
+       i += static_cast<std::size_t>(workers_)) {
+    domains_[i]->sim().run_until(target);
+  }
+}
+
+void ParallelEngine::run_until(TimePs deadline) {
+  require(deadline >= now_, "ParallelEngine::run_until: deadline in the past");
+  while (true) {
+    const TimePs target = next_target(deadline);
+    done_.store(0, std::memory_order_relaxed);
+    target_.store(target, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_release);
+    epoch_.notify_all();
+
+    run_owned(0, target);
+
+    int spins = 0;
+    for (int d = done_.load(std::memory_order_acquire); d < workers_ - 1;
+         d = done_.load(std::memory_order_acquire)) {
+      if (spins < spin_rounds_) {
+        ++spins;
+        cpu_relax();
+      } else {
+        done_.wait(d, std::memory_order_acquire);
+      }
+    }
+
+    // Serial phase: every worker is parked, so whole-machine state is safe
+    // to touch.  Drain in fixed (src, dst) order — ordering keys make the
+    // injection order immaterial, this just keeps the walk deterministic.
+    for (auto& [key, mb] : mailboxes_) {
+      stats_.messages += mb->drain();
+    }
+    now_ = target;
+    ++stats_.quanta;
+    for (auto& task : boundary_tasks_) task(target);
+    if (target >= deadline) return;
+  }
+}
+
+void ParallelEngine::worker_loop(int w) {
+  std::uint64_t seen = 0;
+  while (true) {
+    int spins = 0;
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    while (e == seen) {
+      if (spins < spin_rounds_) {
+        ++spins;
+        cpu_relax();
+      } else {
+        epoch_.wait(seen, std::memory_order_acquire);
+      }
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    seen = e;
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    run_owned(w, target_.load(std::memory_order_relaxed));
+    done_.fetch_add(1, std::memory_order_release);
+    done_.notify_all();
+  }
+}
+
+}  // namespace swallow

@@ -1,0 +1,99 @@
+// Conservative parallel driver for a set of event domains.
+//
+// Chandy–Misra-style synchronization with a fixed lower bound on
+// cross-domain latency (the lookahead L): if every event that crosses a
+// domain boundary takes at least L picoseconds to arrive, then all domains
+// may safely run ahead of each other within a quantum of L — nothing a peer
+// does inside the current quantum can affect this domain before the
+// quantum ends.  The engine therefore advances all domains to a common
+// target time in parallel, meets at a barrier, exchanges the buffered
+// cross-domain events (CrossingMailbox), and picks the next target
+//
+//     target' = min(deadline, M + L - 1),   M = earliest pending event
+//
+// so idle stretches cost one quantum regardless of length.  Within a
+// quantum each domain is an ordinary sequential Simulator — determinism is
+// inherited, and the stamped ordering keys (event_queue.h) make the merged
+// execution bit-identical to the single-queue sequential engine, for any
+// worker count.
+//
+// Threading: `workers` persistent threads including the caller.  Workers
+// own domains round-robin, park on an epoch futex between quanta, and the
+// caller performs the serial barrier phase (drain mailboxes, boundary
+// tasks, next target).  All cross-thread visibility rides the epoch/done
+// release-acquire edges; domain state needs no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/domain.h"
+
+namespace swallow {
+
+class ParallelEngine {
+ public:
+  struct Stats {
+    std::uint64_t quanta = 0;    // barrier synchronizations performed
+    std::uint64_t messages = 0;  // cross-domain events delivered
+  };
+
+  /// `domains` are borrowed and must outlive the engine.  `workers` in
+  /// [1, domains.size()] counts the calling thread; `lookahead` >= 1 is
+  /// the minimum cross-domain event latency in picoseconds.
+  ParallelEngine(std::vector<Domain*> domains, int workers, TimePs lookahead);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// The mailbox carrying events from `src` into `dst` (created on first
+  /// use).  Install the returned post on every model path that crosses the
+  /// two domains in that direction.  Call only before run_until.
+  DomainPost* crossing(Domain& src, Domain& dst);
+
+  /// Run `task(now)` in the serial phase of every quantum barrier —
+  /// whole-machine observers (watchdog, telemetry pulls) use this instead
+  /// of scheduling events, since no single domain may scan the others
+  /// mid-quantum.
+  void add_boundary_task(std::function<void(TimePs)> task);
+
+  /// Advance every domain to `deadline` (events at the deadline fire;
+  /// every domain's clock ends clamped exactly there, matching sequential
+  /// Simulator::run_until).
+  void run_until(TimePs deadline);
+
+  TimePs now() const { return now_; }
+  TimePs lookahead() const { return lookahead_; }
+  int workers() const { return workers_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void worker_loop(int w);
+  void run_owned(int w, TimePs target);
+  TimePs next_target(TimePs deadline) const;
+
+  std::vector<Domain*> domains_;
+  std::map<std::pair<int, int>, std::unique_ptr<CrossingMailbox>> mailboxes_;
+  std::vector<std::function<void(TimePs)>> boundary_tasks_;
+  TimePs lookahead_;
+  TimePs now_ = 0;
+  int workers_;
+  int spin_rounds_;  // 0 when the host can't run every worker at once
+  Stats stats_;
+
+  std::vector<std::thread> threads_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<TimePs> target_{0};
+  std::atomic<int> done_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace swallow

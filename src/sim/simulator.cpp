@@ -6,12 +6,23 @@ namespace swallow {
 
 EventHandle Simulator::after(TimePs delay, EventQueue::Callback cb) {
   require(delay >= 0, "Simulator::after: negative delay");
-  return queue_.schedule(now_ + delay, std::move(cb));
+  return queue_.schedule(now_ + delay, now_, next_tie(), std::move(cb));
 }
 
 EventHandle Simulator::at(TimePs when, EventQueue::Callback cb) {
   require(when >= now_, "Simulator::at: time in the past");
-  return queue_.schedule(when, std::move(cb));
+  return queue_.schedule(when, now_, next_tie(), std::move(cb));
+}
+
+bool Simulator::rearm(EventHandle h, TimePs when) {
+  require(when >= now_, "Simulator::rearm: time in the past");
+  return queue_.rearm(h, when, now_, next_tie());
+}
+
+EventHandle Simulator::inject(TimePs when, TimePs stamp, std::uint64_t tie,
+                              EventQueue::Callback cb) {
+  require(when > now_, "Simulator::inject: not in the receiver's future");
+  return queue_.schedule(when, stamp, tie, std::move(cb));
 }
 
 std::uint64_t Simulator::run_until(TimePs deadline) {

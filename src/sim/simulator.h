@@ -1,9 +1,13 @@
-// The simulation context: a global picosecond timeline and event pump that
-// every model (cores, switches, links, meters) schedules against.
+// The simulation context: a picosecond timeline and event pump that every
+// model (cores, switches, links, meters) schedules against.
+//
+// There is one Simulator per event domain.  The sequential engine runs the
+// whole system in a single domain; the parallel engine gives each slice its
+// own, tagged with a distinct lane so that ordering keys — and therefore
+// results — are reproducible across engines (see event_queue.h).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/units.h"
 #include "sim/event_queue.h"
@@ -21,7 +25,21 @@ class Simulator {
   /// Schedule a callback at an absolute time >= now().
   EventHandle at(TimePs when, EventQueue::Callback cb);
 
+  /// Move a pending event to fire time `when` (>= now()) without touching
+  /// its callback.  Semantically identical to cancel + at — the event
+  /// re-enters the ordering as if freshly scheduled — but reuses the queue
+  /// slot.  Returns false when the handle no longer refers to a pending
+  /// event; the caller must then schedule anew.
+  bool rearm(EventHandle h, TimePs when);
+
   void cancel(EventHandle h) { queue_.cancel(h); }
+
+  /// Schedule a callback carrying an explicit ordering key (sender's stamp
+  /// and tie).  Used by the parallel engine to deliver cross-domain
+  /// messages so the merged firing order matches the sequential engine's.
+  /// `when` must be strictly in this domain's future.
+  EventHandle inject(TimePs when, TimePs stamp, std::uint64_t tie,
+                     EventQueue::Callback cb);
 
   /// Run until the queue drains or `deadline` passes, whichever is first.
   /// Events exactly at the deadline still fire.  Returns the number of
@@ -39,9 +57,31 @@ class Simulator {
   TimePs next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Tag for this simulator's ordering keys; the parallel engine assigns
+  /// each domain a distinct lane.  Lane 0 (the default) with a single
+  /// domain reproduces the classic global (time, insertion-seq) order.
+  void set_lane(std::uint16_t lane) { lane_ = lane; }
+  std::uint16_t lane() const { return lane_; }
+
+  /// Expose the queue's tombstone count for tests and engine stats.
+  std::size_t queue_tombstones() const { return queue_.tombstones(); }
+
+  /// Consume one ordering tie, exactly as a local schedule would.  A model
+  /// handing an event to another domain (DomainPost) draws the tie here so
+  /// the event sorts in the foreign queue as the sequential engine would
+  /// have sorted it.
+  std::uint64_t draw_tie() { return next_tie(); }
+
  private:
+  std::uint64_t next_tie() {
+    return (static_cast<std::uint64_t>(lane_) << 48) |
+           (next_seq_++ & ((std::uint64_t{1} << 48) - 1));
+  }
+
   TimePs now_ = 0;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint16_t lane_ = 0;
   EventQueue queue_;
 };
 

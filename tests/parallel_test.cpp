@@ -1,0 +1,212 @@
+// Parallel sharded engine (src/sim/parallel_engine.*, SystemConfig::jobs):
+// the conservative lookahead scheme must be *bit-identical* to the
+// sequential reference engine — same per-core instruction counts, same
+// energy-ledger doubles, byte-identical telemetry streams and identical
+// network fault counters — for any worker count, with and without an
+// active fault plan.  Plus SystemConfig::jobs validation.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "board/system.h"
+#include "board/telemetry.h"
+#include "common/error.h"
+#include "fault/fault.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+/// The row-0 east FFC cable of the machine leaves the horizontal switch of
+/// chip (3, 0) in direction East (board/system.cpp wiring).
+const NodeId kCableTxNode = lattice_node_id(3, 0, Layer::kHorizontal);
+
+/// A 6-stage pipeline laid east along chip row 0 (horizontal layer), so
+/// one inter-stage hop (stage 2 -> 3) crosses the off-board cable — i.e. a
+/// domain boundary under the parallel engine.
+std::vector<Placement> row0_pipeline_places() {
+  std::vector<Placement> places;
+  for (int x = 1; x < 7; ++x) {
+    places.push_back({x, 0, Layer::kHorizontal});
+  }
+  return places;
+}
+
+/// Everything the engines must agree on, bit for bit.
+struct Fingerprint {
+  std::vector<std::uint64_t> instructions;  // per core, flat index order
+  std::array<Joules, static_cast<std::size_t>(EnergyAccount::kCount)>
+      energy{};
+  std::vector<std::uint8_t> telemetry;  // concatenated host packets
+  std::uint64_t telemetry_packets = 0;
+  FaultCounters faults;
+  std::uint64_t quanta = 0;    // parallel runs only
+  std::uint64_t messages = 0;  // parallel runs only
+};
+
+/// One full machine run on a 2x2-slice, 64-core system: cross-cable
+/// pipeline + telemetry out of a bridge + ADC sampling + loss integration,
+/// optionally under a fault plan.  jobs = 0 selects the sequential
+/// reference engine.
+Fingerprint run_machine(int jobs, const FaultPlan* plan) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.ethernet_bridges = 1;
+  cfg.reliable_links = true;
+  cfg.jobs = jobs;
+  SwallowSystem sys(sim, cfg);
+  sys.enable_loss_integration();
+  sys.start_sampling(100'000.0);
+
+  Fingerprint fp;
+  sys.bridge(0).set_host_receiver([&fp](std::vector<std::uint8_t> p) {
+    ++fp.telemetry_packets;
+    fp.telemetry.insert(fp.telemetry.end(), p.begin(), p.end());
+  });
+  // Telemetry from slice (0,0) routes south across a cable into slice
+  // (0,1)'s domain and on to the bridge.
+  TelemetryStreamer streamer(sys.sim_for_slice(0, 0), sys.slice(0, 0),
+                             sys.bridge(0));
+  streamer.enable_fault_stream();
+  streamer.start();
+
+  FaultInjector injector(sys, plan != nullptr ? *plan : FaultPlan{});
+  injector.arm();
+
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 6;
+  pcfg.items = 16;
+  pcfg.work_per_item = 500;
+  pcfg.bytes_per_item = 64;
+  build_pipeline(app, pcfg, row0_pipeline_places());
+  app.start();
+
+  sys.run_until(milliseconds(2.0));
+  sys.settle_energy();
+
+  for (int i = 0; i < sys.core_count(); ++i) {
+    fp.instructions.push_back(sys.core_by_index(i).instructions_retired());
+  }
+  EnergyLedger& led = sys.ledger();
+  for (std::size_t a = 0; a < fp.energy.size(); ++a) {
+    fp.energy[a] = led.total(static_cast<EnergyAccount>(a));
+  }
+  fp.faults = sys.network().total_fault_counters();
+  if (sys.parallel()) {
+    fp.quanta = sys.engine()->stats().quanta;
+    fp.messages = sys.engine()->stats().messages;
+  }
+  return fp;
+}
+
+void expect_identical(const Fingerprint& ref, const Fingerprint& got,
+                      const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(ref.instructions.size(), got.instructions.size());
+  for (std::size_t i = 0; i < ref.instructions.size(); ++i) {
+    EXPECT_EQ(ref.instructions[i], got.instructions[i]) << "core " << i;
+  }
+  for (std::size_t a = 0; a < ref.energy.size(); ++a) {
+    // EXPECT_EQ, not EXPECT_DOUBLE_EQ: the claim is bit-identity, not
+    // closeness — both engines partition and merge the ledger identically.
+    EXPECT_EQ(ref.energy[a], got.energy[a])
+        << to_string(static_cast<EnergyAccount>(a));
+  }
+  EXPECT_EQ(ref.telemetry_packets, got.telemetry_packets);
+  EXPECT_EQ(ref.telemetry, got.telemetry);
+  EXPECT_EQ(ref.faults.tokens_corrupted, got.faults.tokens_corrupted);
+  EXPECT_EQ(ref.faults.tokens_dropped, got.faults.tokens_dropped);
+  EXPECT_EQ(ref.faults.crc_rejects, got.faults.crc_rejects);
+  EXPECT_EQ(ref.faults.naks_sent, got.faults.naks_sent);
+  EXPECT_EQ(ref.faults.naks_received, got.faults.naks_received);
+  EXPECT_EQ(ref.faults.retransmissions, got.faults.retransmissions);
+  EXPECT_EQ(ref.faults.retry_timeouts, got.faults.retry_timeouts);
+  EXPECT_EQ(ref.faults.links_marked_dead, got.faults.links_marked_dead);
+  EXPECT_EQ(ref.faults.tokens_discarded_dead,
+            got.faults.tokens_discarded_dead);
+}
+
+// --------------------------------------------------------- bit identity
+
+TEST(ParallelEngine, BitIdenticalToSequentialFaultFree) {
+  const Fingerprint seq = run_machine(0, nullptr);
+  // The workload genuinely ran and crossed domains.
+  std::uint64_t retired = 0;
+  for (std::uint64_t n : seq.instructions) retired += n;
+  ASSERT_GT(retired, 10'000u);
+  ASSERT_GT(seq.telemetry_packets, 5u);
+
+  for (int jobs : {1, 2, 4}) {
+    const Fingerprint par = run_machine(jobs, nullptr);
+    expect_identical(seq, par,
+                     jobs == 1   ? "jobs=1"
+                     : jobs == 2 ? "jobs=2"
+                                 : "jobs=4");
+    EXPECT_GT(par.quanta, 0u);
+    EXPECT_GT(par.messages, 0u);  // cable traffic used the mailboxes
+  }
+}
+
+TEST(ParallelEngine, BitIdenticalToSequentialUnderFaultPlan) {
+  FaultPlan plan;
+  plan.seed = 0x5EED;
+  plan.corrupt_link(kCableTxNode, kDirEast, 3e-3);
+  plan.link_outage(kCableTxNode, kDirEast, microseconds(400.0),
+                   microseconds(30.0));
+  plan.stall_switch(lattice_node_id(5, 0, Layer::kHorizontal),
+                    microseconds(200.0), microseconds(50.0));
+  plan.freeze_core(lattice_node_id(2, 0, Layer::kHorizontal),
+                   microseconds(100.0), microseconds(150.0));
+
+  const Fingerprint seq = run_machine(0, &plan);
+  ASSERT_GT(seq.faults.tokens_corrupted, 0u);
+  ASSERT_GT(seq.faults.retransmissions, 0u);
+
+  for (int jobs : {2, 4}) {
+    const Fingerprint par = run_machine(jobs, &plan);
+    expect_identical(seq, par, jobs == 2 ? "jobs=2" : "jobs=4");
+  }
+}
+
+// ----------------------------------------------------------- validation
+
+TEST(ParallelEngine, JobsAboveSliceCountIsRejected) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.jobs = 5;
+  try {
+    SwallowSystem sys(sim, cfg);
+    FAIL() << "jobs=5 on a 4-slice machine must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("jobs"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
+  }
+}
+
+TEST(ParallelEngine, NegativeJobsIsRejected) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.jobs = -1;
+  EXPECT_THROW(SwallowSystem sys(sim, cfg), Error);
+}
+
+TEST(ParallelEngine, SequentialIsTheDefault) {
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  EXPECT_FALSE(sys.parallel());
+  EXPECT_EQ(sys.engine(), nullptr);
+  EXPECT_EQ(&sys.sim_for_slice(0, 0), &sim);
+}
+
+}  // namespace
+}  // namespace swallow

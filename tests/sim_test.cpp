@@ -46,6 +46,77 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   EXPECT_EQ(q.next_time(), 9);
 }
 
+TEST(EventQueue, CancelLoopKeepsMemoryBounded) {
+  // A core re-arming its issue slot cancels on nearly every instruction;
+  // tombstones must not accumulate without bound.
+  EventQueue q;
+  q.schedule(1'000'000, [] {});  // one long-lived survivor
+  for (int i = 0; i < 100'000; ++i) {
+    auto h = q.schedule(10 + i, [] {});
+    q.cancel(h);
+    ASSERT_LE(q.tombstones(), 64u) << "compaction failed to run at i=" << i;
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 1'000'000);
+}
+
+TEST(EventQueue, RearmMovesEventWithoutRescheduling) {
+  EventQueue q;
+  std::vector<int> fired;
+  auto h = q.schedule(100, 0, 1, [&] { fired.push_back(1); });
+  q.schedule(50, 0, 2, [&] { fired.push_back(2); });
+  // Pull the first event ahead of the second; it keeps its callback but
+  // re-enters the order as if freshly scheduled.
+  EXPECT_TRUE(q.rearm(h, 20, 0, 3));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  // Fired handles can no longer be re-armed.
+  EXPECT_FALSE(q.rearm(h, 500, 0, 4));
+}
+
+TEST(EventQueue, RearmCancelledHandleFails) {
+  EventQueue q;
+  auto h = q.schedule(10, [] {});
+  q.cancel(h);
+  EXPECT_FALSE(q.rearm(h, 20, 0, 1));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StampBreaksTiesBeforeSequence) {
+  // Same fire time: the event with the earlier scheduling stamp wins even
+  // if its tie value is larger — this is what lets a cross-domain message
+  // carry its sender's key into a foreign queue.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(100, 7, 99, [&] { fired.push_back(1); });
+  q.schedule(100, 3, 100, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().callback();
+  EXPECT_EQ(fired, (std::vector<int>{2, 1}));
+}
+
+TEST(Simulator, RearmKeepsHandleLive) {
+  Simulator sim;
+  std::vector<TimePs> fired;
+  EventHandle h = sim.after(100, [&] { fired.push_back(sim.now()); });
+  EXPECT_TRUE(sim.rearm(h, 40));
+  EXPECT_TRUE(sim.rearm(h, 60));  // re-arm again: handle stayed valid
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<TimePs>{60}));
+  EXPECT_FALSE(sim.rearm(h, 200));  // fired → stale
+}
+
+TEST(Simulator, InjectRequiresStrictFuture) {
+  Simulator sim;
+  sim.after(10, [] {});
+  sim.run_until(50);
+  EXPECT_THROW(sim.inject(50, 0, 1, [] {}), Error);
+  bool fired = false;
+  sim.inject(51, 0, 1, [&] { fired = true; });
+  sim.run_until(51);
+  EXPECT_TRUE(fired);
+}
+
 TEST(Simulator, RunUntilStopsAtDeadline) {
   Simulator sim;
   std::vector<TimePs> fired;

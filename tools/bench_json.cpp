@@ -1,0 +1,177 @@
+// bench_json: machine-readable engine benchmark.
+//
+//   bench_json [--slices WxH] [--time MS] [--jobs N[,N...]]
+//
+// Runs one fixed workload — a pipeline threaded through every slice of the
+// grid, with ADC sampling keeping each event domain busy — once on the
+// sequential reference engine and once per requested worker count on the
+// parallel engine, and prints a JSON object with wall-clock seconds and
+// simulated core-cycles per wall second for each run, plus parallel
+// speedups over sequential.  CI redirects this into BENCH_PR2.json.
+//
+// The engines are bit-identical (tests/parallel_test.cpp), so every run
+// also cross-checks total retired instructions and aborts on mismatch —
+// a benchmark that quietly diverged would be measuring a different machine.
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "sim/simulator.h"
+
+namespace {
+
+struct BenchResult {
+  int jobs = 0;
+  double wall_s = 0;
+  double sim_ms = 0;
+  double cycles_per_sec = 0;  // simulated 500 MHz core cycles / wall second
+  std::uint64_t instructions = 0;
+  std::uint64_t quanta = 0;
+};
+
+BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs) {
+  using namespace swallow;
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = slices_x;
+  cfg.slices_y = slices_y;
+  cfg.jobs = jobs;
+  SwallowSystem sys(sim, cfg);
+  sys.start_sampling();
+
+  // One pipeline stage per slice (round-robin over the grid) keeps every
+  // event domain busy and pushes traffic across every domain boundary.
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 2 * slices_x * slices_y;
+  pcfg.items = 48;
+  pcfg.work_per_item = 2000;
+  pcfg.bytes_per_item = 64;
+  std::vector<Placement> places;
+  for (int i = 0; i < pcfg.stages; ++i) {
+    const int s = i % (slices_x * slices_y);
+    const int sx = s % slices_x;
+    const int sy = s / slices_x;
+    places.push_back(Placement{sx * Slice::kChipCols + (i / (slices_x * slices_y)) % Slice::kChipCols,
+                               sy * Slice::kChipRows,
+                               Layer::kHorizontal});
+  }
+  build_pipeline(app, pcfg, places);
+  app.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_until(milliseconds(limit_ms));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  BenchResult r;
+  r.jobs = jobs;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.sim_ms = to_seconds(sys.now()) * 1e3;
+  // Simulated machine cycles delivered per wall second: one 500 MHz core
+  // cycle is 2000 ps; the machine has core_count() cores running at once.
+  const double cycles =
+      to_seconds(sys.now()) * cfg.core_freq * 1e6 * sys.core_count();
+  r.cycles_per_sec = r.wall_s > 0 ? cycles / r.wall_s : 0;
+  for (int i = 0; i < sys.core_count(); ++i) {
+    r.instructions += sys.core_by_index(i).instructions_retired();
+  }
+  if (sys.parallel()) r.quanta = sys.engine()->stats().quanta;
+  return r;
+}
+
+void print_result(const char* key, const BenchResult& r, bool last) {
+  std::printf(
+      "  \"%s\": {\"jobs\": %d, \"wall_s\": %.6f, \"sim_ms\": %.3f, "
+      "\"sim_cycles_per_sec\": %.0f, \"instructions\": %llu, "
+      "\"quanta\": %llu}%s\n",
+      key, r.jobs, r.wall_s, r.sim_ms, r.cycles_per_sec,
+      static_cast<unsigned long long>(r.instructions),
+      static_cast<unsigned long long>(r.quanta), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+  int slices_x = 2, slices_y = 2;
+  double limit_ms = 2.0;
+  std::vector<int> jobs_list = {2, 4};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--slices") {
+        const std::string v = next();
+        const auto x = v.find('x');
+        require(x != std::string::npos, "--slices expects WxH");
+        slices_x = static_cast<int>(parse_int(v.substr(0, x)));
+        slices_y = static_cast<int>(parse_int(v.substr(x + 1)));
+      } else if (arg == "--time") {
+        limit_ms = static_cast<double>(parse_int(next()));
+      } else if (arg == "--jobs") {
+        const std::string v = next();
+        jobs_list.clear();
+        for (std::string_view tok : split(v, ",")) {
+          jobs_list.push_back(static_cast<int>(parse_int(tok)));
+        }
+      } else {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  try {
+    const BenchResult seq = run_bench(slices_x, slices_y, limit_ms, 0);
+    std::vector<BenchResult> par;
+    for (int j : jobs_list) {
+      par.push_back(run_bench(slices_x, slices_y, limit_ms, j));
+      if (par.back().instructions != seq.instructions) {
+        std::fprintf(stderr,
+                     "engine divergence: jobs=%d retired %llu instructions, "
+                     "sequential retired %llu\n",
+                     j,
+                     static_cast<unsigned long long>(par.back().instructions),
+                     static_cast<unsigned long long>(seq.instructions));
+        return 1;
+      }
+    }
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"pipeline_%dx%d_slices\",\n", slices_x,
+                slices_y);
+    std::printf("  \"hw_threads\": %u,\n",
+                std::thread::hardware_concurrency());
+    print_result("sequential", seq, false);
+    for (std::size_t i = 0; i < par.size(); ++i) {
+      const std::string key = "parallel_jobs" + std::to_string(par[i].jobs);
+      print_result(key.c_str(), par[i], false);
+    }
+    std::printf("  \"speedup\": {");
+    for (std::size_t i = 0; i < par.size(); ++i) {
+      std::printf("%s\"jobs%d\": %.3f", i > 0 ? ", " : "", par[i].jobs,
+                  par[i].wall_s > 0 ? seq.wall_s / par[i].wall_s : 0.0);
+    }
+    std::printf("}\n}\n");
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

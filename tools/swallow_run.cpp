@@ -11,6 +11,8 @@
 //   --dvfs         voltage follows Vmin(f)          (default off)
 //   --grade-max    architectural link rates 500/125 (default Table I rates)
 //   --slices WxH   grid of slices                   (default 1x1)
+//   --jobs N       parallel engine worker threads   (default 0 = sequential;
+//                  results are bit-identical either way)
 //   --time MS      simulation limit in ms           (default 100)
 //   --trace        print an instruction trace of core 0 (first 100 lines)
 //   --energy       print the energy ledger and slice power
@@ -43,8 +45,8 @@ std::string read_file(const std::string& path) {
 void usage() {
   std::printf(
       "usage: swallow_run [--freq MHZ] [--dvfs] [--grade-max] [--slices WxH]\n"
-      "                   [--time MS] [--trace] [--energy] [--netstat]\n"
-      "                   prog0.s [prog1.s ...]\n");
+      "                   [--jobs N] [--time MS] [--trace] [--energy]\n"
+      "                   [--netstat] prog0.s [prog1.s ...]\n");
 }
 
 }  // namespace
@@ -76,6 +78,8 @@ int main(int argc, char** argv) {
         require(x != std::string::npos, "--slices expects WxH");
         cfg.slices_x = static_cast<int>(parse_int(v.substr(0, x)));
         cfg.slices_y = static_cast<int>(parse_int(v.substr(x + 1)));
+      } else if (arg == "--jobs") {
+        cfg.jobs = static_cast<int>(parse_int(next()));
       } else if (arg == "--time") {
         limit_ms = static_cast<double>(parse_int(next()));
       } else if (arg == "--trace") {
@@ -135,7 +139,7 @@ int main(int argc, char** argv) {
     };
     while (t < limit && !all_done()) {
       t += microseconds(50.0);
-      sim.run_until(t);
+      sys.run_until(t);
     }
     sys.settle_energy();
 
@@ -161,7 +165,7 @@ int main(int argc, char** argv) {
         std::printf("  console: %s\n", core.console().c_str());
       }
     }
-    std::printf("\nsimulated time: %.3f ms\n", to_seconds(sim.now()) * 1e3);
+    std::printf("\nsimulated time: %.3f ms\n", to_seconds(sys.now()) * 1e3);
 
     if (failed) {
       const std::string report = sys.diagnose();
@@ -197,7 +201,7 @@ int main(int argc, char** argv) {
       const NetworkStats stats =
           stats_delta(collect_network_stats(sys.network(), sys.ledger()),
                       before);
-      std::printf("\n%s", render_network_stats(stats, sim.now()).c_str());
+      std::printf("\n%s", render_network_stats(stats, sys.now()).c_str());
     }
     return failed ? 1 : 0;
   } catch (const Error& e) {
