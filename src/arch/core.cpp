@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace swallow {
 
@@ -23,6 +24,7 @@ Core::Core(Simulator& sim, EnergyLedger& ledger, Config cfg)
       baseline_trace_(ledger, EnergyAccount::kCoreBaseline),
       instr_trace_(ledger, EnergyAccount::kCoreInstructions) {
   require(cfg.sram_bytes % 4 == 0, "Core: SRAM size must be word aligned");
+  obs_span_.fill(kObsNoSpan);
   voltage_ = cfg_.auto_dvfs
                  ? cfg_.power_model.min_voltage(cfg_.frequency_mhz)
                  : cfg_.voltage;
@@ -37,8 +39,66 @@ void Core::set_frequency(MegaHertz f_mhz) {
   if (cfg_.auto_dvfs) {
     voltage_ = cfg_.power_model.min_voltage(f_mhz);
   }
+  obs_dvfs_counters();
   update_power_levels();
   schedule_issue();
+}
+
+void Core::set_obs_track(Track* track) {
+  obs_ = track;
+  obs_dvfs_counters();  // seed the DVFS counter tracks at attach time
+}
+
+void Core::obs_dvfs_counters() {
+  if (!obs_) return;
+  const TimePs now = sim_.now();
+  obs_->counter(now, TraceCat::kDvfs, kDvfsSubFreqMhz, kTidNode,
+                clock_.frequency());
+  obs_->counter(now, TraceCat::kDvfs, kDvfsSubVoltage, kTidNode, voltage_);
+}
+
+void Core::obs_begin_run(int tid) {
+  if (!obs_) return;
+  obs_span_[static_cast<std::size_t>(tid)] = kThreadSubRun;
+  obs_->begin(sim_.now(), TraceCat::kThread, kThreadSubRun,
+              kTidThreadBase + tid,
+              threads_[static_cast<std::size_t>(tid)].pc);
+}
+
+void Core::obs_begin_wait(int tid) {
+  if (!obs_) return;
+  const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  // WaitKind values 1..5 are the thread-span sub codes directly; an
+  // unclassified block renders as "wait:other".
+  const auto sub = t.wait_kind == WaitKind::kNone
+                       ? kThreadSubWaitOther
+                       : static_cast<std::uint16_t>(t.wait_kind);
+  obs_span_[static_cast<std::size_t>(tid)] = sub;
+  obs_->begin(sim_.now(), TraceCat::kThread, sub, kTidThreadBase + tid, t.pc,
+              t.wait_resource);
+}
+
+void Core::obs_close_span(int tid) {
+  if (!obs_) return;
+  std::uint16_t& span = obs_span_[static_cast<std::size_t>(tid)];
+  if (span == kObsNoSpan) return;
+  obs_->end(sim_.now(), TraceCat::kThread, span, kTidThreadBase + tid);
+  span = kObsNoSpan;
+}
+
+void Core::obs_close_spans() {
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) obs_close_span(tid);
+}
+
+std::vector<Core::ThreadSample> Core::thread_snapshot() const {
+  std::vector<ThreadSample> out;
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state != ThreadState::kReady && t.state != ThreadState::kBlocked)
+      continue;
+    out.push_back(ThreadSample{tid, t.pc, t.state == ThreadState::kReady});
+  }
+  return out;
 }
 
 void Core::load(const Image& image) {
@@ -46,6 +106,9 @@ void Core::load(const Image& image) {
   for (std::size_t i = 0; i < image.words.size(); ++i) {
     store_word(static_cast<std::uint32_t>(i * 4), image.words[i]);
   }
+  symbols_.clear();
+  for (const auto& [name, addr] : image.symbols) symbols_.emplace_back(addr, name);
+  std::sort(symbols_.begin(), symbols_.end());
 }
 
 void Core::poke(std::uint32_t byte_addr, std::span<const std::uint8_t> bytes) {
@@ -68,6 +131,7 @@ void Core::start(std::uint32_t entry) {
   t0.regs[kRegSp] = static_cast<std::uint32_t>(sram_.size());
   t0.pc = entry;
   t0.ready_at = sim_.now();
+  obs_begin_run(0);
   update_power_levels();
   schedule_issue();
 }
@@ -287,6 +351,8 @@ void Core::wake(int tid) {
   t.state = ThreadState::kReady;
   t.wait_kind = WaitKind::kNone;
   t.wait_resource = 0;
+  obs_close_span(tid);  // ends the wait span
+  obs_begin_run(tid);
   update_power_levels();
   schedule_issue();
 }
@@ -340,6 +406,10 @@ void Core::classify_wait(int tid, const Instruction& ins) {
 void Core::set_frozen(bool frozen) {
   if (frozen == frozen_) return;
   frozen_ = frozen;
+  if (obs_) {
+    obs_->instant(sim_.now(), TraceCat::kFault,
+                  frozen_ ? kFaultSubFreeze : kFaultSubUnfreeze, kTidNode, 1);
+  }
   if (frozen_) {
     if (issue_scheduled_) {
       sim_.cancel(issue_event_);
@@ -353,6 +423,8 @@ void Core::set_frozen(bool frozen) {
 
 void Core::block(int tid) {
   threads_.at(static_cast<std::size_t>(tid)).state = ThreadState::kBlocked;
+  obs_close_span(tid);  // ends the run span
+  obs_begin_wait(tid);
   update_power_levels();
 }
 
@@ -572,6 +644,11 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
     case Opcode::kTexit: {
       const bool is_slave = t.sync >= 0;
       t.state = is_slave ? ThreadState::kExited : ThreadState::kUnused;
+      obs_close_span(tid);
+      if (obs_) {
+        obs_->instant(sim_.now(), TraceCat::kThread, kThreadSubExit,
+                      kTidThreadBase + tid, t.pc);
+      }
       update_power_levels();
       if (is_slave) on_slave_exited(tid);
       return Exec::kExited;
@@ -939,6 +1016,7 @@ void Core::release_barrier(SyncRes& s) {
     if (t.state == ThreadState::kAllocated) {
       t.state = ThreadState::kReady;  // first MSYNC starts the slaves
       t.ready_at = now;
+      obs_begin_run(tid);
     } else if (t.ssync_waiting) {
       t.ssync_waiting = false;
       t.sync_release_pending = true;

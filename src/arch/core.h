@@ -43,6 +43,8 @@
 
 namespace swallow {
 
+class Track;
+
 class Core {
  public:
   struct Config {
@@ -99,6 +101,31 @@ class Core {
   /// Install an instruction trace sink called at every retire (xsim-style;
   /// blocked attempts are not traced).  Pass nullptr to disable.
   void set_trace_sink(InstrTraceSink sink) { trace_sink_ = std::move(sink); }
+
+  /// Attach the structured observability track (obs/trace.h): thread
+  /// run/wait spans, DVFS counter tracks and freeze instants are emitted
+  /// onto it.  Emits the initial frequency/voltage counter samples.
+  /// nullptr detaches.  The disabled-path cost is one pointer test.
+  void set_obs_track(Track* track);
+
+  /// Close any open thread spans at the current time (end of a trace
+  /// session; keeps B/E spans balanced in the exported trace).
+  void obs_close_spans();
+
+  /// One live hardware thread as seen by the sampling profiler.
+  struct ThreadSample {
+    int tid = 0;
+    std::uint32_t pc = 0;  // word index
+    bool running = false;  // ready to issue vs blocked on a resource
+  };
+  /// Snapshot of every ready or blocked thread, in thread-id order.
+  std::vector<ThreadSample> thread_snapshot() const;
+
+  /// (word address, label) pairs of the loaded image, sorted by address —
+  /// the profiler's symbolization table.
+  const std::vector<std::pair<std::uint32_t, std::string>>& symbols() const {
+    return symbols_;
+  }
 
   // ----- Introspection -----
   const std::string& console() const { return console_; }
@@ -273,6 +300,12 @@ class Core {
   // Energy.
   void update_power_levels();
 
+  // Observability emission helpers (no-ops when obs_ is null).
+  void obs_begin_run(int tid);
+  void obs_begin_wait(int tid);
+  void obs_close_span(int tid);
+  void obs_dvfs_counters();
+
   Simulator& sim_;
   Config cfg_;
   Clock clock_;
@@ -306,6 +339,14 @@ class Core {
   std::string console_;
   std::function<std::uint32_t(int)> power_read_hook_;
   InstrTraceSink trace_sink_;
+
+  // Observability (obs/trace.h).  obs_span_ holds the sub code of each
+  // thread's currently open span (kObsNoSpan when none) so every B gets a
+  // matching E even across wake/block races.
+  static constexpr std::uint16_t kObsNoSpan = 0xFFFF;
+  Track* obs_ = nullptr;
+  std::array<std::uint16_t, kMaxHardwareThreads> obs_span_{};
+  std::vector<std::pair<std::uint32_t, std::string>> symbols_;
 };
 
 /// Short human name for a wait kind ("chan-out", "lock", ...).

@@ -10,6 +10,7 @@
 
 #include "arch/isa.h"
 #include "common/units.h"
+#include "obs/ring.h"
 
 namespace swallow {
 
@@ -26,25 +27,28 @@ using InstrTraceSink = std::function<void(const InstrTraceRecord&)>;
 std::string format_trace_record(const InstrTraceRecord& rec);
 
 /// Convenience sink collecting formatted lines (tests, debugging).
+/// Backed by the observability ring buffer: bounded, drop-newest, with the
+/// overflow *counted* rather than silent — records past the capacity are
+/// still tallied in count() and reported by dropped().
 class TraceBuffer {
  public:
   InstrTraceSink sink() {
     return [this](const InstrTraceRecord& rec) {
       ++count_;
-      if (lines_.size() < max_lines_) {
-        lines_.push_back(format_trace_record(rec));
-      }
+      ring_.push(format_trace_record(rec));
     };
   }
 
+  /// Records seen, including ones that no longer fit.
   std::uint64_t count() const { return count_; }
-  const std::vector<std::string>& lines() const { return lines_; }
-  void set_max_lines(std::size_t n) { max_lines_ = n; }
+  /// Records refused because the buffer was at capacity.
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  const std::vector<std::string>& lines() const { return ring_.linear(); }
+  void set_max_lines(std::size_t n) { ring_.set_capacity(n); }
 
  private:
   std::uint64_t count_ = 0;
-  std::size_t max_lines_ = 10000;
-  std::vector<std::string> lines_;
+  RingBuffer<std::string> ring_{10000};
 };
 
 }  // namespace swallow

@@ -203,6 +203,30 @@ EnergyLedger& SwallowSystem::ledger() {
 }
 
 std::uint64_t SwallowSystem::run_until(TimePs deadline) {
+  if (obs_ == nullptr || !obs_->active()) return run_until_impl(deadline);
+  // Chop the run at flush-period multiples.  Both engines clamp every
+  // domain at the chop time, so at each chop all tracks are complete up to
+  // it and the periodic samples read identical machine state — this choice
+  // of chop times is what makes the merged trace byte-identical across
+  // engines and worker counts.
+  const TimePs period = std::max<TimePs>(1, obs_->flush_period());
+  TimePs cur = now();
+  if (cur >= deadline) return run_until_impl(deadline);
+  std::uint64_t dispatched = 0;
+  while (cur < deadline) {
+    const TimePs next = std::min(deadline, (cur / period + 1) * period);
+    dispatched += run_until_impl(next);
+    if (next % period == 0) {
+      obs_sample(next);
+    } else {
+      obs_->flush_up_to(next);
+    }
+    cur = next;
+  }
+  return dispatched;
+}
+
+std::uint64_t SwallowSystem::run_until_impl(TimePs deadline) {
   if (engine_ == nullptr) return sim_.run_until(deadline);
   std::uint64_t before = 0;
   for (const auto& d : domains_) before += d->sim().events_dispatched();
@@ -213,6 +237,140 @@ std::uint64_t SwallowSystem::run_until(TimePs deadline) {
   // between engine runs, at the deadline.
   after += sim_.run_until(deadline);
   return after - before;
+}
+
+void SwallowSystem::attach_observability(TraceSession& session) {
+  require(obs_ == nullptr, "SwallowSystem: observability already attached");
+  require(session.active(),
+          "SwallowSystem: the session has no pillar enabled (set tracing, "
+          "metrics or profile in TraceConfig)");
+  obs_ = &session;
+  const bool trace = session.tracing();
+  const bool metrics = session.collecting_metrics();
+
+  // Track creation order is the deterministic merge tiebreak, so it must
+  // depend only on the machine description: slices row-major, nodes by
+  // flat local index (chip*2 + layer), per node the core track then the
+  // switch track; then the bridge switches; the system track last.
+  for (auto& slice : slices_) {
+    for (int i = 0; i < Slice::kCores; ++i) {
+      Core& core = slice->core_at(i);
+      Switch& sw = slice->switch_of(i / 2, static_cast<Layer>(i % 2));
+      const NodeId node = core.node_id();
+      if (trace) core.set_obs_track(session.make_track(node, "core"));
+      SwitchProbe probe;
+      if (trace) probe.track = session.make_track(node, "switch");
+      if (metrics) {
+        MetricsRegistry& reg = session.metrics();
+        probe.queue_delay_ns = reg.histogram("switch.queue_delay_ns", node);
+        probe.backoff_ns = reg.histogram("switch.retransmit_backoff_ns", node);
+        probe.token_latency_ns = reg.histogram("token.e2e_latency_ns", node);
+        probe.tokens_delivered = reg.counter("switch.tokens_delivered", node);
+        probe.parks = reg.counter("switch.parks", node);
+      }
+      if (trace || metrics) sw.set_obs(probe);
+    }
+  }
+  for (auto& bridge : bridges_) {
+    SwitchProbe probe;
+    if (trace) probe.track = session.make_track(bridge->node_id(), "switch");
+    if (metrics) {
+      MetricsRegistry& reg = session.metrics();
+      const NodeId node = bridge->node_id();
+      probe.queue_delay_ns = reg.histogram("switch.queue_delay_ns", node);
+      probe.backoff_ns = reg.histogram("switch.retransmit_backoff_ns", node);
+      probe.token_latency_ns = reg.histogram("token.e2e_latency_ns", node);
+      probe.tokens_delivered = reg.counter("switch.tokens_delivered", node);
+      probe.parks = reg.counter("switch.parks", node);
+    }
+    if (trace || metrics) bridge->bridge_switch().set_obs(probe);
+  }
+  if (trace) obs_system_ = session.make_track(kSystemTrackNode, "system");
+}
+
+void SwallowSystem::obs_sample(TimePs t) {
+  settle_energy();
+  if (obs_system_ != nullptr) {
+    // The ledger merge walks partitions in a fixed order and both engines
+    // produce bit-identical per-partition totals, so these doubles are
+    // engine-independent.
+    EnergyLedger& led = ledger();
+    for (std::size_t a = 0;
+         a < static_cast<std::size_t>(EnergyAccount::kCount); ++a) {
+      obs_system_->counter(t, TraceCat::kEnergy,
+                           static_cast<std::uint16_t>(a), kTidSystem,
+                           led.total(static_cast<EnergyAccount>(a)) * 1e6);
+    }
+    obs_system_->counter(t, TraceCat::kEnergy, kEnergySubGrandTotal,
+                         kTidSystem, led.grand_total() * 1e6);
+    obs_system_->counter(t, TraceCat::kEnergy, kEnergySubInputPower,
+                         kTidSystem, total_input_power());
+  }
+  if (obs_->profiling()) {
+    for (auto& slice : slices_) {
+      for (int i = 0; i < Slice::kCores; ++i) {
+        Core& core = slice->core_at(i);
+        for (const Core::ThreadSample& s : core.thread_snapshot()) {
+          obs_->profiler().sample(core.node_id(), s.tid, s.pc, s.running);
+        }
+      }
+    }
+  }
+  obs_->flush_up_to(t);
+  obs_last_sample_ = t;
+}
+
+void SwallowSystem::finish_observability() {
+  require(obs_ != nullptr, "SwallowSystem: no observability session attached");
+  const TimePs t = now();
+  // Final periodic sample, unless the run already ended on a chop point.
+  if (t > obs_last_sample_) obs_sample(t);
+  if (obs_->tracing()) {
+    for (auto& slice : slices_) {
+      for (int i = 0; i < Slice::kCores; ++i) {
+        slice->core_at(i).obs_close_spans();
+        slice->switch_of(i / 2, static_cast<Layer>(i % 2)).obs_close_spans();
+      }
+    }
+    for (auto& bridge : bridges_) bridge->bridge_switch().obs_close_spans();
+  }
+  if (obs_->collecting_metrics()) {
+    MetricsRegistry& reg = obs_->metrics();
+    // Per-thread IPC over the whole run, against the core's current clock
+    // (instructions / elapsed core cycles).  Threads that never issued are
+    // skipped — identically under every engine.
+    const double seconds = static_cast<double>(t) * 1e-12;
+    for (auto& slice : slices_) {
+      for (int i = 0; i < Slice::kCores; ++i) {
+        Core& core = slice->core_at(i);
+        const double hz = core.frequency() * 1e6;
+        for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+          const std::uint64_t n = core.thread_instructions(tid);
+          if (n == 0 || seconds <= 0.0 || hz <= 0.0) continue;
+          reg.gauge(strprintf("core.ipc.t%d", tid), core.node_id())
+              ->set(static_cast<double>(n) / (seconds * hz));
+        }
+        reg.gauge("core.instructions", core.node_id())
+            ->set(static_cast<double>(core.instructions_retired()));
+      }
+    }
+    const FaultCounters faults = net_->total_fault_counters();
+    const auto fields = faults.as_array();
+    for (int f = 0; f < FaultCounters::kFieldCount; ++f) {
+      reg.gauge(strprintf("fault.%s", FaultCounters::field_name(f)),
+                kSystemTrackNode)
+          ->set(static_cast<double>(fields[static_cast<std::size_t>(f)]));
+    }
+  }
+  if (obs_->profiling()) {
+    for (auto& slice : slices_) {
+      for (int i = 0; i < Slice::kCores; ++i) {
+        Core& core = slice->core_at(i);
+        obs_->profiler().note_symbols(core.node_id(), core.symbols());
+      }
+    }
+  }
+  obs_->finish(t);
 }
 
 Slice& SwallowSystem::slice(int sx, int sy) {

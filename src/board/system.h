@@ -15,6 +15,7 @@
 #include "board/slice.h"
 #include "energy/ledger.h"
 #include "noc/network.h"
+#include "obs/trace.h"
 #include "sim/domain.h"
 #include "sim/parallel_engine.h"
 #include "sim/simulator.h"
@@ -188,6 +189,22 @@ class SwallowSystem {
   /// power).  Call once, before running.
   void enable_loss_integration(TimePs period = microseconds(10.0));
 
+  // ----- Observability (src/obs/, ISSUE 3) -----
+  /// Attach a trace/metrics/profiling session.  Creates the event tracks
+  /// in a fixed machine order (slices row-major, per node a core track
+  /// then a switch track, then bridges, then the system track) and points
+  /// every core/switch probe at them.  Call once, before running; while a
+  /// session is attached run_until() chops the run at flush-period
+  /// multiples so both engines merge/sample at identical times — the
+  /// byte-identical trace contract.
+  void attach_observability(TraceSession& session);
+
+  /// End-of-run pass: closes still-open trace spans, records end-of-run
+  /// gauges (per-thread IPC, machine fault totals), captures profiler
+  /// symbol tables, and performs the final flush.  Call once, after the
+  /// last run_until and before exporting the session.
+  void finish_observability();
+
   /// Deadlock / stall diagnostics: blocked threads (core, thread, pc,
   /// waiting-resource), open or parked routes at every switch, and trap
   /// reports.  Empty when the machine is quiescent and healthy.
@@ -200,6 +217,8 @@ class SwallowSystem {
  private:
   Simulator& slice_sim(std::size_t idx);
   void integrate_slice_losses(std::size_t idx);
+  std::uint64_t run_until_impl(TimePs deadline);
+  void obs_sample(TimePs t);
 
   Simulator& sim_;
   SystemConfig cfg_;
@@ -213,6 +232,9 @@ class SwallowSystem {
   std::vector<std::unique_ptr<EthernetBridge>> bridges_;
   std::unique_ptr<ParallelEngine> engine_;  // destroyed first: joins workers
   TimePs loss_period_ = 0;
+  TraceSession* obs_ = nullptr;     // attached observability session
+  Track* obs_system_ = nullptr;     // machine-wide counter track
+  TimePs obs_last_sample_ = 0;      // last periodic-sample time
 };
 
 }  // namespace swallow

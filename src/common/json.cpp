@@ -1,0 +1,256 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(),
+            strprintf("json: trailing garbage at offset %zu", pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw Error(strprintf("json: %s at offset %zu", what, pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Json v;
+        v.type_ = Json::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        Json v;
+        v.type_ = Json::Type::kBool;
+        v.bool_ = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        Json v;
+        v.type_ = Json::Type::kBool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return Json{};
+      }
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json v;
+    v.type_ = Json::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json v;
+    v.type_ = Json::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            // \uXXXX: decode the code unit; non-ASCII becomes UTF-8.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-'))
+      fail("bad number");
+    const std::string tok(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      pos_ = start;
+      fail("bad number");
+    }
+    Json j;
+    j.type_ = Json::Type::kNumber;
+    j.number_ = v;
+    return j;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Json Json::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  require(type_ == Type::kBool, "json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  require(type_ == Type::kNumber, "json: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  require(type_ == Type::kString, "json: not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::as_array() const {
+  require(type_ == Type::kArray, "json: not an array");
+  return array_;
+}
+
+const Json* Json::get(std::string_view key) const {
+  require(type_ == Type::kObject, "json: not an object");
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = get(key);
+  require(v != nullptr, strprintf("json: missing key \"%.*s\"",
+                                  static_cast<int>(key.size()), key.data()));
+  return *v;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  throw Error("json: size() on non-container");
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::items() const {
+  require(type_ == Type::kObject, "json: not an object");
+  return object_;
+}
+
+}  // namespace swallow

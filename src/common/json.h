@@ -1,0 +1,57 @@
+// Minimal JSON DOM: parse-only, just enough for the observability tooling
+// (swallow_stat, the trace schema check, tests) to consume the JSON the
+// simulator itself emits.  No external dependency, no writer — emission
+// stays printf-formatted for deterministic bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace swallow {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parse a complete JSON document.  Throws swallow::Error with a byte
+  /// offset on malformed input (trailing garbage included).
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw Error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+
+  /// Object field access.  `get` returns nullptr when absent.
+  const Json* get(std::string_view key) const;
+  const Json& at(std::string_view key) const;  // throws when absent
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+
+  std::size_t size() const;  // array length / object field count
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;  // insertion order
+
+  friend class JsonParser;
+};
+
+}  // namespace swallow

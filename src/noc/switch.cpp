@@ -33,10 +33,18 @@ struct Switch::ProcPortImpl : TokenOutPort {
     Input& in = sw->inputs_[static_cast<std::size_t>(input_idx)];
     invariant(can_accept(), "proc port push without acceptance");
     ++in.in_flight;
-    sw->sim_.after(sw->inject_latency_, [s = sw, i = input_idx, t] {
+    // Network ingress: stamp the end-to-end latency clock only while an
+    // observability session is attached (the stamp is identity-neutral,
+    // see Token::operator==).
+    Token stamped = t;
+    if (sw->obs_.wants_trace() || sw->obs_.wants_metrics()) {
+      stamped.born = sw->sim_.now();
+    }
+    sw->sim_.after(sw->inject_latency_, [s = sw, i = input_idx, stamped] {
       Input& input = s->inputs_[static_cast<std::size_t>(i)];
       --input.in_flight;
-      input.fifo.push_back(t);
+      input.fifo.push_back(stamped);
+      s->obs_fifo_push(i);
       s->schedule_process(i);
       // The slot freed by the eventual forward is signalled separately;
       // but in-flight moving into the fifo does not free space, so no
@@ -71,6 +79,73 @@ Switch::Switch(Simulator& sim, EnergyLedger& ledger, Config cfg,
 }
 
 Switch::~Switch() = default;
+
+// ----- observability emission helpers -----
+
+void Switch::obs_fault(int field) {
+  if (obs_.track) {
+    obs_.track->instant(sim_.now(), TraceCat::kFault,
+                        static_cast<std::uint16_t>(field), kTidNode, 1);
+  }
+}
+
+void Switch::obs_route_open(int input_idx) {
+  if (!obs_.track) return;
+  const Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  std::int64_t hdr = 0;
+  if (in.header.size() == static_cast<std::size_t>(kHeaderTokens)) {
+    hdr = header_from_bytes(in.header[0], in.header[1], in.header[2]).node;
+  }
+  obs_.track->begin(sim_.now(), TraceCat::kRoute, kRouteSubOpen,
+                    kTidRouteBase + input_idx, in.output, hdr);
+}
+
+void Switch::obs_route_close(int input_idx) {
+  if (!obs_.track) return;
+  obs_.track->end(sim_.now(), TraceCat::kRoute, kRouteSubOpen,
+                  kTidRouteBase + input_idx);
+}
+
+void Switch::obs_park(int input_idx, int direction) {
+  if (obs_.parks) obs_.parks->add();
+  if (obs_.track) {
+    obs_.track->instant(sim_.now(), TraceCat::kRoute, kRouteSubPark,
+                        kTidRouteBase + input_idx, direction);
+  }
+}
+
+void Switch::obs_fifo_push(int input_idx) {
+  Input& in = inputs_[static_cast<std::size_t>(input_idx)];
+  if (obs_.queue_delay_ns) in.entry_times.push_back(sim_.now());
+  if (obs_.track) {
+    obs_.track->counter(sim_.now(), TraceCat::kQueue,
+                        static_cast<std::uint16_t>(input_idx),
+                        kTidRouteBase + input_idx,
+                        static_cast<double>(in.fifo.size()));
+  }
+}
+
+void Switch::obs_fifo_pop(Input& in) {
+  const int idx = static_cast<int>(&in - inputs_.data());
+  if (obs_.queue_delay_ns && !in.entry_times.empty()) {
+    const TimePs entered = in.entry_times.front();
+    in.entry_times.pop_front();
+    obs_.queue_delay_ns->add(
+        static_cast<std::uint64_t>((sim_.now() - entered) / kPicosPerNano));
+  }
+  if (obs_.track) {
+    obs_.track->counter(sim_.now(), TraceCat::kQueue,
+                        static_cast<std::uint16_t>(idx), kTidRouteBase + idx,
+                        static_cast<double>(in.fifo.size()));
+  }
+}
+
+void Switch::obs_close_spans() {
+  if (!obs_.track) return;
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].output >= 0) obs_route_close(static_cast<int>(i));
+  }
+}
 
 void Switch::attach_core(Core& core) {
   require(core_ == nullptr, "Switch: core already attached");
@@ -279,6 +354,7 @@ void Switch::deliver_link_token(int port, const Token& t, std::uint64_t seq,
       // CRC catches the flip; discard and ask for everything from the
       // first missing sequence number.
       ++fault_counters_.crc_rejects;
+      obs_fault(2);
       request_retransmit(port);
       return;
     }
@@ -306,6 +382,7 @@ void Switch::deliver_link_token(int port, const Token& t, std::uint64_t seq,
   invariant(in.fifo.size() < cfg_.buffer_tokens,
             "link delivery overran credit window");
   in.fifo.push_back(t);
+  obs_fifo_push(port);
   schedule_process(port);
 }
 
@@ -314,6 +391,7 @@ void Switch::request_retransmit(int port) {
   if (in.nak_outstanding || in.peer == nullptr) return;
   in.nak_outstanding = true;
   ++fault_counters_.naks_sent;
+  obs_fault(3);
   // The NAK is a real control frame on the reverse wire of the full-duplex
   // pair (our output of the same port index): charge its bits.
   const Output& rev = outputs_[static_cast<std::size_t>(port)];
@@ -373,6 +451,7 @@ void Switch::on_link_ack(int output_idx, std::uint64_t cum_seq) {
 void Switch::on_link_nak(int output_idx, std::uint64_t expect_seq) {
   Output& out = outputs_.at(static_cast<std::size_t>(output_idx));
   ++fault_counters_.naks_received;
+  obs_fault(4);
   if (!out.reliable || out.dead) return;
   const auto floor = static_cast<std::int64_t>(
       std::max(expect_seq, out.rel_base));
@@ -386,6 +465,9 @@ void Switch::on_link_nak(int output_idx, std::uint64_t expect_seq) {
     return;
   }
   const TimePs delay = backoff_delay(out);
+  if (obs_.backoff_ns) {
+    obs_.backoff_ns->add(static_cast<std::uint64_t>(delay / kPicosPerNano));
+  }
   ++out.backoff_level;
   out.resend_cursor = floor;
   const std::uint64_t gen = ++out.resend_gen;
@@ -411,6 +493,7 @@ void Switch::schedule_process(int input_idx, TimePs when) {
 
 void Switch::consume_from_fifo(Input& in) {
   in.fifo.pop_front();
+  obs_fifo_pop(in);
   if (in.kind == Input::Kind::kLink) {
     if (in.peer != nullptr) {
       Switch* peer = in.peer;
@@ -459,12 +542,14 @@ bool Switch::resolve_route(int input_idx) {
     if (out.bound_input >= 0) {
       out.waiters.push_back(input_idx);
       in.waiting_output = true;
+      obs_park(input_idx, -1);
       return false;
     }
     out.bound_input = input_idx;
     in.output = oidx;
     in.route_opened_at = sim_.now();
     ++packets_routed_;
+    obs_route_open(input_idx);
     return true;  // header is consumed, not re-emitted, at the endpoint
   }
 
@@ -479,12 +564,14 @@ bool Switch::resolve_route(int input_idx) {
   if (!try_bind_direction(input_idx, dir)) {
     dir_waiters_[static_cast<std::size_t>(dir)].push_back(input_idx);
     in.waiting_output = true;
+    obs_park(input_idx, dir);
     return false;
   }
   // Re-emit the header towards the next hop.
   for (std::uint8_t b : in.header) in.pending_out.push_back(Token::data(b));
   in.route_opened_at = sim_.now();
   ++packets_routed_;
+  obs_route_open(input_idx);
   return true;
 }
 
@@ -492,6 +579,7 @@ void Switch::unbind(int input_idx) {
   Input& in = inputs_[static_cast<std::size_t>(input_idx)];
   const int oidx = in.output;
   route_hold_ns_.add(to_nanoseconds(sim_.now() - in.route_opened_at));
+  obs_route_close(input_idx);
   in.output = -1;
   in.header.clear();
   Output& out = outputs_[static_cast<std::size_t>(oidx)];
@@ -509,6 +597,7 @@ void Switch::unbind(int input_idx) {
       win.waiting_output = false;
       win.route_opened_at = sim_.now();
       ++packets_routed_;
+      obs_route_open(next);
     }
   } else if (!out.dead) {
     auto& queue = dir_waiters_[static_cast<std::size_t>(out.direction)];
@@ -522,6 +611,7 @@ void Switch::unbind(int input_idx) {
       win.route_opened_at = sim_.now();
       for (std::uint8_t b : win.header) win.pending_out.push_back(Token::data(b));
       ++packets_routed_;
+      obs_route_open(next);
     }
   }
   if (next >= 0) schedule_process(next);
@@ -551,6 +641,11 @@ void Switch::on_retry_timeout(int output_idx, std::uint64_t gen) {
   out.timer_armed = false;
   if (out.dead || !out.reliable || out.replay.empty()) return;
   ++fault_counters_.retry_timeouts;
+  obs_fault(6);
+  if (obs_.backoff_ns) {
+    obs_.backoff_ns->add(
+        static_cast<std::uint64_t>(backoff_delay(out) / kPicosPerNano));
+  }
   ++out.backoff_level;
   if (out.backoff_level > cfg_.max_retry_rounds) {
     mark_link_dead(output_idx);
@@ -591,6 +686,7 @@ void Switch::resend_step(int output_idx, std::uint64_t gen) {
   const auto seq = static_cast<std::uint64_t>(out.resend_cursor);
   ++out.resend_cursor;
   ++fault_counters_.retransmissions;
+  obs_fault(5);
   transmit_on_link(out, t, seq);  // charges the wire like a first send
   sim_.at(out.busy_until,
           [this, output_idx, gen] { resend_step(output_idx, gen); });
@@ -601,6 +697,7 @@ void Switch::mark_link_dead(int output_idx) {
   if (out.dead) return;
   out.dead = true;
   ++fault_counters_.links_marked_dead;
+  obs_fault(7);
   out.resend_cursor = -1;
   ++out.resend_gen;
   ++out.timer_gen;
@@ -618,10 +715,15 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   const TimePs ser = transfer_time_ps(bits, out.rate);
   out.busy_until = now + ser;
   const TimePs arrival = now + hop_latency_ + ser + out.wire_latency;
-  ledger_.add(link_account(out.cls),
-              bits * link_energy_per_bit(out.cls, out.cable_cm));
+  const Joules wire_energy = bits * link_energy_per_bit(out.cls, out.cable_cm);
+  ledger_.add(link_account(out.cls), wire_energy);
   ++link_tokens_sent_[static_cast<std::size_t>(out.cls)];
   link_busy_time_[static_cast<std::size_t>(out.cls)] += ser;
+  if (obs_.track) {
+    obs_.track->instant(now, TraceCat::kLink, kLinkSubToken,
+                        kTidLinkBase + out.direction, bits, out.direction,
+                        to_picojoules(wire_energy));
+  }
   // Fault injection on the wire (applies to retransmissions too: a flaky
   // cable does not care whether a token is a retry).
   Token wire = t;
@@ -633,14 +735,17 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
       case LinkFaultAction::kCorrupt:
         corrupt = true;
         ++fault_counters_.tokens_corrupted;
+        obs_fault(0);
         break;
       case LinkFaultAction::kDrop:
         ++fault_counters_.tokens_dropped;
+        obs_fault(1);
         return;  // lost on the wire; the driver still burned the energy
     }
   }
   if (!out.link_up) {
     ++fault_counters_.tokens_dropped;
+    obs_fault(1);
     return;
   }
   Switch* peer = out.peer;
@@ -677,11 +782,22 @@ void Switch::send_token(int input_idx, Output& out, const Token& t) {
     ++out.deliveries_in_flight;
     TokenReceiver* recv = out.receiver;
     Output* outp = &out;
-    sim_.at(out.busy_until, [recv, outp, t] {
+    sim_.at(out.busy_until, [this, recv, outp, t] {
       --outp->deliveries_in_flight;
       // PAUSE closes routes inside the network but is not delivered to
       // the endpoint (§V.B).
-      if (!t.is_pause()) recv->receive(t);
+      if (!t.is_pause()) {
+        // End-to-end token latency: ingress stamp (origin proc port,
+        // possibly several hops and domains away) to endpoint delivery.
+        if (t.born > 0) {
+          if (obs_.token_latency_ns) {
+            obs_.token_latency_ns->add(static_cast<std::uint64_t>(
+                (sim_.now() - t.born) / kPicosPerNano));
+          }
+          if (obs_.tokens_delivered) obs_.tokens_delivered->add();
+        }
+        recv->receive(t);
+      }
     });
   }
   (void)input_idx;
@@ -740,6 +856,7 @@ void Switch::process_input(int input_idx) {
         consume_from_fifo(in);
       }
       ++fault_counters_.tokens_discarded_dead;
+      obs_fault(8);
       if (!fp && d.closes_route()) unbind(input_idx);
       continue;
     }

@@ -51,6 +51,7 @@
 #include "energy/link_energy.h"
 #include "noc/routing.h"
 #include "noc/token.h"
+#include "obs/probes.h"
 #include "sim/domain.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -195,6 +196,17 @@ class Switch {
 
   const FaultCounters& fault_counters() const { return fault_counters_; }
 
+  // ----- observability -----
+  /// Attach the observability probe bundle (obs/probes.h): route spans,
+  /// token transit and queue occupancy go to the trace track; queueing
+  /// delay, backoff and end-to-end latency to the metric instruments.
+  /// Null members disable the corresponding pillar at one pointer test.
+  void set_obs(const SwitchProbe& probe) { obs_ = probe; }
+
+  /// Close any still-open route spans at the current time (end of a trace
+  /// session; keeps B/E spans balanced in the exported trace).
+  void obs_close_spans();
+
   // ----- statistics -----
   std::uint64_t tokens_forwarded() const { return tokens_forwarded_; }
   std::uint64_t packets_routed() const { return packets_routed_; }
@@ -266,6 +278,9 @@ class Switch {
     bool nak_outstanding = false;   // suppress duplicate NAKs per gap
     // Proc inputs: space notifications back to the producing chanend.
     std::vector<std::function<void()>> space_subs;
+    // Observability: fifo entry times, maintained only while a metrics
+    // session is attached (queueing-delay histogram).
+    std::deque<TimePs> entry_times;
   };
 
   struct Output {
@@ -322,6 +337,13 @@ class Switch {
   void on_retry_timeout(int output_idx, std::uint64_t gen);
   TimePs backoff_delay(const Output& out) const;
   void mark_link_dead(int output_idx);
+  // Observability emission helpers (no-ops when the probe is empty).
+  void obs_fault(int field);
+  void obs_route_open(int input_idx);
+  void obs_route_close(int input_idx);
+  void obs_park(int input_idx, int direction);
+  void obs_fifo_push(int input_idx);
+  void obs_fifo_pop(Input& in);
 
   Simulator& sim_;
   EnergyLedger& ledger_;
@@ -354,6 +376,9 @@ class Switch {
   LinkFaultHook fault_hook_;
   LinkDeadCallback on_link_dead_;
   TimePs stalled_until_ = 0;
+
+  // Observability probe (empty = disabled).
+  SwitchProbe obs_;
 };
 
 }  // namespace swallow

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/units.h"
+
 namespace swallow {
 
 /// Control token values (subset of the XS1 set that Swallow software uses).
@@ -20,6 +22,11 @@ enum class ControlToken : std::uint8_t {
 struct Token {
   std::uint8_t value = 0;
   bool is_control = false;
+  /// Observability sideband: ingress timestamp stamped at the proc port
+  /// when a trace/metrics session is attached (0 = unstamped).  Rides
+  /// along for end-to-end latency measurement; not part of the token's
+  /// identity on the wire.
+  TimePs born = 0;
 
   static Token data(std::uint8_t v) { return Token{v, false}; }
   static Token control(ControlToken ct) {
@@ -35,7 +42,10 @@ struct Token {
   /// Route-closing tokens (END travels to the endpoint, PAUSE does not).
   bool closes_route() const { return is_end() || is_pause(); }
 
-  bool operator==(const Token&) const = default;
+  /// Identity is the wire content only — the `born` sideband is ignored.
+  bool operator==(const Token& o) const {
+    return value == o.value && is_control == o.is_control;
+  }
 };
 
 /// Bits on the wire per token: 8 data bits; the 4-transition 5-wire

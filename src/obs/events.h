@@ -1,0 +1,99 @@
+// The structured trace-event model: one POD record per architectural
+// event, tagged with the taxonomy category and enough arguments to render
+// a Chrome trace-event / Perfetto line at export time.
+//
+// Events carry no strings — names are resolved from (cat, sub) tables at
+// export so the hot emission path is a couple of stores into a bounded
+// ring (obs/ring.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace swallow {
+
+/// Chrome trace-event phase the record maps to.
+enum class TraceKind : std::uint8_t {
+  kBegin,    // "B": span opens on (pid=node, tid)
+  kEnd,      // "E": span closes
+  kInstant,  // "i": point event
+  kCounter,  // "C": sampled counter track
+};
+
+/// Event taxonomy (docs/observability.md "Event taxonomy").
+enum class TraceCat : std::uint8_t {
+  kThread,   // core hardware-thread scheduling: run / wait:<kind> spans
+  kRoute,    // switch wormhole route open/close spans, parks
+  kLink,     // per-token link transit (class, bits, energy)
+  kQueue,    // switch input fifo occupancy
+  kFault,    // CRC rejects, NAK/retransmit machinery, freezes, link death
+  kDvfs,     // frequency / voltage transitions
+  kEnergy,   // periodic energy-ledger counter tracks
+  kProfile,  // sampling profiler PC samples
+  kCount,
+};
+
+/// Trace-line (Chrome "tid") blocks within one node's pid, so core threads,
+/// switch inputs and link directions render as separate named rows.
+inline constexpr int kTidThreadBase = 0;    // + hardware thread id
+inline constexpr int kTidRouteBase = 64;    // + switch input port
+inline constexpr int kTidLinkBase = 96;     // + link direction
+inline constexpr int kTidNode = 126;        // whole-node events (dvfs, fault)
+inline constexpr int kTidSystem = 127;      // system track counters
+
+/// TraceCat::kThread sub codes: 0 = run span; 1..5 = wait spans indexed by
+/// Core::WaitKind (chan-out, chan-in, lock, sync, timer); 6 = exit
+/// instant; 7 = unclassified wait.
+inline constexpr std::uint16_t kThreadSubRun = 0;
+inline constexpr std::uint16_t kThreadSubExit = 6;
+inline constexpr std::uint16_t kThreadSubWaitOther = 7;
+
+/// TraceCat::kRoute sub codes: a wormhole route span, or a park instant
+/// when the wanted output is busy.
+inline constexpr std::uint16_t kRouteSubOpen = 0;
+inline constexpr std::uint16_t kRouteSubPark = 1;
+
+/// TraceCat::kLink / kQueue / kProfile sub codes (single series each).
+inline constexpr std::uint16_t kLinkSubToken = 0;
+inline constexpr std::uint16_t kQueueSubFifo = 0;
+inline constexpr std::uint16_t kProfileSubPc = 0;
+
+/// TraceCat::kFault sub codes: 0..8 mirror FaultCounters field indices
+/// (see FaultCounters::field_name); 9/10 are injected core freeze state.
+inline constexpr std::uint16_t kFaultSubFreeze = 9;
+inline constexpr std::uint16_t kFaultSubUnfreeze = 10;
+
+/// TraceCat::kDvfs sub codes.
+inline constexpr std::uint16_t kDvfsSubFreqMhz = 0;
+inline constexpr std::uint16_t kDvfsSubVoltage = 1;
+
+/// TraceCat::kEnergy sub codes: 0..EnergyAccount::kCount-1 are ledger
+/// account totals (uJ); then the grand total and machine input power.
+inline constexpr std::uint16_t kEnergySubGrandTotal = 100;
+inline constexpr std::uint16_t kEnergySubInputPower = 101;
+
+struct TraceEvent {
+  TimePs time = 0;
+  std::uint32_t track = 0;  // creation index of the emitting track
+  std::uint32_t seq = 0;   // per-track emission sequence (merge tiebreak)
+  std::uint32_t node = 0;  // emitting node id (0xFFFFFFFF = system track)
+  TraceKind kind = TraceKind::kInstant;
+  TraceCat cat = TraceCat::kThread;
+  std::uint16_t sub = 0;   // category-specific code, see above
+  std::int32_t tid = 0;    // trace line within the node's pid
+  std::int64_t a = 0;      // category-specific argument
+  std::int64_t b = 0;      // category-specific argument
+  double value = 0;        // counter value / energy
+};
+
+/// Node id used for the machine-wide system track.
+inline constexpr std::uint32_t kSystemTrackNode = 0xFFFFFFFFu;
+
+/// Human names for the export layer ("run", "wait:chan-in", "tok", ...).
+/// Export-time only — the emission path never touches strings.
+const char* trace_cat_name(TraceCat cat);
+std::string trace_event_name(TraceCat cat, std::uint16_t sub);
+
+}  // namespace swallow

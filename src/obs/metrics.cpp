@@ -1,0 +1,109 @@
+#include "obs/metrics.h"
+
+#include "common/strings.h"
+#include "obs/events.h"
+
+namespace swallow {
+namespace {
+
+std::string owner_name(std::uint32_t owner) {
+  return owner == kSystemTrackNode ? "system" : strprintf("0x%04x", owner);
+}
+
+}  // namespace
+
+std::uint64_t LogHistogram::percentile(double q) const {
+  if (!count_) return 0;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += counts_[static_cast<std::size_t>(i)];
+    if (seen > rank) {
+      // Upper edge of the bucket, clamped to the observed extremes.
+      const std::uint64_t hi = i == 0 ? 0 : bucket_lo(i) * 2 - 1;
+      return std::min(std::max(hi, min()), max());
+    }
+  }
+  return max();
+}
+
+MetricCounter* MetricsRegistry::counter(const std::string& name,
+                                        std::uint32_t owner) {
+  return find_or_add(counters_, name, owner);
+}
+
+MetricGauge* MetricsRegistry::gauge(const std::string& name,
+                                    std::uint32_t owner) {
+  return find_or_add(gauges_, name, owner);
+}
+
+LogHistogram* MetricsRegistry::histogram(const std::string& name,
+                                         std::uint32_t owner) {
+  return find_or_add(histograms_, name, owner);
+}
+
+std::string MetricsRegistry::dump_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& name : sorted_names(counters_)) {
+    std::uint64_t total = 0;
+    for (const auto& e : counters_)
+      if (e.name == name) total += e.instrument.value();
+    out += strprintf("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(total));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& name : sorted_names(gauges_)) {
+    out += strprintf("%s\n    \"%s\": {", first ? "" : ",", name.c_str());
+    bool inner_first = true;
+    for (const auto& e : gauges_) {
+      if (e.name != name) continue;
+      out += strprintf("%s\n      \"%s\": %.9g", inner_first ? "" : ",",
+                       owner_name(e.owner).c_str(), e.instrument.value());
+      inner_first = false;
+    }
+    out += "\n    }";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& name : sorted_names(histograms_)) {
+    LogHistogram merged;
+    for (const auto& e : histograms_)
+      if (e.name == name) merged.merge(e.instrument);
+    out += strprintf(
+        "%s\n    \"%s\": {\n"
+        "      \"count\": %llu, \"sum\": %llu, \"min\": %llu, \"max\": %llu,\n"
+        "      \"mean\": %.9g, \"p50\": %llu, \"p90\": %llu, \"p99\": %llu,\n"
+        "      \"buckets\": [",
+        first ? "" : ",", name.c_str(),
+        static_cast<unsigned long long>(merged.count()),
+        static_cast<unsigned long long>(merged.sum()),
+        static_cast<unsigned long long>(merged.min()),
+        static_cast<unsigned long long>(merged.max()), merged.mean(),
+        static_cast<unsigned long long>(merged.percentile(0.50)),
+        static_cast<unsigned long long>(merged.percentile(0.90)),
+        static_cast<unsigned long long>(merged.percentile(0.99)));
+    bool bucket_first = true;
+    for (int i = 0; i < LogHistogram::kBuckets; ++i) {
+      if (!merged.bucket(i)) continue;
+      out += strprintf("%s[%llu, %llu]", bucket_first ? "" : ", ",
+                       static_cast<unsigned long long>(LogHistogram::bucket_lo(i)),
+                       static_cast<unsigned long long>(merged.bucket(i)));
+      bucket_first = false;
+    }
+    out += "]\n    }";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace swallow

@@ -1,0 +1,156 @@
+// Metrics registry: named counters, gauges and log-bucketed histograms
+// registered by the arch/noc/board layers and dumped as JSON at the end of
+// a run.
+//
+// Determinism: instruments are keyed (name, owner node) and each instance
+// is written by exactly one node — i.e. one domain — during the run, so
+// parallel workers never contend.  Aggregation across owners happens only
+// at dump time, walking names in sorted order and owners in creation
+// order, which makes the dump a pure function of the simulated history.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace swallow {
+
+/// Monotonic count of events (tokens retransmitted, parks, ...).
+class MetricCounter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value (per-thread IPC, final queue depth, ...).
+class MetricGauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Histogram over non-negative values with power-of-two buckets: bucket i
+/// holds samples in [2^(i-1), 2^i) (bucket 0 holds the value 0).  Log
+/// bucketing keeps latency distributions spanning ns..ms in ~40 slots, and
+/// bucket merging across owners is exact — no rebinning error.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t v) {
+    ++counts_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket(int i) const {
+    return counts_[static_cast<std::size_t>(i)];
+  }
+  /// Lower edge of bucket i (0, 1, 2, 4, 8, ...).
+  static std::uint64_t bucket_lo(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  /// Approximate quantile (0..1): the upper edge of the bucket containing
+  /// the q-th sample.  Coarse by design — exact enough for p50/p90/p99
+  /// over log-distributed latencies.
+  std::uint64_t percentile(double q) const;
+
+  void merge(const LogHistogram& o) {
+    for (int i = 0; i < kBuckets; ++i)
+      counts_[static_cast<std::size_t>(i)] +=
+          o.counts_[static_cast<std::size_t>(i)];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.count_) {
+      min_ = std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    int b = 0;
+    while (v) {
+      ++b;
+      v >>= 1;
+    }
+    return std::min(b, kBuckets - 1);
+  }
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create the instrument for (name, owner).  Call at attach time
+  /// (serial); the returned pointer is stable and safe to write from the
+  /// owner's domain for the rest of the run.
+  MetricCounter* counter(const std::string& name, std::uint32_t owner);
+  MetricGauge* gauge(const std::string& name, std::uint32_t owner);
+  LogHistogram* histogram(const std::string& name, std::uint32_t owner);
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Aggregated JSON dump: counters summed across owners, histograms
+  /// merged, gauges listed per owner.  Deterministic (sorted names, owner
+  /// creation order).
+  std::string dump_json() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    std::uint32_t owner;
+    T instrument;
+  };
+  template <typename T>
+  static T* find_or_add(std::deque<Entry<T>>& entries, const std::string& name,
+                        std::uint32_t owner) {
+    for (auto& e : entries)
+      if (e.owner == owner && e.name == name) return &e.instrument;
+    entries.push_back(Entry<T>{name, owner, T{}});
+    return &entries.back().instrument;
+  }
+  template <typename T>
+  static std::vector<std::string> sorted_names(
+      const std::deque<Entry<T>>& entries) {
+    std::vector<std::string> names;
+    for (const auto& e : entries)
+      if (std::find(names.begin(), names.end(), e.name) == names.end())
+        names.push_back(e.name);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  std::deque<Entry<MetricCounter>> counters_;
+  std::deque<Entry<MetricGauge>> gauges_;
+  std::deque<Entry<LogHistogram>> histograms_;
+};
+
+}  // namespace swallow

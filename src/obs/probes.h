@@ -1,0 +1,36 @@
+// Probe bundles: the pointers a model holds when observability is
+// attached.  Null members mean "pillar disabled" — the hot-path cost of a
+// disabled session is one pointer test, which is what keeps the
+// tracing-off bench overhead at ~0 (BENCH_PR3.json).
+//
+// The board layer fills these at attach time (serial, before the run);
+// every member is then written only from the owning node's domain.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace swallow {
+
+/// Observability hooks for one processor core.
+struct CoreProbe {
+  Track* track = nullptr;  // thread spans, DVFS counters, freeze instants
+};
+
+/// Observability hooks for one switch.
+struct SwitchProbe {
+  Track* track = nullptr;  // route spans, token transit, queue occupancy,
+                           // fault instants
+
+  // Metrics (ISSUE 3 pillar 2).  All in nanoseconds where applicable.
+  LogHistogram* queue_delay_ns = nullptr;     // fifo entry -> head consumed
+  LogHistogram* backoff_ns = nullptr;         // go-back-N retransmit backoff
+  LogHistogram* token_latency_ns = nullptr;   // ingress stamp -> proc delivery
+  MetricCounter* tokens_delivered = nullptr;  // tokens handed to proc ports
+  MetricCounter* parks = nullptr;             // route blocked on busy output
+
+  bool wants_trace() const { return track != nullptr; }
+  bool wants_metrics() const { return queue_delay_ns != nullptr; }
+};
+
+}  // namespace swallow

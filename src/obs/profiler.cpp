@@ -1,0 +1,54 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace swallow {
+
+void Profiler::note_symbols(
+    std::uint32_t node,
+    std::vector<std::pair<std::uint32_t, std::string>> syms) {
+  std::sort(syms.begin(), syms.end());
+  symbols_[node] = std::move(syms);
+}
+
+void Profiler::sample(std::uint32_t node, int tid, std::uint32_t pc,
+                      bool running) {
+  ++counts_[Key{node, tid, pc, running}];
+  ++samples_;
+}
+
+std::string Profiler::symbolize(std::uint32_t node, std::uint32_t pc) const {
+  const auto it = symbols_.find(node);
+  if (it != symbols_.end() && !it->second.empty()) {
+    // Last label with addr <= pc.
+    const auto& syms = it->second;
+    auto ub = std::upper_bound(
+        syms.begin(), syms.end(), pc,
+        [](std::uint32_t p, const auto& s) { return p < s.first; });
+    if (ub != syms.begin()) return std::prev(ub)->second;
+  }
+  return strprintf("0x%04x", pc);
+}
+
+std::string Profiler::collapsed() const {
+  // Fold (node, tid, pc) samples by symbol: distinct PCs under the same
+  // label merge into one stack line.
+  std::map<std::string, std::uint64_t> folded;
+  for (const auto& [key, count] : counts_) {
+    std::string stack =
+        strprintf("core_0x%04x;t%d;%s", key.node, key.tid,
+                  symbolize(key.node, key.pc).c_str());
+    if (!key.running) stack += ";[wait]";
+    folded[stack] += count;
+  }
+  std::string out;
+  for (const auto& [stack, count] : folded)
+    out += strprintf("%s %llu\n", stack.c_str(),
+                     static_cast<unsigned long long>(count));
+  return out;
+}
+
+}  // namespace swallow

@@ -1,0 +1,64 @@
+// Sampling profiler: at every observability chop point the board layer
+// snapshots each live hardware thread's PC and feeds it here.  Samples are
+// symbolized against the assembler's label table (nearest label at or
+// below the PC) and folded into flamegraph-collapsed stacks:
+//
+//     core_0x0001;t0;stage_loop 412
+//
+// one line per (node, thread, symbol), sorted — ready for flamegraph.pl /
+// speedscope.  Sampling happens at deterministic chop times where both
+// engines agree on all machine state, so the folded output is
+// byte-identical across --jobs values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace swallow {
+
+class Profiler {
+ public:
+  /// Register a node's symbol table: (word address, label) pairs from the
+  /// loaded image.  Call at attach/load time.
+  void note_symbols(std::uint32_t node,
+                    std::vector<std::pair<std::uint32_t, std::string>> syms);
+
+  /// Record one sample of a live thread.  `running` distinguishes
+  /// on-cpu samples from wait samples (folded with a ";[wait]" leaf).
+  void sample(std::uint32_t node, int tid, std::uint32_t pc, bool running);
+
+  std::uint64_t samples() const { return samples_; }
+
+  /// Nearest label at or below `pc` for `node` ("+0x12" offsets omitted;
+  /// "0x<pc>" when no symbol table or no label precedes the PC).
+  std::string symbolize(std::uint32_t node, std::uint32_t pc) const;
+
+  /// Flamegraph-collapsed output, one "stack count" line per bucket,
+  /// sorted lexicographically.
+  std::string collapsed() const;
+
+ private:
+  struct Key {
+    std::uint32_t node;
+    int tid;
+    std::uint32_t pc;
+    bool running;
+    bool operator<(const Key& o) const {
+      if (node != o.node) return node < o.node;
+      if (tid != o.tid) return tid < o.tid;
+      if (pc != o.pc) return pc < o.pc;
+      return running < o.running;
+    }
+  };
+
+  // Per-node sorted (addr, label) tables and per-(node,tid,pc) counts.
+  std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, std::string>>>
+      symbols_;
+  std::map<Key, std::uint64_t> counts_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace swallow

@@ -1,0 +1,93 @@
+// Bounded event log: the ring-buffer backend every observability stream
+// (trace tracks, the legacy instruction TraceBuffer) records into.
+//
+// Policy is *drop-newest with a drop count*: once the buffer holds
+// `capacity` items, further pushes are refused and counted rather than
+// silently discarded or allowed to grow without bound.  Drop-newest — not
+// the classic overwrite-oldest ring — because every consumer here drains
+// from the front at deterministic flush points, and a refused push is a
+// *reproducible* function of the producer's own event sequence, which is
+// what makes overflowing traces byte-identical across engines (see
+// obs/trace.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace swallow {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity = 16384) : capacity_(capacity) {}
+
+  /// Append `v` if there is room; otherwise count the drop and return
+  /// false.  Never reallocates beyond `capacity` items.
+  bool push(T v) {
+    if (size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    items_.push_back(std::move(v));
+    if (size() > watermark_) watermark_ = size();
+    return true;
+  }
+
+  /// Remove and return the oldest retained item.
+  T pop_front() {
+    require(head_ < items_.size(), "RingBuffer::pop_front: empty");
+    T v = std::move(items_[head_]);
+    ++head_;
+    // Everything drained: release the storage so memory stays bounded by
+    // the capacity plus transient slack, not by the total event count.
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    }
+    return v;
+  }
+
+  const T& front() const {
+    require(head_ < items_.size(), "RingBuffer::front: empty");
+    return items_[head_];
+  }
+  /// i-th oldest retained item.
+  const T& at(std::size_t i) const { return items_.at(head_ + i); }
+
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Items refused because the buffer was full.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Largest size() ever reached (memory-bound assertions in tests).
+  std::size_t high_watermark() const { return watermark_; }
+
+  /// Retained items as a plain vector, oldest first.  Only valid while
+  /// nothing has been popped (the TraceBuffer use case: append-only, read
+  /// at the end) — a drained ring no longer has linear storage.
+  const std::vector<T>& linear() const {
+    require(head_ == 0, "RingBuffer::linear: items were popped");
+    return items_;
+  }
+
+  /// Change the capacity.  Already-retained items are kept even if they
+  /// exceed the new bound (subsequent pushes drop until drained).
+  void set_capacity(std::size_t n) { capacity_ = n; }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t watermark_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace swallow

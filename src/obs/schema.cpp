@@ -1,0 +1,74 @@
+#include "obs/schema.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace swallow {
+
+std::string check_chrome_trace(const Json& doc) {
+  if (!doc.is_object()) return "top level is not an object";
+  const Json* events = doc.get("traceEvents");
+  if (!events) return "missing \"traceEvents\"";
+  if (!events->is_array()) return "\"traceEvents\" is not an array";
+  const Json* other = doc.get("otherData");
+  if (!other || !other->is_object())
+    return "missing \"otherData\" object";
+  if (!other->has("dropped_events"))
+    return "otherData missing \"dropped_events\"";
+
+  double last_ts = -1.0;
+  std::map<std::pair<double, double>, long> span_depth;
+  std::size_t i = 0;
+  for (const Json& e : events->as_array()) {
+    const std::string where = strprintf("event %zu", i++);
+    if (!e.is_object()) return where + ": not an object";
+    const Json* name = e.get("name");
+    if (!name || !name->is_string() || name->as_string().empty())
+      return where + ": bad \"name\"";
+    const Json* ph = e.get("ph");
+    if (!ph || !ph->is_string() || ph->as_string().size() != 1)
+      return where + ": bad \"ph\"";
+    const char phase = ph->as_string()[0];
+    if (phase != 'M' && phase != 'B' && phase != 'E' && phase != 'i' &&
+        phase != 'C')
+      return where + strprintf(": unexpected phase '%c'", phase);
+    const Json* pid = e.get("pid");
+    if (!pid || !pid->is_number()) return where + ": bad \"pid\"";
+    if (phase == 'M') continue;  // metadata: no ts, tid optional per record
+
+    const Json* tid = e.get("tid");
+    if (!tid || !tid->is_number()) return where + ": bad \"tid\"";
+    const Json* ts = e.get("ts");
+    if (!ts || !ts->is_number() || ts->as_number() < 0)
+      return where + ": bad \"ts\"";
+    if (ts->as_number() < last_ts)
+      return where + ": ts decreases (merge order violated)";
+    last_ts = ts->as_number();
+
+    if (phase == 'i') {
+      const Json* scope = e.get("s");
+      if (!scope || !scope->is_string())
+        return where + ": instant missing scope \"s\"";
+    }
+    if (phase == 'C') {
+      const Json* args = e.get("args");
+      if (!args || !args->is_object() || !args->has("value") ||
+          !args->at("value").is_number())
+        return where + ": counter missing numeric args.value";
+    }
+    if (phase == 'B' || phase == 'E') {
+      long& depth = span_depth[{pid->as_number(), tid->as_number()}];
+      depth += phase == 'B' ? 1 : -1;
+      if (depth < 0) return where + ": \"E\" without matching \"B\"";
+    }
+  }
+  for (const auto& [key, depth] : span_depth)
+    if (depth != 0)
+      return strprintf("unbalanced spans on pid %g tid %g (depth %ld)",
+                       key.first, key.second, depth);
+  return "";
+}
+
+}  // namespace swallow

@@ -1,0 +1,25 @@
+// Chrome trace-event schema check: the checked-in validation CI runs on
+// every produced trace (`swallow_stat --check`).  Not a generic JSON
+// Schema engine — a hand-rolled structural check of exactly the contract
+// docs/observability.md documents, which is both stronger (cross-event
+// rules like B/E balance) and dependency-free.
+#pragma once
+
+#include <string>
+
+#include "common/json.h"
+
+namespace swallow {
+
+/// Validate a parsed trace document.  Returns "" when valid, otherwise a
+/// human-readable description of the first violation.  Checks:
+///   - top level: object with "traceEvents" array + "otherData" object
+///   - every event: name/ph/pid/tid present and well-typed; ph is one of
+///     M/B/E/i/C; "ts" present and non-negative on non-metadata events;
+///     instants carry a scope, counters a numeric args.value
+///   - ts is non-decreasing across non-metadata events (the deterministic
+///     merge emits in time order)
+///   - B/E spans balance per (pid, tid) and never go negative
+std::string check_chrome_trace(const Json& doc);
+
+}  // namespace swallow

@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "energy/ledger.h"
+#include "sim/stats.h"
+
+namespace swallow {
+
+const char* trace_cat_name(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kThread: return "thread";
+    case TraceCat::kRoute: return "route";
+    case TraceCat::kLink: return "link";
+    case TraceCat::kQueue: return "queue";
+    case TraceCat::kFault: return "fault";
+    case TraceCat::kDvfs: return "dvfs";
+    case TraceCat::kEnergy: return "energy";
+    case TraceCat::kProfile: return "profile";
+    case TraceCat::kCount: break;
+  }
+  return "?";
+}
+
+std::string trace_event_name(TraceCat cat, std::uint16_t sub) {
+  switch (cat) {
+    case TraceCat::kThread: {
+      static const char* kNames[] = {"run",       "wait:chan-out",
+                                     "wait:chan-in", "wait:lock",
+                                     "wait:sync", "wait:timer",
+                                     "exit",      "wait:other"};
+      if (sub < 8) return kNames[sub];
+      break;
+    }
+    case TraceCat::kRoute:
+      if (sub == kRouteSubOpen) return "route";
+      if (sub == kRouteSubPark) return "park";
+      break;
+    case TraceCat::kLink:
+      if (sub == kLinkSubToken) return "tok";
+      break;
+    case TraceCat::kQueue:
+      // One counter series per input port (Chrome merges counters of the
+      // same (pid, name), so the port index is part of the name).
+      return strprintf("fifo%u", sub);
+    case TraceCat::kFault:
+      if (sub < FaultCounters::kFieldCount)
+        return FaultCounters::field_name(static_cast<int>(sub));
+      if (sub == kFaultSubFreeze) return "core-freeze";
+      if (sub == kFaultSubUnfreeze) return "core-unfreeze";
+      break;
+    case TraceCat::kDvfs:
+      if (sub == kDvfsSubFreqMhz) return "freq_mhz";
+      if (sub == kDvfsSubVoltage) return "voltage_v";
+      break;
+    case TraceCat::kEnergy:
+      if (sub < static_cast<std::uint16_t>(EnergyAccount::kCount))
+        return std::string(to_string(static_cast<EnergyAccount>(sub))) + " uJ";
+      if (sub == kEnergySubGrandTotal) return "total uJ";
+      if (sub == kEnergySubInputPower) return "input W";
+      break;
+    case TraceCat::kProfile:
+      if (sub == kProfileSubPc) return "pc";
+      break;
+    case TraceCat::kCount:
+      break;
+  }
+  return strprintf("%s:%u", trace_cat_name(cat), sub);
+}
+
+TraceSession::TraceSession(TraceConfig cfg) : cfg_(cfg) {}
+
+Track* TraceSession::make_track(std::uint32_t node, std::string name) {
+  const auto index = static_cast<std::uint32_t>(tracks_.size());
+  tracks_.push_back(Track(node, std::move(name), index, cfg_.track_capacity));
+  return &tracks_.back();
+}
+
+void TraceSession::flush_up_to(TimePs t) {
+  const std::size_t start = events_.size();
+  for (auto& track : tracks_) {
+    while (!track.ring_.empty() && track.ring_.front().time <= t)
+      events_.push_back(track.ring_.pop_front());
+  }
+  // (time, track creation index, per-track seq) is a total order that does
+  // not depend on engine internals — the heart of the byte-identical
+  // contract.  Batches never interleave across flushes: everything emitted
+  // after the previous flush is stamped at or after its flush time.
+  std::sort(events_.begin() + static_cast<std::ptrdiff_t>(start),
+            events_.end(), [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time != y.time) return x.time < y.time;
+              if (x.track != y.track) return x.track < y.track;
+              return x.seq < y.seq;
+            });
+}
+
+std::uint64_t TraceSession::dropped_total() const {
+  std::uint64_t total = 0;
+  for (const auto& track : tracks_) total += track.dropped();
+  return total;
+}
+
+namespace {
+
+// Integer-exact microsecond timestamp from picoseconds: "%llu.%06llu".
+// Printing through doubles would risk engine-dependent rounding; this is a
+// pure integer split.
+std::string ts_us(TimePs ps) {
+  const auto v = static_cast<unsigned long long>(ps);
+  return strprintf("%llu.%06llu", v / 1000000ull, v % 1000000ull);
+}
+
+std::string pid_of(std::uint32_t node) {
+  // Chrome pids are plain ints; the system track gets a pid above any
+  // 16-bit node id.
+  return node == kSystemTrackNode ? "65536"
+                                  : strprintf("%u", node);
+}
+
+std::string tid_name(std::int32_t tid) {
+  if (tid >= kTidThreadBase && tid < kTidRouteBase)
+    return strprintf("t%d", tid - kTidThreadBase);
+  if (tid >= kTidRouteBase && tid < kTidLinkBase)
+    return strprintf("port %d", tid - kTidRouteBase);
+  if (tid >= kTidLinkBase && tid < kTidNode)
+    return strprintf("link %d", tid - kTidLinkBase);
+  if (tid == kTidNode) return "node";
+  if (tid == kTidSystem) return "counters";
+  return strprintf("tid %d", tid);
+}
+
+std::string event_args(const TraceEvent& e) {
+  switch (e.cat) {
+    case TraceCat::kThread:
+      if (e.kind == TraceKind::kBegin && e.sub == kThreadSubRun)
+        return strprintf("{\"pc\": %lld}", static_cast<long long>(e.a));
+      if (e.kind == TraceKind::kBegin || e.kind == TraceKind::kInstant)
+        return strprintf("{\"pc\": %lld, \"res\": %lld}",
+                         static_cast<long long>(e.a),
+                         static_cast<long long>(e.b));
+      return "{}";
+    case TraceCat::kRoute:
+      return strprintf("{\"out\": %lld, \"hdr\": %lld}",
+                       static_cast<long long>(e.a),
+                       static_cast<long long>(e.b));
+    case TraceCat::kLink:
+      return strprintf("{\"bits\": %lld, \"dir\": %lld, \"pj\": %.9g}",
+                       static_cast<long long>(e.a),
+                       static_cast<long long>(e.b), e.value);
+    case TraceCat::kFault:
+      return strprintf("{\"n\": %lld}", static_cast<long long>(e.a));
+    case TraceCat::kProfile:
+      return strprintf("{\"pc\": %lld, \"run\": %lld}",
+                       static_cast<long long>(e.a),
+                       static_cast<long long>(e.b));
+    case TraceCat::kQueue:
+    case TraceCat::kDvfs:
+    case TraceCat::kEnergy:
+    case TraceCat::kCount:
+      break;
+  }
+  return "{}";
+}
+
+}  // namespace
+
+std::string TraceSession::chrome_json() const {
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto push = [&](std::string line) {
+    out += first ? "" : ",\n";
+    out += line;
+    first = false;
+  };
+
+  // Metadata: process names in track creation order (one per distinct
+  // node), thread names for every (node, tid) row the events use.
+  std::vector<std::uint32_t> named_nodes;
+  for (const auto& track : tracks_) {
+    if (std::find(named_nodes.begin(), named_nodes.end(), track.node()) !=
+        named_nodes.end())
+      continue;
+    named_nodes.push_back(track.node());
+    const std::string name = track.node() == kSystemTrackNode
+                                 ? "system"
+                                 : strprintf("node 0x%04x", track.node());
+    push(strprintf("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %s, "
+                   "\"args\": {\"name\": \"%s\"}}",
+                   pid_of(track.node()).c_str(), name.c_str()));
+  }
+  std::vector<std::pair<std::uint32_t, std::int32_t>> rows;
+  for (const auto& e : events_) rows.emplace_back(e.node, e.tid);
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  for (const auto& [node, tid] : rows)
+    push(strprintf("{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %s, "
+                   "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",
+                   pid_of(node).c_str(), tid, tid_name(tid).c_str()));
+
+  for (const auto& e : events_) {
+    const std::string name = trace_event_name(e.cat, e.sub);
+    const std::string common = strprintf(
+        "\"cat\": \"%s\", \"ts\": %s, \"pid\": %s, \"tid\": %d",
+        trace_cat_name(e.cat), ts_us(e.time).c_str(), pid_of(e.node).c_str(),
+        e.tid);
+    switch (e.kind) {
+      case TraceKind::kBegin:
+        push(strprintf("{\"name\": \"%s\", \"ph\": \"B\", %s, \"args\": %s}",
+                       name.c_str(), common.c_str(), event_args(e).c_str()));
+        break;
+      case TraceKind::kEnd:
+        push(strprintf("{\"name\": \"%s\", \"ph\": \"E\", %s}", name.c_str(),
+                       common.c_str()));
+        break;
+      case TraceKind::kInstant:
+        push(strprintf(
+            "{\"name\": \"%s\", \"ph\": \"i\", \"s\": \"t\", %s, \"args\": %s}",
+            name.c_str(), common.c_str(), event_args(e).c_str()));
+        break;
+      case TraceKind::kCounter:
+        push(strprintf(
+            "{\"name\": \"%s\", \"ph\": \"C\", %s, \"args\": {\"value\": %.9g}}",
+            name.c_str(), common.c_str(), e.value));
+        break;
+    }
+  }
+
+  out += strprintf(
+      "\n],\n\"displayTimeUnit\": \"ns\",\n"
+      "\"otherData\": {\"dropped_events\": %llu, \"tracks\": %llu, "
+      "\"events\": %llu}\n}\n",
+      static_cast<unsigned long long>(dropped_total()),
+      static_cast<unsigned long long>(tracks_.size()),
+      static_cast<unsigned long long>(events_.size()));
+  return out;
+}
+
+}  // namespace swallow

@@ -1,0 +1,146 @@
+// TraceSession: the system-wide observability hub (ISSUE 3 tentpole).
+//
+// Determinism contract (docs/observability.md): every event is written to
+// a *track* — a bounded ring owned by exactly one emitting node (a core or
+// a switch), so each track has a single writer regardless of how domains
+// are spread across parallel-engine workers.  Tracks are created at attach
+// time in a fixed machine order, stamp a per-track sequence number on each
+// event, and are drained only at flush points that SwallowSystem chooses
+// identically for the sequential and parallel engines (quantum-aligned
+// chop times).  The merged stream is ordered by (time, track index, seq) —
+// none of which depend on engine internals — so the exported trace is
+// byte-identical for any --jobs value, including under ring overflow
+// (drop-newest is a pure function of the producer's own event sequence).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/ring.h"
+
+namespace swallow {
+
+struct TraceConfig {
+  bool tracing = false;   // structured event tracing (Chrome JSON export)
+  bool metrics = false;   // metrics registry collection
+  bool profile = false;   // sampling profiler
+  std::size_t track_capacity = 16384;  // events buffered per track per flush
+  TimePs flush_period = microseconds(100.0);  // chop/merge/sample period
+};
+
+/// One single-writer event stream.  Models hold a Track* and call the
+/// emitters below from their own domain; the session merges at flush time.
+class Track {
+ public:
+  void begin(TimePs t, TraceCat cat, std::uint16_t sub, int tid,
+             std::int64_t a = 0, std::int64_t b = 0) {
+    emit(t, TraceKind::kBegin, cat, sub, tid, a, b, 0.0);
+  }
+  void end(TimePs t, TraceCat cat, std::uint16_t sub, int tid) {
+    emit(t, TraceKind::kEnd, cat, sub, tid, 0, 0, 0.0);
+  }
+  void instant(TimePs t, TraceCat cat, std::uint16_t sub, int tid,
+               std::int64_t a = 0, std::int64_t b = 0, double value = 0.0) {
+    emit(t, TraceKind::kInstant, cat, sub, tid, a, b, value);
+  }
+  void counter(TimePs t, TraceCat cat, std::uint16_t sub, int tid,
+               double value) {
+    emit(t, TraceKind::kCounter, cat, sub, tid, 0, 0, value);
+  }
+
+  std::uint32_t node() const { return node_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  std::size_t buffered() const { return ring_.size(); }
+  std::size_t high_watermark() const { return ring_.high_watermark(); }
+
+ private:
+  friend class TraceSession;
+  Track(std::uint32_t node, std::string name, std::uint32_t index,
+        std::size_t capacity)
+      : node_(node), name_(std::move(name)), index_(index), ring_(capacity) {}
+
+  void emit(TimePs t, TraceKind kind, TraceCat cat, std::uint16_t sub,
+            int tid, std::int64_t a, std::int64_t b, double value) {
+    TraceEvent e;
+    e.time = t;
+    e.track = index_;
+    e.seq = seq_++;  // stamped even when the push drops: drops stay
+                     // deterministic and dropped() counts true emissions
+    e.node = node_;
+    e.kind = kind;
+    e.cat = cat;
+    e.sub = sub;
+    e.tid = tid;
+    e.a = a;
+    e.b = b;
+    e.value = value;
+    ring_.push(std::move(e));
+  }
+
+  std::uint32_t node_;
+  std::string name_;
+  std::uint32_t index_;  // creation order: the merge tiebreak across tracks
+  std::uint32_t seq_ = 0;
+  RingBuffer<TraceEvent> ring_;
+};
+
+class TraceSession {
+ public:
+  explicit TraceSession(TraceConfig cfg = {});
+
+  const TraceConfig& config() const { return cfg_; }
+  bool tracing() const { return cfg_.tracing; }
+  bool collecting_metrics() const { return cfg_.metrics; }
+  bool profiling() const { return cfg_.profile; }
+  /// Any pillar active — SwallowSystem chops runs only when this is true.
+  bool active() const {
+    return cfg_.tracing || cfg_.metrics || cfg_.profile;
+  }
+  TimePs flush_period() const { return cfg_.flush_period; }
+
+  /// Create the event stream for one node.  Must be called in a fixed
+  /// machine order (attach time, before the run) — the creation index is
+  /// part of the deterministic merge key.  The Track lives as long as the
+  /// session.
+  Track* make_track(std::uint32_t node, std::string name);
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Profiler& profiler() { return profiler_; }
+  const Profiler& profiler() const { return profiler_; }
+
+  /// Drain every track's events with time <= t into the merged stream.
+  /// Call only at points where all domains have reached t (after a
+  /// sequential run_until or a parallel quantum barrier).
+  void flush_up_to(TimePs t);
+
+  /// Final flush at the end-of-run time.
+  void finish(TimePs t) { flush_up_to(t); }
+
+  /// Merged events, in the deterministic (time, track, seq) order.
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::uint64_t dropped_total() const;
+  std::size_t track_count() const { return tracks_.size(); }
+  const Track& track(std::size_t i) const { return tracks_.at(i); }
+
+  /// Chrome trace-event / Perfetto JSON of the merged stream.  Pure
+  /// function of events() — byte-identical traces in, byte-identical
+  /// JSON out.
+  std::string chrome_json() const;
+
+ private:
+  TraceConfig cfg_;
+  std::deque<Track> tracks_;  // deque: Track* stays valid as tracks grow
+  std::vector<TraceEvent> events_;
+  MetricsRegistry metrics_;
+  Profiler profiler_;
+};
+
+}  // namespace swallow

@@ -498,5 +498,74 @@ TEST_F(BoardTest, CornerToCornerAcross30Slices) {
             0x5CA1AB1Eu);
 }
 
+// One 7-byte wire record: [channel u8][ticks u32 le][code u16 le].
+std::vector<std::uint8_t> wire_record(int channel, std::uint32_t ticks,
+                                      std::uint16_t code) {
+  return {static_cast<std::uint8_t>(channel),
+          static_cast<std::uint8_t>(ticks),
+          static_cast<std::uint8_t>(ticks >> 8),
+          static_cast<std::uint8_t>(ticks >> 16),
+          static_cast<std::uint8_t>(ticks >> 24),
+          static_cast<std::uint8_t>(code),
+          static_cast<std::uint8_t>(code >> 8)};
+}
+
+TEST(TelemetryDecode, FaultChannelsCarryCountsNotWatts) {
+  // Channels at or above kFaultChannelBase are fault counters: decode must
+  // pass the code through raw and never run it through the analog front
+  // end.
+  std::vector<std::uint8_t> packet;
+  for (int i = 0; i < FaultCounters::kFieldCount; ++i) {
+    const auto rec = wire_record(TelemetryStreamer::kFaultChannelBase + i,
+                                 1000u + static_cast<std::uint32_t>(i),
+                                 static_cast<std::uint16_t>(7 * i));
+    packet.insert(packet.end(), rec.begin(), rec.end());
+  }
+  const auto records = TelemetryStreamer::decode(packet);
+  ASSERT_EQ(records.size(),
+            static_cast<std::size_t>(FaultCounters::kFieldCount));
+  for (int i = 0; i < FaultCounters::kFieldCount; ++i) {
+    const auto& r = records[static_cast<std::size_t>(i)];
+    EXPECT_EQ(r.channel, TelemetryStreamer::kFaultChannelBase + i);
+    EXPECT_EQ(r.ticks, 1000u + static_cast<std::uint32_t>(i));
+    EXPECT_EQ(r.code, 7 * i);
+    EXPECT_EQ(r.watts, 0.0) << "fault channel decoded as power";
+  }
+}
+
+TEST(TelemetryDecode, FaultChannelSaturatesAtU16Max) {
+  // A counter past 65535 arrives saturated; decode keeps the saturated
+  // value rather than wrapping.
+  const auto packet =
+      wire_record(TelemetryStreamer::kFaultChannelBase, 42, 0xFFFF);
+  const auto records = TelemetryStreamer::decode(packet);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].code, 0xFFFF);
+  EXPECT_EQ(records[0].watts, 0.0);
+}
+
+TEST(TelemetryDecode, ChannelJustBelowFaultBaseIsStillPower) {
+  // 0xDF is the last ADC-style channel id: it must go through the analog
+  // front end (non-zero watts for a non-zero code), unlike 0xE0.
+  const auto below = TelemetryStreamer::decode(
+      wire_record(TelemetryStreamer::kFaultChannelBase - 1, 1, 0x200));
+  ASSERT_EQ(below.size(), 1u);
+  EXPECT_GT(below[0].watts, 0.0);
+
+  const auto at_base = TelemetryStreamer::decode(
+      wire_record(TelemetryStreamer::kFaultChannelBase, 1, 0x200));
+  ASSERT_EQ(at_base.size(), 1u);
+  EXPECT_EQ(at_base[0].watts, 0.0);
+}
+
+TEST(TelemetryDecode, TruncatedTrailingRecordIsIgnored) {
+  auto packet = wire_record(0, 5, 0x80);
+  packet.push_back(0x01);  // 1 stray byte: not a whole record
+  packet.push_back(0x02);
+  const auto records = TelemetryStreamer::decode(packet);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].channel, 0);
+}
+
 }  // namespace
 }  // namespace swallow

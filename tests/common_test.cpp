@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/json.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
 #include "common/strings.h"
@@ -167,6 +168,51 @@ TEST(Rng, GaussianMomentsRoughlyStandard) {
   }
   EXPECT_NEAR(sum / n, 0.0, 0.05);
   EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const Json doc = Json::parse(
+      " {\"a\": 1.5, \"b\": [true, false, null], \"c\": \"x\\ny\", "
+      "\"nested\": {\"n\": -3}} ");
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.at("a").as_number(), 1.5);
+  ASSERT_TRUE(doc.at("b").is_array());
+  ASSERT_EQ(doc.at("b").size(), 3u);
+  EXPECT_TRUE(doc.at("b").as_array()[0].as_bool());
+  EXPECT_TRUE(doc.at("b").as_array()[2].is_null());
+  EXPECT_EQ(doc.at("c").as_string(), "x\ny");
+  EXPECT_DOUBLE_EQ(doc.at("nested").at("n").as_number(), -3.0);
+  EXPECT_FALSE(doc.has("missing"));
+  EXPECT_EQ(doc.get("missing"), nullptr);
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  const Json doc = Json::parse("\"\\u0041\\u00e9\"");  // "Aé"
+  EXPECT_EQ(doc.as_string(), "A\xc3\xa9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{\"a\": }"), Error);
+  EXPECT_THROW(Json::parse("[1, 2"), Error);
+  EXPECT_THROW(Json::parse("{} trailing"), Error);
+  EXPECT_THROW(Json::parse(""), Error);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), Error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json doc = Json::parse("{\"n\": 4}");
+  EXPECT_THROW(doc.at("n").as_string(), Error);
+  EXPECT_THROW(doc.at("absent"), Error);
+  EXPECT_THROW(doc.as_array(), Error);
+}
+
+TEST(Json, RoundTripsSimulatorOutputShapes) {
+  // The exact shapes swallow_stat consumes: scientific-notation numbers,
+  // nested objects in insertion order.
+  const Json doc = Json::parse(
+      "{\"tracing\": {\"off_wall_s\": 1.2e-3, \"overhead\": -0.069}}");
+  EXPECT_NEAR(doc.at("tracing").at("off_wall_s").as_number(), 1.2e-3, 1e-9);
+  EXPECT_NEAR(doc.at("tracing").at("overhead").as_number(), -0.069, 1e-9);
 }
 
 }  // namespace

@@ -1,0 +1,343 @@
+// Observability layer (src/obs/, ISSUE 3): the trace/metrics/profile
+// output of a run must be *byte-identical* for any SystemConfig::jobs
+// value — including under a seeded fault plan and under ring-buffer
+// overflow — and the produced Chrome trace must satisfy the checked-in
+// schema contract (docs/observability.md).  Plus unit coverage of the
+// ring buffer, histogram, profiler folding and the TraceBuffer migration.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/patterns.h"
+#include "api/taskgen.h"
+#include "arch/tracing.h"
+#include "board/system.h"
+#include "board/telemetry.h"
+#include "common/error.h"
+#include "common/json.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/ring.h"
+#include "obs/schema.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+namespace swallow {
+namespace {
+
+const NodeId kCableTxNode = lattice_node_id(3, 0, Layer::kHorizontal);
+
+std::vector<Placement> row0_pipeline_places() {
+  std::vector<Placement> places;
+  for (int x = 1; x < 7; ++x) {
+    places.push_back({x, 0, Layer::kHorizontal});
+  }
+  return places;
+}
+
+FaultPlan seeded_plan() {
+  FaultPlan plan;
+  plan.seed = 0x5EED;
+  plan.corrupt_link(kCableTxNode, kDirEast, 3e-3);
+  plan.link_outage(kCableTxNode, kDirEast, microseconds(400.0),
+                   microseconds(30.0));
+  plan.freeze_core(lattice_node_id(2, 0, Layer::kHorizontal),
+                   microseconds(100.0), microseconds(150.0));
+  return plan;
+}
+
+/// Everything the observability layer exports, byte for byte.
+struct ObsOutput {
+  std::string trace;    // Chrome trace-event JSON
+  std::string metrics;  // metrics registry JSON
+  std::string profile;  // flamegraph-collapsed profile
+  std::uint64_t dropped = 0;
+  std::size_t high_watermark = 0;  // max over tracks
+  std::uint64_t instructions = 0;
+};
+
+/// The parallel_test machine (2x2 slices, cross-cable pipeline, telemetry
+/// through a bridge) with a full observability session attached.
+ObsOutput run_traced_machine(int jobs, const FaultPlan* plan,
+                             std::size_t track_capacity = 16384) {
+  TraceConfig tcfg;
+  tcfg.tracing = tcfg.metrics = tcfg.profile = true;
+  tcfg.track_capacity = track_capacity;
+  TraceSession session(tcfg);  // outlives the system: models hold Track*
+
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.ethernet_bridges = 1;
+  cfg.reliable_links = true;
+  cfg.jobs = jobs;
+  SwallowSystem sys(sim, cfg);
+  sys.attach_observability(session);
+  sys.enable_loss_integration();
+  sys.start_sampling(100'000.0);
+
+  TelemetryStreamer streamer(sys.sim_for_slice(0, 0), sys.slice(0, 0),
+                             sys.bridge(0));
+  streamer.enable_fault_stream();
+  streamer.start();
+
+  FaultInjector injector(sys, plan != nullptr ? *plan : FaultPlan{});
+  injector.arm();
+
+  AppBuilder app(sys);
+  PipelineConfig pcfg;
+  pcfg.stages = 6;
+  pcfg.items = 16;
+  pcfg.work_per_item = 500;
+  pcfg.bytes_per_item = 64;
+  build_pipeline(app, pcfg, row0_pipeline_places());
+  app.start();
+
+  sys.run_until(milliseconds(2.0));
+  sys.finish_observability();
+
+  ObsOutput out;
+  out.trace = session.chrome_json();
+  out.metrics = session.metrics().dump_json();
+  out.profile = session.profiler().collapsed();
+  out.dropped = session.dropped_total();
+  for (std::size_t i = 0; i < session.track_count(); ++i) {
+    out.high_watermark =
+        std::max(out.high_watermark, session.track(i).high_watermark());
+  }
+  for (int i = 0; i < sys.core_count(); ++i) {
+    out.instructions += sys.core_by_index(i).instructions_retired();
+  }
+  return out;
+}
+
+// --------------------------------------------------------- byte identity
+
+TEST(ObsDeterminism, ByteIdenticalAcrossEnginesFaultFree) {
+  const ObsOutput seq = run_traced_machine(0, nullptr);
+  ASSERT_GT(seq.instructions, 10'000u);
+  // Every pillar produced real output.
+  ASSERT_GT(seq.trace.size(), 10'000u);
+  EXPECT_NE(seq.trace.find("\"cat\": \"thread\""), std::string::npos);
+  EXPECT_NE(seq.trace.find("\"cat\": \"route\""), std::string::npos);
+  EXPECT_NE(seq.trace.find("\"cat\": \"link\""), std::string::npos);
+  EXPECT_NE(seq.trace.find("\"cat\": \"energy\""), std::string::npos);
+  EXPECT_NE(seq.metrics.find("token.e2e_latency_ns"), std::string::npos);
+  EXPECT_NE(seq.profile.find("core_0x"), std::string::npos);
+
+  for (int jobs : {1, 2, 4}) {
+    SCOPED_TRACE(jobs);
+    const ObsOutput par = run_traced_machine(jobs, nullptr);
+    EXPECT_EQ(seq.trace, par.trace);
+    EXPECT_EQ(seq.metrics, par.metrics);
+    EXPECT_EQ(seq.profile, par.profile);
+    EXPECT_EQ(seq.dropped, par.dropped);
+  }
+}
+
+TEST(ObsDeterminism, ByteIdenticalUnderFaultPlan) {
+  const FaultPlan plan = seeded_plan();
+  const ObsOutput seq = run_traced_machine(0, &plan);
+  // The plan really fired: fault instants made it into the trace.
+  EXPECT_NE(seq.trace.find("\"cat\": \"fault\""), std::string::npos);
+  EXPECT_NE(seq.trace.find("core-freeze"), std::string::npos);
+
+  for (int jobs : {2, 4}) {
+    SCOPED_TRACE(jobs);
+    const ObsOutput par = run_traced_machine(jobs, &plan);
+    EXPECT_EQ(seq.trace, par.trace);
+    EXPECT_EQ(seq.metrics, par.metrics);
+    EXPECT_EQ(seq.profile, par.profile);
+  }
+}
+
+TEST(ObsDeterminism, BoundedMemoryAndIdenticalUnderRingOverflow) {
+  // A tiny per-track ring forces drop-newest overflow; the dropped set is
+  // a pure function of each producer's own event sequence, so the
+  // (truncated) output must still be byte-identical across engines.
+  const std::size_t cap = 64;
+  const ObsOutput seq = run_traced_machine(0, nullptr, cap);
+  EXPECT_GT(seq.dropped, 0u);
+  EXPECT_LE(seq.high_watermark, cap);
+  EXPECT_NE(seq.trace.find("\"dropped_events\""), std::string::npos);
+
+  const ObsOutput par = run_traced_machine(4, nullptr, cap);
+  EXPECT_EQ(seq.trace, par.trace);
+  EXPECT_EQ(seq.dropped, par.dropped);
+  EXPECT_EQ(seq.high_watermark, par.high_watermark);
+}
+
+// --------------------------------------------------------------- schema
+
+TEST(ObsSchema, ProducedTraceValidates) {
+  const FaultPlan plan = seeded_plan();
+  const ObsOutput out = run_traced_machine(0, &plan);
+  const Json doc = Json::parse(out.trace);
+  EXPECT_EQ(check_chrome_trace(doc), "");
+  // And the dump carries the advertised bookkeeping.
+  const Json& other = doc.at("otherData");
+  EXPECT_TRUE(other.has("dropped_events"));
+  EXPECT_GT(other.at("events").as_number(), 0.0);
+}
+
+TEST(ObsSchema, RejectsUnbalancedSpans) {
+  const std::string bad =
+      "{\"traceEvents\": ["
+      "{\"name\": \"run\", \"ph\": \"B\", \"cat\": \"thread\", \"ts\": 1, "
+      "\"pid\": 1, \"tid\": 0}"
+      "], \"otherData\": {\"dropped_events\": 0}}";
+  EXPECT_NE(check_chrome_trace(Json::parse(bad)), "");
+}
+
+TEST(ObsSchema, RejectsDecreasingTimestamps) {
+  const std::string bad =
+      "{\"traceEvents\": ["
+      "{\"name\": \"a\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 5, \"pid\": 1, "
+      "\"tid\": 0},"
+      "{\"name\": \"b\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 4, \"pid\": 1, "
+      "\"tid\": 0}"
+      "], \"otherData\": {\"dropped_events\": 0}}";
+  EXPECT_NE(check_chrome_trace(Json::parse(bad)), "");
+}
+
+// ------------------------------------------------------------ ring unit
+
+TEST(ObsRing, DropNewestCountsAndBounds) {
+  RingBuffer<int> ring(4);
+  for (int i = 0; i < 10; ++i) ring.push(int{i});
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  EXPECT_EQ(ring.high_watermark(), 4u);
+  // Drop-newest: the *oldest* four survive.
+  EXPECT_EQ(ring.front(), 0);
+  EXPECT_EQ(ring.at(3), 3);
+  EXPECT_EQ(ring.pop_front(), 0);
+  EXPECT_EQ(ring.pop_front(), 1);
+  ring.push(42);
+  EXPECT_EQ(ring.size(), 3u);
+}
+
+TEST(ObsRing, TrackSequenceNumbersAdvanceThroughDrops) {
+  TraceConfig cfg;
+  cfg.tracing = true;
+  cfg.track_capacity = 2;
+  TraceSession session(cfg);
+  Track* t = session.make_track(7, "t");
+  for (int i = 0; i < 5; ++i) {
+    t->instant(TimePs{100} * (i + 1), TraceCat::kFault, 0, kTidNode);
+  }
+  EXPECT_EQ(t->dropped(), 3u);
+  session.finish(TimePs{1000});
+  // Surviving events are the two oldest; seq still counts all emissions.
+  ASSERT_EQ(session.events().size(), 2u);
+  EXPECT_EQ(session.events()[0].seq, 0u);
+  EXPECT_EQ(session.events()[1].seq, 1u);
+  EXPECT_EQ(session.dropped_total(), 3u);
+}
+
+// ------------------------------------------------------- histogram unit
+
+TEST(ObsMetrics, LogHistogramBucketsAndPercentiles) {
+  EXPECT_EQ(LogHistogram::bucket_of(0), 0);
+  EXPECT_EQ(LogHistogram::bucket_of(1), 1);
+  EXPECT_EQ(LogHistogram::bucket_of(2), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(3), 2);
+  EXPECT_EQ(LogHistogram::bucket_of(4), 3);
+  EXPECT_EQ(LogHistogram::bucket_lo(3), 4u);
+
+  LogHistogram h;
+  for (std::uint64_t v : {1u, 1u, 1u, 1u, 1u, 1u, 1u, 1u, 1u, 1000u}) {
+    h.add(v);
+  }
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.percentile(0.50), 1u);
+  EXPECT_EQ(h.percentile(0.99), 1u);   // rank 8 of 10 is still a 1
+  EXPECT_EQ(h.percentile(1.0), 1000u);
+
+  LogHistogram other;
+  other.add(1000);
+  h.merge(other);
+  EXPECT_EQ(h.count(), 11u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(ObsMetrics, RegistryAggregatesAcrossOwners) {
+  MetricsRegistry reg;
+  reg.counter("tokens", 1)->add(3);
+  reg.counter("tokens", 2)->add(4);
+  reg.gauge("ipc", 1)->set(0.5);
+  reg.histogram("lat", 1)->add(8);
+  const std::string json = reg.dump_json();
+  EXPECT_NE(json.find("\"tokens\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"0x0001\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  // Same (name, owner) returns the same instrument.
+  EXPECT_EQ(reg.counter("tokens", 1)->value(), 3u);
+}
+
+// -------------------------------------------------------- profiler unit
+
+TEST(ObsProfiler, FoldsSymbolizedStacks) {
+  Profiler prof;
+  prof.note_symbols(0x11, {{0, "main"}, {10, "worker"}});
+  prof.sample(0x11, 0, 3, true);    // main+3
+  prof.sample(0x11, 0, 3, true);
+  prof.sample(0x11, 0, 12, false);  // worker, waiting
+  prof.sample(0x11, 1, 99, true);   // past the last symbol -> worker
+  const std::string folded = prof.collapsed();
+  EXPECT_NE(folded.find("core_0x0011;t0;main 2"), std::string::npos);
+  EXPECT_NE(folded.find("core_0x0011;t0;worker;[wait] 1"), std::string::npos);
+  EXPECT_NE(folded.find("core_0x0011;t1;worker 1"), std::string::npos);
+}
+
+TEST(ObsProfiler, UnknownNodeFallsBackToHexPc) {
+  Profiler prof;
+  prof.sample(0x22, 0, 0x1f, true);
+  EXPECT_NE(prof.collapsed().find("0x001f 1"), std::string::npos);
+}
+
+// ------------------------------------------- TraceBuffer (satellite a)
+
+TEST(ObsTraceBuffer, CountsDroppedLinesOnOverflow) {
+  TraceBuffer buf;
+  buf.set_max_lines(3);
+  auto sink = buf.sink();
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    InstrTraceRecord rec;
+    rec.pc = i;
+    sink(rec);
+  }
+  EXPECT_EQ(buf.count(), 8u);
+  EXPECT_EQ(buf.lines().size(), 3u);
+  EXPECT_EQ(buf.dropped(), 5u);
+}
+
+// ----------------------------------------------------------- API misc
+
+TEST(ObsSession, DoubleAttachIsRejected) {
+  TraceConfig tcfg;
+  tcfg.tracing = true;
+  TraceSession session(tcfg);
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  sys.attach_observability(session);
+  EXPECT_THROW(sys.attach_observability(session), Error);
+}
+
+TEST(ObsSession, InactiveSessionIsRejected) {
+  TraceSession session;  // no pillar enabled
+  Simulator sim;
+  SystemConfig cfg;
+  SwallowSystem sys(sim, cfg);
+  EXPECT_THROW(sys.attach_observability(session), Error);
+}
+
+}  // namespace
+}  // namespace swallow

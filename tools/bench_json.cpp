@@ -9,6 +9,11 @@
 // simulated core-cycles per wall second for each run, plus parallel
 // speedups over sequential.  CI redirects this into BENCH_PR2.json.
 //
+// The "tracing" section re-runs the sequential workload with no
+// observability session (the instrumented hot paths cost one null-pointer
+// test each) and with a full trace+metrics+profile session attached, and
+// reports the overhead of each — CI redirects this into BENCH_PR3.json.
+//
 // The engines are bit-identical (tests/parallel_test.cpp), so every run
 // also cross-checks total retired instructions and aborts on mismatch —
 // a benchmark that quietly diverged would be measuring a different machine.
@@ -24,6 +29,7 @@
 #include "arch/assembler.h"
 #include "board/system.h"
 #include "common/error.h"
+#include "obs/trace.h"
 #include "common/strings.h"
 #include "sim/simulator.h"
 
@@ -36,16 +42,22 @@ struct BenchResult {
   double cycles_per_sec = 0;  // simulated 500 MHz core cycles / wall second
   std::uint64_t instructions = 0;
   std::uint64_t quanta = 0;
+  std::uint64_t trace_events = 0;
 };
 
-BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs) {
+BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
+                      bool traced = false) {
   using namespace swallow;
   Simulator sim;
   SystemConfig cfg;
   cfg.slices_x = slices_x;
   cfg.slices_y = slices_y;
   cfg.jobs = jobs;
+  TraceConfig tcfg;
+  tcfg.tracing = tcfg.metrics = tcfg.profile = traced;
+  TraceSession session(tcfg);
   SwallowSystem sys(sim, cfg);
+  if (traced) sys.attach_observability(session);
   sys.start_sampling();
 
   // One pipeline stage per slice (round-robin over the grid) keeps every
@@ -70,9 +82,11 @@ BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs) {
 
   const auto t0 = std::chrono::steady_clock::now();
   sys.run_until(milliseconds(limit_ms));
+  if (traced) sys.finish_observability();
   const auto t1 = std::chrono::steady_clock::now();
 
   BenchResult r;
+  if (traced) r.trace_events = session.events().size();
   r.jobs = jobs;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.sim_ms = to_seconds(sys.now()) * 1e3;
@@ -168,7 +182,33 @@ int main(int argc, char** argv) {
       std::printf("%s\"jobs%d\": %.3f", i > 0 ? ", " : "", par[i].jobs,
                   par[i].wall_s > 0 ? seq.wall_s / par[i].wall_s : 0.0);
     }
-    std::printf("}\n}\n");
+    std::printf("},\n");
+
+    // Tracing overhead (sequential engine).  "off" is the same
+    // no-session configuration as the main sequential bench — the
+    // instrumentation's disabled cost is one pointer test per hook, so
+    // off_overhead should sit within run-to-run noise.
+    const BenchResult off = run_bench(slices_x, slices_y, limit_ms, 0);
+    const BenchResult on = run_bench(slices_x, slices_y, limit_ms, 0, true);
+    if (off.instructions != seq.instructions ||
+        on.instructions != seq.instructions) {
+      std::fprintf(stderr,
+                   "tracing perturbed the machine: off=%llu on=%llu "
+                   "baseline=%llu instructions\n",
+                   static_cast<unsigned long long>(off.instructions),
+                   static_cast<unsigned long long>(on.instructions),
+                   static_cast<unsigned long long>(seq.instructions));
+      return 1;
+    }
+    std::printf(
+        "  \"tracing\": {\"off_wall_s\": %.6f, \"on_wall_s\": %.6f, "
+        "\"off_overhead\": %.3f, \"on_overhead\": %.3f, "
+        "\"trace_events\": %llu}\n",
+        off.wall_s, on.wall_s,
+        seq.wall_s > 0 ? off.wall_s / seq.wall_s - 1.0 : 0.0,
+        seq.wall_s > 0 ? on.wall_s / seq.wall_s - 1.0 : 0.0,
+        static_cast<unsigned long long>(on.trace_events));
+    std::printf("}\n");
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,19 +5,12 @@
 // Programs are placed on consecutive cores (chip-major order, vertical
 // node first).  After the run, each core's console, finish state, timing
 // and — optionally — the energy ledger and network statistics are printed.
-//
-// Options:
-//   --freq MHZ     core frequency in MHz            (default 500)
-//   --dvfs         voltage follows Vmin(f)          (default off)
-//   --grade-max    architectural link rates 500/125 (default Table I rates)
-//   --slices WxH   grid of slices                   (default 1x1)
-//   --jobs N       parallel engine worker threads   (default 0 = sequential;
-//                  results are bit-identical either way)
-//   --time MS      simulation limit in ms           (default 100)
-//   --trace        print an instruction trace of core 0 (first 100 lines)
-//   --energy       print the energy ledger and slice power
-//   --netstat      print per-link-class network statistics
+// The observability flags export the run as a Chrome/Perfetto trace, a
+// metrics JSON dump and a flamegraph-collapsed profile (src/obs/,
+// docs/observability.md); all three are byte-identical for any --jobs
+// value.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -30,6 +23,8 @@
 #include "board/system.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -42,11 +37,70 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw swallow::Error("cannot write " + path);
+  out << body;
+}
+
 void usage() {
   std::printf(
-      "usage: swallow_run [--freq MHZ] [--dvfs] [--grade-max] [--slices WxH]\n"
-      "                   [--jobs N] [--time MS] [--trace] [--energy]\n"
-      "                   [--netstat] prog0.s [prog1.s ...]\n");
+      "usage: swallow_run [options] prog0.s [prog1.s ...]\n"
+      "\n"
+      "machine:\n"
+      "  --freq MHZ      core frequency in MHz          (default 500)\n"
+      "  --dvfs          voltage follows Vmin(f)        (default off)\n"
+      "  --grade-max     architectural link rates 500/125 (default Table I)\n"
+      "  --slices WxH    grid of slices                 (default 1x1)\n"
+      "  --jobs N        parallel engine worker threads (default 0 =\n"
+      "                  sequential reference engine; 1..slice-count shards\n"
+      "                  one event domain per slice — results and all\n"
+      "                  observability output are bit-identical either way)\n"
+      "  --time MS       simulation limit in ms         (default 100)\n"
+      "\n"
+      "faults (src/fault):\n"
+      "  --reliable                    CRC/retry framing on every link\n"
+      "  --fault-seed N                FaultPlan rng seed (default 1)\n"
+      "  --fault-corrupt NODE:DIR:RATE corrupt tokens on node's DIR link\n"
+      "                                with per-token probability RATE\n"
+      "  --fault-kill NODE:DIR:AT_US   permanently kill a link at AT_US\n"
+      "                                (NODE takes hex, DIR is 0..3 NESW)\n"
+      "\n"
+      "observability (src/obs, docs/observability.md):\n"
+      "  --trace FILE    Chrome/Perfetto trace-event JSON of the run\n"
+      "  --metrics FILE  metrics registry JSON (latency histograms, IPC)\n"
+      "  --profile FILE  flamegraph-collapsed sampling profile\n"
+      "  --itrace        print an instruction trace of core 0 (first 100\n"
+      "                  lines; was --trace before the trace flag grew a\n"
+      "                  file argument)\n"
+      "\n"
+      "reports:\n"
+      "  --energy        print the energy ledger and slice power\n"
+      "  --netstat       print per-link-class network statistics\n"
+      "  --help, -h      this message\n");
+}
+
+// NODE:DIR[:MORE] triple used by the fault flags; NODE accepts hex.
+struct LinkRef {
+  swallow::NodeId node = 0;
+  int direction = 0;
+  std::string rest;
+};
+
+LinkRef parse_link_ref(const std::string& v) {
+  const auto c1 = v.find(':');
+  swallow::require(c1 != std::string::npos, "expected NODE:DIR:VALUE");
+  const auto c2 = v.find(':', c1 + 1);
+  swallow::require(c2 != std::string::npos, "expected NODE:DIR:VALUE");
+  LinkRef ref;
+  ref.node =
+      static_cast<swallow::NodeId>(swallow::parse_int(v.substr(0, c1)));
+  ref.direction =
+      static_cast<int>(swallow::parse_int(v.substr(c1 + 1, c2 - c1 - 1)));
+  swallow::require(ref.direction >= 0 && ref.direction < 4,
+                   "link direction must be 0..3 (N/E/S/W)");
+  ref.rest = v.substr(c2 + 1);
+  return ref;
 }
 
 }  // namespace
@@ -56,7 +110,10 @@ int main(int argc, char** argv) {
 
   SystemConfig cfg;
   double limit_ms = 100.0;
-  bool trace = false, energy = false, netstat = false;
+  bool itrace = false, energy = false, netstat = false;
+  std::string trace_path, metrics_path, profile_path;
+  FaultPlan plan;
+  bool have_faults = false;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -82,8 +139,31 @@ int main(int argc, char** argv) {
         cfg.jobs = static_cast<int>(parse_int(next()));
       } else if (arg == "--time") {
         limit_ms = static_cast<double>(parse_int(next()));
+      } else if (arg == "--reliable") {
+        cfg.reliable_links = true;
+      } else if (arg == "--fault-seed") {
+        plan.seed = static_cast<std::uint64_t>(parse_int(next()));
+      } else if (arg == "--fault-corrupt") {
+        const LinkRef ref = parse_link_ref(next());
+        char* end = nullptr;
+        const double rate = std::strtod(ref.rest.c_str(), &end);
+        require(end != ref.rest.c_str() && rate >= 0.0 && rate <= 1.0,
+                "--fault-corrupt rate must be a probability in [0, 1]");
+        plan.corrupt_link(ref.node, ref.direction, rate);
+        have_faults = true;
+      } else if (arg == "--fault-kill") {
+        const LinkRef ref = parse_link_ref(next());
+        plan.kill_link(ref.node, ref.direction,
+                       microseconds(static_cast<double>(parse_int(ref.rest))));
+        have_faults = true;
       } else if (arg == "--trace") {
-        trace = true;
+        trace_path = next();
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--profile") {
+        profile_path = next();
+      } else if (arg == "--itrace") {
+        itrace = true;
       } else if (arg == "--energy") {
         energy = true;
       } else if (arg == "--netstat") {
@@ -108,10 +188,23 @@ int main(int argc, char** argv) {
   }
 
   try {
+    TraceConfig tcfg;
+    tcfg.tracing = !trace_path.empty();
+    tcfg.metrics = !metrics_path.empty();
+    tcfg.profile = !profile_path.empty();
+    TraceSession session(tcfg);  // outlives the system: models hold Track*
+
     Simulator sim;
     SwallowSystem sys(sim, cfg);
     require(static_cast<int>(paths.size()) <= sys.core_count(),
             "more programs than cores");
+    if (session.active()) sys.attach_observability(session);
+
+    std::unique_ptr<FaultInjector> injector;
+    if (have_faults) {
+      injector = std::make_unique<FaultInjector>(sys, plan);
+      injector->arm();
+    }
 
     std::vector<Core*> cores;
     TraceBuffer trace_buffer;
@@ -120,7 +213,7 @@ int main(int argc, char** argv) {
       const Placement p = linear_placement(cfg, static_cast<int>(i));
       Core& core = sys.core(p.chip_x, p.chip_y, p.layer);
       core.load(assemble(read_file(paths[i])));
-      if (i == 0 && trace) core.set_trace_sink(trace_buffer.sink());
+      if (i == 0 && itrace) core.set_trace_sink(trace_buffer.sink());
       cores.push_back(&core);
     }
     sys.start_sampling();
@@ -141,6 +234,7 @@ int main(int argc, char** argv) {
       t += microseconds(50.0);
       sys.run_until(t);
     }
+    if (session.active()) sys.finish_observability();
     sys.settle_energy();
 
     bool failed = false;
@@ -174,7 +268,22 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (trace) {
+    if (!trace_path.empty()) {
+      write_file(trace_path, session.chrome_json());
+      std::printf("trace: %s (%zu events, %llu dropped)\n",
+                  trace_path.c_str(), session.events().size(),
+                  static_cast<unsigned long long>(session.dropped_total()));
+    }
+    if (!metrics_path.empty()) {
+      write_file(metrics_path, session.metrics().dump_json());
+      std::printf("metrics: %s\n", metrics_path.c_str());
+    }
+    if (!profile_path.empty()) {
+      write_file(profile_path, session.profiler().collapsed());
+      std::printf("profile: %s\n", profile_path.c_str());
+    }
+
+    if (itrace) {
       std::printf("\ninstruction trace (core 0, first %zu of %llu):\n",
                   trace_buffer.lines().size(),
                   static_cast<unsigned long long>(trace_buffer.count()));

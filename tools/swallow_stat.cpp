@@ -1,0 +1,299 @@
+// swallow_stat: analyse the observability output of a swallow_run
+// (docs/observability.md).
+//
+//   swallow_stat [--check] [--top N] [--metrics FILE] [--profile FILE]
+//                trace.json
+//
+// Default reports, all derived from the Chrome trace-event JSON:
+//   * top links by wire energy (the "tok" transit instants carry the
+//     per-token picojoule cost),
+//   * hottest program counters by run-span wall time,
+//   * route-hold latency percentiles (wormhole circuit open -> close).
+// With --metrics, token end-to-end latency percentiles come from the
+// metrics dump's histograms; with --profile, the hottest flamegraph
+// stacks from the collapsed profile are listed too.
+//
+// --check runs the checked-in trace schema validation (src/obs/schema)
+// and exits 0/1 — this is what CI runs on every produced trace.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/strings.h"
+#include "obs/schema.h"
+
+namespace {
+
+using swallow::Error;
+using swallow::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void usage() {
+  std::printf(
+      "usage: swallow_stat [--check] [--top N] [--metrics FILE]\n"
+      "                    [--profile FILE] trace.json\n"
+      "\n"
+      "  --check         validate the trace against the schema contract\n"
+      "                  (docs/observability.md) and exit 0/1\n"
+      "  --top N         rows per report (default 10)\n"
+      "  --metrics FILE  also report latency percentiles from a\n"
+      "                  swallow_run --metrics dump\n"
+      "  --profile FILE  also report the hottest stacks of a collapsed\n"
+      "                  profile (swallow_run --profile)\n");
+}
+
+double num_or(const Json& e, const char* key, double fallback) {
+  const Json* v = e.get(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string str_or(const Json& e, const char* key) {
+  const Json* v = e.get(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+std::string dir_name(int d) {
+  static const char* kNames[] = {"N", "E", "S", "W"};
+  // Directions past the four compass links are a chip's internal
+  // vertical<->horizontal ports.
+  return d >= 0 && d < 4 ? kNames[d] : swallow::strprintf("d%d", d);
+}
+
+void report_links(const std::vector<Json>& events, int top) {
+  struct LinkAgg {
+    double pj = 0.0;
+    long long tokens = 0;
+    long long bits = 0;
+  };
+  std::map<std::pair<long long, int>, LinkAgg> links;  // (node, dir)
+  for (const Json& e : events) {
+    if (str_or(e, "ph") != "i" || str_or(e, "cat") != "link") continue;
+    const Json* args = e.get("args");
+    if (args == nullptr) continue;
+    LinkAgg& agg = links[{static_cast<long long>(num_or(e, "pid", 0)),
+                          static_cast<int>(num_or(*args, "dir", 0))}];
+    agg.pj += num_or(*args, "pj", 0);
+    agg.tokens += 1;
+    agg.bits += static_cast<long long>(num_or(*args, "bits", 0));
+  }
+  std::vector<std::pair<std::pair<long long, int>, LinkAgg>> rows(
+      links.begin(), links.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.pj != b.second.pj) return a.second.pj > b.second.pj;
+    return a.first < b.first;
+  });
+  std::printf("top links by wire energy:\n");
+  if (rows.empty()) std::printf("  (no link transit events in trace)\n");
+  for (int i = 0; i < static_cast<int>(rows.size()) && i < top; ++i) {
+    const auto& [key, agg] = rows[static_cast<std::size_t>(i)];
+    std::printf("  node 0x%04llx %-3s %12.1f pJ  %8lld tokens  %10lld bits\n",
+                static_cast<unsigned long long>(key.first),
+                dir_name(key.second).c_str(), agg.pj, agg.tokens, agg.bits);
+  }
+}
+
+void report_hot_pcs(const std::vector<Json>& events, int top) {
+  // Wall time inside "run" spans, attributed to the span's entry pc.
+  struct Open {
+    double ts = 0.0;
+    long long pc = -1;
+  };
+  std::map<std::pair<long long, long long>, std::vector<Open>> open;
+  std::map<std::pair<long long, long long>, double> by_pc;  // (node, pc)
+  for (const Json& e : events) {
+    const std::string ph = str_or(e, "ph");
+    if (ph != "B" && ph != "E") continue;
+    if (str_or(e, "cat") != "thread") continue;
+    const std::pair<long long, long long> key{
+        static_cast<long long>(num_or(e, "pid", 0)),
+        static_cast<long long>(num_or(e, "tid", 0))};
+    if (ph == "B") {
+      Open o;
+      o.ts = num_or(e, "ts", 0);
+      const Json* args = e.get("args");
+      o.pc = str_or(e, "name") == "run" && args != nullptr
+                 ? static_cast<long long>(num_or(*args, "pc", -1))
+                 : -1;
+      open[key].push_back(o);
+    } else if (!open[key].empty()) {
+      const Open o = open[key].back();
+      open[key].pop_back();
+      if (o.pc >= 0) by_pc[{key.first, o.pc}] += num_or(e, "ts", 0) - o.ts;
+    }
+  }
+  std::vector<std::pair<std::pair<long long, long long>, double>> rows(
+      by_pc.begin(), by_pc.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::printf("\nhottest pcs by run-span time:\n");
+  if (rows.empty()) std::printf("  (no thread run spans in trace)\n");
+  for (int i = 0; i < static_cast<int>(rows.size()) && i < top; ++i) {
+    const auto& [key, us] = rows[static_cast<std::size_t>(i)];
+    std::printf("  node 0x%04llx pc %5lld  %12.3f us\n",
+                static_cast<unsigned long long>(key.first), key.second, us);
+  }
+}
+
+void percentile_line(const char* label, std::vector<double>& v) {
+  std::sort(v.begin(), v.end());
+  auto pct = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1));
+    return v[idx];
+  };
+  std::printf("  %-24s n=%-8zu p50=%.3f p90=%.3f p99=%.3f max=%.3f us\n",
+              label, v.size(), pct(0.50), pct(0.90), pct(0.99), v.back());
+}
+
+void report_latency(const std::vector<Json>& events) {
+  std::map<std::pair<long long, long long>, std::vector<double>> open;
+  std::vector<double> holds;  // route open -> close, us
+  for (const Json& e : events) {
+    const std::string ph = str_or(e, "ph");
+    if (ph != "B" && ph != "E") continue;
+    if (str_or(e, "cat") != "route") continue;
+    const std::pair<long long, long long> key{
+        static_cast<long long>(num_or(e, "pid", 0)),
+        static_cast<long long>(num_or(e, "tid", 0))};
+    if (ph == "B") {
+      open[key].push_back(num_or(e, "ts", 0));
+    } else if (!open[key].empty()) {
+      holds.push_back(num_or(e, "ts", 0) - open[key].back());
+      open[key].pop_back();
+    }
+  }
+  std::printf("\nlatency percentiles:\n");
+  if (holds.empty()) {
+    std::printf("  (no route spans in trace)\n");
+  } else {
+    percentile_line("route hold", holds);
+  }
+}
+
+void report_metrics(const std::string& path) {
+  const Json doc = Json::parse(read_file(path));
+  const Json* hists = doc.get("histograms");
+  std::printf("\nmetrics histograms (%s):\n", path.c_str());
+  if (hists == nullptr || !hists->is_object() || hists->size() == 0) {
+    std::printf("  (none)\n");
+    return;
+  }
+  for (const auto& [name, h] : hists->items()) {
+    std::printf("  %-28s n=%-8.0f p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+                name.c_str(), num_or(h, "count", 0), num_or(h, "p50", 0),
+                num_or(h, "p90", 0), num_or(h, "p99", 0),
+                num_or(h, "max", 0));
+  }
+}
+
+void report_profile(const std::string& path, int top) {
+  std::istringstream in(read_file(path));
+  std::vector<std::pair<long long, std::string>> stacks;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    stacks.emplace_back(swallow::parse_int(line.substr(space + 1)),
+                        line.substr(0, space));
+  }
+  std::sort(stacks.begin(), stacks.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::printf("\nhottest stacks (%s):\n", path.c_str());
+  if (stacks.empty()) std::printf("  (empty profile)\n");
+  for (int i = 0; i < static_cast<int>(stacks.size()) && i < top; ++i) {
+    std::printf("  %8lld  %s\n", stacks[static_cast<std::size_t>(i)].first,
+                stacks[static_cast<std::size_t>(i)].second.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  int top = 10;
+  std::string trace_path, metrics_path, profile_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--check") {
+        check = true;
+      } else if (arg == "--top") {
+        top = static_cast<int>(swallow::parse_int(next()));
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--profile") {
+        profile_path = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return 2;
+      } else if (trace_path.empty()) {
+        trace_path = arg;
+      } else {
+        std::fprintf(stderr, "more than one trace file given\n");
+        return 2;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const Json doc = Json::parse(read_file(trace_path));
+
+    if (check) {
+      const std::string violation = swallow::check_chrome_trace(doc);
+      if (!violation.empty()) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", trace_path.c_str(),
+                     violation.c_str());
+        return 1;
+      }
+      const Json& other = doc.at("otherData");
+      std::printf("%s: ok (%.0f events, %.0f tracks, %.0f dropped)\n",
+                  trace_path.c_str(), num_or(other, "events", 0),
+                  num_or(other, "tracks", 0),
+                  num_or(other, "dropped_events", 0));
+      return 0;
+    }
+
+    const std::vector<Json>& events = doc.at("traceEvents").as_array();
+    report_links(events, top);
+    report_hot_pcs(events, top);
+    report_latency(events);
+    if (!metrics_path.empty()) report_metrics(metrics_path);
+    if (!profile_path.empty()) report_profile(profile_path, top);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
