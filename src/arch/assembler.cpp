@@ -277,6 +277,16 @@ Image assemble(std::string_view source) {
   return image;
 }
 
+std::optional<Image> try_assemble(std::string_view source,
+                                  std::string* error) {
+  try {
+    return assemble(source);
+  } catch (const Error& e) {
+    if (error != nullptr) *error = e.what();
+    return std::nullopt;
+  }
+}
+
 std::string disassemble_image(const Image& image) {
   std::string out;
   for (std::size_t i = 0; i < image.words.size(); ++i) {

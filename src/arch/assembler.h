@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,13 @@ struct Image {
 /// Assemble `source`; throws swallow::Error with a line-numbered message on
 /// any syntax or range problem.
 Image assemble(std::string_view source);
+
+/// Non-throwing form: returns the image, or nullopt with the line-numbered
+/// diagnostic copied into `*error` (when non-null).  Tools that batch many
+/// inputs (and the assembler fuzzers) use this to report failures without
+/// unwinding.
+std::optional<Image> try_assemble(std::string_view source,
+                                  std::string* error = nullptr);
 
 /// Disassemble an image back to one instruction per line (for traces and
 /// round-trip tests).

@@ -274,6 +274,11 @@ void Core::do_issue() {
                    strprintf("undefined opcode 0x%02x at pc=%u", ins.imm, t.pc));
     return;
   }
+  if (!registers_valid(ins)) {
+    halt_with_trap(TrapKind::kBadOpcode, tid,
+                   strprintf("bad register operand at pc=%u", t.pc));
+    return;
+  }
 
   // Capture source operands before execution overwrites them (for the
   // detailed data-dependent energy model).
@@ -521,7 +526,8 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
     case Opcode::kLsu: R[ra] = R[rb] < R[rc]; return Exec::kNext;
     case Opcode::kNot: R[ra] = ~R[rb]; return Exec::kNext;
     case Opcode::kNeg:
-      R[ra] = static_cast<std::uint32_t>(-static_cast<std::int32_t>(R[rb]));
+      // Unsigned negation: two's complement result, defined for INT_MIN.
+      R[ra] = 0u - R[rb];
       return Exec::kNext;
     case Opcode::kMkmsk:
       R[ra] = R[rb] >= 32 ? 0xFFFFFFFFu : (1u << R[rb]) - 1u;
@@ -559,17 +565,21 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
     case Opcode::kSubi:
       R[ra] = R[rb] - static_cast<std::uint32_t>(imm);
       return Exec::kNext;
+    // Shift immediates are unsigned, like register shift amounts: >= 32
+    // (which includes the encodings of negative immediates) yields 0 for
+    // the logical shifts and clamps to 31 for the arithmetic one.
     case Opcode::kShli:
-      R[ra] = imm >= 32 ? 0 : R[rb] << (imm & 31);
+      R[ra] = static_cast<std::uint32_t>(imm) >= 32 ? 0 : R[rb] << (imm & 31);
       return Exec::kNext;
     case Opcode::kShri:
-      R[ra] = imm >= 32 ? 0 : R[rb] >> (imm & 31);
+      R[ra] = static_cast<std::uint32_t>(imm) >= 32 ? 0 : R[rb] >> (imm & 31);
       return Exec::kNext;
     case Opcode::kEqi:
       R[ra] = R[rb] == static_cast<std::uint32_t>(imm);
       return Exec::kNext;
     case Opcode::kAshri: {
-      const int amt = std::min(imm, 31);
+      const std::uint32_t amt =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(imm), 31);
       R[ra] = static_cast<std::uint32_t>(static_cast<std::int32_t>(R[rb]) >> amt);
       return Exec::kNext;
     }

@@ -183,6 +183,15 @@ class Core {
   /// Read a 32-bit word from SRAM (test/inspection backdoor).
   std::uint32_t peek_word(std::uint32_t byte_addr) const;
 
+  /// Architectural register file of one hardware thread (inspection
+  /// backdoor; the differential checker compares this against the golden
+  /// reference interpreter).  Registers persist after TEXIT.
+  const std::array<std::uint32_t, kNumRegisters>& thread_regs(int tid) const {
+    return threads_.at(static_cast<std::size_t>(tid)).regs;
+  }
+
+  std::size_t sram_bytes() const { return sram_.size(); }
+
   // ----- GPIO ports (timed 1-bit I/O) -----
   /// Recorded output transitions of a port: (time, level) per change,
   /// including the initial level at allocation.

@@ -160,6 +160,24 @@ Instruction decode(std::uint32_t word) {
   return ins;
 }
 
+bool registers_valid(const Instruction& ins) {
+  const auto ok = [](std::uint8_t r) { return r < kNumRegisters; };
+  switch (opcode_info(ins.op).format) {
+    case Format::kR0:
+    case Format::kI:
+      return true;
+    case Format::kR1:
+    case Format::kR1I:
+      return ok(ins.ra);
+    case Format::kR2:
+    case Format::kR2I:
+      return ok(ins.ra) && ok(ins.rb);
+    case Format::kR3:
+      return ok(ins.ra) && ok(ins.rb) && ok(ins.rc);
+  }
+  return false;
+}
+
 std::string disassemble(const Instruction& ins) {
   const OpcodeInfo& info = opcode_info(ins.op);
   std::string out(info.mnemonic);

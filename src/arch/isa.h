@@ -112,6 +112,11 @@ std::uint32_t encode(const Instruction& ins);
 /// the raw opcode byte — the core traps on executing them.
 Instruction decode(std::uint32_t word);
 
+/// True when every register operand the opcode's format actually uses
+/// names a real register.  The 4-bit fields can encode 14 and 15, which
+/// no instruction can name; executing such a word is a bad-opcode trap.
+bool registers_valid(const Instruction& ins);
+
 /// Disassemble one instruction to assembler syntax.
 std::string disassemble(const Instruction& ins);
 

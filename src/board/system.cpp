@@ -1,7 +1,9 @@
 #include "board/system.h"
 
+#include <cmath>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -199,6 +201,21 @@ EnergyLedger& SwallowSystem::ledger() {
     }
     merged_.add(account, system_ledger_.total(account));
   }
+#if SWALLOW_CHECK_ENABLED
+  // Ledger conservation: the merged grand total must equal the sum of the
+  // component grand totals (up to float reassociation) — a mismatch means
+  // an account was dropped or double-counted in the merge.
+  Joules parts = system_ledger_.grand_total();
+  for (const auto& l : slice_ledgers_) parts += l->grand_total();
+  for (const auto& l : bridge_ledgers_) parts += l->grand_total();
+  const Joules merged_total = merged_.grand_total();
+  SWALLOW_CHECK_PROBE(
+      std::abs(merged_total - parts) <=
+          1e-9 * std::max(1.0, std::max(std::abs(merged_total),
+                                        std::abs(parts))),
+      "merged energy ledger != sum of component ledgers");
+  SWALLOW_CHECK_PROBE(merged_total >= 0.0, "negative total energy");
+#endif
   return merged_;
 }
 

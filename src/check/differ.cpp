@@ -1,0 +1,494 @@
+#include "check/differ.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+
+namespace swallow {
+
+std::string RunConfig::name() const {
+  return strprintf("jobs=%d,trace=%s,faults=%s", jobs, tracing ? "on" : "off",
+                   faults ? "on" : "off");
+}
+
+std::vector<int> differ_core_slots(int count) {
+  // One core per slice of the 2x2 machine, so traffic crosses the
+  // off-board cable links (slot i = slice i's first core).
+  static const std::vector<int> kAll = {0, 17, 34, 51};
+  require(count == 1 || count == 2 || count == 4,
+          "differ_core_slots: count must be 1, 2 or 4");
+  return {kAll.begin(), kAll.begin() + count};
+}
+
+std::vector<NodeId> differ_node_ids(const std::vector<int>& slots) {
+  // Node ids are a pure function of the fixed 2x2 geometry; probe them
+  // once per process.
+  static const std::vector<NodeId> all = [] {
+    Simulator sim;
+    SystemConfig cfg;
+    cfg.slices_x = 2;
+    cfg.slices_y = 2;
+    SwallowSystem sys(sim, cfg);
+    std::vector<NodeId> ids;
+    for (int i = 0; i < sys.core_count(); ++i) {
+      ids.push_back(sys.core_by_index(i).node_id());
+    }
+    return ids;
+  }();
+  std::vector<NodeId> out;
+  for (int slot : slots) out.push_back(all.at(static_cast<std::size_t>(slot)));
+  return out;
+}
+
+GenProgram differ_generate(std::uint64_t seed) {
+  // Slot count cycles with the seed so a sweep covers single-core golden
+  // programs and 2- and 4-core communicating ones.
+  const int slots = seed % 4 == 0 ? 1 : seed % 4 == 1 ? 2 : 4;
+  ProgenOptions o;
+  o.core_indices = differ_core_slots(slots);
+  o.node_ids = differ_node_ids(o.core_indices);
+  o.enable_comm = slots > 1;
+  // Single-core seeds exist to exercise the golden oracle: keep them
+  // inside its subset (GETTIME is timing, which the oracle doesn't model).
+  // Multi-core seeds carry the timer coverage.
+  o.enable_timers = slots > 1;
+  o.allow_traps = slots == 1;
+  return generate_program(seed, o);
+}
+
+SourceSet render_sources(const GenProgram& p,
+                         const std::vector<bool>& active) {
+  SourceSet s;
+  s.seed = p.seed;
+  s.core_indices = p.core_indices;
+  for (std::size_t slot = 0; slot < p.core_indices.size(); ++slot) {
+    s.sources.push_back(
+        render_core_source(p, static_cast<int>(slot), active));
+  }
+  return s;
+}
+
+SourceSet render_sources(const GenProgram& p) {
+  return render_sources(p, std::vector<bool>(p.units.size(), true));
+}
+
+namespace {
+
+std::uint64_t digest_core_memory(const Core& core) {
+  const std::size_t bytes = core.sram_bytes();
+  std::vector<std::uint8_t> buf(bytes);
+  for (std::uint32_t a = 0; a < bytes; a += 4) {
+    const std::uint32_t w = core.peek_word(a);
+    buf[a] = static_cast<std::uint8_t>(w);
+    buf[a + 1] = static_cast<std::uint8_t>(w >> 8);
+    buf[a + 2] = static_cast<std::uint8_t>(w >> 16);
+    buf[a + 3] = static_cast<std::uint8_t>(w >> 24);
+  }
+  return fnv1a64(buf.data(), buf.size());
+}
+
+// The seeded fault schedule: a permanent low-rate corruption window on the
+// first program core's links plus (with a partner to talk to) a bounded
+// outage on the second's.  Reliable links turn both into pure
+// timing/energy perturbations — exactly what the cross-group comparison
+// needs.
+FaultPlan make_fault_plan(std::uint64_t seed,
+                          const std::vector<NodeId>& nodes) {
+  FaultPlan plan;
+  plan.seed = seed ^ 0xF001'5EEDull;
+  plan.corrupt_link(nodes.at(0), -1, 0.02);
+  if (nodes.size() >= 2) {
+    plan.link_outage(nodes.at(1), -1, microseconds(5.0), microseconds(20.0));
+  }
+  return plan;
+}
+
+bool slot_done(const Core& c) { return c.finished() || c.trapped(); }
+
+}  // namespace
+
+RunObs run_config(const SourceSet& s, const RunConfig& cfg,
+                  const DifferOptions& opts) {
+  require(s.core_indices.size() == s.sources.size(),
+          "run_config: sources/core_indices mismatch");
+
+  Simulator sim;
+  SystemConfig scfg;
+  scfg.slices_x = 2;
+  scfg.slices_y = 2;
+  scfg.reliable_links = true;  // faults must be recoverable
+  scfg.jobs = cfg.jobs;
+  SwallowSystem sys(sim, scfg);
+
+  TraceSession session(TraceConfig{.tracing = true});
+  if (cfg.tracing) sys.attach_observability(session);
+
+  std::vector<NodeId> nodes;
+  std::vector<Core*> cores;
+  for (int idx : s.core_indices) {
+    cores.push_back(&sys.core_by_index(idx));
+    nodes.push_back(cores.back()->node_id());
+  }
+
+  FaultInjector injector(sys, cfg.faults ? make_fault_plan(s.seed, nodes)
+                                         : FaultPlan{});
+  if (cfg.faults) injector.arm();
+
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    const Image image = assemble(s.sources[i]);
+    cores[i]->load(image);
+    cores[i]->start(image.entry);
+  }
+
+  RunObs obs;
+  obs.config = cfg;
+
+  TimePs t = 0;
+  while (t < opts.time_cap) {
+    t = std::min<TimePs>(t + opts.step, opts.time_cap);
+    sys.run_until(t);
+    obs.completed = std::all_of(cores.begin(), cores.end(),
+                                [](Core* c) { return slot_done(*c); });
+    if (obs.completed) break;
+  }
+  if (obs.completed) {
+    // Quiescence drain: in-flight tokens, acks and retry timers settle so
+    // the wire conservation ledger can balance.
+    for (int i = 0; i < opts.drain_chunks; ++i) {
+      t += opts.step;
+      sys.run_until(t);
+    }
+  }
+
+  if (cfg.tracing) {
+    sys.finish_observability();
+    obs.trace_digest = fnv1a64(session.chrome_json());
+  }
+  sys.settle_energy();
+
+  for (Core* c : cores) {
+    CoreObs co;
+    co.regs = c->thread_regs(0);
+    co.mem_digest = digest_core_memory(*c);
+    co.retired = c->instructions_retired();
+    co.console = c->console();
+    co.trap = c->trap().kind;
+    co.trap_pc = c->trap().pc;
+    co.finished = c->finished();
+    obs.cores.push_back(std::move(co));
+  }
+
+  EnergyLedger& ledger = sys.ledger();
+  for (std::size_t a = 0; a < obs.energy.size(); ++a) {
+    obs.energy[a] = ledger.total(static_cast<EnergyAccount>(a));
+  }
+  obs.energy_total = ledger.grand_total();
+  obs.conservation_slack = sys.network().wire_conservation_slack();
+  return obs;
+}
+
+namespace {
+
+std::string describe_core_mismatch(const CoreObs& a, const CoreObs& b,
+                                   std::size_t slot) {
+  for (int r = 0; r < kNumRegisters; ++r) {
+    if (a.regs[static_cast<std::size_t>(r)] !=
+        b.regs[static_cast<std::size_t>(r)]) {
+      return strprintf("core slot %zu: %s = 0x%08x vs 0x%08x", slot,
+                       std::string(register_name(r)).c_str(),
+                       a.regs[static_cast<std::size_t>(r)],
+                       b.regs[static_cast<std::size_t>(r)]);
+    }
+  }
+  if (a.mem_digest != b.mem_digest) {
+    return strprintf("core slot %zu: memory digest %016llx vs %016llx", slot,
+                     static_cast<unsigned long long>(a.mem_digest),
+                     static_cast<unsigned long long>(b.mem_digest));
+  }
+  if (a.retired != b.retired) {
+    return strprintf("core slot %zu: retired %llu vs %llu", slot,
+                     static_cast<unsigned long long>(a.retired),
+                     static_cast<unsigned long long>(b.retired));
+  }
+  if (a.console != b.console) {
+    return strprintf("core slot %zu: console '%s' vs '%s'", slot,
+                     a.console.c_str(), b.console.c_str());
+  }
+  if (a.trap != b.trap || a.trap_pc != b.trap_pc) {
+    return strprintf("core slot %zu: trap %s@%u vs %s@%u", slot,
+                     std::string(to_string(a.trap)).c_str(), a.trap_pc,
+                     std::string(to_string(b.trap)).c_str(), b.trap_pc);
+  }
+  if (a.finished != b.finished) {
+    return strprintf("core slot %zu: finished %d vs %d", slot, a.finished,
+                     b.finished);
+  }
+  return "";
+}
+
+/// Architectural comparison only (valid across fault groups).
+std::string compare_architectural(const RunObs& a, const RunObs& b) {
+  if (a.completed != b.completed) {
+    return strprintf("[%s vs %s] completed %d vs %d", a.config.name().c_str(),
+                     b.config.name().c_str(), a.completed, b.completed);
+  }
+  for (std::size_t i = 0; i < a.cores.size(); ++i) {
+    if (a.cores[i] == b.cores[i]) continue;
+    return strprintf("[%s vs %s] %s", a.config.name().c_str(),
+                     b.config.name().c_str(),
+                     describe_core_mismatch(a.cores[i], b.cores[i], i).c_str());
+  }
+  return "";
+}
+
+/// Energy comparison across tracing modes: same physics, different
+/// integration chunking — allow last-ulp reassociation drift only.
+std::string compare_energy_tolerant(const RunObs& a, const RunObs& b) {
+  constexpr double kRelTol = 1e-9;
+  for (std::size_t acc = 0; acc < a.energy.size(); ++acc) {
+    const double scale =
+        std::max({1.0, std::abs(a.energy[acc]), std::abs(b.energy[acc])});
+    if (std::abs(a.energy[acc] - b.energy[acc]) <= kRelTol * scale) continue;
+    return strprintf("[%s vs %s] energy account %s: %.17g vs %.17g J",
+                     a.config.name().c_str(), b.config.name().c_str(),
+                     std::string(to_string(static_cast<EnergyAccount>(acc)))
+                         .c_str(),
+                     a.energy[acc], b.energy[acc]);
+  }
+  return "";
+}
+
+/// Full bit-compare (same fault group: engine determinism contract).
+std::string compare_strict(const RunObs& a, const RunObs& b) {
+  std::string arch = compare_architectural(a, b);
+  if (!arch.empty()) return arch;
+  for (std::size_t acc = 0; acc < a.energy.size(); ++acc) {
+    if (a.energy[acc] == b.energy[acc]) continue;
+    return strprintf("[%s vs %s] energy account %s: %.17g vs %.17g J",
+                     a.config.name().c_str(), b.config.name().c_str(),
+                     std::string(to_string(static_cast<EnergyAccount>(acc)))
+                         .c_str(),
+                     a.energy[acc], b.energy[acc]);
+  }
+  if (a.energy_total != b.energy_total) {
+    return strprintf("[%s vs %s] energy total: %.17g vs %.17g J",
+                     a.config.name().c_str(), b.config.name().c_str(),
+                     a.energy_total, b.energy_total);
+  }
+  if (a.config.tracing && b.config.tracing &&
+      a.trace_digest != b.trace_digest) {
+    return strprintf("[%s vs %s] trace JSON digest %016llx vs %016llx",
+                     a.config.name().c_str(), b.config.name().c_str(),
+                     static_cast<unsigned long long>(a.trace_digest),
+                     static_cast<unsigned long long>(b.trace_digest));
+  }
+  return "";
+}
+
+std::string compare_to_golden(const SourceSet& s, const RunObs& base,
+                              const DifferOptions& opts) {
+  const Image image = assemble(s.sources[0]);
+  RefOptions ropts;
+  ropts.inject_bug = opts.inject_ref_bug;
+  const RefResult ref = ref_run(image, ropts);
+  if (ref.stop == RefStop::kUnsupported) return "";  // outside golden subset
+  if (ref.stop == RefStop::kStepLimit) return "";    // oracle gave up
+  const CoreObs& sim = base.cores[0];
+
+  if (ref.stop == RefStop::kTrapped) {
+    if (sim.trap != ref.trap || sim.trap_pc != ref.pc) {
+      return strprintf("golden: trap %s@%u, sim: %s@%u",
+                       std::string(to_string(ref.trap)).c_str(), ref.pc,
+                       std::string(to_string(sim.trap)).c_str(), sim.trap_pc);
+    }
+  } else if (sim.trap != TrapKind::kNone || !sim.finished) {
+    return strprintf("golden finished cleanly, sim: trap=%s finished=%d",
+                     std::string(to_string(sim.trap)).c_str(), sim.finished);
+  }
+
+  for (int r = 0; r < kNumRegisters; ++r) {
+    if (ref.regs[static_cast<std::size_t>(r)] !=
+        sim.regs[static_cast<std::size_t>(r)]) {
+      return strprintf("golden vs sim: %s = 0x%08x vs 0x%08x",
+                       std::string(register_name(r)).c_str(),
+                       ref.regs[static_cast<std::size_t>(r)],
+                       sim.regs[static_cast<std::size_t>(r)]);
+    }
+  }
+  const std::uint64_t ref_digest = fnv1a64(ref.sram.data(), ref.sram.size());
+  if (ref_digest != sim.mem_digest) {
+    return strprintf("golden vs sim: memory digest %016llx vs %016llx",
+                     static_cast<unsigned long long>(ref_digest),
+                     static_cast<unsigned long long>(sim.mem_digest));
+  }
+  if (ref.retired != sim.retired) {
+    return strprintf("golden vs sim: retired %llu vs %llu",
+                     static_cast<unsigned long long>(ref.retired),
+                     static_cast<unsigned long long>(sim.retired));
+  }
+  if (ref.console != sim.console) {
+    return strprintf("golden vs sim: console '%s' vs '%s'",
+                     ref.console.c_str(), sim.console.c_str());
+  }
+  return "";
+}
+
+}  // namespace
+
+DiffResult run_differential(const SourceSet& s, const DifferOptions& opts) {
+  DiffResult res;
+  res.seed = s.seed;
+
+  std::vector<RunConfig> matrix;
+  for (const bool faults : {false, true}) {
+    if (faults && !opts.with_faults) continue;
+    for (const bool tracing : {false, true}) {
+      if (tracing && !opts.with_tracing) continue;
+      for (int jobs : opts.jobs) {
+        matrix.push_back(RunConfig{jobs, tracing, faults});
+      }
+    }
+  }
+  require(!matrix.empty(), "run_differential: empty config matrix");
+
+  for (const RunConfig& cfg : matrix) {
+    res.runs.push_back(run_config(s, cfg, opts));
+  }
+
+  auto fail = [&](std::string what) {
+    res.divergence = std::move(what);
+  };
+
+  // Conservation in every run: negative slack is always a bug; at
+  // quiescence (completed + drained) the slack must be exactly zero.
+  for (const RunObs& r : res.runs) {
+    if (r.conservation_slack < 0 ||
+        (r.completed && r.conservation_slack != 0)) {
+      fail(strprintf("[%s] wire token conservation slack = %lld",
+                     r.config.name().c_str(),
+                     static_cast<long long>(r.conservation_slack)));
+      return res;
+    }
+  }
+
+  // Strictest comparison within each (faults, tracing) group: the engine
+  // determinism contract promises bit-identical state, energy and trace
+  // JSON across worker counts.  Tracing changes how run_until is chopped
+  // (flush-period multiples), so energy integrates in different chunk
+  // sizes — identical physics, last-ulp float reassociation — and is only
+  // tolerance-compared across tracing modes.  Fault runs take retry
+  // detours, so across fault groups only architectural state must match.
+  const RunObs* base_by_group[4] = {nullptr, nullptr, nullptr, nullptr};
+  for (const RunObs& r : res.runs) {
+    const std::size_t g = (r.config.faults ? 2u : 0u) +
+                          (r.config.tracing ? 1u : 0u);
+    const RunObs*& base = base_by_group[g];
+    if (base == nullptr) {
+      base = &r;
+      continue;
+    }
+    std::string diff = compare_strict(*base, r);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return res;
+    }
+  }
+  for (const int faults : {0, 2}) {
+    const RunObs* off = base_by_group[faults];
+    const RunObs* on = base_by_group[faults + 1];
+    if (off == nullptr || on == nullptr) continue;
+    std::string diff = compare_architectural(*off, *on);
+    if (diff.empty()) diff = compare_energy_tolerant(*off, *on);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return res;
+    }
+  }
+  {
+    const RunObs* no_fault = base_by_group[0] != nullptr ? base_by_group[0]
+                                                         : base_by_group[1];
+    const RunObs* fault = base_by_group[2] != nullptr ? base_by_group[2]
+                                                      : base_by_group[3];
+    if (no_fault != nullptr && fault != nullptr) {
+      std::string diff = compare_architectural(*no_fault, *fault);
+      if (!diff.empty()) {
+        fail(std::move(diff));
+        return res;
+      }
+    }
+  }
+
+  // Golden-model check for single-core programs (no-fault base run).
+  if (s.sources.size() == 1 && base_by_group[0] != nullptr &&
+      base_by_group[0]->completed) {
+    std::string diff = compare_to_golden(s, *base_by_group[0], opts);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return res;
+    }
+  }
+  return res;
+}
+
+DiffResult run_differential_seed(std::uint64_t seed,
+                                 const DifferOptions& opts) {
+  return run_differential(render_sources(differ_generate(seed)), opts);
+}
+
+std::string format_repro(const SourceSet& s, const std::string& divergence) {
+  std::string out;
+  out += "# swallow_check repro\n";
+  out += strprintf("# seed: %llu\n",
+                   static_cast<unsigned long long>(s.seed));
+  if (!divergence.empty()) {
+    std::string first_line = divergence.substr(0, divergence.find('\n'));
+    out += "# divergence: " + first_line + "\n";
+  }
+  out += "# re-run: swallow_check --repro <this file>\n";
+  for (std::size_t i = 0; i < s.core_indices.size(); ++i) {
+    out += strprintf("== core %d ==\n", s.core_indices[i]);
+    out += s.sources[i];
+    if (!s.sources[i].empty() && s.sources[i].back() != '\n') out += '\n';
+  }
+  return out;
+}
+
+SourceSet parse_repro(const std::string& text) {
+  SourceSet s;
+  std::size_t pos = 0;
+  std::string* current = nullptr;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+
+    if (line.rfind("# seed:", 0) == 0) {
+      s.seed = std::strtoull(line.c_str() + 7, nullptr, 10);
+      continue;
+    }
+    if (line.rfind("== core ", 0) == 0) {
+      const int idx = std::atoi(line.c_str() + 8);
+      s.core_indices.push_back(idx);
+      s.sources.emplace_back();
+      current = &s.sources.back();
+      continue;
+    }
+    if (!line.empty() && line[0] == '#') continue;
+    if (current != nullptr) {
+      *current += line;
+      *current += '\n';
+    }
+  }
+  require(!s.sources.empty(), "parse_repro: no '== core N ==' sections");
+  return s;
+}
+
+}  // namespace swallow

@@ -1,0 +1,132 @@
+// Differential executor (ISSUE 5 tentpole, part 3).
+//
+// Runs one workload under every engine configuration the machine supports
+// — sequential and parallel sharded ({--jobs 0, 1, 2, 4}), tracing on/off,
+// seeded fault plan on/off (reliable links, so faults perturb timing and
+// energy but never architectural results) — and cross-checks:
+//   * bit-identical architectural state, retired counts, console output,
+//     energy ledgers and trace JSON between runs in the same fault group
+//     (the engine determinism contract),
+//   * identical architectural state across fault groups (fault tolerance
+//     must be architecturally invisible),
+//   * wire token conservation (injected = delivered + accounted-dropped)
+//     at quiescence in every run,
+//   * for single-core compute-only programs, agreement with the golden
+//     reference interpreter (registers, memory digest, retired count,
+//     console, trap).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/isa.h"
+#include "arch/trap.h"
+#include "check/progen.h"
+#include "check/ref_isa.h"
+#include "common/units.h"
+#include "energy/ledger.h"
+
+namespace swallow {
+
+/// One engine/instrumentation configuration of the matrix.
+struct RunConfig {
+  int jobs = 0;          // SystemConfig::jobs (0 = sequential engine)
+  bool tracing = false;  // attach a TraceSession
+  bool faults = false;   // arm the seeded FaultPlan
+
+  std::string name() const;
+};
+
+struct DifferOptions {
+  std::vector<int> jobs = {0, 1, 2, 4};
+  bool with_tracing = true;
+  bool with_faults = true;
+  /// Golden-model bug shim (kRefBug*); the harness must then REPORT a
+  /// divergence for programs exercising the buggy instruction.
+  int inject_ref_bug = kRefBugNone;
+  TimePs time_cap = milliseconds(20.0);
+  TimePs step = microseconds(50.0);
+  /// Extra post-completion chunks so in-flight acks/retries reach
+  /// quiescence before the conservation check.
+  int drain_chunks = 3;
+};
+
+/// The workload itself: per-core assembly sources, decoupled from the
+/// generator so shrunk programs and repro files run through the same path.
+struct SourceSet {
+  std::uint64_t seed = 0;
+  std::vector<int> core_indices;   // SwallowSystem::core_by_index slots
+  std::vector<std::string> sources;
+};
+
+/// Architectural observation of one program core after a run.
+struct CoreObs {
+  std::array<std::uint32_t, kNumRegisters> regs{};
+  std::uint64_t mem_digest = 0;
+  std::uint64_t retired = 0;
+  std::string console;
+  TrapKind trap = TrapKind::kNone;
+  std::uint32_t trap_pc = 0;
+  bool finished = false;
+
+  bool operator==(const CoreObs&) const = default;
+};
+
+/// Everything observed from one configuration's run.
+struct RunObs {
+  RunConfig config;
+  std::vector<CoreObs> cores;
+  bool completed = false;  // every program core finished or trapped in time
+  std::array<double, static_cast<std::size_t>(EnergyAccount::kCount)>
+      energy{};
+  double energy_total = 0.0;
+  std::uint64_t trace_digest = 0;  // fnv1a64(chrome_json), tracing runs only
+  std::int64_t conservation_slack = 0;
+};
+
+/// Outcome of one full differential: empty `divergence` means agreement.
+struct DiffResult {
+  std::uint64_t seed = 0;
+  std::string divergence;  // human-readable description, "" if clean
+  std::vector<RunObs> runs;
+
+  bool diverged() const { return !divergence.empty(); }
+};
+
+/// The differ's standard machine: 2x2 slices (64 cores) so --jobs 4 is
+/// legal and the chosen cores talk across FFC cable links.
+std::vector<int> differ_core_slots(int count);
+
+/// Node ids of the given core_by_index slots under the differ's standard
+/// 2x2-slice geometry (builds a throwaway system once).
+std::vector<NodeId> differ_node_ids(const std::vector<int>& slots);
+
+/// Generate the seed's workload with the differ's conventions: the slot
+/// count cycles 1/2/4 by seed, traps allowed only single-core.
+GenProgram differ_generate(std::uint64_t seed);
+
+SourceSet render_sources(const GenProgram& p);
+SourceSet render_sources(const GenProgram& p, const std::vector<bool>& active);
+
+/// Execute one configuration.  Deterministic: same sources + config in,
+/// same RunObs out.
+RunObs run_config(const SourceSet& s, const RunConfig& cfg,
+                  const DifferOptions& opts);
+
+/// Run the whole matrix for `s` and cross-check.  Single-core programs are
+/// additionally checked against the golden interpreter (skipped if the
+/// program leaves the golden subset).
+DiffResult run_differential(const SourceSet& s, const DifferOptions& opts);
+
+/// Convenience: generate + run the matrix for one seed.
+DiffResult run_differential_seed(std::uint64_t seed,
+                                 const DifferOptions& opts);
+
+/// Serialize sources to the repro-file format swallow_check reads back.
+std::string format_repro(const SourceSet& s, const std::string& divergence);
+/// Parse a repro file; throws swallow::Error on malformed input.
+SourceSet parse_repro(const std::string& text);
+
+}  // namespace swallow

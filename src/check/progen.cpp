@@ -1,0 +1,375 @@
+#include "check/progen.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+
+int reg(Rng& rng) { return static_cast<int>(rng.next_below(8)); }
+
+// One random, always-safe ALU instruction over r0..r7 (divides prepare
+// their own non-zero divisor in r9).
+std::string alu_line(Rng& rng, std::vector<std::string>* out) {
+  const int a = reg(rng), b = reg(rng), c = reg(rng);
+  // ADD/SUB carry extra weight (cases 0-1 and 19-21): they dominate real
+  // instruction mixes, and the planted-bug self-test needs ADDs to be
+  // routine, not rare.  22-24 load fresh constants.
+  switch (rng.next_below(25)) {
+    case 0: return strprintf("add r%d, r%d, r%d", a, b, c);
+    case 1: return strprintf("sub r%d, r%d, r%d", a, b, c);
+    case 2: return strprintf("and r%d, r%d, r%d", a, b, c);
+    case 3: return strprintf("or r%d, r%d, r%d", a, b, c);
+    case 4: return strprintf("xor r%d, r%d, r%d", a, b, c);
+    case 5: return strprintf("eq r%d, r%d, r%d", a, b, c);
+    case 6: return strprintf("lss r%d, r%d, r%d", a, b, c);
+    case 7: return strprintf("lsu r%d, r%d, r%d", a, b, c);
+    case 8: return strprintf("not r%d, r%d", a, b);
+    case 9: return strprintf("neg r%d, r%d", a, b);
+    case 10: return strprintf("mkmsk r%d, r%d", a, b);
+    case 11: return strprintf("mul r%d, r%d, r%d", a, b, c);
+    case 12: return strprintf("macc r%d, r%d, r%d", a, b, c);
+    case 13: return strprintf("lmulh r%d, r%d, r%d", a, b, c);
+    case 14: {
+      // Shift amounts deliberately span the interesting range: in-range,
+      // >= 32, and negative immediates (which encode as huge unsigned).
+      const long long amt = static_cast<long long>(rng.next_below(44)) - 4;
+      const char* op = rng.next_bool() ? "shli" : "shri";
+      return strprintf("%s r%d, r%d, %lld", op, a, b, amt);
+    }
+    case 15: {
+      const long long amt = static_cast<long long>(rng.next_below(44)) - 4;
+      return strprintf("ashri r%d, r%d, %lld", a, b, amt);
+    }
+    case 16: {
+      const char* op = rng.next_bool() ? "shl"
+                       : rng.next_bool() ? "shr"
+                                         : "ashr";
+      return strprintf("%s r%d, r%d, r%d", op, a, b, c);
+    }
+    case 17: {
+      out->push_back(strprintf("ldc r9, %llu",
+                               1ull + rng.next_below(999)));  // divisor != 0
+      const char* op = rng.next_bool() ? "divu" : "remu";
+      return strprintf("%s r%d, r%d, r9", op, a, b);
+    }
+    case 18: {
+      const long long imm = static_cast<long long>(rng.next_below(1100)) - 100;
+      const char* op = rng.next_bool() ? "addi" : "subi";
+      return strprintf("%s r%d, r%d, %lld", op, a, b, imm);
+    }
+    case 19:
+    case 20:
+      return strprintf("add r%d, r%d, r%d", a, b, c);
+    case 21:
+      return strprintf("sub r%d, r%d, r%d", a, b, c);
+    default:
+      if (rng.next_bool()) {
+        return strprintf("ldc r%d, %llu", a, rng.next_below(65536));
+      }
+      return strprintf("ldch r%d, %llu", a, rng.next_below(65536));
+  }
+}
+
+void emit_alu_block(Rng& rng, int count, std::vector<std::string>* out) {
+  for (int i = 0; i < count; ++i) {
+    std::string line = alu_line(rng, out);
+    out->push_back(std::move(line));
+  }
+}
+
+}  // namespace
+
+GenProgram generate_program(std::uint64_t seed, const ProgenOptions& opts) {
+  require(!opts.core_indices.empty(), "progen: need at least one core");
+  require(opts.min_units >= 1 && opts.max_units >= opts.min_units,
+          "progen: bad unit count range");
+  const int slots = static_cast<int>(opts.core_indices.size());
+  const bool comm = opts.enable_comm && slots >= 2;
+  if (comm) {
+    require(opts.node_ids.size() == opts.core_indices.size(),
+            "progen: node_ids must parallel core_indices when comm is on");
+  }
+
+  Rng rng(seed);
+  GenProgram p;
+  p.seed = seed;
+  p.core_indices = opts.core_indices;
+  p.node_ids = opts.node_ids;
+
+  const int span = opts.max_units - opts.min_units + 1;
+  std::vector<int> budget(static_cast<std::size_t>(slots));
+  for (int& b : budget) {
+    b = opts.min_units +
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(span)));
+  }
+
+  // Per-slot bookkeeping for scratch offsets (receivers store into scratch)
+  // and whether the slot already emitted its trapping unit (which makes
+  // everything after it dead code on that core).
+  std::vector<int> scratch_next(static_cast<std::size_t>(slots), 0);
+  std::vector<bool> slot_trapped(static_cast<std::size_t>(slots), false);
+  int ordinal = 0;
+  int next_pair = 0;
+
+  // Seed every data register with a random 32-bit value first: the reset
+  // state is all-zero, and ALU sequences over mostly-zero registers barely
+  // exercise the interesting operand space (carries, sign bits, odd
+  // values).  One tiny unit per register, so the shrinker keeps only the
+  // initialisations a failure actually needs.
+  for (int slot = 0; slot < slots; ++slot) {
+    for (int r = 0; r < 8; ++r) {
+      ProgenUnit init;
+      init.slot = slot;
+      const std::uint32_t v = static_cast<std::uint32_t>(rng.next_u64());
+      init.lines.push_back(strprintf("ldc r%d, %u", r, v >> 16));
+      init.lines.push_back(strprintf("ldch r%d, %u", r, v & 0xFFFF));
+      ++ordinal;
+      p.units.push_back(std::move(init));
+    }
+  }
+
+  // Round-robin over slots so comm pairs land at consistent global
+  // positions in every core's sequential order (deadlock freedom).
+  bool work_left = true;
+  while (work_left) {
+    work_left = false;
+    for (int slot = 0; slot < slots; ++slot) {
+      if (budget[static_cast<std::size_t>(slot)] <= 0) continue;
+      work_left = true;
+      --budget[static_cast<std::size_t>(slot)];
+      if (slot_trapped[static_cast<std::size_t>(slot)]) continue;
+
+      const int id = ordinal++;
+      ProgenUnit u;
+      u.slot = slot;
+
+      // Pick a unit kind.  Comm and timers are gated; traps only appear in
+      // single-core programs and at most once per core.
+      enum Kind { kAlu, kLoop, kMem, kStack, kCall, kJump, kTimer, kComm,
+                  kTrap };
+      Kind kind = kAlu;
+      const std::uint64_t roll = rng.next_below(100);
+      if (roll < 30) kind = kAlu;
+      else if (roll < 45) kind = kLoop;
+      else if (roll < 60) kind = kMem;
+      else if (roll < 68) kind = kStack;
+      else if (roll < 76) kind = kCall;
+      else if (roll < 82) kind = kJump;
+      else if (roll < 90) kind = comm ? kComm : kLoop;
+      else if (roll < 96) kind = opts.enable_timers ? kTimer : kMem;
+      else kind = (opts.allow_traps && slots == 1) ? kTrap : kAlu;
+
+      switch (kind) {
+        case kAlu:
+          emit_alu_block(rng, 2 + static_cast<int>(rng.next_below(4)),
+                         &u.lines);
+          break;
+
+        case kLoop: {
+          const std::uint64_t iters = 1 + rng.next_below(opts.max_loop_iters);
+          u.lines.push_back(strprintf("ldc r10, %llu", iters));
+          u.lines.push_back(strprintf("u%dl:", id));
+          emit_alu_block(rng, 1 + static_cast<int>(rng.next_below(3)),
+                         &u.lines);
+          u.lines.push_back("subi r10, r10, 1");
+          u.lines.push_back(strprintf("bt r10, u%dl", id));
+          break;
+        }
+
+        case kMem: {
+          u.lines.push_back("ldc r8, scratch");
+          const int ops = 2 + static_cast<int>(rng.next_below(4));
+          for (int i = 0; i < ops; ++i) {
+            const int r = reg(rng);
+            switch (rng.next_below(4)) {
+              case 0:
+                u.lines.push_back(
+                    strprintf("stw r%d, r8, %llu", r, rng.next_below(16)));
+                break;
+              case 1:
+                u.lines.push_back(
+                    strprintf("ldw r%d, r8, %llu", r, rng.next_below(16)));
+                break;
+              case 2:
+                u.lines.push_back(
+                    strprintf("stb r%d, r8, %llu", r, rng.next_below(64)));
+                break;
+              default:
+                u.lines.push_back(
+                    strprintf("ldb r%d, r8, %llu", r, rng.next_below(64)));
+                break;
+            }
+          }
+          break;
+        }
+
+        case kStack: {
+          const std::uint64_t words = 1 + rng.next_below(4);
+          u.lines.push_back(strprintf("extsp %llu", words));
+          for (std::uint64_t i = 0; i < words; ++i) {
+            u.lines.push_back(strprintf("stwsp r%d, %llu", reg(rng), i));
+          }
+          u.lines.push_back(strprintf("ldwsp r%d, %llu", reg(rng),
+                                      rng.next_below(words)));
+          // Balanced restore: sp += words * 4.
+          u.lines.push_back(strprintf("ldawsp sp, %llu", words));
+          break;
+        }
+
+        case kCall: {
+          u.lines.push_back(strprintf("bl u%df", id));
+          u.footer.push_back(strprintf("u%df:", id));
+          emit_alu_block(rng, 1 + static_cast<int>(rng.next_below(3)),
+                         &u.footer);
+          u.footer.push_back("ret");
+          break;
+        }
+
+        case kJump: {
+          // Computed jump: LDC yields the label's *byte* address, BAU takes
+          // a word index.
+          u.lines.push_back(strprintf("ldc r9, u%dt", id));
+          u.lines.push_back("shri r9, r9, 2");
+          u.lines.push_back("bau r9");
+          u.lines.push_back(strprintf("u%dt:", id));
+          u.lines.push_back("ldc r9, 0");
+          break;
+        }
+
+        case kTimer: {
+          // Short reference-clock wait.  r9 is timing-dependent afterwards,
+          // so clear it: architectural state must stay comparable between
+          // runs whose timing differs (fault retries).
+          u.lines.push_back("gettime r9");
+          u.lines.push_back(strprintf("addi r9, r9, %llu",
+                                      1 + rng.next_below(40)));
+          u.lines.push_back("timewait r9");
+          u.lines.push_back("ldc r9, 0");
+          break;
+        }
+
+        case kComm: {
+          // Matched pair: this slot sends one word to its fixed ring
+          // neighbour, which receives it into scratch.  Both halves enter
+          // the global unit order here, so both cores sequence the
+          // conversation alike.  The ring topology is load-bearing: each
+          // core receives from exactly ONE upstream sender, so the arrival
+          // order at its chanend is the sender's program order — never a
+          // timing-dependent merge of two senders (which would make the
+          // memory digest diverge across fault/no-fault runs).
+          const int peer = (slot + 1) % slots;
+          if (slot_trapped[static_cast<std::size_t>(peer)]) {
+            emit_alu_block(rng, 2, &u.lines);
+            break;
+          }
+          const std::uint32_t value =
+              static_cast<std::uint32_t>(rng.next_u64());
+          const NodeId dest = p.node_ids[static_cast<std::size_t>(peer)];
+          u.pair_id = next_pair++;
+          p.uses_comm = true;
+          u.lines.push_back(strprintf("ldc r8, %u",
+                                      static_cast<unsigned>(dest)));
+          u.lines.push_back("ldch r8, 2");  // peer chanend 0, type chanend
+          u.lines.push_back("setd r11, r8");
+          u.lines.push_back(strprintf("ldc r9, %u", value >> 16));
+          u.lines.push_back(strprintf("ldch r9, %u", value & 0xFFFF));
+          u.lines.push_back("out r11, r9");
+          u.lines.push_back("outct r11, 1");
+          p.units.push_back(std::move(u));
+
+          ProgenUnit rxu;
+          rxu.slot = peer;
+          rxu.pair_id = u.pair_id;
+          rxu.lines.push_back("in r9, r11");
+          rxu.lines.push_back("chkct r11, 1");
+          rxu.lines.push_back("ldc r8, scratch");
+          int& off = scratch_next[static_cast<std::size_t>(peer)];
+          rxu.lines.push_back(strprintf("stw r9, r8, %d", off));
+          off = (off + 1) % 16;
+          p.units.push_back(std::move(rxu));
+          continue;  // both halves already pushed
+        }
+
+        case kTrap: {
+          u.traps = true;
+          slot_trapped[static_cast<std::size_t>(slot)] = true;
+          switch (rng.next_below(3)) {
+            case 0:  // divide by zero
+              u.lines.push_back("ldc r9, 0");
+              u.lines.push_back(strprintf("divu r%d, r%d, r9", reg(rng),
+                                          reg(rng)));
+              break;
+            case 1:  // unaligned word access
+              u.lines.push_back("ldc r8, scratch");
+              u.lines.push_back(strprintf("addi r8, r8, %llu",
+                                          1 + rng.next_below(3)));
+              u.lines.push_back(strprintf("ldw r%d, r8, 0", reg(rng)));
+              break;
+            default:  // wild jump: fetch beyond SRAM
+              u.lines.push_back("ldc r9, 0x7FFF");
+              u.lines.push_back("bau r9");
+              break;
+          }
+          break;
+        }
+      }
+      p.units.push_back(std::move(u));
+    }
+  }
+
+  p.golden_eligible = slots == 1 && !p.uses_comm;
+  if (p.golden_eligible && opts.enable_timers) {
+    for (const ProgenUnit& u : p.units) {
+      for (const std::string& line : u.lines) {
+        if (line.find("gettime") != std::string::npos) {
+          // Timer units read the wall clock; the golden model has none.
+          p.golden_eligible = false;
+          break;
+        }
+      }
+      if (!p.golden_eligible) break;
+    }
+  }
+  return p;
+}
+
+std::string render_core_source(const GenProgram& p, int slot,
+                               const std::vector<bool>& active) {
+  require(active.size() == p.units.size(),
+          "render_core_source: active mask size mismatch");
+  std::string body, footer;
+  for (std::size_t i = 0; i < p.units.size(); ++i) {
+    if (!active[i]) continue;
+    const ProgenUnit& u = p.units[i];
+    if (u.slot != slot) continue;
+    for (const std::string& line : u.lines) {
+      body += "    ";
+      body += line;
+      body += '\n';
+    }
+    for (const std::string& line : u.footer) {
+      footer += "    ";
+      footer += line;
+      footer += '\n';
+    }
+  }
+
+  std::string src;
+  if (p.uses_comm) src += "    getr r11, 2\n";
+  src += body;
+  src += "    texit\n";
+  src += footer;
+  src += "scratch:\n    .space 16\n";
+  return src;
+}
+
+std::string render_core_source(const GenProgram& p, int slot) {
+  return render_core_source(p, slot, std::vector<bool>(p.units.size(), true));
+}
+
+}  // namespace swallow

@@ -1,0 +1,85 @@
+// Typed random program generator (ISSUE 5 tentpole, part 2).
+//
+// Emits *well-formed* random programs — the opposite of a bit-level
+// fuzzer.  Every generated program is built from typed units that are
+// individually terminating and jointly deadlock-free:
+//   * bounded loops (counted down in r10, backward branch only),
+//   * in-SRAM loads/stores against a reserved per-core scratch area,
+//   * balanced stack traffic (every EXTSP paired with its LDAWSP restore),
+//   * call/return and computed-jump units with unit-local labels,
+//   * timer waits whose result register is cleared after use (so the
+//     architectural state stays comparable across timing-perturbed runs),
+//   * matched channel send/receive pairs across cores, sequenced in one
+//     global conversation order on both sides so the conversation graph
+//     is acyclic and cannot deadlock.
+//
+// The unit structure is load-bearing: the delta-shrinker removes whole
+// units (comm pairs as one atom, via pair_id) and re-renders, so every
+// shrink step is again a well-formed program.
+//
+// Register convention (what makes random composition safe):
+//   r0..r7  data registers, freely clobbered by ALU units
+//   r8, r9  unit-local scratch (addresses, constants); r9 is cleared after
+//           any timing-dependent use (GETTIME)
+//   r10     loop counters (always counted to zero)
+//   r11     this core's chanend, allocated once in the prologue
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/resource.h"
+
+namespace swallow {
+
+struct ProgenOptions {
+  /// System cores (SwallowSystem::core_by_index slots) the program runs
+  /// on; node_ids must be parallel to this when comm is enabled.
+  std::vector<int> core_indices = {0};
+  std::vector<NodeId> node_ids;
+
+  int min_units = 3;             // per core
+  int max_units = 8;
+  bool enable_comm = true;       // needs >= 2 cores
+  bool enable_timers = true;
+  /// Allow a trapping unit (divide-by-zero, unaligned access, wild jump).
+  /// Only honoured for single-core programs — a trapped core would hang
+  /// its communication partners forever.
+  bool allow_traps = false;
+  std::uint32_t max_loop_iters = 8;
+};
+
+/// One generated unit: a few assembly lines for one core, plus optional
+/// out-of-line code (function bodies) placed after TEXIT.
+struct ProgenUnit {
+  int slot = 0;       // index into GenProgram::core_indices
+  int pair_id = -1;   // comm halves share an id; the shrinker removes both
+  bool traps = false; // deliberately trapping unit (terminates the core)
+  std::vector<std::string> lines;
+  std::vector<std::string> footer;
+};
+
+struct GenProgram {
+  std::uint64_t seed = 0;
+  bool golden_eligible = false;  // single core, compute-only
+  bool uses_comm = false;
+  std::vector<int> core_indices;
+  std::vector<NodeId> node_ids;
+  /// Global order; each core executes its units in this order, and comm
+  /// pairs appear at consistent positions on both sides.
+  std::vector<ProgenUnit> units;
+};
+
+GenProgram generate_program(std::uint64_t seed, const ProgenOptions& opts);
+
+/// Render the assembly source for one core, including only units whose
+/// `active` flag is set (the shrinker's hook).  active.size() must equal
+/// p.units.size().
+std::string render_core_source(const GenProgram& p, int slot,
+                               const std::vector<bool>& active);
+
+/// All units active.
+std::string render_core_source(const GenProgram& p, int slot);
+
+}  // namespace swallow

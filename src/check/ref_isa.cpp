@@ -1,0 +1,315 @@
+#include "check/ref_isa.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+namespace {
+
+// Everything the golden model knows about one executing program.  The
+// point of this struct is what it does NOT contain: no clock, no event
+// queue, no energy trace, no other threads.
+struct RefState {
+  std::array<std::uint32_t, kNumRegisters> regs{};
+  std::uint32_t pc = 0;
+  std::vector<std::uint8_t> sram;
+  std::string console;
+};
+
+std::uint32_t ref_load_word(const RefState& st, std::uint32_t addr) {
+  std::uint32_t v;
+  std::memcpy(&v, st.sram.data() + addr, 4);
+  return v;
+}
+
+void ref_store_word(RefState& st, std::uint32_t addr, std::uint32_t value) {
+  std::memcpy(st.sram.data() + addr, &value, 4);
+}
+
+// Mirrors Core::mem_check ordering exactly: alignment first, then bounds
+// (with the same wrap guard), so a doubly-bad address traps with the same
+// kind on both engines.
+TrapKind ref_mem_check(const RefState& st, std::uint32_t addr,
+                       std::uint32_t size, std::uint32_t align,
+                       std::string* msg) {
+  if (addr % align != 0) {
+    *msg = strprintf("unaligned access at 0x%x", addr);
+    return TrapKind::kMemoryAlignment;
+  }
+  if (addr + size > st.sram.size() || addr + size < addr) {
+    *msg = strprintf("access at 0x%x beyond %zu-byte SRAM", addr,
+                     st.sram.size());
+    return TrapKind::kMemoryBounds;
+  }
+  return TrapKind::kNone;
+}
+
+enum class Step { kNext, kBranched, kExited, kTrapped, kUnsupported };
+
+Step ref_step(RefState& st, const Instruction& ins, const RefOptions& opts,
+              TrapKind* trap, std::string* trap_msg) {
+  auto& R = st.regs;
+  const auto ra = ins.ra, rb = ins.rb, rc = ins.rc;
+  const std::int32_t imm = ins.imm;
+
+  switch (ins.op) {
+    case Opcode::kNop:
+      return Step::kNext;
+
+    // ---- ALU ----
+    case Opcode::kAdd:
+      if (opts.inject_bug == kRefBugAddOddOperands && (R[rb] & 1) &&
+          (R[rc] & 1)) {
+        R[ra] = R[rb] + R[rc] + 1;  // the deliberate oracle bug
+        return Step::kNext;
+      }
+      R[ra] = R[rb] + R[rc];
+      return Step::kNext;
+    case Opcode::kSub: R[ra] = R[rb] - R[rc]; return Step::kNext;
+    case Opcode::kAnd: R[ra] = R[rb] & R[rc]; return Step::kNext;
+    case Opcode::kOr: R[ra] = R[rb] | R[rc]; return Step::kNext;
+    case Opcode::kXor: R[ra] = R[rb] ^ R[rc]; return Step::kNext;
+    case Opcode::kEq: R[ra] = R[rb] == R[rc]; return Step::kNext;
+    case Opcode::kLss:
+      R[ra] = static_cast<std::int32_t>(R[rb]) < static_cast<std::int32_t>(R[rc]);
+      return Step::kNext;
+    case Opcode::kLsu: R[ra] = R[rb] < R[rc]; return Step::kNext;
+    case Opcode::kNot: R[ra] = ~R[rb]; return Step::kNext;
+    case Opcode::kNeg:
+      // Unsigned negation: two's complement result, defined for INT_MIN.
+      R[ra] = 0u - R[rb];
+      return Step::kNext;
+    case Opcode::kMkmsk:
+      R[ra] = R[rb] >= 32 ? 0xFFFFFFFFu : (1u << R[rb]) - 1u;
+      return Step::kNext;
+    case Opcode::kMul: R[ra] = R[rb] * R[rc]; return Step::kNext;
+    case Opcode::kMacc: R[ra] += R[rb] * R[rc]; return Step::kNext;
+    case Opcode::kLmulh:
+      R[ra] = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(R[rb]) * R[rc]) >> 32);
+      return Step::kNext;
+    case Opcode::kDivu:
+    case Opcode::kRemu:
+      if (R[rc] == 0) {
+        *trap = TrapKind::kBadOperand;
+        *trap_msg = "divide by zero";
+        return Step::kTrapped;
+      }
+      R[ra] = ins.op == Opcode::kDivu ? R[rb] / R[rc] : R[rb] % R[rc];
+      return Step::kNext;
+    case Opcode::kShl:
+      R[ra] = R[rc] >= 32 ? 0 : R[rb] << R[rc];
+      return Step::kNext;
+    case Opcode::kShr:
+      R[ra] = R[rc] >= 32 ? 0 : R[rb] >> R[rc];
+      return Step::kNext;
+    case Opcode::kAshr: {
+      const std::uint32_t amt = std::min<std::uint32_t>(R[rc], 31);
+      R[ra] = static_cast<std::uint32_t>(static_cast<std::int32_t>(R[rb]) >> amt);
+      return Step::kNext;
+    }
+
+    // ---- Immediates ----
+    case Opcode::kAddi:
+      R[ra] = R[rb] + static_cast<std::uint32_t>(imm);
+      return Step::kNext;
+    case Opcode::kSubi:
+      R[ra] = R[rb] - static_cast<std::uint32_t>(imm);
+      return Step::kNext;
+    case Opcode::kShli:
+      R[ra] = static_cast<std::uint32_t>(imm) >= 32 ? 0 : R[rb] << (imm & 31);
+      return Step::kNext;
+    case Opcode::kShri:
+      R[ra] = static_cast<std::uint32_t>(imm) >= 32 ? 0 : R[rb] >> (imm & 31);
+      return Step::kNext;
+    case Opcode::kEqi:
+      R[ra] = R[rb] == static_cast<std::uint32_t>(imm);
+      return Step::kNext;
+    case Opcode::kAshri: {
+      const std::uint32_t amt =
+          std::min<std::uint32_t>(static_cast<std::uint32_t>(imm), 31);
+      R[ra] = static_cast<std::uint32_t>(static_cast<std::int32_t>(R[rb]) >> amt);
+      return Step::kNext;
+    }
+    case Opcode::kLdc:
+      R[ra] = static_cast<std::uint32_t>(imm) & 0xFFFF;
+      return Step::kNext;
+    case Opcode::kLdch:
+      R[ra] = (R[ra] << 16) | (static_cast<std::uint32_t>(imm) & 0xFFFF);
+      return Step::kNext;
+
+    // ---- Memory / stack ----
+    case Opcode::kLdw:
+    case Opcode::kStw:
+    case Opcode::kLdb:
+    case Opcode::kStb:
+    case Opcode::kLdwsp:
+    case Opcode::kStwsp: {
+      std::uint32_t addr, size, align;
+      switch (ins.op) {
+        case Opcode::kLdw:
+        case Opcode::kStw:
+          addr = R[rb] + static_cast<std::uint32_t>(imm) * 4;
+          size = align = 4;
+          break;
+        case Opcode::kLdb:
+        case Opcode::kStb:
+          addr = R[rb] + static_cast<std::uint32_t>(imm);
+          size = align = 1;
+          break;
+        default:  // LDWSP / STWSP
+          addr = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
+          size = align = 4;
+          break;
+      }
+      *trap = ref_mem_check(st, addr, size, align, trap_msg);
+      if (*trap != TrapKind::kNone) return Step::kTrapped;
+      switch (ins.op) {
+        case Opcode::kLdw:
+        case Opcode::kLdwsp: R[ra] = ref_load_word(st, addr); break;
+        case Opcode::kStw:
+        case Opcode::kStwsp: ref_store_word(st, addr, R[ra]); break;
+        case Opcode::kLdb: R[ra] = st.sram[addr]; break;
+        case Opcode::kStb:
+          st.sram[addr] = static_cast<std::uint8_t>(R[ra] & 0xFF);
+          break;
+        default: break;
+      }
+      return Step::kNext;
+    }
+    case Opcode::kLdawsp:
+      R[ra] = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
+      return Step::kNext;
+    case Opcode::kExtsp:
+      R[kRegSp] -= static_cast<std::uint32_t>(imm) * 4;
+      return Step::kNext;
+
+    // ---- Control flow ----
+    case Opcode::kBt:
+    case Opcode::kBf: {
+      const bool taken = (ins.op == Opcode::kBt) == (R[ra] != 0);
+      if (!taken) return Step::kNext;
+      st.pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(st.pc) + 1 + imm);
+      return Step::kBranched;
+    }
+    case Opcode::kBu:
+      st.pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(st.pc) + 1 + imm);
+      return Step::kBranched;
+    case Opcode::kBl:
+      R[kRegLr] = st.pc + 1;
+      st.pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(st.pc) + 1 + imm);
+      return Step::kBranched;
+    case Opcode::kBau:
+      st.pc = R[ra];
+      return Step::kBranched;
+    case Opcode::kRet:
+      st.pc = R[kRegLr];
+      return Step::kBranched;
+
+    // ---- Console & exit ----
+    case Opcode::kPrintc:
+      st.console += static_cast<char>(R[ra] & 0xFF);
+      return Step::kNext;
+    case Opcode::kPrinti:
+      st.console += std::to_string(static_cast<std::int32_t>(R[ra]));
+      return Step::kNext;
+    case Opcode::kTexit:
+      return Step::kExited;
+
+    // Everything else touches resources, threads, or time — outside the
+    // golden subset by design.
+    default:
+      return Step::kUnsupported;
+  }
+}
+
+}  // namespace
+
+RefResult ref_run(const Image& image, const RefOptions& opts) {
+  require(opts.sram_bytes % 4 == 0, "ref_run: SRAM size must be word aligned");
+  require(image.size_bytes() <= opts.sram_bytes, "ref_run: image too large");
+
+  RefState st;
+  st.sram.assign(opts.sram_bytes, 0);
+  for (std::size_t i = 0; i < image.words.size(); ++i) {
+    ref_store_word(st, static_cast<std::uint32_t>(i * 4), image.words[i]);
+  }
+  st.regs.fill(0);
+  st.regs[kRegSp] = static_cast<std::uint32_t>(st.sram.size());
+  st.pc = image.entry;
+
+  RefResult out;
+  const std::uint32_t pc_limit =
+      static_cast<std::uint32_t>(st.sram.size() / 4);
+  std::string trap_msg;
+  while (true) {
+    if (out.retired >= opts.max_steps) {
+      out.stop = RefStop::kStepLimit;
+      break;
+    }
+    if (st.pc >= pc_limit) {
+      out.stop = RefStop::kTrapped;
+      out.trap = TrapKind::kMemoryBounds;
+      break;
+    }
+    const Instruction ins = decode(ref_load_word(st, st.pc * 4));
+    if (ins.op == Opcode::kNop && ins.rc == 0xF) {
+      out.stop = RefStop::kTrapped;
+      out.trap = TrapKind::kBadOpcode;
+      break;
+    }
+    if (!registers_valid(ins)) {  // mirrors the core's decode check
+      out.stop = RefStop::kTrapped;
+      out.trap = TrapKind::kBadOpcode;
+      break;
+    }
+    TrapKind trap = TrapKind::kNone;
+    const Step step = ref_step(st, ins, opts, &trap, &trap_msg);
+    if (step == Step::kTrapped) {
+      // Like the core: the trapping instruction does not retire and pc
+      // stays on it.
+      out.stop = RefStop::kTrapped;
+      out.trap = trap;
+      break;
+    }
+    if (step == Step::kUnsupported) {
+      out.stop = RefStop::kUnsupported;
+      out.unsupported = ins.op;
+      break;
+    }
+    ++out.retired;
+    if (step == Step::kExited) {
+      out.stop = RefStop::kFinished;
+      break;
+    }
+    if (step == Step::kNext) st.pc += 1;
+  }
+
+  out.regs = st.regs;
+  out.pc = st.pc;
+  out.console = std::move(st.console);
+  out.sram = std::move(st.sram);
+  return out;
+}
+
+}  // namespace swallow

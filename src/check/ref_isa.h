@@ -1,0 +1,77 @@
+// Golden reference interpreter (ISSUE 5 tentpole, part 1).
+//
+// A deliberately simple, timing-free big-switch executor of the XS1 ISA's
+// single-thread compute subset, used as a *semantic oracle* for the
+// differential checker: it shares no code with arch/core.cpp (no pipeline,
+// no scheduler, no event queue, no energy model), so an agreement between
+// the two is evidence about the ISA semantics rather than about a shared
+// bug.  Graphite's reference-vs-simulated checker is the model here.
+//
+// Scope: everything a single hardware thread can do without touching
+// resources or time — ALU, immediates, memory and stack, control flow,
+// multiply/divide, console output, TEXIT.  Any communication, thread,
+// timer, port or system-resource instruction stops the interpreter with
+// RefStop::kUnsupported; the program generator marks programs using those
+// as not golden-eligible, and the differential executor covers them by
+// cross-engine comparison instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/assembler.h"
+#include "arch/isa.h"
+#include "arch/trap.h"
+#include "energy/params.h"
+
+namespace swallow {
+
+/// Why the golden interpreter stopped.
+enum class RefStop {
+  kFinished,     // TEXIT retired
+  kTrapped,      // halted with `trap` set (the trapping instruction does
+                 // not retire and pc stays on it, like the core)
+  kUnsupported,  // hit an instruction outside the compute subset
+  kStepLimit,    // max_steps retired without finishing (runaway loop)
+};
+
+/// Deliberate semantic-bug shims for exercising the divergence path: the
+/// shrinker demo and swallow_check --inject-ref-bug use these to prove the
+/// harness detects and minimises a real semantic difference.
+enum : int {
+  kRefBugNone = 0,
+  kRefBugAddOddOperands = 1,  // ADD yields rb+rc+1 when both operands odd
+};
+
+struct RefOptions {
+  std::uint64_t max_steps = 1'000'000;
+  std::size_t sram_bytes = kSramBytesPerCore;
+  int inject_bug = kRefBugNone;
+};
+
+struct RefResult {
+  RefStop stop = RefStop::kFinished;
+  std::array<std::uint32_t, kNumRegisters> regs{};
+  std::uint32_t pc = 0;            // word index where execution stopped
+  std::uint64_t retired = 0;       // instructions retired (traps excluded)
+  std::string console;             // PRINTC/PRINTI output
+  TrapKind trap = TrapKind::kNone;
+  Opcode unsupported = Opcode::kNop;  // set when stop == kUnsupported
+  std::vector<std::uint8_t> sram;     // final memory image
+};
+
+/// Execute `image` from its entry point to completion under the golden
+/// semantics.  Timing-free: one instruction per step, no issue gaps, no
+/// thread switching — architectural state is all that exists.
+RefResult ref_run(const Image& image, const RefOptions& opts = {});
+
+/// FNV-1a 64-bit digest of a byte range; the shared memory-digest function
+/// of golden and simulated runs.
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t n);
+
+/// Digest of a string (console output, serialized registers, trace JSON).
+std::uint64_t fnv1a64(const std::string& s);
+
+}  // namespace swallow

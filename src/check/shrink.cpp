@@ -1,0 +1,102 @@
+#include "check/shrink.h"
+
+#include <map>
+
+namespace swallow {
+
+int count_instruction_lines(const SourceSet& s) {
+  int n = 0;
+  for (const std::string& src : s.sources) {
+    std::size_t pos = 0;
+    while (pos < src.size()) {
+      std::size_t eol = src.find('\n', pos);
+      if (eol == std::string::npos) eol = src.size();
+      std::string_view line(src.data() + pos, eol - pos);
+      pos = eol + 1;
+      while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+        line.remove_prefix(1);
+      }
+      while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                               line.back() == '\r')) {
+        line.remove_suffix(1);
+      }
+      if (line.empty()) continue;
+      if (line.front() == '#' || line.front() == ';') continue;
+      if (line.size() >= 2 && line[0] == '/' && line[1] == '/') continue;
+      // Strip an inline "label:" prefix ("done: .word 0") before judging
+      // the rest of the line.
+      if (const std::size_t colon = line.find(':');
+          colon != std::string_view::npos &&
+          line.find_first_of(" \t,") > colon) {
+        line.remove_prefix(colon + 1);
+        while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+          line.remove_prefix(1);
+        }
+      }
+      if (line.empty()) continue;      // bare label
+      if (line.front() == '.') continue;  // directive
+      ++n;
+    }
+  }
+  return n;
+}
+
+ShrinkResult shrink_program(const GenProgram& p, const ShrinkOptions& opts) {
+  ShrinkResult res;
+  res.active.assign(p.units.size(), true);
+
+  auto diverges = [&](const std::vector<bool>& active,
+                      std::string* what) -> bool {
+    ++res.attempts;
+    DiffResult d = run_differential(render_sources(p, active), opts.differ);
+    if (d.diverged() && what != nullptr) *what = d.divergence;
+    return d.diverged();
+  };
+
+  std::string what;
+  if (!diverges(res.active, &what)) {
+    res.sources = render_sources(p, res.active);
+    res.instruction_count = count_instruction_lines(res.sources);
+    return res;  // reproduced stays false: nothing to shrink
+  }
+  res.reproduced = true;
+  res.divergence = what;
+
+  // Removal atoms: each comm pair is one atom (both halves or neither —
+  // a dangling receiver would block its core forever); every other unit
+  // stands alone.
+  std::map<int, std::vector<std::size_t>> pair_members;
+  std::vector<std::vector<std::size_t>> atoms;
+  for (std::size_t i = 0; i < p.units.size(); ++i) {
+    if (p.units[i].pair_id >= 0) {
+      pair_members[p.units[i].pair_id].push_back(i);
+    } else {
+      atoms.push_back({i});
+    }
+  }
+  for (auto& [id, members] : pair_members) atoms.push_back(members);
+
+  // Greedy fixed-point ddmin: keep sweeping while any single atom can go.
+  bool changed = true;
+  while (changed && res.attempts < opts.max_attempts) {
+    changed = false;
+    for (const std::vector<std::size_t>& atom : atoms) {
+      if (res.attempts >= opts.max_attempts) break;
+      if (!res.active[atom.front()]) continue;
+      std::vector<bool> candidate = res.active;
+      for (std::size_t i : atom) candidate[i] = false;
+      std::string cand_what;
+      if (diverges(candidate, &cand_what)) {
+        res.active = std::move(candidate);
+        res.divergence = std::move(cand_what);
+        changed = true;
+      }
+    }
+  }
+
+  res.sources = render_sources(p, res.active);
+  res.instruction_count = count_instruction_lines(res.sources);
+  return res;
+}
+
+}  // namespace swallow

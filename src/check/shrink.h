@@ -1,0 +1,40 @@
+// Delta-shrinker (ISSUE 5 tentpole, part 4).
+//
+// Given a generated program whose differential run diverges, remove units
+// until no single removal preserves the failure — a greedy ddmin over the
+// generator's typed units.  Because removal happens at unit granularity
+// (with matched comm send/recv pairs removed together, via pair_id), every
+// candidate is again a well-formed, deadlock-free program, so the shrink
+// loop never wastes runs on syntactically broken inputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "check/progen.h"
+
+namespace swallow {
+
+struct ShrinkOptions {
+  DifferOptions differ;
+  /// Cap on predicate evaluations (each is a full differential run).
+  int max_attempts = 500;
+};
+
+struct ShrinkResult {
+  bool reproduced = false;   // the full program diverged at all
+  std::vector<bool> active;  // minimal unit mask
+  SourceSet sources;         // rendered minimal program
+  std::string divergence;    // the minimal program's failure description
+  int instruction_count = 0; // instruction lines in the minimal sources
+  int attempts = 0;          // differential runs spent
+};
+
+/// Count instruction lines (not labels, directives, comments or blanks)
+/// across a source set — the "N-instruction repro" metric.
+int count_instruction_lines(const SourceSet& s);
+
+ShrinkResult shrink_program(const GenProgram& p, const ShrinkOptions& opts);
+
+}  // namespace swallow

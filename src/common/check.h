@@ -1,0 +1,34 @@
+// SWALLOW_CHECK: cheap, always-on invariant probes (ISSUE 5 tentpole).
+//
+// Probes are sprinkled through the hot layers (event pump, switch credit
+// machinery, energy merge) and compiled in only when the build sets the
+// SWALLOW_CHECK option (cmake -DSWALLOW_CHECK=ON).  Each probe is a single
+// comparison on data the surrounding code already touches, so a check
+// build stays fast enough to run the full differential sweeps under it —
+// the CI sanitizer jobs do exactly that.
+//
+// A firing probe throws InternalError: in a test that is a failure, in
+// swallow_check it is reported as a divergence of kind "invariant".
+#pragma once
+
+#include "common/error.h"
+
+#if defined(SWALLOW_CHECK)
+#define SWALLOW_CHECK_ENABLED 1
+#else
+#define SWALLOW_CHECK_ENABLED 0
+#endif
+
+#if SWALLOW_CHECK_ENABLED
+#define SWALLOW_CHECK_PROBE(cond, what)                                 \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::swallow::InternalError("SWALLOW_CHECK probe failed: " what \
+                                     " [" #cond "]");                   \
+    }                                                                   \
+  } while (0)
+#else
+#define SWALLOW_CHECK_PROBE(cond, what) \
+  do {                                  \
+  } while (0)
+#endif

@@ -71,4 +71,15 @@ std::uint64_t Network::total_packets_sunk() const {
   return n;
 }
 
+std::int64_t Network::wire_conservation_slack() const {
+  std::uint64_t tx = 0, rx = 0, dropped = 0;
+  for (const auto& s : switches_) {
+    tx += s->wire_tokens_tx();
+    rx += s->wire_tokens_rx();
+    dropped += s->wire_tokens_dropped();
+  }
+  return static_cast<std::int64_t>(tx) - static_cast<std::int64_t>(rx) -
+         static_cast<std::int64_t>(dropped);
+}
+
 }  // namespace swallow

@@ -68,6 +68,14 @@ class Network {
   std::uint64_t total_tokens_forwarded() const;
   std::uint64_t total_packets_sunk() const;
 
+  /// Token conservation over every wire in the network: tokens transmitted
+  /// minus (tokens received + tokens dropped on the wire).  Positive slack
+  /// means tokens are still in flight; once the machine is quiescent the
+  /// slack must be exactly zero — injected = delivered + accounted-dropped
+  /// (ISSUE 5 invariant; the differential checker asserts it after every
+  /// run).  Negative slack is always a bug.
+  std::int64_t wire_conservation_slack() const;
+
   /// Sum of every switch's fault counters.
   FaultCounters total_fault_counters() const;
 

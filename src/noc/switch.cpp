@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "arch/core.h"
+#include "common/check.h"
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -349,6 +350,7 @@ Watts Switch::instantaneous_link_power(TimePs now) const {
 void Switch::deliver_link_token(int port, const Token& t, std::uint64_t seq,
                                 bool corrupt) {
   Input& in = inputs_.at(static_cast<std::size_t>(port));
+  ++wire_tokens_rx_;
   if (in.reliable) {
     if (corrupt) {
       // CRC catches the flip; discard and ask for everything from the
@@ -382,6 +384,8 @@ void Switch::deliver_link_token(int port, const Token& t, std::uint64_t seq,
   invariant(in.fifo.size() < cfg_.buffer_tokens,
             "link delivery overran credit window");
   in.fifo.push_back(t);
+  SWALLOW_CHECK_PROBE(in.fifo.size() <= cfg_.buffer_tokens,
+                      "input fifo exceeds its buffer bound");
   obs_fifo_push(port);
   schedule_process(port);
 }
@@ -711,6 +715,7 @@ void Switch::mark_link_dead(int output_idx) {
 
 void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   const TimePs now = sim_.now();
+  ++wire_tokens_tx_;
   const int bits = link_bits_per_token(out);
   const TimePs ser = transfer_time_ps(bits, out.rate);
   out.busy_until = now + ser;
@@ -739,12 +744,14 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
         break;
       case LinkFaultAction::kDrop:
         ++fault_counters_.tokens_dropped;
+        ++wire_tokens_dropped_;
         obs_fault(1);
         return;  // lost on the wire; the driver still burned the energy
     }
   }
   if (!out.link_up) {
     ++fault_counters_.tokens_dropped;
+    ++wire_tokens_dropped_;
     obs_fault(1);
     return;
   }
@@ -767,11 +774,14 @@ void Switch::send_token(int input_idx, Output& out, const Token& t) {
   ledger_.add(EnergyAccount::kNetworkInterface, kNiTokenEnergy);
   const TimePs now = sim_.now();
   if (out.kind == Output::Kind::kLink) {
+    SWALLOW_CHECK_PROBE(out.credits > 0, "link transmit without credit");
     --out.credits;
     std::uint64_t seq = 0;
     if (out.reliable) {
       seq = out.tx_seq++;
       out.replay.push_back(t);
+      SWALLOW_CHECK_PROBE(out.replay.size() <= cfg_.buffer_tokens,
+                          "replay window exceeds the credit window");
       if (!out.timer_armed) {
         arm_retry_timer(static_cast<int>(&out - outputs_.data()));
       }

@@ -216,6 +216,16 @@ class Switch {
     return link_tokens_sent_[static_cast<std::size_t>(cls)];
   }
 
+  // Wire-level token conservation (ISSUE 5 invariant probes).  Every token
+  // this switch puts on a wire — retransmissions included — is either
+  // dropped on that wire (fault injection, downed link) or arrives at the
+  // peer's input port.  So once the network is quiescent,
+  //   sum(wire_tokens_tx) == sum(wire_tokens_rx) + sum(wire_tokens_dropped)
+  // over all switches; Network::wire_conservation_slack() checks it.
+  std::uint64_t wire_tokens_tx() const { return wire_tokens_tx_; }
+  std::uint64_t wire_tokens_rx() const { return wire_tokens_rx_; }
+  std::uint64_t wire_tokens_dropped() const { return wire_tokens_dropped_; }
+
   /// Power drawn right now by this switch's transmitting link drivers
   /// (rate x energy/bit while a token is on the wire) — sampled by the
   /// measurement subsystem's I/O rail.
@@ -367,6 +377,9 @@ class Switch {
   std::uint64_t tokens_forwarded_ = 0;
   std::uint64_t packets_routed_ = 0;
   std::uint64_t packets_sunk_ = 0;
+  std::uint64_t wire_tokens_tx_ = 0;       // tokens put on outgoing wires
+  std::uint64_t wire_tokens_rx_ = 0;       // tokens arriving on input ports
+  std::uint64_t wire_tokens_dropped_ = 0;  // lost on our outgoing wires
   std::array<std::uint64_t, 4> link_tokens_sent_{};
   std::array<TimePs, 4> link_busy_time_{};
   Sampler route_hold_ns_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "common/check.h"
 #include "common/error.h"
 
 namespace swallow {
@@ -30,7 +31,10 @@ std::uint64_t Simulator::run_until(TimePs deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     auto ev = queue_.pop();
     invariant(ev.time >= now_, "event scheduled in the past");
+    SWALLOW_CHECK_PROBE(ev.time >= last_dispatch_time_,
+                        "event dispatch time went backwards");
     now_ = ev.time;
+    last_dispatch_time_ = ev.time;
     ev.callback();
     ++fired;
     ++dispatched_;
@@ -44,7 +48,10 @@ std::uint64_t Simulator::run() {
   while (!queue_.empty()) {
     auto ev = queue_.pop();
     invariant(ev.time >= now_, "event scheduled in the past");
+    SWALLOW_CHECK_PROBE(ev.time >= last_dispatch_time_,
+                        "event dispatch time went backwards");
     now_ = ev.time;
+    last_dispatch_time_ = ev.time;
     ev.callback();
     ++fired;
     ++dispatched_;

@@ -79,6 +79,7 @@ class Simulator {
   }
 
   TimePs now_ = 0;
+  TimePs last_dispatch_time_ = 0;  // monotonicity probe (common/check.h)
   std::uint64_t dispatched_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint16_t lane_ = 0;

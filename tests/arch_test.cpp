@@ -3,6 +3,8 @@
 // the loopback fabric) and core-level energy accounting.
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include <string>
 
 #include "arch/assembler.h"
@@ -35,7 +37,9 @@ TEST(Isa, EncodeDecodeAllFormats) {
 }
 
 TEST(Isa, RandomisedEncodeDecodeRoundTrip) {
-  Rng rng(2024);
+  const std::uint64_t seed = test::test_seed(2024);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 5000; ++iter) {
     Instruction ins;
     ins.op = static_cast<Opcode>(
@@ -63,7 +67,9 @@ TEST(Isa, RandomisedEncodeDecodeRoundTrip) {
 }
 
 TEST(Isa, DisassembleReassembleRoundTrip) {
-  Rng rng(7);
+  const std::uint64_t seed = test::test_seed(7);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 1000; ++iter) {
     Instruction ins;
     ins.op = static_cast<Opcode>(

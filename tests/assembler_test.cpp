@@ -1,0 +1,102 @@
+// Assembler error paths: every rejected input must produce a line-numbered
+// diagnostic naming the problem, via both the throwing assemble() and the
+// non-throwing try_assemble() entry points.  The happy path is covered by
+// arch_test.cpp and the conformance suite; this file pins down what a user
+// sees when their source is wrong.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "arch/assembler.h"
+#include "common/error.h"
+
+namespace swallow {
+namespace {
+
+struct DiagnosticCase {
+  const char* name;
+  const char* source;
+  const char* expected_fragment;  // must appear in the diagnostic
+  int expected_line;              // 1-based line the diagnostic points at
+};
+
+class Diagnostics : public ::testing::TestWithParam<DiagnosticCase> {};
+
+// try_assemble reports the failure through the out-parameter and never
+// unwinds, so batch tools (and the fuzzers) can keep going.
+TEST_P(Diagnostics, TryAssembleReturnsNulloptWithMessage) {
+  const DiagnosticCase& c = GetParam();
+  std::string error;
+  std::optional<Image> image;
+  ASSERT_NO_THROW(image = try_assemble(c.source, &error)) << c.name;
+  ASSERT_FALSE(image.has_value()) << c.name;
+  EXPECT_NE(error.find(c.expected_fragment), std::string::npos)
+      << c.name << ": diagnostic was '" << error << "'";
+  const std::string line_tag = "asm line " + std::to_string(c.expected_line);
+  EXPECT_NE(error.find(line_tag), std::string::npos)
+      << c.name << ": expected '" << line_tag << "' in '" << error << "'";
+}
+
+// assemble() throws the same line-numbered message as swallow::Error.
+TEST_P(Diagnostics, AssembleThrowsSameMessage) {
+  const DiagnosticCase& c = GetParam();
+  try {
+    assemble(GetParam().source);
+    FAIL() << c.name << ": expected swallow::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(c.expected_fragment),
+              std::string::npos)
+        << c.name << ": diagnostic was '" << e.what() << "'";
+  }
+}
+
+const DiagnosticCase kDiagnostics[] = {
+    {"unknown_mnemonic", "    frobnicate r0, r1",
+     "unknown mnemonic 'frobnicate'", 1},
+    {"unknown_mnemonic_line_number",
+     "    ldc r0, 1\n    ldc r1, 2\n    blorp r0", "unknown mnemonic", 3},
+    {"immediate_too_large", "    ldc r0, 70000", "out of 16-bit range", 1},
+    {"immediate_too_negative", "    addi r0, r0, -40000",
+     "out of 16-bit range", 1},
+    {"duplicate_label", "again:\n    ldc r0, 1\nagain:\n    texit",
+     "duplicate label 'again'", 3},
+    {"undefined_symbol", "    bu nowhere", "undefined symbol 'nowhere'", 1},
+    {"bad_operand_token", "    ldc r0, $$$", "unrecognised operand '$$$'", 1},
+    {"too_few_operands", "    add r0, r1", "expects 3 operand(s), got 2", 1},
+    {"too_many_operands", "    not r0, r1, r2", "expects 2 operand(s), got 3",
+     1},
+    {"register_where_immediate", "    ldc r0, r1", "must be an immediate", 1},
+    {"immediate_where_register", "    add r0, r1, 5", "must be a register",
+     1},
+    {"unknown_directive", "    .banana 4", "unknown directive '.banana'", 1},
+    {"org_backwards", "    ldc r0, 1\n    ldc r1, 2\n    .org 1",
+     ".org cannot move backwards", 3},
+    {"org_operand_count", "    .org 1, 2", ".org takes one operand", 1},
+    {"space_operand_count", "    .space", ".space takes one operand", 1},
+    {"word_register_operand", "    .word r5",
+     ".word operand cannot be a register", 1},
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Assembler, Diagnostics, ::testing::ValuesIn(kDiagnostics),
+    [](const ::testing::TestParamInfo<DiagnosticCase>& info) {
+      return std::string(info.param.name);
+    });
+
+// On success try_assemble leaves the error string untouched and hands back
+// the same image assemble() would.
+TEST(TryAssemble, SuccessLeavesErrorAlone) {
+  std::string error = "sentinel";
+  const auto image = try_assemble("    ldc r0, 42\n    texit\n", &error);
+  ASSERT_TRUE(image.has_value());
+  EXPECT_EQ(error, "sentinel");
+  EXPECT_EQ(image->words.size(), 2u);
+}
+
+TEST(TryAssemble, NullErrorPointerIsAccepted) {
+  EXPECT_FALSE(try_assemble("    junk", nullptr).has_value());
+}
+
+}  // namespace
+}  // namespace swallow

@@ -1,0 +1,271 @@
+// Differential conformance harness (src/check/): golden interpreter,
+// typed program generator, differential executor and delta-shrinker.
+//
+// The heavy sweeps live in the swallow_check CLI (cli_check_sweep, soak
+// label); this suite pins the component contracts with small seed counts:
+//   * the golden interpreter agrees with the core on handcrafted programs,
+//   * every generated program assembles on every core,
+//   * single-core generated programs match the golden model exactly,
+//   * a planted golden-model bug is detected AND shrinks to a repro of at
+//     most 16 instructions,
+//   * repro files round-trip through format_repro/parse_repro.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/assembler.h"
+#include "arch/trap.h"
+#include "check/differ.h"
+#include "check/progen.h"
+#include "check/ref_isa.h"
+#include "check/shrink.h"
+#include "common/error.h"
+#include "test_seed.h"
+
+namespace swallow {
+namespace {
+
+// Matrix trimmed to the sequential engine: one simulator run per
+// differential, fast enough to sweep dozens of seeds inside a unit test.
+DifferOptions golden_only_options() {
+  DifferOptions o;
+  o.jobs = {0};
+  o.with_tracing = false;
+  o.with_faults = false;
+  return o;
+}
+
+// ------------------------------------------------------------- ref_isa
+
+TEST(RefIsa, ExecutesStraightLineProgram) {
+  const Image image = assemble(
+      "    ldc r0, 30\n"
+      "    ldc r1, 12\n"
+      "    add r2, r0, r1\n"
+      "    texit\n");
+  const RefResult r = ref_run(image);
+  EXPECT_EQ(r.stop, RefStop::kFinished);
+  EXPECT_EQ(r.regs[2], 42u);
+  EXPECT_EQ(r.retired, 4u);
+}
+
+TEST(RefIsa, ReportsTrapWithoutRetiringIt) {
+  const Image image = assemble(
+      "    ldc r0, 1\n"
+      "    ldc r1, 0\n"
+      "    divu r2, r0, r1\n");
+  const RefResult r = ref_run(image);
+  EXPECT_EQ(r.stop, RefStop::kTrapped);
+  EXPECT_EQ(r.trap, TrapKind::kBadOperand);
+  EXPECT_EQ(r.pc, 2u);       // pc parked on the faulting instruction
+  EXPECT_EQ(r.retired, 2u);  // the divide itself does not retire
+}
+
+TEST(RefIsa, FlagsResourceInstructionsAsUnsupported) {
+  const RefResult r = ref_run(assemble("    getr r0, 2\n    texit\n"));
+  EXPECT_EQ(r.stop, RefStop::kUnsupported);
+}
+
+TEST(RefIsa, StepLimitStopsRunawayLoops) {
+  RefOptions o;
+  o.max_steps = 100;
+  const RefResult r = ref_run(assemble("spin:\n    bu spin\n"), o);
+  EXPECT_EQ(r.stop, RefStop::kStepLimit);
+}
+
+TEST(RefIsa, InjectedBugPerturbsOddOddAddOnly) {
+  const Image image = assemble(
+      "    ldc r0, 3\n"
+      "    ldc r1, 5\n"
+      "    add r2, r0, r1\n"  // odd + odd: bug adds one
+      "    ldc r3, 4\n"
+      "    add r4, r0, r3\n"  // odd + even: unaffected
+      "    texit\n");
+  const RefResult clean = ref_run(image);
+  RefOptions bugged;
+  bugged.inject_bug = kRefBugAddOddOperands;
+  const RefResult buggy = ref_run(image, bugged);
+  EXPECT_EQ(clean.regs[2], 8u);
+  EXPECT_EQ(buggy.regs[2], 9u);
+  EXPECT_EQ(clean.regs[4], buggy.regs[4]);
+}
+
+TEST(Fnv1a64, MatchesPublishedVectors) {
+  EXPECT_EQ(fnv1a64(std::string()), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64(std::string("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64(std::string("foobar")), 0x85944171f73967e8ull);
+}
+
+// -------------------------------------------------------------- progen
+
+TEST(Progen, EveryGeneratedCoreAssembles) {
+  const std::uint64_t base = test::test_seed(1);
+  SWALLOW_SEED_TRACE(base);
+  for (std::uint64_t seed = base; seed < base + 50; ++seed) {
+    const GenProgram p = differ_generate(seed);
+    const SourceSet s = render_sources(p);
+    ASSERT_EQ(s.sources.size(), p.core_indices.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < s.sources.size(); ++i) {
+      std::string error;
+      EXPECT_TRUE(try_assemble(s.sources[i], &error).has_value())
+          << "seed " << seed << " core " << i << ": " << error;
+    }
+  }
+}
+
+TEST(Progen, ShrunkSubsetsStillAssemble) {
+  const std::uint64_t seed = test::test_seed(7);
+  SWALLOW_SEED_TRACE(seed);
+  const GenProgram p = differ_generate(seed);
+  // Drop each unit in turn (with its comm partner, as the shrinker does)
+  // and re-render: every subset must still be well-formed.
+  for (std::size_t u = 0; u < p.units.size(); ++u) {
+    std::vector<bool> active(p.units.size(), true);
+    for (std::size_t v = 0; v < p.units.size(); ++v) {
+      if (v == u || (p.units[u].pair_id >= 0 &&
+                     p.units[v].pair_id == p.units[u].pair_id)) {
+        active[v] = false;
+      }
+    }
+    const SourceSet s = render_sources(p, active);
+    for (std::size_t i = 0; i < s.sources.size(); ++i) {
+      std::string error;
+      EXPECT_TRUE(try_assemble(s.sources[i], &error).has_value())
+          << "without unit " << u << ", core " << i << ": " << error;
+    }
+  }
+}
+
+TEST(Progen, GoldenEligibleProgramsAvoidUnsupportedInstructions) {
+  const std::uint64_t base = test::test_seed(1);
+  SWALLOW_SEED_TRACE(base);
+  int eligible = 0;
+  for (std::uint64_t seed = base; seed < base + 40; ++seed) {
+    const GenProgram p = differ_generate(seed);
+    if (!p.golden_eligible) continue;
+    ++eligible;
+    const SourceSet s = render_sources(p);
+    ASSERT_EQ(s.sources.size(), 1u);
+    const RefResult r = ref_run(assemble(s.sources[0]));
+    EXPECT_NE(r.stop, RefStop::kUnsupported)
+        << "seed " << seed << " hit " << opcode_info(r.unsupported).mnemonic;
+  }
+  EXPECT_GT(eligible, 0) << "seed range produced no golden-eligible programs";
+}
+
+// -------------------------------------------------------------- differ
+
+TEST(Differ, SingleCoreSeedsMatchGoldenModel) {
+  const std::uint64_t base = test::test_seed(1);
+  SWALLOW_SEED_TRACE(base);
+  const DifferOptions o = golden_only_options();
+  int checked = 0;
+  for (std::uint64_t seed = base; seed < base + 40; ++seed) {
+    if (differ_generate(seed).core_indices.size() != 1) continue;
+    ++checked;
+    const DiffResult d = run_differential_seed(seed, o);
+    EXPECT_FALSE(d.diverged()) << "seed " << seed << ": " << d.divergence;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Differ, FullMatrixAgreesOnMultiCoreSeeds) {
+  const std::uint64_t base = test::test_seed(1);
+  SWALLOW_SEED_TRACE(base);
+  const DifferOptions o;  // full matrix: jobs x tracing x faults
+  int checked = 0;
+  for (std::uint64_t seed = base; seed < base + 12 && checked < 3; ++seed) {
+    if (differ_generate(seed).core_indices.size() < 2) continue;
+    ++checked;
+    const DiffResult d = run_differential_seed(seed, o);
+    EXPECT_FALSE(d.diverged()) << "seed " << seed << ": " << d.divergence;
+    for (const RunObs& run : d.runs) {
+      EXPECT_TRUE(run.completed) << run.config.name();
+      EXPECT_EQ(run.conservation_slack, 0) << run.config.name();
+    }
+  }
+  EXPECT_EQ(checked, 3);
+}
+
+TEST(Differ, ReproFilesRoundTrip) {
+  const std::uint64_t seed = test::test_seed(3);
+  SWALLOW_SEED_TRACE(seed);
+  const SourceSet s = render_sources(differ_generate(seed));
+  const SourceSet back = parse_repro(format_repro(s, "some divergence"));
+  EXPECT_EQ(back.seed, s.seed);
+  ASSERT_EQ(back.core_indices, s.core_indices);
+  ASSERT_EQ(back.sources.size(), s.sources.size());
+  for (std::size_t i = 0; i < s.sources.size(); ++i) {
+    // Whitespace may be normalised; the assembled images must match.
+    EXPECT_EQ(assemble(back.sources[i]).words, assemble(s.sources[i]).words)
+        << "core " << i;
+  }
+}
+
+TEST(Differ, ParseReproRejectsGarbage) {
+  EXPECT_THROW(parse_repro("not a repro file"), Error);
+}
+
+// -------------------------------------------------------------- shrink
+
+TEST(Shrink, CountsOnlyInstructionLines) {
+  SourceSet s;
+  s.sources.push_back(
+      "# comment\n"
+      "label:\n"
+      "    ldc r0, 1\n"
+      "\n"
+      "    texit\n"
+      "data: .word 0\n");
+  EXPECT_EQ(count_instruction_lines(s), 2);
+}
+
+TEST(Shrink, NonDivergingProgramReportsNotReproduced) {
+  const std::uint64_t seed = test::test_seed(1);
+  SWALLOW_SEED_TRACE(seed);
+  ShrinkOptions o;
+  o.differ = golden_only_options();
+  const ShrinkResult r = shrink_program(differ_generate(seed), o);
+  EXPECT_FALSE(r.reproduced);
+}
+
+// The headline acceptance test: plant a semantic bug in the golden model's
+// ADD (odd+odd operands only), prove the sweep FINDS it, and prove the
+// shrinker reduces the failing program to a repro of at most 16
+// instructions that still reproduces the divergence.
+TEST(Shrink, PlantedBugShrinksToSmallRepro) {
+  DifferOptions o = golden_only_options();
+  o.inject_ref_bug = kRefBugAddOddOperands;
+
+  // Find the first seed whose generated program trips the planted bug.
+  std::uint64_t bad_seed = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    if (run_differential_seed(seed, o).diverged()) {
+      bad_seed = seed;
+      break;
+    }
+  }
+  ASSERT_NE(bad_seed, 0u) << "sweep failed to detect the planted bug";
+
+  ShrinkOptions so;
+  so.differ = o;
+  const ShrinkResult r = shrink_program(differ_generate(bad_seed), so);
+  ASSERT_TRUE(r.reproduced);
+  EXPECT_FALSE(r.divergence.empty());
+  EXPECT_LE(r.instruction_count, 16)
+      << "shrunk repro still has " << r.instruction_count
+      << " instructions:\n" << format_repro(r.sources, r.divergence);
+
+  // The minimal program still diverges when re-run from its rendered
+  // sources — exactly what `swallow_check --repro` will do.
+  EXPECT_TRUE(run_differential(r.sources, o).diverged());
+
+  // And agrees once the bug shim is removed: the divergence was the
+  // planted bug, not a latent engine issue.
+  EXPECT_FALSE(run_differential(r.sources, golden_only_options()).diverged());
+}
+
+}  // namespace
+}  // namespace swallow

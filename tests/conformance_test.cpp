@@ -85,6 +85,29 @@ const SemanticsCase kSemantics[] = {
               "    lmulh r0, r1, r2", 1},  // high(2^16 * 2^16) = 1
     {"divu", "    ldc r1, 100\n    ldc r2, 7\n    divu r0, r1, r2", 14},
     {"remu", "    ldc r1, 100\n    ldc r2, 7\n    remu r0, r1, r2", 2},
+    {"divu_small_by_big", "    ldc r1, 7\n    ldc r2, 100\n"
+                          "    divu r0, r1, r2", 0},
+    {"divu_by_one", "    ldc r1, 0xffff\n    ldch r1, 0xffff\n    ldc r2, 1\n"
+                    "    divu r0, r1, r2", 0xFFFFFFFFu},
+    {"divu_max_by_max", "    ldc r1, 0xffff\n    ldch r1, 0xffff\n"
+                        "    or r2, r1, r1\n    divu r0, r1, r2", 1},
+    {"divu_is_unsigned", "    ldc r1, 0\n    subi r1, r1, 2\n    ldc r2, 2\n"
+                         "    divu r0, r1, r2", 0x7FFFFFFFu},  // not -1
+    {"remu_by_one", "    ldc r1, 0x1234\n    ldc r2, 1\n    remu r0, r1, r2",
+     0},
+    {"remu_max_by_max", "    ldc r1, 0xffff\n    ldch r1, 0xffff\n"
+                        "    or r2, r1, r1\n    remu r0, r1, r2", 0},
+    {"mul_is_modular", "    ldc r1, 0\n    subi r1, r1, 1\n    ldc r2, 2\n"
+                       "    mul r0, r1, r2", 0xFFFFFFFEu},
+    {"macc_wraps", "    ldc r0, 0xffff\n    ldch r0, 0xffff\n    ldc r1, 2\n"
+                   "    ldc r2, 3\n    macc r0, r1, r2", 5},
+    {"lmulh_zero", "    ldc r1, 0\n    ldc r2, 0x7fff\n    lmulh r0, r1, r2",
+     0},
+    {"lmulh_max", "    ldc r1, 0xffff\n    ldch r1, 0xffff\n"
+                  "    or r2, r1, r1\n    lmulh r0, r1, r2",
+     0xFFFFFFFEu},  // high(2^32-1 squared)
+    {"lmulh_is_unsigned", "    ldc r1, 0\n    subi r1, r1, 1\n    ldc r2, 2\n"
+                          "    lmulh r0, r1, r2", 1},  // not sign-extended
     // ---- shifts ----
     {"shl", "    ldc r1, 1\n    ldc r2, 31\n    shl r0, r1, r2",
      0x80000000u},
@@ -97,6 +120,43 @@ const SemanticsCase kSemantics[] = {
     {"shri", "    ldc r1, 48\n    shri r0, r1, 4", 3},
     {"ashri", "    ldc r1, 0\n    subi r1, r1, 64\n    ashri r0, r1, 3",
      0xFFFFFFF8u},
+    // Register-shift amounts come from the full 32-bit register; >= 32
+    // flushes the logical shifts to zero and saturates ashr at 31.
+    {"shr_ge32", "    ldc r1, 0xffff\n    ldc r2, 33\n    shr r0, r1, r2", 0},
+    {"shl_huge_amount", "    ldc r1, 1\n    ldc r2, 0xffff\n"
+                        "    ldch r2, 0\n    shl r0, r1, r2", 0},
+    {"ashr_ge32_negative", "    ldc r1, 0x8000\n    ldch r1, 0\n"
+                           "    ldc r2, 40\n    ashr r0, r1, r2",
+     0xFFFFFFFFu},  // clamps to 31: sign fill
+    {"ashr_ge32_positive", "    ldc r1, 0x7fff\n    ldch r1, 0xffff\n"
+                           "    ldc r2, 40\n    ashr r0, r1, r2", 0},
+    // Immediate shift amounts are treated as unsigned 32-bit values after
+    // sign extension, so imm >= 32 (including negative encodings) is 0 for
+    // the logical shifts and clamps to 31 for the arithmetic one.
+    {"shli_32", "    ldc r1, 1\n    shli r0, r1, 32", 0},
+    {"shri_32", "    ldc r1, 0xffff\n    shri r0, r1, 32", 0},
+    {"shli_negative_imm", "    ldc r1, 1\n    shli r0, r1, -1", 0},
+    {"shri_negative_imm", "    ldc r1, 0xffff\n    shri r0, r1, -4", 0},
+    {"ashri_ge32_negative", "    ldc r1, 0x8000\n    ldch r1, 0\n"
+                            "    ashri r0, r1, 63", 0xFFFFFFFFu},
+    {"ashri_negative_imm", "    ldc r1, 0x8000\n    ldch r1, 0\n"
+                           "    ashri r0, r1, -2", 0xFFFFFFFFu},
+    {"ashri_zero", "    ldc r1, 0x8000\n    ldch r1, 0\n    ashri r0, r1, 0",
+     0x80000000u},
+    // ---- signed boundaries ----
+    {"neg_int_min", "    ldc r1, 0x8000\n    ldch r1, 0\n    neg r0, r1",
+     0x80000000u},  // -INT_MIN wraps to itself
+    {"lss_int_min_lt_zero", "    ldc r1, 0x8000\n    ldch r1, 0\n"
+                            "    ldc r2, 0\n    lss r0, r1, r2", 1},
+    {"lss_int_max_vs_min", "    ldc r1, 0x7fff\n    ldch r1, 0xffff\n"
+                           "    ldc r2, 0x8000\n    ldch r2, 0\n"
+                           "    lss r0, r1, r2", 0},  // INT_MAX > INT_MIN
+    {"lsu_int_min_vs_zero", "    ldc r1, 0x8000\n    ldch r1, 0\n"
+                            "    ldc r2, 0\n    lsu r0, r1, r2",
+     0},  // 0x80000000 unsigned is large
+    {"add_int_max_plus_one", "    ldc r1, 0x7fff\n    ldch r1, 0xffff\n"
+                             "    ldc r2, 1\n    add r0, r1, r2",
+     0x80000000u},
     // ---- constants ----
     {"ldc_max", "    ldc r0, 0xffff", 0xFFFF},
     {"ldch_builds", "    ldc r0, 0xdead\n    ldch r0, 0xbeef", 0xDEADBEEFu},
@@ -148,6 +208,8 @@ TEST_P(Traps, HaltsWithExpectedKind) {
 
 const TrapCase kTraps[] = {
     {"bad_opcode", ".word 0xee000000", TrapKind::kBadOpcode},
+    {"bad_register_field", ".word 0x01f00000",  // add r15, r0, r0
+     TrapKind::kBadOpcode},
     {"fetch_off_end", "ldc r0, 1", TrapKind::kMemoryBounds},  // falls through
     {"unaligned_word", "ldc r0, 6\n ldw r1, r0, 0",
      TrapKind::kMemoryAlignment},
@@ -155,6 +217,16 @@ const TrapCase kTraps[] = {
      TrapKind::kMemoryBounds},
     {"store_oob", "ldc r0, 0xffff\n ldch r0, 0xfffc\n stw r1, r0, 0",
      TrapKind::kMemoryBounds},
+    {"unaligned_store", "ldc r0, 2\n stw r1, r0, 0",
+     TrapKind::kMemoryAlignment},
+    {"unaligned_wins_over_bounds",  // alignment is checked before bounds
+     "ldc r0, 0xffff\n ldch r0, 0xfffe\n ldw r1, r0, 0",
+     TrapKind::kMemoryAlignment},
+    {"byte_load_oob", "ldc r0, 1\n ldch r0, 0\n ldb r1, r0, 0",
+     TrapKind::kMemoryBounds},
+    {"byte_addr_wraps", "ldc r0, 0xffff\n ldch r0, 0xffff\n ldb r1, r0, 0",
+     TrapKind::kMemoryBounds},  // addr+1 wraps past zero
+    {"bau_wild", "ldc r0, 0x7fff\n bau r0", TrapKind::kMemoryBounds},
     {"div_zero", "ldc r0, 1\n ldc r1, 0\n divu r2, r0, r1",
      TrapKind::kBadOperand},
     {"rem_zero", "ldc r0, 1\n ldc r1, 0\n remu r2, r0, r1",

@@ -3,6 +3,8 @@
 // energy/time bookkeeping stays sane throughout.
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "arch/assembler.h"
 #include "api/taskgen.h"
 #include "board/system.h"
@@ -14,7 +16,9 @@ namespace swallow {
 namespace {
 
 TEST(Fuzz, RandomWordProgramsNeverBreakTheSimulator) {
-  Rng rng(0xF0220);
+  const std::uint64_t seed = test::test_seed(0xF0220);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 150; ++iter) {
     Simulator sim;
     SystemConfig cfg;
@@ -39,7 +43,9 @@ TEST(Fuzz, RandomValidOpcodeProgramsNeverBreakTheSimulator) {
   // Biased fuzz: well-formed encodings of random valid opcodes exercise
   // the execution paths more deeply than raw words (which mostly hit the
   // bad-opcode trap immediately).
-  Rng rng(0xBEEF);
+  const std::uint64_t seed = test::test_seed(0xBEEF);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   int trapped = 0, running = 0, finished = 0;
   for (int iter = 0; iter < 150; ++iter) {
     Simulator sim;
@@ -86,7 +92,9 @@ TEST(Fuzz, RandomChainWorkloadsAlwaysComplete) {
   // another packet needs indefinitely.  Denser random graphs CAN deadlock
   // through endpoint-coupled wormhole waits — the platform hazard §V.D
   // warns about and Soak.DiagnoseReportsDeadlockedProgram demonstrates.
-  Rng rng(0x7A5C);
+  const std::uint64_t seed = test::test_seed(0x7A5C);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 12; ++iter) {
     Simulator sim;
     SystemConfig cfg;
@@ -156,7 +164,9 @@ TEST(Fuzz, RandomFaultPlansNeverBreakReliableLinks) {
   //    generated task code, which run_to_completion turns into a throw;
   //  * the energy ledger is monotonically non-decreasing throughout;
   //  * every byte is still delivered (packets are never mis-routed).
-  Rng rng(0xFA117);
+  const std::uint64_t seed = test::test_seed(0xFA117);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 20; ++iter) {
     Simulator sim;
     SystemConfig cfg;
@@ -228,7 +238,9 @@ TEST(Fuzz, RandomFaultPlansNeverBreakReliableLinks) {
 
 TEST(Fuzz, RandomAssemblerInputNeverCrashes) {
   // Garbage text must produce Error (line-diagnosed), never UB.
-  Rng rng(0xA53);
+  const std::uint64_t seed = test::test_seed(0xA53);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   const char charset[] =
       "abcdefghijklmnopqrstuvwxyz0123456789 ,:#.\nrlspbtx-";
   for (int iter = 0; iter < 300; ++iter) {

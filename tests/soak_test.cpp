@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "noc/network.h"
 #include "sim/simulator.h"
+#include "test_seed.h"
 
 namespace swallow {
 namespace {
@@ -65,7 +66,9 @@ TimePs random_traffic_run(std::uint64_t seed, Joules* energy = nullptr) {
 }
 
 TEST(Soak, RandomTrafficDeliversForManySeeds) {
-  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+  const std::uint64_t base = test::test_seed(1);
+  SWALLOW_SEED_TRACE(base);
+  for (std::uint64_t seed = base; seed < base + 5; ++seed) {
     random_traffic_run(seed);
   }
 }

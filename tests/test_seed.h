@@ -1,0 +1,55 @@
+// Seed discipline for randomized tests (docs/testing.md).
+//
+// Every randomized suite draws its seed through test_seed() so a CI
+// failure can be replayed exactly:
+//
+//   const std::uint64_t seed = swallow::test::test_seed(0xBEEF);
+//   SWALLOW_SEED_TRACE(seed);
+//   Rng rng(seed);
+//
+// SWALLOW_SEED_TRACE attaches the seed and a copy-pasteable re-run command
+// to every assertion failure in the enclosing scope, and the
+// SWALLOW_TEST_SEED environment variable overrides the default seed so the
+// failing case can be replayed (or the corpus widened) without a rebuild.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace swallow {
+namespace test {
+
+/// The suite's seed: `fallback`, unless SWALLOW_TEST_SEED is set in the
+/// environment (decimal or 0x-prefixed hex).
+inline std::uint64_t test_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("SWALLOW_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  return fallback;
+}
+
+/// One-line repro command for the currently running gtest case.
+inline std::string seed_repro(std::uint64_t seed) {
+  std::string cmd = "SWALLOW_TEST_SEED=" + std::to_string(seed);
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    cmd += " <this test binary> --gtest_filter=";
+    cmd += info->test_suite_name();
+    cmd += ".";
+    cmd += info->name();
+  }
+  return cmd;
+}
+
+}  // namespace test
+}  // namespace swallow
+
+/// Attach "seed N; re-run: SWALLOW_TEST_SEED=N ... --gtest_filter=..." to
+/// every assertion failure in the enclosing scope.
+#define SWALLOW_SEED_TRACE(seed)                                        \
+  SCOPED_TRACE(::testing::Message()                                     \
+               << "seed " << (seed)                                     \
+               << "; re-run: " << ::swallow::test::seed_repro(seed))

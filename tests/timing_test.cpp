@@ -4,6 +4,8 @@
 // cannot determine.
 #include <gtest/gtest.h>
 
+#include "test_seed.h"
+
 #include "arch/assembler.h"
 #include "arch/core.h"
 #include "arch/timing.h"
@@ -127,7 +129,9 @@ class TimingVsSimulation : public ::testing::Test {
 };
 
 TEST_F(TimingVsSimulation, CountedLoopsMatchExactly) {
-  Rng rng(31337);
+  const std::uint64_t seed = test::test_seed(31337);
+  SWALLOW_SEED_TRACE(seed);
+  Rng rng(seed);
   for (int iter = 0; iter < 25; ++iter) {
     const int outer = 1 + static_cast<int>(rng.next_below(20));
     const int inner = 1 + static_cast<int>(rng.next_below(30));

@@ -1,0 +1,218 @@
+// swallow_check: differential conformance checker (src/check/,
+// docs/testing.md).
+//
+//   swallow_check --seeds 500          sweep seeds 1..500
+//   swallow_check --seed  123          one seed, verbose
+//   swallow_check --repro FILE         re-run a saved repro file
+//
+// Each seed generates a typed random workload (single-core compute-only,
+// or 2/4 cores with matched channel traffic across the 2x2-slice machine)
+// and runs it under every engine configuration — --jobs {0,1,2,4} x
+// tracing {on,off} x seeded fault plan {on,off} — cross-checking
+// architectural state, retired counts, console output, energy ledgers,
+// trace JSON and wire token conservation, plus the golden reference
+// interpreter for single-core programs.  On divergence the failing
+// program is delta-shrunk to a minimal repro file with the exact re-run
+// command, and the tool exits 1.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "check/progen.h"
+#include "check/ref_isa.h"
+#include "check/shrink.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw swallow::Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw swallow::Error("cannot write " + path);
+  out << body;
+}
+
+void usage() {
+  std::printf(
+      "usage: swallow_check [options]\n"
+      "\n"
+      "workload:\n"
+      "  --seeds N          sweep seeds first..first+N-1   (default 50)\n"
+      "  --first-seed S     first seed of the sweep        (default 1)\n"
+      "  --seed S           check exactly one seed\n"
+      "  --repro FILE       re-run a saved repro file instead of generating\n"
+      "\n"
+      "matrix:\n"
+      "  --jobs LIST        comma list of worker counts    (default 0,1,2,4)\n"
+      "  --no-trace         drop the tracing-on runs\n"
+      "  --no-faults        drop the fault-plan runs\n"
+      "  --time-cap MS      per-run simulated time cap     (default 20)\n"
+      "\n"
+      "failure handling:\n"
+      "  --no-shrink        report the divergence without minimising it\n"
+      "  --out DIR          directory for repro files      (default .)\n"
+      "  --inject-ref-bug   plant a known bug in the golden model; the\n"
+      "                     sweep must then FIND it (harness self-test)\n"
+      "  --help, -h         this message\n"
+      "\n"
+      "exit status: 0 = all seeds agree, 1 = divergence found.\n");
+}
+
+std::vector<int> parse_jobs(const std::string& arg) {
+  std::vector<int> jobs;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    jobs.push_back(std::atoi(arg.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  if (jobs.empty()) throw swallow::Error("--jobs: empty list");
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+
+  std::uint64_t seeds = 50;
+  std::uint64_t first_seed = 1;
+  bool single_seed = false;
+  std::string repro_path;
+  std::string out_dir = ".";
+  bool do_shrink = true;
+  bool dump = false;
+  DifferOptions opts;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error(a + ": missing argument");
+        return argv[++i];
+      };
+      if (a == "--seeds") {
+        seeds = std::strtoull(next().c_str(), nullptr, 10);
+      } else if (a == "--first-seed") {
+        first_seed = std::strtoull(next().c_str(), nullptr, 10);
+      } else if (a == "--seed") {
+        first_seed = std::strtoull(next().c_str(), nullptr, 10);
+        seeds = 1;
+        single_seed = true;
+      } else if (a == "--repro") {
+        repro_path = next();
+      } else if (a == "--jobs") {
+        opts.jobs = parse_jobs(next());
+      } else if (a == "--no-trace") {
+        opts.with_tracing = false;
+      } else if (a == "--no-faults") {
+        opts.with_faults = false;
+      } else if (a == "--time-cap") {
+        opts.time_cap = milliseconds(std::atof(next().c_str()));
+      } else if (a == "--no-shrink") {
+        do_shrink = false;
+      } else if (a == "--out") {
+        out_dir = next();
+      } else if (a == "--dump") {
+        dump = true;
+      } else if (a == "--inject-ref-bug") {
+        opts.inject_ref_bug = kRefBugAddOddOperands;
+      } else if (a == "--help" || a == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "swallow_check: unknown flag '%s'\n", a.c_str());
+        usage();
+        return 2;
+      }
+    }
+
+    // ---- repro mode ----
+    if (!repro_path.empty()) {
+      const SourceSet s = parse_repro(read_file(repro_path));
+      std::printf("re-running repro %s (seed %llu, %zu core(s))...\n",
+                  repro_path.c_str(),
+                  static_cast<unsigned long long>(s.seed), s.sources.size());
+      const DiffResult d = run_differential(s, opts);
+      if (d.diverged()) {
+        std::printf("DIVERGENCE: %s\n", d.divergence.c_str());
+        return 1;
+      }
+      std::printf("repro agrees across %zu configurations.\n",
+                  d.runs.size());
+      return 0;
+    }
+
+    // ---- sweep mode ----
+    std::uint64_t checked = 0;
+    for (std::uint64_t seed = first_seed; seed < first_seed + seeds; ++seed) {
+      const GenProgram prog = differ_generate(seed);
+      const SourceSet sources = render_sources(prog);
+      if (dump) std::fputs(format_repro(sources, "").c_str(), stdout);
+      DiffResult d = run_differential(sources, opts);
+      ++checked;
+      if (single_seed) {
+        std::printf("seed %llu: %zu core(s), %zu unit(s), %zu run(s), %s\n",
+                    static_cast<unsigned long long>(seed),
+                    sources.sources.size(), prog.units.size(), d.runs.size(),
+                    d.diverged() ? "DIVERGED" : "agree");
+      } else if (checked % 50 == 0) {
+        std::printf("...%llu/%llu seeds agree\n",
+                    static_cast<unsigned long long>(checked),
+                    static_cast<unsigned long long>(seeds));
+        std::fflush(stdout);
+      }
+      if (!d.diverged()) continue;
+
+      std::printf("seed %llu DIVERGED: %s\n",
+                  static_cast<unsigned long long>(seed),
+                  d.divergence.c_str());
+
+      SourceSet repro = sources;
+      std::string divergence = d.divergence;
+      if (do_shrink) {
+        ShrinkOptions sopts;
+        sopts.differ = opts;
+        const ShrinkResult sr = shrink_program(prog, sopts);
+        if (sr.reproduced) {
+          repro = sr.sources;
+          divergence = sr.divergence;
+          std::printf(
+              "shrunk to %d instruction(s) in %d differential run(s)\n",
+              sr.instruction_count, sr.attempts);
+        }
+      }
+
+      const std::string path = strprintf(
+          "%s/swallow_check_repro_seed%llu.s", out_dir.c_str(),
+          static_cast<unsigned long long>(seed));
+      write_file(path, format_repro(repro, divergence));
+      std::printf("repro written: %s\n", path.c_str());
+      std::printf("re-run with: swallow_check --repro %s%s%s\n", path.c_str(),
+                  opts.with_faults ? "" : " --no-faults",
+                  opts.inject_ref_bug != kRefBugNone ? " --inject-ref-bug"
+                                                     : "");
+      return 1;
+    }
+    std::printf("%llu seed(s) agree across the full configuration matrix.\n",
+                static_cast<unsigned long long>(checked));
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "swallow_check: %s\n", e.what());
+    return 2;
+  }
+}
