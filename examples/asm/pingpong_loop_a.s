@@ -1,0 +1,19 @@
+# Looping ping: 5000 round trips to node 1 chanend 2 (~3.5 ms of simulated
+# time), then print the last echoed word.  Long enough that a checkpointed
+# run interrupted at --time 1 leaves real work for --resume to finish —
+# the CI kill-and-resume soak pairs this with pingpong_loop_b.s.
+    getr  r0, 2
+    ldc   r1, 1
+    ldch  r1, 2
+    setd  r0, r1
+    ldc   r4, 5000
+loop:
+    out   r0, r4
+    outct r0, 1
+    in    r3, r0
+    chkct r0, 1
+    ldc   r5, 1
+    sub   r4, r4, r5
+    bt    r4, loop
+    printi r3
+    texit

@@ -1,0 +1,15 @@
+# Looping pong: echo 5000 words back to node 0 chanend 2.
+    getr  r0, 2
+    ldc   r1, 0
+    ldch  r1, 2
+    setd  r0, r1
+    ldc   r4, 5000
+loop:
+    in    r2, r0
+    chkct r0, 1
+    out   r0, r2
+    outct r0, 1
+    ldc   r5, 1
+    sub   r4, r4, r5
+    bt    r4, loop
+    texit

@@ -20,6 +20,7 @@
 
 #include "arch/comm.h"
 #include "arch/resource.h"
+#include "common/stateio.h"
 #include "noc/token.h"
 
 namespace swallow {
@@ -84,6 +85,28 @@ class Chanend : public TokenReceiver {
   /// One-shot wake callbacks armed by a blocking core thread.
   void arm_readable(std::function<void()> cb) { on_readable_ = std::move(cb); }
   void arm_writable(std::function<void()> cb) { on_writable_ = std::move(cb); }
+
+  /// Snapshot: architectural state + both FIFOs.  Wiring (out port, drain
+  /// subscriptions) and one-shot wake callbacks are re-established by the
+  /// owning core on restore.
+  void save_state(StateWriter& w) const {
+    w.b(allocated_);
+    w.u32(id_);
+    w.u32(dest_);
+    w.b(route_open_);
+    w.seq(out_fifo_, [&](const Token& t) { save_token(w, t); });
+    w.seq(in_fifo_, [&](const Token& t) { save_token(w, t); });
+  }
+  void load_state(StateReader& r) {
+    allocated_ = r.b();
+    id_ = r.u32();
+    dest_ = r.u32();
+    route_open_ = r.b();
+    out_fifo_.clear();
+    in_fifo_.clear();
+    r.seq([&](std::uint32_t) { out_fifo_.push_back(load_token(r)); });
+    r.seq([&](std::uint32_t) { in_fifo_.push_back(load_token(r)); });
+  }
 
  private:
   void drain_out();

@@ -231,11 +231,12 @@ void Core::schedule_issue() {
   }
   issue_scheduled_ = true;
   issue_scheduled_at_ = earliest;
-  issue_event_ = sim_.at(earliest, [this] {
-    issue_scheduled_ = false;
-    issue_scheduled_at_ = kTimeNever;
-    do_issue();
-  });
+  issue_event_ = sim_.at(
+      earliest, EventDesc{EventKind::kCoreIssue, cfg_.node_id}, [this] {
+        issue_scheduled_ = false;
+        issue_scheduled_at_ = kTimeNever;
+        do_issue();
+      });
 }
 
 int Core::pick_thread(TimePs now) {
@@ -676,7 +677,10 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
       const TimePs ref_period = period_ps(kReferenceClockMhz);
       const TimePs wake_at =
           (sim_.now() / ref_period + delta) * ref_period;
-      sim_.at(wake_at, [this, tid] { wake(tid); });
+      sim_.at(wake_at,
+              EventDesc{EventKind::kCoreTimerWake, cfg_.node_id,
+                        static_cast<std::uint32_t>(tid)},
+              [this, tid] { wake(tid); });
       return Exec::kBlocked;
     }
     case Opcode::kSetfreq: {
@@ -725,7 +729,10 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
         if (delta > 0) {
           const TimePs ref_period = period_ps(kReferenceClockMhz);
           const TimePs wake_at = (sim_.now() / ref_period + delta) * ref_period;
-          sim_.at(wake_at, [this, tid] { wake(tid); });
+          sim_.at(wake_at,
+                  EventDesc{EventKind::kCoreTimerWake, cfg_.node_id,
+                            static_cast<std::uint32_t>(tid)},
+                  [this, tid] { wake(tid); });
           return Exec::kBlocked;
         }
       }
@@ -1323,6 +1330,214 @@ Core::Exec Core::exec_comm(int tid, const Instruction& ins) {
       invariant(false, "exec_comm: unexpected opcode");
   }
   return Exec::kNext;
+}
+
+// ---------------------------------------------------------------- snapshot
+
+void Core::save_state(StateWriter& w) const {
+  clock_.save_state(w);
+  w.f64(voltage_);
+  w.u32(static_cast<std::uint32_t>(sram_.size()));
+  w.bytes(sram_.data(), sram_.size());
+  for (const ThreadCtx& t : threads_) {
+    w.u8(static_cast<std::uint8_t>(t.state));
+    for (std::uint32_t reg : t.regs) w.u32(reg);
+    w.u32(t.pc);
+    w.i64(t.ready_at);
+    w.u32(static_cast<std::uint32_t>(t.sync));
+    w.b(t.ssync_waiting);
+    w.b(t.sync_release_pending);
+    w.u64(t.retired);
+    w.u8(static_cast<std::uint8_t>(t.wait_kind));
+    w.u32(t.wait_resource);
+  }
+  for (const Chanend& ce : chanends_) ce.save_state(w);
+  for (const SyncRes& s : syncs_) {
+    w.b(s.allocated);
+    w.u32(static_cast<std::uint32_t>(s.master));
+    w.seq(s.slaves, [&](int tid) { w.u32(static_cast<std::uint32_t>(tid)); });
+    w.b(s.master_msync_waiting);
+    w.b(s.master_join_waiting);
+  }
+  for (const LockRes& l : locks_) {
+    w.b(l.allocated);
+    w.b(l.held);
+    w.seq(l.waiters, [&](int tid) { w.u32(static_cast<std::uint32_t>(tid)); });
+  }
+  for (const TimerRes& t : timers_) w.b(t.allocated);
+  for (const PortRes& p : ports_) {
+    w.b(p.allocated);
+    w.u32(static_cast<std::uint32_t>(p.out_level));
+    w.b(p.input_level);
+    w.seq(p.waveform, [&](const PortEdge& e) {
+      w.i64(e.time);
+      w.u32(static_cast<std::uint32_t>(e.level));
+    });
+  }
+  w.u8(static_cast<std::uint8_t>(trap_.kind));
+  w.u32(static_cast<std::uint32_t>(trap_.thread));
+  w.u32(trap_.pc);
+  w.str(trap_.message);
+  w.b(started_);
+  w.b(frozen_);
+  w.i64(core_free_at_);
+  w.u32(static_cast<std::uint32_t>(rr_next_));
+  w.u8(static_cast<std::uint8_t>(prev_class_));
+  w.u64(retired_total_);
+  for (std::uint64_t n : retired_by_class_) w.u64(n);
+  w.str(console_);
+  for (std::uint16_t span : obs_span_) w.u16(span);
+  w.seq(symbols_, [&](const std::pair<std::uint32_t, std::string>& s) {
+    w.u32(s.first);
+    w.str(s.second);
+  });
+  baseline_trace_.save_state(w);
+  instr_trace_.save_state(w);
+}
+
+void Core::load_state(StateReader& r) {
+  clock_.load_state(r);
+  voltage_ = r.f64();
+  if (r.u32() != sram_.size()) {
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot: core SRAM size mismatch");
+  }
+  r.bytes(sram_.data(), sram_.size());
+  for (ThreadCtx& t : threads_) {
+    t.state = static_cast<ThreadState>(r.u8());
+    for (std::uint32_t& reg : t.regs) reg = r.u32();
+    t.pc = r.u32();
+    t.ready_at = r.i64();
+    t.sync = static_cast<std::int32_t>(r.u32());
+    t.ssync_waiting = r.b();
+    t.sync_release_pending = r.b();
+    t.retired = r.u64();
+    t.wait_kind = static_cast<WaitKind>(r.u8());
+    t.wait_resource = r.u32();
+  }
+  for (Chanend& ce : chanends_) ce.load_state(r);
+  for (SyncRes& s : syncs_) {
+    s.allocated = r.b();
+    s.master = static_cast<std::int32_t>(r.u32());
+    s.slaves.clear();
+    r.seq([&](std::uint32_t) {
+      s.slaves.push_back(static_cast<std::int32_t>(r.u32()));
+    });
+    s.master_msync_waiting = r.b();
+    s.master_join_waiting = r.b();
+  }
+  for (LockRes& l : locks_) {
+    l.allocated = r.b();
+    l.held = r.b();
+    l.waiters.clear();
+    r.seq([&](std::uint32_t) {
+      l.waiters.push_back(static_cast<std::int32_t>(r.u32()));
+    });
+  }
+  for (TimerRes& t : timers_) t.allocated = r.b();
+  for (PortRes& p : ports_) {
+    p.allocated = r.b();
+    p.out_level = static_cast<std::int32_t>(r.u32());
+    p.input_level = r.b();
+    p.waveform.clear();
+    r.seq([&](std::uint32_t) {
+      PortEdge e;
+      e.time = r.i64();
+      e.level = static_cast<std::int32_t>(r.u32());
+      p.waveform.push_back(e);
+    });
+  }
+  trap_.kind = static_cast<TrapKind>(r.u8());
+  trap_.thread = static_cast<std::int32_t>(r.u32());
+  trap_.pc = r.u32();
+  trap_.message = r.str();
+  started_ = r.b();
+  frozen_ = r.b();
+  core_free_at_ = r.i64();
+  rr_next_ = static_cast<std::int32_t>(r.u32());
+  prev_class_ = static_cast<InstrClass>(r.u8());
+  retired_total_ = r.u64();
+  for (std::uint64_t& n : retired_by_class_) n = r.u64();
+  console_ = r.str();
+  for (std::uint16_t& span : obs_span_) span = r.u16();
+  symbols_.clear();
+  r.seq([&](std::uint32_t) {
+    const std::uint32_t addr = r.u32();
+    symbols_.emplace_back(addr, r.str());
+  });
+  baseline_trace_.load_state(r);
+  instr_trace_.load_state(r);
+  // Pending issue/timer events come back through restore_event(); start
+  // from a clean scheduling slate.
+  issue_scheduled_ = false;
+  issue_scheduled_at_ = kTimeNever;
+  issue_event_ = EventHandle{};
+}
+
+void Core::restore_event(const LiveEvent& ev) {
+  switch (ev.desc.kind) {
+    case EventKind::kCoreIssue:
+      issue_scheduled_ = true;
+      issue_scheduled_at_ = ev.time;
+      issue_event_ = sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc, [this] {
+        issue_scheduled_ = false;
+        issue_scheduled_at_ = kTimeNever;
+        do_issue();
+      });
+      return;
+    case EventKind::kCoreTimerWake: {
+      const int tid = static_cast<int>(ev.desc.a);
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, tid] { wake(tid); });
+      return;
+    }
+    default:
+      invariant(false, "Core::restore_event: not a core event");
+  }
+}
+
+void Core::rearm_blocked_waits() {
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.state != ThreadState::kBlocked) continue;
+    if (t.wait_kind != WaitKind::kChanOut && t.wait_kind != WaitKind::kChanIn)
+      continue;  // lock/sync wakes come from peer threads; timers are events
+    // The blocked instruction is still at pc (a blocked thread does not
+    // advance), so decoding it recovers exactly which chanend(s) the
+    // pre-checkpoint run had armed.
+    const Instruction ins = decode(load_word(t.pc * 4));
+    const auto& R = t.regs;
+    auto arm_read = [&](std::uint32_t res) {
+      if (Chanend* ce = find_chanend(res)) {
+        ce->arm_readable([this, tid] { wake(tid); });
+      }
+    };
+    auto arm_write = [&](std::uint32_t res) {
+      if (Chanend* ce = find_chanend(res)) {
+        ce->arm_writable([this, tid] { wake(tid); });
+      }
+    };
+    switch (ins.op) {
+      case Opcode::kOut:
+      case Opcode::kOutt:
+      case Opcode::kOutct:
+        arm_write(R[ins.ra]);
+        break;
+      case Opcode::kIn:
+      case Opcode::kInt:
+        arm_read(R[ins.rb]);
+        break;
+      case Opcode::kChkct:
+        arm_read(R[ins.ra]);
+        break;
+      case Opcode::kSel2:
+        arm_read(R[ins.rb]);
+        arm_read(R[ins.rc]);
+        break;
+      default:
+        break;
+    }
+  }
 }
 
 }  // namespace swallow

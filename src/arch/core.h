@@ -34,11 +34,13 @@
 #include "arch/resource.h"
 #include "arch/tracing.h"
 #include "arch/trap.h"
+#include "common/stateio.h"
 #include "common/units.h"
 #include "energy/core_power.h"
 #include "energy/ledger.h"
 #include "energy/params.h"
 #include "sim/clock.h"
+#include "sim/event_desc.h"
 #include "sim/simulator.h"
 
 namespace swallow {
@@ -226,6 +228,23 @@ class Core {
   Joules energy_consumed() const {
     return baseline_trace_.total() + instr_trace_.total();
   }
+
+  // ----- Snapshot (src/snap/) -----
+  /// Serialize the complete architectural + accounting state.  Wiring
+  /// (simulator, hooks, observability sinks) is not written; pending events
+  /// are captured separately via the simulator's event-descriptor walk.
+  void save_state(StateWriter& w) const;
+  /// Restore state saved by save_state() into a freshly built core with an
+  /// identical Config.  Clears any scheduled-issue bookkeeping; pending
+  /// events come back through restore_event().
+  void load_state(StateReader& r);
+  /// Re-inject one of this core's pending events (kCoreIssue /
+  /// kCoreTimerWake) with its original queue keys.
+  void restore_event(const LiveEvent& ev);
+  /// Re-arm the one-shot chanend wake callbacks for every thread blocked on
+  /// channel I/O, by decoding the blocked instruction at its pc.  Call
+  /// after load_state() once chanends are restored.
+  void rearm_blocked_waits();
 
  private:
   enum class ThreadState : std::uint8_t {

@@ -38,6 +38,20 @@ class BootRom : public TokenReceiver {
   std::uint64_t bytes_written() const { return bytes_written_; }
   bool started() const { return started_; }
 
+  /// Snapshot: the partially-assembled command buffer plus counters.  The
+  /// core pointer and drain subscriptions are wiring.
+  void save_state(StateWriter& w) const {
+    w.seq(buffer_, [&](std::uint8_t b) { w.u8(b); });
+    w.u64(bytes_written_);
+    w.b(started_);
+  }
+  void load_state(StateReader& r) {
+    buffer_.clear();
+    r.seq([&](std::uint32_t) { buffer_.push_back(r.u8()); });
+    bytes_written_ = r.u64();
+    started_ = r.b();
+  }
+
  private:
   void apply();
 

@@ -36,7 +36,7 @@ void EthernetBridge::pump() {
   const TimePs now = sim_.now();
   if (now < next_emit_) {
     pump_scheduled_ = true;
-    sim_.at(next_emit_, [this] {
+    sim_.at(next_emit_, EventDesc{EventKind::kBridgePump, node_}, [this] {
       pump_scheduled_ = false;
       pump();
     });
@@ -49,7 +49,7 @@ void EthernetBridge::pump() {
     next_emit_ = sim_.now() + token_interval_;
     if (!tx_queue_.empty()) {
       pump_scheduled_ = true;
-      sim_.at(next_emit_, [this] {
+      sim_.at(next_emit_, EventDesc{EventKind::kBridgePump, node_}, [this] {
         pump_scheduled_ = false;
         pump();
       });
@@ -57,6 +57,35 @@ void EthernetBridge::pump() {
     return;  // one token per pacing interval
   }
   // Queue non-empty but port full: the space subscription re-drives us.
+}
+
+void EthernetBridge::save_state(StateWriter& w) const {
+  w.seq(tx_queue_, [&](const Token& t) { save_token(w, t); });
+  w.i64(next_emit_);
+  w.b(pump_scheduled_);
+  w.seq(rx_buffer_, [&](std::uint8_t b) { w.u8(b); });
+  w.u64(bytes_to_host_);
+  w.u64(bytes_from_host_);
+}
+
+void EthernetBridge::load_state(StateReader& r) {
+  tx_queue_.clear();
+  r.seq([&](std::size_t) { tx_queue_.push_back(load_token(r)); });
+  next_emit_ = r.i64();
+  pump_scheduled_ = r.b();
+  rx_buffer_.clear();
+  r.seq([&](std::size_t) { rx_buffer_.push_back(r.u8()); });
+  bytes_to_host_ = r.u64();
+  bytes_from_host_ = r.u64();
+}
+
+void EthernetBridge::restore_event(const LiveEvent& ev) {
+  invariant(ev.desc.kind == EventKind::kBridgePump,
+            "EthernetBridge: unexpected event kind");
+  sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc, [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
 }
 
 void EthernetBridge::receive(const Token& t) {

@@ -15,8 +15,10 @@
 
 #include "arch/comm.h"
 #include "arch/resource.h"
+#include "common/stateio.h"
 #include "energy/ledger.h"
 #include "noc/network.h"
+#include "sim/event_desc.h"
 #include "sim/simulator.h"
 
 namespace swallow {
@@ -60,6 +62,13 @@ class EthernetBridge : public TokenReceiver {
   void subscribe_drain(std::function<void()> cb) override {
     drain_subs_.push_back(std::move(cb));
   }
+
+  // ----- Snapshot (src/snap/) -----
+  /// Host-side transfer state only; the bridge's switch is saved separately.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+  /// Re-inject a pending pacing wake-up with its original queue keys.
+  void restore_event(const LiveEvent& ev);
 
  private:
   void pump();

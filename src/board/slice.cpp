@@ -116,6 +116,28 @@ void Slice::settle_energy(TimePs now) {
   support_->settle(now);
 }
 
+void Slice::save_state(StateWriter& w) const {
+  for (const NodeSlot& slot : nodes_) {
+    slot.core->save_state(w);
+    slot.sw->save_state(w);
+    slot.rom->save_state(w);
+    slot.ni_static->save_state(w);
+  }
+  support_->save_state(w);
+  sampler_->save_state(w);
+}
+
+void Slice::load_state(StateReader& r) {
+  for (NodeSlot& slot : nodes_) {
+    slot.core->load_state(r);
+    slot.sw->load_state(r);
+    slot.rom->load_state(r);
+    slot.ni_static->load_state(r);
+  }
+  support_->load_state(r);
+  sampler_->load_state(r);
+}
+
 Watts Slice::cores_power() const {
   Watts p = 0;
   for (const NodeSlot& slot : nodes_) p += slot.core->current_power();

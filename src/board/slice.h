@@ -112,6 +112,13 @@ class Slice {
   /// ~4.5 W/slice).
   Watts input_power() const { return supplies_.input_power(); }
 
+  // ----- Snapshot (src/snap/) -----
+  /// Serialises the sixteen nodes (core, switch, boot ROM, NI static
+  /// trace), the board-support trace, and the ADC sampler.  Supplies and
+  /// rails are pure wiring (instantaneous sums) and carry no state.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
  private:
   struct NodeSlot {
     std::unique_ptr<Core> core;

@@ -80,6 +80,8 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
       const auto idx = slices_.size();
       slices_.push_back(std::make_unique<Slice>(
           slice_sim(idx), *slice_ledgers_[idx], *net_, router_for, scfg));
+      // Event descriptors identify each slice's ADC by flat row-major index.
+      slices_.back()->sampler().set_snap_node(static_cast<std::uint16_t>(idx));
     }
   }
 
@@ -473,7 +475,10 @@ void SwallowSystem::enable_loss_integration(TimePs period) {
   // Each slice integrates its own losses into its own ledger, on its own
   // event domain — identical totals under either engine.
   for (std::size_t i = 0; i < slices_.size(); ++i) {
-    slice_sim(i).after(loss_period_, [this, i] { integrate_slice_losses(i); });
+    slice_sim(i).after(
+        loss_period_,
+        EventDesc{EventKind::kLossIntegrate, static_cast<std::uint16_t>(i)},
+        [this, i] { integrate_slice_losses(i); });
   }
 }
 
@@ -545,8 +550,88 @@ void SwallowSystem::integrate_slice_losses(std::size_t idx) {
   const Watts loss = slices_[idx]->supplies().conversion_loss();
   slice_ledgers_[idx]->add(EnergyAccount::kDcDcIo,
                            energy_over(loss, loss_period_));
-  slice_sim(idx).after(loss_period_,
-                       [this, idx] { integrate_slice_losses(idx); });
+  slice_sim(idx).after(
+      loss_period_,
+      EventDesc{EventKind::kLossIntegrate, static_cast<std::uint16_t>(idx)},
+      [this, idx] { integrate_slice_losses(idx); });
+}
+
+// ---- Snapshot (src/snap/) ----
+
+void SwallowSystem::save_state(StateWriter& w) const {
+  system_ledger_.save_state(w);
+  for (const auto& l : slice_ledgers_) l->save_state(w);
+  for (const auto& l : bridge_ledgers_) l->save_state(w);
+  for (const auto& s : slices_) s->save_state(w);
+  for (const auto& b : bridges_) {
+    b->save_state(w);
+    b->bridge_switch().save_state(w);
+  }
+  w.i64(loss_period_);
+  w.i64(obs_last_sample_);
+}
+
+void SwallowSystem::load_state(StateReader& r) {
+  system_ledger_.load_state(r);
+  for (const auto& l : slice_ledgers_) l->load_state(r);
+  for (const auto& l : bridge_ledgers_) l->load_state(r);
+  for (const auto& s : slices_) s->load_state(r);
+  for (const auto& b : bridges_) {
+    b->load_state(r);
+    b->bridge_switch().load_state(r);
+  }
+  loss_period_ = r.i64();
+  obs_last_sample_ = r.i64();
+}
+
+void SwallowSystem::restore_event(const LiveEvent& ev) {
+  switch (ev.desc.kind) {
+    case EventKind::kCoreIssue:
+    case EventKind::kCoreTimerWake: {
+      Core* c = find_core(ev.desc.node);
+      invariant(c != nullptr, "snapshot: live event names an unknown core");
+      c->restore_event(ev);
+      return;
+    }
+    case EventKind::kSwitchInject:
+    case EventKind::kSwitchProcess:
+    case EventKind::kSwitchLinkNak:
+    case EventKind::kSwitchLinkAck:
+    case EventKind::kSwitchCredit:
+    case EventKind::kSwitchResendStep:
+    case EventKind::kSwitchRetryTimeout:
+    case EventKind::kSwitchLinkDeliver:
+    case EventKind::kSwitchProcDeliver: {
+      Switch* sw = net_->find_switch(ev.desc.node);
+      invariant(sw != nullptr, "snapshot: live event names an unknown switch");
+      sw->restore_event(ev);
+      return;
+    }
+    case EventKind::kBridgePump: {
+      for (auto& b : bridges_) {
+        if (b->node_id() == ev.desc.node) {
+          b->restore_event(ev);
+          return;
+        }
+      }
+      invariant(false, "snapshot: live event names an unknown bridge");
+      return;
+    }
+    case EventKind::kSamplerTick: {
+      slices_.at(ev.desc.node)->sampler().restore_event(ev);
+      return;
+    }
+    case EventKind::kLossIntegrate: {
+      const std::size_t idx = ev.desc.node;
+      invariant(idx < slices_.size(),
+                "snapshot: loss-integration event names an unknown slice");
+      slice_sim(idx).inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                            [this, idx] { integrate_slice_losses(idx); });
+      return;
+    }
+    default:
+      invariant(false, "snapshot: event kind not owned by SwallowSystem");
+  }
 }
 
 }  // namespace swallow

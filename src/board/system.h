@@ -214,6 +214,29 @@ class SwallowSystem {
   /// samples.
   SystemDiagnosis diagnose_report();
 
+  // ----- Snapshot (src/snap/) -----
+  /// Serialise the complete machine state (ledgers, slices, bridges,
+  /// loss-integration progress, observability sample cursor).  Event-queue
+  /// contents are saved separately by the snapshot orchestrator via each
+  /// domain's Simulator.  The machine must be at a run_until chop point.
+  void save_state(StateWriter& w) const;
+  /// Mirror of save_state into a freshly built system with an *identical*
+  /// SystemConfig (the orchestrator verifies the config hash first).
+  void load_state(StateReader& r);
+  /// Re-inject one live machine event (anything except kFault*, which the
+  /// FaultInjector owns) into the owning component with its original queue
+  /// keys.
+  void restore_event(const LiveEvent& ev);
+  /// Number of event domains to snapshot: the host Simulator plus (under
+  /// the parallel engine) one per slice.  domain_sim(0) is always the host
+  /// Simulator; domain_sim(1 + i) is slice i's domain, row-major.
+  int domain_count() const {
+    return 1 + (engine_ != nullptr ? static_cast<int>(slices_.size()) : 0);
+  }
+  Simulator& domain_sim(int i) {
+    return i == 0 ? sim_ : slice_sim(static_cast<std::size_t>(i - 1));
+  }
+
  private:
   Simulator& slice_sim(std::size_t idx);
   void integrate_slice_losses(std::size_t idx);

@@ -1,0 +1,234 @@
+#include "check/snapdiff.h"
+
+#include <memory>
+#include <span>
+
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "check/ref_isa.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
+
+namespace swallow {
+namespace {
+
+// Same machine and fault-schedule conventions as differ.cpp's run_config:
+// the 2x2-slice 64-core board, reliable links so faults stay recoverable,
+// a permanent low-rate corruption window on the first program core plus a
+// bounded outage on the second.
+FaultPlan snap_fault_plan(std::uint64_t seed,
+                          const std::vector<NodeId>& nodes) {
+  FaultPlan plan;
+  plan.seed = seed ^ 0x5AFE'F00Dull;
+  plan.corrupt_link(nodes.at(0), -1, 0.02);
+  if (nodes.size() >= 2) {
+    plan.link_outage(nodes.at(1), -1, microseconds(5.0), microseconds(20.0));
+  }
+  return plan;
+}
+
+// One complete machine: session first so the models' Track* stay valid
+// through ~SwallowSystem.  Construction leaves it unstarted and unarmed —
+// exactly what restore_machine() needs; start() is the fresh-run path.
+struct Rig {
+  TraceSession session;
+  Simulator sim;
+  SwallowSystem sys;
+  std::unique_ptr<FaultInjector> injector;
+  std::vector<Core*> cores;
+  bool attached = false;
+
+  Rig(const SourceSet& s, int jobs, bool tracing, bool faults)
+      : session(tracing
+                    ? TraceConfig{.tracing = true, .metrics = true,
+                                  .profile = true}
+                    : TraceConfig{}),
+        sim(),
+        sys(sim, [&] {
+          SystemConfig scfg;
+          scfg.slices_x = 2;
+          scfg.slices_y = 2;
+          scfg.reliable_links = true;
+          scfg.jobs = jobs;
+          return scfg;
+        }()) {
+    if (tracing) {
+      sys.attach_observability(session);
+      attached = true;
+    }
+    std::vector<NodeId> nodes;
+    for (int idx : s.core_indices) {
+      cores.push_back(&sys.core_by_index(idx));
+      nodes.push_back(cores.back()->node_id());
+    }
+    if (faults) {
+      injector =
+          std::make_unique<FaultInjector>(sys, snap_fault_plan(s.seed, nodes));
+    }
+  }
+
+  SnapTargets targets() {
+    return SnapTargets{&sys, attached ? &session : nullptr, injector.get()};
+  }
+
+  void start(const SourceSet& s) {
+    if (injector) injector->arm();
+    for (std::size_t i = 0; i < cores.size(); ++i) {
+      const Image image = assemble(s.sources[i]);
+      cores[i]->load(image);
+      cores[i]->start(image.entry);
+    }
+    sys.start_sampling();
+  }
+
+  void run_to(TimePs target, TimePs step) {
+    TimePs t = sys.now();
+    while (t < target) {
+      t = std::min<TimePs>(t + step, target);
+      sys.run_until(t);
+    }
+  }
+};
+
+constexpr SnapSection kAllSections[] = {
+    SnapSection::kMeta, SnapSection::kSystem, SnapSection::kEvents,
+    SnapSection::kObs, SnapSection::kFault};
+
+std::string compare_snapshots(const SnapshotFile& a, const SnapshotFile& b) {
+  for (SnapSection sct : kAllSections) {
+    const std::vector<std::uint8_t>* pa = a.find(sct);
+    const std::vector<std::uint8_t>* pb = b.find(sct);
+    if ((pa == nullptr) != (pb == nullptr)) {
+      return strprintf("section '%s' present in %s run only",
+                       snap_section_name(sct),
+                       pa != nullptr ? "the uninterrupted" : "the restored");
+    }
+    if (pa == nullptr || *pa == *pb) continue;
+    std::size_t i = 0;
+    const std::size_t n = std::min(pa->size(), pb->size());
+    while (i < n && (*pa)[i] == (*pb)[i]) ++i;
+    return strprintf(
+        "section '%s' differs at byte %zu (sizes %zu vs %zu): state is not "
+        "bit-identical after restore",
+        snap_section_name(sct), i, pa->size(), pb->size());
+  }
+  return "";
+}
+
+std::uint64_t machine_digest(Rig& rig) {
+  const std::vector<std::uint8_t> image = save_machine(rig.targets()).encode();
+  return fnv1a64(image.data(), image.size());
+}
+
+void plant_divergence(Rig& rig) {
+  // A single flipped data word high in the first program core's SRAM: it
+  // perturbs nothing the program reads, but every snapshot taken at or
+  // after the poke carries it — the monotone divergence bisection needs.
+  Core& core = *rig.cores.at(0);
+  const std::uint32_t addr =
+      static_cast<std::uint32_t>(core.sram_bytes() - 4);
+  const std::uint8_t bytes[4] = {0xEF, 0xBE, 0xAD, 0xDE};
+  core.poke(addr, std::span<const std::uint8_t>(bytes, 4));
+}
+
+}  // namespace
+
+std::string snap_roundtrip(const SourceSet& s,
+                           const SnapRoundtripOptions& opts) {
+  require(!s.sources.empty(), "snap_roundtrip: empty workload");
+  const TimePs full = 2 * opts.half;
+
+  // Uninterrupted reference: 0 -> 2T in one machine.
+  Rig a(s, opts.jobs, opts.tracing, opts.faults);
+  a.start(s);
+  a.run_to(full, opts.step);
+  const SnapshotFile final_a = save_machine(a.targets());
+
+  // Interrupted run: 0 -> T, snapshot through the full file encoding...
+  Rig b(s, opts.jobs, opts.tracing, opts.faults);
+  b.start(s);
+  b.run_to(opts.half, opts.step);
+  const SnapshotFile mid = SnapshotFile::decode(save_machine(b.targets()).encode());
+
+  // ...restored into a freshly built machine, then T -> 2T.
+  Rig c(s, opts.jobs, opts.tracing, opts.faults);
+  restore_machine(mid, c.targets());
+  if (c.sys.now() != opts.half) {
+    return strprintf("restored machine resumed at %lld ps, snapshot was at "
+                     "%lld ps",
+                     static_cast<long long>(c.sys.now()),
+                     static_cast<long long>(opts.half));
+  }
+  c.run_to(full, opts.step);
+  const SnapshotFile final_c = save_machine(c.targets());
+
+  if (final_a.config_hash != final_c.config_hash) {
+    return "final config hashes differ";
+  }
+  const std::string diff = compare_snapshots(final_a, final_c);
+  if (!diff.empty()) return diff;
+
+  // The rendered telemetry must match too, not just the internal state.
+  if (opts.tracing &&
+      a.session.chrome_json() != c.session.chrome_json()) {
+    return "trace JSON differs between uninterrupted and restored runs";
+  }
+  return "";
+}
+
+TimeBisectResult time_bisect(const SourceSet& s,
+                             const TimeBisectOptions& opts) {
+  require(opts.interval > 0, "time_bisect: interval must be positive");
+  const int n = static_cast<int>(opts.horizon / opts.interval);
+  require(n >= 1, "time_bisect: horizon shorter than one interval");
+
+  // Reference and subject runs, checkpoint digests every interval.  The
+  // subject plants its divergence at the first chop point >= plant_at.
+  std::vector<std::uint64_t> ref_digests, sub_digests;
+  for (int pass = 0; pass < 2; ++pass) {
+    const bool subject = pass == 1;
+    Rig rig(s, opts.jobs, opts.tracing, opts.faults);
+    rig.start(s);
+    bool planted = false;
+    std::vector<std::uint64_t>& out = subject ? sub_digests : ref_digests;
+    for (int k = 1; k <= n; ++k) {
+      rig.run_to(k * opts.interval, opts.interval);
+      if (subject && !planted && opts.plant_at > 0 &&
+          k * opts.interval >= opts.plant_at) {
+        plant_divergence(rig);
+        planted = true;
+      }
+      out.push_back(machine_digest(rig));
+    }
+  }
+
+  TimeBisectResult result;
+  result.checkpoints = n;
+  if (ref_digests == sub_digests) return result;  // no divergence anywhere
+
+  // The divergence is persistent (state snapshots carry it forward), so
+  // the differ/agree boundary is monotone and binary search applies: find
+  // the first index whose digests disagree.
+  int lo = 0, hi = n - 1;  // invariant: first diff in [lo, hi]
+  while (lo < hi) {
+    const int midpoint = lo + (hi - lo) / 2;
+    ++result.probes;
+    if (ref_digests[static_cast<std::size_t>(midpoint)] !=
+        sub_digests[static_cast<std::size_t>(midpoint)]) {
+      hi = midpoint;
+    } else {
+      lo = midpoint + 1;
+    }
+  }
+  result.diverged = true;
+  result.lo = lo * opts.interval;          // digests still agreed here...
+  result.hi = (lo + 1) * opts.interval;    // ...and differ by here
+  return result;
+}
+
+}  // namespace swallow

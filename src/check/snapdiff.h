@@ -1,0 +1,68 @@
+// Snapshot differ (PR 6): proves the checkpoint/restore keystone and
+// drives time-bisection.
+//
+// snap_roundtrip() runs one workload twice: uninterrupted to 2T, and
+// run-to-T / save_machine / encode / decode / restore into a freshly
+// built machine / run-to-2T.  Both finals are rendered back through
+// save_machine and compared section by section, byte by byte — so every
+// register, SRAM word, fifo, energy double, rng stream, metric and trace
+// event must match bit-for-bit, under any engine (--jobs) and with or
+// without an armed fault plan.
+//
+// time_bisect() checkpoints two runs of the same workload — a reference
+// and a subject carrying a planted divergence (an SRAM poke at an unknown
+// time) — every `interval`, then binary-searches the per-checkpoint state
+// digests to localise the first divergent interval.  This is the offline
+// workflow (docs/testing.md §time-bisection) in library form: a soak that
+// went wrong between checkpoints k-1 and k can be re-examined from the
+// k-1 snapshot instead of from t = 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/differ.h"
+#include "common/units.h"
+
+namespace swallow {
+
+struct SnapRoundtripOptions {
+  int jobs = 0;          // SystemConfig::jobs for every machine built
+  bool tracing = true;   // attach a TraceSession (pinned by the config hash)
+  bool faults = true;    // arm the differ's seeded FaultPlan
+  TimePs half = microseconds(200.0);  // T: snapshot point; runs end at 2T
+  TimePs step = microseconds(50.0);   // host chop granularity
+};
+
+/// Returns "" when the restored run's final machine state is bit-identical
+/// to the uninterrupted run's, else a description naming the first
+/// differing section and byte.
+std::string snap_roundtrip(const SourceSet& s,
+                           const SnapRoundtripOptions& opts);
+
+struct TimeBisectOptions {
+  int jobs = 0;
+  bool tracing = false;  // keep bisect probes cheap by default
+  bool faults = true;
+  TimePs interval = microseconds(50.0);  // checkpoint cadence
+  TimePs horizon = microseconds(2000.0);
+  /// When nonzero, the subject run pokes an SRAM word of the first program
+  /// core at the chop point nearest this time (the "unknown" divergence
+  /// the bisection must find).
+  TimePs plant_at = 0;
+};
+
+struct TimeBisectResult {
+  bool diverged = false;
+  /// Divergence localised to (lo, hi] — one checkpoint interval wide.
+  TimePs lo = 0;
+  TimePs hi = 0;
+  int probes = 0;       // digest comparisons the binary search spent
+  int checkpoints = 0;  // snapshots taken per run
+};
+
+TimeBisectResult time_bisect(const SourceSet& s,
+                             const TimeBisectOptions& opts);
+
+}  // namespace swallow

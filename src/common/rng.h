@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "common/stateio.h"
+
 namespace swallow {
 
 /// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
@@ -62,6 +64,13 @@ class Rng {
   }
 
   bool next_bool() { return (next_u64() & 1) != 0; }
+
+  void save_state(StateWriter& w) const {
+    for (std::uint64_t word : state_) w.u64(word);
+  }
+  void load_state(StateReader& r) {
+    for (auto& word : state_) word = r.u64();
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t v, int k) {

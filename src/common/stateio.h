@@ -1,0 +1,185 @@
+// Binary state serialization primitives for the snapshot subsystem
+// (src/snap/, docs/architecture.md §snapshot format).
+//
+// StateWriter appends little-endian fields to a byte buffer; StateReader
+// consumes them with bounds checking and throws a structured SnapError on
+// any malformation — restore must refuse a bad snapshot, never crash or
+// half-apply it.  Doubles are bit-cast through uint64 so energy totals and
+// sampler state round-trip bit-exactly (the keystone identity property).
+//
+// Components implement `save_state(StateWriter&) const` and
+// `load_state(StateReader&)` as mirror-image field lists; the helpers here
+// (sequences, strings, arrays) keep those lists short enough to eyeball for
+// symmetry.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace swallow {
+
+/// Structured refusal from snapshot validation or restore.  Carries a
+/// machine-checkable code alongside the human-readable message so tests and
+/// tools can distinguish "file truncated" from "wrong machine".
+class SnapError : public std::runtime_error {
+ public:
+  enum class Code {
+    kIoError = 1,         // open/read/write/rename/fsync failure
+    kTruncated = 2,       // file shorter than its manifest claims
+    kBadMagic = 3,        // not a snapshot file
+    kBadVersion = 4,      // format version this build cannot read
+    kBadCrc = 5,          // a section's CRC32 does not match its bytes
+    kConfigMismatch = 6,  // snapshot taken on a differently configured machine
+    kMissingSection = 7,  // manifest lacks a required section
+    kUndescribedEvent = 8,  // a pending event has no snapshot descriptor
+    kMalformed = 9,         // section decodes to inconsistent state
+  };
+
+  SnapError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  Code code() const { return code_; }
+  const char* code_name() const { return code_name(code_); }
+
+  static const char* code_name(Code c) {
+    switch (c) {
+      case Code::kIoError: return "io-error";
+      case Code::kTruncated: return "truncated";
+      case Code::kBadMagic: return "bad-magic";
+      case Code::kBadVersion: return "bad-version";
+      case Code::kBadCrc: return "bad-crc";
+      case Code::kConfigMismatch: return "config-mismatch";
+      case Code::kMissingSection: return "missing-section";
+      case Code::kUndescribedEvent: return "undescribed-event";
+      case Code::kMalformed: return "malformed";
+    }
+    return "unknown";
+  }
+
+ private:
+  Code code_;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) over a byte range.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Little-endian append-only byte sink.
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { le(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v)); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void bytes(const std::uint8_t* data, std::size_t size) {
+    buf_.insert(buf_.end(), data, data + size);
+  }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+  /// Length-prefixed sequence: `fn(elem)` writes each element.
+  template <typename Seq, typename Fn>
+  void seq(const Seq& s, Fn&& fn) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    for (const auto& e : s) fn(e);
+  }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte range.
+class StateReader {
+ public:
+  StateReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit StateReader(const std::vector<std::uint8_t>& v)
+      : StateReader(v.data(), v.size()) {}
+
+  std::uint8_t u8() { return take<std::uint8_t>(); }
+  std::uint16_t u16() { return take<std::uint16_t>(); }
+  std::uint32_t u32() { return take<std::uint32_t>(); }
+  std::uint64_t u64() { return take<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  bool b() { return u8() != 0; }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  void bytes(std::uint8_t* out, std::size_t size) {
+    need(size);
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  /// Mirror of StateWriter::seq: returns the element count after clearing
+  /// and refilling is the caller's job via `fn()` per element.
+  template <typename Fn>
+  void seq(Fn&& fn) {
+    const std::uint32_t n = u32();
+    for (std::uint32_t i = 0; i < n; ++i) fn(i);
+  }
+  /// seq() with an expected count; refuses on mismatch (e.g. a snapshot
+  /// from a machine with a different geometry sneaking past the hash).
+  template <typename Fn>
+  void seq_exactly(std::size_t expect, const char* what, Fn&& fn) {
+    const std::uint32_t n = u32();
+    if (n != expect) {
+      throw SnapError(SnapError::Code::kMalformed,
+                      std::string("snapshot: ") + what + " count mismatch");
+    }
+    for (std::uint32_t i = 0; i < n; ++i) fn(i);
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T take() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) {
+      throw SnapError(SnapError::Code::kTruncated,
+                      "snapshot: section ends mid-field");
+    }
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace swallow

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <string_view>
 
+#include "common/stateio.h"
 #include "common/units.h"
 
 namespace swallow {
@@ -57,6 +58,15 @@ class EnergyLedger {
 
   void reset() { totals_.fill(0.0); }
 
+  /// Bit-exact round trip: totals are serialized as raw double bits so a
+  /// restored run reports identical joules to an uninterrupted one.
+  void save_state(StateWriter& w) const {
+    for (Joules j : totals_) w.f64(j);
+  }
+  void load_state(StateReader& r) {
+    for (Joules& j : totals_) j = r.f64();
+  }
+
  private:
   std::array<Joules, static_cast<std::size_t>(EnergyAccount::kCount)> totals_{};
 };
@@ -98,6 +108,20 @@ class PowerTrace {
   /// Energy this trace alone has charged (per-component attribution on top
   /// of the per-account ledger totals).
   Joules total() const { return local_total_; }
+
+  /// Ledger/account are wiring; level, settle point and local total are
+  /// state.  Deliberately no settle() at save time — that would change the
+  /// float summation order versus an uninterrupted run.
+  void save_state(StateWriter& w) const {
+    w.f64(level_);
+    w.i64(last_);
+    w.f64(local_total_);
+  }
+  void load_state(StateReader& r) {
+    level_ = r.f64();
+    last_ = r.i64();
+    local_total_ = r.f64();
+  }
 
  private:
   EnergyLedger* ledger_;

@@ -48,7 +48,8 @@ void PowerSampler::start(Mode mode, double rate_sps, int channel) {
   interval_ = static_cast<TimePs>(1e12 / rate_sps + 0.5);
   running_ = true;
   std::fill(prev_.begin(), prev_.end(), PowerSample{});
-  pending_ = sim_.after(interval_, [this] { tick(); });
+  pending_ = sim_.after(interval_, EventDesc{EventKind::kSamplerTick, snap_node_},
+                        [this] { tick(); });
 }
 
 void PowerSampler::stop() {
@@ -83,7 +84,68 @@ void PowerSampler::tick() {
   } else {
     convert(single_channel_);
   }
-  pending_ = sim_.after(interval_, [this] { tick(); });
+  pending_ = sim_.after(interval_, EventDesc{EventKind::kSamplerTick, snap_node_},
+                        [this] { tick(); });
+}
+
+namespace {
+
+void save_sample(StateWriter& w, const PowerSample& s) {
+  w.i64(s.time);
+  w.f64(s.watts);
+  w.u32(s.code);
+}
+
+PowerSample load_sample(StateReader& r) {
+  PowerSample s;
+  s.time = r.i64();
+  s.watts = r.f64();
+  s.code = r.u32();
+  return s;
+}
+
+}  // namespace
+
+void PowerSampler::save_state(StateWriter& w) const {
+  rng_.save_state(w);
+  w.u8(static_cast<std::uint8_t>(mode_));
+  w.i64(interval_);
+  w.u32(static_cast<std::uint32_t>(single_channel_));
+  w.b(running_);
+  w.b(record_);
+  const std::size_t n = rails_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    save_sample(w, latest_[i]);
+    save_sample(w, prev_[i]);
+    w.f64(energy_[i]);
+    w.u64(counts_[i]);
+    w.seq(traces_[i], [&](const PowerSample& s) { save_sample(w, s); });
+  }
+}
+
+void PowerSampler::load_state(StateReader& r) {
+  rng_.load_state(r);
+  mode_ = static_cast<Mode>(r.u8());
+  interval_ = r.i64();
+  single_channel_ = static_cast<int>(r.u32());
+  running_ = r.b();
+  record_ = r.b();
+  const std::size_t n = rails_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    latest_[i] = load_sample(r);
+    prev_[i] = load_sample(r);
+    energy_[i] = r.f64();
+    counts_[i] = r.u64();
+    traces_[i].clear();
+    r.seq([&](std::size_t) { traces_[i].push_back(load_sample(r)); });
+  }
+  pending_ = EventHandle{};
+}
+
+void PowerSampler::restore_event(const LiveEvent& ev) {
+  invariant(ev.desc.kind == EventKind::kSamplerTick,
+            "PowerSampler: unexpected event kind");
+  pending_ = sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc, [this] { tick(); });
 }
 
 Joules PowerSampler::total_energy() const {

@@ -14,9 +14,11 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/stateio.h"
 #include "common/units.h"
 #include "energy/params.h"
 #include "energy/supply.h"
+#include "sim/event_desc.h"
 #include "sim/simulator.h"
 
 namespace swallow {
@@ -90,6 +92,15 @@ class PowerSampler {
     return traces_.at(static_cast<std::size_t>(channel));
   }
 
+  // ----- Snapshot (src/snap/) -----
+  /// Identify this sampler in event descriptors (kSamplerTick); the board
+  /// layer assigns the owning slice's flat row-major index.
+  void set_snap_node(std::uint16_t node) { snap_node_ = node; }
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+  /// Re-inject the pending ADC tick with its original queue keys.
+  void restore_event(const LiveEvent& ev);
+
  private:
   void tick();
   void convert(int channel);
@@ -103,6 +114,7 @@ class PowerSampler {
   int single_channel_ = 0;
   bool running_ = false;
   bool record_ = false;
+  std::uint16_t snap_node_ = 0;
   EventHandle pending_;
   std::vector<PowerSample> latest_;
   std::vector<Joules> energy_;

@@ -7,10 +7,7 @@ namespace swallow {
 FaultInjector::FaultInjector(SwallowSystem& sys, FaultPlan plan)
     : sys_(sys), plan_(std::move(plan)) {}
 
-void FaultInjector::arm() {
-  require(!armed_, "FaultInjector: already armed");
-  armed_ = true;
-
+void FaultInjector::install_windows() {
   // Corruption rules become immutable windows right now — no activation
   // event, no shared state mutated mid-run.  Each rule gets its own rng
   // stream, derived from the plan seed and the rule's position.
@@ -33,11 +30,22 @@ void FaultInjector::arm() {
           return on_token(node, direction, t, now);
         });
   }
+}
+
+void FaultInjector::arm() {
+  require(!armed_, "FaultInjector: already armed");
+  armed_ = true;
+  install_windows();
   // Everything else activates at its scheduled time, on the event domain
   // that owns the faulted node (= the caller's Simulator when sequential).
-  for (const FaultSpec& f : plan_.faults) {
+  for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+    const FaultSpec& f = plan_.faults[i];
     if (f.kind == FaultKind::kLinkCorruption) continue;
-    sys_.sim_for_node(f.node).at(f.at, [this, f] { activate(f); });
+    sys_.sim_for_node(f.node).at(
+        f.at,
+        EventDesc{EventKind::kFaultActivate, f.node,
+                  static_cast<std::uint32_t>(i)},
+        [this, f] { activate(f); });
     if (f.kind == FaultKind::kLinkKill) {
       // A cable failure takes out both directions of the full-duplex pair.
       // The reverse direction belongs to the peer switch — possibly a
@@ -50,11 +58,20 @@ void FaultInjector::arm() {
           if (peer == nullptr) continue;
           const int peer_port = info.peer_port;
           sys_.sim_for_node(info.peer).at(
-              f.at, [peer, peer_port] { peer->kill_link(peer_port); });
+              f.at,
+              EventDesc{EventKind::kFaultPeerKill, info.peer,
+                        static_cast<std::uint32_t>(peer_port)},
+              [peer, peer_port] { peer->kill_link(peer_port); });
         }
       });
     }
   }
+}
+
+void FaultInjector::arm_for_restore() {
+  require(!armed_, "FaultInjector: already armed");
+  armed_ = true;
+  install_windows();
 }
 
 void FaultInjector::apply_to_links(
@@ -79,9 +96,14 @@ void FaultInjector::activate(const FaultSpec& f) {
       const int hi = f.direction >= 0 ? f.direction + 1 : kMaxDirections;
       for (int d = lo; d < hi; ++d) sw->set_links_up(d, false);
       if (f.duration > 0) {
-        sw->sim().after(f.duration, [sw, lo, hi] {
-          for (int d = lo; d < hi; ++d) sw->set_links_up(d, true);
-        });
+        sw->sim().after(
+            f.duration,
+            EventDesc{EventKind::kFaultRepair, f.node,
+                      static_cast<std::uint32_t>(lo) |
+                          (static_cast<std::uint32_t>(hi) << 8)},
+            [sw, lo, hi] {
+              for (int d = lo; d < hi; ++d) sw->set_links_up(d, true);
+            });
       }
       break;
     }
@@ -103,11 +125,63 @@ void FaultInjector::activate(const FaultSpec& f) {
       require(core != nullptr, "FaultInjector: freeze on an unknown core");
       core->set_frozen(true);
       if (f.duration > 0) {
-        sys_.sim_for_node(f.node).after(f.duration,
-                                        [core] { core->set_frozen(false); });
+        sys_.sim_for_node(f.node).after(
+            f.duration, EventDesc{EventKind::kFaultUnfreeze, f.node},
+            [core] { core->set_frozen(false); });
       }
       break;
     }
+  }
+}
+
+void FaultInjector::save_state(StateWriter& w) const {
+  w.b(armed_);
+  w.seq(corruptions_,
+        [&](const ActiveCorruption& c) { c.rng.save_state(w); });
+}
+
+void FaultInjector::load_state(StateReader& r) {
+  armed_ = r.b();
+  r.seq_exactly(corruptions_.size(), "fault corruption rules",
+                [&](std::size_t i) { corruptions_[i].rng.load_state(r); });
+}
+
+void FaultInjector::restore_event(const LiveEvent& ev) {
+  switch (ev.desc.kind) {
+    case EventKind::kFaultActivate: {
+      const FaultSpec f = plan_.faults.at(ev.desc.a);
+      sys_.sim_for_node(f.node).inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                                       [this, f] { activate(f); });
+      return;
+    }
+    case EventKind::kFaultPeerKill: {
+      Switch* peer = sys_.network().find_switch(ev.desc.node);
+      invariant(peer != nullptr, "snapshot: peer-kill names an unknown switch");
+      const int port = static_cast<int>(ev.desc.a);
+      peer->sim().inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                         [peer, port] { peer->kill_link(port); });
+      return;
+    }
+    case EventKind::kFaultRepair: {
+      Switch* sw = sys_.network().find_switch(ev.desc.node);
+      invariant(sw != nullptr, "snapshot: repair names an unknown switch");
+      const int lo = static_cast<int>(ev.desc.a & 0xFF);
+      const int hi = static_cast<int>((ev.desc.a >> 8) & 0xFF);
+      sw->sim().inject(ev.time, ev.stamp, ev.tie, ev.desc, [sw, lo, hi] {
+        for (int d = lo; d < hi; ++d) sw->set_links_up(d, true);
+      });
+      return;
+    }
+    case EventKind::kFaultUnfreeze: {
+      Core* core = sys_.find_core(ev.desc.node);
+      invariant(core != nullptr, "snapshot: unfreeze names an unknown core");
+      sys_.sim_for_node(ev.desc.node)
+          .inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [core] { core->set_frozen(false); });
+      return;
+    }
+    default:
+      invariant(false, "snapshot: event kind not owned by FaultInjector");
   }
 }
 

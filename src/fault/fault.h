@@ -19,8 +19,10 @@
 
 #include "board/system.h"
 #include "common/rng.h"
+#include "common/stateio.h"
 #include "common/units.h"
 #include "noc/switch.h"
+#include "sim/event_desc.h"
 
 namespace swallow {
 
@@ -88,6 +90,21 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  // ----- Snapshot (src/snap/) -----
+  /// Restore-path arming: installs the corruption windows and the link
+  /// fault hook but schedules *nothing* — pending activations, repairs and
+  /// unfreezes come back through restore_event with their original queue
+  /// keys.  Call instead of arm(), before load_state.
+  void arm_for_restore();
+  /// The mutable part only: each corruption rule's rng stream position.
+  /// Windows and schedules are derived from the plan, which the config
+  /// hash pins.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+  /// Re-inject one pending kFault* event (activation, link repair, core
+  /// unfreeze, peer-side link kill).
+  void restore_event(const LiveEvent& ev);
+
  private:
   // Corruption windows are immutable after arm(); only each rule's private
   // rng advances (and only from the owning node's domain).
@@ -101,6 +118,7 @@ class FaultInjector {
   };
 
   LinkFaultAction on_token(NodeId node, int direction, Token& t, TimePs now);
+  void install_windows();
   void activate(const FaultSpec& f);
   void apply_to_links(NodeId node, int direction,
                       const std::function<void(Switch&, int port)>& fn);

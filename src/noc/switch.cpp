@@ -17,6 +17,23 @@ constexpr Joules kNiTokenEnergy = 150e-12;
 constexpr std::int64_t kInjectCycles = 3;  // §V.A: three cycles to the network
 constexpr std::int64_t kHopCycles = 2;     // per-hop routing decision
 constexpr std::int64_t kProcTokenCycles = 1;
+
+// Event-descriptor operand packing for token-carrying switch events
+// (kSwitchInject / kSwitchLinkDeliver / kSwitchProcDeliver):
+//   a = port (bits 0-7) | corrupt << 8 | is_control << 9 | value << 16
+//   b = link sequence number, c = born timestamp.
+std::uint32_t pack_token_a(int port, const Token& t, bool corrupt) {
+  return (static_cast<std::uint32_t>(port) & 0xFF) |
+         (corrupt ? 1u << 8 : 0u) | (t.is_control ? 1u << 9 : 0u) |
+         (static_cast<std::uint32_t>(t.value) << 16);
+}
+Token unpack_token(std::uint32_t a, std::uint64_t c) {
+  Token t;
+  t.value = static_cast<std::uint8_t>((a >> 16) & 0xFF);
+  t.is_control = ((a >> 9) & 1) != 0;
+  t.born = static_cast<TimePs>(c);
+  return t;
+}
 }  // namespace
 
 /// TokenOutPort a chanend (or endpoint) emits into: models the injection
@@ -41,16 +58,21 @@ struct Switch::ProcPortImpl : TokenOutPort {
     if (sw->obs_.wants_trace() || sw->obs_.wants_metrics()) {
       stamped.born = sw->sim_.now();
     }
-    sw->sim_.after(sw->inject_latency_, [s = sw, i = input_idx, stamped] {
-      Input& input = s->inputs_[static_cast<std::size_t>(i)];
-      --input.in_flight;
-      input.fifo.push_back(stamped);
-      s->obs_fifo_push(i);
-      s->schedule_process(i);
-      // The slot freed by the eventual forward is signalled separately;
-      // but in-flight moving into the fifo does not free space, so no
-      // space notification here.
-    });
+    sw->sim_.after(
+        sw->inject_latency_,
+        EventDesc{EventKind::kSwitchInject, sw->cfg_.node,
+                  pack_token_a(input_idx, stamped, false), 0,
+                  static_cast<std::uint64_t>(stamped.born)},
+        [s = sw, i = input_idx, stamped] {
+          Input& input = s->inputs_[static_cast<std::size_t>(i)];
+          --input.in_flight;
+          input.fifo.push_back(stamped);
+          s->obs_fifo_push(i);
+          s->schedule_process(i);
+          // The slot freed by the eventual forward is signalled separately;
+          // but in-flight moving into the fifo does not free space, so no
+          // space notification here.
+        });
   }
 
   void subscribe_space(std::function<void()> cb) override {
@@ -407,13 +429,16 @@ void Switch::request_retransmit(int port) {
   Switch* peer = in.peer;
   const int po = in.peer_output;
   const std::uint64_t expect = in.rel_expect;
+  const EventDesc desc{EventKind::kSwitchLinkNak, peer->cfg_.node,
+                       static_cast<std::uint32_t>(po), expect};
   if (in.post_back != nullptr) {
     in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
                        sim_.draw_tie(),
-                       [peer, po, expect] { peer->on_link_nak(po, expect); });
+                       [peer, po, expect] { peer->on_link_nak(po, expect); },
+                       desc);
     return;
   }
-  sim_.after(in.credit_latency,
+  sim_.after(in.credit_latency, desc,
              [peer, po, expect] { peer->on_link_nak(po, expect); });
 }
 
@@ -423,13 +448,15 @@ void Switch::send_link_ack(int port) {
   Switch* peer = in.peer;
   const int po = in.peer_output;
   const std::uint64_t cum = in.rel_expect;
+  const EventDesc desc{EventKind::kSwitchLinkAck, peer->cfg_.node,
+                       static_cast<std::uint32_t>(po), cum};
   if (in.post_back != nullptr) {
     in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
                        sim_.draw_tie(),
-                       [peer, po, cum] { peer->on_link_ack(po, cum); });
+                       [peer, po, cum] { peer->on_link_ack(po, cum); }, desc);
     return;
   }
-  sim_.after(in.credit_latency,
+  sim_.after(in.credit_latency, desc,
              [peer, po, cum] { peer->on_link_ack(po, cum); });
 }
 
@@ -475,7 +502,10 @@ void Switch::on_link_nak(int output_idx, std::uint64_t expect_seq) {
   ++out.backoff_level;
   out.resend_cursor = floor;
   const std::uint64_t gen = ++out.resend_gen;
-  sim_.after(delay, [this, output_idx, gen] { resend_step(output_idx, gen); });
+  sim_.after(delay,
+             EventDesc{EventKind::kSwitchResendStep, cfg_.node,
+                       static_cast<std::uint32_t>(output_idx), gen},
+             [this, output_idx, gen] { resend_step(output_idx, gen); });
 }
 
 void Switch::on_credit(int output_idx) {
@@ -492,7 +522,10 @@ void Switch::schedule_process(int input_idx, TimePs when) {
   if (in.process_scheduled) return;
   in.process_scheduled = true;
   const TimePs at = std::max(when, sim_.now());
-  sim_.at(at, [this, input_idx] { process_input(input_idx); });
+  sim_.at(at,
+          EventDesc{EventKind::kSwitchProcess, cfg_.node,
+                    static_cast<std::uint32_t>(input_idx)},
+          [this, input_idx] { process_input(input_idx); });
 }
 
 void Switch::consume_from_fifo(Input& in) {
@@ -502,12 +535,15 @@ void Switch::consume_from_fifo(Input& in) {
     if (in.peer != nullptr) {
       Switch* peer = in.peer;
       const int po = in.peer_output;
+      const EventDesc desc{EventKind::kSwitchCredit, peer->cfg_.node,
+                           static_cast<std::uint32_t>(po)};
       if (in.post_back != nullptr) {
         in.post_back->post(sim_.now() + in.credit_latency, sim_.now(),
                            sim_.draw_tie(),
-                           [peer, po] { peer->on_credit(po); });
+                           [peer, po] { peer->on_credit(po); }, desc);
       } else {
-        sim_.after(in.credit_latency, [peer, po] { peer->on_credit(po); });
+        sim_.after(in.credit_latency, desc,
+                   [peer, po] { peer->on_credit(po); });
       }
     }
   } else {
@@ -636,6 +672,8 @@ void Switch::arm_retry_timer(int output_idx) {
   const std::uint64_t gen = ++out.timer_gen;
   out.timer_armed = true;
   sim_.after(cfg_.retry_timeout + backoff_delay(out),
+             EventDesc{EventKind::kSwitchRetryTimeout, cfg_.node,
+                       static_cast<std::uint32_t>(output_idx), gen},
              [this, output_idx, gen] { on_retry_timeout(output_idx, gen); });
 }
 
@@ -659,7 +697,10 @@ void Switch::on_retry_timeout(int output_idx, std::uint64_t gen) {
   // token (covers total outages, where the receiver saw nothing at all).
   out.resend_cursor = static_cast<std::int64_t>(out.rel_base);
   const std::uint64_t rgen = ++out.resend_gen;
-  sim_.after(0, [this, output_idx, rgen] { resend_step(output_idx, rgen); });
+  sim_.after(0,
+             EventDesc{EventKind::kSwitchResendStep, cfg_.node,
+                       static_cast<std::uint32_t>(output_idx), rgen},
+             [this, output_idx, rgen] { resend_step(output_idx, rgen); });
   arm_retry_timer(output_idx);
 }
 
@@ -680,8 +721,10 @@ void Switch::resend_step(int output_idx, std::uint64_t gen) {
     return;
   }
   const TimePs now = sim_.now();
+  const EventDesc step_desc{EventKind::kSwitchResendStep, cfg_.node,
+                            static_cast<std::uint32_t>(output_idx), gen};
   if (out.busy_until > now) {
-    sim_.at(out.busy_until,
+    sim_.at(out.busy_until, step_desc,
             [this, output_idx, gen] { resend_step(output_idx, gen); });
     return;
   }
@@ -692,7 +735,7 @@ void Switch::resend_step(int output_idx, std::uint64_t gen) {
   ++fault_counters_.retransmissions;
   obs_fault(5);
   transmit_on_link(out, t, seq);  // charges the wire like a first send
-  sim_.at(out.busy_until,
+  sim_.at(out.busy_until, step_desc,
           [this, output_idx, gen] { resend_step(output_idx, gen); });
 }
 
@@ -757,14 +800,18 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   }
   Switch* peer = out.peer;
   const int pport = out.peer_port;
+  const EventDesc desc{EventKind::kSwitchLinkDeliver, peer->cfg_.node,
+                       pack_token_a(pport, wire, corrupt), seq,
+                       static_cast<std::uint64_t>(wire.born)};
   if (out.post_fwd != nullptr) {
     out.post_fwd->post(arrival, now, sim_.draw_tie(),
                        [peer, pport, wire, seq, corrupt] {
                          peer->deliver_link_token(pport, wire, seq, corrupt);
-                       });
+                       },
+                       desc);
     return;
   }
-  sim_.at(arrival, [peer, pport, wire, seq, corrupt] {
+  sim_.at(arrival, desc, [peer, pport, wire, seq, corrupt] {
     peer->deliver_link_token(pport, wire, seq, corrupt);
   });
 }
@@ -792,23 +839,29 @@ void Switch::send_token(int input_idx, Output& out, const Token& t) {
     ++out.deliveries_in_flight;
     TokenReceiver* recv = out.receiver;
     Output* outp = &out;
-    sim_.at(out.busy_until, [this, recv, outp, t] {
-      --outp->deliveries_in_flight;
-      // PAUSE closes routes inside the network but is not delivered to
-      // the endpoint (§V.B).
-      if (!t.is_pause()) {
-        // End-to-end token latency: ingress stamp (origin proc port,
-        // possibly several hops and domains away) to endpoint delivery.
-        if (t.born > 0) {
-          if (obs_.token_latency_ns) {
-            obs_.token_latency_ns->add(static_cast<std::uint64_t>(
-                (sim_.now() - t.born) / kPicosPerNano));
-          }
-          if (obs_.tokens_delivered) obs_.tokens_delivered->add();
-        }
-        recv->receive(t);
-      }
-    });
+    const int oidx = static_cast<int>(&out - outputs_.data());
+    sim_.at(out.busy_until,
+            EventDesc{EventKind::kSwitchProcDeliver, cfg_.node,
+                      pack_token_a(oidx, t, false), 0,
+                      static_cast<std::uint64_t>(t.born)},
+            [this, recv, outp, t] {
+              --outp->deliveries_in_flight;
+              // PAUSE closes routes inside the network but is not delivered
+              // to the endpoint (§V.B).
+              if (!t.is_pause()) {
+                // End-to-end token latency: ingress stamp (origin proc
+                // port, possibly several hops and domains away) to endpoint
+                // delivery.
+                if (t.born > 0) {
+                  if (obs_.token_latency_ns) {
+                    obs_.token_latency_ns->add(static_cast<std::uint64_t>(
+                        (sim_.now() - t.born) / kPicosPerNano));
+                  }
+                  if (obs_.tokens_delivered) obs_.tokens_delivered->add();
+                }
+                recv->receive(t);
+              }
+            });
   }
   (void)input_idx;
 }
@@ -898,6 +951,196 @@ void Switch::process_input(int input_idx) {
       consume_from_fifo(in);
       if (t.closes_route()) unbind(input_idx);
     }
+  }
+}
+
+// ---------------------------------------------------------------- snapshot
+
+void Switch::save_state(StateWriter& w) const {
+  w.seq(inputs_, [&](const Input& in) {
+    w.seq(in.fifo, [&](const Token& t) { save_token(w, t); });
+    w.u32(static_cast<std::uint32_t>(in.in_flight));
+    w.seq(in.header, [&](std::uint8_t b) { w.u8(b); });
+    w.seq(in.pending_out, [&](const Token& t) { save_token(w, t); });
+    w.u32(static_cast<std::uint32_t>(in.output));
+    w.i64(in.route_opened_at);
+    w.b(in.waiting_output);
+    w.b(in.process_scheduled);
+    w.u64(in.rel_expect);
+    w.b(in.nak_outstanding);
+    w.seq(in.entry_times, [&](TimePs t) { w.i64(t); });
+  });
+  w.seq(outputs_, [&](const Output& out) {
+    w.u32(static_cast<std::uint32_t>(out.credits));
+    w.b(out.link_up);
+    w.b(out.dead);
+    w.u64(out.tx_seq);
+    w.u64(out.rel_base);
+    w.seq(out.replay, [&](const Token& t) { save_token(w, t); });
+    w.i64(out.resend_cursor);
+    w.u64(out.resend_gen);
+    w.u64(out.timer_gen);
+    w.b(out.timer_armed);
+    w.u32(static_cast<std::uint32_t>(out.backoff_level));
+    w.u32(static_cast<std::uint32_t>(out.deliveries_in_flight));
+    w.seq(out.waiters, [&](int i) { w.u32(static_cast<std::uint32_t>(i)); });
+    w.i64(out.busy_until);
+    w.u32(static_cast<std::uint32_t>(out.bound_input));
+  });
+  w.seq(dir_waiters_, [&](const std::deque<int>& q) {
+    w.seq(q, [&](int i) { w.u32(static_cast<std::uint32_t>(i)); });
+  });
+  w.u64(tokens_forwarded_);
+  w.u64(packets_routed_);
+  w.u64(packets_sunk_);
+  w.u64(wire_tokens_tx_);
+  w.u64(wire_tokens_rx_);
+  w.u64(wire_tokens_dropped_);
+  for (std::uint64_t n : link_tokens_sent_) w.u64(n);
+  for (TimePs t : link_busy_time_) w.i64(t);
+  route_hold_ns_.save_state(w);
+  fault_counters_.save_state(w);
+  w.i64(stalled_until_);
+}
+
+void Switch::load_state(StateReader& r) {
+  r.seq_exactly(inputs_.size(), "switch inputs", [&](std::uint32_t i) {
+    Input& in = inputs_[i];
+    in.fifo.clear();
+    r.seq([&](std::uint32_t) { in.fifo.push_back(load_token(r)); });
+    in.in_flight = static_cast<std::int32_t>(r.u32());
+    in.header.clear();
+    r.seq([&](std::uint32_t) { in.header.push_back(r.u8()); });
+    in.pending_out.clear();
+    r.seq([&](std::uint32_t) { in.pending_out.push_back(load_token(r)); });
+    in.output = static_cast<std::int32_t>(r.u32());
+    in.route_opened_at = r.i64();
+    in.waiting_output = r.b();
+    in.process_scheduled = r.b();
+    in.rel_expect = r.u64();
+    in.nak_outstanding = r.b();
+    in.entry_times.clear();
+    r.seq([&](std::uint32_t) { in.entry_times.push_back(r.i64()); });
+  });
+  r.seq_exactly(outputs_.size(), "switch outputs", [&](std::uint32_t i) {
+    Output& out = outputs_[i];
+    out.credits = static_cast<std::int32_t>(r.u32());
+    out.link_up = r.b();
+    out.dead = r.b();
+    out.tx_seq = r.u64();
+    out.rel_base = r.u64();
+    out.replay.clear();
+    r.seq([&](std::uint32_t) { out.replay.push_back(load_token(r)); });
+    out.resend_cursor = r.i64();
+    out.resend_gen = r.u64();
+    out.timer_gen = r.u64();
+    out.timer_armed = r.b();
+    out.backoff_level = static_cast<std::int32_t>(r.u32());
+    out.deliveries_in_flight = static_cast<std::int32_t>(r.u32());
+    out.waiters.clear();
+    r.seq([&](std::uint32_t) {
+      out.waiters.push_back(static_cast<std::int32_t>(r.u32()));
+    });
+    out.busy_until = r.i64();
+    out.bound_input = static_cast<std::int32_t>(r.u32());
+  });
+  r.seq_exactly(dir_waiters_.size(), "direction waiters",
+                [&](std::uint32_t i) {
+                  dir_waiters_[i].clear();
+                  r.seq([&](std::uint32_t) {
+                    dir_waiters_[i].push_back(
+                        static_cast<std::int32_t>(r.u32()));
+                  });
+                });
+  tokens_forwarded_ = r.u64();
+  packets_routed_ = r.u64();
+  packets_sunk_ = r.u64();
+  wire_tokens_tx_ = r.u64();
+  wire_tokens_rx_ = r.u64();
+  wire_tokens_dropped_ = r.u64();
+  for (std::uint64_t& n : link_tokens_sent_) n = r.u64();
+  for (TimePs& t : link_busy_time_) t = r.i64();
+  route_hold_ns_.load_state(r);
+  fault_counters_.load_state(r);
+  stalled_until_ = r.i64();
+}
+
+void Switch::restore_event(const LiveEvent& ev) {
+  const std::uint32_t a = ev.desc.a;
+  const int port = static_cast<int>(a & 0xFF);
+  switch (ev.desc.kind) {
+    case EventKind::kSwitchInject: {
+      Token t = unpack_token(a, ev.desc.c);
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc, [this, port, t] {
+        Input& input = inputs_[static_cast<std::size_t>(port)];
+        --input.in_flight;
+        input.fifo.push_back(t);
+        obs_fifo_push(port);
+        schedule_process(port);
+      });
+      return;
+    }
+    case EventKind::kSwitchProcess:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a)] { process_input(i); });
+      return;
+    case EventKind::kSwitchLinkNak:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a), expect = ev.desc.b] {
+                    on_link_nak(i, expect);
+                  });
+      return;
+    case EventKind::kSwitchLinkAck:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a), cum = ev.desc.b] {
+                    on_link_ack(i, cum);
+                  });
+      return;
+    case EventKind::kSwitchCredit:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a)] { on_credit(i); });
+      return;
+    case EventKind::kSwitchResendStep:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a), gen = ev.desc.b] {
+                    resend_step(i, gen);
+                  });
+      return;
+    case EventKind::kSwitchRetryTimeout:
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, i = static_cast<int>(a), gen = ev.desc.b] {
+                    on_retry_timeout(i, gen);
+                  });
+      return;
+    case EventKind::kSwitchLinkDeliver: {
+      Token t = unpack_token(a, ev.desc.c);
+      const bool corrupt = ((a >> 8) & 1) != 0;
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                  [this, port, t, seq = ev.desc.b, corrupt] {
+                    deliver_link_token(port, t, seq, corrupt);
+                  });
+      return;
+    }
+    case EventKind::kSwitchProcDeliver: {
+      Token t = unpack_token(a, ev.desc.c);
+      sim_.inject(ev.time, ev.stamp, ev.tie, ev.desc, [this, port, t] {
+        Output& out = outputs_[static_cast<std::size_t>(port)];
+        --out.deliveries_in_flight;
+        if (!t.is_pause()) {
+          if (t.born > 0) {
+            if (obs_.token_latency_ns) {
+              obs_.token_latency_ns->add(static_cast<std::uint64_t>(
+                  (sim_.now() - t.born) / kPicosPerNano));
+            }
+            if (obs_.tokens_delivered) obs_.tokens_delivered->add();
+          }
+          out.receiver->receive(t);
+        }
+      });
+      return;
+    }
+    default:
+      invariant(false, "Switch::restore_event: not a switch event");
   }
 }
 

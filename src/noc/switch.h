@@ -53,6 +53,7 @@
 #include "noc/token.h"
 #include "obs/probes.h"
 #include "sim/domain.h"
+#include "sim/event_desc.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -262,6 +263,18 @@ class Switch {
   /// Cumulative ack: the peer accepted every sequence number < cum_seq.
   void on_link_ack(int output_idx, std::uint64_t cum_seq);
   void on_link_nak(int output_idx, std::uint64_t expect_seq);
+
+  // ----- Snapshot (src/snap/) -----
+  /// Serialize per-port dynamic state (fifos, route bindings, the reliable
+  /// protocol windows) and the switch counters.  Wiring — peers, routers,
+  /// crossings, hooks, the reliable flags — is rebuilt from config before
+  /// load_state().
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+  /// Re-inject one pending event this switch acts on (kSwitch*) with its
+  /// original queue keys.  Peer-targeted events (ack/NAK/credit/deliver)
+  /// dispatch here on the *receiving* switch.
+  void restore_event(const LiveEvent& ev);
 
  private:
   struct ProcPortImpl;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/stateio.h"
 #include "common/units.h"
 
 namespace swallow {
@@ -47,6 +48,21 @@ struct Token {
     return value == o.value && is_control == o.is_control;
   }
 };
+
+/// Snapshot helpers: `born` is serialized too so end-to-end latency
+/// measurements survive a checkpoint/restore round trip.
+inline void save_token(StateWriter& w, const Token& t) {
+  w.u8(t.value);
+  w.b(t.is_control);
+  w.i64(t.born);
+}
+inline Token load_token(StateReader& r) {
+  Token t;
+  t.value = r.u8();
+  t.is_control = r.b();
+  t.born = r.i64();
+  return t;
+}
 
 /// Bits on the wire per token: 8 data bits; the 4-transition 5-wire
 /// encoding is captured in the per-bit link energies of Table I.

@@ -106,4 +106,42 @@ std::string MetricsRegistry::dump_json() const {
   return out;
 }
 
+void MetricsRegistry::save_state(StateWriter& w) const {
+  w.seq(counters_, [&](const Entry<MetricCounter>& e) {
+    w.str(e.name);
+    w.u32(e.owner);
+    w.u64(e.instrument.value());
+  });
+  w.seq(gauges_, [&](const Entry<MetricGauge>& e) {
+    w.str(e.name);
+    w.u32(e.owner);
+    w.f64(e.instrument.value());
+  });
+  w.seq(histograms_, [&](const Entry<LogHistogram>& e) {
+    w.str(e.name);
+    w.u32(e.owner);
+    e.instrument.save_state(w);
+  });
+}
+
+void MetricsRegistry::load_state(StateReader& r) {
+  r.seq([&](std::size_t) {
+    const std::string name = r.str();
+    const std::uint32_t owner = r.u32();
+    MetricCounter fresh;
+    fresh.add(r.u64());
+    *counter(name, owner) = fresh;
+  });
+  r.seq([&](std::size_t) {
+    const std::string name = r.str();
+    const std::uint32_t owner = r.u32();
+    gauge(name, owner)->set(r.f64());
+  });
+  r.seq([&](std::size_t) {
+    const std::string name = r.str();
+    const std::uint32_t owner = r.u32();
+    histogram(name, owner)->load_state(r);
+  });
+}
+
 }  // namespace swallow

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stateio.h"
+
 namespace swallow {
 
 /// Monotonic count of events (tokens retransmitted, parks, ...).
@@ -96,6 +98,21 @@ class LogHistogram {
     return std::min(b, kBuckets - 1);
   }
 
+  void save_state(StateWriter& w) const {
+    for (std::uint64_t c : counts_) w.u64(c);
+    w.u64(count_);
+    w.u64(sum_);
+    w.u64(min_);
+    w.u64(max_);
+  }
+  void load_state(StateReader& r) {
+    for (std::uint64_t& c : counts_) c = r.u64();
+    count_ = r.u64();
+    sum_ = r.u64();
+    min_ = r.u64();
+    max_ = r.u64();
+  }
+
  private:
   std::uint64_t counts_[kBuckets] = {};
   std::uint64_t count_ = 0;
@@ -121,6 +138,12 @@ class MetricsRegistry {
   /// merged, gauges listed per owner.  Deterministic (sorted names, owner
   /// creation order).
   std::string dump_json() const;
+
+  // ----- Snapshot (src/snap/) -----
+  /// Instruments are written keyed (name, owner) so restore tolerates any
+  /// registration order; loading get-or-creates each entry.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   template <typename T>

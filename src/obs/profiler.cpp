@@ -51,4 +51,50 @@ std::string Profiler::collapsed() const {
   return out;
 }
 
+void Profiler::save_state(StateWriter& w) const {
+  // std::map iterates in key order, so the byte stream is deterministic.
+  w.u64(symbols_.size());
+  for (const auto& [node, syms] : symbols_) {
+    w.u32(node);
+    w.seq(syms, [&](const std::pair<std::uint32_t, std::string>& s) {
+      w.u32(s.first);
+      w.str(s.second);
+    });
+  }
+  w.u64(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    w.u32(key.node);
+    w.u32(static_cast<std::uint32_t>(key.tid));
+    w.u32(key.pc);
+    w.b(key.running);
+    w.u64(count);
+  }
+  w.u64(samples_);
+}
+
+void Profiler::load_state(StateReader& r) {
+  symbols_.clear();
+  const std::uint64_t nsym = r.u64();
+  for (std::uint64_t i = 0; i < nsym; ++i) {
+    const std::uint32_t node = r.u32();
+    std::vector<std::pair<std::uint32_t, std::string>> syms;
+    r.seq([&](std::size_t) {
+      const std::uint32_t addr = r.u32();
+      syms.emplace_back(addr, r.str());
+    });
+    symbols_[node] = std::move(syms);
+  }
+  counts_.clear();
+  const std::uint64_t ncnt = r.u64();
+  for (std::uint64_t i = 0; i < ncnt; ++i) {
+    Key k;
+    k.node = r.u32();
+    k.tid = static_cast<int>(r.u32());
+    k.pc = r.u32();
+    k.running = r.b();
+    counts_[k] = r.u64();
+  }
+  samples_ = r.u64();
+}
+
 }  // namespace swallow

@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/stateio.h"
+
 namespace swallow {
 
 class Profiler {
@@ -39,6 +41,10 @@ class Profiler {
   /// Flamegraph-collapsed output, one "stack count" line per bucket,
   /// sorted lexicographically.
   std::string collapsed() const;
+
+  // ----- Snapshot (src/snap/) -----
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   struct Key {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/stateio.h"
 
 namespace swallow {
 
@@ -80,6 +81,27 @@ class RingBuffer {
   void clear() {
     items_.clear();
     head_ = 0;
+  }
+
+  // ----- Snapshot (src/snap/): retained items (oldest first), capacity,
+  // drop count and watermark.  `fn` serialises one element.
+  template <typename SaveFn>
+  void save_state(StateWriter& w, SaveFn&& fn) const {
+    w.u64(capacity_);
+    w.u64(dropped_);
+    w.u64(watermark_);
+    w.u64(size());
+    for (std::size_t i = 0; i < size(); ++i) fn(at(i));
+  }
+  template <typename LoadFn>
+  void load_state(StateReader& r, LoadFn&& fn) {
+    capacity_ = static_cast<std::size_t>(r.u64());
+    dropped_ = r.u64();
+    watermark_ = static_cast<std::size_t>(r.u64());
+    items_.clear();
+    head_ = 0;
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) items_.push_back(fn());
   }
 
  private:

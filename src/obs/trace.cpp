@@ -236,4 +236,70 @@ std::string TraceSession::chrome_json() const {
   return out;
 }
 
+namespace {
+
+void save_trace_event(StateWriter& w, const TraceEvent& e) {
+  w.i64(e.time);
+  w.u32(e.track);
+  w.u32(e.seq);
+  w.u32(e.node);
+  w.u8(static_cast<std::uint8_t>(e.kind));
+  w.u8(static_cast<std::uint8_t>(e.cat));
+  w.u16(e.sub);
+  w.u32(static_cast<std::uint32_t>(e.tid));
+  w.u64(static_cast<std::uint64_t>(e.a));
+  w.u64(static_cast<std::uint64_t>(e.b));
+  w.f64(e.value);
+}
+
+TraceEvent load_trace_event(StateReader& r) {
+  TraceEvent e;
+  e.time = r.i64();
+  e.track = r.u32();
+  e.seq = r.u32();
+  e.node = r.u32();
+  e.kind = static_cast<TraceKind>(r.u8());
+  e.cat = static_cast<TraceCat>(r.u8());
+  e.sub = r.u16();
+  e.tid = static_cast<std::int32_t>(r.u32());
+  e.a = static_cast<std::int64_t>(r.u64());
+  e.b = static_cast<std::int64_t>(r.u64());
+  e.value = r.f64();
+  return e;
+}
+
+}  // namespace
+
+void Track::save_state(StateWriter& w) const {
+  w.u32(seq_);
+  ring_.save_state(w, [&](const TraceEvent& e) { save_trace_event(w, e); });
+}
+
+void Track::load_state(StateReader& r) {
+  seq_ = r.u32();
+  ring_.load_state(r, [&] { return load_trace_event(r); });
+}
+
+void TraceSession::save_state(StateWriter& w) const {
+  w.u64(tracks_.size());
+  for (const Track& t : tracks_) t.save_state(w);
+  w.seq(events_, [&](const TraceEvent& e) { save_trace_event(w, e); });
+  metrics_.save_state(w);
+  profiler_.save_state(w);
+}
+
+void TraceSession::load_state(StateReader& r) {
+  const std::uint64_t n = r.u64();
+  if (n != tracks_.size()) {
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot track count does not match the attached "
+                    "session's track layout");
+  }
+  for (Track& t : tracks_) t.load_state(r);
+  events_.clear();
+  r.seq([&](std::size_t) { events_.push_back(load_trace_event(r)); });
+  metrics_.load_state(r);
+  profiler_.load_state(r);
+}
+
 }  // namespace swallow

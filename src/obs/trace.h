@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stateio.h"
 #include "common/units.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
@@ -59,6 +60,11 @@ class Track {
   std::uint64_t dropped() const { return ring_.dropped(); }
   std::size_t buffered() const { return ring_.size(); }
   std::size_t high_watermark() const { return ring_.high_watermark(); }
+
+  // ----- Snapshot (src/snap/): sequence counter and buffered (unflushed)
+  // events.  Identity (node, name, index) is wiring, re-created at attach.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   friend class TraceSession;
@@ -134,6 +140,15 @@ class TraceSession {
   /// function of events() — byte-identical traces in, byte-identical
   /// JSON out.
   std::string chrome_json() const;
+
+  // ----- Snapshot (src/snap/) -----
+  /// Serialise the merged stream, every track's buffered events and
+  /// sequence counters, the metrics instruments and the profiler.  The
+  /// config and track layout are wiring: restore into a session with the
+  /// same TraceConfig after the system re-ran attach_observability (the
+  /// config hash pins both).
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   TraceConfig cfg_;

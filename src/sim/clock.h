@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "common/error.h"
+#include "common/stateio.h"
 #include "common/units.h"
 
 namespace swallow {
@@ -49,6 +50,19 @@ class Clock {
     const std::int64_t c = cycles_at(t);
     const TimePs at = time_of_cycle(c);
     return at >= t ? at : time_of_cycle(c + 1);
+  }
+
+  void save_state(StateWriter& w) const {
+    w.f64(freq_mhz_);
+    w.i64(period_ps_);
+    w.i64(epoch_cycle_);
+    w.i64(epoch_time_);
+  }
+  void load_state(StateReader& r) {
+    freq_mhz_ = r.f64();
+    period_ps_ = r.i64();
+    epoch_cycle_ = r.i64();
+    epoch_time_ = r.i64();
   }
 
  private:

@@ -3,8 +3,8 @@
 namespace swallow {
 
 void CrossingMailbox::post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
-                           EventFn cb) {
-  buffer_.push_back(Pending{fire_at, stamp, tie, std::move(cb)});
+                           EventFn cb, const EventDesc& desc) {
+  buffer_.push_back(Pending{fire_at, stamp, tie, std::move(cb), desc});
 }
 
 std::size_t CrossingMailbox::drain() {
@@ -12,7 +12,7 @@ std::size_t CrossingMailbox::drain() {
   for (Pending& p : buffer_) {
     // The lookahead contract guarantees fire_at is past the barrier time;
     // inject() asserts it (strictly in the receiver's future).
-    dst_.inject(p.fire_at, p.stamp, p.tie, std::move(p.cb));
+    dst_.inject(p.fire_at, p.stamp, p.tie, p.desc, std::move(p.cb));
   }
   buffer_.clear();
   return n;

@@ -44,8 +44,11 @@ class Domain {
 class DomainPost {
  public:
   virtual ~DomainPost() = default;
+  /// `desc` is the event's snapshot descriptor (sim/event_desc.h); it rides
+  /// the mailbox so a cross-domain event buffered or already injected at a
+  /// checkpoint serializes like any locally scheduled one.
   virtual void post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
-                    EventFn cb) = 0;
+                    EventFn cb, const EventDesc& desc = EventDesc{}) = 0;
 };
 
 /// A single-writer mailbox for one (source domain -> destination domain)
@@ -57,8 +60,8 @@ class CrossingMailbox final : public DomainPost {
  public:
   explicit CrossingMailbox(Simulator& dst) : dst_(dst) {}
 
-  void post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
-            EventFn cb) override;
+  void post(TimePs fire_at, TimePs stamp, std::uint64_t tie, EventFn cb,
+            const EventDesc& desc = EventDesc{}) override;
 
   /// Inject every buffered event into the destination queue.  Returns the
   /// number delivered.
@@ -70,6 +73,7 @@ class CrossingMailbox final : public DomainPost {
     TimePs stamp;
     std::uint64_t tie;
     EventFn cb;
+    EventDesc desc;
   };
 
   Simulator& dst_;

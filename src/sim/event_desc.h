@@ -1,0 +1,85 @@
+// Serializable event descriptors for deterministic snapshot/restore
+// (src/snap/, docs/architecture.md §snapshot format).
+//
+// The event queue stores type-erased callbacks, which cannot be written to
+// disk.  Every model that schedules an event whose firing must survive a
+// checkpoint attaches an EventDesc at the schedule site: a fixed-size POD
+// naming the action (kind), the component that performs it (node) and the
+// packed operands needed to rebuild the exact callback.  A snapshot walks
+// the live heap entries and saves (fire_time, stamp, tie, desc) verbatim;
+// restore resolves each desc back to a callback through the owning
+// component's fire_restored_event() and re-schedules it under the original
+// three-part ordering key — which is what keeps the resumed run bit-identical
+// to an uninterrupted one.
+//
+// An event without a descriptor (kind == kNone) is legal at runtime but
+// makes the machine unsnapshottable: the snapshot pass refuses with a
+// structured error naming the orphan rather than silently dropping it.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace swallow {
+
+/// What a pending event does when it fires.  Values are part of the
+/// snapshot format: append new kinds, never renumber.
+enum class EventKind : std::uint16_t {
+  kNone = 0,  // undescribed: present but not snapshottable
+
+  // arch/core.cpp
+  kCoreIssue = 1,      // do_issue() pump; a = unused
+  kCoreTimerWake = 2,  // wake(tid) for TIMEWAIT / OUTPT; a = tid
+
+  // noc/switch.cpp
+  kSwitchInject = 10,        // processor-port token lands in input fifo
+  kSwitchProcess = 11,       // process_input(a = input index)
+  kSwitchLinkNak = 12,       // on_link_nak(a = port, b = expected seq)
+  kSwitchLinkAck = 13,       // on_link_ack(a = port, b = cumulative seq)
+  kSwitchCredit = 14,        // on_credit(a = port)
+  kSwitchResendStep = 15,    // resend_step(a = output, b = resend gen)
+  kSwitchRetryTimeout = 16,  // on_retry_timeout(a = output, b = timer gen)
+  kSwitchLinkDeliver = 17,   // deliver_link_token on the receiving switch
+  kSwitchProcDeliver = 18,   // endpoint delivery from output a's receiver
+
+  // board/ethernet.cpp
+  kBridgePump = 30,  // paced tx pump wake
+
+  // energy/measure.cpp
+  kSamplerTick = 40,  // ADC conversion tick; node = slice index
+
+  // board/system.cpp
+  kLossIntegrate = 41,  // SMPS loss integration; node = slice index
+
+  // fault/fault.cpp
+  kFaultActivate = 50,  // activate(plan spec a)
+  kFaultRepair = 51,    // set_links_up on node for directions [a_lo, a_hi]
+  kFaultUnfreeze = 52,  // un-freeze core `node`
+  kFaultPeerKill = 53,  // kill_link(a) on switch `node`
+};
+
+/// Fixed-size serializable description of one pending event.  `node` is the
+/// component that acts when the event fires (a NodeId for cores/switches, a
+/// flat slice index for per-slice agents); a/b/c are kind-specific packed
+/// operands (see the schedule sites).
+struct EventDesc {
+  EventKind kind = EventKind::kNone;
+  std::uint16_t node = 0;
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+
+  bool described() const { return kind != EventKind::kNone; }
+};
+
+/// One live queue entry as a snapshot sees it: the exact ordering key the
+/// event was scheduled under, plus its descriptor.
+struct LiveEvent {
+  TimePs time = 0;
+  TimePs stamp = 0;
+  std::uint64_t tie = 0;
+  EventDesc desc;
+};
+
+}  // namespace swallow

@@ -20,16 +20,18 @@ std::uint32_t EventQueue::alloc_slot() {
 void EventQueue::free_slot(std::uint32_t idx) {
   Slot& s = slots_[idx];
   s.fn.reset();
+  s.desc = EventDesc{};
   ++s.gen;  // invalidate outstanding handles
   s.next_free = free_head_;
   free_head_ = idx;
 }
 
 EventHandle EventQueue::schedule(TimePs when, TimePs stamp, std::uint64_t tie,
-                                 Callback cb) {
+                                 Callback cb, const EventDesc& desc) {
   const std::uint32_t idx = alloc_slot();
   Slot& s = slots_[idx];
   s.fn = std::move(cb);
+  s.desc = desc;
   ++s.arm_gen;  // monotone per slot; never reset, so recycled slots can't
                 // resurrect stale heap nodes
   heap_.push_back(Node{when, stamp, tie, idx, s.arm_gen});

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "sim/event_desc.h"
 #include "sim/event_fn.h"
 
 namespace swallow {
@@ -51,9 +52,11 @@ class EventQueue {
   using Callback = EventFn;
 
   /// Schedule `cb` to fire at absolute time `when` with an explicit ordering
-  /// key (see file comment).
+  /// key (see file comment).  `desc` is the event's serializable descriptor
+  /// (sim/event_desc.h); events scheduled without one cannot be
+  /// snapshotted.
   EventHandle schedule(TimePs when, TimePs stamp, std::uint64_t tie,
-                       Callback cb);
+                       Callback cb, const EventDesc& desc = EventDesc{});
 
   /// Convenience form for single-scheduler use: stamp 0, insertion-order tie.
   EventHandle schedule(TimePs when, Callback cb) {
@@ -87,6 +90,32 @@ class EventQueue {
   };
   Fired pop();
 
+  // ----- Snapshot support (src/snap/) -----
+  /// Visit every live (non-tombstoned) entry with its exact ordering key
+  /// and descriptor.  Order is unspecified; snapshot code sorts by key.
+  template <typename Fn>
+  void for_each_live(Fn&& fn) const {
+    for (const Node& n : heap_) {
+      if (slots_[n.slot].arm_gen != n.arm_gen) continue;  // tombstone
+      fn(LiveEvent{n.time, n.stamp, n.tie, slots_[n.slot].desc});
+    }
+  }
+
+  /// The descriptor carried by a pending event (default-constructed when
+  /// the handle no longer refers to one).
+  EventDesc desc_of(EventHandle h) const {
+    if (!h.valid() || h.slot_ >= slots_.size() ||
+        slots_[h.slot_].gen != h.gen_) {
+      return EventDesc{};
+    }
+    return slots_[h.slot_].desc;
+  }
+
+  /// The convenience-schedule tie counter, saved and restored with the
+  /// queue so resumed runs keep drawing the same keys.
+  std::uint64_t fallback_tie() const { return fallback_tie_; }
+  void set_fallback_tie(std::uint64_t tie) { fallback_tie_ = tie; }
+
  private:
   struct Node {
     TimePs time;
@@ -109,6 +138,7 @@ class EventQueue {
 
   struct Slot {
     Callback fn;
+    EventDesc desc;             // snapshot descriptor (kNone = unsnapshottable)
     std::uint32_t gen = 1;      // handle validity; bumped when slot is freed
     std::uint32_t arm_gen = 0;  // current arming; heap nodes carry a copy
     std::uint32_t next_free = kNoFree;
@@ -119,10 +149,19 @@ class EventQueue {
   void drop_stale() const;
   void maybe_compact();
 
+  // Convenience-schedule ties start in a reserved lane (0xFFFF) so they can
+  // never collide with a Simulator's lane-drawn ties.  With the old start of
+  // 1, a bare schedule() and a lane-0 Simulator both began at tie 1: two
+  // events could carry identical (time, stamp, tie) keys, and tombstone
+  // compaction's make_heap was then free to swap their pop order (see the
+  // EventQueue.CompactionKeepsEqualTimeOrder regression test).
+  static constexpr std::uint64_t kFallbackTieBase =
+      (std::uint64_t{0xFFFF} << 48) | 1;
+
   mutable std::vector<Node> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFree;
-  std::uint64_t fallback_tie_ = 1;
+  std::uint64_t fallback_tie_ = kFallbackTieBase;
   std::size_t live_count_ = 0;
   mutable std::size_t tombstones_ = 0;
 };

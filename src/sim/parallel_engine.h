@@ -71,6 +71,11 @@ class ParallelEngine {
   void run_until(TimePs deadline);
 
   TimePs now() const { return now_; }
+  /// Restore the barrier clock from a snapshot (src/snap/).  Call only
+  /// between run_until calls, with every domain clock already restored to
+  /// the same time; quantum targets are recomputed from scratch on the next
+  /// run_until, so no other engine state needs reconstruction.
+  void restore_clock(TimePs now) { now_ = now; }
   TimePs lookahead() const { return lookahead_; }
   int workers() const { return workers_; }
   const Stats& stats() const { return stats_; }

@@ -10,9 +10,21 @@ EventHandle Simulator::after(TimePs delay, EventQueue::Callback cb) {
   return queue_.schedule(now_ + delay, now_, next_tie(), std::move(cb));
 }
 
+EventHandle Simulator::after(TimePs delay, const EventDesc& desc,
+                             EventQueue::Callback cb) {
+  require(delay >= 0, "Simulator::after: negative delay");
+  return queue_.schedule(now_ + delay, now_, next_tie(), std::move(cb), desc);
+}
+
 EventHandle Simulator::at(TimePs when, EventQueue::Callback cb) {
   require(when >= now_, "Simulator::at: time in the past");
   return queue_.schedule(when, now_, next_tie(), std::move(cb));
+}
+
+EventHandle Simulator::at(TimePs when, const EventDesc& desc,
+                          EventQueue::Callback cb) {
+  require(when >= now_, "Simulator::at: time in the past");
+  return queue_.schedule(when, now_, next_tie(), std::move(cb), desc);
 }
 
 bool Simulator::rearm(EventHandle h, TimePs when) {
@@ -24,6 +36,12 @@ EventHandle Simulator::inject(TimePs when, TimePs stamp, std::uint64_t tie,
                               EventQueue::Callback cb) {
   require(when > now_, "Simulator::inject: not in the receiver's future");
   return queue_.schedule(when, stamp, tie, std::move(cb));
+}
+
+EventHandle Simulator::inject(TimePs when, TimePs stamp, std::uint64_t tie,
+                              const EventDesc& desc, EventQueue::Callback cb) {
+  require(when > now_, "Simulator::inject: not in the receiver's future");
+  return queue_.schedule(when, stamp, tie, std::move(cb), desc);
 }
 
 std::uint64_t Simulator::run_until(TimePs deadline) {

@@ -19,11 +19,17 @@ class Simulator {
   /// Current simulation time.
   TimePs now() const { return now_; }
 
-  /// Schedule a callback `delay` picoseconds from now (delay >= 0).
+  /// Schedule a callback `delay` picoseconds from now (delay >= 0).  The
+  /// desc-carrying forms attach a snapshot descriptor (sim/event_desc.h);
+  /// events scheduled without one make the machine unsnapshottable while
+  /// they are pending.
   EventHandle after(TimePs delay, EventQueue::Callback cb);
+  EventHandle after(TimePs delay, const EventDesc& desc,
+                    EventQueue::Callback cb);
 
   /// Schedule a callback at an absolute time >= now().
   EventHandle at(TimePs when, EventQueue::Callback cb);
+  EventHandle at(TimePs when, const EventDesc& desc, EventQueue::Callback cb);
 
   /// Move a pending event to fire time `when` (>= now()) without touching
   /// its callback.  Semantically identical to cancel + at — the event
@@ -40,6 +46,8 @@ class Simulator {
   /// `when` must be strictly in this domain's future.
   EventHandle inject(TimePs when, TimePs stamp, std::uint64_t tie,
                      EventQueue::Callback cb);
+  EventHandle inject(TimePs when, TimePs stamp, std::uint64_t tie,
+                     const EventDesc& desc, EventQueue::Callback cb);
 
   /// Run until the queue drains or `deadline` passes, whichever is first.
   /// Events exactly at the deadline still fire.  Returns the number of
@@ -71,6 +79,37 @@ class Simulator {
   /// the event sorts in the foreign queue as the sequential engine would
   /// have sorted it.
   std::uint64_t draw_tie() { return next_tie(); }
+
+  // ----- Snapshot support (src/snap/) -----
+  /// Everything beyond the queue contents that a resumed run needs to keep
+  /// drawing identical ordering keys and reporting identical statistics.
+  struct ClockState {
+    TimePs now = 0;
+    TimePs last_dispatch = 0;
+    std::uint64_t dispatched = 0;
+    std::uint64_t next_seq = 1;
+    std::uint64_t fallback_tie = 0;
+  };
+  ClockState clock_state() const {
+    return ClockState{now_, last_dispatch_time_, dispatched_, next_seq_,
+                      queue_.fallback_tie()};
+  }
+  void restore_clock_state(const ClockState& s) {
+    now_ = s.now;
+    last_dispatch_time_ = s.last_dispatch;
+    dispatched_ = s.dispatched;
+    next_seq_ = s.next_seq;
+    queue_.set_fallback_tie(s.fallback_tie);
+  }
+
+  /// Visit every pending event's ordering key + descriptor (lane_ is fixed
+  /// by construction and not part of the walk).
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    queue_.for_each_live(fn);
+  }
+  std::size_t pending_count() const { return queue_.size(); }
+  EventDesc desc_of(EventHandle h) const { return queue_.desc_of(h); }
 
  private:
   std::uint64_t next_tie() {

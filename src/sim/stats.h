@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/stateio.h"
+
 namespace swallow {
 
 /// Monotonic event counter.
@@ -17,6 +19,9 @@ class Counter {
   void add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
+
+  void save_state(StateWriter& w) const { w.u64(value_); }
+  void load_state(StateReader& r) { value_ = r.u64(); }
 
  private:
   std::uint64_t value_ = 0;
@@ -39,6 +44,21 @@ class Sampler {
   double max() const { return n_ ? max_ : 0.0; }
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
   double stddev() const { return std::sqrt(variance()); }
+
+  void save_state(StateWriter& w) const {
+    w.u64(n_);
+    w.f64(mean_);
+    w.f64(m2_);
+    w.f64(min_);
+    w.f64(max_);
+  }
+  void load_state(StateReader& r) {
+    n_ = r.u64();
+    mean_ = r.f64();
+    m2_ = r.f64();
+    min_ = r.f64();
+    max_ = r.f64();
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -110,6 +130,21 @@ struct FaultCounters {
         "retry timeouts",   "links marked dead", "tokens discarded (dead)"};
     return i >= 0 && i < kFieldCount ? kNames[i] : "?";
   }
+
+  void save_state(StateWriter& w) const {
+    for (std::uint64_t v : as_array()) w.u64(v);
+  }
+  void load_state(StateReader& r) {
+    tokens_corrupted = r.u64();
+    tokens_dropped = r.u64();
+    crc_rejects = r.u64();
+    naks_sent = r.u64();
+    naks_received = r.u64();
+    retransmissions = r.u64();
+    retry_timeouts = r.u64();
+    links_marked_dead = r.u64();
+    tokens_discarded_dead = r.u64();
+  }
 };
 
 /// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
@@ -137,6 +172,18 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const { return counts_.at(i + 1); }
   std::size_t buckets() const { return counts_.size() - 2; }
   std::uint64_t total() const { return total_; }
+
+  /// Bounds (lo/hi/bucket count) are construction wiring; only the counts
+  /// are state.
+  void save_state(StateWriter& w) const {
+    w.seq(counts_, [&](std::uint64_t c) { w.u64(c); });
+    w.u64(total_);
+  }
+  void load_state(StateReader& r) {
+    r.seq_exactly(counts_.size(), "histogram buckets",
+                  [&](std::uint32_t i) { counts_[i] = r.u64(); });
+    total_ = r.u64();
+  }
 
  private:
   double lo_, hi_;

@@ -1,0 +1,310 @@
+#include "snap/machine.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace swallow {
+namespace {
+
+// FNV-1a 64 over a serialized field list: cheap, stable, and good enough
+// to distinguish machine configurations (this is a refusal check, not a
+// security boundary).
+std::uint64_t fnv1a64(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct SavedEvent {
+  TimePs time;
+  TimePs stamp;
+  std::uint64_t tie;
+  EventDesc desc;
+};
+
+void save_live_event(StateWriter& w, const SavedEvent& e) {
+  w.i64(e.time);
+  w.i64(e.stamp);
+  w.u64(e.tie);
+  w.u16(static_cast<std::uint16_t>(e.desc.kind));
+  w.u16(e.desc.node);
+  w.u32(e.desc.a);
+  w.u64(e.desc.b);
+  w.u64(e.desc.c);
+}
+
+LiveEvent load_live_event(StateReader& r) {
+  LiveEvent e;
+  e.time = r.i64();
+  e.stamp = r.i64();
+  e.tie = r.u64();
+  e.desc.kind = static_cast<EventKind>(r.u16());
+  e.desc.node = r.u16();
+  e.desc.a = r.u32();
+  e.desc.b = r.u64();
+  e.desc.c = r.u64();
+  return e;
+}
+
+bool is_fault_event(EventKind k) {
+  return k == EventKind::kFaultActivate || k == EventKind::kFaultRepair ||
+         k == EventKind::kFaultUnfreeze || k == EventKind::kFaultPeerKill;
+}
+
+void expect_drained(const StateReader& r, const char* section) {
+  if (!r.done()) {
+    throw SnapError(
+        SnapError::Code::kMalformed,
+        strprintf("snapshot: section '%s' has %zu trailing bytes", section,
+                  r.remaining()));
+  }
+}
+
+}  // namespace
+
+std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
+                                   const FaultPlan* plan,
+                                   const TraceConfig* obs_cfg) {
+  StateWriter w;
+  w.u32(static_cast<std::uint32_t>(cfg.slices_x));
+  w.u32(static_cast<std::uint32_t>(cfg.slices_y));
+  w.f64(cfg.core_freq);
+  w.u8(static_cast<std::uint8_t>(cfg.link_grade));
+  w.u8(static_cast<std::uint8_t>(cfg.routing));
+  w.b(cfg.use_table_routers);
+  w.f64(cfg.cable_length_cm);
+  w.u32(static_cast<std::uint32_t>(cfg.ethernet_bridges));
+  w.f64(cfg.power_model.active_line().static_mw);
+  w.f64(cfg.power_model.active_line().dyn_mw_per_mhz);
+  w.f64(cfg.power_model.idle_line().static_mw);
+  w.f64(cfg.power_model.idle_line().dyn_mw_per_mhz);
+  w.f64(cfg.power_model.nominal_voltage());
+  w.b(cfg.auto_dvfs);
+  w.b(cfg.reliable_links);
+  w.u64(cfg.seed);
+  w.u32(static_cast<std::uint32_t>(cfg.jobs));
+  w.b(plan != nullptr);
+  if (plan != nullptr) {
+    w.u64(plan->seed);
+    w.seq(plan->faults, [&](const FaultSpec& f) {
+      w.u8(static_cast<std::uint8_t>(f.kind));
+      w.i64(f.at);
+      w.i64(f.duration);
+      w.u16(f.node);
+      w.u32(static_cast<std::uint32_t>(f.direction));
+      w.f64(f.rate);
+    });
+  }
+  w.b(obs_cfg != nullptr);
+  if (obs_cfg != nullptr) {
+    w.b(obs_cfg->tracing);
+    w.b(obs_cfg->metrics);
+    w.b(obs_cfg->profile);
+    w.u64(obs_cfg->track_capacity);
+    w.i64(obs_cfg->flush_period);
+  }
+  return fnv1a64(w.data());
+}
+
+SnapshotFile save_machine(const SnapTargets& t) {
+  require(t.system != nullptr, "save_machine: no system");
+  SwallowSystem& sys = *t.system;
+  SnapshotFile f;
+  f.config_hash = snapshot_config_hash(
+      sys.config(), t.fault != nullptr ? &t.fault->plan() : nullptr,
+      t.obs != nullptr ? &t.obs->config() : nullptr);
+
+  // ---- kMeta: machine time + per-domain clock/ordering state.
+  {
+    StateWriter w;
+    w.i64(sys.now());
+    const int domains = sys.domain_count();
+    w.u32(static_cast<std::uint32_t>(domains));
+    for (int i = 0; i < domains; ++i) {
+      const Simulator::ClockState cs = sys.domain_sim(i).clock_state();
+      w.i64(cs.now);
+      w.i64(cs.last_dispatch);
+      w.u64(cs.dispatched);
+      w.u64(cs.next_seq);
+      w.u64(cs.fallback_tie);
+    }
+    f.add(SnapSection::kMeta, w.take());
+  }
+
+  // ---- kSystem: every component's architectural + energy state.
+  {
+    StateWriter w;
+    sys.save_state(w);
+    f.add(SnapSection::kSystem, w.take());
+  }
+
+  // ---- kEvents: the live queues, rendered through their descriptors and
+  // sorted by ordering key so the section bytes are deterministic.
+  {
+    StateWriter w;
+    const int domains = sys.domain_count();
+    w.u32(static_cast<std::uint32_t>(domains));
+    for (int i = 0; i < domains; ++i) {
+      std::vector<SavedEvent> events;
+      sys.domain_sim(i).for_each_pending([&](const LiveEvent& ev) {
+        events.push_back(SavedEvent{ev.time, ev.stamp, ev.tie, ev.desc});
+      });
+      for (const SavedEvent& ev : events) {
+        if (!ev.desc.described()) {
+          throw SnapError(
+              SnapError::Code::kUndescribedEvent,
+              strprintf("snapshot: a pending event at t=%lld ps in domain %d "
+                        "carries no descriptor — a component outside the "
+                        "snapshot contract (telemetry streamer, governor, "
+                        "resilience manager, test harness) scheduled it",
+                        static_cast<long long>(ev.time), i));
+        }
+      }
+      std::sort(events.begin(), events.end(),
+                [](const SavedEvent& a, const SavedEvent& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  if (a.stamp != b.stamp) return a.stamp < b.stamp;
+                  return a.tie < b.tie;
+                });
+      w.seq(events, [&](const SavedEvent& ev) { save_live_event(w, ev); });
+    }
+    f.add(SnapSection::kEvents, w.take());
+  }
+
+  if (t.obs != nullptr) {
+    StateWriter w;
+    t.obs->save_state(w);
+    f.add(SnapSection::kObs, w.take());
+  }
+  if (t.fault != nullptr) {
+    StateWriter w;
+    t.fault->save_state(w);
+    f.add(SnapSection::kFault, w.take());
+  }
+  return f;
+}
+
+void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
+  require(t.system != nullptr, "restore_machine: no system");
+  SwallowSystem& sys = *t.system;
+
+  // ---- Refuse a snapshot from a differently configured machine before
+  // touching any state.
+  const std::uint64_t expect = snapshot_config_hash(
+      sys.config(), t.fault != nullptr ? &t.fault->plan() : nullptr,
+      t.obs != nullptr ? &t.obs->config() : nullptr);
+  if (f.config_hash != expect) {
+    throw SnapError(
+        SnapError::Code::kConfigMismatch,
+        strprintf("snapshot: config hash %016llx does not match this "
+                  "machine's %016llx (geometry, seed, jobs, fault plan and "
+                  "observability config must all be identical)",
+                  static_cast<unsigned long long>(f.config_hash),
+                  static_cast<unsigned long long>(expect)));
+  }
+
+  // ---- kMeta: domain clocks.
+  struct Clock {
+    Simulator::ClockState cs;
+  };
+  std::vector<Simulator::ClockState> clocks;
+  TimePs machine_now = 0;
+  {
+    StateReader r(f.need(SnapSection::kMeta));
+    machine_now = r.i64();
+    const std::uint32_t domains = r.u32();
+    if (static_cast<int>(domains) != sys.domain_count()) {
+      throw SnapError(SnapError::Code::kMalformed,
+                      "snapshot: domain count does not match this machine");
+    }
+    for (std::uint32_t i = 0; i < domains; ++i) {
+      Simulator::ClockState cs;
+      cs.now = r.i64();
+      cs.last_dispatch = r.i64();
+      cs.dispatched = r.u64();
+      cs.next_seq = r.u64();
+      cs.fallback_tie = r.u64();
+      clocks.push_back(cs);
+    }
+    expect_drained(r, "meta");
+  }
+
+  // ---- kSystem: component state.
+  {
+    StateReader r(f.need(SnapSection::kSystem));
+    sys.load_state(r);
+    expect_drained(r, "system");
+  }
+
+  // ---- Clocks before events: Simulator::inject validates against now().
+  for (int i = 0; i < sys.domain_count(); ++i) {
+    sys.domain_sim(i).restore_clock_state(clocks[static_cast<std::size_t>(i)]);
+  }
+  if (sys.engine() != nullptr) sys.engine()->restore_clock(machine_now);
+
+  // ---- Fault injector: hooks only, then its rng streams.  Must precede
+  // event re-injection so kFault* events have an armed owner.
+  if (t.fault != nullptr) {
+    t.fault->arm_for_restore();
+    StateReader r(f.need(SnapSection::kFault));
+    t.fault->load_state(r);
+    expect_drained(r, "fault");
+  } else if (f.find(SnapSection::kFault) != nullptr) {
+    // The config hash should have refused already; double-check anyway.
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot: carries fault state but no injector supplied");
+  }
+
+  // ---- kEvents: re-schedule every live event under its original key.
+  {
+    StateReader r(f.need(SnapSection::kEvents));
+    const std::uint32_t domains = r.u32();
+    if (static_cast<int>(domains) != sys.domain_count()) {
+      throw SnapError(SnapError::Code::kMalformed,
+                      "snapshot: event section domain count mismatch");
+    }
+    for (std::uint32_t i = 0; i < domains; ++i) {
+      r.seq([&](std::size_t) {
+        const LiveEvent ev = load_live_event(r);
+        if (!ev.desc.described()) {
+          throw SnapError(SnapError::Code::kMalformed,
+                          "snapshot: stored event has no descriptor");
+        }
+        if (is_fault_event(ev.desc.kind)) {
+          if (t.fault == nullptr) {
+            throw SnapError(
+                SnapError::Code::kMalformed,
+                "snapshot: pending fault event but no injector supplied");
+          }
+          t.fault->restore_event(ev);
+        } else {
+          sys.restore_event(ev);
+        }
+      });
+    }
+    expect_drained(r, "events");
+  }
+
+  // ---- Blocked-thread wake hooks: chanend-blocked threads re-arm their
+  // readable/writable callbacks against the restored fifo state.
+  for (int i = 0; i < sys.core_count(); ++i) {
+    sys.core_by_index(i).rearm_blocked_waits();
+  }
+
+  // ---- kObs: merged stream, ring contents, metrics, profiler.
+  if (t.obs != nullptr) {
+    StateReader r(f.need(SnapSection::kObs));
+    t.obs->load_state(r);
+    expect_drained(r, "obs");
+  } else if (f.find(SnapSection::kObs) != nullptr) {
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot: carries an observability section but no "
+                    "session supplied");
+  }
+}
+
+}  // namespace swallow

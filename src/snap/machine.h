@@ -1,0 +1,58 @@
+// Whole-machine snapshot orchestration (the PR 6 tentpole).
+//
+// save_machine() serialises a SwallowSystem — with its attached
+// observability session and armed fault injector, when present — into a
+// SnapshotFile at a run_until chop point: component state, every domain's
+// clock/ordering counters, and every live event rendered through its
+// EventDesc (sim/event_desc.h).  restore_machine() is the mirror: the
+// caller rebuilds an identically configured machine (same SystemConfig,
+// attach_observability with the same TraceConfig, a freshly constructed
+// *unarmed* FaultInjector with the same plan — and no program load, no
+// core start, no start_sampling, no enable_loss_integration: all of that
+// state, including SRAM contents, comes back from the snapshot), then a
+// single call validates the config hash and re-applies everything.
+//
+// The keystone property: run-to-T, snapshot, restore, run-to-2T is
+// bit-identical — instruction counts, energy doubles, telemetry bytes,
+// trace output, fault counters — to an uninterrupted run to 2T, across
+// engines and worker counts.
+#pragma once
+
+#include <cstdint>
+
+#include "board/system.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+#include "snap/snapfile.h"
+
+namespace swallow {
+
+/// The machine-level objects a snapshot covers.  `system` is required.
+/// `obs` / `fault` must be present exactly when the snapshot carries their
+/// sections (the config hash pins both, so a mismatch refuses early).
+struct SnapTargets {
+  SwallowSystem* system = nullptr;
+  TraceSession* obs = nullptr;
+  FaultInjector* fault = nullptr;
+};
+
+/// Deterministic hash over everything that must match between the
+/// snapshotting and the restoring machine: the full SystemConfig
+/// (including jobs — cross-engine restore is refused by design), the
+/// fault plan, and the observability configuration.
+std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
+                                   const FaultPlan* plan,
+                                   const TraceConfig* obs_cfg);
+
+/// Serialise the machine.  Must be called at a chop point (between
+/// run_until calls).  Throws SnapError{kUndescribedEvent} when any pending
+/// event lacks a descriptor.
+SnapshotFile save_machine(const SnapTargets& t);
+
+/// Validate and re-apply a snapshot into freshly built targets.  Throws
+/// SnapError and leaves the targets unusable on failure — build new ones
+/// rather than resuming after a refusal.  The fault injector, when given,
+/// must be unarmed (restore arms it hook-only via arm_for_restore()).
+void restore_machine(const SnapshotFile& f, const SnapTargets& t);
+
+}  // namespace swallow

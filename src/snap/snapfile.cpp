@@ -1,0 +1,216 @@
+#include "snap/snapfile.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "common/strings.h"
+
+namespace swallow {
+
+const char* snap_section_name(SnapSection s) {
+  switch (s) {
+    case SnapSection::kMeta: return "meta";
+    case SnapSection::kSystem: return "system";
+    case SnapSection::kEvents: return "events";
+    case SnapSection::kObs: return "obs";
+    case SnapSection::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+const std::vector<std::uint8_t>* SnapshotFile::find(SnapSection id) const {
+  for (const auto& [sid, bytes] : sections_) {
+    if (sid == id) return &bytes;
+  }
+  return nullptr;
+}
+
+const std::vector<std::uint8_t>& SnapshotFile::need(SnapSection id) const {
+  const auto* s = find(id);
+  if (s == nullptr) {
+    throw SnapError(SnapError::Code::kMissingSection,
+                    strprintf("snapshot: required section '%s' is missing",
+                              snap_section_name(id)));
+  }
+  return *s;
+}
+
+std::vector<std::uint8_t> SnapshotFile::encode() const {
+  StateWriter w;
+  w.u32(kMagic);
+  w.u32(kVersion);
+  w.u64(config_hash);
+  w.u32(static_cast<std::uint32_t>(sections_.size()));
+  // Table: (id, offset-from-payload-start, size, crc32).
+  std::uint64_t offset = 0;
+  for (const auto& [id, bytes] : sections_) {
+    w.u32(static_cast<std::uint32_t>(id));
+    w.u64(offset);
+    w.u64(bytes.size());
+    w.u32(crc32(bytes.data(), bytes.size()));
+    offset += bytes.size();
+  }
+  for (const auto& [id, bytes] : sections_) {
+    w.bytes(bytes.data(), bytes.size());
+  }
+  return w.take();
+}
+
+SnapshotFile SnapshotFile::decode(const std::uint8_t* data, std::size_t size) {
+  StateReader r(data, size);
+  // Distinguish "not a snapshot at all" from "snapshot cut short".
+  if (size < 4) {
+    throw SnapError(SnapError::Code::kBadMagic,
+                    "snapshot: file too short to carry the magic");
+  }
+  if (r.u32() != kMagic) {
+    throw SnapError(SnapError::Code::kBadMagic,
+                    "snapshot: bad magic (not a snapshot file)");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw SnapError(
+        SnapError::Code::kBadVersion,
+        strprintf("snapshot: format version %u, this build reads %u", version,
+                  kVersion));
+  }
+  SnapshotFile f;
+  f.config_hash = r.u64();
+  const std::uint32_t count = r.u32();
+  struct Entry {
+    std::uint32_t id;
+    std::uint64_t offset;
+    std::uint64_t size;
+    std::uint32_t crc;
+  };
+  std::vector<Entry> table;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    e.id = r.u32();
+    e.offset = r.u64();
+    e.size = r.u64();
+    e.crc = r.u32();
+    table.push_back(e);
+  }
+  const std::size_t payload_start = size - r.remaining();
+  for (const Entry& e : table) {
+    if (e.offset + e.size < e.offset ||  // overflow
+        payload_start + e.offset + e.size > size) {
+      throw SnapError(
+          SnapError::Code::kTruncated,
+          strprintf("snapshot: section '%s' extends past end of file",
+                    snap_section_name(static_cast<SnapSection>(e.id))));
+    }
+    const std::uint8_t* p = data + payload_start + e.offset;
+    const std::uint32_t actual = crc32(p, static_cast<std::size_t>(e.size));
+    if (actual != e.crc) {
+      throw SnapError(
+          SnapError::Code::kBadCrc,
+          strprintf("snapshot: section '%s' CRC mismatch "
+                    "(stored %08x, computed %08x)",
+                    snap_section_name(static_cast<SnapSection>(e.id)), e.crc,
+                    actual));
+    }
+    f.add(static_cast<SnapSection>(e.id),
+          std::vector<std::uint8_t>(p, p + e.size));
+  }
+  return f;
+}
+
+void SnapshotFile::write_file(const std::string& path) const {
+  const std::vector<std::uint8_t> image = encode();
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (fp == nullptr) {
+    throw SnapError(SnapError::Code::kIoError,
+                    strprintf("snapshot: cannot open %s: %s", tmp.c_str(),
+                              std::strerror(errno)));
+  }
+  const bool wrote =
+      image.empty() || std::fwrite(image.data(), 1, image.size(), fp) ==
+                           image.size();
+  bool synced = wrote && std::fflush(fp) == 0;
+#ifndef _WIN32
+  synced = synced && fsync(fileno(fp)) == 0;
+#endif
+  const bool closed = std::fclose(fp) == 0;
+  if (!wrote || !synced || !closed) {
+    std::remove(tmp.c_str());
+    throw SnapError(SnapError::Code::kIoError,
+                    strprintf("snapshot: write to %s failed: %s", tmp.c_str(),
+                              std::strerror(errno)));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw SnapError(SnapError::Code::kIoError,
+                    strprintf("snapshot: rename %s -> %s failed: %s",
+                              tmp.c_str(), path.c_str(),
+                              ec.message().c_str()));
+  }
+}
+
+SnapshotFile SnapshotFile::read_file(const std::string& path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    throw SnapError(SnapError::Code::kIoError,
+                    strprintf("snapshot: cannot open %s: %s", path.c_str(),
+                              std::strerror(errno)));
+  }
+  std::vector<std::uint8_t> image;
+  std::uint8_t buf[65536];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, fp)) > 0) {
+    image.insert(image.end(), buf, buf + n);
+  }
+  const bool read_ok = std::ferror(fp) == 0;
+  std::fclose(fp);
+  if (!read_ok) {
+    throw SnapError(SnapError::Code::kIoError,
+                    strprintf("snapshot: read of %s failed", path.c_str()));
+  }
+  return decode(image);
+}
+
+// ----- Checkpoint rotation -----
+
+std::string checkpoint_path(const std::string& dir, std::uint64_t seq) {
+  return strprintf("%s/ckpt-%012llu.swsnap", dir.c_str(),
+                   static_cast<unsigned long long>(seq));
+}
+
+std::vector<std::string> list_checkpoints(const std::string& dir) {
+  std::vector<std::string> found;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.size() > 12 &&  // "ckpt-" + digits + ".swsnap"
+        name.compare(name.size() - 7, 7, ".swsnap") == 0) {
+      found.push_back(entry.path().string());
+    }
+  }
+  // Zero-padded sequence numbers: lexically descending = newest first.
+  std::sort(found.rbegin(), found.rend());
+  return found;
+}
+
+void prune_checkpoints(const std::string& dir, int keep) {
+  const std::vector<std::string> all = list_checkpoints(dir);
+  for (std::size_t i = static_cast<std::size_t>(std::max(keep, 0));
+       i < all.size(); ++i) {
+    std::remove(all[i].c_str());
+  }
+}
+
+}  // namespace swallow

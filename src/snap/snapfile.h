@@ -1,0 +1,89 @@
+// Snapshot file container (docs/architecture.md §snapshot format).
+//
+// A snapshot is a single file: a fixed header (magic, format version,
+// machine config hash), a section table, and the section payloads.  Every
+// section carries a CRC32 over its bytes; readers validate magic, version
+// and every CRC before any state is touched, and refuse with a structured
+// SnapError otherwise — a corrupt or foreign snapshot never half-applies.
+//
+// Writes are crash-safe: the encoded image goes to `<path>.tmp`, is
+// fsync'd, and is atomically renamed over `<path>`, so a kill at any
+// instant leaves either the previous snapshot or the new one, never a
+// torn file.  Checkpoint rotation keeps the last N files
+// (`ckpt-<seq>.swsnap`); auto-resume walks them newest-first and falls
+// back to an older snapshot when the newest refuses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stateio.h"
+
+namespace swallow {
+
+/// Section identifiers.  Part of the format: append, never renumber.
+enum class SnapSection : std::uint32_t {
+  kMeta = 1,    // format + domain clocks + machine time
+  kSystem = 2,  // SwallowSystem component state
+  kEvents = 3,  // per-domain live event queues (descriptors + keys)
+  kObs = 4,     // TraceSession (present iff observability was attached)
+  kFault = 5,   // FaultInjector rng streams (present iff a plan was armed)
+};
+
+const char* snap_section_name(SnapSection s);
+
+/// In-memory snapshot: a config hash plus ordered (section, bytes) pairs.
+class SnapshotFile {
+ public:
+  static constexpr std::uint32_t kMagic = 0x4E535753;  // "SWSN" little-endian
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t config_hash = 0;
+
+  void add(SnapSection id, std::vector<std::uint8_t> bytes) {
+    sections_.emplace_back(id, std::move(bytes));
+  }
+  /// nullptr when absent.
+  const std::vector<std::uint8_t>* find(SnapSection id) const;
+  /// Throws SnapError{kMissingSection} when absent.
+  const std::vector<std::uint8_t>& need(SnapSection id) const;
+  std::size_t section_count() const { return sections_.size(); }
+
+  /// Serialise to the on-disk image (header + table + payloads, CRCs
+  /// computed here).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parse and fully validate an on-disk image.  Throws SnapError with
+  /// kBadMagic / kBadVersion / kTruncated / kBadCrc / kMalformed.
+  static SnapshotFile decode(const std::uint8_t* data, std::size_t size);
+  static SnapshotFile decode(const std::vector<std::uint8_t>& v) {
+    return decode(v.data(), v.size());
+  }
+
+  /// Crash-safe write: encode to `<path>.tmp`, fsync, rename over `path`.
+  /// Throws SnapError{kIoError} on any filesystem failure.
+  void write_file(const std::string& path) const;
+
+  /// Read + decode + validate.  Throws SnapError (kIoError when the file
+  /// cannot be read at all).
+  static SnapshotFile read_file(const std::string& path);
+
+ private:
+  std::vector<std::pair<SnapSection, std::vector<std::uint8_t>>> sections_;
+};
+
+// ----- Checkpoint rotation -----
+
+/// `dir/ckpt-<seq>.swsnap` (seq zero-padded so lexical = numeric order).
+std::string checkpoint_path(const std::string& dir, std::uint64_t seq);
+
+/// Checkpoint files in `dir`, newest (highest seq) first.
+std::vector<std::string> list_checkpoints(const std::string& dir);
+
+/// Delete all but the newest `keep` checkpoints.  Best-effort: unlink
+/// failures are ignored (an undeletable old file only wastes space).
+void prune_checkpoints(const std::string& dir, int keep);
+
+}  // namespace swallow

@@ -60,6 +60,31 @@ TEST(EventQueue, CancelLoopKeepsMemoryBounded) {
   EXPECT_EQ(q.next_time(), 1'000'000);
 }
 
+TEST(EventQueue, CompactionKeepsEqualTimeOrder) {
+  // Regression: convenience schedule() used to draw ties starting at 1 —
+  // the same value a lane-0 Simulator's first explicit key uses.  Two
+  // equal-time events could then carry byte-identical (time, stamp, tie)
+  // keys, and tombstone compaction's make_heap was free to swap their pop
+  // order, breaking determinism exactly when cancel pressure triggered a
+  // compaction.  Bare ties now start in the reserved 0xFFFF lane, so the
+  // explicit lane-0 key must always fire first, compaction or not.
+  for (const bool compact : {false, true}) {
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(100, 0, 1, [&] { fired.push_back(1); });  // explicit lane 0
+    q.schedule(100, [&] { fired.push_back(2); });        // bare, same time
+    if (compact) {
+      // Flood with tombstones so compaction rebuilds the heap while both
+      // equal-time events are pending.
+      for (int i = 0; i < 200; ++i) q.cancel(q.schedule(10 + i, [] {}));
+      ASSERT_LE(q.tombstones(), 64u) << "compaction never ran";
+    }
+    while (!q.empty()) q.pop().callback();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}))
+        << (compact ? "after compaction" : "without compaction");
+  }
+}
+
 TEST(EventQueue, RearmMovesEventWithoutRescheduling) {
   EventQueue q;
   std::vector<int> fired;

@@ -1,0 +1,442 @@
+// Snapshot/restore tests (PR 6 tentpole): round-trip bit-identity across
+// engines, structured refusal of corrupt or foreign snapshots, crash-safe
+// file behaviour and checkpoint rotation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/assembler.h"
+#include "board/system.h"
+#include "check/differ.h"
+#include "check/snapdiff.h"
+#include "common/stateio.h"
+#include "fault/fault.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
+
+namespace swallow {
+namespace {
+
+// A looping ping/pong pair: enough round trips (~300 us) that snapshots
+// land mid-conversation, with tokens in flight and threads blocking.
+constexpr const char* kPingSrc = R"(
+    getr  r0, 2
+    ldc   r1, 1
+    ldch  r1, 2
+    setd  r0, r1
+    ldc   r4, 500
+loop:
+    out   r0, r4
+    outct r0, 1
+    in    r3, r0
+    chkct r0, 1
+    ldc   r5, 1
+    sub   r4, r4, r5
+    bt    r4, loop
+    printi r3
+    texit
+)";
+
+constexpr const char* kPongSrc = R"(
+    getr  r0, 2
+    ldc   r1, 0
+    ldch  r1, 2
+    setd  r0, r1
+    ldc   r4, 500
+loop:
+    in    r2, r0
+    chkct r0, 1
+    out   r0, r2
+    outct r0, 1
+    ldc   r5, 1
+    sub   r4, r4, r5
+    bt    r4, loop
+    texit
+)";
+
+// One complete single-slice machine in the restore-ready (unstarted,
+// unarmed) state.  `start()` is the fresh-run path.
+struct Machine {
+  TraceSession session;
+  Simulator sim;
+  SwallowSystem sys;
+  std::unique_ptr<FaultInjector> injector;
+
+  explicit Machine(bool obs = true, bool faults = true,
+                   std::uint64_t fault_seed = 11)
+      : session(obs ? TraceConfig{.tracing = true, .metrics = true,
+                                  .profile = true}
+                    : TraceConfig{}),
+        sys(sim, [] {
+          SystemConfig cfg;
+          cfg.reliable_links = true;
+          return cfg;
+        }()) {
+    if (obs) sys.attach_observability(session);
+    if (faults) {
+      FaultPlan plan;
+      plan.seed = fault_seed;
+      plan.corrupt_link(0, -1, 0.02);
+      injector = std::make_unique<FaultInjector>(sys, plan);
+    }
+  }
+
+  SnapTargets targets() {
+    return SnapTargets{&sys, session.active() ? &session : nullptr,
+                       injector.get()};
+  }
+
+  void start() {
+    if (injector) injector->arm();
+    const Image ping = assemble(kPingSrc);
+    const Image pong = assemble(kPongSrc);
+    sys.find_core(0)->load(ping);
+    sys.find_core(1)->load(pong);
+    sys.find_core(0)->start(ping.entry);
+    sys.find_core(1)->start(pong.entry);
+    sys.start_sampling();
+  }
+
+  void run_to(TimePs target) {
+    TimePs t = sys.now();
+    while (t < target) {
+      t = std::min<TimePs>(t + microseconds(50.0), target);
+      sys.run_until(t);
+    }
+  }
+};
+
+SnapError::Code code_of(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const SnapError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "expected a SnapError";
+  return SnapError::Code::kIoError;
+}
+
+// ----- Round-trip bit-identity -----
+
+// The keystone, at full strength: run-to-T / snapshot / restore / run-to-2T
+// renders the identical final machine — every register, SRAM word, fifo,
+// rng stream, energy double, fault counter, metric and trace event — as an
+// uninterrupted run, on the sequential engine and on every parallel shard
+// count, with an armed fault plan and full observability.
+TEST(SnapRoundtrip, BitIdenticalAcrossEngines) {
+  const SourceSet sources = render_sources(differ_generate(3));
+  for (int jobs : {0, 1, 2, 4}) {
+    SnapRoundtripOptions opts;
+    opts.jobs = jobs;
+    opts.tracing = true;
+    opts.faults = true;
+    EXPECT_EQ(snap_roundtrip(sources, opts), "") << "jobs=" << jobs;
+  }
+}
+
+// Same property stated on the observables a user sees, not snapshot bytes:
+// retired counts, bitwise energy totals, console output, rendered trace
+// and metrics JSON.
+TEST(SnapRoundtrip, ObservablesMatchUninterruptedRun) {
+  const TimePs half = microseconds(80.0);
+
+  Machine a;
+  a.start();
+  a.run_to(2 * half);
+
+  Machine b;
+  b.start();
+  b.run_to(half);
+  const SnapshotFile mid =
+      SnapshotFile::decode(save_machine(b.targets()).encode());
+
+  Machine c;
+  restore_machine(mid, c.targets());
+  EXPECT_EQ(c.sys.now(), half);
+  c.run_to(2 * half);
+
+  for (int i = 0; i < 2; ++i) {
+    SCOPED_TRACE(i);
+    Core& ca = *a.sys.find_core(static_cast<NodeId>(i));
+    Core& cc = *c.sys.find_core(static_cast<NodeId>(i));
+    EXPECT_EQ(ca.instructions_retired(), cc.instructions_retired());
+    EXPECT_EQ(ca.console(), cc.console());
+    EXPECT_EQ(ca.thread_regs(0), cc.thread_regs(0));
+  }
+  for (int acc = 0; acc < static_cast<int>(EnergyAccount::kCount); ++acc) {
+    EXPECT_EQ(a.sys.ledger().total(static_cast<EnergyAccount>(acc)),
+              c.sys.ledger().total(static_cast<EnergyAccount>(acc)))
+        << "energy account " << acc << " drifted (must be bit-identical)";
+  }
+  a.sys.finish_observability();
+  c.sys.finish_observability();
+  EXPECT_EQ(a.session.chrome_json(), c.session.chrome_json());
+  EXPECT_EQ(a.session.metrics().dump_json(), c.session.metrics().dump_json());
+  EXPECT_EQ(a.session.profiler().collapsed(), c.session.profiler().collapsed());
+}
+
+// Restoring twice from the same snapshot yields the same future: snapshots
+// are values, not live references into the saving machine.
+TEST(SnapRoundtrip, SnapshotIsReusable) {
+  Machine b;
+  b.start();
+  b.run_to(microseconds(80.0));
+  const SnapshotFile mid = save_machine(b.targets());
+
+  std::string first;
+  for (int round = 0; round < 2; ++round) {
+    Machine c;
+    restore_machine(mid, c.targets());
+    c.run_to(microseconds(160.0));
+    const std::vector<std::uint8_t> image =
+        save_machine(c.targets()).encode();
+    const std::string bytes(image.begin(), image.end());
+    if (round == 0) {
+      first = bytes;
+    } else {
+      EXPECT_EQ(first == bytes, true) << "second restore diverged";
+    }
+  }
+}
+
+// ----- Structured refusal -----
+
+class SnapRefusal : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Machine m;
+    m.start();
+    m.run_to(microseconds(80.0));
+    image_ = save_machine(m.targets()).encode();
+  }
+  std::vector<std::uint8_t> image_;
+};
+
+TEST_F(SnapRefusal, TruncatedFile) {
+  std::vector<std::uint8_t> cut(image_.begin(),
+                                image_.begin() + image_.size() / 2);
+  EXPECT_EQ(code_of([&] { SnapshotFile::decode(cut); }),
+            SnapError::Code::kTruncated);
+}
+
+TEST_F(SnapRefusal, FlippedCrcByte) {
+  std::vector<std::uint8_t> bad = image_;
+  bad[bad.size() - 100] ^= 0x01;  // payload byte: CRC must catch it
+  EXPECT_EQ(code_of([&] { SnapshotFile::decode(bad); }),
+            SnapError::Code::kBadCrc);
+}
+
+TEST_F(SnapRefusal, BadMagic) {
+  std::vector<std::uint8_t> bad = image_;
+  bad[0] ^= 0xFF;
+  EXPECT_EQ(code_of([&] { SnapshotFile::decode(bad); }),
+            SnapError::Code::kBadMagic);
+  EXPECT_EQ(code_of([&] {
+              SnapshotFile::decode(std::vector<std::uint8_t>{0x53, 0x57});
+            }),
+            SnapError::Code::kBadMagic);
+}
+
+TEST_F(SnapRefusal, WrongVersion) {
+  std::vector<std::uint8_t> bad = image_;
+  bad[4] += 1;  // little-endian version field follows the magic
+  EXPECT_EQ(code_of([&] { SnapshotFile::decode(bad); }),
+            SnapError::Code::kBadVersion);
+}
+
+TEST_F(SnapRefusal, ConfigHashMismatch) {
+  const SnapshotFile f = SnapshotFile::decode(image_);
+  // Same geometry, different fault plan seed: a differently configured
+  // machine must refuse before touching any state...
+  Machine other(true, true, /*fault_seed=*/99);
+  EXPECT_EQ(code_of([&] { restore_machine(f, other.targets()); }),
+            SnapError::Code::kConfigMismatch);
+  // ...and stay fully runnable from scratch (nothing was half-applied).
+  EXPECT_EQ(other.sys.now(), 0);
+  other.start();
+  other.run_to(microseconds(50.0));
+  EXPECT_GT(other.sys.find_core(0)->instructions_retired(), 0u);
+}
+
+TEST_F(SnapRefusal, MissingSection) {
+  const SnapshotFile f = SnapshotFile::decode(image_);
+  SnapshotFile gutted;
+  gutted.config_hash = f.config_hash;
+  for (SnapSection s : {SnapSection::kMeta, SnapSection::kSystem,
+                        SnapSection::kObs, SnapSection::kFault}) {
+    gutted.add(s, *f.find(s));  // everything but kEvents
+  }
+  Machine m;
+  EXPECT_EQ(code_of([&] { restore_machine(gutted, m.targets()); }),
+            SnapError::Code::kMissingSection);
+}
+
+TEST(SnapRefusalStandalone, UndescribedEventRefusesToSave) {
+  Machine m(false, false);
+  m.start();
+  m.run_to(microseconds(20.0));
+  // A host-scheduled event with no descriptor (a test harness callback,
+  // say) makes the machine unsnapshottable — and save must say so rather
+  // than silently drop the event.
+  m.sim.after(microseconds(5.0), [] {});
+  EXPECT_EQ(code_of([&] { save_machine(m.targets()); }),
+            SnapError::Code::kUndescribedEvent);
+}
+
+// ----- File layer: crash-safe writes and rotation -----
+
+struct TempDir {
+  std::filesystem::path path;
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("swallow_snap_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+TEST(SnapFiles, CrashSafeWriteRoundTripsAndLeavesNoTemp) {
+  Machine m;
+  m.start();
+  m.run_to(microseconds(40.0));
+  const SnapshotFile f = save_machine(m.targets());
+
+  TempDir dir;
+  const std::string path = checkpoint_path(dir.path.string(), 7);
+  f.write_file(path);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  const SnapshotFile back = SnapshotFile::read_file(path);
+  EXPECT_EQ(back.config_hash, f.config_hash);
+  EXPECT_EQ(back.encode() == f.encode(), true);
+}
+
+TEST(SnapFiles, RotationListsNewestFirstAndPrunes) {
+  TempDir dir;
+  Machine m;
+  m.start();
+  for (int k = 1; k <= 5; ++k) {
+    m.run_to(k * microseconds(20.0));
+    save_machine(m.targets())
+        .write_file(checkpoint_path(dir.path.string(),
+                                    static_cast<std::uint64_t>(k)));
+  }
+  std::vector<std::string> all = list_checkpoints(dir.path.string());
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_NE(all[0].find("ckpt-000000000005"), std::string::npos);
+  EXPECT_NE(all[4].find("ckpt-000000000001"), std::string::npos);
+
+  prune_checkpoints(dir.path.string(), 3);
+  all = list_checkpoints(dir.path.string());
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_NE(all[2].find("ckpt-000000000003"), std::string::npos);
+}
+
+// The rotation contract end to end: when the newest checkpoint is corrupt
+// the newest-first walk refuses it with a structured error and the
+// previous snapshot restores — and its future is the same one the
+// uninterrupted machine lives.  Checkpoints sit on the 50 us step grid:
+// snapshot bytes are chop-aligned-identical (the obs section's
+// ring-vs-merged partition tracks the caller's run_until deadlines), so
+// the comparison runs must share the grid, as swallow_run's resume does.
+TEST(SnapFiles, AutoResumeFallsBackToPreviousOnCorruption) {
+  TempDir dir;
+  Machine b;
+  b.start();
+  b.run_to(microseconds(50.0));
+  save_machine(b.targets()).write_file(checkpoint_path(dir.path.string(), 1));
+  b.run_to(microseconds(100.0));
+  save_machine(b.targets()).write_file(checkpoint_path(dir.path.string(), 2));
+
+  // Flip one payload byte of the newest.
+  {
+    const std::string newest = list_checkpoints(dir.path.string()).at(0);
+    std::FILE* fp = std::fopen(newest.c_str(), "r+b");
+    ASSERT_NE(fp, nullptr);
+    std::fseek(fp, -50, SEEK_END);
+    const int c = std::fgetc(fp);
+    std::fseek(fp, -50, SEEK_END);
+    std::fputc(c ^ 0x01, fp);
+    std::fclose(fp);
+  }
+
+  // Newest-first walk: checkpoint 2 refuses with kBadCrc, 1 restores.
+  SnapshotFile restored;
+  int refused = 0;
+  for (const std::string& path : list_checkpoints(dir.path.string())) {
+    try {
+      restored = SnapshotFile::read_file(path);
+      break;
+    } catch (const SnapError& e) {
+      EXPECT_EQ(e.code(), SnapError::Code::kBadCrc);
+      ++refused;
+    }
+  }
+  EXPECT_EQ(refused, 1);
+
+  Machine c;
+  restore_machine(restored, c.targets());
+  EXPECT_EQ(c.sys.now(), microseconds(50.0));
+  c.run_to(microseconds(200.0));
+
+  Machine a;
+  a.start();
+  a.run_to(microseconds(200.0));
+  const SnapshotFile fa = save_machine(a.targets());
+  const SnapshotFile fc = save_machine(c.targets());
+  EXPECT_EQ(fa.config_hash, fc.config_hash);
+  for (SnapSection s :
+       {SnapSection::kMeta, SnapSection::kSystem, SnapSection::kEvents,
+        SnapSection::kObs, SnapSection::kFault}) {
+    const auto* pa = fa.find(s);
+    const auto* pc = fc.find(s);
+    ASSERT_TRUE(pa && pc);
+    if (*pa != *pc) {
+      size_t off = 0;
+      while (off < pa->size() && off < pc->size() && (*pa)[off] == (*pc)[off])
+        ++off;
+      ADD_FAILURE() << "fallback restore did not rejoin the uninterrupted "
+                       "timeline: section "
+                    << static_cast<int>(s) << " differs at byte " << off
+                    << " (sizes " << pa->size() << " vs " << pc->size() << ")";
+    }
+  }
+}
+
+// ----- Time bisection -----
+
+TEST(SnapBisect, LocalisesPlantedDivergenceToOneInterval) {
+  const SourceSet sources = render_sources(differ_generate(5));
+  TimeBisectOptions opts;
+  opts.interval = microseconds(50.0);
+  opts.horizon = microseconds(800.0);
+  opts.plant_at = microseconds(430.0);
+  const TimeBisectResult r = time_bisect(sources, opts);
+  ASSERT_TRUE(r.diverged);
+  EXPECT_EQ(r.hi - r.lo, opts.interval);
+  EXPECT_GT(opts.plant_at, r.lo);
+  EXPECT_LE(opts.plant_at, r.hi);
+  // log2(16 checkpoints) probes, not a linear scan.
+  EXPECT_LE(r.probes, 5);
+}
+
+TEST(SnapBisect, CleanRunsDoNotDiverge) {
+  const SourceSet sources = render_sources(differ_generate(5));
+  TimeBisectOptions opts;
+  opts.interval = microseconds(50.0);
+  opts.horizon = microseconds(400.0);
+  opts.plant_at = 0;
+  const TimeBisectResult r = time_bisect(sources, opts);
+  EXPECT_FALSE(r.diverged);
+}
+
+}  // namespace
+}  // namespace swallow

@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,8 @@
 #include "obs/trace.h"
 #include "common/strings.h"
 #include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
 
 namespace {
 
@@ -43,10 +46,12 @@ struct BenchResult {
   std::uint64_t instructions = 0;
   std::uint64_t quanta = 0;
   std::uint64_t trace_events = 0;
+  double ckpt_write_s = 0;      // total wall time spent in save+write
+  std::uint64_t ckpt_bytes = 0; // on-disk size of the last snapshot
 };
 
 BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
-                      bool traced = false) {
+                      bool traced = false, int checkpoints = 0) {
   using namespace swallow;
   Simulator sim;
   SystemConfig cfg;
@@ -80,12 +85,40 @@ BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
   build_pipeline(app, pcfg, places);
   app.start();
 
+  double ckpt_write_s = 0;
+  std::uint64_t ckpt_bytes = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  sys.run_until(milliseconds(limit_ms));
+  if (checkpoints <= 0) {
+    sys.run_until(milliseconds(limit_ms));
+  } else {
+    // Same total simulated span, chopped so `checkpoints` snapshots hit
+    // the full crash-safe write path (encode + tmp + fsync + rename).
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "swallow_bench_ckpt")
+            .string();
+    std::filesystem::create_directories(dir);
+    const TimePs limit = milliseconds(limit_ms);
+    const SnapTargets targets{&sys, traced ? &session : nullptr, nullptr};
+    for (int k = 1; k <= checkpoints + 1; ++k) {
+      sys.run_until(limit * k / (checkpoints + 1));
+      if (k > checkpoints) break;
+      const auto w0 = std::chrono::steady_clock::now();
+      const std::string path =
+          checkpoint_path(dir, static_cast<std::uint64_t>(k));
+      save_machine(targets).write_file(path);
+      const auto w1 = std::chrono::steady_clock::now();
+      ckpt_write_s += std::chrono::duration<double>(w1 - w0).count();
+      ckpt_bytes = static_cast<std::uint64_t>(
+          std::filesystem::file_size(path));
+    }
+    prune_checkpoints(dir, 0);
+  }
   if (traced) sys.finish_observability();
   const auto t1 = std::chrono::steady_clock::now();
 
   BenchResult r;
+  r.ckpt_write_s = ckpt_write_s;
+  r.ckpt_bytes = ckpt_bytes;
   if (traced) r.trace_events = session.events().size();
   r.jobs = jobs;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -203,11 +236,40 @@ int main(int argc, char** argv) {
     std::printf(
         "  \"tracing\": {\"off_wall_s\": %.6f, \"on_wall_s\": %.6f, "
         "\"off_overhead\": %.3f, \"on_overhead\": %.3f, "
-        "\"trace_events\": %llu}\n",
+        "\"trace_events\": %llu},\n",
         off.wall_s, on.wall_s,
         seq.wall_s > 0 ? off.wall_s / seq.wall_s - 1.0 : 0.0,
         seq.wall_s > 0 ? on.wall_s / seq.wall_s - 1.0 : 0.0,
         static_cast<unsigned long long>(on.trace_events));
+
+    // Checkpoint overhead (sequential engine): the same workload with 1
+    // and 10 snapshots written through the full crash-safe path.  Retired
+    // instructions must not move — a checkpoint that perturbed the
+    // machine would be corrupting what it claims to preserve.
+    const BenchResult ck1 =
+        run_bench(slices_x, slices_y, limit_ms, 0, false, 1);
+    const BenchResult ck10 =
+        run_bench(slices_x, slices_y, limit_ms, 0, false, 10);
+    if (ck1.instructions != seq.instructions ||
+        ck10.instructions != seq.instructions) {
+      std::fprintf(stderr,
+                   "checkpointing perturbed the machine: ckpt1=%llu "
+                   "ckpt10=%llu baseline=%llu instructions\n",
+                   static_cast<unsigned long long>(ck1.instructions),
+                   static_cast<unsigned long long>(ck10.instructions),
+                   static_cast<unsigned long long>(seq.instructions));
+      return 1;
+    }
+    std::printf(
+        "  \"checkpointing\": {\"baseline_wall_s\": %.6f, "
+        "\"ckpt1_wall_s\": %.6f, \"ckpt10_wall_s\": %.6f, "
+        "\"ckpt1_overhead\": %.3f, \"ckpt10_overhead\": %.3f, "
+        "\"write_s_per_snapshot\": %.6f, \"snapshot_bytes\": %llu}\n",
+        seq.wall_s, ck1.wall_s, ck10.wall_s,
+        seq.wall_s > 0 ? ck1.wall_s / seq.wall_s - 1.0 : 0.0,
+        seq.wall_s > 0 ? ck10.wall_s / seq.wall_s - 1.0 : 0.0,
+        ck10.ckpt_write_s / 10.0,
+        static_cast<unsigned long long>(ck10.ckpt_bytes));
     std::printf("}\n");
     return 0;
   } catch (const Error& e) {

@@ -26,6 +26,7 @@
 #include "check/progen.h"
 #include "check/ref_isa.h"
 #include "check/shrink.h"
+#include "check/snapdiff.h"
 #include "common/error.h"
 #include "common/strings.h"
 
@@ -60,6 +61,18 @@ void usage() {
       "  --no-trace         drop the tracing-on runs\n"
       "  --no-faults        drop the fault-plan runs\n"
       "  --time-cap MS      per-run simulated time cap     (default 20)\n"
+      "\n"
+      "snapshot modes (src/snap, docs/testing.md):\n"
+      "  --snap-roundtrip   for each seed and each --jobs value, prove\n"
+      "                     run-to-T / snapshot / restore / run-to-2T is\n"
+      "                     bit-identical to an uninterrupted run to 2T\n"
+      "  --time-bisect      checkpoint a reference and a divergence-planted\n"
+      "                     run every --interval-us, then binary-search the\n"
+      "                     state digests to localise the divergence to one\n"
+      "                     interval (self-test of the bisection workflow)\n"
+      "  --interval-us US   bisect checkpoint cadence       (default 50)\n"
+      "  --plant-at-us US   when the planted divergence fires (default 730)\n"
+      "  --horizon-us US    bisect run length               (default 2000)\n"
       "\n"
       "failure handling:\n"
       "  --no-shrink        report the divergence without minimising it\n"
@@ -96,6 +109,11 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   bool do_shrink = true;
   bool dump = false;
+  bool snap_mode = false;
+  bool bisect_mode = false;
+  long long interval_us = 50;
+  long long plant_at_us = 730;
+  long long horizon_us = 2000;
   DifferOptions opts;
 
   try {
@@ -123,6 +141,18 @@ int main(int argc, char** argv) {
         opts.with_faults = false;
       } else if (a == "--time-cap") {
         opts.time_cap = milliseconds(std::atof(next().c_str()));
+      } else if (a == "--snap-roundtrip") {
+        snap_mode = true;
+      } else if (a == "--time-bisect") {
+        bisect_mode = true;
+      } else if (a == "--interval-us") {
+        interval_us = std::strtoll(next().c_str(), nullptr, 10);
+        if (interval_us <= 0) throw Error("--interval-us must be positive");
+      } else if (a == "--plant-at-us") {
+        plant_at_us = std::strtoll(next().c_str(), nullptr, 10);
+      } else if (a == "--horizon-us") {
+        horizon_us = std::strtoll(next().c_str(), nullptr, 10);
+        if (horizon_us <= 0) throw Error("--horizon-us must be positive");
       } else if (a == "--no-shrink") {
         do_shrink = false;
       } else if (a == "--out") {
@@ -139,6 +169,87 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    }
+
+    // ---- snapshot round-trip mode ----
+    if (snap_mode) {
+      std::uint64_t tested = 0;
+      for (std::uint64_t seed = first_seed; seed < first_seed + seeds;
+           ++seed) {
+        const SourceSet sources = render_sources(differ_generate(seed));
+        for (int jobs : opts.jobs) {
+          for (int f = 0; f <= (opts.with_faults ? 1 : 0); ++f) {
+            SnapRoundtripOptions ropts;
+            ropts.jobs = jobs;
+            ropts.tracing = opts.with_tracing;
+            ropts.faults = f == 1;
+            const std::string diff = snap_roundtrip(sources, ropts);
+            ++tested;
+            if (!diff.empty()) {
+              std::printf(
+                  "seed %llu jobs %d faults %d: ROUNDTRIP DIVERGED: %s\n",
+                  static_cast<unsigned long long>(seed), jobs, f,
+                  diff.c_str());
+              return 1;
+            }
+          }
+        }
+      }
+      std::printf(
+          "%llu snapshot round-trip(s) bit-identical (seeds %llu..%llu, "
+          "jobs {%s}%s%s).\n",
+          static_cast<unsigned long long>(tested),
+          static_cast<unsigned long long>(first_seed),
+          static_cast<unsigned long long>(first_seed + seeds - 1),
+          [&] {
+            std::string list;
+            for (int j : opts.jobs) {
+              if (!list.empty()) list += ",";
+              list += std::to_string(j);
+            }
+            return list;
+          }()
+              .c_str(),
+          opts.with_faults ? ", faults on/off" : "",
+          opts.with_tracing ? ", traced" : "");
+      return 0;
+    }
+
+    // ---- time-bisection mode ----
+    if (bisect_mode) {
+      const SourceSet sources = render_sources(differ_generate(first_seed));
+      TimeBisectOptions bopts;
+      bopts.jobs = opts.jobs.front();
+      bopts.faults = opts.with_faults;
+      bopts.interval = microseconds(static_cast<double>(interval_us));
+      bopts.horizon = microseconds(static_cast<double>(horizon_us));
+      bopts.plant_at = microseconds(static_cast<double>(plant_at_us));
+      const TimeBisectResult r = time_bisect(sources, bopts);
+      if (!r.diverged) {
+        std::printf("no divergence across %d checkpoints.\n", r.checkpoints);
+        // A planted divergence the bisection cannot see is a harness bug.
+        return bopts.plant_at > 0 ? 1 : 0;
+      }
+      std::printf(
+          "divergence localised to (%lld us, %lld us] with %d digest "
+          "probe(s) over %d checkpoints\n",
+          static_cast<long long>(r.lo / microseconds(1.0)),
+          static_cast<long long>(r.hi / microseconds(1.0)), r.probes,
+          r.checkpoints);
+      if (bopts.plant_at > 0) {
+        // The plant fires at the first chop point >= plant_at, so the
+        // found interval must contain that instant.
+        if (bopts.plant_at <= r.lo || bopts.plant_at > r.hi) {
+          std::printf("FAILED: divergence was planted at %lld us, outside "
+                      "the found interval\n",
+                      static_cast<long long>(plant_at_us));
+          return 1;
+        }
+        std::printf("planted at %lld us: localised to within one "
+                    "checkpoint interval.\n",
+                    static_cast<long long>(plant_at_us));
+      }
+      return 0;
     }
 
     // ---- repro mode ----

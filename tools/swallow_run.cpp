@@ -11,6 +11,7 @@
 // value.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -24,8 +25,11 @@
 #include "common/error.h"
 #include "common/strings.h"
 #include "fault/fault.h"
+#include "fault/watchdog.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
 
 namespace {
 
@@ -74,6 +78,21 @@ void usage() {
       "                  lines; was --trace before the trace flag grew a\n"
       "                  file argument)\n"
       "\n"
+      "checkpoint/resume (src/snap, docs/architecture.md):\n"
+      "  --checkpoint-every US  write a snapshot every US simulated "
+      "microseconds\n"
+      "  --checkpoint-dir DIR   checkpoint rotation directory\n"
+      "  --checkpoint-keep N    snapshots kept in rotation (default 3)\n"
+      "  --resume auto|FILE     restore FILE, or the newest restorable\n"
+      "                         checkpoint in --checkpoint-dir; corrupt or\n"
+      "                         mismatched snapshots are refused with a\n"
+      "                         structured error and the rotation falls\n"
+      "                         back to the previous one\n"
+      "  --stall-window US      exit non-zero when global progress is flat\n"
+      "                         for US microseconds while threads are\n"
+      "                         blocked or routes held (default 2000;\n"
+      "                         0 disables the check)\n"
+      "\n"
       "reports:\n"
       "  --energy        print the energy ledger and slice power\n"
       "  --netstat       print per-link-class network statistics\n"
@@ -103,6 +122,64 @@ LinkRef parse_link_ref(const std::string& v) {
   return ref;
 }
 
+// Restore the freshly built (unstarted, unarmed) machine in `targets` from
+// `resume` — either a snapshot path or "auto", which walks the checkpoint
+// rotation newest-first.  A snapshot that fails to decode (truncated, bad
+// CRC, wrong magic/version) or that was taken on a differently configured
+// machine is refused with its structured SnapError code and the walk falls
+// back to the previous one.  Returns true on success; on failure the
+// machine is untouched and still runnable from scratch — except when
+// restore_machine itself throws mid-apply, which is fatal (partial state).
+bool resume_snapshot(const std::string& resume, const std::string& dir,
+                     const swallow::SnapTargets& targets) {
+  using namespace swallow;
+  std::vector<std::string> candidates;
+  if (resume == "auto") {
+    if (dir.empty()) throw Error("--resume auto needs --checkpoint-dir");
+    candidates = list_checkpoints(dir);
+    if (candidates.empty()) {
+      std::fprintf(stderr, "resume: no checkpoints in %s\n", dir.c_str());
+      return false;
+    }
+  } else {
+    candidates.push_back(resume);
+  }
+  const std::uint64_t expect = snapshot_config_hash(
+      targets.system->config(),
+      targets.fault != nullptr ? &targets.fault->plan() : nullptr,
+      targets.obs != nullptr ? &targets.obs->config() : nullptr);
+  for (const std::string& path : candidates) {
+    SnapshotFile f;
+    try {
+      f = SnapshotFile::read_file(path);
+      if (f.config_hash != expect) {
+        throw SnapError(SnapError::Code::kConfigMismatch,
+                        "snapshot was taken under a different machine "
+                        "configuration than this command line rebuilds");
+      }
+    } catch (const SnapError& e) {
+      std::fprintf(stderr, "resume: refused %s [%s]: %s\n", path.c_str(),
+                   e.code_name(), e.what());
+      continue;  // fall back to the previous checkpoint in the rotation
+    }
+    try {
+      restore_machine(f, targets);
+    } catch (const SnapError& e) {
+      // Past the config-hash gate a failure can leave partial state; the
+      // machine must not run.  (Validation that can fall back happened
+      // above, before anything was touched.)
+      std::fprintf(stderr, "resume: %s failed mid-restore [%s]: %s\n",
+                   path.c_str(), e.code_name(), e.what());
+      return false;
+    }
+    std::printf("resume: restored %s (t = %.3f ms)\n", path.c_str(),
+                to_seconds(targets.system->now()) * 1e3);
+    return true;
+  }
+  std::fprintf(stderr, "resume: no restorable checkpoint found\n");
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +191,11 @@ int main(int argc, char** argv) {
   std::string trace_path, metrics_path, profile_path;
   FaultPlan plan;
   bool have_faults = false;
+  long long ckpt_every_us = 0;
+  std::string ckpt_dir;
+  int ckpt_keep = 3;
+  std::string resume_from;
+  long long stall_window_us = 2000;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -156,6 +238,20 @@ int main(int argc, char** argv) {
         plan.kill_link(ref.node, ref.direction,
                        microseconds(static_cast<double>(parse_int(ref.rest))));
         have_faults = true;
+      } else if (arg == "--checkpoint-every") {
+        ckpt_every_us = parse_int(next());
+        require(ckpt_every_us > 0, "--checkpoint-every must be positive");
+      } else if (arg == "--checkpoint-dir") {
+        ckpt_dir = next();
+      } else if (arg == "--checkpoint-keep") {
+        ckpt_keep = static_cast<int>(parse_int(next()));
+        require(ckpt_keep >= 1, "--checkpoint-keep must be at least 1");
+      } else if (arg == "--resume") {
+        resume_from = next();
+        require(!resume_from.empty(), "--resume expects auto or a file");
+      } else if (arg == "--stall-window") {
+        stall_window_us = parse_int(next());
+        require(stall_window_us >= 0, "--stall-window must be >= 0");
       } else if (arg == "--trace") {
         trace_path = next();
       } else if (arg == "--metrics") {
@@ -200,10 +296,13 @@ int main(int argc, char** argv) {
             "more programs than cores");
     if (session.active()) sys.attach_observability(session);
 
+    const bool resuming = !resume_from.empty();
     std::unique_ptr<FaultInjector> injector;
     if (have_faults) {
       injector = std::make_unique<FaultInjector>(sys, plan);
-      injector->arm();
+      // On resume the injector stays unarmed: restore_machine arms its
+      // corruption hooks and re-injects its pending events itself.
+      if (!resuming) injector->arm();
     }
 
     std::vector<Core*> cores;
@@ -212,27 +311,81 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < paths.size(); ++i) {
       const Placement p = linear_placement(cfg, static_cast<int>(i));
       Core& core = sys.core(p.chip_x, p.chip_y, p.layer);
-      core.load(assemble(read_file(paths[i])));
+      // On resume the program image (SRAM contents and symbols) comes back
+      // from the snapshot; loading it again would clobber restored state.
+      if (!resuming) core.load(assemble(read_file(paths[i])));
       if (i == 0 && itrace) core.set_trace_sink(trace_buffer.sink());
       cores.push_back(&core);
     }
-    sys.start_sampling();
+
+    const SnapTargets targets{&sys, session.active() ? &session : nullptr,
+                              injector.get()};
+    if (resuming) {
+      // Everything start_sampling()/start() would schedule is already in
+      // the snapshot's event section — starting again would double it.
+      if (!resume_snapshot(resume_from, ckpt_dir, targets)) return 1;
+    } else {
+      sys.start_sampling();
+      for (Core* core : cores) core->start();
+    }
     const NetworkStats before = collect_network_stats(sys.network(),
                                                       sys.ledger());
-    for (Core* core : cores) core->start();
 
-    // Step until every program finishes or the limit passes.
+    // Step until every program finishes or the limit passes, checkpointing
+    // at --checkpoint-every boundaries.  The boundary chop adds run_until
+    // calls but cannot change results: simulation output is bit-identical
+    // for any chop pattern (the PR 1 invariant the snapshot layer builds
+    // on), so a checkpointed or resumed run matches an uninterrupted one.
     const TimePs limit = milliseconds(limit_ms);
-    TimePs t = 0;
+    const bool checkpointing = ckpt_every_us > 0;
+    if (checkpointing) {
+      require(!ckpt_dir.empty(), "--checkpoint-every needs --checkpoint-dir");
+      std::filesystem::create_directories(ckpt_dir);
+    }
+    const TimePs every =
+        checkpointing ? microseconds(static_cast<double>(ckpt_every_us)) : 0;
+    TimePs t = sys.now();
+    TimePs next_ckpt = checkpointing ? (t / every + 1) * every : 0;
     auto all_done = [&] {
       for (Core* c : cores) {
         if (!c->finished() && !c->trapped()) return false;
       }
       return true;
     };
+    // Stall detection (the run-level face of fault/watchdog.h): the host
+    // polls the watchdog's progress metric at step boundaries instead of
+    // arming it, so the event queues stay free of watchdog events and
+    // snapshots remain possible.  Flat progress with blocked threads or
+    // held routes for --stall-window simulated us aborts the run.
+    Watchdog dog(sys);
+    std::uint64_t last_progress = dog.progress_metric();
+    int flat_steps = 0;
+    bool stalled = false;
+    TimePs stalled_at = 0;
+    const long long stall_steps = (stall_window_us + 49) / 50;
     while (t < limit && !all_done()) {
-      t += microseconds(50.0);
+      TimePs step = t + microseconds(50.0);
+      if (checkpointing && next_ckpt < step) step = next_ckpt;
+      t = step;
       sys.run_until(t);
+      if (checkpointing && t >= next_ckpt) {
+        save_machine(targets).write_file(checkpoint_path(
+            ckpt_dir, static_cast<std::uint64_t>(t / every)));
+        prune_checkpoints(ckpt_dir, ckpt_keep);
+        next_ckpt += every;
+      }
+      if (stall_window_us > 0) {
+        const std::uint64_t progress = dog.progress_metric();
+        if (progress != last_progress) {
+          last_progress = progress;
+          flat_steps = 0;
+        } else if (++flat_steps >= stall_steps &&
+                   !sys.diagnose_report().healthy()) {
+          stalled = true;
+          stalled_at = t;
+          break;
+        }
+      }
     }
     if (session.active()) sys.finish_observability();
     sys.settle_energy();
@@ -261,6 +414,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\nsimulated time: %.3f ms\n", to_seconds(sys.now()) * 1e3);
 
+    if (stalled) {
+      failed = true;
+      std::printf(
+          "\nWATCHDOG STALL at %.3f ms: no global progress for %lld us "
+          "with blocked threads or held routes\n",
+          to_seconds(stalled_at) * 1e3,
+          static_cast<long long>(stall_window_us));
+    }
     if (failed) {
       const std::string report = sys.diagnose();
       if (!report.empty()) {
@@ -313,6 +474,10 @@ int main(int argc, char** argv) {
       std::printf("\n%s", render_network_stats(stats, sys.now()).c_str());
     }
     return failed ? 1 : 0;
+  } catch (const SnapError& e) {
+    std::fprintf(stderr, "snapshot error [%s]: %s\n", e.code_name(),
+                 e.what());
+    return 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

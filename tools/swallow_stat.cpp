@@ -14,7 +14,10 @@
 // stacks from the collapsed profile are listed too.
 //
 // --check runs the checked-in trace schema validation (src/obs/schema)
-// and exits 0/1 — this is what CI runs on every produced trace.
+// and exits 0/1 — this is what CI runs on every produced trace.  Snapshot
+// files (src/snap, the "SWSN" magic) are recognised by content, so the
+// same CI step validates checkpoint manifests: magic, version, section
+// table and every per-section CRC.
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -27,6 +30,7 @@
 #include "common/json.h"
 #include "common/strings.h"
 #include "obs/schema.h"
+#include "snap/snapfile.h"
 
 namespace {
 
@@ -47,12 +51,49 @@ void usage() {
       "                    [--profile FILE] trace.json\n"
       "\n"
       "  --check         validate the trace against the schema contract\n"
-      "                  (docs/observability.md) and exit 0/1\n"
+      "                  (docs/observability.md) and exit 0/1; snapshot\n"
+      "                  checkpoints (*.swsnap) are detected by magic and\n"
+      "                  their manifest + section CRCs validated instead\n"
       "  --top N         rows per report (default 10)\n"
       "  --metrics FILE  also report latency percentiles from a\n"
       "                  swallow_run --metrics dump\n"
       "  --profile FILE  also report the hottest stacks of a collapsed\n"
       "                  profile (swallow_run --profile)\n");
+}
+
+// Content sniff: snapshot checkpoints start with the little-endian "SWSN"
+// magic (bytes 53 57 53 4e) — never valid JSON, so the dispatch is exact.
+bool looks_like_snapshot(const std::string& body) {
+  return body.size() >= 4 && body[0] == 'S' && body[1] == 'W' &&
+         body[2] == 'S' && body[3] == 'N';
+}
+
+int check_snapshot(const std::string& path, const std::string& body) {
+  using swallow::SnapSection;
+  using swallow::SnapshotFile;
+  try {
+    const SnapshotFile f = SnapshotFile::decode(
+        reinterpret_cast<const std::uint8_t*>(body.data()), body.size());
+    std::string sections;
+    for (SnapSection s :
+         {SnapSection::kMeta, SnapSection::kSystem, SnapSection::kEvents,
+          SnapSection::kObs, SnapSection::kFault}) {
+      const std::vector<std::uint8_t>* bytes = f.find(s);
+      if (bytes == nullptr) continue;
+      if (!sections.empty()) sections += ", ";
+      sections += swallow::strprintf("%s %zu B", swallow::snap_section_name(s),
+                                     bytes->size());
+    }
+    std::printf("%s: ok (snapshot v%u, config %016llx, %zu sections: %s)\n",
+                path.c_str(), SnapshotFile::kVersion,
+                static_cast<unsigned long long>(f.config_hash),
+                f.section_count(), sections.c_str());
+    return 0;
+  } catch (const swallow::SnapError& e) {
+    std::fprintf(stderr, "%s: INVALID [%s]: %s\n", path.c_str(),
+                 e.code_name(), e.what());
+    return 1;
+  }
 }
 
 double num_or(const Json& e, const char* key, double fallback) {
@@ -268,7 +309,17 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const Json doc = Json::parse(read_file(trace_path));
+    const std::string body = read_file(trace_path);
+    if (looks_like_snapshot(body)) {
+      if (!check) {
+        std::fprintf(stderr,
+                     "%s is a snapshot checkpoint; only --check applies\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      return check_snapshot(trace_path, body);
+    }
+    const Json doc = Json::parse(body);
 
     if (check) {
       const std::string violation = swallow::check_chrome_trace(doc);
