@@ -6,6 +6,7 @@
 // fully loaded, and measured: aggregate GIPS and input power must both
 // grow linearly with core count, with the per-core figures flat — the
 // energy-proportional scaling of §III made visible as a sweep.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -24,6 +25,8 @@ struct ScalePoint {
   double gips;
   double input_w;
   double idle_w;
+  double wall_s;    // host wall time for the measurement window
+  double sim_mips;  // simulated instructions per host second, in millions
 };
 
 ScalePoint measure(int sx, int sy) {
@@ -53,13 +56,18 @@ ScalePoint measure(int sx, int sy) {
     base += sys.core_by_index(i).instructions_retired();
   }
   const TimePs window = microseconds(6.0);
+  const auto host_start = std::chrono::steady_clock::now();
   sim.run_until(warmup + window);
+  const auto host_end = std::chrono::steady_clock::now();
   std::uint64_t total = 0;
   for (int i = 0; i < sys.core_count(); ++i) {
     total += sys.core_by_index(i).instructions_retired();
   }
   p.gips = static_cast<double>(total - base) / to_seconds(window) / 1e9;
   p.input_w = sys.total_input_power();
+  p.wall_s = std::chrono::duration<double>(host_end - host_start).count();
+  p.sim_mips =
+      p.wall_s > 0.0 ? static_cast<double>(total - base) / p.wall_s / 1e6 : 0.0;
   return p;
 }
 
@@ -74,10 +82,12 @@ int main() {
                                        {3, 3},  {4, 4}, {5, 6}};
   TextTable t("Fully loaded machines (500 MHz, 4 threads/core)");
   t.header({"slices", "cores", "GIPS", "GIPS/core", "input W", "mW/core",
-            "idle W"});
+            "idle W", "wall s", "sim MIPS"});
   std::vector<double> cores_axis, gips_axis, power_axis;
+  std::vector<ScalePoint> points;
   for (const auto& [sx, sy] : grids) {
     const ScalePoint p = measure(sx, sy);
+    points.push_back(p);
     cores_axis.push_back(p.cores);
     gips_axis.push_back(p.gips);
     power_axis.push_back(p.input_w);
@@ -85,9 +95,23 @@ int main() {
            strprintf("%.1f", p.gips), strprintf("%.3f", p.gips / p.cores),
            strprintf("%.2f", p.input_w),
            strprintf("%.0f", p.input_w / p.cores * 1e3),
-           strprintf("%.2f", p.idle_w)});
+           strprintf("%.2f", p.idle_w), strprintf("%.3f", p.wall_s),
+           strprintf("%.1f", p.sim_mips)});
   }
   std::printf("%s\n", t.render().c_str());
+
+  // Machine-readable mirror of the sweep so CI and plotting scripts don't
+  // have to scrape the table.  One self-contained JSON line per point.
+  std::printf("scaling_json: [");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScalePoint& p = points[i];
+    std::printf("%s\n  {\"slices\": %d, \"cores\": %d, \"gips\": %.4f, "
+                "\"sim_mips\": %.3f, \"wall_s\": %.6f, \"input_w\": %.4f, "
+                "\"idle_w\": %.4f}",
+                i == 0 ? "" : ",", p.slices, p.cores, p.gips, p.sim_mips,
+                p.wall_s, p.input_w, p.idle_w);
+  }
+  std::printf("\n]\n\n");
 
   const LineFit perf = fit_line(cores_axis, gips_axis);
   const LineFit power = fit_line(cores_axis, power_axis);

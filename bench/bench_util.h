@@ -73,6 +73,50 @@ inline std::string stream_receiver(int packets, int words_per_packet) {
                    packets, words_per_packet);
 }
 
+/// One node of a machine-wide token-ring handoff: block on channel input,
+/// compute `hold_n` ALU instructions, pass the token to `next_node`'s
+/// chanend 0.  Exactly one core computes at any instant, so the event
+/// queue is empty for the whole hold — the batched issue path's best case
+/// (the dense all-spinning load is its worst).  `first` injects the token.
+inline std::string ring_node_program(NodeId next_node, int hold_n,
+                                     bool first) {
+  std::string src = strprintf(
+      "    getr  r0, 2\n"
+      "    ldc   r1, 0x%x\n"
+      "    ldch  r1, 0x0002\n"
+      "    setd  r0, r1\n",
+      static_cast<unsigned>(next_node));
+  if (first) {
+    src +=
+        "    ldc   r1, 1\n"
+        "    out   r0, r1\n";
+  }
+  src += strprintf(
+      "loop:\n"
+      "    in    r1, r0\n"
+      "    ldc   r2, %d\n"
+      "work:\n"
+      "    add   r3, r3, r1\n"
+      "    subi  r2, r2, 1\n"
+      "    bt    r2, work\n"
+      "    out   r0, r1\n"
+      "    bu    loop\n",
+      hold_n);
+  return src;
+}
+
+/// Load the token-ring handoff over every core of a system, in
+/// core_by_index order, wrapping at the end.
+inline void load_ring(SwallowSystem& sys, int hold_n) {
+  const int n = sys.core_count();
+  for (int i = 0; i < n; ++i) {
+    const NodeId next = sys.core_by_index((i + 1) % n).node_id();
+    const Image img = assemble(ring_node_program(next, hold_n, i == 0));
+    sys.core_by_index(i).load(img);
+    sys.core_by_index(i).start();
+  }
+}
+
 /// Load the spinning program on every core of a system.
 inline void load_all_spinning(SwallowSystem& sys, int threads = 4) {
   const Image img = assemble(spin_program(threads));

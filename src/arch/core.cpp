@@ -1,7 +1,9 @@
 #include "arch/core.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <new>
 #include <span>
 
 #include "common/error.h"
@@ -24,6 +26,7 @@ Core::Core(Simulator& sim, EnergyLedger& ledger, Config cfg)
       baseline_trace_(ledger, EnergyAccount::kCoreBaseline),
       instr_trace_(ledger, EnergyAccount::kCoreInstructions) {
   require(cfg.sram_bytes % 4 == 0, "Core: SRAM size must be word aligned");
+  predecode_valid_.assign((sram_.size() / 4 + 63) / 64, 0);
   obs_span_.fill(kObsNoSpan);
   voltage_ = cfg_.auto_dvfs
                  ? cfg_.power_model.min_voltage(cfg_.frequency_mhz)
@@ -114,6 +117,7 @@ void Core::load(const Image& image) {
 void Core::poke(std::uint32_t byte_addr, std::span<const std::uint8_t> bytes) {
   require(byte_addr + bytes.size() <= sram_.size(), "Core::poke: out of range");
   std::copy(bytes.begin(), bytes.end(), sram_.begin() + byte_addr);
+  invalidate_predecode(byte_addr, bytes.size());
 }
 
 std::uint32_t Core::peek_word(std::uint32_t byte_addr) const {
@@ -126,7 +130,7 @@ void Core::start(std::uint32_t entry) {
   require(!started_, "Core::start: already started");
   started_ = true;
   ThreadCtx& t0 = threads_[0];
-  t0.state = ThreadState::kReady;
+  set_thread_state(0, ThreadState::kReady);
   t0.regs.fill(0);
   t0.regs[kRegSp] = static_cast<std::uint32_t>(sram_.size());
   t0.pc = entry;
@@ -147,11 +151,7 @@ bool Core::finished() const {
   return true;
 }
 
-int Core::runnable_threads() const {
-  int n = 0;
-  for (const ThreadCtx& t : threads_) n += t.state == ThreadState::kReady;
-  return n;
-}
+int Core::runnable_threads() const { return std::popcount(ready_mask_); }
 
 int Core::live_threads() const {
   int n = 0;
@@ -212,15 +212,30 @@ Chanend* Core::find_chanend(ResourceId id) {
 
 // ---------------------------------------------------------------- scheduler
 
-void Core::schedule_issue() {
-  if (trapped() || frozen_) return;
-  TimePs earliest = kTimeNever;
-  for (const ThreadCtx& t : threads_) {
-    if (t.state == ThreadState::kReady) earliest = std::min(earliest, t.ready_at);
+void Core::set_thread_state(int tid, ThreadState s) {
+  threads_[static_cast<std::size_t>(tid)].state = s;
+  const std::uint32_t bit = std::uint32_t{1} << tid;
+  if (s == ThreadState::kReady) {
+    ready_mask_ |= bit;
+  } else {
+    ready_mask_ &= ~bit;
   }
+}
+
+TimePs Core::next_issue_time() const {
+  TimePs earliest = kTimeNever;
+  for (std::uint32_t m = ready_mask_; m != 0; m &= m - 1) {
+    const auto tid = static_cast<std::size_t>(std::countr_zero(m));
+    earliest = std::min(earliest, threads_[tid].ready_at);
+  }
+  if (earliest == kTimeNever) return kTimeNever;  // nothing runnable
+  return clock_.align_up(std::max({earliest, core_free_at_, sim_.now()}));
+}
+
+void Core::schedule_issue() {
+  if (in_batch_ || trapped() || frozen_) return;
+  const TimePs earliest = next_issue_time();
   if (earliest == kTimeNever) return;  // nothing runnable; wakes re-arm us
-  earliest = std::max({earliest, core_free_at_, sim_.now()});
-  earliest = clock_.align_up(earliest);
   if (issue_scheduled_) {
     if (issue_scheduled_at_ <= earliest) return;  // already armed early enough
     // Pull the pending event earlier in place; the callback is untouched.
@@ -241,11 +256,13 @@ void Core::schedule_issue() {
 
 int Core::pick_thread(TimePs now) {
   for (int i = 0; i < kMaxHardwareThreads; ++i) {
-    const int tid = (rr_next_ + i) % kMaxHardwareThreads;
-    const ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
-    if (t.state == ThreadState::kReady && t.ready_at <= now) {
-      rr_next_ = (tid + 1) % kMaxHardwareThreads;
-      return tid;
+    int tid = rr_next_ + i;
+    if (tid >= kMaxHardwareThreads) tid -= kMaxHardwareThreads;
+    if ((ready_mask_ >> tid) & 1u) {
+      if (threads_[static_cast<std::size_t>(tid)].ready_at <= now) {
+        rr_next_ = tid + 1 == kMaxHardwareThreads ? 0 : tid + 1;
+        return tid;
+      }
     }
   }
   return -1;
@@ -253,12 +270,114 @@ int Core::pick_thread(TimePs now) {
 
 void Core::do_issue() {
   if (trapped()) return;
-  const TimePs now = sim_.now();
-  const int tid = pick_thread(now);
-  if (tid < 0) {
-    schedule_issue();
-    return;
+  const int max_batch = std::max(cfg_.max_batch, 1);
+  TimePs now = sim_.now();
+  in_batch_ = true;
+  for (int issued = 0;;) {
+    // Tight-loop fast path for straight-line whitelisted instructions
+    // (kPredecodeFast) when nothing per-instruction can observe the
+    // machine: single ready thread, no instruction trace sink, average
+    // (class-weight) energy model.  Falls through with `issued`
+    // unchanged whenever any precondition fails.
+    if (issued < max_batch && trace_sink_ == nullptr &&
+        !cfg_.detailed_energy.enabled && std::has_single_bit(ready_mask_)) {
+      const int before = issued;
+      issued = issue_fast_run(static_cast<int>(std::countr_zero(ready_mask_)),
+                              now, issued, max_batch);
+      if (issued != before) {
+        if (issued >= max_batch) break;
+        const TimePs next = next_issue_time();
+        if (next == kTimeNever) break;
+        if (next > sim_.horizon() || next >= sim_.next_event_time()) break;
+        sim_.advance_in_dispatch(next);
+        now = next;
+        continue;
+      }
+    }
+    const int tid = pick_thread(now);
+    if (tid < 0) break;
+    const IssueResult r = issue_one(tid, now);
+    if (r == IssueResult::kHalted) break;
+    ++issued;
+    if (issued >= max_batch || r == IssueResult::kClockChanged) break;
+    const TimePs next = next_issue_time();
+    if (next == kTimeNever) break;
+    // The batch may only swallow this core's own re-arm when the pump
+    // would have dispatched it next with nothing in between: no event
+    // pending at or before `next` (an equal-time event must win, exactly
+    // as it beat the freshly drawn re-arm under stepped issue), and the
+    // caller's horizon — a trace flush, checkpoint or measurement chop
+    // point — not yet reached.  Stopping here re-arms through the queue,
+    // which is always equivalent to the stepped engine.
+    if (next > sim_.horizon() || next >= sim_.next_event_time()) break;
+    sim_.advance_in_dispatch(next);
+    now = next;
   }
+  in_batch_ = false;
+  schedule_issue();
+}
+
+int Core::issue_fast_run(int tid, TimePs& now, int issued, int max_batch) {
+  ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+  // The thread must be issueable at `now` itself and `now` must sit on the
+  // core clock grid: then every subsequent issue time is now + span(gap),
+  // already aligned, and align_up/max in next_issue_time are identities —
+  // the tight loop's time arithmetic is bit-identical to stepped issue.
+  if (t.ready_at > now || core_free_at_ > now) return issued;
+  if (clock_.align_up(now) != now) return issued;
+  if (predecode_ == nullptr) return issued;  // general path allocates it
+  const TimePs gap = clock_.span(kIssueGapCycles);
+  const TimePs busy = clock_.span(1);
+  const TimePs horizon = sim_.horizon();
+  // Whitelisted instructions never schedule, so the queue head is fixed
+  // for the whole run — one peek replaces one per instruction.
+  const TimePs queue_next = sim_.next_event_time();
+  const std::uint32_t words = static_cast<std::uint32_t>(sram_.size() / 4);
+  const Joules instr_energy =
+      cfg_.power_model.instruction_energy(clock_.frequency(), voltage_);
+  const TimePs entry = now;
+  TimePs issued_at = kTimeNever;  // issue time of the last retired instruction
+  bool picked = false;
+  while (true) {
+    if (t.pc >= words) break;
+    if ((predecode_valid_[t.pc >> 6] & (std::uint64_t{1} << (t.pc & 63))) ==
+        0) {
+      break;  // cold word: the general path fills the cache
+    }
+    const Predecoded& pd = predecode_[t.pc];
+    if ((pd.flags & kPredecodeFast) == 0) break;
+    if (!picked) {
+      // What pick_thread would do on every one of these issues.
+      rr_next_ = tid + 1 == kMaxHardwareThreads ? 0 : tid + 1;
+      picked = true;
+    }
+    const Exec result = execute(tid, pd.ins);
+    if (result == Exec::kNext) t.pc += 1;
+    ++t.retired;
+    ++retired_total_;
+    ++retired_by_class_[static_cast<std::size_t>(pd.cls)];
+    const InstrClass cls = static_cast<InstrClass>(pd.cls);
+    const double w = instr_weight(cls);
+    if (w != 1.0) instr_trace_.add_pulse((w - 1.0) * instr_energy);
+    prev_class_ = cls;
+    issued_at = now;
+    ++issued;
+    const TimePs next = now + gap;
+    if (issued >= max_batch || next > horizon || next >= queue_next) break;
+    now = next;
+  }
+  // Simulated time is advanced once, not per instruction: no whitelisted
+  // instruction reads Simulator::now() and none schedules an event, so
+  // nothing could have observed the intermediate times.
+  if (issued_at != kTimeNever) {
+    t.ready_at = issued_at + gap;
+    core_free_at_ = issued_at + busy;
+  }
+  if (now != entry) sim_.advance_in_dispatch(now);
+  return issued;
+}
+
+Core::IssueResult Core::issue_one(int tid, TimePs now) {
   ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
 
   // Fetch.  Compare word indices: pc * 4 could wrap for garbage pc values
@@ -266,19 +385,21 @@ void Core::do_issue() {
   if (t.pc >= sram_.size() / 4) {
     halt_with_trap(TrapKind::kMemoryBounds, tid,
                    strprintf("fetch beyond SRAM at pc=%u", t.pc));
-    return;
+    return IssueResult::kHalted;
   }
   const std::uint32_t pc_bytes = t.pc * 4;
-  const Instruction ins = decode(load_word(pc_bytes));
-  if (ins.op == Opcode::kNop && ins.rc == 0xF) {
-    halt_with_trap(TrapKind::kBadOpcode, tid,
-                   strprintf("undefined opcode 0x%02x at pc=%u", ins.imm, t.pc));
-    return;
-  }
-  if (!registers_valid(ins)) {
-    halt_with_trap(TrapKind::kBadOpcode, tid,
-                   strprintf("bad register operand at pc=%u", t.pc));
-    return;
+  const Predecoded pd = fetch_predecoded(t.pc);
+  const Instruction& ins = pd.ins;
+  if (pd.flags & (kPredecodeBadOpcode | kPredecodeBadRegs)) {
+    if (pd.flags & kPredecodeBadOpcode) {
+      halt_with_trap(
+          TrapKind::kBadOpcode, tid,
+          strprintf("undefined opcode 0x%02x at pc=%u", ins.imm, t.pc));
+    } else {
+      halt_with_trap(TrapKind::kBadOpcode, tid,
+                     strprintf("bad register operand at pc=%u", t.pc));
+    }
+    return IssueResult::kHalted;
   }
 
   // Capture source operands before execution overwrites them (for the
@@ -286,7 +407,7 @@ void Core::do_issue() {
   std::uint32_t op_a = 0, op_b = 0;
   if (cfg_.detailed_energy.enabled) {
     const auto& R = t.regs;
-    switch (opcode_info(ins.op).format) {
+    switch (static_cast<Format>(pd.format)) {
       case Format::kR3:
         op_a = R[ins.rb];
         op_b = R[ins.rc];
@@ -307,15 +428,14 @@ void Core::do_issue() {
   }
 
   const Exec result = execute(tid, ins);
-  if (trapped()) return;
+  if (trapped()) return IssueResult::kHalted;
 
   if (result == Exec::kBlocked) {
     // A blocked thread deschedules: the slot is not consumed and no issue
     // energy is charged (pc stays on the instruction for re-execution).
     classify_wait(tid, ins);
     block(tid);
-    schedule_issue();
-    return;
+    return IssueResult::kBlocked;
   }
 
   // Retire.
@@ -328,8 +448,8 @@ void Core::do_issue() {
   if (result == Exec::kNext) t.pc += 1;
   ++t.retired;
   ++retired_total_;
-  const InstrClass cls = opcode_info(ins.op).instr_class;
-  ++retired_by_class_[static_cast<std::size_t>(cls)];
+  const InstrClass cls = static_cast<InstrClass>(pd.cls);
+  ++retired_by_class_[static_cast<std::size_t>(pd.cls)];
   // Per-instruction energy: deviation of this instruction from the average
   // mix (the average itself is carried by the continuous instr trace
   // level).  The detailed model adds class-switching and operand-data
@@ -344,17 +464,19 @@ void Core::do_issue() {
                                            clock_.frequency(), voltage_));
   }
 
-  const bool long_op = ins.op == Opcode::kDivu || ins.op == Opcode::kRemu;
-  t.ready_at = now + clock_.span(long_op ? kDivStallCycles : kIssueGapCycles);
+  t.ready_at = now + clock_.span((pd.flags & kPredecodeLongOp)
+                                     ? kDivStallCycles
+                                     : kIssueGapCycles);
   core_free_at_ = now + clock_.span(1);
-  schedule_issue();
+  return ins.op == Opcode::kSetfreq ? IssueResult::kClockChanged
+                                    : IssueResult::kRetired;
 }
 
 void Core::wake(int tid) {
   if (trapped()) return;
   ThreadCtx& t = threads_.at(static_cast<std::size_t>(tid));
   if (t.state != ThreadState::kBlocked) return;
-  t.state = ThreadState::kReady;
+  set_thread_state(tid, ThreadState::kReady);
   t.wait_kind = WaitKind::kNone;
   t.wait_resource = 0;
   obs_close_span(tid);  // ends the wait span
@@ -428,7 +550,7 @@ void Core::set_frozen(bool frozen) {
 }
 
 void Core::block(int tid) {
-  threads_.at(static_cast<std::size_t>(tid)).state = ThreadState::kBlocked;
+  set_thread_state(tid, ThreadState::kBlocked);
   obs_close_span(tid);  // ends the run span
   obs_begin_wait(tid);
   update_power_levels();
@@ -481,6 +603,43 @@ std::uint32_t Core::load_word(std::uint32_t addr) const {
 
 void Core::store_word(std::uint32_t addr, std::uint32_t value) {
   std::memcpy(sram_.data() + addr, &value, 4);
+  invalidate_predecode(addr, 4);
+}
+
+void Core::store_byte(std::uint32_t addr, std::uint8_t value) {
+  sram_[addr] = value;
+  invalidate_predecode(addr, 1);
+}
+
+// -------------------------------------------------------- predecode cache
+
+const Predecoded& Core::fetch_predecoded(std::uint32_t pc_word) {
+  if (!predecode_) {
+    predecode_storage_ = std::make_unique_for_overwrite<std::byte[]>(
+        (sram_.size() / 4) * sizeof(Predecoded));
+    predecode_ = reinterpret_cast<Predecoded*>(predecode_storage_.get());
+  }
+  std::uint64_t& bits = predecode_valid_[pc_word >> 6];
+  const std::uint64_t bit = std::uint64_t{1} << (pc_word & 63);
+  if ((bits & bit) == 0) {
+    ::new (static_cast<void*>(&predecode_[pc_word]))
+        Predecoded(predecode(load_word(pc_word * 4)));
+    bits |= bit;
+  }
+  return predecode_[pc_word];
+}
+
+void Core::invalidate_predecode(std::uint32_t byte_addr, std::size_t size) {
+  if (!predecode_ || size == 0) return;
+  const std::uint32_t first = byte_addr / 4;
+  const auto last = static_cast<std::uint32_t>((byte_addr + size - 1) / 4);
+  for (std::uint32_t w = first; w <= last; ++w) {
+    predecode_valid_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+  }
+}
+
+void Core::invalidate_predecode_all() {
+  std::fill(predecode_valid_.begin(), predecode_valid_.end(), 0);
 }
 
 // --------------------------------------------------------------- resources
@@ -654,7 +813,8 @@ Core::Exec Core::execute(int tid, const Instruction& ins) {
 
     case Opcode::kTexit: {
       const bool is_slave = t.sync >= 0;
-      t.state = is_slave ? ThreadState::kExited : ThreadState::kUnused;
+      set_thread_state(tid,
+                       is_slave ? ThreadState::kExited : ThreadState::kUnused);
       obs_close_span(tid);
       if (obs_) {
         obs_->instant(sim_.now(), TraceCat::kThread, kThreadSubExit,
@@ -781,7 +941,7 @@ Core::Exec Core::exec_memory(int tid, const Instruction& ins) {
     case Opcode::kStb:
       addr = R[ins.rb] + static_cast<std::uint32_t>(imm);
       if (!mem_check(addr, 1, 1, tid)) return Exec::kNext;
-      sram_[addr] = static_cast<std::uint8_t>(R[ins.ra] & 0xFF);
+      store_byte(addr, static_cast<std::uint8_t>(R[ins.ra] & 0xFF));
       return Exec::kNext;
     case Opcode::kLdwsp:
       addr = R[kRegSp] + static_cast<std::uint32_t>(imm) * 4;
@@ -974,7 +1134,7 @@ Core::Exec Core::exec_thread_ops(int tid, const Instruction& ins) {
         ThreadCtx& nt = threads_[static_cast<std::size_t>(i)];
         if (nt.state == ThreadState::kUnused) {
           nt = ThreadCtx{};
-          nt.state = ThreadState::kAllocated;
+          set_thread_state(i, ThreadState::kAllocated);
           nt.sync = static_cast<int>(resource_index(sync_id));
           s.slaves.push_back(i);
           id = make_resource_id(cfg_.node_id, static_cast<std::uint8_t>(i),
@@ -1031,7 +1191,7 @@ void Core::release_barrier(SyncRes& s) {
   for (int tid : s.slaves) {
     ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
     if (t.state == ThreadState::kAllocated) {
-      t.state = ThreadState::kReady;  // first MSYNC starts the slaves
+      set_thread_state(tid, ThreadState::kReady);  // first MSYNC starts them
       t.ready_at = now;
       obs_begin_run(tid);
     } else if (t.ssync_waiting) {
@@ -1062,9 +1222,8 @@ void Core::on_slave_exited(int tid) {
     }
     if (all_exited) {
       for (int slave : s.slaves) {
-        ThreadCtx& st = threads_[static_cast<std::size_t>(slave)];
-        st.state = ThreadState::kUnused;
-        st.sync = -1;
+        set_thread_state(slave, ThreadState::kUnused);
+        threads_[static_cast<std::size_t>(slave)].sync = -1;
       }
       s.slaves.clear();
       s.master_join_waiting = false;
@@ -1315,9 +1474,8 @@ Core::Exec Core::exec_comm(int tid, const Instruction& ins) {
       }
       if (all_exited) {
         for (int slave : s.slaves) {
-          ThreadCtx& st = threads_[static_cast<std::size_t>(slave)];
-          st.state = ThreadState::kUnused;
-          st.sync = -1;
+          set_thread_state(slave, ThreadState::kUnused);
+          threads_[static_cast<std::size_t>(slave)].sync = -1;
         }
         s.slaves.clear();
         return Exec::kNext;
@@ -1472,6 +1630,15 @@ void Core::load_state(StateReader& r) {
   issue_scheduled_ = false;
   issue_scheduled_at_ = kTimeNever;
   issue_event_ = EventHandle{};
+  // Derived caches: the ready mask follows the restored thread states, and
+  // every predecoded word is refetched from the restored SRAM.
+  ready_mask_ = 0;
+  for (int tid = 0; tid < kMaxHardwareThreads; ++tid) {
+    if (threads_[static_cast<std::size_t>(tid)].state == ThreadState::kReady) {
+      ready_mask_ |= std::uint32_t{1} << tid;
+    }
+  }
+  invalidate_predecode_all();
 }
 
 void Core::restore_event(const LiveEvent& ev) {
@@ -1503,9 +1670,10 @@ void Core::rearm_blocked_waits() {
     if (t.wait_kind != WaitKind::kChanOut && t.wait_kind != WaitKind::kChanIn)
       continue;  // lock/sync wakes come from peer threads; timers are events
     // The blocked instruction is still at pc (a blocked thread does not
-    // advance), so decoding it recovers exactly which chanend(s) the
-    // pre-checkpoint run had armed.
-    const Instruction ins = decode(load_word(t.pc * 4));
+    // advance), so fetching it through the predecode cache recovers exactly
+    // which chanend(s) the pre-checkpoint run had armed (and warms the slot
+    // the first issue after resume would fill anyway).
+    const Instruction ins = fetch_predecoded(t.pc).ins;
     const auto& R = t.regs;
     auto arm_read = [&](std::uint32_t res) {
       if (Chanend* ce = find_chanend(res)) {

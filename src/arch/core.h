@@ -21,6 +21,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -62,6 +63,13 @@ class Core {
     /// inter-instruction class switching and operand Hamming weight.
     DetailedEnergyConfig detailed_energy{};
     std::size_t sram_bytes = kSramBytesPerCore;
+    /// Upper bound on instructions one kCoreIssue event may execute
+    /// inline before re-arming through the event queue.  Batching is
+    /// conservative — a batch never runs past the earliest pending event
+    /// or the pump's horizon — so any value yields bit-identical results;
+    /// 1 reproduces the historical one-event-per-instruction stepping
+    /// (the benchmarks' baseline).
+    int max_batch = 256;
   };
 
   Core(Simulator& sim, EnergyLedger& ledger, Config cfg);
@@ -295,10 +303,26 @@ class Core {
 
   enum class Exec { kNext, kBranched, kBlocked, kExited };
 
+  /// Outcome of one issue attempt inside a batch.
+  enum class IssueResult : std::uint8_t {
+    kRetired,       // instruction retired; batch may continue
+    kBlocked,       // thread descheduled; other threads may still issue
+    kHalted,        // trap: core stopped, batch must end
+    kClockChanged,  // retired a SETFREQ: clock-domain boundary, end batch
+  };
+
   // Scheduler.
   void schedule_issue();
   void do_issue();
+  IssueResult issue_one(int tid, TimePs now);
+  /// Batched tight loop over kPredecodeFast instructions (see do_issue).
+  /// Returns the updated issued count; `now` tracks the last issue time.
+  int issue_fast_run(int tid, TimePs& now, int issued, int max_batch);
+  /// Aligned time of the next possible issue, kTimeNever when no thread is
+  /// ready.
+  TimePs next_issue_time() const;
   int pick_thread(TimePs now);
+  void set_thread_state(int tid, ThreadState s);
   void wake(int tid);
   void block(int tid);
   void classify_wait(int tid, const Instruction& ins);
@@ -320,6 +344,15 @@ class Core {
                  int tid);
   std::uint32_t load_word(std::uint32_t addr) const;
   void store_word(std::uint32_t addr, std::uint32_t value);
+  void store_byte(std::uint32_t addr, std::uint8_t value);
+
+  // Predecode cache: one decoded slot per SRAM word, filled lazily and
+  // invalidated whenever the word is written (stores, pokes, snapshot
+  // restore).  Traps are detected from the cached flags so messages and
+  // ordering match the uncached decode path byte-for-byte.
+  const Predecoded& fetch_predecoded(std::uint32_t pc_word);
+  void invalidate_predecode(std::uint32_t byte_addr, std::size_t size);
+  void invalidate_predecode_all();
 
   // Resource helpers.
   Chanend* chanend_for_op(int tid, std::uint32_t res_id);
@@ -353,8 +386,20 @@ class Core {
   TimePs core_free_at_ = 0;
   int rr_next_ = 0;
   bool issue_scheduled_ = false;
+  bool in_batch_ = false;  // suppress schedule_issue during a batch
   TimePs issue_scheduled_at_ = kTimeNever;
   EventHandle issue_event_;
+  std::uint32_t ready_mask_ = 0;  // bit per thread in ThreadState::kReady
+
+  // Predecode cache (lazily allocated on first fetch).  Backed by raw
+  // byte storage: entries are placement-new'd as words are first fetched,
+  // so the 256 KiB allocation only faults in the pages a program actually
+  // executes from — a `new Predecoded[]` would run 16K constructors and
+  // dirty every page up front, which dominates wall time on many-core
+  // grids where each newly-active core pays that cost.
+  std::unique_ptr<std::byte[]> predecode_storage_;
+  Predecoded* predecode_ = nullptr;
+  std::vector<std::uint64_t> predecode_valid_;
 
   // Energy.
   PowerTrace baseline_trace_;

@@ -178,6 +178,77 @@ bool registers_valid(const Instruction& ins) {
   return false;
 }
 
+namespace {
+
+// The kPredecodeFast whitelist: instructions whose execute() case only
+// reads/writes registers and the pc.  Every entry must return kNext or
+// kBranched unconditionally — no traps (divide excluded), no memory (a
+// store would invalidate the predecode cache mid-run), no resources,
+// console, clock or event scheduling, and no reads of Simulator::now()
+// (the fast run advances simulated time lazily, once per run — this is
+// why kGettime is absent).
+bool fast_opcode(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kEq:
+    case Opcode::kLss:
+    case Opcode::kLsu:
+    case Opcode::kNot:
+    case Opcode::kNeg:
+    case Opcode::kMkmsk:
+    case Opcode::kMul:
+    case Opcode::kMacc:
+    case Opcode::kLmulh:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kAshr:
+    case Opcode::kAddi:
+    case Opcode::kSubi:
+    case Opcode::kShli:
+    case Opcode::kShri:
+    case Opcode::kEqi:
+    case Opcode::kAshri:
+    case Opcode::kLdc:
+    case Opcode::kLdch:
+    case Opcode::kLdawsp:
+    case Opcode::kExtsp:
+    case Opcode::kBt:
+    case Opcode::kBf:
+    case Opcode::kBu:
+    case Opcode::kBl:
+    case Opcode::kBau:
+    case Opcode::kRet:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Predecoded predecode(std::uint32_t word) {
+  Predecoded p;
+  p.ins = decode(word);
+  const OpcodeInfo& info = opcode_info(p.ins.op);
+  p.format = static_cast<std::uint8_t>(info.format);
+  p.cls = static_cast<std::uint8_t>(info.instr_class);
+  if (p.ins.op == Opcode::kNop && p.ins.rc == 0xF) {
+    p.flags |= kPredecodeBadOpcode;
+  } else if (!registers_valid(p.ins)) {
+    p.flags |= kPredecodeBadRegs;
+  }
+  if (p.ins.op == Opcode::kDivu || p.ins.op == Opcode::kRemu) {
+    p.flags |= kPredecodeLongOp;
+  }
+  if (p.flags == 0 && fast_opcode(p.ins.op)) p.flags |= kPredecodeFast;
+  return p;
+}
+
 std::string disassemble(const Instruction& ins) {
   const OpcodeInfo& info = opcode_info(ins.op);
   std::string out(info.mnemonic);

@@ -117,6 +117,28 @@ Instruction decode(std::uint32_t word);
 /// no instruction can name; executing such a word is a bad-opcode trap.
 bool registers_valid(const Instruction& ins);
 
+/// Per-word facts the issue path would otherwise recompute on every
+/// execution of the same instruction word.  The core's predecode cache
+/// (arch/core.cpp) stores one per SRAM word, invalidated on stores.
+inline constexpr std::uint8_t kPredecodeBadOpcode = 1u << 0;  // trap at issue
+inline constexpr std::uint8_t kPredecodeBadRegs = 1u << 1;    // trap at issue
+inline constexpr std::uint8_t kPredecodeLongOp = 1u << 2;     // divide stall
+/// Pure register/branch instruction: cannot trap, block, store to memory,
+/// touch a resource, print, change the clock, or schedule an event.  The
+/// batched issue path interprets runs of these in a tight loop
+/// (Core::issue_fast_run) without consulting the event queue.
+inline constexpr std::uint8_t kPredecodeFast = 1u << 3;
+
+struct Predecoded {
+  Instruction ins{};
+  std::uint8_t flags = 0;   // kPredecode* bits
+  std::uint8_t format = 0;  // cached opcode_info(ins.op).format
+  std::uint8_t cls = 0;     // cached opcode_info(ins.op).instr_class
+};
+
+/// Decode plus the per-word validity/format/class facts above.
+Predecoded predecode(std::uint32_t word);
+
 /// Disassemble one instruction to assembler syntax.
 std::string disassemble(const Instruction& ins);
 

@@ -31,6 +31,7 @@ Slice::Slice(Simulator& sim, EnergyLedger& ledger, Network& net,
       core_cfg.frequency_mhz = cfg_.core_freq;
       core_cfg.power_model = cfg_.power_model;
       core_cfg.auto_dvfs = cfg_.auto_dvfs;
+      core_cfg.max_batch = cfg_.core_batch;
       slot.core = std::make_unique<Core>(sim, ledger, core_cfg);
       // Place the switch in this slice's event domain and ledger (identical
       // to the network defaults in sequential mode).

@@ -44,6 +44,8 @@ class Slice {
     CorePowerModel power_model{};
     bool auto_dvfs = false;
     std::uint64_t sampler_seed = 1;
+    /// Per-core issue batch bound (Core::Config::max_batch); 1 = stepped.
+    int core_batch = Core::Config{}.max_batch;
   };
 
   /// `router_for` supplies the routing strategy per node — a shared

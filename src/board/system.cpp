@@ -77,6 +77,7 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
       scfg.sampler_seed =
           cfg_.seed + static_cast<std::uint64_t>(sy) * 1000 +
           static_cast<std::uint64_t>(sx);
+      scfg.core_batch = cfg_.core_batch;
       const auto idx = slices_.size();
       slices_.push_back(std::make_unique<Slice>(
           slice_sim(idx), *slice_ledgers_[idx], *net_, router_for, scfg));

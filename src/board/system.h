@@ -51,6 +51,11 @@ struct SystemConfig {
   /// run with SwallowSystem::run_until).  Values above the slice count are
   /// rejected — a worker with no domain to own can never be scheduled.
   int jobs = 0;
+  /// Per-core issue batch bound (Core::Config::max_batch).  Batching is
+  /// conservative, so results are bit-identical for any value; 1 restores
+  /// one-event-per-instruction stepping (the perf baseline, and the
+  /// differential checker's cross-check engine).
+  int core_batch = Core::Config{}.max_batch;
 
   int chip_cols() const { return slices_x * Slice::kChipCols; }
   int chip_rows() const { return slices_y * Slice::kChipRows; }

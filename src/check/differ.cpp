@@ -13,8 +13,9 @@
 namespace swallow {
 
 std::string RunConfig::name() const {
-  return strprintf("jobs=%d,trace=%s,faults=%s", jobs, tracing ? "on" : "off",
-                   faults ? "on" : "off");
+  return strprintf("jobs=%d,trace=%s,faults=%s%s", jobs,
+                   tracing ? "on" : "off", faults ? "on" : "off",
+                   stepped ? ",batch=1" : "");
 }
 
 std::vector<int> differ_core_slots(int count) {
@@ -124,6 +125,7 @@ RunObs run_config(const SourceSet& s, const RunConfig& cfg,
   scfg.slices_y = 2;
   scfg.reliable_links = true;  // faults must be recoverable
   scfg.jobs = cfg.jobs;
+  if (cfg.stepped) scfg.core_batch = 1;
   SwallowSystem sys(sim, scfg);
 
   TraceSession session(TraceConfig{.tracing = true});
@@ -352,6 +354,12 @@ DiffResult run_differential(const SourceSet& s, const DifferOptions& opts) {
       if (tracing && !opts.with_tracing) continue;
       for (int jobs : opts.jobs) {
         matrix.push_back(RunConfig{jobs, tracing, faults});
+      }
+      if (opts.with_stepped) {
+        // One stepped engine per group: the strict within-group comparison
+        // proves batched issue ≡ per-instruction stepping, bit for bit.
+        matrix.push_back(
+            RunConfig{opts.jobs.front(), tracing, faults, /*stepped=*/true});
       }
     }
   }

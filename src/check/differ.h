@@ -35,6 +35,7 @@ struct RunConfig {
   int jobs = 0;          // SystemConfig::jobs (0 = sequential engine)
   bool tracing = false;  // attach a TraceSession
   bool faults = false;   // arm the seeded FaultPlan
+  bool stepped = false;  // core_batch=1: one-event-per-instruction issue
 
   std::string name() const;
 };
@@ -43,6 +44,10 @@ struct DifferOptions {
   std::vector<int> jobs = {0, 1, 2, 4};
   bool with_tracing = true;
   bool with_faults = true;
+  /// Add one stepped (core_batch=1) run per (faults, tracing) group; the
+  /// strict comparison then machine-checks that batched issue is
+  /// bit-identical to the historical per-instruction engine.
+  bool with_stepped = true;
   /// Golden-model bug shim (kRefBug*); the harness must then REPORT a
   /// divergence for programs exercising the buggy instruction.
   int inject_ref_bug = kRefBugNone;

@@ -45,6 +45,8 @@ EventHandle Simulator::inject(TimePs when, TimePs stamp, std::uint64_t tie,
 }
 
 std::uint64_t Simulator::run_until(TimePs deadline) {
+  const TimePs prev_horizon = horizon_;
+  horizon_ = deadline;
   std::uint64_t fired = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     auto ev = queue_.pop();
@@ -57,11 +59,14 @@ std::uint64_t Simulator::run_until(TimePs deadline) {
     ++fired;
     ++dispatched_;
   }
+  horizon_ = prev_horizon;
   if (now_ < deadline) now_ = deadline;
   return fired;
 }
 
 std::uint64_t Simulator::run() {
+  const TimePs prev_horizon = horizon_;
+  horizon_ = kTimeNever;
   std::uint64_t fired = 0;
   while (!queue_.empty()) {
     auto ev = queue_.pop();
@@ -74,7 +79,17 @@ std::uint64_t Simulator::run() {
     ++fired;
     ++dispatched_;
   }
+  horizon_ = prev_horizon;
   return fired;
+}
+
+void Simulator::advance_in_dispatch(TimePs t) {
+  invariant(t >= now_, "advance_in_dispatch: time in the past");
+  invariant(t <= horizon_, "advance_in_dispatch: beyond the run horizon");
+  invariant(queue_.empty() || t < queue_.next_time(),
+            "advance_in_dispatch: an event is pending at or before t");
+  now_ = t;
+  last_dispatch_time_ = t;
 }
 
 void Simulator::advance_to(TimePs when) {

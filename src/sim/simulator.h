@@ -57,6 +57,21 @@ class Simulator {
   /// Run until the event queue is empty.
   std::uint64_t run();
 
+  /// Deadline of the run_until() call currently dispatching, kTimeNever
+  /// inside run() or outside the pump.  An event callback stepping a model
+  /// inline (batched core issue) must not advance time beyond this: the
+  /// caller of run_until() treats the deadline as a chop point (trace
+  /// flushes, checkpoints, measurement boundaries).
+  TimePs horizon() const { return horizon_; }
+
+  /// Advance time from within a dispatching event callback without popping
+  /// an event (batched core stepping: the core elides its own re-arm
+  /// events while nothing else is pending).  `t` must be >= now(), <=
+  /// horizon(), and strictly before the next pending event — the elided
+  /// events must be exactly those the pump would have dispatched
+  /// back-to-back with nothing in between.
+  void advance_in_dispatch(TimePs t);
+
   /// Advance time to `deadline` even if no event is pending there (used by
   /// power integration at a measurement boundary).
   void advance_to(TimePs when);
@@ -118,6 +133,7 @@ class Simulator {
   }
 
   TimePs now_ = 0;
+  TimePs horizon_ = kTimeNever;    // deadline of the active run_until()
   TimePs last_dispatch_time_ = 0;  // monotonicity probe (common/check.h)
   std::uint64_t dispatched_ = 0;
   std::uint64_t next_seq_ = 1;
