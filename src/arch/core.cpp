@@ -351,6 +351,7 @@ int Core::issue_fast_run(int tid, TimePs& now, int issued, int max_batch) {
       rr_next_ = tid + 1 == kMaxHardwareThreads ? 0 : tid + 1;
       picked = true;
     }
+    const std::uint32_t pc = t.pc;  // fetch address: kNext/branches move pc
     const Exec result = execute(tid, pd.ins);
     if (result == Exec::kNext) t.pc += 1;
     ++t.retired;
@@ -358,7 +359,16 @@ int Core::issue_fast_run(int tid, TimePs& now, int issued, int max_batch) {
     ++retired_by_class_[static_cast<std::size_t>(pd.cls)];
     const InstrClass cls = static_cast<InstrClass>(pd.cls);
     const double w = instr_weight(cls);
-    if (w != 1.0) instr_trace_.add_pulse((w - 1.0) * instr_energy);
+    if (attr_ != nullptr) {
+      attr_->note_instr(cfg_.node_id, tid, pc);
+      if (w != 1.0) {
+        attr_->cursor_instr(cfg_.node_id, tid, pc);
+        instr_trace_.add_pulse((w - 1.0) * instr_energy);
+        attr_->cursor_clear();
+      }
+    } else if (w != 1.0) {
+      instr_trace_.add_pulse((w - 1.0) * instr_energy);
+    }
     prev_class_ = cls;
     issued_at = now;
     ++issued;
@@ -459,9 +469,12 @@ Core::IssueResult Core::issue_one(int tid, TimePs now) {
           ? detailed_weight(cfg_.detailed_energy, cls, prev_class_, op_a, op_b)
           : instr_weight(cls);
   prev_class_ = cls;
+  if (attr_ != nullptr) attr_->note_instr(cfg_.node_id, tid, pc_bytes / 4);
   if (w != 1.0) {
+    if (attr_ != nullptr) attr_->cursor_instr(cfg_.node_id, tid, pc_bytes / 4);
     instr_trace_.add_pulse((w - 1.0) * cfg_.power_model.instruction_energy(
                                            clock_.frequency(), voltage_));
+    if (attr_ != nullptr) attr_->cursor_clear();
   }
 
   t.ready_at = now + clock_.span((pd.flags & kPredecodeLongOp)
@@ -569,12 +582,23 @@ void Core::update_power_levels() {
   const TimePs now = sim_.now();
   const MegaHertz f = clock_.frequency();
   const Volts v = voltage_;
+  if (attr_ != nullptr) attr_->cursor_baseline(cfg_.node_id);
   baseline_trace_.set_level(now, cfg_.power_model.baseline_power(f, v));
   const double active = trapped() ? 0.0 : static_cast<double>(runnable_threads());
   const double frac = std::min(active, 4.0) / 4.0;
   const Watts gap = cfg_.power_model.active_power(f, v) -
                     cfg_.power_model.baseline_power(f, v);
+  if (attr_ != nullptr) attr_->cursor_instr_spread(cfg_.node_id);
   instr_trace_.set_level(now, frac * gap);
+  if (attr_ != nullptr) attr_->cursor_clear();
+}
+
+void Core::settle_energy(TimePs now) {
+  if (attr_ != nullptr) attr_->cursor_baseline(cfg_.node_id);
+  baseline_trace_.settle(now);
+  if (attr_ != nullptr) attr_->cursor_instr_spread(cfg_.node_id);
+  instr_trace_.settle(now);
+  if (attr_ != nullptr) attr_->cursor_clear();
 }
 
 // ------------------------------------------------------------------ memory

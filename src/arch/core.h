@@ -46,6 +46,7 @@
 
 namespace swallow {
 
+class AttrShard;
 class Track;
 
 class Core {
@@ -121,6 +122,18 @@ class Core {
   /// Close any open thread spans at the current time (end of a trace
   /// session; keeps B/E spans balanced in the exported trace).
   void obs_close_spans();
+
+  /// Attach the energy attribution shard of this core's ledger partition
+  /// (obs/energy_attr.h): instruction retires and power-trace settles are
+  /// labelled with (thread, pc) / baseline context so the session can fold
+  /// energy flamegraphs.  nullptr detaches; disabled cost is one pointer
+  /// test per retire.
+  void set_energy_attr(AttrShard* attr) { attr_ = attr; }
+  AttrShard* energy_attr() const { return attr_; }
+
+  /// Observability track attached via set_obs_track (nullptr when none);
+  /// the board layer emits windowed power counters onto it.
+  Track* obs_track() const { return obs_; }
 
   /// One live hardware thread as seen by the sampling profiler.
   struct ThreadSample {
@@ -222,10 +235,9 @@ class Core {
 
   // ----- Energy -----
   /// Bring both power traces up to date (call before reading the ledger).
-  void settle_energy(TimePs now) {
-    baseline_trace_.settle(now);
-    instr_trace_.settle(now);
-  }
+  /// Out of line: settles run under the attribution cursor when a shard is
+  /// attached.
+  void settle_energy(TimePs now);
   /// Traces to attach to a supply rail.
   const PowerTrace* baseline_trace() const { return &baseline_trace_; }
   const PowerTrace* instr_trace() const { return &instr_trace_; }
@@ -420,6 +432,9 @@ class Core {
   Track* obs_ = nullptr;
   std::array<std::uint16_t, kMaxHardwareThreads> obs_span_{};
   std::vector<std::pair<std::uint32_t, std::string>> symbols_;
+
+  // Energy attribution shard (obs/energy_attr.h); wiring, never serialized.
+  AttrShard* attr_ = nullptr;
 };
 
 /// Short human name for a wait kind ("chan-out", "lock", ...).

@@ -1,6 +1,7 @@
 #include "board/system.h"
 
 #include <cmath>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -38,6 +39,8 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
   for (int i = 0; i < slice_count; ++i) {
     slice_ledgers_.push_back(std::make_unique<EnergyLedger>());
   }
+  obs_power_prev_core_.assign(static_cast<std::size_t>(cfg_.core_count()), 0.0);
+  obs_power_prev_slice_.assign(static_cast<std::size_t>(slice_count), 0.0);
 
   net_ = std::make_unique<Network>(sim_, system_ledger_, cfg_.link_grade);
 
@@ -218,6 +221,17 @@ EnergyLedger& SwallowSystem::ledger() {
                                         std::abs(parts))),
       "merged energy ledger != sum of component ledgers");
   SWALLOW_CHECK_PROBE(merged_total >= 0.0, "negative total energy");
+  // Attribution conservation: every joule in the merged ledger must be
+  // accounted for by the attribution shards, bit for bit (the shards see
+  // the identical += stream per partition and sum in merge order).
+  if (obs_ != nullptr && obs_->energy() &&
+      obs_->energy_attribution().attached()) {
+    const std::string err =
+        obs_->energy_attribution().conservation_error(merged_);
+    if (!err.empty()) {
+      throw InternalError("SWALLOW_CHECK probe failed: " + err);
+    }
+  }
 #endif
   return merged_;
 }
@@ -229,14 +243,27 @@ std::uint64_t SwallowSystem::run_until(TimePs deadline) {
   // it and the periodic samples read identical machine state — this choice
   // of chop times is what makes the merged trace byte-identical across
   // engines and worker counts.
-  const TimePs period = std::max<TimePs>(1, obs_->flush_period());
+  const TimePs flush = std::max<TimePs>(1, obs_->flush_period());
+  // With energy attribution on a tracing session, the windowed power
+  // counters sample at power-window multiples; chop at the gcd so both
+  // grids land exactly on chop points (with the default window == flush
+  // period the chop times are unchanged).
+  TimePs pwin = 0;
+  TimePs chop = flush;
+  if (obs_->energy() && obs_->tracing()) {
+    pwin = std::max<TimePs>(1, obs_->power_window());
+    chop = std::gcd(flush, pwin);
+  }
   TimePs cur = now();
   if (cur >= deadline) return run_until_impl(deadline);
   std::uint64_t dispatched = 0;
   while (cur < deadline) {
-    const TimePs next = std::min(deadline, (cur / period + 1) * period);
+    const TimePs next = std::min(deadline, (cur / chop + 1) * chop);
     dispatched += run_until_impl(next);
-    if (next % period == 0) {
+    // Power sample first so its counter events at `next` are inside the
+    // flush that obs_sample/flush_up_to performs.
+    if (pwin != 0 && next % pwin == 0) obs_power_sample(next);
+    if (next % flush == 0) {
       obs_sample(next);
     } else {
       obs_->flush_up_to(next);
@@ -306,6 +333,33 @@ void SwallowSystem::attach_observability(TraceSession& session) {
     if (trace || metrics) bridge->bridge_switch().set_obs(probe);
   }
   if (trace) obs_system_ = session.make_track(kSystemTrackNode, "system");
+
+  // Energy attribution: one shard per ledger partition, created in the
+  // exact order ledger() merges partitions (slices row-major, then
+  // bridges, then the system ledger) so attributed totals reproduce the
+  // merged ledger's summation order bit for bit.  Cores and switches get
+  // the shard of the slice whose ledger they charge.
+  if (session.energy()) {
+    EnergyAttribution& attr = session.energy_attribution();
+    require(!attr.attached(),
+            "SwallowSystem: energy attribution already attached");
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+      AttrShard& shard =
+          attr.make_shard(strprintf("slice%zu", i), *slice_ledgers_[i]);
+      for (int c = 0; c < Slice::kCores; ++c) {
+        slices_[i]->core_at(c).set_energy_attr(&shard);
+        slices_[i]
+            ->switch_of(c / 2, static_cast<Layer>(c % 2))
+            .set_energy_attr(&shard);
+      }
+    }
+    for (std::size_t b = 0; b < bridges_.size(); ++b) {
+      AttrShard& shard =
+          attr.make_shard(strprintf("bridge%zu", b), *bridge_ledgers_[b]);
+      bridges_[b]->bridge_switch().set_energy_attr(&shard);
+    }
+    attr.make_shard("system", system_ledger_);
+  }
 }
 
 void SwallowSystem::obs_sample(TimePs t) {
@@ -340,10 +394,50 @@ void SwallowSystem::obs_sample(TimePs t) {
   obs_last_sample_ = t;
 }
 
+void SwallowSystem::obs_power_sample(TimePs t) {
+  if (t <= obs_last_power_) return;
+  settle_energy();
+  const double dt_s = static_cast<double>(t - obs_last_power_) * 1e-12;
+  // Per-core average power over the window, on the core's own track.  The
+  // deltas come from the core's power traces, settled at the chop point —
+  // identical under every engine and worker count.
+  std::size_t ci = 0;
+  for (auto& slice : slices_) {
+    for (int i = 0; i < Slice::kCores; ++i, ++ci) {
+      Core& core = slice->core_at(i);
+      const Joules e = core.energy_consumed();
+      const double watts = (e - obs_power_prev_core_[ci]) / dt_s;
+      obs_power_prev_core_[ci] = e;
+      if (core.obs_track() != nullptr) {
+        core.obs_track()->counter(t, TraceCat::kEnergy, kEnergySubCorePower,
+                                  kTidNode, watts);
+      }
+    }
+  }
+  // Per-slice average power (the whole partition ledger: cores, links,
+  // NI, DC-DC losses) on the system track.
+  for (std::size_t s = 0; s < slices_.size(); ++s) {
+    const Joules e = slice_ledgers_[s]->grand_total();
+    const double watts = (e - obs_power_prev_slice_[s]) / dt_s;
+    obs_power_prev_slice_[s] = e;
+    if (obs_system_ != nullptr) {
+      obs_system_->counter(
+          t, TraceCat::kEnergy,
+          static_cast<std::uint16_t>(kEnergySubSlicePowerBase + s),
+          kTidSystem, watts);
+    }
+  }
+  obs_last_power_ = t;
+}
+
 void SwallowSystem::finish_observability() {
   require(obs_ != nullptr, "SwallowSystem: no observability session attached");
   const TimePs t = now();
-  // Final periodic sample, unless the run already ended on a chop point.
+  // Final (possibly partial) power window, then the final periodic sample,
+  // unless the run already ended on the respective grid point.
+  if (obs_->energy() && obs_->tracing() && t > obs_last_power_) {
+    obs_power_sample(t);
+  }
   if (t > obs_last_sample_) obs_sample(t);
   if (obs_->tracing()) {
     for (auto& slice : slices_) {
@@ -387,6 +481,15 @@ void SwallowSystem::finish_observability() {
       for (int i = 0; i < Slice::kCores; ++i) {
         Core& core = slice->core_at(i);
         obs_->profiler().note_symbols(core.node_id(), core.symbols());
+      }
+    }
+  }
+  if (obs_->energy()) {
+    EnergyAttribution& attr = obs_->energy_attribution();
+    for (auto& slice : slices_) {
+      for (int i = 0; i < Slice::kCores; ++i) {
+        Core& core = slice->core_at(i);
+        attr.note_symbols(core.node_id(), core.symbols());
       }
     }
   }
@@ -570,6 +673,9 @@ void SwallowSystem::save_state(StateWriter& w) const {
   }
   w.i64(loss_period_);
   w.i64(obs_last_sample_);
+  w.i64(obs_last_power_);
+  for (const double e : obs_power_prev_core_) w.f64(e);
+  for (const double e : obs_power_prev_slice_) w.f64(e);
 }
 
 void SwallowSystem::load_state(StateReader& r) {
@@ -583,6 +689,9 @@ void SwallowSystem::load_state(StateReader& r) {
   }
   loss_period_ = r.i64();
   obs_last_sample_ = r.i64();
+  obs_last_power_ = r.i64();
+  for (double& e : obs_power_prev_core_) e = r.f64();
+  for (double& e : obs_power_prev_slice_) e = r.f64();
 }
 
 void SwallowSystem::restore_event(const LiveEvent& ev) {

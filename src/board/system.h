@@ -247,6 +247,7 @@ class SwallowSystem {
   void integrate_slice_losses(std::size_t idx);
   std::uint64_t run_until_impl(TimePs deadline);
   void obs_sample(TimePs t);
+  void obs_power_sample(TimePs t);
 
   Simulator& sim_;
   SystemConfig cfg_;
@@ -263,6 +264,11 @@ class SwallowSystem {
   TraceSession* obs_ = nullptr;     // attached observability session
   Track* obs_system_ = nullptr;     // machine-wide counter track
   TimePs obs_last_sample_ = 0;      // last periodic-sample time
+  TimePs obs_last_power_ = 0;       // last power-window sample time
+  // Energy totals at the last power-window sample, per core (flat index)
+  // and per slice (row-major) — the windowed power counters are the deltas.
+  std::vector<double> obs_power_prev_core_;
+  std::vector<double> obs_power_prev_slice_;
 };
 
 }  // namespace swallow

@@ -128,7 +128,10 @@ RunObs run_config(const SourceSet& s, const RunConfig& cfg,
   if (cfg.stepped) scfg.core_batch = 1;
   SwallowSystem sys(sim, scfg);
 
-  TraceSession session(TraceConfig{.tracing = true});
+  // Tracing runs also carry energy attribution, so the matrix proves the
+  // attribution layer conserves energy and stays deterministic under
+  // every engine, batching and fault combination.
+  TraceSession session(TraceConfig{.tracing = true, .energy = true});
   if (cfg.tracing) sys.attach_observability(session);
 
   std::vector<NodeId> nodes;
@@ -173,6 +176,13 @@ RunObs run_config(const SourceSet& s, const RunConfig& cfg,
     obs.trace_digest = fnv1a64(session.chrome_json());
   }
   sys.settle_energy();
+  if (cfg.tracing) {
+    // After the final settle: every joule is in the ledger, so the shadow
+    // totals must match it exactly — in double bits, not to a tolerance.
+    obs.attr_error =
+        session.energy_attribution().conservation_error(sys.ledger());
+    obs.attr_digest = fnv1a64(session.energy_attribution().to_json());
+  }
 
   for (Core* c : cores) {
     CoreObs co;
@@ -290,6 +300,14 @@ std::string compare_strict(const RunObs& a, const RunObs& b) {
                      static_cast<unsigned long long>(a.trace_digest),
                      static_cast<unsigned long long>(b.trace_digest));
   }
+  if (a.config.tracing && b.config.tracing &&
+      a.attr_digest != b.attr_digest) {
+    return strprintf(
+        "[%s vs %s] energy attribution digest %016llx vs %016llx",
+        a.config.name().c_str(), b.config.name().c_str(),
+        static_cast<unsigned long long>(a.attr_digest),
+        static_cast<unsigned long long>(b.attr_digest));
+  }
   return "";
 }
 
@@ -381,6 +399,17 @@ DiffResult run_differential(const SourceSet& s, const DifferOptions& opts) {
       fail(strprintf("[%s] wire token conservation slack = %lld",
                      r.config.name().c_str(),
                      static_cast<long long>(r.conservation_slack)));
+      return res;
+    }
+  }
+
+  // Energy-attribution conservation in every tracing run: the attribution
+  // shards receive the exact charge stream of their ledger partition, so
+  // the attributed totals must equal the merged ledger in double bits.
+  for (const RunObs& r : res.runs) {
+    if (!r.attr_error.empty()) {
+      fail(strprintf("[%s] %s", r.config.name().c_str(),
+                     r.attr_error.c_str()));
       return res;
     }
   }

@@ -11,6 +11,10 @@
 //     must be architecturally invisible),
 //   * wire token conservation (injected = delivered + accounted-dropped)
 //     at quiescence in every run,
+//   * energy-attribution conservation in every tracing run (the src/obs
+//     attribution shards must account for the merged ledger's totals in
+//     double bits, and the attribution JSON must be byte-identical across
+//     worker counts),
 //   * for single-core compute-only programs, agreement with the golden
 //     reference interpreter (registers, memory digest, retired count,
 //     console, trap).
@@ -88,6 +92,8 @@ struct RunObs {
       energy{};
   double energy_total = 0.0;
   std::uint64_t trace_digest = 0;  // fnv1a64(chrome_json), tracing runs only
+  std::uint64_t attr_digest = 0;   // fnv1a64(attribution JSON), tracing only
+  std::string attr_error;   // attribution conservation violation, "" if none
   std::int64_t conservation_slack = 0;
 };
 

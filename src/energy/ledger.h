@@ -31,12 +31,30 @@ enum class EnergyAccount : std::size_t {
 
 std::string_view to_string(EnergyAccount a);
 
+/// Observer of every charge flowing into one EnergyLedger.  The energy
+/// attribution layer (src/obs/energy_attr.h) implements this to mirror the
+/// ledger's exact `+=` sequence into fine-grained buckets; because the sink
+/// sees the identical (account, joules) stream in the identical order, its
+/// shadow totals equal the ledger totals bit for bit — the conservation
+/// property is by construction, not by tolerance.
+class EnergyAttrSink {
+ public:
+  virtual ~EnergyAttrSink() = default;
+  virtual void on_charge(EnergyAccount account, Joules j) = 0;
+};
+
 /// Per-account joule totals.
 class EnergyLedger {
  public:
   void add(EnergyAccount account, Joules j) {
     totals_[static_cast<std::size_t>(account)] += j;
+    if (sink_ != nullptr) sink_->on_charge(account, j);
   }
+
+  /// Attach/detach the attribution mirror.  One pointer test per charge
+  /// when detached — cheap enough for the batched fast-run loop.
+  void set_attr_sink(EnergyAttrSink* sink) { sink_ = sink; }
+  EnergyAttrSink* attr_sink() const { return sink_; }
 
   Joules total(EnergyAccount account) const {
     return totals_[static_cast<std::size_t>(account)];
@@ -69,6 +87,7 @@ class EnergyLedger {
 
  private:
   std::array<Joules, static_cast<std::size_t>(EnergyAccount::kCount)> totals_{};
+  EnergyAttrSink* sink_ = nullptr;  // wiring, not state: never serialized
 };
 
 /// Piecewise-constant power source integrated into a ledger account.

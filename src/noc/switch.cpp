@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/error.h"
 #include "common/strings.h"
+#include "obs/energy_attr.h"
 
 namespace swallow {
 
@@ -422,9 +423,15 @@ void Switch::request_retransmit(int port) {
   // pair (our output of the same port index): charge its bits.
   const Output& rev = outputs_[static_cast<std::size_t>(port)];
   if (rev.kind == Output::Kind::kLink && rev.peer != nullptr) {
+    // Retry-protocol overhead: attribute next to the retransmissions, not
+    // the first-send link bucket.
+    if (attr_ != nullptr) {
+      attr_->cursor_link(cfg_.node, rev.direction, /*retry=*/true);
+    }
     ledger_.add(link_account(rev.cls),
                 (kBitsPerToken + kReliableFramingBits) *
                     link_energy_per_bit(rev.cls, rev.cable_cm));
+    if (attr_ != nullptr) attr_->cursor_clear();
   }
   Switch* peer = in.peer;
   const int po = in.peer_output;
@@ -734,7 +741,9 @@ void Switch::resend_step(int output_idx, std::uint64_t gen) {
   ++out.resend_cursor;
   ++fault_counters_.retransmissions;
   obs_fault(5);
+  resending_ = true;  // wire charge goes to the link.retry bucket
   transmit_on_link(out, t, seq);  // charges the wire like a first send
+  resending_ = false;
   sim_.at(out.busy_until, step_desc,
           [this, output_idx, gen] { resend_step(output_idx, gen); });
 }
@@ -764,7 +773,9 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
   out.busy_until = now + ser;
   const TimePs arrival = now + hop_latency_ + ser + out.wire_latency;
   const Joules wire_energy = bits * link_energy_per_bit(out.cls, out.cable_cm);
+  if (attr_ != nullptr) attr_->cursor_link(cfg_.node, out.direction, resending_);
   ledger_.add(link_account(out.cls), wire_energy);
+  if (attr_ != nullptr) attr_->cursor_clear();
   ++link_tokens_sent_[static_cast<std::size_t>(out.cls)];
   link_busy_time_[static_cast<std::size_t>(out.cls)] += ser;
   if (obs_.track) {
@@ -818,7 +829,9 @@ void Switch::transmit_on_link(Output& out, const Token& t, std::uint64_t seq) {
 
 void Switch::send_token(int input_idx, Output& out, const Token& t) {
   ++tokens_forwarded_;
+  if (attr_ != nullptr) attr_->cursor_ni(cfg_.node);
   ledger_.add(EnergyAccount::kNetworkInterface, kNiTokenEnergy);
+  if (attr_ != nullptr) attr_->cursor_clear();
   const TimePs now = sim_.now();
   if (out.kind == Output::Kind::kLink) {
     SWALLOW_CHECK_PROBE(out.credits > 0, "link transmit without credit");

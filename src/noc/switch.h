@@ -59,6 +59,7 @@
 
 namespace swallow {
 
+class AttrShard;
 class Core;
 
 /// Extra wire bits per token on a reliable link: sequence + CRC framing,
@@ -203,6 +204,12 @@ class Switch {
   /// delay, backoff and end-to-end latency to the metric instruments.
   /// Null members disable the corresponding pillar at one pointer test.
   void set_obs(const SwitchProbe& probe) { obs_ = probe; }
+
+  /// Attach the energy attribution shard of this switch's ledger partition
+  /// (obs/energy_attr.h): wire transmissions, NI token costs and go-back-N
+  /// retransmissions are labelled per (node, direction), with retries in a
+  /// distinct link.retry bucket.  nullptr detaches.
+  void set_energy_attr(AttrShard* attr) { attr_ = attr; }
 
   /// Close any still-open route spans at the current time (end of a trace
   /// session; keeps B/E spans balanced in the exported trace).
@@ -405,6 +412,12 @@ class Switch {
 
   // Observability probe (empty = disabled).
   SwitchProbe obs_;
+
+  // Energy attribution shard (nullptr = disabled) and whether the current
+  // transmit_on_link call is a go-back-N retransmission (resend_step sets
+  // it so the wire charge lands in the link.retry bucket).
+  AttrShard* attr_ = nullptr;
+  bool resending_ = false;
 };
 
 }  // namespace swallow

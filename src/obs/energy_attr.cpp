@@ -1,0 +1,256 @@
+#include "obs/energy_attr.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace swallow {
+
+namespace {
+
+constexpr std::size_t kAccounts =
+    static_cast<std::size_t>(EnergyAccount::kCount);
+
+std::string direction_name(std::uint32_t dir) {
+  switch (dir) {
+    case 0: return "N";
+    case 1: return "S";
+    case 2: return "E";
+    case 3: return "W";
+    case 4: return "int";
+    case 5: return "bridge";
+    default: return strprintf("d%u", dir);
+  }
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- AttrShard
+
+void AttrShard::attach(EnergyLedger& ledger) {
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    const Joules pre = ledger.total(static_cast<EnergyAccount>(i));
+    shadow_[i] = pre;
+    // Pre-attach energy has no finer context; park it in the account bucket
+    // so the bucket tree still covers every joule the shadow claims.
+    if (pre != 0.0) {
+      buckets_[BucketKey{kAccount, 0, -1, static_cast<std::uint32_t>(i)}] +=
+          pre;
+    }
+  }
+  ledger.set_attr_sink(this);
+}
+
+void AttrShard::on_charge(EnergyAccount account, Joules j) {
+  shadow_[static_cast<std::size_t>(account)] += j;
+  switch (ctx_) {
+    case Ctx::kInstr:
+      buckets_[BucketKey{kInstr, node_, tid_, detail_}] += j;
+      return;
+    case Ctx::kSpread:
+      spread_instr(node_, j);
+      return;
+    case Ctx::kBaseline:
+      buckets_[BucketKey{kBaseline, node_, -1, 0}] += j;
+      return;
+    case Ctx::kLink:
+      buckets_[BucketKey{kLink, node_, -1, detail_}] += j;
+      return;
+    case Ctx::kLinkRetry:
+      buckets_[BucketKey{kLinkRetry, node_, -1, detail_}] += j;
+      return;
+    case Ctx::kNi:
+      buckets_[BucketKey{kNi, node_, -1, 0}] += j;
+      return;
+    case Ctx::kNone:
+      buckets_[BucketKey{kAccount, 0, -1,
+                         static_cast<std::uint32_t>(account)}] += j;
+      return;
+  }
+}
+
+void AttrShard::spread_instr(std::uint32_t node, Joules j) {
+  const auto lo = pending_.lower_bound(
+      PendKey{node, std::numeric_limits<std::int32_t>::min(), 0});
+  const auto hi = pending_.lower_bound(
+      PendKey{node + 1, std::numeric_limits<std::int32_t>::min(), 0});
+  double total = 0.0;
+  for (auto it = lo; it != hi; ++it) total += it->second;
+  if (total <= 0.0) {
+    // Runnable-but-not-retiring interval: no PC to blame.
+    buckets_[BucketKey{kInstr, node, -1, kNoPc}] += j;
+    return;
+  }
+  for (auto it = lo; it != hi; ++it) {
+    buckets_[BucketKey{kInstr, node, std::get<1>(it->first),
+                       std::get<2>(it->first)}] += j * (it->second / total);
+  }
+  pending_.erase(lo, hi);
+}
+
+void AttrShard::save_state(StateWriter& w) const {
+  for (Joules j : shadow_) w.f64(j);
+  w.seq(buckets_, [&w](const auto& e) {
+    w.u8(e.first.kind);
+    w.u32(e.first.node);
+    w.u32(static_cast<std::uint32_t>(e.first.tid));
+    w.u32(e.first.detail);
+    w.f64(e.second);
+  });
+  w.seq(pending_, [&w](const auto& e) {
+    w.u32(std::get<0>(e.first));
+    w.u32(static_cast<std::uint32_t>(std::get<1>(e.first)));
+    w.u32(std::get<2>(e.first));
+    w.f64(e.second);
+  });
+}
+
+void AttrShard::load_state(StateReader& r) {
+  for (Joules& j : shadow_) j = r.f64();
+  buckets_.clear();
+  r.seq([this, &r](std::uint32_t) {
+    BucketKey k;
+    k.kind = r.u8();
+    k.node = r.u32();
+    k.tid = static_cast<std::int32_t>(r.u32());
+    k.detail = r.u32();
+    buckets_[k] = r.f64();
+  });
+  pending_.clear();
+  r.seq([this, &r](std::uint32_t) {
+    const std::uint32_t node = r.u32();
+    const std::int32_t tid = static_cast<std::int32_t>(r.u32());
+    const std::uint32_t pc = r.u32();
+    pending_[PendKey{node, tid, pc}] = r.f64();
+  });
+  ctx_ = Ctx::kNone;  // snapshots land at chop points, outside charge sites
+}
+
+// ------------------------------------------------------- EnergyAttribution
+
+AttrShard& EnergyAttribution::make_shard(std::string name,
+                                         EnergyLedger& ledger) {
+  shards_.emplace_back(std::move(name));
+  shards_.back().attach(ledger);
+  return shards_.back();
+}
+
+Joules EnergyAttribution::attributed_total(EnergyAccount a) const {
+  Joules acc = 0;
+  for (const AttrShard& s : shards_) acc += s.shadow(a);
+  return acc;
+}
+
+Joules EnergyAttribution::attributed_grand_total() const {
+  Joules sum = 0;
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    sum += attributed_total(static_cast<EnergyAccount>(i));
+  }
+  return sum;
+}
+
+std::string EnergyAttribution::conservation_error(
+    const EnergyLedger& merged) const {
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    const EnergyAccount a = static_cast<EnergyAccount>(i);
+    const Joules want = merged.total(a);
+    const Joules got = attributed_total(a);
+    if (std::bit_cast<std::uint64_t>(want) !=
+        std::bit_cast<std::uint64_t>(got)) {
+      return strprintf(
+          "energy attribution violates conservation: account %s ledger "
+          "%.17g (0x%016llx) != attributed %.17g (0x%016llx)",
+          std::string(to_string(a)).c_str(), want,
+          static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(want)),
+          got,
+          static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(got)));
+    }
+  }
+  return "";
+}
+
+std::string EnergyAttribution::stack_of(
+    const AttrShard& shard, const AttrShard::BucketKey& key) const {
+  switch (key.kind) {
+    case AttrShard::kBaseline:
+      return strprintf("core_0x%04x;[baseline]", key.node);
+    case AttrShard::kInstr:
+      if (key.detail == AttrShard::kNoPc) {
+        return strprintf("core_0x%04x;[instr]", key.node);
+      }
+      return strprintf("core_0x%04x;t%d;%s", key.node, key.tid,
+                       symbols_.symbolize(key.node, key.detail).c_str());
+    case AttrShard::kLink:
+      return strprintf("node_0x%04x;link;%s", key.node,
+                       direction_name(key.detail).c_str());
+    case AttrShard::kLinkRetry:
+      return strprintf("node_0x%04x;link.retry;%s", key.node,
+                       direction_name(key.detail).c_str());
+    case AttrShard::kNi:
+      return strprintf("node_0x%04x;ni", key.node);
+    case AttrShard::kAccount:
+    default:
+      return strprintf(
+          "%s;%s", shard.name().c_str(),
+          std::string(to_string(static_cast<EnergyAccount>(key.detail)))
+              .c_str());
+  }
+}
+
+std::map<std::string, Joules> EnergyAttribution::merged_buckets() const {
+  std::map<std::string, Joules> out;
+  for (const AttrShard& s : shards_) {
+    for (const auto& [key, j] : s.buckets()) out[stack_of(s, key)] += j;
+  }
+  return out;
+}
+
+std::string EnergyAttribution::folded() const {
+  std::string out;
+  for (const auto& [stack, j] : merged_buckets()) {
+    const long long pj = std::llround(j * 1e12);
+    if (pj <= 0) continue;
+    out += strprintf("%s %lld\n", stack.c_str(), pj);
+  }
+  return out;
+}
+
+std::string EnergyAttribution::to_json() const {
+  std::string out = "{\"energyAttribution\": {\n  \"version\": 1,\n";
+  out += strprintf("  \"shards\": %zu,\n", shards_.size());
+  out += "  \"accounts\": {";
+  for (std::size_t i = 0; i < kAccounts; ++i) {
+    const EnergyAccount a = static_cast<EnergyAccount>(i);
+    out += strprintf("%s\"%s\": %.17g", i == 0 ? "" : ", ",
+                     std::string(to_string(a)).c_str(), attributed_total(a));
+  }
+  out += "},\n";
+  out += strprintf("  \"totalJ\": %.17g,\n", attributed_grand_total());
+  out += "  \"buckets\": [\n";
+  const std::map<std::string, Joules> merged = merged_buckets();
+  std::size_t n = 0;
+  for (const auto& [stack, j] : merged) {
+    out += strprintf("    {\"stack\": \"%s\", \"j\": %.17g}%s\n",
+                     stack.c_str(), j, ++n == merged.size() ? "" : ",");
+  }
+  out += "  ]\n}}\n";
+  return out;
+}
+
+void EnergyAttribution::save_state(StateWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(shards_.size()));
+  for (const AttrShard& s : shards_) s.save_state(w);
+}
+
+void EnergyAttribution::load_state(StateReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n != shards_.size()) {
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot: attribution shard count mismatch");
+  }
+  for (AttrShard& s : shards_) s.load_state(r);
+}
+
+}  // namespace swallow

@@ -1,0 +1,208 @@
+// Energy attribution: where every joule goes, at function granularity.
+//
+// The ledger (src/energy/ledger.h) answers "how much energy per account";
+// this layer answers "which code / which wire spent it".  Each ledger
+// partition (per-slice, per-bridge, the system ledger) gets an AttrShard
+// registered as its EnergyAttrSink: the shard mirrors the partition's exact
+// charge sequence into
+//   * per-account *shadow totals* — seeded from the ledger totals at attach
+//     and fed the identical `+=` stream, so shadow == ledger bit for bit
+//     (the SWALLOW_CHECK conservation probe compares double bits), and
+//   * exactly one fine-grained *bucket* per charge, selected by a context
+//     cursor the instrumented charge sites set around each ledger call:
+//         core_0x0011;t0;stage_loop      instruction energy by symbol
+//         core_0x0011;[baseline]         idle line: static + clock tree
+//         node_0x0011;link;E             first-transmission wire energy
+//         node_0x0011;link.retry;E       go-back-N retransmissions + NAKs
+//         node_0x0011;ni                 per-token switch/NI dynamic energy
+//         slice0;dc-dc-io                uninstrumented sites fall back to
+//                                        an account-level bucket
+// Charge order per shard is deterministic (one shard per event domain), so
+// the folded/JSON dumps are byte-identical across --jobs values.
+//
+// The per-instruction *interval* energy (PowerTrace level integration)
+// cannot name a PC at settle time; retires recorded via note_instr() since
+// the previous settle carry the spread: the interval's joules are
+// distributed over the pending (tid, pc) retire counts proportionally.
+// Per-instruction *pulses* (class-weight deviation) charge their own
+// (tid, pc) bucket directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "common/stateio.h"
+#include "common/units.h"
+#include "energy/ledger.h"
+#include "obs/profiler.h"
+
+namespace swallow {
+
+/// One ledger partition's attribution mirror.  Single-writer: the shard is
+/// only touched from its partition's event domain (plus barrier-time dumps).
+class AttrShard final : public EnergyAttrSink {
+ public:
+  /// Fine-grained bucket classes, in render order.
+  enum Kind : std::uint8_t {
+    kAccount = 0,  // fallback: uninstrumented charge, detail = account index
+    kBaseline,     // core idle line, per node
+    kInstr,        // instruction energy, per (node, tid, pc)
+    kLink,         // first-transmission wire energy, per (node, direction)
+    kLinkRetry,    // go-back-N retransmission + NAK energy, per (node, dir)
+    kNi,           // per-token switch/NI dynamic energy, per node
+  };
+
+  /// Sentinel pc for interval energy that arrived with no pending retires
+  /// (a thread became runnable but issued nothing before the settle).
+  static constexpr std::uint32_t kNoPc = 0xFFFFFFFFu;
+
+  struct BucketKey {
+    std::uint8_t kind = kAccount;
+    std::uint32_t node = 0;
+    std::int32_t tid = -1;
+    std::uint32_t detail = 0;  // pc (kInstr) / direction (kLink*) / account
+    bool operator<(const BucketKey& o) const {
+      return std::tie(kind, node, tid, detail) <
+             std::tie(o.kind, o.node, o.tid, o.detail);
+    }
+  };
+
+  explicit AttrShard(std::string name) : name_(std::move(name)) {}
+
+  /// Seed the shadow totals from the partition's current totals and seed an
+  /// account-level bucket for any pre-attach energy, then register as the
+  /// ledger's sink.  Call once, before the run.
+  void attach(EnergyLedger& ledger);
+
+  // ----- context cursor (instrumented charge sites) -----
+  // Set immediately before the ledger call, clear immediately after: a
+  // stale cursor would mislabel the next uninstrumented charge.
+  void cursor_instr(std::uint32_t node, int tid, std::uint32_t pc) {
+    ctx_ = Ctx::kInstr;
+    node_ = node;
+    tid_ = tid;
+    detail_ = pc;
+  }
+  void cursor_instr_spread(std::uint32_t node) {
+    ctx_ = Ctx::kSpread;
+    node_ = node;
+  }
+  void cursor_baseline(std::uint32_t node) {
+    ctx_ = Ctx::kBaseline;
+    node_ = node;
+  }
+  void cursor_link(std::uint32_t node, int direction, bool retry) {
+    ctx_ = retry ? Ctx::kLinkRetry : Ctx::kLink;
+    node_ = node;
+    detail_ = static_cast<std::uint32_t>(direction);
+  }
+  void cursor_ni(std::uint32_t node) {
+    ctx_ = Ctx::kNi;
+    node_ = node;
+  }
+  void cursor_clear() { ctx_ = Ctx::kNone; }
+
+  /// Record one retired instruction; the next instruction-account interval
+  /// settle for `node` is distributed over these counts.
+  void note_instr(std::uint32_t node, int tid, std::uint32_t pc) {
+    pending_[PendKey{node, tid, pc}] += 1.0;
+  }
+
+  // ----- EnergyAttrSink -----
+  void on_charge(EnergyAccount account, Joules j) override;
+
+  const std::string& name() const { return name_; }
+  Joules shadow(EnergyAccount a) const {
+    return shadow_[static_cast<std::size_t>(a)];
+  }
+  const std::map<BucketKey, Joules>& buckets() const { return buckets_; }
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
+ private:
+  enum class Ctx : std::uint8_t {
+    kNone,
+    kInstr,
+    kSpread,
+    kBaseline,
+    kLink,
+    kLinkRetry,
+    kNi,
+  };
+  using PendKey = std::tuple<std::uint32_t, std::int32_t, std::uint32_t>;
+
+  void spread_instr(std::uint32_t node, Joules j);
+
+  std::string name_;
+  std::array<Joules, static_cast<std::size_t>(EnergyAccount::kCount)>
+      shadow_{};
+  std::map<BucketKey, Joules> buckets_;
+  std::map<PendKey, double> pending_;  // (node, tid, pc) -> retire count
+  Ctx ctx_ = Ctx::kNone;
+  std::uint32_t node_ = 0;
+  std::int32_t tid_ = -1;
+  std::uint32_t detail_ = 0;
+};
+
+/// Session-level container: owns the shards (one per ledger partition, in
+/// the same fixed order the system merges partition ledgers), symbolizes
+/// and merges their buckets into deterministic folded / JSON dumps, and
+/// proves conservation against the merged ledger.
+class EnergyAttribution {
+ public:
+  /// Create the next shard and attach it to `ledger`.  Shard order must
+  /// match SwallowSystem::ledger()'s merge order (slices row-major, then
+  /// bridges, then the system ledger) so attributed totals reproduce the
+  /// merged ledger's summation order bit for bit.
+  AttrShard& make_shard(std::string name, EnergyLedger& ledger);
+
+  bool attached() const { return !shards_.empty(); }
+  std::size_t shard_count() const { return shards_.size(); }
+  const AttrShard& shard(std::size_t i) const { return shards_[i]; }
+
+  /// Symbol table for instruction buckets (same contract as
+  /// Profiler::note_symbols); call at finish time.
+  void note_symbols(std::uint32_t node,
+                    std::vector<std::pair<std::uint32_t, std::string>> syms) {
+    symbols_.note_symbols(node, std::move(syms));
+  }
+
+  /// Per-account attributed total: shard shadows summed in shard order —
+  /// the same order SwallowSystem::ledger() merges partitions, so equality
+  /// with the merged ledger is exact, not approximate.
+  Joules attributed_total(EnergyAccount a) const;
+  Joules attributed_grand_total() const;
+
+  /// "" when attributed totals equal `merged`'s totals in double bits for
+  /// every account; otherwise a description of the first mismatch.
+  std::string conservation_error(const EnergyLedger& merged) const;
+
+  /// Flamegraph-collapsed dump: one "stack picojoules" line per merged
+  /// bucket, sorted by stack.  Integer pJ for flamegraph.pl compatibility.
+  std::string folded() const;
+
+  /// Deterministic JSON export ({"energyAttribution": ...}); doubles are
+  /// %.17g so byte-compares across --jobs values are meaningful.
+  std::string to_json() const;
+
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+
+ private:
+  std::string stack_of(const AttrShard& shard,
+                       const AttrShard::BucketKey& key) const;
+  /// Buckets of all shards merged by rendered stack, += in shard order.
+  std::map<std::string, Joules> merged_buckets() const;
+
+  std::deque<AttrShard> shards_;  // stable addresses: ledgers hold pointers
+  Profiler symbols_;              // symbol tables only; no samples
+};
+
+}  // namespace swallow

@@ -71,8 +71,13 @@ inline constexpr std::uint16_t kDvfsSubVoltage = 1;
 
 /// TraceCat::kEnergy sub codes: 0..EnergyAccount::kCount-1 are ledger
 /// account totals (uJ); then the grand total and machine input power.
+/// kEnergySubCorePower is a windowed per-core power counter emitted on the
+/// core's own track; per-slice windowed power rides the system track at
+/// kEnergySubSlicePowerBase + row-major slice index.
 inline constexpr std::uint16_t kEnergySubGrandTotal = 100;
 inline constexpr std::uint16_t kEnergySubInputPower = 101;
+inline constexpr std::uint16_t kEnergySubCorePower = 102;
+inline constexpr std::uint16_t kEnergySubSlicePowerBase = 200;
 
 struct TraceEvent {
   TimePs time = 0;

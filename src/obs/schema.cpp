@@ -1,5 +1,7 @@
 #include "obs/schema.h"
 
+#include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -57,6 +59,18 @@ std::string check_chrome_trace(const Json& doc) {
       if (!args || !args->is_object() || !args->has("value") ||
           !args->at("value").is_number())
         return where + ": counter missing numeric args.value";
+      const Json* cat = e.get("cat");
+      if (cat && cat->is_string() && cat->as_string() == "energy") {
+        // Energy counter tracks are either cumulative energy ("... uJ")
+        // or windowed power ("... W") — anything else is a unit bug.
+        const std::string& n = name->as_string();
+        const bool uj = n.size() > 3 && n.compare(n.size() - 3, 3, " uJ") == 0;
+        const bool w = n.size() > 2 && n.compare(n.size() - 2, 2, " W") == 0;
+        if (!uj && !w)
+          return where + strprintf(": energy counter \"%s\" is neither a "
+                                   "\" uJ\" nor a \" W\" series",
+                                   n.c_str());
+      }
     }
     if (phase == 'B' || phase == 'E') {
       long& depth = span_depth[{pid->as_number(), tid->as_number()}];
@@ -68,6 +82,65 @@ std::string check_chrome_trace(const Json& doc) {
     if (depth != 0)
       return strprintf("unbalanced spans on pid %g tid %g (depth %ld)",
                        key.first, key.second, depth);
+  return "";
+}
+
+std::string check_energy_attribution(const Json& doc) {
+  if (!doc.is_object()) return "top level is not an object";
+  const Json* attr = doc.get("energyAttribution");
+  if (!attr) return "missing \"energyAttribution\"";
+  if (!attr->is_object()) return "\"energyAttribution\" is not an object";
+
+  const Json* version = attr->get("version");
+  if (!version || !version->is_number()) return "bad \"version\"";
+  if (version->as_number() != 1)
+    return strprintf("unknown attribution version %g", version->as_number());
+
+  const Json* shards = attr->get("shards");
+  if (!shards || !shards->is_number() || shards->as_number() < 1)
+    return "bad \"shards\" (need a positive count)";
+
+  const Json* accounts = attr->get("accounts");
+  if (!accounts || !accounts->is_object())
+    return "missing \"accounts\" object";
+  for (const auto& [name, j] : accounts->items()) {
+    if (!j.is_number() || j.as_number() < 0)
+      return strprintf("account \"%s\": not a non-negative number",
+                       name.c_str());
+  }
+
+  const Json* total = attr->get("totalJ");
+  if (!total || !total->is_number() || total->as_number() < 0)
+    return "bad \"totalJ\"";
+
+  const Json* buckets = attr->get("buckets");
+  if (!buckets || !buckets->is_array()) return "missing \"buckets\" array";
+  double sum = 0.0;
+  const std::string* prev = nullptr;
+  std::size_t i = 0;
+  for (const Json& b : buckets->as_array()) {
+    const std::string where = strprintf("bucket %zu", i++);
+    if (!b.is_object()) return where + ": not an object";
+    const Json* stack = b.get("stack");
+    if (!stack || !stack->is_string() || stack->as_string().empty())
+      return where + ": bad \"stack\"";
+    const Json* j = b.get("j");
+    if (!j || !j->is_number() || j->as_number() < 0)
+      return where + ": bad \"j\" (need a non-negative number)";
+    if (prev != nullptr && !(*prev < stack->as_string()))
+      return where + ": stacks not strictly ascending (dump must be "
+                     "sorted and deduplicated)";
+    prev = &stack->as_string();
+    sum += j->as_number();
+  }
+  // Bucket splitting reassociates the per-charge sums, so compare to a
+  // float-reassociation tolerance rather than bit-exactly (the bit-exact
+  // conservation contract lives in the SWALLOW_CHECK probe, against the
+  // live ledger).
+  const double tol = 1e-6 * std::max(1.0, std::abs(total->as_number()));
+  if (std::abs(sum - total->as_number()) > tol)
+    return strprintf("bucket total %.17g does not match totalJ %.17g", sum,
+                     total->as_number());
   return "";
 }
 

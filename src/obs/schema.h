@@ -20,6 +20,19 @@ namespace swallow {
 ///   - ts is non-decreasing across non-metadata events (the deterministic
 ///     merge emits in time order)
 ///   - B/E spans balance per (pid, tid) and never go negative
+///   - counters in the "energy" category are named "<series> uJ" or
+///     "<series> W" (cumulative-energy vs windowed-power tracks)
 std::string check_chrome_trace(const Json& doc);
+
+/// Validate an energy-attribution export (swallow_run --energy-attr).
+/// Returns "" when valid, otherwise the first violation.  Checks:
+///   - top level: object with an "energyAttribution" object carrying
+///     version (known), shards (positive), accounts (object of
+///     non-negative numbers), totalJ (non-negative number), buckets
+///   - every bucket: non-empty string "stack" + non-negative number "j"
+///   - stacks strictly ascending (sorted and unique — the deterministic
+///     dump contract byte-compares rely on)
+///   - the bucket total matches totalJ to float-reassociation tolerance
+std::string check_energy_attribution(const Json& doc);
 
 }  // namespace swallow

@@ -59,6 +59,9 @@ std::string trace_event_name(TraceCat cat, std::uint16_t sub) {
         return std::string(to_string(static_cast<EnergyAccount>(sub))) + " uJ";
       if (sub == kEnergySubGrandTotal) return "total uJ";
       if (sub == kEnergySubInputPower) return "input W";
+      if (sub == kEnergySubCorePower) return "power W";
+      if (sub >= kEnergySubSlicePowerBase)
+        return strprintf("slice%u W", sub - kEnergySubSlicePowerBase);
       break;
     case TraceCat::kProfile:
       if (sub == kProfileSubPc) return "pc";
@@ -286,6 +289,7 @@ void TraceSession::save_state(StateWriter& w) const {
   w.seq(events_, [&](const TraceEvent& e) { save_trace_event(w, e); });
   metrics_.save_state(w);
   profiler_.save_state(w);
+  if (cfg_.energy) attr_.save_state(w);
 }
 
 void TraceSession::load_state(StateReader& r) {
@@ -300,6 +304,7 @@ void TraceSession::load_state(StateReader& r) {
   r.seq([&](std::size_t) { events_.push_back(load_trace_event(r)); });
   metrics_.load_state(r);
   profiler_.load_state(r);
+  if (cfg_.energy) attr_.load_state(r);
 }
 
 }  // namespace swallow

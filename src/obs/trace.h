@@ -20,6 +20,7 @@
 
 #include "common/stateio.h"
 #include "common/units.h"
+#include "obs/energy_attr.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/profiler.h"
@@ -31,8 +32,10 @@ struct TraceConfig {
   bool tracing = false;   // structured event tracing (Chrome JSON export)
   bool metrics = false;   // metrics registry collection
   bool profile = false;   // sampling profiler
+  bool energy = false;    // energy attribution + windowed power counters
   std::size_t track_capacity = 16384;  // events buffered per track per flush
   TimePs flush_period = microseconds(100.0);  // chop/merge/sample period
+  TimePs power_window = microseconds(100.0);  // power-timeline window
 };
 
 /// One single-writer event stream.  Models hold a Track* and call the
@@ -105,11 +108,13 @@ class TraceSession {
   bool tracing() const { return cfg_.tracing; }
   bool collecting_metrics() const { return cfg_.metrics; }
   bool profiling() const { return cfg_.profile; }
+  bool energy() const { return cfg_.energy; }
   /// Any pillar active — SwallowSystem chops runs only when this is true.
   bool active() const {
-    return cfg_.tracing || cfg_.metrics || cfg_.profile;
+    return cfg_.tracing || cfg_.metrics || cfg_.profile || cfg_.energy;
   }
   TimePs flush_period() const { return cfg_.flush_period; }
+  TimePs power_window() const { return cfg_.power_window; }
 
   /// Create the event stream for one node.  Must be called in a fixed
   /// machine order (attach time, before the run) — the creation index is
@@ -121,6 +126,8 @@ class TraceSession {
   const MetricsRegistry& metrics() const { return metrics_; }
   Profiler& profiler() { return profiler_; }
   const Profiler& profiler() const { return profiler_; }
+  EnergyAttribution& energy_attribution() { return attr_; }
+  const EnergyAttribution& energy_attribution() const { return attr_; }
 
   /// Drain every track's events with time <= t into the merged stream.
   /// Call only at points where all domains have reached t (after a
@@ -156,6 +163,7 @@ class TraceSession {
   std::vector<TraceEvent> events_;
   MetricsRegistry metrics_;
   Profiler profiler_;
+  EnergyAttribution attr_;
 };
 
 }  // namespace swallow

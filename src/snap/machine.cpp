@@ -106,6 +106,8 @@ std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
     w.b(obs_cfg->profile);
     w.u64(obs_cfg->track_capacity);
     w.i64(obs_cfg->flush_period);
+    w.b(obs_cfg->energy);
+    w.i64(obs_cfg->power_window);
   }
   return fnv1a64(w.data());
 }

@@ -38,7 +38,7 @@ const char* snap_section_name(SnapSection s);
 class SnapshotFile {
  public:
   static constexpr std::uint32_t kMagic = 0x4E535753;  // "SWSN" little-endian
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   std::uint64_t config_hash = 0;
 

@@ -14,9 +14,15 @@
 // test each) and with a full trace+metrics+profile session attached, and
 // reports the overhead of each — CI redirects this into BENCH_PR3.json.
 //
+// The "attribution" section re-runs the traced workload with the energy
+// attribution sink additionally mirroring every ledger charge into
+// (core, thread, function) buckets, and reports its cost over the
+// trace-only session — CI redirects this into BENCH_PR8.json.
+//
 // The engines are bit-identical (tests/parallel_test.cpp), so every run
 // also cross-checks total retired instructions and aborts on mismatch —
 // a benchmark that quietly diverged would be measuring a different machine.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
@@ -47,12 +53,14 @@ struct BenchResult {
   std::uint64_t instructions = 0;
   std::uint64_t quanta = 0;
   std::uint64_t trace_events = 0;
+  std::uint64_t attr_buckets = 0;
   double ckpt_write_s = 0;      // total wall time spent in save+write
   std::uint64_t ckpt_bytes = 0; // on-disk size of the last snapshot
 };
 
 BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
-                      bool traced = false, int checkpoints = 0) {
+                      bool traced = false, int checkpoints = 0,
+                      bool energy = false) {
   using namespace swallow;
   Simulator sim;
   SystemConfig cfg;
@@ -61,6 +69,7 @@ BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
   cfg.jobs = jobs;
   TraceConfig tcfg;
   tcfg.tracing = tcfg.metrics = tcfg.profile = traced;
+  tcfg.energy = energy;
   TraceSession session(tcfg);
   SwallowSystem sys(sim, cfg);
   if (traced) sys.attach_observability(session);
@@ -121,6 +130,11 @@ BenchResult run_bench(int slices_x, int slices_y, double limit_ms, int jobs,
   r.ckpt_write_s = ckpt_write_s;
   r.ckpt_bytes = ckpt_bytes;
   if (traced) r.trace_events = session.events().size();
+  if (energy) {
+    const std::string folded = session.energy_attribution().folded();
+    r.attr_buckets = static_cast<std::uint64_t>(
+        std::count(folded.begin(), folded.end(), '\n'));
+  }
   r.jobs = jobs;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.sim_ms = to_seconds(sys.now()) * 1e3;
@@ -366,6 +380,30 @@ int main(int argc, char** argv) {
         seq.wall_s > 0 ? off.wall_s / seq.wall_s - 1.0 : 0.0,
         seq.wall_s > 0 ? on.wall_s / seq.wall_s - 1.0 : 0.0,
         static_cast<unsigned long long>(on.trace_events));
+
+    // Energy-attribution overhead (sequential engine): the trace-only
+    // session above versus the same session with the attribution sink
+    // mirroring every ledger charge into (core, thread, function) / link
+    // buckets.  Like tracing, attribution observes the machine without
+    // perturbing it — retired instructions must not move.
+    const BenchResult attr =
+        run_bench(slices_x, slices_y, limit_ms, 0, true, 0, true);
+    if (attr.instructions != seq.instructions) {
+      std::fprintf(stderr,
+                   "attribution perturbed the machine: attr=%llu "
+                   "baseline=%llu instructions\n",
+                   static_cast<unsigned long long>(attr.instructions),
+                   static_cast<unsigned long long>(seq.instructions));
+      return 1;
+    }
+    std::printf(
+        "  \"attribution\": {\"trace_wall_s\": %.6f, \"attr_wall_s\": %.6f, "
+        "\"attr_overhead\": %.3f, \"attr_vs_trace\": %.3f, "
+        "\"attr_buckets\": %llu},\n",
+        on.wall_s, attr.wall_s,
+        seq.wall_s > 0 ? attr.wall_s / seq.wall_s - 1.0 : 0.0,
+        on.wall_s > 0 ? attr.wall_s / on.wall_s - 1.0 : 0.0,
+        static_cast<unsigned long long>(attr.attr_buckets));
 
     // Checkpoint overhead (sequential engine): the same workload with 1
     // and 10 snapshots written through the full crash-safe path.  Retired

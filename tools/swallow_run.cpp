@@ -188,7 +188,8 @@ int main(int argc, char** argv) {
   SystemConfig cfg;
   double limit_ms = 100.0;
   bool itrace = false, energy = false, netstat = false;
-  std::string trace_path, metrics_path, profile_path;
+  std::string trace_path, metrics_path, profile_path, attr_path;
+  long long power_window_us = 0;
   FaultPlan plan;
   bool have_faults = false;
   long long ckpt_every_us = 0;
@@ -258,6 +259,11 @@ int main(int argc, char** argv) {
         metrics_path = next();
       } else if (arg == "--profile") {
         profile_path = next();
+      } else if (arg == "--energy-attr") {
+        attr_path = next();
+      } else if (arg == "--power-window") {
+        power_window_us = parse_int(next());
+        require(power_window_us > 0, "--power-window must be positive");
       } else if (arg == "--itrace") {
         itrace = true;
       } else if (arg == "--energy") {
@@ -288,6 +294,10 @@ int main(int argc, char** argv) {
     tcfg.tracing = !trace_path.empty();
     tcfg.metrics = !metrics_path.empty();
     tcfg.profile = !profile_path.empty();
+    tcfg.energy = !attr_path.empty();
+    if (power_window_us > 0) {
+      tcfg.power_window = microseconds(static_cast<double>(power_window_us));
+    }
     TraceSession session(tcfg);  // outlives the system: models hold Track*
 
     Simulator sim;
@@ -442,6 +452,10 @@ int main(int argc, char** argv) {
     if (!profile_path.empty()) {
       write_file(profile_path, session.profiler().collapsed());
       std::printf("profile: %s\n", profile_path.c_str());
+    }
+    if (!attr_path.empty()) {
+      write_file(attr_path, session.energy_attribution().to_json());
+      std::printf("energy-attr: %s\n", attr_path.c_str());
     }
 
     if (itrace) {

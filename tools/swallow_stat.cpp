@@ -2,7 +2,7 @@
 // (docs/observability.md).
 //
 //   swallow_stat [--check] [--top N] [--metrics FILE] [--profile FILE]
-//                trace.json
+//                [--fold] [--energy-diff BASELINE] trace-or-attr.json
 //
 // Default reports, all derived from the Chrome trace-event JSON:
 //   * top links by wire energy (the "tok" transit instants carry the
@@ -13,12 +13,20 @@
 // metrics dump's histograms; with --profile, the hottest flamegraph
 // stacks from the collapsed profile are listed too.
 //
-// --check runs the checked-in trace schema validation (src/obs/schema)
-// and exits 0/1 — this is what CI runs on every produced trace.  Snapshot
-// files (src/snap, the "SWSN" magic) are recognised by content, so the
-// same CI step validates checkpoint manifests: magic, version, section
-// table and every per-section CRC.
+// Energy-attribution dumps (swallow_run --energy-attr) are recognised by
+// their top-level "energyAttribution" key: the default report lists the
+// account totals and the hottest energy stacks, --fold re-emits the
+// flamegraph-collapsed form (stack + integer picojoules, ready for
+// flamegraph.pl), and --energy-diff BASELINE reports the largest energy
+// regressions of the input against a baseline attribution dump.
+//
+// --check runs the checked-in schema validation (src/obs/schema) and
+// exits 0/1 — this is what CI runs on every produced trace and
+// attribution dump.  Snapshot files (src/snap, the "SWSN" magic) are
+// recognised by content, so the same CI step validates checkpoint
+// manifests: magic, version, section table and every per-section CRC.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -48,17 +56,25 @@ std::string read_file(const std::string& path) {
 void usage() {
   std::printf(
       "usage: swallow_stat [--check] [--top N] [--metrics FILE]\n"
-      "                    [--profile FILE] trace.json\n"
+      "                    [--profile FILE] [--fold]\n"
+      "                    [--energy-diff BASELINE] trace-or-attr.json\n"
       "\n"
-      "  --check         validate the trace against the schema contract\n"
+      "  --check         validate the input against its schema contract\n"
       "                  (docs/observability.md) and exit 0/1; snapshot\n"
       "                  checkpoints (*.swsnap) are detected by magic and\n"
-      "                  their manifest + section CRCs validated instead\n"
+      "                  their manifest + section CRCs validated, energy\n"
+      "                  attribution dumps (swallow_run --energy-attr) by\n"
+      "                  their \"energyAttribution\" key\n"
       "  --top N         rows per report (default 10)\n"
       "  --metrics FILE  also report latency percentiles from a\n"
       "                  swallow_run --metrics dump\n"
       "  --profile FILE  also report the hottest stacks of a collapsed\n"
-      "                  profile (swallow_run --profile)\n");
+      "                  profile (swallow_run --profile)\n"
+      "  --fold          re-emit an attribution dump flamegraph-collapsed\n"
+      "                  (one \"stack picojoules\" line per bucket)\n"
+      "  --energy-diff BASELINE\n"
+      "                  report the largest per-stack energy regressions\n"
+      "                  of the input attribution dump vs BASELINE\n");
 }
 
 // Content sniff: snapshot checkpoints start with the little-endian "SWSN"
@@ -264,12 +280,110 @@ void report_profile(const std::string& path, int top) {
   }
 }
 
+// ---- Energy attribution reports (swallow_run --energy-attr dumps) ----
+
+// The bucket map of an attribution dump; stacks are unique by schema.
+std::map<std::string, double> attr_buckets(const Json& doc) {
+  std::map<std::string, double> out;
+  for (const Json& b : doc.at("energyAttribution").at("buckets").as_array()) {
+    out[b.at("stack").as_string()] = b.at("j").as_number();
+  }
+  return out;
+}
+
+void report_attr(const std::string& path, const Json& doc, int top) {
+  const Json& attr = doc.at("energyAttribution");
+  std::printf("energy attribution (%s): %.3f uJ over %.0f shard(s)\n",
+              path.c_str(), attr.at("totalJ").as_number() * 1e6,
+              attr.at("shards").as_number());
+  std::printf("\naccounts:\n");
+  for (const auto& [name, j] : attr.at("accounts").items()) {
+    if (j.as_number() <= 0) continue;
+    std::printf("  %-22s %14.3f uJ\n", name.c_str(), j.as_number() * 1e6);
+  }
+  std::vector<std::pair<double, std::string>> rows;
+  for (const auto& [stack, j] : attr_buckets(doc)) rows.emplace_back(j, stack);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  std::printf("\nhottest energy stacks:\n");
+  for (int i = 0; i < static_cast<int>(rows.size()) && i < top; ++i) {
+    std::printf("  %14.3f uJ  %s\n", rows[static_cast<std::size_t>(i)].first * 1e6,
+                rows[static_cast<std::size_t>(i)].second.c_str());
+  }
+}
+
+// Re-emit the folded flamegraph form; matches EnergyAttribution::folded().
+void report_fold(const Json& doc) {
+  for (const auto& [stack, j] : attr_buckets(doc)) {
+    const long long pj = std::llround(j * 1e12);
+    if (pj <= 0) continue;
+    std::printf("%s %lld\n", stack.c_str(), pj);
+  }
+}
+
+int report_energy_diff(const std::string& base_path, const Json& base_doc,
+                       const std::string& new_path, const Json& new_doc,
+                       int top) {
+  const std::map<std::string, double> base = attr_buckets(base_doc);
+  const std::map<std::string, double> cur = attr_buckets(new_doc);
+  struct Row {
+    double delta = 0.0, from = 0.0, to = 0.0;
+    std::string stack;
+  };
+  std::vector<Row> rows;
+  for (const auto& [stack, j] : cur) {
+    const auto it = base.find(stack);
+    rows.push_back({j - (it != base.end() ? it->second : 0.0),
+                    it != base.end() ? it->second : 0.0, j, stack});
+  }
+  for (const auto& [stack, j] : base) {
+    if (cur.find(stack) == cur.end()) rows.push_back({-j, j, 0.0, stack});
+  }
+  const double base_total =
+      base_doc.at("energyAttribution").at("totalJ").as_number();
+  const double new_total =
+      new_doc.at("energyAttribution").at("totalJ").as_number();
+  std::printf("energy diff: %s -> %s\n", base_path.c_str(), new_path.c_str());
+  std::printf("total: %.3f uJ -> %.3f uJ (%+.3f uJ)\n", base_total * 1e6,
+              new_total * 1e6, (new_total - base_total) * 1e6);
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.delta != b.delta) return a.delta > b.delta;
+    return a.stack < b.stack;
+  });
+  std::printf("\nlargest regressions:\n");
+  int shown = 0;
+  for (const Row& r : rows) {
+    if (r.delta <= 0 || shown >= top) break;
+    std::printf("  %+14.3f uJ  %s (%.3f -> %.3f uJ)\n", r.delta * 1e6,
+                r.stack.c_str(), r.from * 1e6, r.to * 1e6);
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (none)\n");
+  std::printf("\nlargest improvements:\n");
+  shown = 0;
+  for (auto it = rows.rbegin(); it != rows.rend(); ++it) {
+    if (it->delta >= 0 || shown >= top) break;
+    std::printf("  %+14.3f uJ  %s (%.3f -> %.3f uJ)\n", it->delta * 1e6,
+                it->stack.c_str(), it->from * 1e6, it->to * 1e6);
+    ++shown;
+  }
+  if (shown == 0) std::printf("  (none)\n");
+  return 0;
+}
+
+bool is_attr_doc(const Json& doc) {
+  return doc.is_object() && doc.get("energyAttribution") != nullptr;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool check = false;
+  bool fold = false;
   int top = 10;
-  std::string trace_path, metrics_path, profile_path;
+  std::string trace_path, metrics_path, profile_path, diff_base_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -280,6 +394,10 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--check") {
         check = true;
+      } else if (arg == "--fold") {
+        fold = true;
+      } else if (arg == "--energy-diff") {
+        diff_base_path = next();
       } else if (arg == "--top") {
         top = static_cast<int>(swallow::parse_int(next()));
       } else if (arg == "--metrics") {
@@ -322,18 +440,56 @@ int main(int argc, char** argv) {
     const Json doc = Json::parse(body);
 
     if (check) {
-      const std::string violation = swallow::check_chrome_trace(doc);
+      // Dispatch on content: attribution dumps carry "energyAttribution",
+      // anything else is checked as a Chrome trace.
+      const bool attr = is_attr_doc(doc);
+      const std::string violation = attr
+                                        ? swallow::check_energy_attribution(doc)
+                                        : swallow::check_chrome_trace(doc);
       if (!violation.empty()) {
         std::fprintf(stderr, "%s: INVALID: %s\n", trace_path.c_str(),
                      violation.c_str());
         return 1;
       }
-      const Json& other = doc.at("otherData");
-      std::printf("%s: ok (%.0f events, %.0f tracks, %.0f dropped)\n",
-                  trace_path.c_str(), num_or(other, "events", 0),
-                  num_or(other, "tracks", 0),
-                  num_or(other, "dropped_events", 0));
+      if (attr) {
+        const Json& a = doc.at("energyAttribution");
+        std::printf("%s: ok (%zu buckets, %.3f uJ, %.0f shards)\n",
+                    trace_path.c_str(), a.at("buckets").as_array().size(),
+                    a.at("totalJ").as_number() * 1e6,
+                    a.at("shards").as_number());
+      } else {
+        const Json& other = doc.at("otherData");
+        std::printf("%s: ok (%.0f events, %.0f tracks, %.0f dropped)\n",
+                    trace_path.c_str(), num_or(other, "events", 0),
+                    num_or(other, "tracks", 0),
+                    num_or(other, "dropped_events", 0));
+      }
       return 0;
+    }
+
+    if (is_attr_doc(doc)) {
+      if (fold) {
+        report_fold(doc);
+        return 0;
+      }
+      if (!diff_base_path.empty()) {
+        const Json base = Json::parse(read_file(diff_base_path));
+        if (!is_attr_doc(base)) {
+          std::fprintf(stderr, "%s is not an energy attribution dump\n",
+                       diff_base_path.c_str());
+          return 2;
+        }
+        return report_energy_diff(diff_base_path, base, trace_path, doc, top);
+      }
+      report_attr(trace_path, doc, top);
+      return 0;
+    }
+    if (fold || !diff_base_path.empty()) {
+      std::fprintf(stderr,
+                   "%s is not an energy attribution dump; --fold and "
+                   "--energy-diff need swallow_run --energy-attr output\n",
+                   trace_path.c_str());
+      return 2;
     }
 
     const std::vector<Json>& events = doc.at("traceEvents").as_array();

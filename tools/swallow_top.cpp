@@ -1,0 +1,264 @@
+// swallow_top: a "top"-style dashboard over a traced run
+// (docs/observability.md).
+//
+//   swallow_top [--top N] [--at US] [--watch] [--metrics FILE] trace.json
+//
+// The dashboard replays the windowed power counters a swallow_run
+// --energy-attr --trace run embeds in its Chrome trace ("power W" per core,
+// "sliceN W" + "input W" on the system track) together with the per-port
+// FIFO occupancy counters, and — when a --metrics dump is given — each
+// core's end-of-run per-thread IPC.  One frame is rendered per power
+// window:
+//   * default: the final frame (machine state at end of run),
+//   * --at US: the frame covering simulated time US,
+//   * --watch: every frame in sequence (the replay form of a live top).
+// Rendering is deterministic: rows sort by power, ties by node id, so the
+// output is byte-identical for any --jobs value of the producing run.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace {
+
+using swallow::Error;
+using swallow::Json;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void usage() {
+  std::printf(
+      "usage: swallow_top [--top N] [--at US] [--watch] [--metrics FILE]\n"
+      "                   trace.json\n"
+      "\n"
+      "  trace.json      Chrome trace of a swallow_run --energy-attr\n"
+      "                  --trace run (carries the windowed power counters)\n"
+      "  --top N         core rows per frame (default 16)\n"
+      "  --at US         render the frame covering simulated time US\n"
+      "  --watch         render every power-window frame in sequence\n"
+      "  --metrics FILE  add per-core IPC from a --metrics dump\n");
+}
+
+double num_or(const Json& e, const char* key, double fallback) {
+  const Json* v = e.get(key);
+  return v != nullptr && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string str_or(const Json& e, const char* key) {
+  const Json* v = e.get(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+// One counter's samples in trace order (ts is non-decreasing by schema).
+using Series = std::vector<std::pair<double, double>>;  // (ts us, value)
+
+// Latest sample at or before t; fallback when none.
+double value_at(const Series& s, double t, double fallback) {
+  double v = fallback;
+  for (const auto& [ts, val] : s) {
+    if (ts > t) break;
+    v = val;
+  }
+  return v;
+}
+
+constexpr long long kSystemPid = 65536;
+
+struct Dashboard {
+  std::map<long long, Series> core_power;                  // node -> power W
+  std::map<long long, std::map<std::string, Series>> fifo; // node -> port
+  std::map<std::string, Series> system;   // "input W", "sliceN W", "total uJ"
+  std::map<long long, double> ipc;        // node -> sum of thread IPC
+  std::vector<double> frames;             // distinct power-sample times
+};
+
+Dashboard scan(const Json& doc, const std::string& metrics_path) {
+  Dashboard d;
+  for (const Json& e : doc.at("traceEvents").as_array()) {
+    if (str_or(e, "ph") != "C") continue;
+    const std::string name = str_or(e, "name");
+    const auto pid = static_cast<long long>(num_or(e, "pid", 0));
+    const double ts = num_or(e, "ts", 0);
+    const double value = num_or(e.at("args"), "value", 0);
+    if (pid == kSystemPid) {
+      d.system[name].emplace_back(ts, value);
+      continue;
+    }
+    if (name == "power W") {
+      d.core_power[pid].emplace_back(ts, value);
+      d.frames.push_back(ts);
+    } else if (name.rfind("fifo", 0) == 0) {
+      d.fifo[pid][name].emplace_back(ts, value);
+    }
+  }
+  std::sort(d.frames.begin(), d.frames.end());
+  d.frames.erase(std::unique(d.frames.begin(), d.frames.end()),
+                 d.frames.end());
+  if (!metrics_path.empty()) {
+    const Json m = Json::parse(read_file(metrics_path));
+    const Json* gauges = m.get("gauges");
+    if (gauges != nullptr && gauges->is_object()) {
+      for (const auto& [name, per_owner] : gauges->items()) {
+        if (name.rfind("core.ipc.t", 0) != 0 || !per_owner.is_object())
+          continue;
+        for (const auto& [owner, v] : per_owner.items()) {
+          if (!v.is_number()) continue;
+          d.ipc[swallow::parse_int(owner)] += v.as_number();
+        }
+      }
+    }
+  }
+  return d;
+}
+
+void render_frame(const Dashboard& d, double t, int top, bool have_metrics) {
+  std::printf("swallow_top  t=%.1f us\n", t);
+  const Series* input = nullptr;
+  if (const auto it = d.system.find("input W"); it != d.system.end())
+    input = &it->second;
+  std::string slice_line;
+  for (const auto& [name, series] : d.system) {
+    if (name.size() < 2 || name.compare(name.size() - 2, 2, " W") != 0 ||
+        name == "input W")
+      continue;
+    slice_line += swallow::strprintf("  %s=%.3f", name.c_str(),
+                                     value_at(series, t, 0.0));
+  }
+  std::printf("machine: input %.3f W%s\n",
+              input != nullptr ? value_at(*input, t, 0.0) : 0.0,
+              slice_line.c_str());
+
+  struct Row {
+    long long node = 0;
+    double power = 0.0;
+    double fifo = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const auto& [node, series] : d.core_power) {
+    Row r;
+    r.node = node;
+    r.power = value_at(series, t, 0.0);
+    if (const auto it = d.fifo.find(node); it != d.fifo.end()) {
+      for (const auto& [port, s] : it->second)
+        r.fifo += value_at(s, t, 0.0);
+    }
+    rows.push_back(r);
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.power != b.power) return a.power > b.power;
+    return a.node < b.node;
+  });
+  std::printf("  %-8s %12s %8s %6s\n", "core", "power mW", "ipc", "fifo");
+  for (int i = 0; i < static_cast<int>(rows.size()) && i < top; ++i) {
+    const Row& r = rows[static_cast<std::size_t>(i)];
+    std::string ipc = "-";
+    if (have_metrics) {
+      const auto it = d.ipc.find(r.node);
+      ipc = swallow::strprintf("%.4g", it != d.ipc.end() ? it->second : 0.0);
+    }
+    std::printf("  0x%04llx %13.3f %8s %6.0f\n",
+                static_cast<unsigned long long>(r.node), r.power * 1e3,
+                ipc.c_str(), r.fifo);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int top = 16;
+  bool watch = false;
+  double at_us = -1.0;
+  std::string trace_path, metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--top") {
+        top = static_cast<int>(swallow::parse_int(next()));
+      } else if (arg == "--at") {
+        at_us = static_cast<double>(swallow::parse_int(next()));
+      } else if (arg == "--watch") {
+        watch = true;
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return 2;
+      } else if (trace_path.empty()) {
+        trace_path = arg;
+      } else {
+        std::fprintf(stderr, "more than one trace file given\n");
+        return 2;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const Json doc = Json::parse(read_file(trace_path));
+    if (!doc.is_object() || doc.get("traceEvents") == nullptr) {
+      std::fprintf(stderr, "%s is not a Chrome trace\n", trace_path.c_str());
+      return 2;
+    }
+    const Dashboard d = scan(doc, metrics_path);
+    if (d.frames.empty()) {
+      std::fprintf(stderr,
+                   "%s has no \"power W\" counters — produce it with "
+                   "swallow_run --energy-attr --trace\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    const bool have_metrics = !metrics_path.empty();
+    if (watch) {
+      for (std::size_t i = 0; i < d.frames.size(); ++i) {
+        if (i > 0) std::printf("\n");
+        render_frame(d, d.frames[i], top, have_metrics);
+      }
+      return 0;
+    }
+    double t = d.frames.back();
+    if (at_us >= 0.0) {
+      // The frame covering --at: the first power sample at or after it
+      // (each sample closes the window that contains its time).
+      t = d.frames.back();
+      for (const double f : d.frames) {
+        if (f >= at_us) {
+          t = f;
+          break;
+        }
+      }
+    }
+    render_frame(d, t, top, have_metrics);
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
