@@ -1,0 +1,145 @@
+// A production-style request/response farm on nOS-lite (ROADMAP item 3,
+// docs/load.md): eight cores run a single-service server, the host drives
+// them closed-loop through the Ethernet bridge — a fixed window of
+// outstanding requests, one in flight per server at a time, exactly the
+// admission discipline src/load/ uses at scale — and reports latency
+// percentiles and energy per request.
+//
+//   $ ./service_farm
+//
+// The heavy-lifting version of this pattern (multiple bridges, open-loop
+// arrival processes, scatter-gather and pipeline topologies, SLO reports,
+// fault composition) is the swallow_load tool.
+#include <cstdio>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "api/nos.h"
+#include "board/system.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace swallow;
+
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 1;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+
+  // The service: burn a fixed compute hold, then reply with the request
+  // id XOR'd by a magic so the host can verify every completion.
+  const char* work = R"(
+      ldc   r2, 100
+  burn:
+      subi  r2, r2, 1
+      bt    r2, burn
+      ldc   r2, 0x600D
+      ldch  r2, 0xF00D
+      xor   r0, r0, r2
+      ret
+  )";
+  std::vector<std::unique_ptr<NosNode>> servers;
+  for (int i = 0; i < 8; ++i) {
+    servers.push_back(std::make_unique<NosNode>(
+        sys.core(i % 4, 0, i < 4 ? Layer::kVertical : Layer::kHorizontal)));
+    servers.back()->add_service("work", work);
+    servers.back()->start();
+  }
+
+  // Closed-loop host driver: keep `kWindow` requests outstanding, one in
+  // flight per (single-threaded) server, the rest queued host-side.
+  constexpr std::uint32_t kRequests = 512;
+  constexpr int kWindow = 16;
+  EthernetBridge& bridge = sys.bridge(0);
+  const ResourceId reply_to = bridge.chanend_id();
+
+  std::map<std::uint32_t, TimePs> issue_time;   // id -> generation time
+  std::map<std::uint32_t, int> target_of;       // id -> server index
+  std::deque<std::uint32_t> pending;            // generated, not yet sent
+  std::vector<bool> busy(servers.size(), false);
+  LogHistogram latency_ns;
+  std::uint32_t next_id = 1;
+  std::uint32_t completed = 0, mismatched = 0;
+
+  auto pump = [&] {
+    for (auto it = pending.begin(); it != pending.end();) {
+      const std::uint32_t id = *it;
+      const int tgt = target_of.at(id);
+      if (busy[tgt] || !bridge.ingress_can_accept(12)) {
+        ++it;
+        continue;
+      }
+      busy[tgt] = true;
+      bridge.host_try_send(servers[tgt]->request_chanend(),
+                           NosNode::encode_request(reply_to, 0, id));
+      it = pending.erase(it);
+    }
+  };
+  auto inject = [&] {
+    if (next_id > kRequests) return;
+    const std::uint32_t id = next_id++;
+    issue_time[id] = sim.now();
+    target_of[id] = static_cast<int>(id % servers.size());
+    pending.push_back(id);
+    pump();
+  };
+
+  bridge.set_host_receiver([&](std::vector<std::uint8_t> p) {
+    if (p.size() != 4) return;
+    const std::uint32_t r = static_cast<std::uint32_t>(p[0]) | (p[1] << 8) |
+                            (p[2] << 16) |
+                            (static_cast<std::uint32_t>(p[3]) << 24);
+    const std::uint32_t id = r ^ 0x600DF00Du;
+    const auto it = issue_time.find(id);
+    if (it == issue_time.end()) {
+      ++mismatched;
+      return;
+    }
+    latency_ns.add(static_cast<std::uint64_t>(sim.now() - it->second) / 1000);
+    issue_time.erase(it);
+    busy[target_of.at(id)] = false;
+    target_of.erase(id);
+    ++completed;
+    inject();  // closed loop: each completion admits the next request
+    pump();
+  });
+  bridge.subscribe_ingress_space(pump);
+
+  sys.settle_energy();
+  const Joules e0 = sys.ledger().grand_total();
+  for (int i = 0; i < kWindow; ++i) inject();
+  const TimePs t0 = sim.now();
+  while (completed < kRequests && sim.now() < milliseconds(100.0)) {
+    sim.run_until(sim.now() + microseconds(50.0));
+  }
+  sys.settle_energy();
+
+  const double span_s = to_seconds(sim.now() - t0);
+  std::printf("closed-loop farm: %u/%u replies, %u mismatches\n", completed,
+              kRequests, mismatched);
+  std::printf("throughput: %.0f requests per simulated second\n",
+              span_s > 0 ? completed / span_s : 0.0);
+  std::printf("latency: p50 %.1f us, p95 %.1f us, p99 %.1f us (mean %.1f)\n",
+              latency_ns.percentile(0.50) / 1e3,
+              latency_ns.percentile(0.95) / 1e3,
+              latency_ns.percentile(0.99) / 1e3, latency_ns.mean() / 1e3);
+  std::printf("energy: %.2f uJ per request\n",
+              completed ? (sys.ledger().grand_total() - e0) * 1e6 / completed
+                        : 0.0);
+
+  // Shut the servers down cleanly and let the grid drain.
+  for (auto& s : servers) {
+    bridge.host_send(s->request_chanend(),
+                     NosNode::encode_request(0, NosNode::kShutdownService, 0));
+  }
+  sim.run_until(sim.now() + microseconds(200.0));
+
+  const bool ok = completed == kRequests && mismatched == 0;
+  std::printf("%s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

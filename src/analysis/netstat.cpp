@@ -1,5 +1,8 @@
 #include "analysis/netstat.h"
 
+#include <algorithm>
+
+#include "board/system.h"
 #include "common/strings.h"
 #include "common/table.h"
 
@@ -26,6 +29,20 @@ NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger) {
       s.tokens += sw.link_tokens_sent(cls);
       s.busy_time += sw.link_busy_time(cls);
     }
+  }
+  return stats;
+}
+
+NetworkStats collect_network_stats(SwallowSystem& sys) {
+  NetworkStats stats = collect_network_stats(sys.network(), sys.ledger());
+  stats.bridge.bridges = sys.bridge_count();
+  for (int i = 0; i < sys.bridge_count(); ++i) {
+    EthernetBridge& br = sys.bridge(i);
+    stats.bridge.bytes_from_host += br.bytes_from_host();
+    stats.bridge.bytes_to_host += br.bytes_to_host();
+    stats.bridge.ingress_rejects += br.ingress_rejects();
+    stats.bridge.ingress_peak_tokens =
+        std::max(stats.bridge.ingress_peak_tokens, br.ingress_peak_tokens());
   }
   return stats;
 }
@@ -79,6 +96,21 @@ std::string render_network_stats(const NetworkStats& stats, TimePs window) {
                                                  stats.packets_routed))});
   t.row({"packets sunk", strprintf("%llu", static_cast<unsigned long long>(
                                                stats.packets_sunk))});
+  if (stats.bridge.bridges > 0) {
+    t.rule();
+    t.row({"bridge bytes host->grid",
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 stats.bridge.bytes_from_host))});
+    t.row({"bridge bytes grid->host",
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 stats.bridge.bytes_to_host))});
+    t.row({"bridge ingress rejects",
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 stats.bridge.ingress_rejects))});
+    t.row({"bridge ingress peak tokens",
+           strprintf("%llu", static_cast<unsigned long long>(
+                                 stats.bridge.ingress_peak_tokens))});
+  }
   std::string out = t.render();
   const std::string faults = render_fault_summary(stats.faults);
   if (!faults.empty()) out += "\n" + faults;

@@ -31,20 +31,39 @@ struct LinkClassStats {
   }
 };
 
+/// Host-side Ethernet bridge counters, aggregated over all bridges.  The
+/// ingress FIFO never drops silently: packets that don't fit a bounded
+/// FIFO are *rejected* back to the sender (host_try_send returns false)
+/// and counted here.
+struct BridgeIngressStats {
+  int bridges = 0;
+  std::uint64_t bytes_from_host = 0;
+  std::uint64_t bytes_to_host = 0;
+  std::uint64_t ingress_rejects = 0;      // backpressured host_try_send calls
+  std::uint64_t ingress_peak_tokens = 0;  // max over bridges
+};
+
 struct NetworkStats {
   std::array<LinkClassStats, 4> per_class{};
   std::uint64_t tokens_forwarded = 0;
   std::uint64_t packets_routed = 0;
   std::uint64_t packets_sunk = 0;
-  FaultCounters faults;  // network-wide fault/resilience totals
+  FaultCounters faults;    // network-wide fault/resilience totals
+  BridgeIngressStats bridge;  // zero when collected from a bare Network
 
   const LinkClassStats& of(LinkClass cls) const {
     return per_class[static_cast<std::size_t>(cls)];
   }
 };
 
+class SwallowSystem;
+
 /// Snapshot the network's counters (cumulative since construction).
 NetworkStats collect_network_stats(Network& net, const EnergyLedger& ledger);
+
+/// As above, but also folds in the system's Ethernet-bridge host-side
+/// counters (ingress rejects, peak FIFO depth, host byte totals).
+NetworkStats collect_network_stats(SwallowSystem& sys);
 
 /// Difference of two snapshots (for windowed measurements).
 NetworkStats stats_delta(const NetworkStats& later, const NetworkStats& earlier);

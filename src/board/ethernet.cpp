@@ -1,5 +1,6 @@
 #include "board/ethernet.h"
 
+#include "common/error.h"
 #include "energy/params.h"
 #include "noc/routing.h"
 
@@ -21,6 +22,17 @@ EthernetBridge::EthernetBridge(Simulator& sim, EnergyLedger& ledger,
 
 void EthernetBridge::host_send(ResourceId dest,
                                const std::vector<std::uint8_t>& payload) {
+  require(host_try_send(dest, payload),
+          "EthernetBridge: bounded ingress FIFO full (use host_try_send and "
+          "subscribe_ingress_space to apply backpressure)");
+}
+
+bool EthernetBridge::host_try_send(ResourceId dest,
+                                   const std::vector<std::uint8_t>& payload) {
+  if (!ingress_can_accept(payload.size())) {
+    ++ingress_rejects_;
+    return false;
+  }
   const HeaderDest hd = chanend_dest(dest);
   for (int i = 0; i < kHeaderTokens; ++i) {
     tx_queue_.push_back(Token::data(header_byte(hd, i)));
@@ -28,7 +40,11 @@ void EthernetBridge::host_send(ResourceId dest,
   for (std::uint8_t b : payload) tx_queue_.push_back(Token::data(b));
   tx_queue_.push_back(Token::control(ControlToken::kEnd));
   bytes_from_host_ += payload.size();
+  if (tx_queue_.size() > ingress_peak_tokens_) {
+    ingress_peak_tokens_ = tx_queue_.size();
+  }
   pump();
+  return true;
 }
 
 void EthernetBridge::pump() {
@@ -42,7 +58,7 @@ void EthernetBridge::pump() {
     });
     return;
   }
-  while (!tx_queue_.empty() && out_port_->can_accept()) {
+  if (!tx_queue_.empty() && out_port_->can_accept()) {
     out_port_->push(tx_queue_.front());
     tx_queue_.pop_front();
     ledger_.add(EnergyAccount::kEthernetBridge, 1e-9);  // ~1 nJ per token
@@ -54,7 +70,12 @@ void EthernetBridge::pump() {
         pump();
       });
     }
-    return;  // one token per pacing interval
+    // One token per pacing interval.  With pump_scheduled_ settled first,
+    // ingress subscribers may re-enter host_try_send safely from here.
+    if (ingress_capacity_ != 0 && tx_queue_.size() < ingress_capacity_) {
+      for (const auto& cb : ingress_subs_) cb();
+    }
+    return;
   }
   // Queue non-empty but port full: the space subscription re-drives us.
 }
@@ -66,6 +87,8 @@ void EthernetBridge::save_state(StateWriter& w) const {
   w.seq(rx_buffer_, [&](std::uint8_t b) { w.u8(b); });
   w.u64(bytes_to_host_);
   w.u64(bytes_from_host_);
+  w.u64(ingress_rejects_);
+  w.u64(ingress_peak_tokens_);
 }
 
 void EthernetBridge::load_state(StateReader& r) {
@@ -77,6 +100,8 @@ void EthernetBridge::load_state(StateReader& r) {
   r.seq([&](std::size_t) { rx_buffer_.push_back(r.u8()); });
   bytes_to_host_ = r.u64();
   bytes_from_host_ = r.u64();
+  ingress_rejects_ = r.u64();
+  ingress_peak_tokens_ = r.u64();
 }
 
 void EthernetBridge::restore_event(const LiveEvent& ev) {

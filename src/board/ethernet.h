@@ -47,8 +47,39 @@ class EthernetBridge : public TokenReceiver {
   }
 
   /// Queue a packet from the host into the network: a route header to
-  /// `dest`, the payload bytes, and a closing END.
+  /// `dest`, the payload bytes, and a closing END.  Refuses (via require)
+  /// when a bounded ingress FIFO cannot take the whole packet — callers
+  /// that can retry should use host_try_send instead.
   void host_send(ResourceId dest, const std::vector<std::uint8_t>& payload);
+
+  /// Like host_send, but applies backpressure instead of failing: returns
+  /// false — and counts the reject — when the bounded ingress FIFO cannot
+  /// take the whole packet.  Always succeeds when the FIFO is unbounded.
+  bool host_try_send(ResourceId dest, const std::vector<std::uint8_t>& payload);
+
+  // ----- Ingress FIFO bound (backpressure instead of silent loss) -----
+  /// Bound the host->network FIFO to `tokens` (0 = unbounded, the default).
+  /// With a bound in place host_try_send rejects packets that don't fit and
+  /// ingress-space subscribers are notified as the pump drains the FIFO.
+  void set_ingress_capacity(std::size_t tokens) { ingress_capacity_ = tokens; }
+  std::size_t ingress_capacity() const { return ingress_capacity_; }
+  /// Tokens a packet with `payload_bytes` of payload occupies in the FIFO.
+  static std::size_t packet_tokens(std::size_t payload_bytes) {
+    return static_cast<std::size_t>(kHeaderTokens) + payload_bytes + 1;
+  }
+  /// True iff a packet with `payload_bytes` payload fits right now.
+  bool ingress_can_accept(std::size_t payload_bytes) const {
+    return ingress_capacity_ == 0 ||
+           tx_queue_.size() + packet_tokens(payload_bytes) <= ingress_capacity_;
+  }
+  /// Invoked (from the bridge's event domain) whenever the pump frees FIFO
+  /// space below the bound; rejected senders retry from here.
+  void subscribe_ingress_space(std::function<void()> cb) {
+    ingress_subs_.push_back(std::move(cb));
+  }
+  std::uint64_t ingress_rejects() const { return ingress_rejects_; }
+  std::uint64_t ingress_peak_tokens() const { return ingress_peak_tokens_; }
+  std::size_t ingress_queued_tokens() const { return tx_queue_.size(); }
 
   /// Total payload bytes moved in each direction.
   std::uint64_t bytes_to_host() const { return bytes_to_host_; }
@@ -83,6 +114,11 @@ class EthernetBridge : public TokenReceiver {
   TimePs next_emit_ = 0;
   bool pump_scheduled_ = false;
   TimePs token_interval_;  // 80 Mbit/s pacing
+
+  std::size_t ingress_capacity_ = 0;  // 0 = unbounded (legacy/boot path)
+  std::uint64_t ingress_rejects_ = 0;
+  std::uint64_t ingress_peak_tokens_ = 0;
+  std::vector<std::function<void()>> ingress_subs_;
 
   std::vector<std::uint8_t> rx_buffer_;
   std::function<void(std::vector<std::uint8_t>)> host_receiver_;

@@ -1,0 +1,70 @@
+// Seeded deterministic arrival processes for the load subsystem.
+//
+// Every stochastic choice the load generator makes is drawn from one
+// explicitly seeded Rng per bridge, and every draw happens inside that
+// bridge's event domain — which is what makes a load run bit-reproducible
+// across `--jobs` values and across snapshot/restore (the Rng state is
+// part of the LoadGenerator's snapshot section).
+//
+// Rates are expressed against *simulated* time: `rate_rps` requests per
+// simulated second, independent of host speed or engine configuration.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace swallow {
+
+enum class ArrivalKind : std::uint8_t {
+  kPoisson = 0,  // exponential interarrival gaps (memoryless)
+  kUniform = 1,  // gaps uniform in [0.5, 1.5) x mean
+  kBurst = 2,    // `burst_size` back-to-back arrivals at fixed intervals
+};
+
+inline const char* to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kBurst: return "burst";
+  }
+  return "?";
+}
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_rps = 1e6;  // mean offered load, requests per simulated second
+  int burst_size = 16;    // kBurst only: arrivals injected per tick
+};
+
+/// Requests injected by one arrival event (1, or the burst size).
+inline int arrival_batch(const ArrivalConfig& cfg) {
+  return cfg.kind == ArrivalKind::kBurst ? cfg.burst_size : 1;
+}
+
+/// Gap to the next arrival event in picoseconds (>= 1).  Draws from `rng`
+/// for the stochastic processes; kBurst is a deterministic comb.
+inline TimePs arrival_gap(const ArrivalConfig& cfg, Rng& rng) {
+  require(cfg.rate_rps > 0.0, "arrival_gap: rate must be positive");
+  const double mean_gap_ps =
+      1e12 * static_cast<double>(arrival_batch(cfg)) / cfg.rate_rps;
+  double gap = mean_gap_ps;
+  switch (cfg.kind) {
+    case ArrivalKind::kPoisson:
+      // Inverse-CDF exponential; 1-U keeps the argument strictly positive.
+      gap = -std::log(1.0 - rng.next_double()) * mean_gap_ps;
+      break;
+    case ArrivalKind::kUniform:
+      gap = (0.5 + rng.next_double()) * mean_gap_ps;
+      break;
+    case ArrivalKind::kBurst:
+      break;  // fixed comb
+  }
+  const auto ps = static_cast<TimePs>(gap);
+  return ps < 1 ? 1 : ps;
+}
+
+}  // namespace swallow

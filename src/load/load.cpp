@@ -1,0 +1,657 @@
+#include "load/load.h"
+
+#include <algorithm>
+
+#include "api/nos.h"
+#include "api/patterns.h"
+#include "arch/assembler.h"
+#include "common/error.h"
+#include "common/strings.h"
+
+namespace swallow {
+namespace {
+
+std::uint32_t le32(const std::vector<std::uint8_t>& p, std::size_t off) {
+  return static_cast<std::uint32_t>(p[off]) |
+         (static_cast<std::uint32_t>(p[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(p[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(p[off + 3]) << 24);
+}
+
+/// Per-request NOS packet: 3 words of payload.
+constexpr std::size_t kRequestBytes = 12;
+
+std::string work_loop(std::uint64_t iters, const char* prefix) {
+  // Two instructions per iteration (subi + bt).
+  return strprintf(R"(
+      ldc   r2, 0x%x
+      ldch  r2, 0x%04x     # work iterations
+      bf    r2, %sd
+  %sl:
+      subi  r2, r2, 1
+      bt    r2, %sl
+  %sd:
+)",
+                   static_cast<unsigned>(iters >> 16),
+                   static_cast<unsigned>(iters & 0xFFFF), prefix, prefix,
+                   prefix, prefix);
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(SwallowSystem& sys, LoadConfig cfg)
+    : sys_(sys), cfg_(cfg) {}
+
+std::string LoadGenerator::worker_service_body(std::uint64_t iters) {
+  return work_loop(iters, "svw") +
+         strprintf(R"(
+      ldc   r2, 0x%x
+      ldch  r2, 0x%04x     # reply magic
+      xor   r0, r0, r2
+      ret
+)",
+                   static_cast<unsigned>(kReplyMagic >> 16),
+                   static_cast<unsigned>(kReplyMagic & 0xFFFF));
+}
+
+void LoadGenerator::deploy_farm_worker(NodeId node) {
+  if (!load_images_) return;
+  Core* core = sys_.find_core(node);
+  require(core != nullptr, "LoadGenerator: worker node has no core");
+  NosNode nos(*core);
+  nos.add_service("work", worker_service_body(worker_iters_));
+  nos.start();
+}
+
+void LoadGenerator::deploy_scatter_frontend(NodeId node,
+                                            const std::vector<NodeId>& workers) {
+  if (!load_images_) return;
+  Core* core = sys_.find_core(node);
+  require(core != nullptr, "LoadGenerator: frontend node has no core");
+  const ResourceId gather =
+      make_resource_id(node, 1, ResourceType::kChanend);
+  const int k = static_cast<int>(workers.size());
+  std::string src = strprintf(R"(
+  front:
+      getr  r4, 2          # chanend 0: bridge-facing request port
+      getr  r3, 2          # chanend 1: scatter/gather port
+  floop:
+      in    r5, r4         # final reply chanend id
+      in    r6, r4         # service index
+      in    r0, r4         # request id
+      chkct r4, 1
+      not   r7, r6
+      bf    r7, fexit      # shutdown: forward to the workers, then exit
+      ldc   r8, wtab
+      ldc   r9, %d
+  sloop:
+      ldw   r1, r8, 0      # next worker's request chanend
+      setd  r3, r1
+      ldc   r2, 0x%x
+      ldch  r2, 0x%04x     # gather chanend id (reply-to)
+      out   r3, r2
+      ldc   r2, 0
+      out   r3, r2         # worker service 0
+      out   r3, r0         # request id as argument
+      outct r3, 1
+      addi  r8, r8, 4
+      subi  r9, r9, 1
+      bt    r9, sloop
+      ldc   r9, %d
+      ldc   r10, 0
+  gloop:
+      in    r2, r3
+      chkct r3, 1
+      add   r10, r10, r2
+      subi  r9, r9, 1
+      bt    r9, gloop
+      bf    r5, floop
+      setd  r4, r5
+      out   r4, r0         # request id
+      out   r4, r10        # combined result
+      outct r4, 1
+      bu    floop
+  fexit:
+      ldc   r8, wtab
+      ldc   r9, %d
+  xloop:
+      ldw   r1, r8, 0
+      setd  r3, r1
+      ldc   r2, 0
+      out   r3, r2         # reply-to 0: no reply wanted
+      ldc   r2, 0xFFFF
+      ldch  r2, 0xFFFF     # shutdown service
+      out   r3, r2
+      ldc   r2, 0
+      out   r3, r2
+      outct r3, 1
+      addi  r8, r8, 4
+      subi  r9, r9, 1
+      bt    r9, xloop
+      texit
+  wtab:
+)",
+                              k, gather >> 16, gather & 0xFFFF, k, k);
+  for (NodeId w : workers) {
+    src += strprintf("      .word 0x%08x\n",
+                     make_resource_id(w, 0, ResourceType::kChanend));
+  }
+  core->load(assemble(src));
+  core->start();
+}
+
+void LoadGenerator::deploy_pipeline_stage(NodeId node, NodeId next,
+                                          std::uint64_t iters) {
+  if (!load_images_) return;
+  Core* core = sys_.find_core(node);
+  require(core != nullptr, "LoadGenerator: stage node has no core");
+  const ResourceId next_ce = make_resource_id(next, 0, ResourceType::kChanend);
+  std::string src = strprintf(R"(
+  stage:
+      getr  r4, 2          # upstream request port
+      getr  r3, 2          # downstream port
+      ldc   r1, 0x%x
+      ldch  r1, 0x%04x     # next stage's request chanend
+      setd  r3, r1
+  ploop:
+      in    r5, r4
+      in    r6, r4
+      in    r0, r4
+      chkct r4, 1
+)",
+                              next_ce >> 16, next_ce & 0xFFFF) +
+                    work_loop(iters, "pw") + R"(
+      out   r3, r5
+      out   r3, r6
+      out   r3, r0
+      outct r3, 1
+      not   r7, r6
+      bf    r7, pexit      # shutdown forwarded downstream; exit
+      bu    ploop
+  pexit:
+      texit
+)";
+  core->load(assemble(src));
+  core->start();
+}
+
+void LoadGenerator::build_partitions() {
+  const SystemConfig& scfg = sys_.config();
+  const int total = sys_.core_count();
+  const int nb = static_cast<int>(bridges_.size());
+  const int chunk = total / nb;
+  require(chunk >= 1, "LoadGenerator: more bridges than cores");
+
+  auto node_at = [&](int flat) {
+    const Placement p = linear_placement(scfg, flat);
+    return SwallowSystem::node_id(p.chip_x, p.chip_y, p.layer);
+  };
+
+  for (BridgeLoad& bl : bridges_) {
+    const int base = bl.index * chunk;
+    switch (cfg_.workload) {
+      case LoadWorkload::kFarm: {
+        int count = chunk;
+        if (cfg_.groups_per_bridge > 0)
+          count = std::min(count, cfg_.groups_per_bridge);
+        worker_iters_ = cfg_.service_work / 2;
+        for (int i = 0; i < count; ++i) {
+          const NodeId n = node_at(base + i);
+          deploy_farm_worker(n);
+          const ResourceId ce = make_resource_id(n, 0, ResourceType::kChanend);
+          bl.targets.push_back(ce);
+          bl.shutdown_targets.push_back(ce);
+        }
+        break;
+      }
+      case LoadWorkload::kScatterGather: {
+        const int gsz = 1 + cfg_.scatter_fanout;
+        int groups = chunk / gsz;
+        if (cfg_.groups_per_bridge > 0)
+          groups = std::min(groups, cfg_.groups_per_bridge);
+        require(groups >= 1,
+                "LoadGenerator: bridge partition too small for one "
+                "scatter-gather group");
+        worker_iters_ =
+            cfg_.service_work / 2 /
+            static_cast<std::uint64_t>(cfg_.scatter_fanout);
+        for (int g = 0; g < groups; ++g) {
+          const int gbase = base + g * gsz;
+          const NodeId front = node_at(gbase);
+          std::vector<NodeId> workers;
+          for (int w = 1; w < gsz; ++w) {
+            const NodeId n = node_at(gbase + w);
+            workers.push_back(n);
+            deploy_farm_worker(n);
+          }
+          deploy_scatter_frontend(front, workers);
+          const ResourceId ce =
+              make_resource_id(front, 0, ResourceType::kChanend);
+          bl.targets.push_back(ce);
+          bl.shutdown_targets.push_back(ce);
+        }
+        break;
+      }
+      case LoadWorkload::kPipeline: {
+        const int gsz = cfg_.pipeline_stages;
+        require(gsz >= 2, "LoadGenerator: a pipeline needs >= 2 stages");
+        int groups = chunk / gsz;
+        if (cfg_.groups_per_bridge > 0)
+          groups = std::min(groups, cfg_.groups_per_bridge);
+        require(groups >= 1,
+                "LoadGenerator: bridge partition too small for one pipeline");
+        const std::uint64_t stage_iters =
+            cfg_.service_work / 2 / static_cast<std::uint64_t>(gsz);
+        worker_iters_ = stage_iters;
+        for (int g = 0; g < groups; ++g) {
+          const int gbase = base + g * gsz;
+          for (int s = 0; s + 1 < gsz; ++s) {
+            deploy_pipeline_stage(node_at(gbase + s), node_at(gbase + s + 1),
+                                  stage_iters);
+          }
+          deploy_farm_worker(node_at(gbase + gsz - 1));
+          const ResourceId ce =
+              make_resource_id(node_at(gbase), 0, ResourceType::kChanend);
+          bl.targets.push_back(ce);
+          bl.shutdown_targets.push_back(ce);
+        }
+        break;
+      }
+    }
+    require(!bl.targets.empty(), "LoadGenerator: bridge has no targets");
+  }
+}
+
+void LoadGenerator::deploy(bool for_restore) {
+  require(!deployed_, "LoadGenerator: already deployed");
+  require(sys_.bridge_count() > 0,
+          "LoadGenerator: system has no Ethernet bridges "
+          "(SystemConfig::ethernet_bridges)");
+  require(cfg_.requests > 0, "LoadGenerator: zero requests");
+  require(!cfg_.closed_loop || cfg_.concurrency > 0,
+          "LoadGenerator: closed loop needs concurrency >= 1");
+  require(cfg_.ingress_capacity == 0 ||
+              cfg_.ingress_capacity >=
+                  EthernetBridge::packet_tokens(kRequestBytes),
+          "LoadGenerator: ingress capacity below one request packet");
+  deployed_ = true;
+  load_images_ = !for_restore;
+
+  const int nb = sys_.bridge_count();
+  bridges_.resize(static_cast<std::size_t>(nb));
+  for (int b = 0; b < nb; ++b) {
+    BridgeLoad& bl = bridges_[static_cast<std::size_t>(b)];
+    bl.index = b;
+    bl.bridge = &sys_.bridge(b);
+    bl.node = bl.bridge->node_id();
+    bl.sim = &sys_.sim_for_node(bl.node);
+    bl.rng.reseed(cfg_.seed ^
+                  (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(b + 1)));
+    bl.quota = cfg_.requests / static_cast<std::uint64_t>(nb) +
+               (static_cast<std::uint64_t>(b) <
+                        cfg_.requests % static_cast<std::uint64_t>(nb)
+                    ? 1
+                    : 0);
+  }
+  build_partitions();
+  for (BridgeLoad& bl : bridges_) {
+    bl.bridge->set_ingress_capacity(cfg_.ingress_capacity);
+    BridgeLoad* p = &bl;  // stable: bridges_ is fully sized above
+    bl.bridge->set_host_receiver(
+        [this, p](std::vector<std::uint8_t> packet) { on_reply(*p, packet); });
+    bl.bridge->subscribe_ingress_space([this, p] { pump_sends(*p); });
+    bl.inflight.assign(bl.targets.size(), 0);
+  }
+}
+
+void LoadGenerator::attach_metrics(MetricsRegistry& reg) {
+  require(deployed_, "LoadGenerator: deploy before attach_metrics");
+  for (BridgeLoad& bl : bridges_) {
+    const auto owner = static_cast<std::uint32_t>(bl.node);
+    bl.obs_latency = reg.histogram("load.request_latency_ns", owner);
+    bl.obs_completed = reg.counter("load.requests_completed", owner);
+    bl.obs_mismatch = reg.counter("load.reply_mismatches", owner);
+    bl.obs_waits = reg.counter("load.backpressure_waits", owner);
+  }
+}
+
+void LoadGenerator::arm() {
+  require(deployed_, "LoadGenerator: deploy before arm");
+  require(!armed_, "LoadGenerator: already armed");
+  armed_ = true;
+  sys_.settle_energy();
+  EnergyLedger& led = sys_.ledger();
+  for (std::size_t a = 0; a < energy_base_.size(); ++a) {
+    energy_base_[a] = led.total(static_cast<EnergyAccount>(a));
+  }
+  for (BridgeLoad& bl : bridges_) {
+    if (bl.quota == 0) continue;
+    if (cfg_.closed_loop) {
+      for (int i = 0; i < cfg_.concurrency; ++i) inject_one(bl);
+    } else {
+      schedule_arrival(bl);
+    }
+  }
+}
+
+std::uint32_t LoadGenerator::expected_reply(std::uint32_t id) const {
+  return id ^ kReplyMagic;
+}
+
+void LoadGenerator::inject_one(BridgeLoad& bl) {
+  if (bl.spawned >= bl.quota) return;
+  const std::uint32_t id = make_id(bl.index, bl.spawned);
+  ++bl.spawned;
+  const auto tgt = static_cast<std::uint32_t>(
+      bl.rng.next_below(bl.targets.size()));
+  bl.outstanding.emplace(id, BridgeLoad::Request{bl.sim->now(), tgt});
+  bl.sendq.push_back(id);
+  pump_sends(bl);
+}
+
+// Put queued requests on the wire: skip requests whose target is busy (one
+// in flight per service group — see the sendq comment in load.h), stop at
+// a full ingress FIFO (counted; the ingress-space subscription re-drives
+// us).  The latency clock started at generation, so queueing is counted.
+void LoadGenerator::pump_sends(BridgeLoad& bl) {
+  if (bl.pumping) return;  // host_try_send can re-enter via ingress subs
+  bl.pumping = true;
+  for (auto it = bl.sendq.begin(); it != bl.sendq.end();) {
+    const std::uint32_t id = *it;
+    const auto& req = bl.outstanding.at(id);
+    if (bl.inflight[req.tgt] != 0) {
+      ++it;  // target busy: later requests may go to other targets
+      continue;
+    }
+    const auto wire =
+        NosNode::encode_request(bl.bridge->chanend_id(), 0, id);
+    if (!bl.bridge->ingress_can_accept(wire.size())) {
+      ++bl.waits;
+      if (bl.obs_waits != nullptr) bl.obs_waits->add();
+      break;
+    }
+    bl.inflight[req.tgt] = 1;
+    bl.bridge->host_try_send(bl.targets[req.tgt], wire);
+    it = bl.sendq.erase(it);
+  }
+  bl.pumping = false;
+}
+
+void LoadGenerator::on_reply(BridgeLoad& bl,
+                             const std::vector<std::uint8_t>& packet) {
+  std::uint32_t id = 0;
+  bool ok = false;
+  if (cfg_.workload == LoadWorkload::kScatterGather) {
+    if (packet.size() == 8) {
+      id = le32(packet, 0);
+      const auto want = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(cfg_.scatter_fanout) *
+          (id ^ kReplyMagic));
+      ok = le32(packet, 4) == want;
+    }
+  } else if (packet.size() == 4) {
+    id = le32(packet, 0) ^ kReplyMagic;
+    ok = true;
+  }
+  auto it = ok ? bl.outstanding.find(id) : bl.outstanding.end();
+  if (it == bl.outstanding.end()) {
+    ++bl.mismatched;
+    if (bl.obs_mismatch != nullptr) bl.obs_mismatch->add();
+    return;
+  }
+  const TimePs now = bl.sim->now();
+  const auto ns = static_cast<std::uint64_t>(now - it->second.at) / 1000;
+  bl.latency_ns.add(ns);
+  if (bl.obs_latency != nullptr) bl.obs_latency->add(ns);
+  bl.inflight[it->second.tgt] = 0;
+  bl.outstanding.erase(it);
+  ++bl.completed;
+  if (bl.obs_completed != nullptr) bl.obs_completed->add();
+  bl.last_completion = now;
+  if (cfg_.closed_loop) inject_one(bl);
+  pump_sends(bl);  // the freed target can take its next queued request
+}
+
+void LoadGenerator::schedule_arrival(BridgeLoad& bl) {
+  const TimePs gap = arrival_gap(cfg_.arrivals, bl.rng);
+  bl.arrival_pending = true;
+  BridgeLoad* p = &bl;
+  bl.sim->after(gap, EventDesc{EventKind::kLoadArrival, bl.node},
+                [this, p] { on_arrival(*p); });
+}
+
+void LoadGenerator::on_arrival(BridgeLoad& bl) {
+  bl.arrival_pending = false;
+  const int n = arrival_batch(cfg_.arrivals);
+  for (int i = 0; i < n && bl.spawned < bl.quota; ++i) inject_one(bl);
+  if (bl.spawned < bl.quota) schedule_arrival(bl);
+}
+
+TimePs LoadGenerator::run_to_completion(TimePs step, TimePs max_time) {
+  require(armed_, "LoadGenerator: arm (or restore) before running");
+  require(step > 0, "LoadGenerator: step must be positive");
+  while (!done() && sys_.now() < max_time) {
+    sys_.run_until(sys_.now() + step);
+  }
+  done_time_ = sys_.now();
+  return done_time_;
+}
+
+void LoadGenerator::shutdown(TimePs step, TimePs drain) {
+  const auto req =
+      NosNode::encode_request(0, NosNode::kShutdownService, 0);
+  for (BridgeLoad& bl : bridges_) {
+    for (ResourceId t : bl.shutdown_targets) {
+      while (!bl.bridge->ingress_can_accept(req.size())) {
+        sys_.run_until(sys_.now() + step);
+      }
+      bl.bridge->host_try_send(t, req);
+    }
+  }
+  sys_.run_until(sys_.now() + drain);
+}
+
+std::uint64_t LoadGenerator::completed() const {
+  std::uint64_t n = 0;
+  for (const BridgeLoad& bl : bridges_) n += bl.completed;
+  return n;
+}
+
+std::uint64_t LoadGenerator::injected() const {
+  std::uint64_t n = 0;
+  for (const BridgeLoad& bl : bridges_) n += bl.spawned;
+  return n;
+}
+
+std::uint64_t LoadGenerator::mismatches() const {
+  std::uint64_t n = 0;
+  for (const BridgeLoad& bl : bridges_) n += bl.mismatched;
+  return n;
+}
+
+std::uint64_t LoadGenerator::backpressure_waits() const {
+  std::uint64_t n = 0;
+  for (const BridgeLoad& bl : bridges_) n += bl.waits;
+  return n;
+}
+
+LogHistogram LoadGenerator::merged_latency() const {
+  LogHistogram h;
+  for (const BridgeLoad& bl : bridges_) h.merge(bl.latency_ns);
+  return h;
+}
+
+TimePs LoadGenerator::last_completion() const {
+  TimePs t = 0;
+  for (const BridgeLoad& bl : bridges_) t = std::max(t, bl.last_completion);
+  return t;
+}
+
+int LoadGenerator::target_count() const {
+  int n = 0;
+  for (const BridgeLoad& bl : bridges_) {
+    n += static_cast<int>(bl.targets.size());
+  }
+  return n;
+}
+
+std::string LoadGenerator::report_json() {
+  sys_.settle_energy();
+  EnergyLedger& led = sys_.ledger();
+  std::array<double, static_cast<std::size_t>(EnergyAccount::kCount)> delta{};
+  double e_total = 0.0;
+  for (std::size_t a = 0; a < delta.size(); ++a) {
+    delta[a] = led.total(static_cast<EnergyAccount>(a)) - energy_base_[a];
+    e_total += delta[a];
+  }
+  auto acc = [&](EnergyAccount a) {
+    return delta[static_cast<std::size_t>(a)];
+  };
+  const double e_core =
+      acc(EnergyAccount::kCoreBaseline) + acc(EnergyAccount::kCoreInstructions);
+  const double e_net =
+      acc(EnergyAccount::kNetworkInterface) + acc(EnergyAccount::kLinkOnChip) +
+      acc(EnergyAccount::kLinkBoardVertical) +
+      acc(EnergyAccount::kLinkBoardHorizontal) + acc(EnergyAccount::kLinkCable);
+  const double e_bridge = acc(EnergyAccount::kEthernetBridge);
+  const double e_other = acc(EnergyAccount::kDcDcIo) + acc(EnergyAccount::kOther);
+
+  const std::uint64_t comp = completed();
+  const double per_req = comp > 0 ? e_total / static_cast<double>(comp) : 0.0;
+  const double per_req_scale =
+      comp > 0 ? 1e9 / static_cast<double>(comp) : 0.0;
+  std::uint64_t rejects = 0;
+  for (const BridgeLoad& bl : bridges_) {
+    rejects += bl.bridge->ingress_rejects();
+  }
+  const TimePs tend = last_completion();
+  const double sim_s = static_cast<double>(tend) * 1e-12;
+  const double rps = sim_s > 0 ? static_cast<double>(comp) / sim_s : 0.0;
+
+  const LogHistogram h = merged_latency();
+  std::string out = "{";
+  out += strprintf(
+      "\"workload\":\"%s\",\"arrivals\":\"%s\",\"closed_loop\":%s,"
+      "\"concurrency\":%d,\"rate_rps\":%.3f,\"bridges\":%d,\"targets\":%d,"
+      "\"service_work\":%llu,\"seed\":%llu,",
+      to_string(cfg_.workload), to_string(cfg_.arrivals.kind),
+      cfg_.closed_loop ? "true" : "false", cfg_.concurrency,
+      cfg_.arrivals.rate_rps, static_cast<int>(bridges_.size()),
+      target_count(), static_cast<unsigned long long>(cfg_.service_work),
+      static_cast<unsigned long long>(cfg_.seed));
+  out += strprintf(
+      "\"requests\":%llu,\"injected\":%llu,\"completed\":%llu,"
+      "\"mismatches\":%llu,\"backpressure_waits\":%llu,"
+      "\"ingress_rejects\":%llu,\"last_completion_ps\":%lld,"
+      "\"requests_per_sim_s\":%.3f,",
+      static_cast<unsigned long long>(cfg_.requests),
+      static_cast<unsigned long long>(injected()),
+      static_cast<unsigned long long>(comp),
+      static_cast<unsigned long long>(mismatches()),
+      static_cast<unsigned long long>(backpressure_waits()),
+      static_cast<unsigned long long>(rejects), static_cast<long long>(tend),
+      rps);
+  out += strprintf(
+      "\"latency_ns\":{\"count\":%llu,\"mean\":%.3f,\"min\":%llu,"
+      "\"p50\":%llu,\"p95\":%llu,\"p99\":%llu,\"p999\":%llu,\"max\":%llu},",
+      static_cast<unsigned long long>(h.count()), h.mean(),
+      static_cast<unsigned long long>(h.min()),
+      static_cast<unsigned long long>(h.percentile(0.50)),
+      static_cast<unsigned long long>(h.percentile(0.95)),
+      static_cast<unsigned long long>(h.percentile(0.99)),
+      static_cast<unsigned long long>(h.percentile(0.999)),
+      static_cast<unsigned long long>(h.max()));
+  out += strprintf(
+      "\"energy\":{\"total_j\":%.9e,\"per_request_nj\":%.6f,"
+      "\"core_nj\":%.6f,\"network_nj\":%.6f,\"bridge_nj\":%.6f,"
+      "\"other_nj\":%.6f},",
+      e_total, per_req * 1e9, e_core * per_req_scale, e_net * per_req_scale,
+      e_bridge * per_req_scale, e_other * per_req_scale);
+  out += "\"per_bridge\":[";
+  for (std::size_t i = 0; i < bridges_.size(); ++i) {
+    const BridgeLoad& bl = bridges_[i];
+    out += strprintf(
+        "%s{\"node\":%u,\"injected\":%llu,\"completed\":%llu,"
+        "\"waits\":%llu,\"last_completion_ps\":%lld}",
+        i == 0 ? "" : ",", static_cast<unsigned>(bl.node),
+        static_cast<unsigned long long>(bl.spawned),
+        static_cast<unsigned long long>(bl.completed),
+        static_cast<unsigned long long>(bl.waits),
+        static_cast<long long>(bl.last_completion));
+  }
+  out += "]}";
+  return out;
+}
+
+void LoadGenerator::save_state(StateWriter& w) const {
+  w.b(armed_);
+  w.i64(done_time_);
+  for (double d : energy_base_) w.f64(d);
+  w.u32(static_cast<std::uint32_t>(bridges_.size()));
+  for (const BridgeLoad& bl : bridges_) {
+    bl.rng.save_state(w);
+    w.u64(bl.spawned);
+    w.u64(bl.completed);
+    w.u64(bl.mismatched);
+    w.u64(bl.waits);
+    w.i64(bl.last_completion);
+    w.b(bl.arrival_pending);
+    w.seq(bl.outstanding,
+          [&](const std::pair<const std::uint32_t, BridgeLoad::Request>& e) {
+            w.u32(e.first);
+            w.i64(e.second.at);
+            w.u32(e.second.tgt);
+          });
+    w.seq(bl.sendq, [&](std::uint32_t id) { w.u32(id); });
+    w.seq(bl.inflight, [&](std::uint8_t f) { w.u8(f); });
+    bl.latency_ns.save_state(w);
+  }
+}
+
+void LoadGenerator::load_state(StateReader& r) {
+  require(deployed_, "LoadGenerator: deploy(for_restore) before load_state");
+  armed_ = r.b();
+  done_time_ = r.i64();
+  for (double& d : energy_base_) d = r.f64();
+  const std::uint32_t nb = r.u32();
+  require(nb == bridges_.size(),
+          "LoadGenerator: snapshot bridge count mismatch");
+  for (BridgeLoad& bl : bridges_) {
+    bl.rng.load_state(r);
+    bl.spawned = r.u64();
+    bl.completed = r.u64();
+    bl.mismatched = r.u64();
+    bl.waits = r.u64();
+    bl.last_completion = r.i64();
+    bl.arrival_pending = r.b();
+    bl.outstanding.clear();
+    r.seq([&](std::size_t) {
+      const std::uint32_t id = r.u32();
+      BridgeLoad::Request req;
+      req.at = r.i64();
+      req.tgt = r.u32();
+      bl.outstanding.emplace(id, req);
+    });
+    bl.sendq.clear();
+    r.seq([&](std::size_t) { bl.sendq.push_back(r.u32()); });
+    r.seq_exactly(bl.inflight.size(), "load inflight",
+                  [&](std::size_t i) { bl.inflight[i] = r.u8(); });
+    bl.latency_ns.load_state(r);
+  }
+}
+
+void LoadGenerator::restore_event(const LiveEvent& ev) {
+  invariant(ev.desc.kind == EventKind::kLoadArrival,
+            "LoadGenerator: unexpected event kind");
+  for (BridgeLoad& bl : bridges_) {
+    if (bl.node == ev.desc.node) {
+      BridgeLoad* p = &bl;
+      bl.sim->inject(ev.time, ev.stamp, ev.tie, ev.desc,
+                     [this, p] { on_arrival(*p); });
+      return;
+    }
+  }
+  invariant(false, "LoadGenerator: arrival event for unknown bridge");
+}
+
+}  // namespace swallow

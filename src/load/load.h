@@ -1,0 +1,210 @@
+// Production traffic generation behind the Ethernet bridges (ROADMAP
+// item 3).
+//
+// A LoadGenerator deploys NOS-style request/response service programs
+// onto the grid — a request/response farm, scatter-gather groups, or
+// pipelines — and injects framed requests through every configured
+// EthernetBridge, either open-loop (a seeded arrival process offers load
+// regardless of completions) or closed-loop (a fixed window of outstanding
+// requests per bridge, refilled on every completion).
+//
+// Request wire format is nOS-lite's (src/api/nos.h):
+//   [reply chanend id][service index][argument = request id]
+// and the reply carries the request id transformed by the service, so the
+// host side can match completions to arrivals and verify correctness —
+// including under a seeded FaultPlan, where reliable links retransmit and
+// the percentiles degrade but every reply still checks out.
+//
+// Determinism contract: every stochastic draw (arrival gaps, target
+// selection) comes from one seeded Rng per bridge, and every injection
+// after arm() happens inside that bridge's event domain (completion
+// callbacks and kLoadArrival events both fire there) — so a load run is
+// bit-reproducible across `--jobs` values, and the generator's full state
+// snapshots/restores mid-run (src/snap/).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "board/system.h"
+#include "common/rng.h"
+#include "common/stateio.h"
+#include "load/arrival.h"
+#include "obs/metrics.h"
+#include "sim/event_desc.h"
+
+namespace swallow {
+
+enum class LoadWorkload : std::uint8_t {
+  kFarm = 0,           // every core an independent request/response worker
+  kScatterGather = 1,  // frontends fan each request out to K workers
+  kPipeline = 2,       // requests traverse S stages, last stage replies
+};
+
+inline const char* to_string(LoadWorkload w) {
+  switch (w) {
+    case LoadWorkload::kFarm: return "farm";
+    case LoadWorkload::kScatterGather: return "scatter_gather";
+    case LoadWorkload::kPipeline: return "pipeline";
+  }
+  return "?";
+}
+
+struct LoadConfig {
+  LoadWorkload workload = LoadWorkload::kFarm;
+  ArrivalConfig arrivals{};
+  /// Closed loop keeps `concurrency` requests outstanding per bridge
+  /// (classic zero-think-time closed system); open loop offers the arrival
+  /// process's load regardless of completions.
+  bool closed_loop = true;
+  int concurrency = 32;
+  std::uint64_t requests = 10000;  // total across all bridges
+  std::uint64_t seed = 1;
+  std::uint64_t service_work = 200;  // instructions burned per request
+  int scatter_fanout = 4;            // kScatterGather: workers per frontend
+  int pipeline_stages = 4;           // kPipeline: stages per pipeline
+  /// Service groups built per bridge (0 = as many as the bridge's core
+  /// partition allows).
+  int groups_per_bridge = 0;
+  /// Bound on each bridge's ingress FIFO, in tokens; injections that do
+  /// not fit wait (counted) and retry on ingress-space notifications.
+  std::size_t ingress_capacity = 4096;
+};
+
+/// Drives request traffic through a SwallowSystem's Ethernet bridges.
+/// Lifecycle: construct -> deploy() -> [attach_metrics()] -> arm() ->
+/// run_to_completion()/run_until loop -> report_json() [-> shutdown()].
+class LoadGenerator {
+ public:
+  /// Replies are the request id XOR this magic (scatter-gather replies are
+  /// fanout * (id ^ magic) mod 2^32); a reply that does not decode to an
+  /// outstanding id counts as a mismatch.
+  static constexpr std::uint32_t kReplyMagic = 0x600DF00Du;
+
+  LoadGenerator(SwallowSystem& sys, LoadConfig cfg);
+
+  /// Generate, assemble, load and start the service programs and wire the
+  /// bridges (ingress bound, receive + ingress-space callbacks).  With
+  /// `for_restore` the program load / core start / initial injection are
+  /// skipped — that state comes back from the snapshot — but all host-side
+  /// wiring still happens.  Call once.
+  void deploy(bool for_restore = false);
+
+  /// Mirror the SLO instruments into an attached metrics registry
+  /// (optional; between deploy and arm / restore_machine).
+  void attach_metrics(MetricsRegistry& reg);
+
+  /// Capture the energy baseline and start the traffic: inject the initial
+  /// closed-loop windows or schedule the first open-loop arrivals.  Not
+  /// used when restoring — load_state resumes the armed state instead.
+  void arm();
+
+  /// All requests injected and completed.
+  bool done() const { return completed() >= cfg_.requests; }
+
+  /// Drive sys.run_until in `step` chops until done() or `max_time`;
+  /// returns the machine time of the chop where done() first held.
+  TimePs run_to_completion(TimePs step, TimePs max_time);
+
+  /// Send the NOS shutdown request to every service group and give the
+  /// grid `drain` picoseconds to wind down (optional, after done()).
+  void shutdown(TimePs step, TimePs drain);
+
+  // ----- Results -----
+  std::uint64_t completed() const;
+  std::uint64_t injected() const;
+  std::uint64_t mismatches() const;
+  std::uint64_t backpressure_waits() const;
+  /// Request latency across all bridges (merged in bridge order), ns.
+  LogHistogram merged_latency() const;
+  /// Machine time of the last completion, ps.
+  TimePs last_completion() const;
+  int target_count() const;
+
+  /// The `load_json:` machine block: SLO percentiles, throughput,
+  /// per-request energy by account, per-bridge counters.  Deterministic
+  /// across engine configurations.  Settles energy; call between chops.
+  std::string report_json();
+
+  const LoadConfig& config() const { return cfg_; }
+
+  // ----- Snapshot (src/snap/) -----
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
+  /// Re-inject a pending kLoadArrival with its original queue keys.
+  void restore_event(const LiveEvent& ev);
+
+ private:
+  struct BridgeLoad {
+    int index = 0;
+    NodeId node = 0;
+    EthernetBridge* bridge = nullptr;
+    Simulator* sim = nullptr;  // the bridge's event domain
+    std::vector<ResourceId> targets;   // request chanends, selection pool
+    std::vector<ResourceId> shutdown_targets;
+    Rng rng{1};
+    std::uint64_t quota = 0;     // requests this bridge injects in total
+    std::uint64_t spawned = 0;   // ids drawn (sent or waiting)
+    std::uint64_t completed = 0;
+    std::uint64_t mismatched = 0;
+    std::uint64_t waits = 0;     // sends deferred at a full ingress FIFO
+    TimePs last_completion = 0;
+    bool arrival_pending = false;  // a kLoadArrival event is live
+    struct Request {
+      TimePs at = 0;          // arrival (generation) time
+      std::uint32_t tgt = 0;  // target index in `targets`
+    };
+    std::map<std::uint32_t, Request> outstanding;  // id -> request
+    /// Ids generated but not yet on the wire.  One request is in flight
+    /// per target at a time (single-threaded service groups; more would
+    /// park a wormhole into a busy endpoint and can head-of-line block the
+    /// group's own internal replies — deadlock).  Extra requests queue
+    /// here, so measured latency includes host-side queueing.
+    std::deque<std::uint32_t> sendq;
+    std::vector<std::uint8_t> inflight;  // per target: 0 or 1
+    bool pumping = false;  // transient pump_sends reentrancy guard
+    LogHistogram latency_ns;
+    // Optional registry mirrors (attach_metrics).
+    LogHistogram* obs_latency = nullptr;
+    MetricCounter* obs_completed = nullptr;
+    MetricCounter* obs_mismatch = nullptr;
+    MetricCounter* obs_waits = nullptr;
+  };
+
+  void build_partitions();
+  void deploy_farm_worker(NodeId node);
+  void deploy_scatter_frontend(NodeId node,
+                               const std::vector<NodeId>& workers);
+  void deploy_pipeline_stage(NodeId node, NodeId next, std::uint64_t iters);
+  static std::string worker_service_body(std::uint64_t iters);
+
+  static std::uint32_t make_id(int bridge, std::uint64_t seq) {
+    return (static_cast<std::uint32_t>(bridge) << 26) |
+           static_cast<std::uint32_t>(seq & 0x03FFFFFFu);
+  }
+  std::uint32_t expected_reply(std::uint32_t id) const;
+
+  void inject_one(BridgeLoad& bl);
+  void pump_sends(BridgeLoad& bl);
+  void on_reply(BridgeLoad& bl, const std::vector<std::uint8_t>& packet);
+  void on_arrival(BridgeLoad& bl);
+  void schedule_arrival(BridgeLoad& bl);
+
+  SwallowSystem& sys_;
+  LoadConfig cfg_;
+  std::vector<BridgeLoad> bridges_;
+  bool deployed_ = false;
+  bool armed_ = false;
+  std::array<double, static_cast<std::size_t>(EnergyAccount::kCount)>
+      energy_base_{};
+  TimePs done_time_ = 0;
+  bool load_images_ = true;  // false on restore: SRAM comes from the snap
+  std::uint64_t worker_iters_ = 0;  // burn-loop iterations per worker
+};
+
+}  // namespace swallow

@@ -1,0 +1,136 @@
+// Classic NoC synthetic traffic patterns, injected at the switch layer.
+//
+// Unlike the LoadGenerator (framed requests through the Ethernet bridges
+// into real service programs), synthetic traffic bypasses the cores
+// entirely: every core node gets a pseudo-chanend endpoint (index
+// kSyntheticEndpoint) that sources fixed-size timestamped packets to a
+// destination chosen by a spatial pattern — uniform random, hotspot,
+// transpose or bit-reversal — at a seeded offered rate.  This is the
+// standard methodology for offered-load vs throughput/latency curves
+// (sweep the rate across invocations; each run is one point).
+//
+// Determinism: each node draws from its own seeded Rng and schedules only
+// in its own switch's event domain, so results are bit-identical across
+// `--jobs`.  Injection ticks are deliberately *undescribed* events
+// (EventKind::kNone): a machine with live synthetic traffic refuses to
+// snapshot with a structured kUndescribedEvent error — see docs/load.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/comm.h"
+#include "board/system.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace swallow {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniformRandom = 0,  // every other node equally likely
+  kHotspot = 1,        // a few hot nodes draw a configured share
+  kTranspose = 2,      // (row, col) -> (col, row) over the core grid
+  kBitReversal = 3,    // flat index -> bit-reversed flat index
+};
+
+const char* to_string(TrafficPattern p);
+/// Parse "uniform" / "hotspot" / "transpose" / "bitrev"; throws on junk.
+TrafficPattern parse_traffic_pattern(const std::string& s);
+
+struct SyntheticConfig {
+  TrafficPattern pattern = TrafficPattern::kUniformRandom;
+  /// Offered load per node, packets per simulated second.
+  double rate_pps = 1e6;
+  std::uint64_t seed = 1;
+  /// Packet payload size; the first 8 bytes carry the birth timestamp.
+  std::size_t payload_bytes = 16;
+  int hotspot_count = 4;          // kHotspot: number of hot destinations
+  double hotspot_fraction = 0.5;  // kHotspot: share of traffic they draw
+  /// Per-node source queue bound, in packets; arrivals beyond it are
+  /// dropped at the source and counted (saturation measurement).
+  std::size_t source_queue_packets = 16;
+};
+
+/// Injects pattern traffic at every core node's switch for a fixed window
+/// of simulated time.  Lifecycle: construct -> deploy() -> arm(duration)
+/// -> drive sys.run_until past the window -> report_json().
+class SyntheticTraffic {
+ public:
+  /// Pseudo-chanend index used on every core node (0..31 are the core's
+  /// chanends, 32 is the boot ROM).
+  static constexpr int kSyntheticEndpoint = 33;
+
+  SyntheticTraffic(SwallowSystem& sys, SyntheticConfig cfg);
+
+  /// Attach the per-node endpoints.  Call once, before arm().
+  void deploy();
+
+  /// Start injecting: each node offers packets for `duration` picoseconds
+  /// of simulated time starting now.
+  void arm(TimePs duration);
+
+  bool window_closed() const;
+
+  // ----- Results -----
+  std::uint64_t offered() const;    // packets generated (incl. dropped)
+  std::uint64_t dropped() const;    // dropped at a full source queue
+  std::uint64_t delivered() const;  // packets fully received
+  LogHistogram merged_latency() const;  // packet latency, ns, node order
+
+  /// The `load_json:` machine block for a synthetic run: offered vs
+  /// accepted throughput per node per second, latency percentiles.
+  std::string report_json() const;
+
+  const SyntheticConfig& config() const { return cfg_; }
+
+ private:
+  struct NodeTraffic : TokenReceiver {
+    SyntheticTraffic* owner = nullptr;
+    int index = 0;  // flat core index
+    NodeId node = 0;
+    Switch* sw = nullptr;
+    Simulator* sim = nullptr;
+    TokenOutPort* port = nullptr;
+    Rng rng{1};
+    TimePs stop_at = 0;
+    bool tick_scheduled = false;
+    // Source side: flattened token queue, bounded in packets.
+    std::deque<Token> queue;
+    std::size_t queued_packets = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t dropped = 0;
+    // Sink side.
+    std::vector<std::uint8_t> rx;
+    std::uint64_t received = 0;
+    LogHistogram latency_ns;
+
+    // TokenReceiver (switch -> us): always ready, packets are consumed
+    // into the latency histogram as they complete.
+    bool can_receive() const override { return true; }
+    std::size_t free_space() const override { return 1024; }
+    void receive(const Token& t) override;
+    void subscribe_drain(std::function<void()> cb) override {
+      drain_subs.push_back(std::move(cb));
+    }
+    std::vector<std::function<void()>> drain_subs;
+  };
+
+  int pick_destination(NodeTraffic& nt);
+  void schedule_tick(NodeTraffic& nt);
+  void on_tick(NodeTraffic& nt);
+  void generate_packet(NodeTraffic& nt);
+  void drain_queue(NodeTraffic& nt);
+
+  SwallowSystem& sys_;
+  SyntheticConfig cfg_;
+  std::vector<std::unique_ptr<NodeTraffic>> nodes_;
+  std::vector<NodeId> node_ids_;  // flat index -> node id
+  TimePs gap_ps_ = 0;             // mean inter-packet gap per node
+  bool deployed_ = false;
+  bool armed_ = false;
+};
+
+}  // namespace swallow

@@ -57,6 +57,9 @@ enum class EventKind : std::uint16_t {
   kFaultRepair = 51,    // set_links_up on node for directions [a_lo, a_hi]
   kFaultUnfreeze = 52,  // un-freeze core `node`
   kFaultPeerKill = 53,  // kill_link(a) on switch `node`
+
+  // load/load.cpp
+  kLoadArrival = 60,  // open-loop arrival tick; node = bridge node id
 };
 
 /// Fixed-size serializable description of one pending event.  `node` is the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "load/load.h"
 
 namespace swallow {
 namespace {
@@ -55,6 +56,8 @@ bool is_fault_event(EventKind k) {
          k == EventKind::kFaultUnfreeze || k == EventKind::kFaultPeerKill;
 }
 
+bool is_load_event(EventKind k) { return k == EventKind::kLoadArrival; }
+
 void expect_drained(const StateReader& r, const char* section) {
   if (!r.done()) {
     throw SnapError(
@@ -68,7 +71,8 @@ void expect_drained(const StateReader& r, const char* section) {
 
 std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
                                    const FaultPlan* plan,
-                                   const TraceConfig* obs_cfg) {
+                                   const TraceConfig* obs_cfg,
+                                   const LoadConfig* load_cfg) {
   StateWriter w;
   w.u32(static_cast<std::uint32_t>(cfg.slices_x));
   w.u32(static_cast<std::uint32_t>(cfg.slices_y));
@@ -109,6 +113,22 @@ std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
     w.b(obs_cfg->energy);
     w.i64(obs_cfg->power_window);
   }
+  w.b(load_cfg != nullptr);
+  if (load_cfg != nullptr) {
+    w.u8(static_cast<std::uint8_t>(load_cfg->workload));
+    w.u8(static_cast<std::uint8_t>(load_cfg->arrivals.kind));
+    w.f64(load_cfg->arrivals.rate_rps);
+    w.u32(static_cast<std::uint32_t>(load_cfg->arrivals.burst_size));
+    w.b(load_cfg->closed_loop);
+    w.u32(static_cast<std::uint32_t>(load_cfg->concurrency));
+    w.u64(load_cfg->requests);
+    w.u64(load_cfg->seed);
+    w.u64(load_cfg->service_work);
+    w.u32(static_cast<std::uint32_t>(load_cfg->scatter_fanout));
+    w.u32(static_cast<std::uint32_t>(load_cfg->pipeline_stages));
+    w.u32(static_cast<std::uint32_t>(load_cfg->groups_per_bridge));
+    w.u64(load_cfg->ingress_capacity);
+  }
   return fnv1a64(w.data());
 }
 
@@ -118,7 +138,8 @@ SnapshotFile save_machine(const SnapTargets& t) {
   SnapshotFile f;
   f.config_hash = snapshot_config_hash(
       sys.config(), t.fault != nullptr ? &t.fault->plan() : nullptr,
-      t.obs != nullptr ? &t.obs->config() : nullptr);
+      t.obs != nullptr ? &t.obs->config() : nullptr,
+      t.load != nullptr ? &t.load->config() : nullptr);
 
   // ---- kMeta: machine time + per-domain clock/ordering state.
   {
@@ -187,6 +208,11 @@ SnapshotFile save_machine(const SnapTargets& t) {
     t.fault->save_state(w);
     f.add(SnapSection::kFault, w.take());
   }
+  if (t.load != nullptr) {
+    StateWriter w;
+    t.load->save_state(w);
+    f.add(SnapSection::kLoad, w.take());
+  }
   return f;
 }
 
@@ -198,7 +224,8 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
   // touching any state.
   const std::uint64_t expect = snapshot_config_hash(
       sys.config(), t.fault != nullptr ? &t.fault->plan() : nullptr,
-      t.obs != nullptr ? &t.obs->config() : nullptr);
+      t.obs != nullptr ? &t.obs->config() : nullptr,
+      t.load != nullptr ? &t.load->config() : nullptr);
   if (f.config_hash != expect) {
     throw SnapError(
         SnapError::Code::kConfigMismatch,
@@ -261,6 +288,16 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
                     "snapshot: carries fault state but no injector supplied");
   }
 
+  // ---- Load generator counters/rngs before its kLoadArrival events.
+  if (t.load != nullptr) {
+    StateReader r(f.need(SnapSection::kLoad));
+    t.load->load_state(r);
+    expect_drained(r, "load");
+  } else if (f.find(SnapSection::kLoad) != nullptr) {
+    throw SnapError(SnapError::Code::kMalformed,
+                    "snapshot: carries load state but no generator supplied");
+  }
+
   // ---- kEvents: re-schedule every live event under its original key.
   {
     StateReader r(f.need(SnapSection::kEvents));
@@ -283,6 +320,13 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
                 "snapshot: pending fault event but no injector supplied");
           }
           t.fault->restore_event(ev);
+        } else if (is_load_event(ev.desc.kind)) {
+          if (t.load == nullptr) {
+            throw SnapError(
+                SnapError::Code::kMalformed,
+                "snapshot: pending load event but no generator supplied");
+          }
+          t.load->restore_event(ev);
         } else {
           sys.restore_event(ev);
         }

@@ -27,22 +27,30 @@
 
 namespace swallow {
 
+class LoadGenerator;
+struct LoadConfig;
+
 /// The machine-level objects a snapshot covers.  `system` is required.
-/// `obs` / `fault` must be present exactly when the snapshot carries their
-/// sections (the config hash pins both, so a mismatch refuses early).
+/// `obs` / `fault` / `load` must be present exactly when the snapshot
+/// carries their sections (the config hash pins each, so a mismatch
+/// refuses early).  A restored load generator must have been
+/// deploy(for_restore)'d with the identical LoadConfig.
 struct SnapTargets {
   SwallowSystem* system = nullptr;
   TraceSession* obs = nullptr;
   FaultInjector* fault = nullptr;
+  LoadGenerator* load = nullptr;
 };
 
 /// Deterministic hash over everything that must match between the
 /// snapshotting and the restoring machine: the full SystemConfig
 /// (including jobs — cross-engine restore is refused by design), the
-/// fault plan, and the observability configuration.
+/// fault plan, the observability configuration, and the load
+/// configuration.
 std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
                                    const FaultPlan* plan,
-                                   const TraceConfig* obs_cfg);
+                                   const TraceConfig* obs_cfg,
+                                   const LoadConfig* load_cfg = nullptr);
 
 /// Serialise the machine.  Must be called at a chop point (between
 /// run_until calls).  Throws SnapError{kUndescribedEvent} when any pending

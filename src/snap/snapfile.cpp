@@ -23,6 +23,7 @@ const char* snap_section_name(SnapSection s) {
     case SnapSection::kEvents: return "events";
     case SnapSection::kObs: return "obs";
     case SnapSection::kFault: return "fault";
+    case SnapSection::kLoad: return "load";
   }
   return "unknown";
 }

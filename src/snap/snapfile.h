@@ -30,6 +30,7 @@ enum class SnapSection : std::uint32_t {
   kEvents = 3,  // per-domain live event queues (descriptors + keys)
   kObs = 4,     // TraceSession (present iff observability was attached)
   kFault = 5,   // FaultInjector rng streams (present iff a plan was armed)
+  kLoad = 6,    // LoadGenerator state (present iff a load run was armed)
 };
 
 const char* snap_section_name(SnapSection s);
@@ -38,7 +39,9 @@ const char* snap_section_name(SnapSection s);
 class SnapshotFile {
  public:
   static constexpr std::uint32_t kMagic = 0x4E535753;  // "SWSN" little-endian
-  static constexpr std::uint32_t kVersion = 2;
+  // v3: EthernetBridge state grew ingress-backpressure counters and the
+  // optional kLoad section joined the format.
+  static constexpr std::uint32_t kVersion = 3;
 
   std::uint64_t config_hash = 0;
 

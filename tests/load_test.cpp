@@ -1,0 +1,323 @@
+// Production-traffic subsystem tests (ROADMAP item 3, src/load/):
+// engine-independent load reports, open-loop arrival determinism,
+// mid-run snapshot/restore identity, ingress backpressure (bounded FIFOs
+// reject loudly, the generator waits instead of dropping), fault-plan
+// runs that degrade but stay correct, and synthetic traffic patterns.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "analysis/netstat.h"
+#include "api/nos.h"
+#include "board/system.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "fault/fault.h"
+#include "load/arrival.h"
+#include "load/load.h"
+#include "load/synthetic.h"
+#include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
+
+namespace swallow {
+namespace {
+
+constexpr TimePs kStep = 50'000'000;        // 50 us chop
+constexpr TimePs kMaxTime = 20'000'000'000;  // 20 ms ceiling
+
+SystemConfig grid_config(int jobs, bool reliable = false) {
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.jobs = jobs;
+  cfg.ethernet_bridges = 2;
+  cfg.reliable_links = reliable;
+  return cfg;
+}
+
+LoadConfig farm_config(std::uint64_t requests = 400) {
+  LoadConfig lcfg;
+  lcfg.workload = LoadWorkload::kFarm;
+  lcfg.requests = requests;
+  lcfg.concurrency = 8;
+  lcfg.service_work = 100;
+  lcfg.seed = 5;
+  return lcfg;
+}
+
+// Run a full load scenario on one engine configuration and return the
+// deterministic report block.
+std::string run_report(const SystemConfig& cfg, const LoadConfig& lcfg,
+                       const FaultPlan* plan = nullptr) {
+  Simulator sim;
+  SwallowSystem sys(sim, cfg);
+  std::unique_ptr<FaultInjector> injector;
+  if (plan != nullptr) {
+    injector = std::make_unique<FaultInjector>(sys, *plan);
+    injector->arm();
+  }
+  LoadGenerator gen(sys, lcfg);
+  gen.deploy();
+  sys.start_sampling();
+  gen.arm();
+  gen.run_to_completion(kStep, kMaxTime);
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(gen.mismatches(), 0u);
+  return gen.report_json();
+}
+
+// ----- Engine independence -----
+
+// The keystone: the same seeded load scenario renders a byte-identical
+// report on the sequential engine and on every parallel shard count.
+// Every stochastic draw comes from per-bridge seeded streams and every
+// injection runs in the owning bridge's event domain, so the schedule
+// cannot depend on host thread interleaving.
+TEST(LoadDeterminism, ReportByteIdenticalAcrossEngines) {
+  const LoadConfig lcfg = farm_config();
+  const std::string seq = run_report(grid_config(0), lcfg);
+  for (int jobs : {1, 2, 4}) {
+    EXPECT_EQ(run_report(grid_config(jobs), lcfg), seq)
+        << "jobs=" << jobs << " diverged from the sequential engine";
+  }
+}
+
+TEST(LoadDeterminism, ScatterAndPipelineAlsoEngineIndependent) {
+  LoadConfig scatter = farm_config(120);
+  scatter.workload = LoadWorkload::kScatterGather;
+  scatter.scatter_fanout = 3;
+  scatter.concurrency = 4;
+  EXPECT_EQ(run_report(grid_config(0), scatter),
+            run_report(grid_config(2), scatter));
+
+  LoadConfig pipe = farm_config(120);
+  pipe.workload = LoadWorkload::kPipeline;
+  pipe.pipeline_stages = 4;
+  pipe.concurrency = 4;
+  pipe.service_work = 160;
+  EXPECT_EQ(run_report(grid_config(0), pipe),
+            run_report(grid_config(2), pipe));
+}
+
+// Open loop: the seeded arrival process fully determines the injection
+// schedule — same seed reproduces the report, a different seed shifts
+// the arrival times (and with them the measured latency distribution).
+TEST(LoadDeterminism, OpenLoopArrivalsAreSeeded) {
+  LoadConfig lcfg = farm_config(200);
+  lcfg.closed_loop = false;
+  lcfg.arrivals.kind = ArrivalKind::kPoisson;
+  lcfg.arrivals.rate_rps = 2e6;
+  const std::string a = run_report(grid_config(0), lcfg);
+  const std::string b = run_report(grid_config(0), lcfg);
+  EXPECT_EQ(a, b);
+  lcfg.seed = 6;
+  EXPECT_NE(run_report(grid_config(0), lcfg), a);
+}
+
+// ----- Snapshot / restore mid-run -----
+
+// Snapshot a run mid-flight (outstanding requests on the wire, pending
+// arrivals, partial histograms), restore into a fresh machine and run to
+// completion: the final report must be byte-identical to an
+// uninterrupted run with the same chop grid.
+TEST(LoadSnapshot, MidRunRestoreMatchesUninterrupted) {
+  const LoadConfig lcfg = farm_config();
+  const SystemConfig cfg = grid_config(2);
+
+  const std::string uninterrupted = run_report(cfg, lcfg);
+
+  // Interrupted leg: stop at a chop boundary well inside the run.
+  SnapshotFile mid;
+  {
+    Simulator sim;
+    SwallowSystem sys(sim, cfg);
+    LoadGenerator gen(sys, lcfg);
+    gen.deploy();
+    sys.start_sampling();
+    gen.arm();
+    const TimePs stop = 300'000'000;  // 300 us, a multiple of kStep
+    while (sys.now() < stop) sys.run_until(sys.now() + kStep);
+    EXPECT_FALSE(gen.done()) << "snapshot point must land mid-run";
+    mid = save_machine(SnapTargets{&sys, nullptr, nullptr, &gen});
+  }
+
+  // Resumed leg.
+  {
+    Simulator sim;
+    SwallowSystem sys(sim, cfg);
+    LoadGenerator gen(sys, lcfg);
+    gen.deploy(/*for_restore=*/true);
+    restore_machine(mid, SnapTargets{&sys, nullptr, nullptr, &gen});
+    gen.run_to_completion(kStep, kMaxTime);
+    EXPECT_TRUE(gen.done());
+    EXPECT_EQ(gen.report_json(), uninterrupted);
+  }
+}
+
+// A snapshot from a load run refuses to restore into a machine whose
+// load configuration differs — the config hash catches it.
+TEST(LoadSnapshot, RefusesMismatchedLoadConfig) {
+  const SystemConfig cfg = grid_config(0);
+  const LoadConfig lcfg = farm_config();
+  SnapshotFile mid;
+  {
+    Simulator sim;
+    SwallowSystem sys(sim, cfg);
+    LoadGenerator gen(sys, lcfg);
+    gen.deploy();
+    sys.start_sampling();
+    gen.arm();
+    sys.run_until(kStep);
+    mid = save_machine(SnapTargets{&sys, nullptr, nullptr, &gen});
+  }
+  Simulator sim;
+  SwallowSystem sys(sim, cfg);
+  LoadConfig other = lcfg;
+  other.seed = 99;
+  LoadGenerator gen(sys, other);
+  gen.deploy(/*for_restore=*/true);
+  EXPECT_THROW(
+      restore_machine(mid, SnapTargets{&sys, nullptr, nullptr, &gen}),
+      SnapError);
+}
+
+// ----- Ingress backpressure (satellite 1) -----
+
+// A bounded bridge ingress FIFO pushes back instead of dropping: the
+// plain host_send fails loudly, host_try_send returns false and counts
+// the reject, and the counters surface through the netstat collector.
+TEST(LoadBackpressure, BoundedIngressRejectsLoudly) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  SwallowSystem sys(sim, cfg);
+  NosNode node(sys.core(0, 0, Layer::kVertical));
+  node.add_service("idle", "    ret\n");
+  node.start();
+
+  EthernetBridge& br = sys.bridge(0);
+  const auto wire = NosNode::encode_request(br.chanend_id(), 0, 1);
+  br.set_ingress_capacity(EthernetBridge::packet_tokens(wire.size()));
+
+  // One packet fits exactly; a second cannot until the wire drains.
+  EXPECT_TRUE(br.host_try_send(node.request_chanend(), wire));
+  EXPECT_FALSE(br.ingress_can_accept(wire.size()));
+  EXPECT_FALSE(br.host_try_send(node.request_chanend(), wire));
+  EXPECT_THROW(br.host_send(node.request_chanend(), wire), Error);
+  EXPECT_EQ(br.ingress_rejects(), 2u);
+  EXPECT_EQ(br.ingress_peak_tokens(),
+            EthernetBridge::packet_tokens(wire.size()));
+
+  const NetworkStats stats = collect_network_stats(sys);
+  EXPECT_EQ(stats.bridge.bridges, 1);
+  EXPECT_EQ(stats.bridge.ingress_rejects, 2u);
+
+  // After the FIFO drains onto the wire the same send goes through.
+  sim.run_until(milliseconds(1.0));
+  EXPECT_TRUE(br.host_try_send(node.request_chanend(), wire));
+}
+
+// The generator never trips the reject path: at a minimal ingress window
+// it defers sends (counting waits) and retries on space notifications,
+// so every request still completes and nothing is dropped.
+TEST(LoadBackpressure, GeneratorWaitsInsteadOfDropping) {
+  LoadConfig lcfg = farm_config(200);
+  lcfg.ingress_capacity = EthernetBridge::packet_tokens(12);
+  Simulator sim;
+  SwallowSystem sys(sim, grid_config(0));
+  LoadGenerator gen(sys, lcfg);
+  gen.deploy();
+  sys.start_sampling();
+  gen.arm();
+  gen.run_to_completion(kStep, kMaxTime);
+  EXPECT_TRUE(gen.done());
+  EXPECT_EQ(gen.completed(), lcfg.requests);
+  EXPECT_EQ(gen.mismatches(), 0u);
+  EXPECT_GT(gen.backpressure_waits(), 0u);
+  const NetworkStats stats = collect_network_stats(sys);
+  EXPECT_EQ(stats.bridge.ingress_rejects, 0u);
+  EXPECT_LE(stats.bridge.ingress_peak_tokens, lcfg.ingress_capacity);
+}
+
+// ----- Fault composition -----
+
+// Under a seeded FaultPlan on reliable links the percentiles degrade
+// (retransmissions stretch latencies) but every reply still verifies,
+// and the whole degraded run stays engine-independent.
+TEST(LoadFaults, DegradedButCorrectAndEngineIndependent) {
+  const LoadConfig lcfg = farm_config(200);
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.corrupt_link(0, -1, 0.02);
+  const std::string seq =
+      run_report(grid_config(0, /*reliable=*/true), lcfg, &plan);
+  EXPECT_EQ(run_report(grid_config(2, /*reliable=*/true), lcfg, &plan), seq);
+  EXPECT_NE(seq.find("\"mismatches\":0"), std::string::npos);
+}
+
+// ----- Arrival processes -----
+
+TEST(ArrivalProcess, SeededGapsReproduceAndMatchTheMeanRate) {
+  ArrivalConfig acfg;
+  acfg.kind = ArrivalKind::kPoisson;
+  acfg.rate_rps = 1e6;
+  Rng a(42), b(42);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const TimePs ga = arrival_gap(acfg, a);
+    ASSERT_EQ(ga, arrival_gap(acfg, b));
+    ASSERT_GE(ga, 1);
+    sum += static_cast<double>(ga);
+  }
+  // Mean inter-arrival of a 1M req/s Poisson process is 1 us = 1e6 ps.
+  EXPECT_NEAR(sum / 20000, 1e6, 0.05e6);
+  EXPECT_EQ(arrival_batch(acfg), 1);
+
+  acfg.kind = ArrivalKind::kBurst;
+  acfg.burst_size = 16;
+  EXPECT_EQ(arrival_batch(acfg), 16);
+  Rng c(7);
+  // Burst arrivals are a fixed comb: every gap covers one whole batch.
+  const TimePs g = arrival_gap(acfg, c);
+  EXPECT_EQ(g, arrival_gap(acfg, c));
+}
+
+// ----- Synthetic switch-level traffic -----
+
+TEST(SyntheticLoad, PatternsRunDeterministicallyAndDeliver) {
+  for (const TrafficPattern p :
+       {TrafficPattern::kUniformRandom, TrafficPattern::kHotspot,
+        TrafficPattern::kTranspose, TrafficPattern::kBitReversal}) {
+    SyntheticConfig scfg;
+    scfg.pattern = p;
+    scfg.rate_pps = 500000;
+    scfg.seed = 9;
+    std::string first;
+    for (int rep = 0; rep < 2; ++rep) {
+      Simulator sim;
+      SystemConfig cfg;  // one slice, 16 cores
+      SwallowSystem sys(sim, cfg);
+      SyntheticTraffic traffic(sys, scfg);
+      traffic.deploy();
+      traffic.arm(microseconds(50.0));
+      sys.run_until(microseconds(200.0));
+      EXPECT_TRUE(traffic.window_closed());
+      EXPECT_GT(traffic.delivered(), 0u)
+          << "pattern " << to_string(p) << " delivered nothing";
+      EXPECT_GE(traffic.offered(),
+                traffic.delivered() + traffic.dropped());
+      if (rep == 0) {
+        first = traffic.report_json();
+      } else {
+        EXPECT_EQ(traffic.report_json(), first)
+            << "pattern " << to_string(p) << " is not deterministic";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace swallow

@@ -19,6 +19,12 @@
 // (core, thread, function) buckets, and reports its cost over the
 // trace-only session — CI redirects this into BENCH_PR8.json.
 //
+// The "load" section drives the production-traffic subsystem (src/load/)
+// end to end — a closed-loop request/response farm injected through the
+// Ethernet bridges — and reports requests completed per wall second and
+// simulated MIPS under load; CI redirects this into BENCH_PR9.json and
+// the perf ratchet re-measures it with --load-only.
+//
 // The engines are bit-identical (tests/parallel_test.cpp), so every run
 // also cross-checks total retired instructions and aborts on mismatch —
 // a benchmark that quietly diverged would be measuring a different machine.
@@ -37,6 +43,7 @@
 #include "bench/bench_util.h"
 #include "board/system.h"
 #include "common/error.h"
+#include "load/load.h"
 #include "obs/trace.h"
 #include "common/strings.h"
 #include "sim/simulator.h"
@@ -274,6 +281,90 @@ bool print_sim_mips_section(bool last) {
   return true;
 }
 
+// One end-to-end run of the production-traffic subsystem: a closed-loop
+// request/response farm on a fixed 2x2-slice grid (64 cores, 2 bridges),
+// measured wall-to-wall from arm() to the chop where the last reply
+// lands.  The load report itself (latency percentiles, per-request
+// energy) is machine-deterministic, so runs on different engines must
+// render byte-identical reports — that is the section's divergence check.
+struct LoadBenchResult {
+  int jobs = 0;
+  double wall_s = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t retired = 0;
+  std::string report;  // the deterministic load_json block
+};
+
+LoadBenchResult run_load_bench(int jobs) {
+  using namespace swallow;
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.jobs = jobs;
+  cfg.ethernet_bridges = 2;
+  SwallowSystem sys(sim, cfg);
+
+  LoadConfig lcfg;
+  lcfg.workload = LoadWorkload::kFarm;
+  lcfg.requests = 2000;
+  lcfg.concurrency = 16;
+  lcfg.service_work = 200;
+  lcfg.seed = 1;
+  LoadGenerator gen(sys, lcfg);
+  gen.deploy();
+  sys.start_sampling();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  gen.arm();
+  gen.run_to_completion(microseconds(50.0), milliseconds(2000.0));
+  const auto t1 = std::chrono::steady_clock::now();
+  require(gen.done(), "load bench did not complete its request quota");
+  require(gen.mismatches() == 0, "load bench saw reply mismatches");
+
+  LoadBenchResult r;
+  r.jobs = jobs;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.completed = gen.completed();
+  r.report = gen.report_json();
+  for (int i = 0; i < sys.core_count(); ++i) {
+    r.retired += sys.core_by_index(i).instructions_retired();
+  }
+  return r;
+}
+
+// The PR9 KPI: wall-clock throughput of the full request path (host
+// framing -> bridge pacing -> switch fabric -> NOS service -> reply) and
+// the interpreter rate while the machine serves it.  Sequential best-of-2
+// for the ratcheted numbers; one parallel run proves the report is
+// engine-independent.  Returns false on divergence.
+bool print_load_section(bool last) {
+  LoadBenchResult seq = run_load_bench(0);
+  const LoadBenchResult seq2 = run_load_bench(0);
+  const LoadBenchResult par = run_load_bench(2);
+  if (seq.report != seq2.report || seq.report != par.report) {
+    std::fprintf(stderr,
+                 "load report divergence across runs/engines (seq repeat "
+                 "%s, jobs2 %s)\n",
+                 seq.report == seq2.report ? "identical" : "DIFFERS",
+                 seq.report == par.report ? "identical" : "DIFFERS");
+    return false;
+  }
+  if (seq2.wall_s < seq.wall_s) seq.wall_s = seq2.wall_s;
+  std::printf(
+      "  \"load\": {\"grid\": \"2x2\", \"cores\": 64, \"bridges\": 2, "
+      "\"requests\": %llu, \"closed_window\": 16, \"seq_wall_s\": %.6f, "
+      "\"par2_wall_s\": %.6f, \"req_per_wall_s\": %.1f, "
+      "\"sim_mips_under_load\": %.3f, \"reports_identical\": true}%s\n",
+      static_cast<unsigned long long>(seq.completed), seq.wall_s, par.wall_s,
+      seq.wall_s > 0 ? static_cast<double>(seq.completed) / seq.wall_s : 0.0,
+      seq.wall_s > 0
+          ? static_cast<double>(seq.retired) / seq.wall_s / 1e6
+          : 0.0,
+      last ? "" : ",");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -281,6 +372,7 @@ int main(int argc, char** argv) {
   int slices_x = 2, slices_y = 2;
   double limit_ms = 2.0;
   bool sim_mips_only = false;
+  bool load_only = false;
   std::vector<int> jobs_list = {2, 4};
 
   for (int i = 1; i < argc; ++i) {
@@ -306,6 +398,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--sim-mips-only") {
         sim_mips_only = true;
+      } else if (arg == "--load-only") {
+        load_only = true;
       } else {
         std::fprintf(stderr, "unknown option %s\n", arg.c_str());
         return 2;
@@ -321,6 +415,13 @@ int main(int argc, char** argv) {
       // CI's perf ratchet re-measures just the interpreter KPI.
       std::printf("{\n");
       const bool ok = print_sim_mips_section(true);
+      std::printf("}\n");
+      return ok ? 0 : 1;
+    }
+    if (load_only) {
+      // CI's perf ratchet re-measures just the load-subsystem KPI.
+      std::printf("{\n");
+      const bool ok = print_load_section(true);
       std::printf("}\n");
       return ok ? 0 : 1;
     }
@@ -434,12 +535,17 @@ int main(int argc, char** argv) {
         ck10.ckpt_write_s / 10.0,
         static_cast<unsigned long long>(ck10.ckpt_bytes));
 
+    // Production-traffic KPI (src/load/): closed-loop farm throughput and
+    // sim-MIPS under load, fixed 2x2 grid so the committed baseline is
+    // comparable run to run.
+    const bool load_ok = print_load_section(false);
+
     // Interpreter hot-path KPI (predecode + batched issue), fixed 5x6 grid
     // regardless of --slices so the committed baseline is comparable run
     // to run.
     const bool mips_ok = print_sim_mips_section(true);
     std::printf("}\n");
-    return mips_ok ? 0 : 1;
+    return load_ok && mips_ok ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,468 @@
+// swallow_load: production traffic generator for the simulated machine
+// (ROADMAP item 3, docs/load.md).
+//
+//   swallow_load [options]
+//
+// Two modes:
+//
+//  * Service workloads (--workload farm|scatter|pipeline): deploys NOS
+//    request/response programs across the grid and injects framed requests
+//    through every Ethernet bridge, closed-loop (--closed N outstanding per
+//    bridge) or open-loop (--open with a seeded --arrivals process).  The
+//    run ends when --requests requests have completed; the SLO report —
+//    p50/p95/p99/p999 latency, throughput, per-request energy by account —
+//    is printed as a single `load_json:` machine line.
+//
+//  * Synthetic switch-level traffic (--workload synthetic): every core
+//    node sources timestamped packets to a --pattern destination at a
+//    seeded --rate for --window simulated microseconds; the report is the
+//    offered vs accepted throughput and packet latency percentiles (one
+//    point of an offered-load curve).
+//
+// Same seed + same machine config => byte-identical `load_json:` for any
+// --jobs value, and (service workloads) across checkpoint/resume.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "board/system.h"
+#include "common/error.h"
+#include "common/strings.h"
+#include "fault/fault.h"
+#include "load/load.h"
+#include "load/synthetic.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "snap/machine.h"
+#include "snap/snapfile.h"
+
+namespace {
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw swallow::Error("cannot write " + path);
+  out << body;
+}
+
+void usage() {
+  std::printf(
+      "usage: swallow_load [options]\n"
+      "\n"
+      "machine:\n"
+      "  --slices WxH    grid of slices                  (default 1x1)\n"
+      "  --jobs N        parallel engine worker threads  (default 0)\n"
+      "  --freq MHZ      core frequency in MHz           (default 500)\n"
+      "  --bridges N     Ethernet bridges along the south edge (default 1)\n"
+      "  --grade-max     architectural link rates 500/125\n"
+      "  --reliable      CRC/retry framing on every link\n"
+      "\n"
+      "workload:\n"
+      "  --workload W    farm | scatter | pipeline | synthetic (default "
+      "farm)\n"
+      "  --requests N    total requests to complete      (default 10000)\n"
+      "  --closed N      closed loop, N outstanding per bridge (default "
+      "32)\n"
+      "  --open          open loop (offered by --arrivals instead)\n"
+      "  --arrivals A    poisson | uniform | burst       (default poisson)\n"
+      "  --rate R        open-loop offered requests/s of simulated time\n"
+      "                  per bridge (default 1e6); synthetic: packets/s\n"
+      "                  per node\n"
+      "  --burst N       arrivals per burst tick         (default 16)\n"
+      "  --work N        instructions burned per request (default 200)\n"
+      "  --fanout K      scatter: workers per frontend   (default 4)\n"
+      "  --stages S      pipeline: stages per pipeline   (default 4)\n"
+      "  --groups N      service groups per bridge (default 0 = all cores)\n"
+      "  --ingress-cap T bridge ingress FIFO bound in tokens (default "
+      "4096;\n"
+      "                  0 = unbounded, disables backpressure)\n"
+      "  --seed N        arrival + target selection rng  (default 1)\n"
+      "\n"
+      "synthetic traffic (--workload synthetic):\n"
+      "  --pattern P     uniform | hotspot | transpose | bitrev\n"
+      "  --window US     injection window, simulated us  (default 200)\n"
+      "  --drain US      settle time after the window    (default 200)\n"
+      "  --payload B     packet payload bytes, >= 8      (default 16)\n"
+      "\n"
+      "faults (src/fault):\n"
+      "  --fault-seed N                FaultPlan rng seed (default 1)\n"
+      "  --fault-corrupt NODE:DIR:RATE corrupt tokens on node's DIR link\n"
+      "  --fault-kill NODE:DIR:AT_US   permanently kill a link at AT_US\n"
+      "\n"
+      "observability (src/obs):\n"
+      "  --metrics FILE  metrics registry JSON (load.* SLO instruments)\n"
+      "  --trace FILE    Chrome/Perfetto trace-event JSON\n"
+      "\n"
+      "checkpoint/resume (src/snap; service workloads only —\n"
+      "synthetic traffic refuses to snapshot by design):\n"
+      "  --checkpoint-every US  write a snapshot every US simulated us\n"
+      "  --checkpoint-dir DIR   checkpoint rotation directory\n"
+      "  --checkpoint-keep N    snapshots kept in rotation (default 3)\n"
+      "  --resume auto|FILE     restore and continue the load run\n"
+      "\n"
+      "run control / reports:\n"
+      "  --time MS       simulated time limit in ms      (default 2000)\n"
+      "  --step US       host chop granularity           (default 50)\n"
+      "  --report FILE   also write the load_json block to FILE\n"
+      "  --no-shutdown   leave the service kernels running at exit\n"
+      "  --help, -h      this message\n");
+}
+
+struct LinkRef {
+  swallow::NodeId node = 0;
+  int direction = 0;
+  std::string rest;
+};
+
+LinkRef parse_link_ref(const std::string& v) {
+  const auto c1 = v.find(':');
+  swallow::require(c1 != std::string::npos, "expected NODE:DIR:VALUE");
+  const auto c2 = v.find(':', c1 + 1);
+  swallow::require(c2 != std::string::npos, "expected NODE:DIR:VALUE");
+  LinkRef ref;
+  ref.node =
+      static_cast<swallow::NodeId>(swallow::parse_int(v.substr(0, c1)));
+  ref.direction =
+      static_cast<int>(swallow::parse_int(v.substr(c1 + 1, c2 - c1 - 1)));
+  swallow::require(ref.direction >= 0 && ref.direction < 4,
+                   "link direction must be 0..3 (N/E/S/W)");
+  ref.rest = v.substr(c2 + 1);
+  return ref;
+}
+
+// Mirror of swallow_run's resume helper, with the load config folded into
+// the expected hash (a snapshot of a load run only restores into the same
+// workload).
+bool resume_snapshot(const std::string& resume, const std::string& dir,
+                     const swallow::SnapTargets& targets) {
+  using namespace swallow;
+  std::vector<std::string> candidates;
+  if (resume == "auto") {
+    if (dir.empty()) throw Error("--resume auto needs --checkpoint-dir");
+    candidates = list_checkpoints(dir);
+    if (candidates.empty()) {
+      std::fprintf(stderr, "resume: no checkpoints in %s\n", dir.c_str());
+      return false;
+    }
+  } else {
+    candidates.push_back(resume);
+  }
+  const std::uint64_t expect = snapshot_config_hash(
+      targets.system->config(),
+      targets.fault != nullptr ? &targets.fault->plan() : nullptr,
+      targets.obs != nullptr ? &targets.obs->config() : nullptr,
+      targets.load != nullptr ? &targets.load->config() : nullptr);
+  for (const std::string& path : candidates) {
+    SnapshotFile f;
+    try {
+      f = SnapshotFile::read_file(path);
+      if (f.config_hash != expect) {
+        throw SnapError(SnapError::Code::kConfigMismatch,
+                        "snapshot was taken under a different machine or "
+                        "load configuration than this command line rebuilds");
+      }
+    } catch (const SnapError& e) {
+      std::fprintf(stderr, "resume: refused %s [%s]: %s\n", path.c_str(),
+                   e.code_name(), e.what());
+      continue;
+    }
+    try {
+      restore_machine(f, targets);
+    } catch (const SnapError& e) {
+      std::fprintf(stderr, "resume: %s failed mid-restore [%s]: %s\n",
+                   path.c_str(), e.code_name(), e.what());
+      return false;
+    }
+    std::fprintf(stderr, "resume: restored %s (t = %.3f ms)\n", path.c_str(),
+                 to_seconds(targets.system->now()) * 1e3);
+    return true;
+  }
+  std::fprintf(stderr, "resume: no restorable checkpoint found\n");
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace swallow;
+
+  SystemConfig cfg;
+  cfg.ethernet_bridges = 1;
+  LoadConfig lcfg;
+  SyntheticConfig scfg;
+  bool synthetic = false;
+  bool rate_given = false;
+  double limit_ms = 2000.0;
+  long long step_us = 50;
+  long long window_us = 200;
+  long long drain_us = 200;
+  bool do_shutdown = true;
+  std::string metrics_path, trace_path, report_path;
+  FaultPlan plan;
+  bool have_faults = false;
+  long long ckpt_every_us = 0;
+  std::string ckpt_dir;
+  int ckpt_keep = 3;
+  std::string resume_from;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) throw Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--slices") {
+        const std::string v = next();
+        const auto x = v.find('x');
+        require(x != std::string::npos, "--slices expects WxH");
+        cfg.slices_x = static_cast<int>(parse_int(v.substr(0, x)));
+        cfg.slices_y = static_cast<int>(parse_int(v.substr(x + 1)));
+      } else if (arg == "--jobs") {
+        cfg.jobs = static_cast<int>(parse_int(next()));
+      } else if (arg == "--freq") {
+        cfg.core_freq = static_cast<MegaHertz>(parse_int(next()));
+      } else if (arg == "--bridges") {
+        cfg.ethernet_bridges = static_cast<int>(parse_int(next()));
+      } else if (arg == "--grade-max") {
+        cfg.link_grade = LinkGrade::kArchitecturalMax;
+      } else if (arg == "--reliable") {
+        cfg.reliable_links = true;
+      } else if (arg == "--workload") {
+        const std::string v = next();
+        if (v == "farm") {
+          lcfg.workload = LoadWorkload::kFarm;
+        } else if (v == "scatter") {
+          lcfg.workload = LoadWorkload::kScatterGather;
+        } else if (v == "pipeline") {
+          lcfg.workload = LoadWorkload::kPipeline;
+        } else if (v == "synthetic") {
+          synthetic = true;
+        } else {
+          throw Error("--workload expects farm|scatter|pipeline|synthetic");
+        }
+      } else if (arg == "--requests") {
+        lcfg.requests = static_cast<std::uint64_t>(parse_int(next()));
+      } else if (arg == "--closed") {
+        lcfg.closed_loop = true;
+        lcfg.concurrency = static_cast<int>(parse_int(next()));
+      } else if (arg == "--open") {
+        lcfg.closed_loop = false;
+      } else if (arg == "--arrivals") {
+        const std::string v = next();
+        if (v == "poisson") {
+          lcfg.arrivals.kind = ArrivalKind::kPoisson;
+        } else if (v == "uniform") {
+          lcfg.arrivals.kind = ArrivalKind::kUniform;
+        } else if (v == "burst") {
+          lcfg.arrivals.kind = ArrivalKind::kBurst;
+        } else {
+          throw Error("--arrivals expects poisson|uniform|burst");
+        }
+      } else if (arg == "--rate") {
+        char* end = nullptr;
+        const std::string v = next();
+        const double r = std::strtod(v.c_str(), &end);
+        require(end != v.c_str() && r > 0.0, "--rate must be positive");
+        lcfg.arrivals.rate_rps = r;
+        scfg.rate_pps = r;
+        rate_given = true;
+      } else if (arg == "--burst") {
+        lcfg.arrivals.burst_size = static_cast<int>(parse_int(next()));
+        require(lcfg.arrivals.burst_size > 0, "--burst must be positive");
+      } else if (arg == "--work") {
+        lcfg.service_work = static_cast<std::uint64_t>(parse_int(next()));
+      } else if (arg == "--fanout") {
+        lcfg.scatter_fanout = static_cast<int>(parse_int(next()));
+        require(lcfg.scatter_fanout >= 1, "--fanout must be >= 1");
+      } else if (arg == "--stages") {
+        lcfg.pipeline_stages = static_cast<int>(parse_int(next()));
+      } else if (arg == "--groups") {
+        lcfg.groups_per_bridge = static_cast<int>(parse_int(next()));
+      } else if (arg == "--ingress-cap") {
+        lcfg.ingress_capacity =
+            static_cast<std::size_t>(parse_int(next()));
+      } else if (arg == "--seed") {
+        lcfg.seed = static_cast<std::uint64_t>(parse_int(next()));
+        scfg.seed = lcfg.seed;
+      } else if (arg == "--pattern") {
+        scfg.pattern = parse_traffic_pattern(next());
+      } else if (arg == "--window") {
+        window_us = parse_int(next());
+        require(window_us > 0, "--window must be positive");
+      } else if (arg == "--drain") {
+        drain_us = parse_int(next());
+        require(drain_us >= 0, "--drain must be >= 0");
+      } else if (arg == "--payload") {
+        scfg.payload_bytes = static_cast<std::size_t>(parse_int(next()));
+      } else if (arg == "--fault-seed") {
+        plan.seed = static_cast<std::uint64_t>(parse_int(next()));
+      } else if (arg == "--fault-corrupt") {
+        const LinkRef ref = parse_link_ref(next());
+        char* end = nullptr;
+        const double rate = std::strtod(ref.rest.c_str(), &end);
+        require(end != ref.rest.c_str() && rate >= 0.0 && rate <= 1.0,
+                "--fault-corrupt rate must be a probability in [0, 1]");
+        plan.corrupt_link(ref.node, ref.direction, rate);
+        have_faults = true;
+      } else if (arg == "--fault-kill") {
+        const LinkRef ref = parse_link_ref(next());
+        plan.kill_link(ref.node, ref.direction,
+                       microseconds(static_cast<double>(parse_int(ref.rest))));
+        have_faults = true;
+      } else if (arg == "--metrics") {
+        metrics_path = next();
+      } else if (arg == "--trace") {
+        trace_path = next();
+      } else if (arg == "--checkpoint-every") {
+        ckpt_every_us = parse_int(next());
+        require(ckpt_every_us > 0, "--checkpoint-every must be positive");
+      } else if (arg == "--checkpoint-dir") {
+        ckpt_dir = next();
+      } else if (arg == "--checkpoint-keep") {
+        ckpt_keep = static_cast<int>(parse_int(next()));
+        require(ckpt_keep >= 1, "--checkpoint-keep must be at least 1");
+      } else if (arg == "--resume") {
+        resume_from = next();
+        require(!resume_from.empty(), "--resume expects auto or a file");
+      } else if (arg == "--time") {
+        limit_ms = static_cast<double>(parse_int(next()));
+      } else if (arg == "--step") {
+        step_us = parse_int(next());
+        require(step_us > 0, "--step must be positive");
+      } else if (arg == "--report") {
+        report_path = next();
+      } else if (arg == "--no-shutdown") {
+        do_shutdown = false;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+        return 0;
+      } else {
+        std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+        return 2;
+      }
+    } catch (const Error& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  try {
+    TraceConfig tcfg;
+    tcfg.tracing = !trace_path.empty();
+    tcfg.metrics = !metrics_path.empty();
+    TraceSession session(tcfg);
+
+    Simulator sim;
+    SwallowSystem sys(sim, cfg);
+    if (session.active()) sys.attach_observability(session);
+
+    if (synthetic) {
+      require(resume_from.empty() && ckpt_every_us == 0,
+              "synthetic traffic cannot checkpoint or resume: its injection "
+              "ticks are deliberately undescribed events (docs/load.md)");
+      if (!rate_given) scfg.rate_pps = 1e6;
+      SyntheticTraffic traffic(sys, scfg);
+      traffic.deploy();
+      sys.start_sampling();
+      traffic.arm(microseconds(static_cast<double>(window_us)));
+      const TimePs until =
+          sys.now() + microseconds(static_cast<double>(window_us + drain_us));
+      while (sys.now() < until) {
+        sys.run_until(sys.now() +
+                      microseconds(static_cast<double>(step_us)));
+      }
+      if (session.active()) sys.finish_observability();
+      const std::string report = traffic.report_json();
+      std::printf("load_json: %s\n", report.c_str());
+      if (!report_path.empty()) write_file(report_path, report + "\n");
+      if (!metrics_path.empty()) {
+        write_file(metrics_path, session.metrics().dump_json());
+      }
+      if (!trace_path.empty()) write_file(trace_path, session.chrome_json());
+      return traffic.delivered() > 0 ? 0 : 1;
+    }
+
+    const bool resuming = !resume_from.empty();
+    std::unique_ptr<FaultInjector> injector;
+    if (have_faults) {
+      injector = std::make_unique<FaultInjector>(sys, plan);
+      if (!resuming) injector->arm();
+    }
+
+    LoadGenerator gen(sys, lcfg);
+    gen.deploy(resuming);
+    if (session.active()) gen.attach_metrics(session.metrics());
+
+    const SnapTargets targets{&sys, session.active() ? &session : nullptr,
+                              injector.get(), &gen};
+    if (resuming) {
+      if (!resume_snapshot(resume_from, ckpt_dir, targets)) return 1;
+    } else {
+      sys.start_sampling();
+      gen.arm();
+    }
+
+    const TimePs limit = milliseconds(limit_ms);
+    const TimePs step = microseconds(static_cast<double>(step_us));
+    const bool checkpointing = ckpt_every_us > 0;
+    if (checkpointing) {
+      require(!ckpt_dir.empty(), "--checkpoint-every needs --checkpoint-dir");
+      std::filesystem::create_directories(ckpt_dir);
+    }
+    const TimePs every =
+        checkpointing ? microseconds(static_cast<double>(ckpt_every_us)) : 0;
+    TimePs t = sys.now();
+    TimePs next_ckpt = checkpointing ? (t / every + 1) * every : 0;
+    while (t < limit && !gen.done()) {
+      TimePs chop = t + step;
+      if (checkpointing && next_ckpt < chop) chop = next_ckpt;
+      t = chop;
+      sys.run_until(t);
+      if (checkpointing && t >= next_ckpt) {
+        save_machine(targets).write_file(checkpoint_path(
+            ckpt_dir, static_cast<std::uint64_t>(t / every)));
+        prune_checkpoints(ckpt_dir, ckpt_keep);
+        next_ckpt += every;
+      }
+    }
+    if (session.active()) sys.finish_observability();
+
+    const std::string report = gen.report_json();
+    std::printf("load_json: %s\n", report.c_str());
+    if (!report_path.empty()) write_file(report_path, report + "\n");
+    if (!metrics_path.empty()) {
+      write_file(metrics_path, session.metrics().dump_json());
+    }
+    if (!trace_path.empty()) write_file(trace_path, session.chrome_json());
+
+    bool failed = false;
+    if (!gen.done()) {
+      std::fprintf(stderr,
+                   "swallow_load: time limit at %.3f ms with %llu of %llu "
+                   "requests completed\n",
+                   to_seconds(sys.now()) * 1e3,
+                   static_cast<unsigned long long>(gen.completed()),
+                   static_cast<unsigned long long>(lcfg.requests));
+      failed = true;
+    }
+    if (gen.mismatches() > 0) {
+      std::fprintf(stderr, "swallow_load: %llu reply mismatches\n",
+                   static_cast<unsigned long long>(gen.mismatches()));
+      failed = true;
+    }
+    if (do_shutdown && gen.done()) {
+      gen.shutdown(step, microseconds(100.0));
+    }
+    return failed ? 1 : 0;
+  } catch (const SnapError& e) {
+    std::fprintf(stderr, "snapshot error [%s]: %s\n", e.code_name(), e.what());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
