@@ -27,7 +27,33 @@ struct ScalePoint {
   double idle_w;
   double wall_s;    // host wall time for the measurement window
   double sim_mips;  // simulated instructions per host second, in millions
+  double sync_exact_wall_s;  // same window, parallel exact sync (8 workers)
+  double sync_b64_wall_s;    // same window, --sync bounded:64 (8 workers)
 };
+
+/// Host wall time of the measurement window on the parallel engine at
+/// per-chip granularity (PR 10): exact conservative sync versus
+/// bounded:64.  Same workload and simulated span as measure(), so the
+/// bounded column shows what relaxed sync buys wall-clock-wise at each
+/// machine size.
+double sync_window_wall_s(int sx, int sy, SyncMode sync, int bound) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = sx;
+  cfg.slices_y = sy;
+  cfg.jobs = 8;
+  cfg.granularity = DomainGranularity::kChip;
+  cfg.sync = sync;
+  cfg.sync_bound = bound;
+  SwallowSystem sys(sim, cfg);
+  bench::load_all_spinning(sys, 4);
+  const TimePs warmup = microseconds(2.0);
+  sys.run_until(warmup);
+  const auto host_start = std::chrono::steady_clock::now();
+  sys.run_until(warmup + microseconds(6.0));
+  const auto host_end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(host_end - host_start).count();
+}
 
 ScalePoint measure(int sx, int sy) {
   ScalePoint p;
@@ -68,6 +94,8 @@ ScalePoint measure(int sx, int sy) {
   p.wall_s = std::chrono::duration<double>(host_end - host_start).count();
   p.sim_mips =
       p.wall_s > 0.0 ? static_cast<double>(total - base) / p.wall_s / 1e6 : 0.0;
+  p.sync_exact_wall_s = sync_window_wall_s(sx, sy, SyncMode::kExact, 0);
+  p.sync_b64_wall_s = sync_window_wall_s(sx, sy, SyncMode::kBounded, 64);
   return p;
 }
 
@@ -82,7 +110,7 @@ int main() {
                                        {3, 3},  {4, 4}, {5, 6}};
   TextTable t("Fully loaded machines (500 MHz, 4 threads/core)");
   t.header({"slices", "cores", "GIPS", "GIPS/core", "input W", "mW/core",
-            "idle W", "wall s", "sim MIPS"});
+            "idle W", "wall s", "sim MIPS", "sync x"});
   std::vector<double> cores_axis, gips_axis, power_axis;
   std::vector<ScalePoint> points;
   for (const auto& [sx, sy] : grids) {
@@ -96,7 +124,10 @@ int main() {
            strprintf("%.2f", p.input_w),
            strprintf("%.0f", p.input_w / p.cores * 1e3),
            strprintf("%.2f", p.idle_w), strprintf("%.3f", p.wall_s),
-           strprintf("%.1f", p.sim_mips)});
+           strprintf("%.1f", p.sim_mips),
+           strprintf("%.2f", p.sync_b64_wall_s > 0.0
+                                 ? p.sync_exact_wall_s / p.sync_b64_wall_s
+                                 : 0.0)});
   }
   std::printf("%s\n", t.render().c_str());
 
@@ -107,9 +138,14 @@ int main() {
     const ScalePoint& p = points[i];
     std::printf("%s\n  {\"slices\": %d, \"cores\": %d, \"gips\": %.4f, "
                 "\"sim_mips\": %.3f, \"wall_s\": %.6f, \"input_w\": %.4f, "
-                "\"idle_w\": %.4f}",
+                "\"idle_w\": %.4f, \"sync_exact_wall_s\": %.6f, "
+                "\"sync_b64_wall_s\": %.6f, \"sync_speedup\": %.3f}",
                 i == 0 ? "" : ",", p.slices, p.cores, p.gips, p.sim_mips,
-                p.wall_s, p.input_w, p.idle_w);
+                p.wall_s, p.input_w, p.idle_w, p.sync_exact_wall_s,
+                p.sync_b64_wall_s,
+                p.sync_b64_wall_s > 0.0
+                    ? p.sync_exact_wall_s / p.sync_b64_wall_s
+                    : 0.0);
   }
   std::printf("\n]\n\n");
 

@@ -276,14 +276,19 @@ void Core::do_issue() {
   for (int issued = 0;;) {
     // Tight-loop fast path for straight-line whitelisted instructions
     // (kPredecodeFast) when nothing per-instruction can observe the
-    // machine: single ready thread, no instruction trace sink, average
-    // (class-weight) energy model.  Falls through with `issued`
-    // unchanged whenever any precondition fails.
+    // machine: no instruction trace sink, average (class-weight) energy
+    // model.  A single ready thread takes the leanest loop; several ready
+    // threads take the interleaving variant, which replicates the
+    // round-robin pick per issue.  Falls through with `issued` unchanged
+    // whenever any precondition fails.
     if (issued < max_batch && trace_sink_ == nullptr &&
-        !cfg_.detailed_energy.enabled && std::has_single_bit(ready_mask_)) {
+        !cfg_.detailed_energy.enabled && ready_mask_ != 0) {
       const int before = issued;
-      issued = issue_fast_run(static_cast<int>(std::countr_zero(ready_mask_)),
-                              now, issued, max_batch);
+      issued = std::has_single_bit(ready_mask_)
+                   ? issue_fast_run(
+                         static_cast<int>(std::countr_zero(ready_mask_)), now,
+                         issued, max_batch)
+                   : issue_fast_run_multi(now, issued, max_batch);
       if (issued != before) {
         if (issued >= max_batch) break;
         const TimePs next = next_issue_time();
@@ -383,6 +388,91 @@ int Core::issue_fast_run(int tid, TimePs& now, int issued, int max_batch) {
     t.ready_at = issued_at + gap;
     core_free_at_ = issued_at + busy;
   }
+  if (now != entry) sim_.advance_in_dispatch(now);
+  return issued;
+}
+
+int Core::issue_fast_run_multi(TimePs& now, int issued, int max_batch) {
+  // Multi-thread variant of issue_fast_run.  The single-thread loop can
+  // defer all timing to its epilogue because one thread's ready_at never
+  // feeds back into thread selection; with several ready threads the
+  // round-robin pick depends on every intermediate ready_at, so the pick,
+  // the timing commit and the next-issue-time computation are replicated
+  // per instruction, bit-identically to stepped issue.
+  if (core_free_at_ > now) return issued;
+  if (clock_.align_up(now) != now) return issued;
+  if (predecode_ == nullptr) return issued;  // general path allocates it
+  const TimePs gap = clock_.span(kIssueGapCycles);
+  const TimePs busy = clock_.span(1);
+  const TimePs horizon = sim_.horizon();
+  // Whitelisted instructions never schedule and never block or wake a
+  // thread, so both the queue head and ready_mask_ are fixed for the whole
+  // run.
+  const TimePs queue_next = sim_.next_event_time();
+  const std::uint32_t words = static_cast<std::uint32_t>(sram_.size() / 4);
+  const Joules instr_energy =
+      cfg_.power_model.instruction_energy(clock_.frequency(), voltage_);
+  const TimePs entry = now;
+  while (true) {
+    // What pick_thread would do at `now`, with rr_next_ committed only
+    // once the selected instruction is known to be on the fast path — a
+    // break before issuing must leave the rotation for the general path.
+    int tid = -1;
+    for (int i = 0; i < kMaxHardwareThreads; ++i) {
+      int cand = rr_next_ + i;
+      if (cand >= kMaxHardwareThreads) cand -= kMaxHardwareThreads;
+      if (((ready_mask_ >> cand) & 1u) != 0 &&
+          threads_[static_cast<std::size_t>(cand)].ready_at <= now) {
+        tid = cand;
+        break;
+      }
+    }
+    if (tid < 0) break;
+    ThreadCtx& t = threads_[static_cast<std::size_t>(tid)];
+    if (t.pc >= words) break;
+    if ((predecode_valid_[t.pc >> 6] & (std::uint64_t{1} << (t.pc & 63))) ==
+        0) {
+      break;  // cold word: the general path fills the cache
+    }
+    const Predecoded& pd = predecode_[t.pc];
+    if ((pd.flags & kPredecodeFast) == 0) break;
+    rr_next_ = tid + 1 == kMaxHardwareThreads ? 0 : tid + 1;
+    const std::uint32_t pc = t.pc;  // fetch address: kNext/branches move pc
+    const Exec result = execute(tid, pd.ins);
+    if (result == Exec::kNext) t.pc += 1;
+    ++t.retired;
+    ++retired_total_;
+    ++retired_by_class_[static_cast<std::size_t>(pd.cls)];
+    const InstrClass cls = static_cast<InstrClass>(pd.cls);
+    const double w = instr_weight(cls);
+    if (attr_ != nullptr) {
+      attr_->note_instr(cfg_.node_id, tid, pc);
+      if (w != 1.0) {
+        attr_->cursor_instr(cfg_.node_id, tid, pc);
+        instr_trace_.add_pulse((w - 1.0) * instr_energy);
+        attr_->cursor_clear();
+      }
+    } else if (w != 1.0) {
+      instr_trace_.add_pulse((w - 1.0) * instr_energy);
+    }
+    prev_class_ = cls;
+    t.ready_at = now + gap;
+    core_free_at_ = now + busy;
+    ++issued;
+    if (issued >= max_batch) break;
+    // next_issue_time over the (fixed) ready set, on the local clock.
+    TimePs earliest = kTimeNever;
+    for (std::uint32_t m = ready_mask_; m != 0; m &= m - 1) {
+      const auto rt = static_cast<std::size_t>(std::countr_zero(m));
+      earliest = std::min(earliest, threads_[rt].ready_at);
+    }
+    const TimePs next =
+        clock_.align_up(std::max({earliest, core_free_at_, now}));
+    if (next > horizon || next >= queue_next) break;
+    now = next;
+  }
+  // As in issue_fast_run: no whitelisted instruction reads Simulator::now()
+  // and none schedules, so one advance covers the whole run.
   if (now != entry) sim_.advance_in_dispatch(now);
   return issued;
 }

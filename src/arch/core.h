@@ -330,6 +330,9 @@ class Core {
   /// Batched tight loop over kPredecodeFast instructions (see do_issue).
   /// Returns the updated issued count; `now` tracks the last issue time.
   int issue_fast_run(int tid, TimePs& now, int issued, int max_batch);
+  /// Same tight loop for cores with several ready threads: round-robin
+  /// interleave replicated per issue, timing committed per instruction.
+  int issue_fast_run_multi(TimePs& now, int issued, int max_batch);
   /// Aligned time of the next possible issue, kTimeNever when no thread is
   /// ready.
   TimePs next_issue_time() const;

@@ -26,22 +26,29 @@ Slice::Slice(Simulator& sim, EnergyLedger& ledger, Network& net,
     for (Layer layer : {Layer::kVertical, Layer::kHorizontal}) {
       NodeSlot& slot = node(chip, layer);
       const NodeId id = lattice_node_id(gx, gy, layer);
+      // The node's event domain and ledger partition: the slice-wide
+      // defaults, or a finer binding supplied by the system
+      // (SystemConfig::granularity).
+      NodeBinding b{&sim, &ledger};
+      if (cfg_.node_binding) b = cfg_.node_binding(chip, layer);
+      Simulator& nsim = *b.sim;
+      EnergyLedger& nledger = *b.ledger;
       Core::Config core_cfg;
       core_cfg.node_id = id;
       core_cfg.frequency_mhz = cfg_.core_freq;
       core_cfg.power_model = cfg_.power_model;
       core_cfg.auto_dvfs = cfg_.auto_dvfs;
       core_cfg.max_batch = cfg_.core_batch;
-      slot.core = std::make_unique<Core>(sim, ledger, core_cfg);
-      // Place the switch in this slice's event domain and ledger (identical
+      slot.core = std::make_unique<Core>(nsim, nledger, core_cfg);
+      // Place the switch in the node's event domain and ledger (identical
       // to the network defaults in sequential mode).
-      slot.sw = &net.add_switch(id, router_for(id), 500.0, &sim, &ledger);
+      slot.sw = &net.add_switch(id, router_for(id), 500.0, &nsim, &nledger);
       slot.sw->attach_core(*slot.core);
       slot.rom = std::make_unique<BootRom>(*slot.core);
       slot.sw->attach_endpoint(BootRom::kBootChanend, slot.rom.get());
-      slot.ni_static =
-          std::make_unique<PowerTrace>(ledger, EnergyAccount::kNetworkInterface);
-      slot.ni_static->set_level(sim.now(), milliwatts(kNiStaticMwPerNode));
+      slot.ni_static = std::make_unique<PowerTrace>(
+          nledger, EnergyAccount::kNetworkInterface);
+      slot.ni_static->set_level(nsim.now(), milliwatts(kNiStaticMwPerNode));
     }
     // Four on-chip links join the chip's two nodes (§V.A, Fig. 6).
     net.connect(*node(chip, Layer::kVertical).sw, kDirInternal,

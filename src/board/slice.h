@@ -37,6 +37,16 @@ class Slice {
   static constexpr int kChips = kChipCols * kChipRows;
   static constexpr int kCores = kChips * 2;
 
+  /// Event domain and energy-ledger partition one node is built in.  The
+  /// system supplies a binding per node at finer-than-slice granularity
+  /// (SystemConfig::granularity); slice-wide infrastructure — the ADC
+  /// sampler, board-support trace and I/O-rail wiring — always stays on
+  /// the Slice constructor's own sim/ledger (the "hub").
+  struct NodeBinding {
+    Simulator* sim = nullptr;
+    EnergyLedger* ledger = nullptr;
+  };
+
   struct Config {
     int slice_x = 0;  // position in the system grid of slices
     int slice_y = 0;
@@ -46,6 +56,9 @@ class Slice {
     std::uint64_t sampler_seed = 1;
     /// Per-core issue batch bound (Core::Config::max_batch); 1 = stepped.
     int core_batch = Core::Config{}.max_batch;
+    /// Per-node domain/ledger override; null places every node on the
+    /// constructor's sim and ledger (the historical slice-wide layout).
+    std::function<NodeBinding(int local_chip, Layer layer)> node_binding;
   };
 
   /// `router_for` supplies the routing strategy per node — a shared

@@ -21,23 +21,45 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
           "SwallowSystem: at most two bridges per slice column (§V.E)");
 
   const int slice_count = cfg_.slices_x * cfg_.slices_y;
+  const int partition_count = cfg_.partition_count();
   require(cfg_.jobs >= 0, "SystemConfig::jobs must be >= 0");
-  require(cfg_.jobs <= slice_count,
+  require(cfg_.jobs <= partition_count,
           strprintf("SystemConfig::jobs = %d exceeds the %d available "
-                    "slice(s): the parallel engine shards one event domain "
-                    "per slice, so extra workers would own nothing — use "
-                    "jobs <= %d or a larger grid",
-                    cfg_.jobs, slice_count, slice_count));
+                    "event-domain partition(s): the parallel engine shards "
+                    "one domain per partition, so extra workers would own "
+                    "nothing — use jobs <= %d, a finer granularity, or a "
+                    "larger grid",
+                    cfg_.jobs, partition_count, partition_count));
+  require(cfg_.sync_bound >= 0, "SystemConfig::sync_bound must be >= 0");
+  require(cfg_.sync == SyncMode::kBounded || cfg_.sync_bound == 0,
+          "SystemConfig::sync_bound is only meaningful with SyncMode::kBounded");
+  require(cfg_.sync == SyncMode::kExact || cfg_.jobs > 0,
+          "SystemConfig::sync = kBounded relaxes the parallel engine's "
+          "barriers and requires jobs > 0 (the sequential engine is always "
+          "exact)");
   if (cfg_.jobs > 0) {
-    for (int i = 0; i < slice_count; ++i) {
+    for (int i = 0; i < partition_count; ++i) {
       domains_.push_back(std::make_unique<Domain>(i));
     }
+    // At finer-than-slice granularity each slice keeps a hub domain for
+    // its slice-wide agents (ADC sampler, loss integration, telemetry);
+    // the engine advances hubs only at serial fences.
+    if (cfg_.granularity != DomainGranularity::kSlice) {
+      for (int s = 0; s < slice_count; ++s) {
+        hub_domains_.push_back(std::make_unique<Domain>(partition_count + s));
+      }
+    }
   }
-  // Both engines partition energy identically (per slice, per bridge, plus
-  // the system ledger) so that merged totals are bit-identical; see
-  // ledger().
+  // Both engines partition energy identically (per partition, per slice
+  // hub, per bridge, plus the system ledger) so that merged totals are
+  // bit-identical across jobs values at a fixed granularity; see ledger().
   for (int i = 0; i < slice_count; ++i) {
     slice_ledgers_.push_back(std::make_unique<EnergyLedger>());
+  }
+  if (cfg_.granularity != DomainGranularity::kSlice) {
+    for (int i = 0; i < partition_count; ++i) {
+      part_ledgers_.push_back(std::make_unique<EnergyLedger>());
+    }
   }
   obs_power_prev_core_.assign(static_cast<std::size_t>(cfg_.core_count()), 0.0);
   obs_power_prev_slice_.assign(static_cast<std::size_t>(slice_count), 0.0);
@@ -82,6 +104,24 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
           static_cast<std::uint64_t>(sx);
       scfg.core_batch = cfg_.core_batch;
       const auto idx = slices_.size();
+      if (cfg_.granularity != DomainGranularity::kSlice) {
+        // Bind each node's core/switch/NI to its own partition domain and
+        // ledger; the Slice constructor's sim/ledger (the hub) keeps the
+        // slice-wide agents.
+        const std::size_t pps =
+            static_cast<std::size_t>(cfg_.parts_per_slice());
+        scfg.node_binding = [this, idx, pps](int local_chip, Layer layer)
+            -> Slice::NodeBinding {
+          const std::size_t local =
+              cfg_.granularity == DomainGranularity::kChip
+                  ? static_cast<std::size_t>(local_chip)
+                  : static_cast<std::size_t>(local_chip * 2 +
+                                             static_cast<int>(layer));
+          const std::size_t pidx = idx * pps + local;
+          return Slice::NodeBinding{&part_sim(pidx),
+                                    part_ledgers_[pidx].get()};
+        };
+      }
       slices_.push_back(std::make_unique<Slice>(
           slice_sim(idx), *slice_ledgers_[idx], *net_, router_for, scfg));
       // Event descriptors identify each slice's ADC by flat row-major index.
@@ -119,12 +159,11 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
     const int col = chip_col % Slice::kChipCols;
     const NodeId bridge_node =
         lattice_node_id(chip_col, kBridgeRow, Layer::kVertical);
-    // A bridge shares the event domain of the slice it cables to (so the
-    // cable is domain-internal) but keeps its own ledger partition.
-    Simulator& bridge_sim =
-        slice_sim(static_cast<std::size_t>((cfg_.slices_y - 1) *
-                                               cfg_.slices_x +
-                                           sx));
+    // A bridge shares the event domain of the edge switch it cables to (so
+    // the cable is domain-internal) but keeps its own ledger partition.
+    const NodeId proxy =
+        lattice_node_id(chip_col, cfg_.chip_rows() - 1, Layer::kVertical);
+    Simulator& bridge_sim = part_sim(partition_of(proxy));
     bridge_ledgers_.push_back(std::make_unique<EnergyLedger>());
     auto bridge = std::make_unique<EthernetBridge>(
         bridge_sim, *bridge_ledgers_.back(), *net_, bridge_node);
@@ -136,21 +175,40 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
 
   if (cfg_.reliable_links) net_->set_links_reliable(true);
 
-  // ---- Parallel engine: one worker pool over the slice domains, with
-  // lookahead equal to the fastest possible domain crossing — the FFC
-  // cable's wire latency (credits return after exactly that; token
+  // ---- Parallel engine: one worker pool over the partition domains, with
+  // lookahead equal to the fastest possible domain crossing at the
+  // configured granularity — per-slice sharding only crosses FFC cables;
+  // per-chip sharding adds board traces; per-core sharding adds the
+  // in-package links (credits return after exactly the wire latency; token
   // deliveries additionally pay hop + serialization time).
   if (cfg_.jobs > 0) {
-    const TimePs lookahead =
+    TimePs lookahead =
         link_wire_latency(LinkClass::kOffBoardCable, cfg_.cable_length_cm);
+    if (cfg_.granularity != DomainGranularity::kSlice) {
+      lookahead = std::min(
+          lookahead, std::min(link_wire_latency(LinkClass::kBoardVertical),
+                              link_wire_latency(LinkClass::kBoardHorizontal)));
+    }
+    if (cfg_.granularity == DomainGranularity::kCore) {
+      lookahead = std::min(lookahead, link_wire_latency(LinkClass::kOnChip));
+    }
     require(lookahead >= 1,
             "SwallowSystem: cable_length_cm too short to give the parallel "
             "engine a lookahead window");
-    std::vector<Domain*> doms;
-    doms.reserve(domains_.size());
-    for (auto& d : domains_) doms.push_back(d.get());
-    engine_ = std::make_unique<ParallelEngine>(std::move(doms), cfg_.jobs,
-                                               lookahead);
+    ParallelEngine::SyncConfig sync;
+    sync.bounded = cfg_.sync == SyncMode::kBounded;
+    sync.bound_cycles = cfg_.sync_bound;
+    // One simulated core cycle in picoseconds (bounded mode's skew unit).
+    sync.cycle_ps = std::max<TimePs>(
+        1, static_cast<TimePs>(1e6 / cfg_.core_freq + 0.5));
+    std::vector<Domain*> parts;
+    parts.reserve(domains_.size());
+    for (auto& d : domains_) parts.push_back(d.get());
+    std::vector<Domain*> hubs;
+    hubs.reserve(hub_domains_.size());
+    for (auto& h : hub_domains_) hubs.push_back(h.get());
+    engine_ = std::make_unique<ParallelEngine>(
+        std::move(parts), std::move(hubs), cfg_.jobs, lookahead, sync);
     // Route every link that joins two domains through a crossing mailbox.
     std::unordered_map<const Simulator*, Domain*> dom_of;
     for (auto& d : domains_) dom_of[&d->sim()] = d.get();
@@ -170,7 +228,63 @@ SwallowSystem::SwallowSystem(Simulator& sim, SystemConfig cfg)
 SwallowSystem::~SwallowSystem() = default;
 
 Simulator& SwallowSystem::slice_sim(std::size_t idx) {
+  // The domain slice-wide agents (sampler, loss integration, telemetry)
+  // schedule in: the hub at finer-than-slice granularity, the slice's own
+  // partition at kSlice, the host Simulator when sequential.
+  if (!hub_domains_.empty()) return hub_domains_[idx]->sim();
   return domains_.empty() ? sim_ : domains_[idx]->sim();
+}
+
+Simulator& SwallowSystem::part_sim(std::size_t pidx) {
+  return domains_.empty() ? sim_ : domains_[pidx]->sim();
+}
+
+std::size_t SwallowSystem::partition_of(NodeId node) const {
+  const int x = node_chip_x(node);
+  const int y = node_chip_y(node);
+  const std::size_t slice_idx = static_cast<std::size_t>(
+      (y / Slice::kChipRows) * cfg_.slices_x + x / Slice::kChipCols);
+  const int local_chip =
+      (y % Slice::kChipRows) * Slice::kChipCols + x % Slice::kChipCols;
+  switch (cfg_.granularity) {
+    case DomainGranularity::kSlice:
+      return slice_idx;
+    case DomainGranularity::kChip:
+      return slice_idx * Slice::kChips + static_cast<std::size_t>(local_chip);
+    case DomainGranularity::kCore:
+      return slice_idx * Slice::kCores +
+             static_cast<std::size_t>(local_chip * 2 +
+                                      static_cast<int>(node_layer(node)));
+  }
+  return slice_idx;
+}
+
+EnergyLedger& SwallowSystem::node_ledger(std::size_t slice_idx, int local_chip,
+                                         Layer layer) {
+  switch (cfg_.granularity) {
+    case DomainGranularity::kSlice:
+      return *slice_ledgers_[slice_idx];
+    case DomainGranularity::kChip:
+      return *part_ledgers_[slice_idx * Slice::kChips +
+                            static_cast<std::size_t>(local_chip)];
+    case DomainGranularity::kCore:
+      return *part_ledgers_[slice_idx * Slice::kCores +
+                            static_cast<std::size_t>(
+                                local_chip * 2 + static_cast<int>(layer))];
+  }
+  return *slice_ledgers_[slice_idx];
+}
+
+Joules SwallowSystem::slice_energy_total(std::size_t idx) const {
+  Joules e = 0;
+  if (!part_ledgers_.empty()) {
+    const std::size_t pps = static_cast<std::size_t>(cfg_.parts_per_slice());
+    for (std::size_t p = idx * pps; p < (idx + 1) * pps; ++p) {
+      e += part_ledgers_[p]->grand_total();
+    }
+  }
+  e += slice_ledgers_[idx]->grand_total();
+  return e;
 }
 
 Simulator& SwallowSystem::sim_for_slice(int sx, int sy) {
@@ -181,13 +295,13 @@ Simulator& SwallowSystem::sim_for_slice(int sx, int sy) {
 
 Simulator& SwallowSystem::sim_for_node(NodeId node) {
   if (domains_.empty()) return sim_;
-  const int x = node_chip_x(node);
   if (node_chip_y(node) == kBridgeRow) {
-    // Bridges live in the domain of the slice they cable to.
-    return sim_for_slice(x / Slice::kChipCols, cfg_.slices_y - 1);
+    // Bridges live in the domain of the edge switch they cable to.
+    const NodeId proxy = lattice_node_id(
+        node_chip_x(node), cfg_.chip_rows() - 1, Layer::kVertical);
+    return part_sim(partition_of(proxy));
   }
-  return sim_for_slice(x / Slice::kChipCols,
-                       node_chip_y(node) / Slice::kChipRows);
+  return part_sim(partition_of(node));
 }
 
 EnergyLedger& SwallowSystem::slice_ledger(int sx, int sy) {
@@ -198,10 +312,21 @@ EnergyLedger& SwallowSystem::slice_ledger(int sx, int sy) {
 
 EnergyLedger& SwallowSystem::ledger() {
   merged_.reset();
+  const std::size_t pps = static_cast<std::size_t>(cfg_.parts_per_slice());
   for (std::size_t a = 0; a < static_cast<std::size_t>(EnergyAccount::kCount);
        ++a) {
     const auto account = static_cast<EnergyAccount>(a);
-    for (const auto& l : slice_ledgers_) merged_.add(account, l->total(account));
+    // Per slice: its partition ledgers first (slice-major order), then the
+    // slice hub ledger — the same order the attribution shards are created
+    // in, so attributed totals reproduce this summation bit for bit.
+    for (std::size_t s = 0; s < slice_ledgers_.size(); ++s) {
+      if (!part_ledgers_.empty()) {
+        for (std::size_t p = s * pps; p < (s + 1) * pps; ++p) {
+          merged_.add(account, part_ledgers_[p]->total(account));
+        }
+      }
+      merged_.add(account, slice_ledgers_[s]->total(account));
+    }
     for (const auto& l : bridge_ledgers_) {
       merged_.add(account, l->total(account));
     }
@@ -213,6 +338,7 @@ EnergyLedger& SwallowSystem::ledger() {
   // an account was dropped or double-counted in the merge.
   Joules parts = system_ledger_.grand_total();
   for (const auto& l : slice_ledgers_) parts += l->grand_total();
+  for (const auto& l : part_ledgers_) parts += l->grand_total();
   for (const auto& l : bridge_ledgers_) parts += l->grand_total();
   const Joules merged_total = merged_.grand_total();
   SWALLOW_CHECK_PROBE(
@@ -277,9 +403,11 @@ std::uint64_t SwallowSystem::run_until_impl(TimePs deadline) {
   if (engine_ == nullptr) return sim_.run_until(deadline);
   std::uint64_t before = 0;
   for (const auto& d : domains_) before += d->sim().events_dispatched();
+  for (const auto& h : hub_domains_) before += h->sim().events_dispatched();
   engine_->run_until(deadline);
   std::uint64_t after = 0;
   for (const auto& d : domains_) after += d->sim().events_dispatched();
+  for (const auto& h : hub_domains_) after += h->sim().events_dispatched();
   // Host-side events (anything scheduled on the caller's Simulator) fire
   // between engine runs, at the deadline.
   after += sim_.run_until(deadline);
@@ -343,14 +471,30 @@ void SwallowSystem::attach_observability(TraceSession& session) {
     EnergyAttribution& attr = session.energy_attribution();
     require(!attr.attached(),
             "SwallowSystem: energy attribution already attached");
+    const std::size_t pps = static_cast<std::size_t>(cfg_.parts_per_slice());
     for (std::size_t i = 0; i < slices_.size(); ++i) {
-      AttrShard& shard =
+      // Shard creation order must match ledger()'s merge order: the
+      // slice's partition shards (if any), then the slice hub shard.
+      std::vector<AttrShard*> pshards;
+      if (!part_ledgers_.empty()) {
+        for (std::size_t p = 0; p < pps; ++p) {
+          pshards.push_back(&attr.make_shard(
+              strprintf("slice%zu.p%zu", i, p), *part_ledgers_[i * pps + p]));
+        }
+      }
+      AttrShard& hub_shard =
           attr.make_shard(strprintf("slice%zu", i), *slice_ledgers_[i]);
       for (int c = 0; c < Slice::kCores; ++c) {
-        slices_[i]->core_at(c).set_energy_attr(&shard);
+        AttrShard* shard = &hub_shard;
+        if (cfg_.granularity == DomainGranularity::kChip) {
+          shard = pshards[static_cast<std::size_t>(c / 2)];
+        } else if (cfg_.granularity == DomainGranularity::kCore) {
+          shard = pshards[static_cast<std::size_t>(c)];
+        }
+        slices_[i]->core_at(c).set_energy_attr(shard);
         slices_[i]
             ->switch_of(c / 2, static_cast<Layer>(c % 2))
-            .set_energy_attr(&shard);
+            .set_energy_attr(shard);
       }
     }
     for (std::size_t b = 0; b < bridges_.size(); ++b) {
@@ -414,10 +558,10 @@ void SwallowSystem::obs_power_sample(TimePs t) {
       }
     }
   }
-  // Per-slice average power (the whole partition ledger: cores, links,
+  // Per-slice average power (the whole slice's ledgers: cores, links,
   // NI, DC-DC losses) on the system track.
   for (std::size_t s = 0; s < slices_.size(); ++s) {
-    const Joules e = slice_ledgers_[s]->grand_total();
+    const Joules e = slice_energy_total(s);
     const double watts = (e - obs_power_prev_slice_[s]) / dt_s;
     obs_power_prev_slice_[s] = e;
     if (obs_system_ != nullptr) {
@@ -474,6 +618,21 @@ void SwallowSystem::finish_observability() {
       reg.gauge(strprintf("fault.%s", FaultCounters::field_name(f)),
                 kSystemTrackNode)
           ->set(static_cast<double>(fields[static_cast<std::size_t>(f)]));
+    }
+    // sync_drift family: only emitted when the engine may actually drift
+    // (bounded mode with a nonzero budget), so exact-mode metrics stay
+    // byte-identical to the sequential engine's.
+    if (engine_ != nullptr && engine_->relaxed()) {
+      const CrossingRelax& relax = engine_->relax();
+      const ParallelEngine::Stats& stats = engine_->stats();
+      reg.gauge("sync.max_skew_ps", kSystemTrackNode)
+          ->set(static_cast<double>(relax.max_skew_ps));
+      reg.gauge("sync.stragglers", kSystemTrackNode)
+          ->set(static_cast<double>(relax.stragglers));
+      reg.gauge("sync.quanta", kSystemTrackNode)
+          ->set(static_cast<double>(stats.quanta));
+      reg.gauge("sync.merges", kSystemTrackNode)
+          ->set(static_cast<double>(stats.merges));
     }
   }
   if (obs_->profiling()) {
@@ -665,6 +824,7 @@ void SwallowSystem::integrate_slice_losses(std::size_t idx) {
 void SwallowSystem::save_state(StateWriter& w) const {
   system_ledger_.save_state(w);
   for (const auto& l : slice_ledgers_) l->save_state(w);
+  for (const auto& l : part_ledgers_) l->save_state(w);
   for (const auto& l : bridge_ledgers_) l->save_state(w);
   for (const auto& s : slices_) s->save_state(w);
   for (const auto& b : bridges_) {
@@ -681,6 +841,7 @@ void SwallowSystem::save_state(StateWriter& w) const {
 void SwallowSystem::load_state(StateReader& r) {
   system_ledger_.load_state(r);
   for (const auto& l : slice_ledgers_) l->load_state(r);
+  for (const auto& l : part_ledgers_) l->load_state(r);
   for (const auto& l : bridge_ledgers_) l->load_state(r);
   for (const auto& s : slices_) s->load_state(r);
   for (const auto& b : bridges_) {

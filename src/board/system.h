@@ -22,6 +22,21 @@
 
 namespace swallow {
 
+/// Parallel-engine synchronization model (docs/architecture.md §sync-modes).
+enum class SyncMode {
+  kExact,    // conservative lookahead sync; bit-identical to sequential
+  kBounded,  // relaxed: domains may run up to N cycles ahead (drift bounded)
+};
+
+/// Event-domain decomposition for the parallel engine, and the matching
+/// energy-ledger partitioning (applied under both engines so totals are
+/// bit-identical across jobs values at a fixed granularity).
+enum class DomainGranularity {
+  kSlice,  // one domain per slice (the default; today's layout)
+  kChip,   // one domain per chip (8 per slice) + a per-slice hub domain
+  kCore,   // one domain per node (16 per slice) + a per-slice hub domain
+};
+
 struct SystemConfig {
   int slices_x = 1;
   int slices_y = 1;
@@ -56,10 +71,32 @@ struct SystemConfig {
   /// one-event-per-instruction stepping (the perf baseline, and the
   /// differential checker's cross-check engine).
   int core_batch = Core::Config{}.max_batch;
+  /// Synchronization model for the parallel engine (ignored when jobs = 0;
+  /// kBounded additionally requires jobs > 0).  kBounded with sync_bound 0
+  /// is bit-identical to kExact — the relaxation only begins at 1 cycle.
+  SyncMode sync = SyncMode::kExact;
+  /// Bounded mode's skew budget N, in simulated core cycles: domains may
+  /// transiently run up to lookahead + N cycles ahead of the slowest peer.
+  int sync_bound = 0;
+  /// Event-domain refinement.  kSlice reproduces today's machine exactly;
+  /// kChip/kCore shard each slice into 8/16 partitions (plus one hub
+  /// domain per slice for the ADC sampler, loss integration and other
+  /// slice-wide agents) and partition the energy ledgers to match.
+  DomainGranularity granularity = DomainGranularity::kSlice;
 
   int chip_cols() const { return slices_x * Slice::kChipCols; }
   int chip_rows() const { return slices_y * Slice::kChipRows; }
   int core_count() const { return slices_x * slices_y * Slice::kCores; }
+  /// Event-domain partitions per slice at the configured granularity.
+  int parts_per_slice() const {
+    switch (granularity) {
+      case DomainGranularity::kSlice: return 1;
+      case DomainGranularity::kChip: return Slice::kChips;
+      case DomainGranularity::kCore: return Slice::kCores;
+    }
+    return 1;
+  }
+  int partition_count() const { return slices_x * slices_y * parts_per_slice(); }
 };
 
 /// Machine-readable health snapshot of the whole machine (the watchdog and
@@ -233,17 +270,32 @@ class SwallowSystem {
   /// keys.
   void restore_event(const LiveEvent& ev);
   /// Number of event domains to snapshot: the host Simulator plus (under
-  /// the parallel engine) one per slice.  domain_sim(0) is always the host
-  /// Simulator; domain_sim(1 + i) is slice i's domain, row-major.
+  /// the parallel engine) one per partition, then one hub per slice at
+  /// finer-than-slice granularity.  domain_sim(0) is always the host
+  /// Simulator; domain_sim(1 + i) walks partitions slice-major, then hubs
+  /// row-major.
   int domain_count() const {
-    return 1 + (engine_ != nullptr ? static_cast<int>(slices_.size()) : 0);
+    return 1 + static_cast<int>(domains_.size() + hub_domains_.size());
   }
   Simulator& domain_sim(int i) {
-    return i == 0 ? sim_ : slice_sim(static_cast<std::size_t>(i - 1));
+    if (i == 0) return sim_;
+    const std::size_t k = static_cast<std::size_t>(i - 1);
+    if (k < domains_.size()) return domains_[k]->sim();
+    return hub_domains_[k - domains_.size()]->sim();
   }
 
  private:
   Simulator& slice_sim(std::size_t idx);
+  /// The Simulator of global partition `pidx` (host sim when sequential).
+  Simulator& part_sim(std::size_t pidx);
+  /// Global partition index of a (non-bridge) lattice node.
+  std::size_t partition_of(NodeId node) const;
+  /// Ledger a node's components charge: the partition ledger at kChip /
+  /// kCore granularity, the slice ledger at kSlice.
+  EnergyLedger& node_ledger(std::size_t slice_idx, int local_chip,
+                            Layer layer);
+  /// Whole-slice energy: the slice (hub) ledger plus its partition ledgers.
+  Joules slice_energy_total(std::size_t idx) const;
   void integrate_slice_losses(std::size_t idx);
   std::uint64_t run_until_impl(TimePs deadline);
   void obs_sample(TimePs t);
@@ -254,8 +306,12 @@ class SwallowSystem {
   EnergyLedger system_ledger_;
   EnergyLedger merged_;  // ledger() scratch; rebuilt on every call
   std::vector<std::unique_ptr<EnergyLedger>> slice_ledgers_;   // row-major
+  // Partition ledgers at finer-than-slice granularity (slice-major, one
+  // per chip/node); empty at kSlice where slice_ledgers_ is the partition.
+  std::vector<std::unique_ptr<EnergyLedger>> part_ledgers_;
   std::vector<std::unique_ptr<EnergyLedger>> bridge_ledgers_;
-  std::vector<std::unique_ptr<Domain>> domains_;  // parallel engine only
+  std::vector<std::unique_ptr<Domain>> domains_;  // partitions; jobs > 0 only
+  std::vector<std::unique_ptr<Domain>> hub_domains_;  // per-slice agents
   std::unique_ptr<Network> net_;
   std::vector<std::unique_ptr<Slice>> slices_;  // row-major [sy][sx]
   std::vector<std::unique_ptr<EthernetBridge>> bridges_;

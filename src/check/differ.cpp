@@ -13,9 +13,13 @@
 namespace swallow {
 
 std::string RunConfig::name() const {
-  return strprintf("jobs=%d,trace=%s,faults=%s%s", jobs,
-                   tracing ? "on" : "off", faults ? "on" : "off",
-                   stepped ? ",batch=1" : "");
+  std::string n = strprintf("jobs=%d,trace=%s,faults=%s%s", jobs,
+                            tracing ? "on" : "off", faults ? "on" : "off",
+                            stepped ? ",batch=1" : "");
+  if (granularity == DomainGranularity::kChip) n += ",gran=chip";
+  if (granularity == DomainGranularity::kCore) n += ",gran=core";
+  if (sync == SyncMode::kBounded) n += strprintf(",sync=bounded:%d", sync_bound);
+  return n;
 }
 
 std::vector<int> differ_core_slots(int count) {
@@ -125,6 +129,11 @@ RunObs run_config(const SourceSet& s, const RunConfig& cfg,
   scfg.slices_y = 2;
   scfg.reliable_links = true;  // faults must be recoverable
   scfg.jobs = cfg.jobs;
+  if (cfg.jobs > 0) {
+    scfg.sync = cfg.sync;
+    scfg.sync_bound = cfg.sync_bound;
+  }
+  scfg.granularity = cfg.granularity;
   if (cfg.stepped) scfg.core_batch = 1;
   SwallowSystem sys(sim, scfg);
 
@@ -259,21 +268,27 @@ std::string compare_architectural(const RunObs& a, const RunObs& b) {
   return "";
 }
 
-/// Energy comparison across tracing modes: same physics, different
-/// integration chunking — allow last-ulp reassociation drift only.
-std::string compare_energy_tolerant(const RunObs& a, const RunObs& b) {
-  constexpr double kRelTol = 1e-9;
+/// Per-account energy comparison within a stated relative bound.
+std::string compare_energy_within(const RunObs& a, const RunObs& b,
+                                  double rel_tol) {
   for (std::size_t acc = 0; acc < a.energy.size(); ++acc) {
     const double scale =
         std::max({1.0, std::abs(a.energy[acc]), std::abs(b.energy[acc])});
-    if (std::abs(a.energy[acc] - b.energy[acc]) <= kRelTol * scale) continue;
-    return strprintf("[%s vs %s] energy account %s: %.17g vs %.17g J",
-                     a.config.name().c_str(), b.config.name().c_str(),
-                     std::string(to_string(static_cast<EnergyAccount>(acc)))
-                         .c_str(),
-                     a.energy[acc], b.energy[acc]);
+    if (std::abs(a.energy[acc] - b.energy[acc]) <= rel_tol * scale) continue;
+    return strprintf(
+        "[%s vs %s] energy account %s: %.17g vs %.17g J (bound %.3g rel)",
+        a.config.name().c_str(), b.config.name().c_str(),
+        std::string(to_string(static_cast<EnergyAccount>(acc))).c_str(),
+        a.energy[acc], b.energy[acc], rel_tol);
   }
   return "";
+}
+
+/// Energy comparison across tracing modes or granularities: same physics,
+/// different integration chunking or double summation order — allow
+/// last-ulp reassociation drift only.
+std::string compare_energy_tolerant(const RunObs& a, const RunObs& b) {
+  return compare_energy_within(a, b, 1e-9);
 }
 
 /// Full bit-compare (same fault group: engine determinism contract).
@@ -379,6 +394,30 @@ DiffResult run_differential(const SourceSet& s, const DifferOptions& opts) {
         matrix.push_back(
             RunConfig{opts.jobs.front(), tracing, faults, /*stepped=*/true});
       }
+      if (opts.with_sync) {
+        // Bounded-sync column: the per-chip strict subgroup (sequential,
+        // exact-parallel, bounded:0 — bit-identity at the finer
+        // granularity), plus fault-free bounded:N drift runs.
+        RunConfig chip_seq{0, tracing, faults};
+        chip_seq.granularity = DomainGranularity::kChip;
+        matrix.push_back(chip_seq);
+        RunConfig chip_exact = chip_seq;
+        chip_exact.jobs = opts.sync_jobs;
+        matrix.push_back(chip_exact);
+        RunConfig chip_b0 = chip_exact;
+        chip_b0.sync = SyncMode::kBounded;
+        chip_b0.sync_bound = 0;
+        matrix.push_back(chip_b0);
+        if (!faults) {
+          for (const int n : opts.sync_bounds) {
+            if (n <= 0) continue;
+            RunConfig b = chip_exact;
+            b.sync = SyncMode::kBounded;
+            b.sync_bound = n;
+            matrix.push_back(b);
+          }
+        }
+      }
     }
   }
   require(!matrix.empty(), "run_differential: empty config matrix");
@@ -414,23 +453,69 @@ DiffResult run_differential(const SourceSet& s, const DifferOptions& opts) {
     }
   }
 
-  // Strictest comparison within each (faults, tracing) group: the engine
-  // determinism contract promises bit-identical state, energy and trace
-  // JSON across worker counts.  Tracing changes how run_until is chopped
-  // (flush-period multiples), so energy integrates in different chunk
-  // sizes — identical physics, last-ulp float reassociation — and is only
-  // tolerance-compared across tracing modes.  Fault runs take retry
-  // detours, so across fault groups only architectural state must match.
+  // Strictest comparison within each (faults, tracing, granularity) group:
+  // the engine determinism contract promises bit-identical state, energy
+  // and trace JSON across worker counts — including exact-mode and
+  // bounded:0 parallel runs at any granularity.  Tracing changes how
+  // run_until is chopped (flush-period multiples), so energy integrates in
+  // different chunk sizes — identical physics, last-ulp float
+  // reassociation — and is only tolerance-compared across tracing modes.
+  // Fault runs take retry detours, so across fault groups only
+  // architectural state must match.  Bounded:N (relaxed) runs may deviate
+  // from the exact event order and are compared separately below.
   const RunObs* base_by_group[4] = {nullptr, nullptr, nullptr, nullptr};
+  const RunObs* chip_base_by_group[4] = {nullptr, nullptr, nullptr, nullptr};
   for (const RunObs& r : res.runs) {
+    if (r.config.relaxed()) continue;
     const std::size_t g = (r.config.faults ? 2u : 0u) +
                           (r.config.tracing ? 1u : 0u);
-    const RunObs*& base = base_by_group[g];
+    const RunObs*& base =
+        r.config.granularity == DomainGranularity::kSlice
+            ? base_by_group[g]
+            : chip_base_by_group[g];
     if (base == nullptr) {
       base = &r;
       continue;
     }
     std::string diff = compare_strict(*base, r);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return res;
+    }
+  }
+
+  // Across granularities (same group): the domain refinement must be
+  // architecturally invisible, and energy totals agree up to double
+  // summation order (the per-partition ledgers merge in a different
+  // order).
+  for (std::size_t g = 0; g < 4; ++g) {
+    const RunObs* a = base_by_group[g];
+    const RunObs* b = chip_base_by_group[g];
+    if (a == nullptr || b == nullptr) continue;
+    std::string diff = compare_architectural(*a, *b);
+    if (diff.empty()) diff = compare_energy_tolerant(*a, *b);
+    if (!diff.empty()) {
+      fail(std::move(diff));
+      return res;
+    }
+  }
+
+  // Bounded:N drift runs: architectural convergence must be exact (per-
+  // core retired instruction counts included — CoreObs comparison), and
+  // per-account energy must land within the stated relative bound of the
+  // same-group exact base.
+  for (const RunObs& r : res.runs) {
+    if (!r.config.relaxed()) continue;
+    const std::size_t g = (r.config.faults ? 2u : 0u) +
+                          (r.config.tracing ? 1u : 0u);
+    const RunObs* base = chip_base_by_group[g] != nullptr
+                             ? chip_base_by_group[g]
+                             : base_by_group[g];
+    if (base == nullptr) continue;
+    std::string diff = compare_architectural(*base, r);
+    if (diff.empty()) {
+      diff = compare_energy_within(*base, r, opts.sync_energy_rel_bound);
+    }
     if (!diff.empty()) {
       fail(std::move(diff));
       return res;

@@ -27,6 +27,7 @@
 
 #include "arch/isa.h"
 #include "arch/trap.h"
+#include "board/system.h"
 #include "check/progen.h"
 #include "check/ref_isa.h"
 #include "common/units.h"
@@ -40,6 +41,19 @@ struct RunConfig {
   bool tracing = false;  // attach a TraceSession
   bool faults = false;   // arm the seeded FaultPlan
   bool stepped = false;  // core_batch=1: one-event-per-instruction issue
+  /// Engine synchronization (SystemConfig::sync/sync_bound): kBounded with
+  /// a nonzero bound may deviate from exact event order.
+  SyncMode sync = SyncMode::kExact;
+  int sync_bound = 0;
+  /// Event-domain/ledger sharding (SystemConfig::granularity).  Runs at
+  /// different granularities merge energy doubles in different orders, so
+  /// each granularity forms its own strict-comparison subgroup.
+  DomainGranularity granularity = DomainGranularity::kSlice;
+
+  /// True when this run may drift from the exact event order.
+  bool relaxed() const {
+    return sync == SyncMode::kBounded && sync_bound > 0;
+  }
 
   std::string name() const;
 };
@@ -52,6 +66,21 @@ struct DifferOptions {
   /// strict comparison then machine-checks that batched issue is
   /// bit-identical to the historical per-instruction engine.
   bool with_stepped = true;
+  /// Bounded-sync column (swallow_check --sync-sweep).  Adds per-chip
+  /// granularity runs to every group — sequential, exact-parallel and
+  /// bounded:0, all strict-compared within the chip subgroup (machine-
+  /// checking that exact mode and bounded:0 are bit-identical to the
+  /// sequential engine at the finer granularity) and compared against the
+  /// slice-granularity base architecturally with energy to last-ulp
+  /// tolerance (the merge order of energy doubles differs).  Fault-free
+  /// groups additionally run bounded:N for each entry of sync_bounds;
+  /// those must converge architecturally (per-core retired instruction
+  /// counts exact) with per-account energy within sync_energy_rel_bound.
+  bool with_sync = false;
+  std::vector<int> sync_bounds = {16, 64};
+  double sync_energy_rel_bound = 0.02;
+  /// Worker count for the parallel sync-column runs.
+  int sync_jobs = 4;
   /// Golden-model bug shim (kRefBug*); the harness must then REPORT a
   /// divergence for programs exercising the buggy instruction.
   int inject_ref_bug = kRefBugNone;

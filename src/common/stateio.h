@@ -38,6 +38,7 @@ class SnapError : public std::runtime_error {
     kMissingSection = 7,  // manifest lacks a required section
     kUndescribedEvent = 8,  // a pending event has no snapshot descriptor
     kMalformed = 9,         // section decodes to inconsistent state
+    kSkewedClocks = 10,     // domains not at one instant (bounded-sync skew)
   };
 
   SnapError(Code code, const std::string& what)
@@ -57,6 +58,7 @@ class SnapError : public std::runtime_error {
       case Code::kMissingSection: return "missing-section";
       case Code::kUndescribedEvent: return "undescribed-event";
       case Code::kMalformed: return "malformed";
+      case Code::kSkewedClocks: return "skewed-clocks";
     }
     return "unknown";
   }

@@ -1,5 +1,7 @@
 #include "sim/domain.h"
 
+#include <algorithm>
+
 namespace swallow {
 
 void CrossingMailbox::post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
@@ -10,9 +12,19 @@ void CrossingMailbox::post(TimePs fire_at, TimePs stamp, std::uint64_t tie,
 std::size_t CrossingMailbox::drain() {
   const std::size_t n = buffer_.size();
   for (Pending& p : buffer_) {
-    // The lookahead contract guarantees fire_at is past the barrier time;
-    // inject() asserts it (strictly in the receiver's future).
-    dst_.inject(p.fire_at, p.stamp, p.tie, p.desc, std::move(p.cb));
+    TimePs fire_at = p.fire_at;
+    if (relax_ != nullptr && fire_at <= dst_.now()) {
+      // Bounded sync: the quantum outran this event's wire latency, so its
+      // fire time already passed in the receiver.  Deliver at the next
+      // representable instant and account for the skew.
+      const TimePs clamped = dst_.now() + 1;
+      ++relax_->stragglers;
+      relax_->max_skew_ps = std::max(relax_->max_skew_ps, clamped - fire_at);
+      fire_at = clamped;
+    }
+    // In exact mode the lookahead contract guarantees fire_at is past the
+    // barrier time; inject() asserts it (strictly in the receiver's future).
+    dst_.inject(fire_at, p.stamp, p.tie, p.desc, std::move(p.cb));
   }
   buffer_.clear();
   return n;

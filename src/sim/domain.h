@@ -51,6 +51,15 @@ class DomainPost {
                     EventFn cb, const EventDesc& desc = EventDesc{}) = 0;
 };
 
+/// Shared drift accounting for every relaxed mailbox of one engine:
+/// stragglers are crossing events whose fire time had already passed in
+/// the receiver when the barrier delivered them (the bounded-sync mode's
+/// accuracy cost), and max_skew_ps is the largest clamp applied.
+struct CrossingRelax {
+  std::uint64_t stragglers = 0;
+  TimePs max_skew_ps = 0;
+};
+
 /// A single-writer mailbox for one (source domain -> destination domain)
 /// direction.  post() is called only from the source domain's worker while
 /// a quantum runs; drain() is called only from the barrier's serial phase.
@@ -67,6 +76,14 @@ class CrossingMailbox final : public DomainPost {
   /// number delivered.
   std::size_t drain();
 
+  /// Bounded-sync mode: quanta may outrun the lookahead contract, so a
+  /// buffered event's fire time can land at or before the receiver's
+  /// barrier-clamped clock.  When relaxed, drain() clamps such events to
+  /// the receiver's next representable instant (now + 1) instead of
+  /// tripping inject()'s exactness assertion, and records the drift in
+  /// `relax`.  Never enabled in exact mode.
+  void set_relaxed(CrossingRelax* relax) { relax_ = relax; }
+
  private:
   struct Pending {
     TimePs fire_at;
@@ -78,6 +95,7 @@ class CrossingMailbox final : public DomainPost {
 
   Simulator& dst_;
   std::vector<Pending> buffer_;
+  CrossingRelax* relax_ = nullptr;
 };
 
 }  // namespace swallow

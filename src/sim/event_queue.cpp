@@ -90,6 +90,14 @@ TimePs EventQueue::next_time() const {
   return heap_.empty() ? kTimeNever : heap_.front().time;
 }
 
+bool EventQueue::next_key(Key& out) const {
+  drop_stale();
+  if (heap_.empty()) return false;
+  const Node& top = heap_.front();
+  out = Key{top.time, top.stamp, top.tie};
+  return true;
+}
+
 EventQueue::Fired EventQueue::pop() {
   drop_stale();
   invariant(!heap_.empty(), "EventQueue::pop on empty queue");

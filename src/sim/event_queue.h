@@ -83,6 +83,16 @@ class EventQueue {
   /// Time of the earliest pending event; kTimeNever when empty.
   TimePs next_time() const;
 
+  /// Full ordering key of the earliest pending event.  Returns false when
+  /// the queue is empty.  The parallel engine's hub-merge step uses this to
+  /// interleave several queues in exact global (time, stamp, tie) order.
+  struct Key {
+    TimePs time;
+    TimePs stamp;
+    std::uint64_t tie;
+  };
+  bool next_key(Key& out) const;
+
   /// Pop and return the earliest event.  Must not be called when empty.
   struct Fired {
     TimePs time;

@@ -28,20 +28,33 @@ inline void cpu_relax() {
 
 }  // namespace
 
-ParallelEngine::ParallelEngine(std::vector<Domain*> domains, int workers,
-                               TimePs lookahead)
-    : domains_(std::move(domains)),
+ParallelEngine::ParallelEngine(std::vector<Domain*> partitions,
+                               std::vector<Domain*> hubs, int workers,
+                               TimePs lookahead, SyncConfig sync)
+    : domains_(std::move(partitions)),
+      hubs_(std::move(hubs)),
       lookahead_(lookahead),
       workers_(workers),
       spin_rounds_(std::thread::hardware_concurrency() >=
                            static_cast<unsigned>(workers)
                        ? kSpinRounds
-                       : 0) {
+                       : 0),
+      sync_(sync) {
   require(!domains_.empty(), "ParallelEngine: no domains");
   require(lookahead_ >= 1, "ParallelEngine: lookahead must be >= 1 ps");
   require(workers_ >= 1 &&
               workers_ <= static_cast<int>(domains_.size()),
           "ParallelEngine: workers must be in [1, domain count]");
+  require(sync_.bound_cycles >= 0,
+          "ParallelEngine: sync bound must be >= 0 cycles");
+  require(!sync_.bounded || sync_.cycle_ps >= 1,
+          "ParallelEngine: bounded sync needs a positive cycle length");
+  if (relaxed()) {
+    // Start small so a chatty opening phase stays near-exact; idle quanta
+    // double the budget up to N (adapt_width).
+    width_base_ = std::max(1, sync_.bound_cycles / 8);
+    width_ = width_base_;
+  }
   threads_.reserve(static_cast<std::size_t>(workers_ - 1));
   for (int w = 1; w < workers_; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -57,7 +70,10 @@ ParallelEngine::~ParallelEngine() {
 
 DomainPost* ParallelEngine::crossing(Domain& src, Domain& dst) {
   auto& slot = mailboxes_[{src.id(), dst.id()}];
-  if (slot == nullptr) slot = std::make_unique<CrossingMailbox>(dst.sim());
+  if (slot == nullptr) {
+    slot = std::make_unique<CrossingMailbox>(dst.sim());
+    if (relaxed()) slot->set_relaxed(&relax_);
+  }
   return slot.get();
 }
 
@@ -65,16 +81,59 @@ void ParallelEngine::add_boundary_task(std::function<void(TimePs)> task) {
   boundary_tasks_.push_back(std::move(task));
 }
 
+TimePs ParallelEngine::span() const {
+  if (!relaxed()) return lookahead_;
+  return lookahead_ + static_cast<TimePs>(width_) * sync_.cycle_ps;
+}
+
 TimePs ParallelEngine::next_target(TimePs deadline) const {
   TimePs m = kTimeNever;
   for (const Domain* d : domains_) {
     m = std::min(m, d->sim().next_event_time());
   }
+  for (const Domain* h : hubs_) {
+    m = std::min(m, h->sim().next_event_time());
+  }
   if (m >= deadline) return deadline;  // idle (or past the deadline): one hop
-  // Saturating m + lookahead - 1: everything in [m, target] is safe because
-  // no cross-domain effect of an event at >= m lands before m + lookahead.
-  if (m > kTimeNever - lookahead_) return deadline;
-  return std::min(deadline, m + lookahead_ - 1);
+  // Saturating m + span - 1: in exact mode everything in [m, target] is
+  // safe because no cross-domain effect of an event at >= m lands before
+  // m + lookahead; bounded mode deliberately widens the window and clamps
+  // the stragglers at the barrier.
+  const TimePs s = span();
+  if (m > kTimeNever - s) return deadline;
+  return std::min(deadline, m + s - 1);
+}
+
+TimePs ParallelEngine::next_hub_time() const {
+  TimePs m = kTimeNever;
+  for (const Domain* h : hubs_) {
+    m = std::min(m, h->sim().next_event_time());
+  }
+  return m;
+}
+
+void ParallelEngine::adapt_width(std::size_t delivered) {
+  if (!relaxed()) return;
+  if (delivered == 0) {
+    // No crossing traffic this quantum: nothing could have straggled, so
+    // widen toward the full budget.
+    width_ = std::min(sync_.bound_cycles, width_ * 2);
+  } else {
+    // Mailbox activity: snap back so the next quantum stays close to the
+    // lookahead and in-flight conversations reorder as little as possible.
+    width_ = width_base_;
+  }
+}
+
+std::size_t ParallelEngine::drain_mailboxes() {
+  // Drain in fixed (src, dst) order — ordering keys make the injection
+  // order immaterial, this just keeps the walk deterministic.
+  std::size_t delivered = 0;
+  for (auto& [key, mb] : mailboxes_) {
+    delivered += mb->drain();
+  }
+  stats_.messages += delivered;
+  return delivered;
 }
 
 void ParallelEngine::run_owned(int w, TimePs target) {
@@ -84,38 +143,87 @@ void ParallelEngine::run_owned(int w, TimePs target) {
   }
 }
 
+void ParallelEngine::run_quantum(TimePs target) {
+  done_.store(0, std::memory_order_relaxed);
+  target_.store(target, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  epoch_.notify_all();
+
+  run_owned(0, target);
+
+  int spins = 0;
+  for (int d = done_.load(std::memory_order_acquire); d < workers_ - 1;
+       d = done_.load(std::memory_order_acquire)) {
+    if (spins < spin_rounds_) {
+      ++spins;
+      cpu_relax();
+    } else {
+      done_.wait(d, std::memory_order_acquire);
+    }
+  }
+}
+
+void ParallelEngine::merge_at(TimePs t) {
+  // Line every domain up on the fence, then dispatch the events at exactly
+  // t one at a time in global (stamp, tie) order — the order one global
+  // queue would have produced.  Dispatching may spawn further events at t
+  // (zero-delay chains), so rescan until no head remains there.
+  for (Domain* d : domains_) d->sim().warp_to(t);
+  for (Domain* h : hubs_) h->sim().warp_to(t);
+  while (true) {
+    Simulator* best = nullptr;
+    EventQueue::Key best_key{};
+    auto consider = [&](Simulator& s) {
+      EventQueue::Key k;
+      if (!s.peek_key(k) || k.time != t) return;
+      if (best == nullptr || k.stamp < best_key.stamp ||
+          (k.stamp == best_key.stamp && k.tie < best_key.tie)) {
+        best = &s;
+        best_key = k;
+      }
+    };
+    for (Domain* d : domains_) consider(d->sim());
+    for (Domain* h : hubs_) consider(h->sim());
+    if (best == nullptr) return;
+    best->dispatch_one(t);
+  }
+}
+
 void ParallelEngine::run_until(TimePs deadline) {
   require(deadline >= now_, "ParallelEngine::run_until: deadline in the past");
   while (true) {
     const TimePs target = next_target(deadline);
-    done_.store(0, std::memory_order_relaxed);
-    target_.store(target, std::memory_order_relaxed);
-    epoch_.fetch_add(1, std::memory_order_release);
-    epoch_.notify_all();
-
-    run_owned(0, target);
-
-    int spins = 0;
-    for (int d = done_.load(std::memory_order_acquire); d < workers_ - 1;
-         d = done_.load(std::memory_order_acquire)) {
-      if (spins < spin_rounds_) {
-        ++spins;
-        cpu_relax();
-      } else {
-        done_.wait(d, std::memory_order_acquire);
-      }
+    const TimePs hub_min = next_hub_time();
+    if (hub_min <= target) {
+      // Fence quantum: a hub event must observe every partition at one
+      // consistent instant.  Run partitions up to just before it, then
+      // merge everything at that instant serially.
+      invariant(hub_min > now_, "hub event at or before the barrier clock");
+      run_quantum(hub_min - 1);
+      std::size_t delivered = drain_mailboxes();
+      merge_at(hub_min);
+      // Crossings posted during the merge fire at hub_min + latency.
+      delivered += drain_mailboxes();
+      adapt_width(delivered);
+      now_ = hub_min;
+      ++stats_.merges;
+      continue;
     }
+
+    run_quantum(target);
 
     // Serial phase: every worker is parked, so whole-machine state is safe
-    // to touch.  Drain in fixed (src, dst) order — ordering keys make the
-    // injection order immaterial, this just keeps the walk deterministic.
-    for (auto& [key, mb] : mailboxes_) {
-      stats_.messages += mb->drain();
-    }
+    // to touch.
+    adapt_width(drain_mailboxes());
     now_ = target;
     ++stats_.quanta;
     for (auto& task : boundary_tasks_) task(target);
-    if (target >= deadline) return;
+    if (target >= deadline) {
+      // Clamp hub clocks to the deadline: no hub event can remain at or
+      // before it (that would have forced a fence above).
+      for (Domain* h : hubs_) h->sim().run_until(deadline);
+      return;
+    }
   }
 }
 

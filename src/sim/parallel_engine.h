@@ -1,13 +1,14 @@
-// Conservative parallel driver for a set of event domains.
+// Conservative parallel driver for a set of event domains, with an opt-in
+// bounded-skew (relaxed) synchronization mode.
 //
-// Chandy–Misra-style synchronization with a fixed lower bound on
-// cross-domain latency (the lookahead L): if every event that crosses a
-// domain boundary takes at least L picoseconds to arrive, then all domains
-// may safely run ahead of each other within a quantum of L — nothing a peer
-// does inside the current quantum can affect this domain before the
-// quantum ends.  The engine therefore advances all domains to a common
-// target time in parallel, meets at a barrier, exchanges the buffered
-// cross-domain events (CrossingMailbox), and picks the next target
+// Exact mode is Chandy–Misra-style synchronization with a fixed lower
+// bound on cross-domain latency (the lookahead L): if every event that
+// crosses a domain boundary takes at least L picoseconds to arrive, then
+// all domains may safely run ahead of each other within a quantum of L —
+// nothing a peer does inside the current quantum can affect this domain
+// before the quantum ends.  The engine therefore advances all domains to a
+// common target time in parallel, meets at a barrier, exchanges the
+// buffered cross-domain events (CrossingMailbox), and picks the next target
 //
 //     target' = min(deadline, M + L - 1),   M = earliest pending event
 //
@@ -17,11 +18,36 @@
 // execution bit-identical to the single-queue sequential engine, for any
 // worker count.
 //
+// Bounded mode (SyncConfig::bounded, Graphite-style lax synchronization)
+// widens the quantum beyond the lookahead by an adaptive budget of up to N
+// simulated core cycles: domains may transiently run up to that far ahead
+// of the slowest peer, and a crossing event whose wire latency the quantum
+// outran is delivered one picosecond after the receiver's barrier clock
+// instead (CrossingMailbox::set_relaxed) — trading exact event order for
+// fewer barriers.  The budget starts small, doubles after every quantum
+// that crossed no traffic, and snaps back on mailbox activity, so idle or
+// compute-bound machines pay almost no barriers while chatty phases fall
+// back toward exactness.  bounded with N = 0 never widens a quantum and
+// never clamps, so it remains bit-identical to exact mode.  Bounded mode
+// stays deterministic for any worker count — targets, clamps and the
+// budget evolve only from serial-phase state — it just deviates (within
+// the measured bounds in BENCH_PR10.json) from the exact event order.
+//
+// Hub domains: with finer-than-slice sharding (per-chip or per-core
+// partitions), slice-wide agents — the ADC sampler, loss integration,
+// telemetry — keep a per-slice "hub" domain whose events must observe all
+// of the slice's partitions at one consistent instant.  Hubs are never run
+// in the parallel phase; instead their earliest event time fences the
+// quantum, and merge_at() dispatches everything at that instant across
+// every domain in exact global (time, stamp, tie) order.  With no hubs
+// (per-slice sharding) the engine behaves exactly as before.
+//
 // Threading: `workers` persistent threads including the caller.  Workers
-// own domains round-robin, park on an epoch futex between quanta, and the
-// caller performs the serial barrier phase (drain mailboxes, boundary
-// tasks, next target).  All cross-thread visibility rides the epoch/done
-// release-acquire edges; domain state needs no locks.
+// own partition domains round-robin, park on an epoch futex between
+// quanta, and the caller performs the serial barrier phase (drain
+// mailboxes, hub fences, boundary tasks, next target).  All cross-thread
+// visibility rides the epoch/done release-acquire edges; domain state
+// needs no locks.
 #pragma once
 
 #include <atomic>
@@ -43,12 +69,31 @@ class ParallelEngine {
   struct Stats {
     std::uint64_t quanta = 0;    // barrier synchronizations performed
     std::uint64_t messages = 0;  // cross-domain events delivered
+    std::uint64_t merges = 0;    // hub fences (serial global-order steps)
   };
 
-  /// `domains` are borrowed and must outlive the engine.  `workers` in
-  /// [1, domains.size()] counts the calling thread; `lookahead` >= 1 is
-  /// the minimum cross-domain event latency in picoseconds.
-  ParallelEngine(std::vector<Domain*> domains, int workers, TimePs lookahead);
+  /// Relaxed-synchronization policy.  `bounded` false is the exact
+  /// conservative engine; true allows quanta of up to
+  /// lookahead + width * cycle_ps where the adaptive width never exceeds
+  /// `bound_cycles` (N).  N = 0 keeps the quantum at the lookahead, so it
+  /// is bit-identical to exact mode.
+  struct SyncConfig {
+    bool bounded = false;
+    int bound_cycles = 0;
+    TimePs cycle_ps = 2000;  // one 500 MHz core cycle
+  };
+
+  /// `partitions` and `hubs` are borrowed and must outlive the engine.
+  /// `workers` in [1, partitions.size()] counts the calling thread;
+  /// `lookahead` >= 1 is the minimum cross-domain event latency in
+  /// picoseconds.  Hub domains are optional (empty at per-slice
+  /// granularity); they are advanced only at serial fences.
+  ParallelEngine(std::vector<Domain*> partitions, std::vector<Domain*> hubs,
+                 int workers, TimePs lookahead, SyncConfig sync);
+  /// Exact-mode engine over partition domains only (the pre-sync API).
+  ParallelEngine(std::vector<Domain*> domains, int workers, TimePs lookahead)
+      : ParallelEngine(std::move(domains), {}, workers, lookahead,
+                       SyncConfig{}) {}
   ~ParallelEngine();
 
   ParallelEngine(const ParallelEngine&) = delete;
@@ -79,20 +124,70 @@ class ParallelEngine {
   TimePs lookahead() const { return lookahead_; }
   int workers() const { return workers_; }
   const Stats& stats() const { return stats_; }
+  const SyncConfig& sync() const { return sync_; }
+  /// True when this engine may deviate from the exact event order (bounded
+  /// mode with a nonzero cycle budget).
+  bool relaxed() const { return sync_.bounded && sync_.bound_cycles > 0; }
+  /// Drift accounting accumulated by relaxed crossing deliveries.
+  const CrossingRelax& relax() const { return relax_; }
+
+  // ----- Snapshot support (src/snap/) -----
+  /// Adaptive-budget position and cumulative counters, saved with a
+  /// snapshot so a resumed bounded run keeps the same quantum evolution
+  /// and reports the same drift totals as an uninterrupted one.
+  struct SyncState {
+    std::uint64_t width = 0;
+    std::uint64_t quanta = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t merges = 0;
+    std::uint64_t stragglers = 0;
+    std::uint64_t max_skew_ps = 0;
+  };
+  SyncState sync_state() const {
+    return SyncState{static_cast<std::uint64_t>(width_), stats_.quanta,
+                     stats_.messages, stats_.merges, relax_.stragglers,
+                     static_cast<std::uint64_t>(relax_.max_skew_ps)};
+  }
+  void restore_sync_state(const SyncState& s) {
+    width_ = static_cast<int>(s.width);
+    stats_.quanta = s.quanta;
+    stats_.messages = s.messages;
+    stats_.merges = s.merges;
+    relax_.stragglers = s.stragglers;
+    relax_.max_skew_ps = static_cast<TimePs>(s.max_skew_ps);
+  }
 
  private:
   void worker_loop(int w);
   void run_owned(int w, TimePs target);
+  /// One parallel phase: all partition domains to `target`, barrier.
+  void run_quantum(TimePs target);
+  /// Inject all buffered crossings; returns the number delivered.
+  std::size_t drain_mailboxes();
+  /// Dispatch every event at exactly `t` across partitions and hubs in
+  /// global (stamp, tie) order (all domain clocks end warped to t).
+  void merge_at(TimePs t);
+  /// Grow or snap the adaptive cycle budget from this quantum's traffic.
+  void adapt_width(std::size_t delivered);
   TimePs next_target(TimePs deadline) const;
+  TimePs next_hub_time() const;
+  /// Current quantum span beyond a pending event: lookahead plus the
+  /// bounded-mode cycle budget.
+  TimePs span() const;
 
-  std::vector<Domain*> domains_;
+  std::vector<Domain*> domains_;  // partitions: run in the parallel phase
+  std::vector<Domain*> hubs_;     // per-slice agents: serial fences only
   std::map<std::pair<int, int>, std::unique_ptr<CrossingMailbox>> mailboxes_;
   std::vector<std::function<void(TimePs)>> boundary_tasks_;
   TimePs lookahead_;
   TimePs now_ = 0;
   int workers_;
   int spin_rounds_;  // 0 when the host can't run every worker at once
+  SyncConfig sync_;
+  int width_ = 0;       // adaptive budget, in cycles (bounded mode only)
+  int width_base_ = 0;  // snap-back floor: max(1, N/8)
   Stats stats_;
+  CrossingRelax relax_;
 
   std::vector<std::thread> threads_;
   std::atomic<std::uint64_t> epoch_{0};

@@ -83,6 +83,27 @@ std::uint64_t Simulator::run() {
   return fired;
 }
 
+void Simulator::warp_to(TimePs t) {
+  require(t >= now_, "Simulator::warp_to: time in the past");
+  invariant(queue_.empty() || queue_.next_time() >= t,
+            "Simulator::warp_to: an event is pending before t");
+  now_ = t;
+}
+
+void Simulator::dispatch_one(TimePs horizon_t) {
+  const TimePs prev_horizon = horizon_;
+  horizon_ = horizon_t;
+  auto ev = queue_.pop();
+  invariant(ev.time >= now_, "event scheduled in the past");
+  SWALLOW_CHECK_PROBE(ev.time >= last_dispatch_time_,
+                      "event dispatch time went backwards");
+  now_ = ev.time;
+  last_dispatch_time_ = ev.time;
+  ev.callback();
+  ++dispatched_;
+  horizon_ = prev_horizon;
+}
+
 void Simulator::advance_in_dispatch(TimePs t) {
   invariant(t >= now_, "advance_in_dispatch: time in the past");
   invariant(t <= horizon_, "advance_in_dispatch: beyond the run horizon");

@@ -80,6 +80,22 @@ class Simulator {
   TimePs next_event_time() const { return queue_.next_time(); }
   std::uint64_t events_dispatched() const { return dispatched_; }
 
+  /// Full ordering key of the earliest pending event; false when idle.
+  /// The parallel engine's hub-merge step compares keys across domains to
+  /// reproduce the exact global dispatch order at a fence time.
+  bool peek_key(EventQueue::Key& out) const { return queue_.next_key(out); }
+
+  /// Jump the clock to `t` without dispatching: the queue must hold nothing
+  /// before `t` (everything earlier already fired).  Used by the hub-merge
+  /// step to line every domain up on a common fence time before
+  /// dispatch_one interleaves them.
+  void warp_to(TimePs t);
+
+  /// Pop and fire exactly one event (the earliest), with the run horizon
+  /// pinned to `horizon_t` so a batching callback cannot advance time past
+  /// the fence.  Must not be called when idle.
+  void dispatch_one(TimePs horizon_t);
+
   /// Tag for this simulator's ordering keys; the parallel engine assigns
   /// each domain a distinct lane.  Lane 0 (the default) with a single
   /// domain reproduces the classic global (time, insertion-seq) order.

@@ -91,6 +91,9 @@ std::uint64_t snapshot_config_hash(const SystemConfig& cfg,
   w.b(cfg.reliable_links);
   w.u64(cfg.seed);
   w.u32(static_cast<std::uint32_t>(cfg.jobs));
+  w.u8(static_cast<std::uint8_t>(cfg.sync));
+  w.u32(static_cast<std::uint32_t>(cfg.sync_bound));
+  w.u8(static_cast<std::uint8_t>(cfg.granularity));
   w.b(plan != nullptr);
   if (plan != nullptr) {
     w.u64(plan->seed);
@@ -149,12 +152,38 @@ SnapshotFile save_machine(const SnapTargets& t) {
     w.u32(static_cast<std::uint32_t>(domains));
     for (int i = 0; i < domains; ++i) {
       const Simulator::ClockState cs = sys.domain_sim(i).clock_state();
+      // Snapshots are only taken at run_until chop points, where both
+      // engines clamp every domain clock to the deadline — a skew-zero
+      // sync point.  In bounded mode a skewed save would bake transient
+      // drift into the file, so refuse it outright rather than record an
+      // inconsistent instant.
+      if (cs.now != sys.now()) {
+        throw SnapError(
+            SnapError::Code::kSkewedClocks,
+            strprintf("snapshot: domain %d clock at %lld ps but the machine "
+                      "is at %lld ps — snapshots must be taken at a "
+                      "skew-zero sync point (a run_until chop)",
+                      i, static_cast<long long>(cs.now),
+                      static_cast<long long>(sys.now())));
+      }
       w.i64(cs.now);
       w.i64(cs.last_dispatch);
       w.u64(cs.dispatched);
       w.u64(cs.next_seq);
       w.u64(cs.fallback_tie);
     }
+    // Parallel-engine sync state (zeros under the sequential engine): the
+    // adaptive bounded-mode budget plus cumulative drift counters, so a
+    // resumed run keeps the same quantum evolution and reports the same
+    // totals as an uninterrupted one.
+    ParallelEngine::SyncState ss{};
+    if (sys.engine() != nullptr) ss = sys.engine()->sync_state();
+    w.u64(ss.width);
+    w.u64(ss.quanta);
+    w.u64(ss.messages);
+    w.u64(ss.merges);
+    w.u64(ss.stragglers);
+    w.u64(ss.max_skew_ps);
     f.add(SnapSection::kMeta, w.take());
   }
 
@@ -242,6 +271,7 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
   };
   std::vector<Simulator::ClockState> clocks;
   TimePs machine_now = 0;
+  ParallelEngine::SyncState sync_state{};
   {
     StateReader r(f.need(SnapSection::kMeta));
     machine_now = r.i64();
@@ -259,6 +289,12 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
       cs.fallback_tie = r.u64();
       clocks.push_back(cs);
     }
+    sync_state.width = r.u64();
+    sync_state.quanta = r.u64();
+    sync_state.messages = r.u64();
+    sync_state.merges = r.u64();
+    sync_state.stragglers = r.u64();
+    sync_state.max_skew_ps = r.u64();
     expect_drained(r, "meta");
   }
 
@@ -273,7 +309,10 @@ void restore_machine(const SnapshotFile& f, const SnapTargets& t) {
   for (int i = 0; i < sys.domain_count(); ++i) {
     sys.domain_sim(i).restore_clock_state(clocks[static_cast<std::size_t>(i)]);
   }
-  if (sys.engine() != nullptr) sys.engine()->restore_clock(machine_now);
+  if (sys.engine() != nullptr) {
+    sys.engine()->restore_clock(machine_now);
+    sys.engine()->restore_sync_state(sync_state);
+  }
 
   // ---- Fault injector: hooks only, then its rng streams.  Must precede
   // event re-injection so kFault* events have an armed owner.

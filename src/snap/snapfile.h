@@ -41,7 +41,10 @@ class SnapshotFile {
   static constexpr std::uint32_t kMagic = 0x4E535753;  // "SWSN" little-endian
   // v3: EthernetBridge state grew ingress-backpressure counters and the
   // optional kLoad section joined the format.
-  static constexpr std::uint32_t kVersion = 3;
+  // v4: kMeta carries the parallel engine's sync state (adaptive budget +
+  // drift counters), the config hash covers sync mode/bound/granularity,
+  // and partition ledgers joined kSystem at finer-than-slice granularity.
+  static constexpr std::uint32_t kVersion = 4;
 
   std::uint64_t config_hash = 0;
 

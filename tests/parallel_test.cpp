@@ -6,7 +6,9 @@
 // active fault plan.  Plus SystemConfig::jobs validation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -48,18 +50,33 @@ struct Fingerprint {
   std::uint64_t messages = 0;  // parallel runs only
 };
 
+/// Engine configuration of one run: worker count, event-domain
+/// granularity (PR 10: kChip/kCore refine the historical per-slice
+/// domains) and synchronization mode.
+struct MachineOpts {
+  int jobs = 0;
+  const FaultPlan* plan = nullptr;
+  DomainGranularity granularity = DomainGranularity::kSlice;
+  SyncMode sync = SyncMode::kExact;
+  int sync_bound = 0;
+};
+
 /// One full machine run on a 2x2-slice, 64-core system: cross-cable
 /// pipeline + telemetry out of a bridge + ADC sampling + loss integration,
 /// optionally under a fault plan.  jobs = 0 selects the sequential
 /// reference engine.
-Fingerprint run_machine(int jobs, const FaultPlan* plan) {
+Fingerprint run_machine(const MachineOpts& o) {
+  const FaultPlan* plan = o.plan;
   Simulator sim;
   SystemConfig cfg;
   cfg.slices_x = 2;
   cfg.slices_y = 2;
   cfg.ethernet_bridges = 1;
   cfg.reliable_links = true;
-  cfg.jobs = jobs;
+  cfg.jobs = o.jobs;
+  cfg.granularity = o.granularity;
+  cfg.sync = o.sync;
+  cfg.sync_bound = o.sync_bound;
   SwallowSystem sys(sim, cfg);
   sys.enable_loss_integration();
   sys.start_sampling(100'000.0);
@@ -104,6 +121,10 @@ Fingerprint run_machine(int jobs, const FaultPlan* plan) {
     fp.messages = sys.engine()->stats().messages;
   }
   return fp;
+}
+
+Fingerprint run_machine(int jobs, const FaultPlan* plan) {
+  return run_machine(MachineOpts{.jobs = jobs, .plan = plan});
 }
 
 void expect_identical(const Fingerprint& ref, const Fingerprint& got,
@@ -175,6 +196,143 @@ TEST(ParallelEngine, BitIdenticalToSequentialUnderFaultPlan) {
   }
 }
 
+// ------------------------------------------- fine-grained domains (PR 10)
+
+/// Architectural agreement across granularities: everything exact except
+/// the energy doubles, which are merged in a granularity-dependent order
+/// and so only agree to last-ulp relative tolerance.
+void expect_architectural(const Fingerprint& ref, const Fingerprint& got,
+                          const char* what) {
+  SCOPED_TRACE(what);
+  ASSERT_EQ(ref.instructions.size(), got.instructions.size());
+  for (std::size_t i = 0; i < ref.instructions.size(); ++i) {
+    EXPECT_EQ(ref.instructions[i], got.instructions[i]) << "core " << i;
+  }
+  for (std::size_t a = 0; a < ref.energy.size(); ++a) {
+    const double tol = 1e-9 * std::max(std::abs(ref.energy[a]), 1e-12);
+    EXPECT_NEAR(ref.energy[a], got.energy[a], tol)
+        << to_string(static_cast<EnergyAccount>(a));
+  }
+  EXPECT_EQ(ref.telemetry_packets, got.telemetry_packets);
+  EXPECT_EQ(ref.telemetry, got.telemetry);
+  EXPECT_EQ(ref.faults.tokens_corrupted, got.faults.tokens_corrupted);
+  EXPECT_EQ(ref.faults.retransmissions, got.faults.retransmissions);
+  EXPECT_EQ(ref.faults.links_marked_dead, got.faults.links_marked_dead);
+}
+
+TEST(DomainGranularityTest, ChipAndCoreDomainsBitIdenticalFaultFree) {
+  // Within one granularity the engine contract is unchanged: sequential
+  // and parallel runs are bit-identical for any worker count — including
+  // worker counts far above the 4-slice limit, which only the refined
+  // partitioning admits (32 chip / 64 core partitions on 2x2 slices).
+  for (DomainGranularity g :
+       {DomainGranularity::kChip, DomainGranularity::kCore}) {
+    const char* gname = g == DomainGranularity::kChip ? "chip" : "core";
+    const Fingerprint seq = run_machine(MachineOpts{.granularity = g});
+    for (int jobs : {1, 8, 16}) {
+      const Fingerprint par =
+          run_machine(MachineOpts{.jobs = jobs, .granularity = g});
+      expect_identical(seq, par, gname);
+      EXPECT_GT(par.quanta, 0u);
+      EXPECT_GT(par.messages, 0u);
+    }
+    // And across granularities only the energy merge order may differ.
+    expect_architectural(run_machine(MachineOpts{}), seq, gname);
+  }
+}
+
+TEST(DomainGranularityTest, ChipAndCoreDomainsBitIdenticalUnderFaultPlan) {
+  // Reroutes, link death and watchdog stalls must play out identically
+  // when the afflicted links sit on chip/core domain boundaries instead of
+  // slice boundaries.
+  FaultPlan plan;
+  plan.seed = 0x5EED;
+  plan.corrupt_link(kCableTxNode, kDirEast, 3e-3);
+  plan.link_outage(kCableTxNode, kDirEast, microseconds(400.0),
+                   microseconds(30.0));
+  plan.stall_switch(lattice_node_id(5, 0, Layer::kHorizontal),
+                    microseconds(200.0), microseconds(50.0));
+  plan.freeze_core(lattice_node_id(2, 0, Layer::kHorizontal),
+                   microseconds(100.0), microseconds(150.0));
+
+  const Fingerprint slice_seq = run_machine(0, &plan);
+  for (DomainGranularity g :
+       {DomainGranularity::kChip, DomainGranularity::kCore}) {
+    const char* gname = g == DomainGranularity::kChip ? "chip" : "core";
+    const Fingerprint seq =
+        run_machine(MachineOpts{.plan = &plan, .granularity = g});
+    ASSERT_GT(seq.faults.tokens_corrupted, 0u);
+    ASSERT_GT(seq.faults.retransmissions, 0u);
+    const Fingerprint par =
+        run_machine(MachineOpts{.jobs = 8, .plan = &plan, .granularity = g});
+    expect_identical(seq, par, gname);
+    // The fault schedule itself is granularity-invariant.
+    expect_architectural(slice_seq, seq, gname);
+  }
+}
+
+// --------------------------------------------------- bounded sync (PR 10)
+
+TEST(BoundedSyncTest, BoundedZeroIsExact) {
+  // `--sync bounded:0` must degenerate to the exact engine, bit for bit.
+  const Fingerprint exact = run_machine(
+      MachineOpts{.jobs = 4, .granularity = DomainGranularity::kChip});
+  const Fingerprint b0 = run_machine(
+      MachineOpts{.jobs = 4,
+                  .granularity = DomainGranularity::kChip,
+                  .sync = SyncMode::kBounded,
+                  .sync_bound = 0});
+  expect_identical(exact, b0, "bounded:0");
+}
+
+TEST(BoundedSyncTest, BoundedRunsDeterministicAcrossWorkerCounts) {
+  // Relaxed order may deviate from exact, but must not depend on the
+  // worker count: the adaptive lookahead evolves in the serial merge
+  // phase, so bounded runs are a deterministic function of (machine,
+  // bound), not of scheduling.
+  const Fingerprint one = run_machine(
+      MachineOpts{.jobs = 1,
+                  .granularity = DomainGranularity::kChip,
+                  .sync = SyncMode::kBounded,
+                  .sync_bound = 64});
+  EXPECT_GT(one.quanta, 0u);
+  for (int jobs : {4, 16}) {
+    const Fingerprint par = run_machine(
+        MachineOpts{.jobs = jobs,
+                    .granularity = DomainGranularity::kChip,
+                    .sync = SyncMode::kBounded,
+                    .sync_bound = 64});
+    expect_identical(one, par, jobs == 4 ? "jobs=4" : "jobs=16");
+  }
+}
+
+TEST(BoundedSyncTest, BoundedConvergesToExactArchitecturally) {
+  // The drift bound guarantee: per-core retired-instruction counts agree
+  // with the exact engine exactly (the workload synchronizes through
+  // blocking channel ops, so arrival-time skew never reaches architectural
+  // state) and per-account energy stays within a small relative bound.
+  const Fingerprint exact = run_machine(
+      MachineOpts{.jobs = 4, .granularity = DomainGranularity::kChip});
+  for (int bound : {16, 64}) {
+    SCOPED_TRACE(bound);
+    const Fingerprint b = run_machine(
+        MachineOpts{.jobs = 4,
+                    .granularity = DomainGranularity::kChip,
+                    .sync = SyncMode::kBounded,
+                    .sync_bound = bound});
+    ASSERT_EQ(exact.instructions.size(), b.instructions.size());
+    for (std::size_t i = 0; i < exact.instructions.size(); ++i) {
+      EXPECT_EQ(exact.instructions[i], b.instructions[i]) << "core " << i;
+    }
+    for (std::size_t a = 0; a < exact.energy.size(); ++a) {
+      const double tol = 0.02 * std::max(std::abs(exact.energy[a]), 1e-12);
+      EXPECT_NEAR(exact.energy[a], b.energy[a], tol)
+          << to_string(static_cast<EnergyAccount>(a));
+    }
+    EXPECT_EQ(exact.telemetry_packets, b.telemetry_packets);
+  }
+}
+
 // ----------------------------------------------------------- validation
 
 TEST(ParallelEngine, JobsAboveSliceCountIsRejected) {
@@ -190,6 +348,46 @@ TEST(ParallelEngine, JobsAboveSliceCountIsRejected) {
     EXPECT_NE(std::string(e.what()).find("jobs"), std::string::npos);
     EXPECT_NE(std::string(e.what()).find("4"), std::string::npos);
   }
+}
+
+TEST(ParallelEngine, FineGranularityAdmitsMoreJobs) {
+  // jobs=5 is rejected at slice granularity (4 partitions) but fine at
+  // chip granularity (32 partitions on the same grid).
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = 2;
+  cfg.slices_y = 2;
+  cfg.jobs = 5;
+  cfg.granularity = DomainGranularity::kChip;
+  SwallowSystem sys(sim, cfg);
+  EXPECT_TRUE(sys.parallel());
+}
+
+TEST(ParallelEngine, NegativeSyncBoundIsRejected) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.jobs = 1;
+  cfg.sync = SyncMode::kBounded;
+  cfg.sync_bound = -3;
+  EXPECT_THROW(SwallowSystem sys(sim, cfg), Error);
+}
+
+TEST(ParallelEngine, NonzeroBoundRequiresBoundedMode) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.jobs = 1;
+  cfg.sync = SyncMode::kExact;
+  cfg.sync_bound = 16;
+  EXPECT_THROW(SwallowSystem sys(sim, cfg), Error);
+}
+
+TEST(ParallelEngine, BoundedModeRequiresParallelEngine) {
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.jobs = 0;
+  cfg.sync = SyncMode::kBounded;
+  cfg.sync_bound = 16;
+  EXPECT_THROW(SwallowSystem sys(sim, cfg), Error);
 }
 
 TEST(ParallelEngine, NegativeJobsIsRejected) {

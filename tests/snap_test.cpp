@@ -207,6 +207,87 @@ TEST(SnapRoundtrip, SnapshotIsReusable) {
   }
 }
 
+// Bounded-sync machines (PR 10): between run_until chop points the
+// domains drift apart, but every chop ends on a skew-zero fence, so
+// save_machine succeeds there (the skew guard in kMeta never fires from
+// the public API) and the restored machine — including the engine's
+// adaptive lookahead state, which rides in kMeta — replays a byte-
+// identical future.
+TEST(SnapRoundtrip, BoundedSyncSnapshotFencesAndRoundTrips) {
+  const auto config = [] {
+    SystemConfig cfg;
+    cfg.reliable_links = true;
+    cfg.jobs = 4;
+    cfg.granularity = DomainGranularity::kChip;
+    cfg.sync = SyncMode::kBounded;
+    cfg.sync_bound = 64;
+    return cfg;
+  };
+  const TimePs half = microseconds(80.0);
+  const Image ping = assemble(kPingSrc);
+  const Image pong = assemble(kPongSrc);
+  const auto start = [&](SwallowSystem& sys) {
+    sys.find_core(0)->load(ping);
+    sys.find_core(1)->load(pong);
+    sys.find_core(0)->start(ping.entry);
+    sys.find_core(1)->start(pong.entry);
+  };
+
+  // Uninterrupted reference run.
+  Simulator sim_a;
+  SwallowSystem a(sim_a, config());
+  start(a);
+  a.run_until(2 * half);
+  const std::vector<std::uint8_t> full_a = save_machine(
+      SnapTargets{&a, nullptr, nullptr}).encode();
+
+  // Interrupted run: snapshot at the chop point (a skew-zero fence).
+  Simulator sim_b;
+  SwallowSystem b(sim_b, config());
+  start(b);
+  b.run_until(half);
+  const SnapshotFile mid = SnapshotFile::decode(
+      save_machine(SnapTargets{&b, nullptr, nullptr}).encode());
+
+  Simulator sim_c;
+  SwallowSystem c(sim_c, config());
+  restore_machine(mid, SnapTargets{&c, nullptr, nullptr});
+  EXPECT_EQ(c.now(), half);
+  c.run_until(2 * half);
+  const std::vector<std::uint8_t> full_c = save_machine(
+      SnapTargets{&c, nullptr, nullptr}).encode();
+
+  // Byte-identical final snapshots: architectural state, energy doubles
+  // AND the engine's sync counters all survived the round trip.
+  EXPECT_EQ(full_a == full_c, true) << "restored bounded run diverged";
+}
+
+// A bounded-mode snapshot refuses to restore into an exact-mode machine
+// (and vice versa): sync mode, bound and granularity are part of the
+// config hash.
+TEST(SnapRoundtrip, SyncConfigIsPartOfTheMachineIdentity) {
+  const auto config = [](SyncMode sync, int bound) {
+    SystemConfig cfg;
+    cfg.reliable_links = true;
+    cfg.jobs = 4;
+    cfg.granularity = DomainGranularity::kChip;
+    cfg.sync = sync;
+    cfg.sync_bound = bound;
+    return cfg;
+  };
+  Simulator sim_a;
+  SwallowSystem a(sim_a, config(SyncMode::kBounded, 64));
+  a.run_until(microseconds(10.0));
+  const SnapshotFile snap = save_machine(SnapTargets{&a, nullptr, nullptr});
+
+  Simulator sim_b;
+  SwallowSystem b(sim_b, config(SyncMode::kExact, 0));
+  EXPECT_EQ(code_of([&] {
+              restore_machine(snap, SnapTargets{&b, nullptr, nullptr});
+            }),
+            SnapError::Code::kConfigMismatch);
+}
+
 // ----- Structured refusal -----
 
 class SnapRefusal : public ::testing::Test {

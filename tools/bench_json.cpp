@@ -25,11 +25,18 @@
 // simulated MIPS under load; CI redirects this into BENCH_PR9.json and
 // the perf ratchet re-measures it with --load-only.
 //
+// The "sync_json" section measures the relaxed-sync engine (--sync
+// bounded:N at per-chip granularity): wall-clock speedup over exact
+// conservative sync and the measured drift per bound at 16/64/480 cores;
+// the nightly drift sweep re-measures it with --sync-only and CI commits
+// it as BENCH_PR10.json.
+//
 // The engines are bit-identical (tests/parallel_test.cpp), so every run
 // also cross-checks total retired instructions and aborts on mismatch —
 // a benchmark that quietly diverged would be measuring a different machine.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdint>
 #include <filesystem>
@@ -365,6 +372,176 @@ bool print_load_section(bool last) {
   return true;
 }
 
+// ----- PR 10: bounded-sync KPI -----
+//
+// The "sync_json" section measures the relaxed-synchronization engine
+// (SystemConfig::sync = kBounded, per-chip domains): wall-clock speedup of
+// bounded:N over exact conservative sync at the same worker count, plus
+// the measured drift — per-core retired-instruction deviation, maximum
+// per-account energy deviation, and the engine's own skew/straggler
+// counters — for each N at 16, 64 and 480 cores.  CI redirects this into
+// BENCH_PR10.json; the differential tier (swallow_check --sync-sweep)
+// enforces the same convergence bounds on randomized programs.
+struct SyncRunResult {
+  double wall_s = 0;
+  std::vector<std::uint64_t> retired;
+  std::vector<double> energy;
+  std::uint64_t quanta = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t max_skew_ps = 0;
+};
+
+// bound < 0 selects exact mode; otherwise bounded:bound.
+SyncRunResult run_sync_once(int slices_x, int slices_y, double window_ms,
+                            int jobs, int bound, bool ring) {
+  using namespace swallow;
+  Simulator sim;
+  SystemConfig cfg;
+  cfg.slices_x = slices_x;
+  cfg.slices_y = slices_y;
+  cfg.jobs = jobs;
+  cfg.granularity = DomainGranularity::kChip;
+  if (bound >= 0) {
+    cfg.sync = SyncMode::kBounded;
+    cfg.sync_bound = bound;
+  }
+  SwallowSystem sys(sim, cfg);
+  if (ring) {
+    bench::load_ring(sys, 2000);
+  } else {
+    bench::load_all_spinning(sys, 4);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sys.run_until(milliseconds(window_ms));
+  const auto t1 = std::chrono::steady_clock::now();
+  sys.settle_energy();
+
+  SyncRunResult r;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  for (int i = 0; i < sys.core_count(); ++i) {
+    r.retired.push_back(sys.core_by_index(i).instructions_retired());
+  }
+  for (int a = 0; a < static_cast<int>(EnergyAccount::kCount); ++a) {
+    r.energy.push_back(sys.ledger().total(static_cast<EnergyAccount>(a)));
+  }
+  if (sys.parallel()) {
+    r.quanta = sys.engine()->stats().quanta;
+    const auto ss = sys.engine()->sync_state();
+    r.stragglers = ss.stragglers;
+    r.max_skew_ps = ss.max_skew_ps;
+  }
+  return r;
+}
+
+SyncRunResult run_sync(int slices_x, int slices_y, double window_ms, int jobs,
+                       int bound, bool ring, int reps) {
+  SyncRunResult best =
+      run_sync_once(slices_x, slices_y, window_ms, jobs, bound, ring);
+  for (int rep = 1; rep < reps; ++rep) {
+    SyncRunResult r =
+        run_sync_once(slices_x, slices_y, window_ms, jobs, bound, ring);
+    if (r.retired != best.retired) {
+      std::fprintf(stderr, "sync bench: nondeterministic repeat\n");
+      std::exit(1);
+    }
+    if (r.wall_s < best.wall_s) best = r;
+  }
+  return best;
+}
+
+// Returns the best bounded speedup over exact, or a negative value on a
+// bounded:0 / exact divergence (they must be bit-identical).
+double print_sync_workload(const char* key, int slices_x, int slices_y,
+                           double window_ms, int jobs, bool ring, int reps,
+                           bool last) {
+  using namespace swallow;
+  const std::vector<int> bounds = {0, 16, 64, 256};
+  const SyncRunResult exact =
+      run_sync(slices_x, slices_y, window_ms, jobs, -1, ring, reps);
+  std::printf(
+      "    \"%s\": {\"grid\": \"%dx%d\", \"cores\": %d, \"window_ms\": %g, "
+      "\"exact_wall_s\": %.6f, \"exact_quanta\": %llu, \"bounded\": [\n",
+      key, slices_x, slices_y, slices_x * slices_y * Slice::kCores, window_ms,
+      exact.wall_s, static_cast<unsigned long long>(exact.quanta));
+  double best_speedup = 0.0;
+  bool b0_identical = true;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const int bound = bounds[i];
+    const SyncRunResult b =
+        run_sync(slices_x, slices_y, window_ms, jobs, bound, ring, reps);
+    if (bound == 0) {
+      b0_identical = b.retired == exact.retired && b.energy == exact.energy;
+    }
+    std::uint64_t retired_drift = 0;
+    for (std::size_t c = 0; c < exact.retired.size(); ++c) {
+      const std::uint64_t d = b.retired[c] > exact.retired[c]
+                                  ? b.retired[c] - exact.retired[c]
+                                  : exact.retired[c] - b.retired[c];
+      retired_drift = std::max(retired_drift, d);
+    }
+    double energy_drift = 0.0;
+    for (std::size_t a = 0; a < exact.energy.size(); ++a) {
+      const double scale = std::max(std::abs(exact.energy[a]), 1e-12);
+      energy_drift =
+          std::max(energy_drift, std::abs(b.energy[a] - exact.energy[a]) / scale);
+    }
+    const double speedup = b.wall_s > 0 ? exact.wall_s / b.wall_s : 0.0;
+    if (bound > 0) best_speedup = std::max(best_speedup, speedup);
+    std::printf(
+        "      {\"bound\": %d, \"wall_s\": %.6f, \"speedup\": %.3f, "
+        "\"quanta\": %llu, \"retired_drift_max\": %llu, "
+        "\"energy_drift_rel_max\": %.3e, \"max_skew_ps\": %llu, "
+        "\"stragglers\": %llu}%s\n",
+        bound, b.wall_s, speedup,
+        static_cast<unsigned long long>(b.quanta),
+        static_cast<unsigned long long>(retired_drift), energy_drift,
+        static_cast<unsigned long long>(b.max_skew_ps),
+        static_cast<unsigned long long>(b.stragglers),
+        i + 1 < bounds.size() ? "," : "");
+  }
+  std::printf("    ]}%s\n", last ? "" : ",");
+  if (!b0_identical) {
+    std::fprintf(stderr, "%s: bounded:0 diverged from exact mode\n", key);
+    return -1.0;
+  }
+  return best_speedup;
+}
+
+bool print_sync_section(bool last) {
+  const int jobs = 8;  // every grid has >= 8 chip partitions
+  std::printf("  \"sync_json\": {\n");
+  std::printf("    \"granularity\": \"chip\", \"jobs\": %d,\n", jobs);
+  // Ring: channel traffic crosses every domain boundary, so the bounded
+  // engine's straggler clamping and skew tracking genuinely engage.
+  // Dense: every core spinning — the all-compute scaling case where the
+  // adaptive lookahead should widen to the full budget (this is the
+  // 480-core workload the >= 1.5x acceptance gate is measured on).
+  double worst = 1e9;
+  worst = std::min(worst, print_sync_workload("ring_16", 1, 1, 0.1, jobs,
+                                              true, 1, false));
+  worst = std::min(worst, print_sync_workload("ring_64", 2, 2, 0.1, jobs,
+                                              true, 1, false));
+  worst = std::min(worst, print_sync_workload("ring_480", 5, 6, 0.05, jobs,
+                                              true, 1, false));
+  worst = std::min(worst, print_sync_workload("dense_16", 1, 1, 0.1, jobs,
+                                              false, 1, false));
+  worst = std::min(worst, print_sync_workload("dense_64", 2, 2, 0.05, jobs,
+                                              false, 1, false));
+  const double dense480 = print_sync_workload("dense_480", 5, 6, 0.02, jobs,
+                                              false, 2, true);
+  worst = std::min(worst, dense480);
+  std::printf("  }%s\n", last ? "" : ",");
+  if (worst < 0) return false;  // a bounded:0 run diverged from exact
+  if (dense480 < 1.5) {
+    std::fprintf(stderr,
+                 "sync bench: best bounded speedup on dense_480 is %.3f, "
+                 "below the 1.5x acceptance gate\n",
+                 dense480);
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -373,6 +550,7 @@ int main(int argc, char** argv) {
   double limit_ms = 2.0;
   bool sim_mips_only = false;
   bool load_only = false;
+  bool sync_only = false;
   std::vector<int> jobs_list = {2, 4};
 
   for (int i = 1; i < argc; ++i) {
@@ -400,6 +578,8 @@ int main(int argc, char** argv) {
         sim_mips_only = true;
       } else if (arg == "--load-only") {
         load_only = true;
+      } else if (arg == "--sync-only") {
+        sync_only = true;
       } else {
         std::fprintf(stderr, "unknown option %s\n", arg.c_str());
         return 2;
@@ -422,6 +602,14 @@ int main(int argc, char** argv) {
       // CI's perf ratchet re-measures just the load-subsystem KPI.
       std::printf("{\n");
       const bool ok = print_load_section(true);
+      std::printf("}\n");
+      return ok ? 0 : 1;
+    }
+    if (sync_only) {
+      // The nightly drift sweep records just the bounded-sync KPI
+      // (committed as BENCH_PR10.json).
+      std::printf("{\n");
+      const bool ok = print_sync_section(true);
       std::printf("}\n");
       return ok ? 0 : 1;
     }
@@ -540,12 +728,16 @@ int main(int argc, char** argv) {
     // comparable run to run.
     const bool load_ok = print_load_section(false);
 
+    // Bounded-sync KPI: relaxed-sync speedup and measured drift at
+    // 16/64/480 cores (fixed grids regardless of --slices).
+    const bool sync_ok = print_sync_section(false);
+
     // Interpreter hot-path KPI (predecode + batched issue), fixed 5x6 grid
     // regardless of --slices so the committed baseline is comparable run
     // to run.
     const bool mips_ok = print_sim_mips_section(true);
     std::printf("}\n");
-    return load_ok && mips_ok ? 0 : 1;
+    return load_ok && sync_ok && mips_ok ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -61,6 +61,13 @@ void usage() {
       "  --no-trace         drop the tracing-on runs\n"
       "  --no-faults        drop the fault-plan runs\n"
       "  --time-cap MS      per-run simulated time cap     (default 20)\n"
+      "  --sync-sweep       add the bounded-sync column: per-chip domain\n"
+      "                     runs (sequential / exact / bounded:0, strict\n"
+      "                     bit-identity) plus fault-free bounded:N drift\n"
+      "                     runs checked for architectural convergence and\n"
+      "                     bounded energy drift\n"
+      "  --sync-bounds LIST comma list of bounded-sync N values (default\n"
+      "                     16,64; implies --sync-sweep)\n"
       "\n"
       "snapshot modes (src/snap, docs/testing.md):\n"
       "  --snap-roundtrip   for each seed and each --jobs value, prove\n"
@@ -141,6 +148,11 @@ int main(int argc, char** argv) {
         opts.with_faults = false;
       } else if (a == "--time-cap") {
         opts.time_cap = milliseconds(std::atof(next().c_str()));
+      } else if (a == "--sync-sweep") {
+        opts.with_sync = true;
+      } else if (a == "--sync-bounds") {
+        opts.sync_bounds = parse_jobs(next());
+        opts.with_sync = true;
       } else if (a == "--snap-roundtrip") {
         snap_mode = true;
       } else if (a == "--time-bisect") {

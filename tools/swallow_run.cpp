@@ -57,9 +57,18 @@ void usage() {
       "  --grade-max     architectural link rates 500/125 (default Table I)\n"
       "  --slices WxH    grid of slices                 (default 1x1)\n"
       "  --jobs N        parallel engine worker threads (default 0 =\n"
-      "                  sequential reference engine; 1..slice-count shards\n"
-      "                  one event domain per slice — results and all\n"
-      "                  observability output are bit-identical either way)\n"
+      "                  sequential reference engine; 1..partition-count\n"
+      "                  shards one event domain per partition — results and\n"
+      "                  all observability output are bit-identical either\n"
+      "                  way in exact mode)\n"
+      "  --domains G     event-domain granularity: slice (default), chip,\n"
+      "                  or core (finer sharding for more --jobs headroom)\n"
+      "  --sync M        engine synchronization: exact (default), or\n"
+      "                  bounded:N — domains may run up to N simulated core\n"
+      "                  cycles ahead of the slowest peer (requires --jobs;\n"
+      "                  bounded:0 is bit-identical to exact; N>0 trades\n"
+      "                  exact event order for fewer barriers, with drift\n"
+      "                  measured in the sync.* metrics gauges)\n"
       "  --time MS       simulation limit in ms         (default 100)\n"
       "\n"
       "faults (src/fault):\n"
@@ -220,6 +229,29 @@ int main(int argc, char** argv) {
         cfg.slices_y = static_cast<int>(parse_int(v.substr(x + 1)));
       } else if (arg == "--jobs") {
         cfg.jobs = static_cast<int>(parse_int(next()));
+      } else if (arg == "--domains") {
+        const std::string v = next();
+        if (v == "slice") {
+          cfg.granularity = DomainGranularity::kSlice;
+        } else if (v == "chip") {
+          cfg.granularity = DomainGranularity::kChip;
+        } else if (v == "core") {
+          cfg.granularity = DomainGranularity::kCore;
+        } else {
+          throw Error("--domains expects slice, chip or core");
+        }
+      } else if (arg == "--sync") {
+        const std::string v = next();
+        if (v == "exact") {
+          cfg.sync = SyncMode::kExact;
+          cfg.sync_bound = 0;
+        } else if (v.rfind("bounded:", 0) == 0) {
+          cfg.sync = SyncMode::kBounded;
+          cfg.sync_bound = static_cast<int>(parse_int(v.substr(8)));
+          require(cfg.sync_bound >= 0, "--sync bounded:N needs N >= 0");
+        } else {
+          throw Error("--sync expects exact or bounded:N");
+        }
       } else if (arg == "--time") {
         limit_ms = static_cast<double>(parse_int(next()));
       } else if (arg == "--reliable") {
